@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	go run ./cmd/experiments -all
+//	go run ./cmd/experiments -table2 -simtime 1s
+//	go run ./cmd/experiments -fig6 -fig7 -fig8
+//	go run ./cmd/experiments -fig4 -vcd out.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sysc"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	t1 := flag.Bool("table1", false, "Table 1: SIM_API surface")
+	t2 := flag.Bool("table2", false, "Table 2: co-simulation speed measure")
+	f4 := flag.Bool("fig4", false, "Figure 4: BFM signal waveform (VCD)")
+	f6 := flag.Bool("fig6", false, "Figure 6: execution time/energy trace")
+	f7 := flag.Bool("fig7", false, "Figure 7: time/energy distribution + battery")
+	f8 := flag.Bool("fig8", false, "Figure 8: T-Kernel/DS listing")
+	a1 := flag.Bool("a1", false, "Ablation A1: delayed dispatching")
+	a2 := flag.Bool("a2", false, "Ablation A2: tick granularity")
+	a3 := flag.Bool("a3", false, "Ablation A3: scheduler comparison")
+	speed := flag.Bool("speed", false, "RTOS-level vs cycle-stepped comparison")
+	simtime := flag.Duration("simtime", time.Second, "simulated S per Table 2 configuration")
+	vcdOut := flag.String("vcd", "", "also write the Figure 4 VCD to this file")
+	flag.Parse()
+
+	simS := sysc.Time(simtime.Nanoseconds()) * sysc.Ns
+	w := os.Stdout
+	any := false
+	section := func(on bool, run func()) {
+		if on || *all {
+			if any {
+				fmt.Fprintln(w, "\n"+divider)
+			}
+			any = true
+			run()
+		}
+	}
+
+	section(*t1, func() { experiments.Table1(w) })
+	section(*t2, func() {
+		cfg := experiments.DefaultTable2Config()
+		cfg.SimTime = simS
+		experiments.Table2(w, cfg)
+	})
+	section(*f6, func() { experiments.Figure6(w, 100*sysc.Ms) })
+	section(*f7, func() { experiments.Figure7(w, 1*sysc.Sec) })
+	section(*f8, func() { experiments.Figure8(w, 500*sysc.Ms) })
+	section(*f4, func() {
+		out := w
+		if *vcdOut != "" {
+			f, err := os.Create(*vcdOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+			fmt.Fprintf(w, "Figure 4 VCD written to %s\n", *vcdOut)
+		}
+		experiments.Figure4(out, 200*sysc.Ms)
+	})
+	section(*a1, func() {
+		experiments.AblationDelayedDispatch(w, []sysc.Time{
+			0, 500 * sysc.Us, 2 * sysc.Ms, 5 * sysc.Ms,
+		})
+	})
+	section(*a2, func() {
+		experiments.AblationGranularity(w, []sysc.Time{
+			100 * sysc.Us, 500 * sysc.Us, 1 * sysc.Ms, 5 * sysc.Ms, 10 * sysc.Ms,
+		})
+	})
+	section(*a3, func() { experiments.AblationSchedulers(w) })
+	section(*speed, func() { experiments.SpeedComparison(w, simS) })
+
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+const divider = "================================================================"

@@ -1,0 +1,97 @@
+// Command rtkspec runs the RTOS-centric co-simulator on the case-study
+// system: RTK-Spec TRON + i8051 BFM + GUI widgets + the video game.
+//
+//	rtkspec -dur 1s                 # animate mode, speed + distribution
+//	rtkspec -step -dur 100ms        # step mode: per-tick GANTT trace
+//	rtkspec -ds                     # dump the T-Kernel/DS listing at the end
+//	rtkspec -vcd wave.vcd           # probe BFM signals into a VCD file
+//	rtkspec -gui=false -frame 50ms  # sweep the Table 2 knobs by hand
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/sysc"
+	"repro/internal/tkds"
+	"repro/internal/trace"
+)
+
+func main() {
+	dur := flag.Duration("dur", time.Second, "simulated duration")
+	step := flag.Bool("step", false, "step mode: advance tick by tick and render the trace")
+	ds := flag.Bool("ds", false, "print the T-Kernel/DS listing at the end")
+	gui := flag.Bool("gui", true, "model GUI widget overhead")
+	frame := flag.Duration("frame", 10*time.Millisecond, "LCD frame period (widget-driving BFM access)")
+	vcdOut := flag.String("vcd", "", "write a VCD waveform of BFM signals")
+	flag.Parse()
+
+	g := trace.NewGantt()
+	g.SetLimit(500000)
+	var vcd *trace.VCD
+	if *vcdOut != "" {
+		vcd = trace.NewVCD()
+	}
+
+	cfg := app.DefaultConfig()
+	cfg.GUI = *gui
+	cfg.FramePeriod = sysc.Time(frame.Nanoseconds()) * sysc.Ns
+	cfg.Trace = g
+	cfg.VCD = vcd
+	a := app.Build(cfg)
+	defer a.Shutdown()
+
+	simDur := sysc.Time(dur.Nanoseconds()) * sysc.Ns
+	wall0 := time.Now()
+	if *step {
+		// Step mode: advance in steps of the system tick (1 ms) rather
+		// than animate mode, as the paper prescribes for trace viewing.
+		tick := a.K.Tick()
+		for t := tick; t <= simDur; t += tick {
+			if err := a.Run(t); err != nil {
+				fmt.Fprintln(os.Stderr, "simulation error:", err)
+				os.Exit(1)
+			}
+		}
+	} else if err := a.Run(simDur); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation error:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(wall0)
+
+	fmt.Printf("RTK-Spec TRON co-simulation: S=%v R=%v S/R=%.2f mode=%s\n",
+		simDur, wall.Round(time.Millisecond), simDur.Seconds()/wall.Seconds(),
+		map[bool]string{true: "step", false: "animate"}[*step])
+	fmt.Printf("game: frames=%d score=%d bonus=%d  kernel: ticks=%d ctxsw=%d preempt=%d irq=%d\n\n",
+		a.Frames(), a.Score(), a.Bonus(), a.K.Ticks(),
+		a.K.API().ContextSwitches(), a.K.API().Preemptions(), a.K.API().Interrupts())
+
+	fmt.Println(a.LCDW.RenderText())
+	fmt.Println("SSD:", a.SSDW.RenderText())
+	fmt.Println()
+	fmt.Println(a.Battery.RenderText())
+
+	if *step {
+		fmt.Println("execution time/energy trace (first 100 ms):")
+		g.Render(os.Stdout, 0, 100*sysc.Ms, 100)
+	}
+	if *ds {
+		fmt.Println()
+		tkds.New(a.K).Listing(os.Stdout)
+	}
+	if vcd != nil {
+		f, err := os.Create(*vcdOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		vcd.Render(f)
+		f.Close()
+		fmt.Printf("\nwaveform: %d changes written to %s\n", vcd.Len(), *vcdOut)
+		fmt.Println("probed signals (first 100 ms):")
+		trace.NewWaveView(vcd).Render(os.Stdout, 0, 100*sysc.Ms, 100)
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "RTK-Spec TRON: A
+// Simulation Model of an ITRON Based RTOS Kernel in SystemC" (DATE 2005).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are in cmd/ and examples/; the
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation (see EXPERIMENTS.md).
+package repro

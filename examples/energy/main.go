@@ -1,0 +1,93 @@
+// Energy: HW/SW partitioning exploration with the battery widget.
+//
+// The paper's Figure 7 use case: run an application, watch the consumed
+// time/energy distribution over T-THREADs and the battery's projected
+// lifespan, then "move a task to hardware" (replace its software ETM/EEM
+// with a cheap BFM access) and compare lifespans — the partitioning
+// decision the widget is designed to support.
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gui"
+	"repro/internal/petri"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// scenario runs a DSP-ish pipeline; if hwFilter is true the filter stage is
+// "moved to hardware": its per-block cost drops to a register write.
+func scenario(hwFilter bool) (lifespan sysc.Time, report string) {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.DefaultCosts()})
+
+	filterCost := core.Cost{Time: 4 * sysc.Ms, Energy: 900 * petri.MicroJ} // software FIR
+	if hwFilter {
+		filterCost = core.Cost{Time: 20 * sysc.Us, Energy: 5 * petri.MicroJ} // ASIC access
+	}
+
+	k.Boot(func(k *tkernel.Kernel) {
+		samples, _ := k.CreSem("samples", tkernel.TaTFIFO, 0, 64)
+		filtered, _ := k.CreSem("filtered", tkernel.TaTFIFO, 0, 64)
+
+		sampler, _ := k.CreTsk("sampler", 8, func(task *tkernel.Task) {
+			for {
+				_ = k.DlyTsk(10 * sysc.Ms)
+				k.Work(core.Cost{Time: 200 * sysc.Us, Energy: 20 * petri.MicroJ}, "sample")
+				_ = k.SigSem(samples, 1)
+			}
+		})
+		filter, _ := k.CreTsk("filter", 10, func(task *tkernel.Task) {
+			for {
+				if er := k.WaiSem(samples, 1, tkernel.TmoFevr); er != tkernel.EOK {
+					return
+				}
+				k.Work(filterCost, "fir-filter")
+				_ = k.SigSem(filtered, 1)
+			}
+		})
+		sink, _ := k.CreTsk("sink", 12, func(task *tkernel.Task) {
+			for {
+				if er := k.WaiSem(filtered, 1, tkernel.TmoFevr); er != tkernel.EOK {
+					return
+				}
+				k.Work(core.Cost{Time: 300 * sysc.Us, Energy: 30 * petri.MicroJ}, "emit")
+			}
+		})
+		_ = k.StaTsk(sampler)
+		_ = k.StaTsk(filter)
+		_ = k.StaTsk(sink)
+	})
+
+	m := gui.NewManager(false)
+	bat := gui.NewBatteryWidget(m, k.API(), 10*petri.WattHour)
+
+	if err := sim.Start(2 * sysc.Sec); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation error:", err)
+		os.Exit(1)
+	}
+	life, _ := bat.Lifespan(sim.Now())
+	return life, bat.RenderText()
+}
+
+func main() {
+	swLife, swReport := scenario(false)
+	hwLife, hwReport := scenario(true)
+
+	fmt.Println("=== filter in SOFTWARE ===")
+	fmt.Println(swReport)
+	fmt.Printf("projected battery lifespan: %.1f hours\n\n", swLife.Seconds()/3600)
+
+	fmt.Println("=== filter moved to HARDWARE (ASIC behind a BFM access) ===")
+	fmt.Println(hwReport)
+	fmt.Printf("projected battery lifespan: %.1f hours\n\n", hwLife.Seconds()/3600)
+
+	fmt.Printf("partitioning gain: %.1fx battery life\n",
+		float64(hwLife)/float64(swLife))
+}

@@ -1,0 +1,90 @@
+// Itron: the same kernel through the µITRON 4.0 veneer, plus a rendezvous
+// port and the kernel-dynamics event trace.
+//
+// A sensor task samples every 20 ms and pushes readings into a data queue
+// (snd_dtq); a logger task drains it (rcv_dtq) and asks a calibration
+// server for a corrected value through a rendezvous port (tk_cal_por /
+// tk_acp_por / tk_rpl_rdv). At the end the kernel event trace shows the
+// dispatches, blocks and releases that made it happen.
+//
+//	go run ./examples/itron
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/itron"
+	"repro/internal/sysc"
+	"repro/internal/tkds"
+	"repro/internal/tkernel"
+)
+
+func main() {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.DefaultCosts()})
+	a := itron.New(k)
+	ds := tkds.New(k)
+	elog := ds.AttachEventLog(40)
+
+	var calibrated []uint64
+
+	k.Boot(func(_ *tkernel.Kernel) {
+		dtq, _ := a.CreDtq(itron.T_CDTQ{Name: "readings", DtqCnt: 8})
+		por, _ := k.CrePor("calib-svc", tkernel.TaTFIFO, 16, 16)
+
+		sensor, _ := a.CreTsk(itron.T_CTSK{Name: "sensor", Pri: 10,
+			Task: func(task *tkernel.Task) {
+				for i := uint64(1); i <= 10; i++ {
+					_ = a.DlyTsk(20 * sysc.Ms)
+					k.Work(core.Cost{Time: 150 * sysc.Us}, "sample-adc")
+					_ = a.SndDtq(dtq, i*10) // raw reading
+				}
+			}})
+		logger, _ := a.CreTsk(itron.T_CTSK{Name: "logger", Pri: 12,
+			Task: func(task *tkernel.Task) {
+				for {
+					raw, er := a.RcvDtq(dtq)
+					if er != tkernel.EOK {
+						return
+					}
+					// Ask the calibration server to correct the value.
+					reply, er := k.CalPor(por, 1, []byte{byte(raw)}, tkernel.TmoFevr)
+					if er != tkernel.EOK || len(reply) == 0 {
+						return
+					}
+					calibrated = append(calibrated, uint64(reply[0]))
+				}
+			}})
+		server, _ := a.CreTsk(itron.T_CTSK{Name: "calib-srv", Pri: 8,
+			Task: func(task *tkernel.Task) {
+				for {
+					no, msg, er := k.AcpPor(por, 1, tkernel.TmoFevr)
+					if er != tkernel.EOK {
+						return
+					}
+					k.Work(core.Cost{Time: 80 * sysc.Us}, "calibrate")
+					_ = k.RplRdv(no, []byte{msg[0] + 3}) // offset correction
+				}
+			}})
+		_ = a.ActTsk(sensor)
+		_ = a.ActTsk(logger)
+		_ = a.ActTsk(server)
+	})
+
+	if err := sim.Start(300 * sysc.Ms); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("calibrated readings (%d): %v\n\n", len(calibrated), calibrated)
+
+	fmt.Println("kernel-dynamics event trace (first 40 events):")
+	fmt.Printf("events recorded: %d\n", elog.Len())
+	ds.KernelEvents(os.Stdout)
+
+	fmt.Println("\ntask states at t=300 ms:")
+	ds.ListTasks(os.Stdout)
+}

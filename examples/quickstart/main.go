@@ -1,0 +1,64 @@
+// Quickstart: two tasks synchronizing through a semaphore on RTK-Spec TRON.
+//
+// This is the smallest useful co-simulation: boot the kernel, create a
+// producer and a consumer, run one simulated second, and print the kernel's
+// energy distribution and a DS listing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/petri"
+	"repro/internal/sysc"
+	"repro/internal/tkds"
+	"repro/internal/tkernel"
+)
+
+func main() {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.DefaultCosts()})
+
+	produced, consumed := 0, 0
+
+	k.Boot(func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("items", tkernel.TaTFIFO, 0, 16)
+
+		consumer, _ := k.CreTsk("consumer", 10, func(task *tkernel.Task) {
+			for {
+				if er := k.WaiSem(sem, 1, tkernel.TmoFevr); er != tkernel.EOK {
+					return
+				}
+				// Annotated application work: 2 ms / 40 uJ per item.
+				k.Work(core.Cost{Time: 2 * sysc.Ms, Energy: 40 * petri.MicroJ}, "consume")
+				consumed++
+			}
+		})
+		producer, _ := k.CreTsk("producer", 12, func(task *tkernel.Task) {
+			for i := 0; i < 50; i++ {
+				k.Work(core.Cost{Time: 5 * sysc.Ms, Energy: 60 * petri.MicroJ}, "produce")
+				_ = k.SigSem(sem, 1)
+				produced++
+				_ = k.DlyTsk(10 * sysc.Ms)
+			}
+		})
+		_ = k.StaTsk(consumer)
+		_ = k.StaTsk(producer)
+	})
+
+	if err := sim.Start(1 * sysc.Sec); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("simulated %v: produced=%d consumed=%d\n\n", sim.Now(), produced, consumed)
+	fmt.Println("Per-thread consumed execution time/energy (CET/CEE):")
+	k.API().EnergyReport(os.Stdout)
+	fmt.Println()
+	tkds.New(k).ListTasks(os.Stdout)
+}

@@ -1,0 +1,67 @@
+// Videogame: the paper's full case study (Section 5) — RTK-Spec TRON +
+// i8051 BFM + GUI widgets + the four-task/two-handler video game.
+//
+// Runs one simulated second (the paper's reference unit time S), reports
+// the co-simulation speed ratio S/R, then prints the virtual prototype:
+// LCD and SSD widgets, battery status, the execution trace of the first
+// 100 ms, and the T-Kernel/DS listing.
+//
+//	go run ./examples/videogame [-gui=false] [-frame 10ms] [-dur 1s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/sysc"
+	"repro/internal/tkds"
+	"repro/internal/trace"
+)
+
+func main() {
+	guiOn := flag.Bool("gui", true, "model GUI widget overhead")
+	frame := flag.Duration("frame", 10*time.Millisecond, "LCD frame period (BFM access rate driving the widget)")
+	dur := flag.Duration("dur", time.Second, "simulated duration")
+	flag.Parse()
+
+	g := trace.NewGantt()
+	g.SetLimit(200000)
+
+	cfg := app.DefaultConfig()
+	cfg.GUI = *guiOn
+	cfg.FramePeriod = sysc.Time(frame.Nanoseconds()) * sysc.Ns
+	cfg.Trace = g
+
+	a := app.Build(cfg)
+	defer a.Shutdown()
+
+	simDur := sysc.Time(dur.Nanoseconds()) * sysc.Ns
+	wall0 := time.Now()
+	if err := a.Run(simDur); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation error:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(wall0)
+
+	s := simDur.Seconds()
+	r := wall.Seconds()
+	fmt.Printf("co-simulation: S=%v wall R=%v  S/R=%.3f (gui=%v, frame=%v)\n\n",
+		simDur, wall.Round(time.Millisecond), s/r, *guiOn, *frame)
+
+	fmt.Printf("game: frames=%d score=%d bonus=%d\n\n", a.Frames(), a.Score(), a.Bonus())
+	fmt.Println("LCD widget:")
+	fmt.Println(a.LCDW.RenderText())
+	fmt.Println("\nSSD widget:", a.SSDW.RenderText())
+
+	fmt.Println("\nBattery / consumed time & energy distribution (Figure 7):")
+	fmt.Println(a.Battery.RenderText())
+
+	fmt.Println("Execution time/energy trace, first 100 ms (Figure 6):")
+	g.Render(os.Stdout, 0, 100*sysc.Ms, 100)
+
+	fmt.Println("\nT-Kernel/DS listing (Figure 8):")
+	tkds.New(a.K).Listing(os.Stdout)
+}

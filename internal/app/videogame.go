@@ -1,0 +1,342 @@
+// Package app implements the case-study application of Section 5.2: a video
+// game that maps onto four communicating tasks {LCD:T1, Keypad:T2, SSD:T3,
+// IDLE:T4} and two handlers {Cyclic:H1, Alarm:H2}, running on RTK-Spec TRON
+// over the i8051 BFM, with GUI widgets wrapping the peripherals.
+//
+// The game is a one-row pong: a ball bounces across the 16×2 LCD, the
+// player moves a paddle with the keypad, the score shows on the
+// seven-segment display. H1 paces the frames, the keypad ISR forwards key
+// events to T2 through a mailbox, T1 renders frames into the LCD over the
+// parallel port (the BFM access that drives the GUI widget), T3 updates the
+// SSD when the score changes, and T4 idles at the lowest priority.
+package app
+
+import (
+	"repro/internal/bfm"
+	"repro/internal/core"
+	"repro/internal/gui"
+	"repro/internal/petri"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the co-simulation framework build.
+type Config struct {
+	// FramePeriod is the cyclic-handler period pacing LCD frames — the BFM
+	// access rate that drives the GUI widget (the paper sweeps this; max
+	// rate is a widget refresh every 10 ms). Zero disables LCD frames.
+	FramePeriod sysc.Time
+	// AlarmPeriod re-arms the bonus alarm handler (default 500 ms).
+	AlarmPeriod sysc.Time
+	// KeyPeriod is the synthetic user pressing a key every KeyPeriod
+	// (captures user events; zero disables).
+	KeyPeriod sysc.Time
+	// GUI enables the widget layer's host overhead.
+	GUI bool
+	// GUIWorkFactor overrides the widget raster work (0 = default).
+	GUIWorkFactor int
+	// Trace attaches a GANTT recorder (step-mode debugging).
+	Trace *trace.Gantt
+	// VCD attaches a waveform recorder probing BFM signals (Figure 4).
+	VCD *trace.VCD
+	// Costs is the kernel annotation model (default DefaultCosts).
+	Costs *tkernel.Costs
+	// FrameWork is T1's computation per frame (default 300 us / 15 uJ).
+	FrameWork core.Cost
+	// IdleSlice is T4's work chunk per loop (default 1 ms at low power).
+	IdleSlice core.Cost
+}
+
+// DefaultConfig returns the case-study configuration: a frame every 10 ms
+// (the paper's maximum BFM access rate driving a GUI widget), bonus alarm
+// every 500 ms, a key press every 120 ms.
+func DefaultConfig() Config {
+	return Config{
+		FramePeriod: 10 * sysc.Ms,
+		AlarmPeriod: 500 * sysc.Ms,
+		KeyPeriod:   120 * sysc.Ms,
+		GUI:         true,
+	}
+}
+
+// App is the assembled co-simulation framework of Figure 5: RTK-Spec TRON +
+// i8051 BFM + peripherals wrapped in GUI widgets + the video-game tasks.
+type App struct {
+	Sim *sysc.Simulator
+	K   *tkernel.Kernel
+	B   *bfm.BFM
+	GUI *gui.Manager
+
+	LCD *bfm.LCD
+	Pad *bfm.Keypad
+	SSD *bfm.SSD
+
+	LCDW    *gui.LCDWidget
+	SSDW    *gui.SSDWidget
+	PadW    *gui.KeypadWidget
+	Battery *gui.BatteryWidget
+	TraceW  *gui.TraceWidget
+	cfg     Config
+
+	T1, T2, T3, T4 tkernel.ID
+	H1, H2         tkernel.ID
+
+	frameFlg tkernel.ID // H1 -> T1 frame pacing
+	keyMbx   tkernel.ID // ISR -> T2 key events
+	scoreSem tkernel.ID // T2 -> T3 score updates
+
+	// Game state (guarded by task structure: only T1/T2 mutate).
+	ballX, ballDir int
+	paddle         int
+	score          int
+	bonus          int
+	frames         uint64
+}
+
+// Flag bits on frameFlg.
+const (
+	flgFrame uint32 = 1 << 0
+	flgQuit  uint32 = 1 << 1
+)
+
+// Build assembles the framework on a fresh simulator and boots the kernel.
+// Call Run (or drive app.Sim yourself) afterwards.
+func Build(cfg Config) *App {
+	if cfg.AlarmPeriod <= 0 {
+		cfg.AlarmPeriod = 500 * sysc.Ms
+	}
+	if cfg.FrameWork == (core.Cost{}) {
+		cfg.FrameWork = core.Cost{Time: 300 * sysc.Us, Energy: 15 * petri.MicroJ}
+	}
+	if cfg.IdleSlice == (core.Cost{}) {
+		cfg.IdleSlice = core.Cost{Time: 1 * sysc.Ms, Energy: 2 * petri.MicroJ}
+	}
+	costs := tkernel.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+
+	a := &App{Sim: sysc.NewSimulator(), cfg: cfg, ballDir: 1}
+
+	// Hardware side: BFM with RTC driving the kernel tick.
+	a.GUI = gui.NewManager(cfg.GUI)
+	if cfg.GUIWorkFactor > 0 {
+		a.GUI.WorkFactor = cfg.GUIWorkFactor
+	}
+
+	// BFM first: its real-time clock (1 ms resolution) drives the kernel's
+	// central module, exactly as in Figure 5. The SIM_API reference for
+	// access-budget attribution is attached after kernel construction.
+	bcfg := bfm.DefaultConfig()
+	bcfg.VCD = cfg.VCD
+	a.B = bfm.New(a.Sim, nil, bcfg)
+	a.K = tkernel.New(a.Sim, tkernel.Config{
+		Costs:      costs,
+		Gantt:      cfg.Trace,
+		TickSource: a.B.RTC.TickEvent(),
+		Tick:       a.B.RTC.Period(),
+	})
+	a.B.SetAPI(a.K.API())
+
+	// Peripherals on the multiplexed parallel I/O (port 1) and interrupt
+	// wiring.
+	a.LCD = bfm.NewLCD(2, 16)
+	a.Pad = bfm.NewKeypad(a.B.IntC)
+	a.SSD = bfm.NewSSD()
+	a.B.Ports[1].Attach(a.LCD) // select index 0
+	a.B.Ports[1].Attach(a.SSD) // select index 1
+	a.B.Ports[2].Attach(a.Pad)
+
+	// Widgets wrapping the peripherals.
+	a.LCDW = gui.NewLCDWidget(a.GUI, a.LCD)
+	a.SSDW = gui.NewSSDWidget(a.GUI, a.SSD)
+	a.PadW = gui.NewKeypadWidget(a.GUI, a.Pad)
+	a.Battery = gui.NewBatteryWidget(a.GUI, a.K.API(), 10*petri.WattHour)
+	if cfg.Trace != nil {
+		a.TraceW = gui.NewTraceWidget(a.GUI, cfg.Trace, 100*sysc.Ms)
+	}
+
+	// Interrupt controller -> kernel interrupt dispatch.
+	a.B.IntC.SetSink(func(line int) { _ = a.K.RaiseInterrupt(line) })
+	a.B.IntC.EnableLine(bfm.KeypadIntLine)
+	a.B.IntC.EnableLine(bfm.SerialIntLine)
+
+	a.K.Boot(a.userMain)
+
+	// Synthetic user pressing keys (GUI event capture).
+	if cfg.KeyPeriod > 0 {
+		a.Sim.Spawn("user.keys", func(th *sysc.Thread) {
+			keys := []byte{2, 8, 2, 2, 8, 8} // up/down pattern
+			for i := 0; ; i++ {
+				th.Wait(cfg.KeyPeriod)
+				a.PadW.Click(keys[i%len(keys)])
+			}
+		})
+	}
+	return a
+}
+
+// userMain is the user main entry called by the INIT task: it creates and
+// starts tasks, handlers and application resources (Figure 3's startup).
+func (a *App) userMain(k *tkernel.Kernel) {
+	a.frameFlg, _ = k.CreFlg("frame-flg", tkernel.TaWMUL, 0)
+	a.keyMbx, _ = k.CreMbx("key-mbx", tkernel.TaMFIFO)
+	a.scoreSem, _ = k.CreSem("score-sem", tkernel.TaTFIFO, 0, 100)
+
+	a.T1, _ = k.CreTsk("T1.lcd", 10, a.lcdTask)
+	a.T2, _ = k.CreTsk("T2.keypad", 8, a.keypadTask)
+	a.T3, _ = k.CreTsk("T3.ssd", 12, a.ssdTask)
+	a.T4, _ = k.CreTsk("T4.idle", 100, a.idleTask)
+
+	_ = k.StaTsk(a.T1)
+	_ = k.StaTsk(a.T2)
+	_ = k.StaTsk(a.T3)
+	_ = k.StaTsk(a.T4)
+
+	// H1: cyclic handler pacing frames at the BFM access rate.
+	if a.cfg.FramePeriod > 0 {
+		a.H1, _ = k.CreCyc("H1.cyclic", a.cfg.FramePeriod, 0, func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 20 * sysc.Us, Energy: petri.MicroJ}, "frame-tick")
+			_ = h.K.SetFlg(a.frameFlg, flgFrame)
+		})
+		_ = k.StaCyc(a.H1)
+	}
+
+	// H2: alarm handler awarding a periodic bonus, re-arming itself.
+	var rearm func(h *tkernel.HandlerCtx)
+	rearm = func(h *tkernel.HandlerCtx) {
+		h.Work(core.Cost{Time: 15 * sysc.Us, Energy: petri.MicroJ}, "bonus")
+		a.bonus++
+		_ = h.K.SigSem(a.scoreSem, 1)
+		_ = h.K.StaAlm(a.H2, a.cfg.AlarmPeriod)
+	}
+	a.H2, _ = k.CreAlm("H2.alarm", func(h *tkernel.HandlerCtx) { rearm(h) })
+	_ = k.StaAlm(a.H2, a.cfg.AlarmPeriod)
+
+	// Keypad ISR: read the key from the port, post it to T2's mailbox.
+	_ = k.DefInt(bfm.KeypadIntLine, "key-isr", func(h *tkernel.HandlerCtx) {
+		h.Work(core.Cost{Time: 10 * sysc.Us, Energy: petri.MicroJ}, "key-isr")
+		a.B.Ports[2].Select(0)
+		key := a.B.Ports[2].Read()
+		_ = h.K.SndMbx(a.keyMbx, &tkernel.Message{Payload: key})
+	})
+	// Serial ISR: count transmit completions (waveform fodder).
+	_ = k.DefInt(bfm.SerialIntLine, "ser-isr", func(h *tkernel.HandlerCtx) {
+		h.Work(core.Cost{Time: 5 * sysc.Us, Energy: 500 * petri.NanoJ}, "ser-isr")
+	})
+}
+
+// lcdTask is T1: wait for the frame event, compute the next game frame and
+// render it into the LCD through BFM port writes.
+func (a *App) lcdTask(task *tkernel.Task) {
+	k := a.K
+	for {
+		ptn, er := k.WaiFlg(a.frameFlg, flgFrame|flgQuit, tkernel.TwfORW|tkernel.TwfBitCLR, tkernel.TmoFevr)
+		if er != tkernel.EOK || ptn&flgQuit != 0 {
+			return
+		}
+		k.Work(a.cfg.FrameWork, "frame-compute")
+		a.stepGame()
+		a.renderFrame()
+		a.frames++
+	}
+}
+
+// stepGame advances the ball and scores paddle hits.
+func (a *App) stepGame() {
+	a.ballX += a.ballDir
+	if a.ballX <= 0 {
+		a.ballX = 0
+		a.ballDir = 1
+	}
+	if a.ballX >= 15 {
+		a.ballX = 15
+		a.ballDir = -1
+		if a.paddle == 1 { // paddle in the ball's row half
+			a.score++
+			_ = a.K.SigSem(a.scoreSem, 1)
+		}
+	}
+}
+
+// renderFrame writes the frame to the LCD over the parallel port: the BFM
+// access driving the GUI widget.
+func (a *App) renderFrame() {
+	p := a.B.Ports[1]
+	p.Select(0) // LCD
+	p.Write(0x01)
+	p.Write(0x80 | byte(a.ballX))
+	p.Write('o')
+	p.Write(0x80 | 16 | 15) // paddle column, row 1
+	if a.paddle == 1 {
+		p.Write(']')
+	} else {
+		p.Write(' ')
+	}
+}
+
+// keypadTask is T2: receive key events from the ISR's mailbox and move the
+// paddle.
+func (a *App) keypadTask(task *tkernel.Task) {
+	k := a.K
+	for {
+		msg, er := k.RcvMbx(a.keyMbx, tkernel.TmoFevr)
+		if er != tkernel.EOK {
+			return
+		}
+		k.Work(core.Cost{Time: 80 * sysc.Us, Energy: 4 * petri.MicroJ}, "key-handle")
+		key, _ := msg.Payload.(byte)
+		switch key {
+		case 2: // up
+			a.paddle = 1
+		case 8: // down
+			a.paddle = 0
+		}
+	}
+}
+
+// ssdTask is T3: update the score display whenever the score semaphore is
+// signalled (by T1 scoring or H2 bonuses).
+func (a *App) ssdTask(task *tkernel.Task) {
+	k := a.K
+	for {
+		if er := k.WaiSem(a.scoreSem, 1, tkernel.TmoFevr); er != tkernel.EOK {
+			return
+		}
+		k.Work(core.Cost{Time: 60 * sysc.Us, Energy: 3 * petri.MicroJ}, "score-update")
+		total := a.score + a.bonus
+		p := a.B.Ports[1]
+		p.Select(1) // SSD
+		p.Write(byte(0x00 | (total/1000)%10))
+		p.Write(byte(0x10 | (total/100)%10))
+		p.Write(byte(0x20 | (total/10)%10))
+		p.Write(byte(0x30 | total%10))
+		// Report the score over the serial channel (waveform traffic;
+		// transmission completion raises the serial ISR).
+		a.B.Serial.Send(byte(total))
+	}
+}
+
+// idleTask is T4: the lowest-priority task burning idle cycles (its share
+// in the time/energy distribution shows the CPU headroom, Figure 7).
+func (a *App) idleTask(task *tkernel.Task) {
+	for {
+		a.K.Work(a.cfg.IdleSlice, "idle")
+	}
+}
+
+// Run simulates d of system time and returns the simulator error, if any.
+func (a *App) Run(d sysc.Time) error { return a.Sim.Start(d) }
+
+// Shutdown reclaims the simulation processes.
+func (a *App) Shutdown() { a.Sim.Shutdown() }
+
+// Score returns the paddle-hit score.
+func (a *App) Score() int { return a.score }
+
+// Bonus returns the alarm-awarded bonus count.
+func (a *App) Bonus() int { return a.bonus }
+
+// Frames returns the number of frames T1 rendered.
+func (a *App) Frames() uint64 { return a.frames }

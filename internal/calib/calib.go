@@ -1,0 +1,188 @@
+// Package calib implements the paper's stated future work: "By cross
+// profiling or calibration against ISS or T-Engine emulation ... we can
+// raise the accuracy of co-simulation, and create a virtual prototype of
+// the application running on the synthesis platform."
+//
+// A Profiler executes the target-code realization of an application basic
+// block on the i8051 instruction-set simulator, measures its machine
+// cycles, and converts them into the ETM/EEM annotation (core.Cost) that
+// the RTOS-level model then uses in SIM_Wait. A CostTable collects the
+// calibrated annotations by block name, can be persisted as JSON, and
+// reports the calibration error against previously estimated costs.
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/i8051"
+	"repro/internal/petri"
+	"repro/internal/sysc"
+)
+
+// Profiler measures basic blocks on the ISS with a given platform timing
+// and energy model.
+type Profiler struct {
+	// MachineCycle is the duration of one 8051 machine cycle (default 1 us
+	// at 12 MHz).
+	MachineCycle sysc.Time
+	// EnergyPerCycle is the platform energy estimate per machine cycle.
+	EnergyPerCycle petri.Energy
+	// MaxInstructions bounds a profiled block (guards non-terminating
+	// firmware; default 10M).
+	MaxInstructions int
+}
+
+// NewProfiler returns a profiler with the case-study platform parameters.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		MachineCycle:    sysc.Us,
+		EnergyPerCycle:  2 * petri.NanoJ,
+		MaxInstructions: 10_000_000,
+	}
+}
+
+// Measurement is the profile of one basic block.
+type Measurement struct {
+	Block        string    `json:"block"`
+	Instructions uint64    `json:"instructions"`
+	Cycles       uint64    `json:"cycles"`
+	Time         sysc.Time `json:"time_ps"`
+	Energy       float64   `json:"energy_j"`
+}
+
+// Cost converts the measurement into an ETM/EEM annotation.
+func (m Measurement) Cost() core.Cost {
+	return core.Cost{Time: m.Time, Energy: petri.Energy(m.Energy)}
+}
+
+// ProfileProgram runs an assembled firmware image until it halts and
+// returns its measurement. The firmware must end with the halt idiom
+// (Asm.Halt); the halt instruction itself is excluded from the count.
+func (p *Profiler) ProfileProgram(block string, program []byte) (Measurement, error) {
+	cpu := i8051.New(program)
+	max := p.MaxInstructions
+	if max <= 0 {
+		max = 10_000_000
+	}
+	cpu.Run(max)
+	if !cpu.Halted {
+		return Measurement{}, fmt.Errorf("calib: block %q did not halt within %d instructions", block, max)
+	}
+	cycles := cpu.Cycles - 2 // exclude the final SJMP-self
+	mc := p.MachineCycle
+	if mc <= 0 {
+		mc = sysc.Us
+	}
+	return Measurement{
+		Block:        block,
+		Instructions: cpu.Instrs - 1,
+		Cycles:       cycles,
+		Time:         sysc.Time(cycles) * mc,
+		Energy:       (petri.Energy(cycles) * p.EnergyPerCycle).Joules(),
+	}, nil
+}
+
+// ProfileBlock assembles and profiles a block built with the mini-assembler
+// (the Halt is appended automatically).
+func (p *Profiler) ProfileBlock(block string, build func(*i8051.Asm)) (Measurement, error) {
+	a := i8051.NewAsm()
+	build(a)
+	a.Halt()
+	return p.ProfileProgram(block, a.Assemble())
+}
+
+// CostTable is a calibrated annotation store keyed by block name.
+type CostTable struct {
+	entries map[string]Measurement
+}
+
+// NewCostTable returns an empty table.
+func NewCostTable() *CostTable {
+	return &CostTable{entries: map[string]Measurement{}}
+}
+
+// Put stores a measurement.
+func (t *CostTable) Put(m Measurement) { t.entries[m.Block] = m }
+
+// Cost returns the calibrated annotation for a block; ok is false when the
+// block was never profiled.
+func (t *CostTable) Cost(block string) (core.Cost, bool) {
+	m, ok := t.entries[block]
+	return m.Cost(), ok
+}
+
+// CostOr returns the calibrated annotation or the given estimate when the
+// block is uncalibrated — the migration path from estimated to calibrated
+// models the paper describes.
+func (t *CostTable) CostOr(block string, estimate core.Cost) core.Cost {
+	if c, ok := t.Cost(block); ok {
+		return c
+	}
+	return estimate
+}
+
+// Blocks returns the profiled block names, sorted.
+func (t *CostTable) Blocks() []string {
+	out := make([]string, 0, len(t.entries))
+	for b := range t.entries {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of calibrated blocks.
+func (t *CostTable) Len() int { return len(t.entries) }
+
+// Save writes the table as JSON.
+func (t *CostTable) Save(w io.Writer) error {
+	var ms []Measurement
+	for _, b := range t.Blocks() {
+		ms = append(ms, t.entries[b])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ms)
+}
+
+// Load reads a table previously written by Save.
+func Load(r io.Reader) (*CostTable, error) {
+	var ms []Measurement
+	if err := json.NewDecoder(r).Decode(&ms); err != nil {
+		return nil, fmt.Errorf("calib: load: %w", err)
+	}
+	t := NewCostTable()
+	for _, m := range ms {
+		t.Put(m)
+	}
+	return t, nil
+}
+
+// ErrorReport compares estimated annotations against the calibrated table
+// and returns per-block relative time error: (estimate-measured)/measured.
+func (t *CostTable) ErrorReport(estimates map[string]core.Cost) map[string]float64 {
+	out := map[string]float64{}
+	for block, est := range estimates {
+		m, ok := t.entries[block]
+		if !ok || m.Time == 0 {
+			continue
+		}
+		out[block] = float64(est.Time-m.Time) / float64(m.Time)
+	}
+	return out
+}
+
+// Report writes a readable calibration summary.
+func (t *CostTable) Report(w io.Writer) {
+	fmt.Fprintf(w, "%-20s %12s %10s %14s %14s\n",
+		"BLOCK", "INSTRS", "CYCLES", "ETM", "EEM")
+	for _, b := range t.Blocks() {
+		m := t.entries[b]
+		fmt.Fprintf(w, "%-20s %12d %10d %14s %14s\n",
+			m.Block, m.Instructions, m.Cycles, m.Time, petri.Energy(m.Energy))
+	}
+}

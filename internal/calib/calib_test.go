@@ -1,0 +1,160 @@
+package calib_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/i8051"
+	"repro/internal/sysc"
+)
+
+func TestProfileBlockMeasuresCycles(t *testing.T) {
+	p := calib.NewProfiler()
+	// 10-iteration DJNZ loop: MOV R0 (1) + 10×(INC A 1 + DJNZ 2) = 31 cy.
+	m, err := p.ProfileBlock("loop10", func(a *i8051.Asm) {
+		a.MovRImm(0, 10).
+			Label("l").
+			IncA().
+			DjnzR(0, "l")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles != 31 {
+		t.Fatalf("cycles = %d, want 31", m.Cycles)
+	}
+	if m.Time != 31*sysc.Us {
+		t.Fatalf("time = %v", m.Time)
+	}
+	if m.Instructions != 21 {
+		t.Fatalf("instrs = %d", m.Instructions)
+	}
+	if m.Energy <= 0 {
+		t.Fatal("no energy model")
+	}
+}
+
+func TestProfileNonHaltingFails(t *testing.T) {
+	p := calib.NewProfiler()
+	p.MaxInstructions = 1000
+	_, err := p.ProfileProgram("spin", i8051.NewAsm().
+		Label("l").
+		IncA().
+		Sjmp("l"). // real infinite loop (not the halt idiom)
+		Assemble())
+	if err == nil {
+		t.Fatal("non-halting block should fail")
+	}
+}
+
+func TestCostTableLookupAndFallback(t *testing.T) {
+	p := calib.NewProfiler()
+	tab := calib.NewCostTable()
+	m, _ := p.ProfileBlock("b1", func(a *i8051.Asm) { a.IncA() })
+	tab.Put(m)
+	c, ok := tab.Cost("b1")
+	if !ok || c.Time != 1*sysc.Us {
+		t.Fatalf("cost = %v %v", c, ok)
+	}
+	est := core.Cost{Time: 99 * sysc.Us}
+	if got := tab.CostOr("b1", est); got.Time != 1*sysc.Us {
+		t.Fatal("calibrated block should use measurement")
+	}
+	if got := tab.CostOr("unknown", est); got.Time != 99*sysc.Us {
+		t.Fatal("uncalibrated block should use estimate")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := calib.NewProfiler()
+	tab := calib.NewCostTable()
+	for _, name := range []string{"alpha", "beta"} {
+		m, err := p.ProfileBlock(name, func(a *i8051.Asm) {
+			a.MovAImm(5).AddAImm(7).MovDirA(0x30)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Block = name
+		tab.Put(m)
+	}
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := calib.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d", loaded.Len())
+	}
+	c1, _ := tab.Cost("alpha")
+	c2, _ := loaded.Cost("alpha")
+	if c1 != c2 {
+		t.Fatalf("round trip changed cost: %v vs %v", c1, c2)
+	}
+}
+
+func TestErrorReport(t *testing.T) {
+	p := calib.NewProfiler()
+	tab := calib.NewCostTable()
+	m, _ := p.ProfileBlock("blk", func(a *i8051.Asm) {
+		a.MovRImm(0, 100).Label("l").DjnzR(0, "l") // 1 + 200 cycles
+	})
+	tab.Put(m)
+	errs := tab.ErrorReport(map[string]core.Cost{
+		"blk":     {Time: m.Time * 2}, // estimate 100% high
+		"missing": {Time: sysc.Us},
+	})
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v", errs)
+	}
+	if e := errs["blk"]; e < 0.99 || e > 1.01 {
+		t.Fatalf("relative error = %v, want ~1.0", e)
+	}
+}
+
+func TestCalibratedVideoGameFrameCost(t *testing.T) {
+	// End-to-end calibration story: profile the video game's frame-compute
+	// block as 8051 code (clear + draw loop over XRAM framebuffer), then
+	// check the measurement is a plausible replacement for the estimated
+	// 300 us annotation used by the case study.
+	p := calib.NewProfiler()
+	m, err := p.ProfileBlock("frame-compute", func(a *i8051.Asm) {
+		a.MovDPTR(0x0200). // framebuffer
+					MovRImm(0, 32). // 32 cells
+					ClrA().
+					Label("clear").
+					MovxDPTRA().
+					IncDPTR().
+					DjnzR(0, "clear").
+			// ball physics: a few arithmetic ops
+			MovADir(0x30).
+			AddAImm(1).
+			CjneAImm(16, "nowrap").
+			ClrA().
+			Label("nowrap").
+			MovDirA(0x30)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 cells × (MOVX 2 + INC DPTR 2 + DJNZ 2) plus setup: ~200 cycles.
+	if m.Time < 100*sysc.Us || m.Time > 500*sysc.Us {
+		t.Fatalf("frame cost %v implausible", m.Time)
+	}
+	var sb strings.Builder
+	tab := calib.NewCostTable()
+	tab.Put(m)
+	tab.Report(&sb)
+	if !strings.Contains(sb.String(), "frame-compute") {
+		t.Fatal("report missing block")
+	}
+}

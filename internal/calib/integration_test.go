@@ -1,0 +1,78 @@
+package calib_test
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/i8051"
+	"repro/internal/sysc"
+)
+
+// TestCalibratedAnnotationsDriveTheCoSimulation realizes the paper's
+// future-work loop end to end: profile the application's basic block as
+// 8051 firmware on the ISS, then run the RTOS-level co-simulation with the
+// calibrated annotation instead of the estimate, and confirm the change is
+// visible in the accounted execution time.
+func TestCalibratedAnnotationsDriveTheCoSimulation(t *testing.T) {
+	p := calib.NewProfiler()
+	m, err := p.ProfileBlock("frame-compute", func(a *i8051.Asm) {
+		// The frame routine as target code: clear a 32-byte framebuffer in
+		// XRAM, advance the ball, bounce at the walls.
+		a.MovDPTR(0x0200).
+			MovRImm(0, 32).
+			ClrA().
+			Label("clear").
+			MovxDPTRA().
+			IncDPTR().
+			DjnzR(0, "clear").
+			MovADir(0x30).
+			AddAImm(1).
+			CjneAImm(16, "ok").
+			ClrA().
+			Label("ok").
+			MovDirA(0x30)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := calib.NewCostTable()
+	tab.Put(m)
+
+	run := func(frameCost core.Cost) sysc.Time {
+		cfg := app.DefaultConfig()
+		cfg.GUI = false
+		cfg.KeyPeriod = 0
+		cfg.FrameWork = frameCost
+		a := app.Build(cfg)
+		defer a.Shutdown()
+		if err := a.Run(500 * sysc.Ms); err != nil {
+			t.Fatal(err)
+		}
+		return a.K.API().LookupByName("T1.lcd").CET()
+	}
+
+	estimate := core.Cost{Time: 300 * sysc.Us} // the case study's guess
+	calibrated := tab.CostOr("frame-compute", estimate)
+	if calibrated.Time == estimate.Time {
+		t.Fatal("calibration did not replace the estimate")
+	}
+
+	cetEst := run(estimate)
+	cetCal := run(calibrated)
+
+	// ~49 frames in 500 ms: the per-frame difference must appear in the
+	// accounted CET with the expected sign and rough magnitude.
+	frames := sysc.Time(49)
+	wantDelta := frames * (calibrated.Time - estimate.Time)
+	gotDelta := cetCal - cetEst
+	if wantDelta > 0 != (gotDelta > 0) {
+		t.Fatalf("delta sign wrong: want %v, got %v", wantDelta, gotDelta)
+	}
+	ratio := float64(gotDelta) / float64(wantDelta)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("calibrated delta %v vs expected %v (ratio %.2f)",
+			gotDelta, wantDelta, ratio)
+	}
+}

@@ -1,0 +1,328 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+func TestInterruptDuringServiceLockCompletesServiceFirst(t *testing.T) {
+	// An interrupt preempts even while dispatching is locked, but the
+	// task-level dispatch it causes is deferred past both the handler AND
+	// the lock.
+	r := newRig()
+	defer r.sim.Shutdown()
+	var hiStart, svcEnd sysc.Time
+	svc := r.api.CreateThread("svc", core.KindTask, 10, func(tt *core.TThread) {
+		r.api.LockDispatch()
+		tt.Consume(cost(10*sysc.Ms, 0), trace.CtxService, "atomic")
+		svcEnd = tt.Now()
+		r.api.UnlockDispatch()
+	})
+	hi := r.api.CreateThread("hi", core.KindTask, 1, func(tt *core.TThread) {
+		hiStart = tt.Now()
+	})
+	isr := r.api.CreateThread("isr", core.KindISR, 0, func(tt *core.TThread) {
+		tt.Consume(cost(2*sysc.Ms, 0), trace.CtxHandler, "")
+		_ = r.api.Activate(hi) // delayed: handler active AND dispatch locked
+	})
+	_ = r.api.Activate(svc)
+	r.sim.Spawn("intc", func(th *sysc.Thread) {
+		th.Wait(3 * sysc.Ms)
+		_ = r.api.EnterInterrupt(isr)
+	})
+	r.mustRun(t, sysc.Sec)
+	// Service: 3 ms before ISR + 2 ms ISR + remaining 7 ms = ends at 12 ms.
+	if svcEnd != 12*sysc.Ms {
+		t.Fatalf("service ended at %v, want 12 ms", svcEnd)
+	}
+	// hi dispatches only after the service unlock.
+	if hiStart != 12*sysc.Ms {
+		t.Fatalf("hi started at %v, want 12 ms", hiStart)
+	}
+}
+
+func TestTerminateTaskWhileInterruptActive(t *testing.T) {
+	r := newRig()
+	defer r.sim.Shutdown()
+	finished := false
+	task := r.api.CreateThread("task", core.KindTask, 10, func(tt *core.TThread) {
+		tt.Consume(cost(20*sysc.Ms, 0), trace.CtxTask, "")
+		finished = true
+	})
+	isr := r.api.CreateThread("isr", core.KindISR, 0, func(tt *core.TThread) {
+		// Terminate the interrupted task from inside the handler.
+		if err := r.api.Terminate(task); err != nil {
+			panic(err)
+		}
+		tt.Consume(cost(2*sysc.Ms, 0), trace.CtxHandler, "")
+	})
+	_ = r.api.Activate(task)
+	r.sim.Spawn("intc", func(th *sysc.Thread) {
+		th.Wait(5 * sysc.Ms)
+		_ = r.api.EnterInterrupt(isr)
+	})
+	r.mustRun(t, sysc.Sec)
+	if finished {
+		t.Fatal("terminated task completed")
+	}
+	if task.State() != core.StateDormant {
+		t.Fatalf("state %v", task.State())
+	}
+	if task.CET() != 5*sysc.Ms {
+		t.Fatalf("CET = %v", task.CET())
+	}
+}
+
+func TestSuspendResumeWhileWaitingThenRelease(t *testing.T) {
+	// Release while WAITING-SUSPENDED leaves SUSPENDED; the wait result is
+	// delivered when the suspension is lifted.
+	r := newRig()
+	defer r.sim.Shutdown()
+	var out error
+	var at sysc.Time
+	a := r.api.CreateThread("a", core.KindTask, 10, func(tt *core.TThread) {
+		out = r.api.BlockCurrent("obj")
+		at = tt.Now()
+	})
+	_ = r.api.Activate(a)
+	r.sim.Spawn("driver", func(th *sysc.Thread) {
+		th.Wait(1 * sysc.Ms)
+		_ = r.api.SuspendForce(a)
+		th.Wait(1 * sysc.Ms)
+		r.api.Release(a, nil)
+		if a.State() != core.StateSuspended {
+			panic("expected SUSPENDED after release of WAIT-SUSPENDED")
+		}
+		th.Wait(3 * sysc.Ms)
+		_ = r.api.ResumeForce(a)
+	})
+	r.mustRun(t, sysc.Sec)
+	if out != nil || at != 5*sysc.Ms {
+		t.Fatalf("out=%v at=%v", out, at)
+	}
+}
+
+func TestPreemptionAtExactCompletionInstant(t *testing.T) {
+	// A task whose Consume completes in the same instant it is preempted
+	// must neither lose nor double-count time.
+	r := newRRRig()
+	defer r.sim.Shutdown()
+	a := r.api.CreateThread("a", core.KindTask, 0, func(tt *core.TThread) {
+		tt.Consume(cost(5*sysc.Ms, 0), trace.CtxTask, "")
+	})
+	b := r.api.CreateThread("b", core.KindTask, 0, func(tt *core.TThread) {
+		tt.Consume(cost(5*sysc.Ms, 0), trace.CtxTask, "")
+	})
+	_ = r.api.Activate(a)
+	_ = r.api.Activate(b)
+	r.sim.Spawn("tick", func(th *sysc.Thread) {
+		for {
+			th.Wait(5 * sysc.Ms) // rotation exactly at completion boundary
+			r.api.YieldCurrent()
+		}
+	})
+	r.mustRun(t, 100*sysc.Ms)
+	if a.CET() != 5*sysc.Ms || b.CET() != 5*sysc.Ms {
+		t.Fatalf("CET a=%v b=%v", a.CET(), b.CET())
+	}
+	if a.State() != core.StateDormant {
+		t.Fatalf("a state %v", a.State())
+	}
+}
+
+func TestMultiplePreemptionsAccumulateExactly(t *testing.T) {
+	r := newRig()
+	defer r.sim.Shutdown()
+	long := r.api.CreateThread("long", core.KindTask, 20, func(tt *core.TThread) {
+		tt.Consume(cost(50*sysc.Ms, 50), trace.CtxTask, "")
+	})
+	_ = r.api.Activate(long)
+	// A high-priority task fires every 7 ms, stealing 2 ms each time.
+	blips := 0
+	var blip *core.TThread
+	blip = r.api.CreateThread("blip", core.KindTask, 1, func(tt *core.TThread) {
+		tt.Consume(cost(2*sysc.Ms, 2), trace.CtxTask, "")
+		blips++
+	})
+	r.sim.Spawn("driver", func(th *sysc.Thread) {
+		for i := 0; i < 8; i++ {
+			th.Wait(7 * sysc.Ms)
+			_ = r.api.Activate(blip)
+		}
+	})
+	r.mustRun(t, sysc.Sec)
+	if long.CET() != 50*sysc.Ms {
+		t.Fatalf("long CET = %v, want exactly 50 ms", long.CET())
+	}
+	if blip.CET() != sysc.Time(blips)*2*sysc.Ms {
+		t.Fatalf("blip CET = %v for %d runs", blip.CET(), blips)
+	}
+	if got := long.CEE(); got < 49.999 || got > 50.001 {
+		t.Fatalf("long CEE = %v, want ~50 (pro-rata sums)", got)
+	}
+	if _, _, overlap := r.g.CheckNoOverlap(); overlap {
+		t.Fatal("GANTT overlap")
+	}
+}
+
+func TestHandlerConsumeAfterTaskBlocked(t *testing.T) {
+	// A handler entered while the CPU idles (no current task) runs alone.
+	r := newRig()
+	defer r.sim.Shutdown()
+	var end sysc.Time
+	isr := r.api.CreateThread("isr", core.KindISR, 0, func(tt *core.TThread) {
+		tt.Consume(cost(3*sysc.Ms, 0), trace.CtxHandler, "")
+		end = tt.Now()
+	})
+	r.sim.Spawn("intc", func(th *sysc.Thread) {
+		th.Wait(2 * sysc.Ms)
+		_ = r.api.EnterInterrupt(isr)
+	})
+	r.mustRun(t, 100*sysc.Ms)
+	if end != 5*sysc.Ms {
+		t.Fatalf("isr ended at %v", end)
+	}
+	if r.api.CPUOwner() != nil {
+		t.Fatal("CPU should be idle after handler exit")
+	}
+}
+
+func TestCharacteristicVectorAcrossCycles(t *testing.T) {
+	r := newRig()
+	defer r.sim.Shutdown()
+	a := r.api.CreateThread("a", core.KindTask, 10, func(tt *core.TThread) {
+		tt.Consume(cost(1*sysc.Ms, 0), trace.CtxTask, "")
+		tt.Consume(cost(1*sysc.Ms, 0), trace.CtxTask, "")
+	})
+	_ = r.api.Activate(a)
+	r.mustRun(t, 10*sysc.Ms)
+	cv1 := a.CharacteristicVector()
+	// Cycle 1: Es + Ec + Ec + exit = 4 firings.
+	sum := 0
+	for _, v := range cv1 {
+		sum += v
+	}
+	if sum != 4 {
+		t.Fatalf("cycle-1 firings = %d (%v)", sum, cv1)
+	}
+	_ = r.api.Activate(a)
+	r.mustRun(t, 20*sysc.Ms)
+	cv2 := a.CharacteristicVector()
+	for i := range cv1 {
+		if cv1[i] != cv2[i] {
+			t.Fatalf("identical cycles differ: %v vs %v", cv1, cv2)
+		}
+	}
+	if a.Cycles() != 2 {
+		t.Fatalf("cycles = %d", a.Cycles())
+	}
+}
+
+func TestExitFromWithinBody(t *testing.T) {
+	r := newRig()
+	defer r.sim.Shutdown()
+	after := false
+	a := r.api.CreateThread("a", core.KindTask, 10, func(tt *core.TThread) {
+		tt.Consume(cost(1*sysc.Ms, 0), trace.CtxTask, "")
+		tt.Exit()
+		after = true
+	})
+	_ = r.api.Activate(a)
+	r.mustRun(t, 10*sysc.Ms)
+	if after {
+		t.Fatal("code after Exit ran")
+	}
+	if a.State() != core.StateDormant {
+		t.Fatalf("state %v", a.State())
+	}
+	// Reusable after Exit.
+	if err := r.api.Activate(a); err != nil {
+		t.Fatal(err)
+	}
+	r.mustRun(t, 20*sysc.Ms)
+	if a.Cycles() != 2 {
+		t.Fatalf("cycles = %d", a.Cycles())
+	}
+}
+
+func TestYieldCurrentNoReadyPeer(t *testing.T) {
+	r := newRig()
+	defer r.sim.Shutdown()
+	var end sysc.Time
+	a := r.api.CreateThread("a", core.KindTask, 10, func(tt *core.TThread) {
+		tt.Consume(cost(2*sysc.Ms, 0), trace.CtxTask, "")
+		r.api.YieldCurrent() // alone: immediately redispatched
+		tt.Consume(cost(2*sysc.Ms, 0), trace.CtxTask, "")
+		end = tt.Now()
+	})
+	_ = r.api.Activate(a)
+	r.mustRun(t, 100*sysc.Ms)
+	if end != 4*sysc.Ms {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestReleaseLatchedInDecideToBlockWindow(t *testing.T) {
+	// A task wakes a higher-priority peer and then blocks: the peer may run
+	// (and even deliver the release) before the waker reaches BlockCurrent.
+	// The latched release must complete the block instantly — no lost
+	// wakeup, no deadlock.
+	r := newRig()
+	defer r.sim.Shutdown()
+	var loDone sysc.Time
+	var relErr error = errTest("unset")
+	var lo, hi *core.TThread
+	lo = r.api.CreateThread("lo", core.KindTask, 20, func(tt *core.TThread) {
+		tt.Consume(cost(2*sysc.Ms, 0), trace.CtxTask, "")
+		// Wake hi (which will immediately preempt at the next dispatch)…
+		_ = r.api.Activate(hi)
+		// …then block. hi released us before we ever blocked.
+		relErr = r.api.BlockCurrent("handoff")
+		loDone = tt.Now()
+	})
+	hi = r.api.CreateThread("hi", core.KindTask, 1, func(tt *core.TThread) {
+		tt.Consume(cost(3*sysc.Ms, 0), trace.CtxTask, "")
+		r.api.Release(lo, nil) // lo is READY (pre-block): latches
+	})
+	_ = r.api.Activate(lo)
+	r.mustRun(t, sysc.Sec)
+	if relErr != nil {
+		t.Fatalf("release code = %v", relErr)
+	}
+	if loDone != 5*sysc.Ms {
+		t.Fatalf("lo resumed at %v, want 5 ms (after hi)", loDone)
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestConsumeFromNonOwnerParksUntilDispatched(t *testing.T) {
+	// AwaitCPU semantics: a thread that lost the CPU in a zero-time window
+	// parks at its next Consume and resumes later without losing budget.
+	r := newRig()
+	defer r.sim.Shutdown()
+	var loEnd sysc.Time
+	lo := r.api.CreateThread("lo", core.KindTask, 20, func(tt *core.TThread) {
+		tt.Consume(cost(3*sysc.Ms, 0), trace.CtxTask, "a")
+		// zero-time window here; hi may be dispatched in between
+		tt.Consume(cost(3*sysc.Ms, 0), trace.CtxTask, "b")
+		loEnd = tt.Now()
+	})
+	hi := r.api.CreateThread("hi", core.KindTask, 1, func(tt *core.TThread) {
+		tt.Consume(cost(4*sysc.Ms, 0), trace.CtxTask, "")
+	})
+	_ = r.api.Activate(lo)
+	r.sim.Spawn("driver", func(th *sysc.Thread) {
+		th.Wait(3 * sysc.Ms) // exactly at lo's zero-time window
+		_ = r.api.Activate(hi)
+	})
+	r.mustRun(t, sysc.Sec)
+	if loEnd != 10*sysc.Ms {
+		t.Fatalf("lo ended at %v, want 10 ms (3 + 4 stolen + 3)", loEnd)
+	}
+}

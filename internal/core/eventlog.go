@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sysc"
+)
+
+// EventKind classifies a kernel-dynamics event recorded by the event log.
+type EventKind int
+
+// Kernel dynamics events, matching the T-THREAD event set and the SIM_API
+// operations of Figure 3.
+const (
+	EvDispatch  EventKind = iota // a thread was given the CPU (Es/Ex)
+	EvPreempt                    // the running thread was preempted
+	EvBlock                      // a thread entered WAITING (Ew)
+	EvRelease                    // a thread's sleep event arrived
+	EvIntEnter                   // a handler was pushed on SIM_Stack
+	EvIntExit                    // a handler returned
+	EvActivate                   // a dormant thread became ready
+	EvExit                       // a thread's cycle ended
+	EvTerminate                  // a thread was forcibly terminated
+	EvSuspend                    // forced suspension
+	EvResume                     // forced resumption
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvDispatch:
+		return "dispatch"
+	case EvPreempt:
+		return "preempt"
+	case EvBlock:
+		return "block"
+	case EvRelease:
+		return "release"
+	case EvIntEnter:
+		return "int-enter"
+	case EvIntExit:
+		return "int-exit"
+	case EvActivate:
+		return "activate"
+	case EvExit:
+		return "exit"
+	case EvTerminate:
+		return "terminate"
+	case EvSuspend:
+		return "suspend"
+	case EvResume:
+		return "resume"
+	}
+	return "?"
+}
+
+// Event is one kernel-dynamics event.
+type Event struct {
+	Time   sysc.Time
+	Kind   EventKind
+	Thread string
+	Detail string
+}
+
+// EventLog records kernel-dynamics events for run-time tracing of internal
+// state changes (the T-Kernel/DS tracing use case). The zero value is
+// disabled; attach one with SimAPI.SetEventLog.
+type EventLog struct {
+	events []Event
+	limit  int
+}
+
+// NewEventLog returns a recorder capped at limit events (0 = unlimited).
+func NewEventLog(limit int) *EventLog { return &EventLog{limit: limit} }
+
+// Len returns the number of recorded events.
+func (l *EventLog) Len() int { return len(l.events) }
+
+// Events returns a copy of the recorded events.
+func (l *EventLog) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// ByKind returns the recorded events of one kind.
+func (l *EventLog) ByKind(k EventKind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes the log as one line per event.
+func (l *EventLog) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %-10s %-16s %s\n", "TIME", "EVENT", "T-THREAD", "DETAIL")
+	for _, e := range l.events {
+		fmt.Fprintf(w, "%-14s %-10s %-16s %s\n", e.Time, e.Kind, e.Thread, e.Detail)
+	}
+}
+
+// add appends an event, honouring the cap.
+func (l *EventLog) add(e Event) {
+	if l.limit > 0 && len(l.events) >= l.limit {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// SetEventLog attaches a kernel-dynamics event recorder (nil detaches).
+func (a *SimAPI) SetEventLog(l *EventLog) { a.elog = l }
+
+// EventLog returns the attached recorder (nil when none).
+func (a *SimAPI) EventLog() *EventLog { return a.elog }
+
+// logEvent records one kernel-dynamics event when a log is attached.
+func (a *SimAPI) logEvent(kind EventKind, t *TThread, detail string) {
+	if a.elog == nil {
+		return
+	}
+	name := ""
+	if t != nil {
+		name = t.name
+	}
+	a.elog.add(Event{Time: a.sim.Now(), Kind: kind, Thread: name, Detail: detail})
+}

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+func TestEventLogRecordsKernelDynamics(t *testing.T) {
+	r := newRig()
+	defer r.sim.Shutdown()
+	log := core.NewEventLog(0)
+	r.api.SetEventLog(log)
+
+	lo := r.api.CreateThread("lo", core.KindTask, 10, func(tt *core.TThread) {
+		tt.Consume(cost(10*sysc.Ms, 0), trace.CtxTask, "")
+	})
+	hi := r.api.CreateThread("hi", core.KindTask, 1, func(tt *core.TThread) {
+		tt.Consume(cost(2*sysc.Ms, 0), trace.CtxTask, "")
+	})
+	isr := r.api.CreateThread("isr", core.KindISR, 0, func(tt *core.TThread) {
+		tt.Consume(cost(1*sysc.Ms, 0), trace.CtxHandler, "")
+	})
+	_ = r.api.Activate(lo)
+	r.sim.Spawn("driver", func(th *sysc.Thread) {
+		th.Wait(2 * sysc.Ms)
+		_ = r.api.Activate(hi)
+		th.Wait(5 * sysc.Ms)
+		_ = r.api.EnterInterrupt(isr)
+	})
+	r.mustRun(t, sysc.Sec)
+
+	if len(log.ByKind(core.EvActivate)) != 2 {
+		t.Fatalf("activates = %d", len(log.ByKind(core.EvActivate)))
+	}
+	pre := log.ByKind(core.EvPreempt)
+	if len(pre) != 1 || pre[0].Thread != "lo" || !strings.Contains(pre[0].Detail, "hi") {
+		t.Fatalf("preempts = %+v", pre)
+	}
+	if len(log.ByKind(core.EvIntEnter)) != 1 || len(log.ByKind(core.EvIntExit)) != 1 {
+		t.Fatal("interrupt events missing")
+	}
+	if len(log.ByKind(core.EvDispatch)) < 3 {
+		t.Fatalf("dispatches = %d", len(log.ByKind(core.EvDispatch)))
+	}
+	if len(log.ByKind(core.EvExit)) != 2 { // two task exits (isr exit is int-exit)
+		t.Fatalf("exits = %d", len(log.ByKind(core.EvExit)))
+	}
+	// Events carry timestamps in order.
+	evs := log.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatal("event log out of order")
+		}
+	}
+	var sb strings.Builder
+	log.Render(&sb)
+	if !strings.Contains(sb.String(), "preempt") || !strings.Contains(sb.String(), "int-enter") {
+		t.Fatalf("render:\n%s", sb.String())
+	}
+}
+
+func TestEventLogBlockRelease(t *testing.T) {
+	r := newRig()
+	defer r.sim.Shutdown()
+	log := core.NewEventLog(0)
+	r.api.SetEventLog(log)
+	a := r.api.CreateThread("a", core.KindTask, 10, func(tt *core.TThread) {
+		_ = r.api.BlockCurrent("sem#7")
+	})
+	_ = r.api.Activate(a)
+	r.sim.Spawn("driver", func(th *sysc.Thread) {
+		th.Wait(3 * sysc.Ms)
+		r.api.Release(a, nil)
+	})
+	r.mustRun(t, sysc.Sec)
+	blocks := log.ByKind(core.EvBlock)
+	if len(blocks) != 1 || blocks[0].Detail != "sem#7" {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	if len(log.ByKind(core.EvRelease)) != 1 {
+		t.Fatal("release missing")
+	}
+}
+
+func TestEventLogLimit(t *testing.T) {
+	log := core.NewEventLog(2)
+	r := newRig()
+	defer r.sim.Shutdown()
+	r.api.SetEventLog(log)
+	for i := 0; i < 5; i++ {
+		a := r.api.CreateThread("t", core.KindTask, 10, func(tt *core.TThread) {})
+		_ = r.api.Activate(a)
+	}
+	r.mustRun(t, 10*sysc.Ms)
+	if log.Len() != 2 {
+		t.Fatalf("len = %d, want capped 2", log.Len())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []core.EventKind{core.EvDispatch, core.EvPreempt, core.EvBlock,
+		core.EvRelease, core.EvIntEnter, core.EvIntExit, core.EvActivate,
+		core.EvExit, core.EvTerminate, core.EvSuspend, core.EvResume}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "?" || seen[s] {
+			t.Fatalf("bad/duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,124 @@
+// Package core implements the paper's primary contribution: the T-THREAD
+// controllable process model and the SIM_API simulation library.
+//
+// A T-THREAD (Section 3) captures the real-time aspects of an application
+// task or a handler (cyclic, alarm, or external interrupt). It is built on a
+// sysc thread (the analogue of SystemC SC_THREAD) running under the
+// supervision of the SIM_API library so that it behaves as a synchronized
+// Petri net: a cyclic object of atomic transitions with a single token
+// marking its state. Events that occur within a T-THREAD belong to the
+// kernel-specific set E = {Es, Ec, Ex, Ei, Ew}: startup, continue-run,
+// return-from-preemption, return-from-interrupt, and sleep-event arrival.
+//
+// SIM_API (Section 4) supplies the RTOS-modeling constructs the SystemC core
+// language lacks: dispatching, delayed dispatching, service-call atomicity,
+// preemption at system-clock granularity, interrupts and nested interrupts,
+// a thread registry (SIM_HashTB), an interrupt stack (SIM_Stack), pluggable
+// external schedulers, and per-thread execution time/energy statistics
+// (CET/CEE) with GANTT-chart debugging output.
+package core
+
+// State is the scheduling state of a T-THREAD, following the µITRON v4 task
+// state model.
+type State int
+
+// T-THREAD states.
+const (
+	// StateNonExistent: the thread has been deleted from the registry.
+	StateNonExistent State = iota
+	// StateDormant: created (or exited) but not active.
+	StateDormant
+	// StateReady: able to run, waiting for the processor.
+	StateReady
+	// StateRunning: owns the processor (a task remains RUNNING while an
+	// interrupt or time-event handler borrows the CPU).
+	StateRunning
+	// StateWaiting: blocked on a kernel wait service (the Ew sleep event).
+	StateWaiting
+	// StateSuspended: forcibly suspended (tk_sus_tsk).
+	StateSuspended
+	// StateWaitSuspended: both waiting and forcibly suspended.
+	StateWaitSuspended
+)
+
+// String returns the µITRON-style state name.
+func (s State) String() string {
+	switch s {
+	case StateNonExistent:
+		return "NON-EXISTENT"
+	case StateDormant:
+		return "DORMANT"
+	case StateReady:
+		return "READY"
+	case StateRunning:
+		return "RUNNING"
+	case StateWaiting:
+		return "WAITING"
+	case StateSuspended:
+		return "SUSPENDED"
+	case StateWaitSuspended:
+		return "WAITING-SUSPENDED"
+	}
+	return "?"
+}
+
+// Kind classifies a T-THREAD by the embedded-software object it wraps.
+type Kind int
+
+// T-THREAD kinds.
+const (
+	// KindTask is an application task scheduled by the kernel.
+	KindTask Kind = iota
+	// KindCyclicHandler is a periodic time-event handler.
+	KindCyclicHandler
+	// KindAlarmHandler is a one-shot time-event handler.
+	KindAlarmHandler
+	// KindISR is an external-interrupt service routine.
+	KindISR
+)
+
+// String returns the kind's short name.
+func (k Kind) String() string {
+	switch k {
+	case KindTask:
+		return "task"
+	case KindCyclicHandler:
+		return "cyclic"
+	case KindAlarmHandler:
+		return "alarm"
+	case KindISR:
+		return "isr"
+	}
+	return "?"
+}
+
+// HandlerLevel reports whether the kind executes in a task-independent
+// (interrupt-like) context, where blocking is forbidden and task dispatching
+// is delayed until the handler returns.
+func (k Kind) HandlerLevel() bool { return k != KindTask }
+
+// Scheduler is the external-scheduler plug-in interface of SIM_API. The
+// library interacts directly with it to pick the next T-THREAD to run; the
+// three kernel models of the paper (RTK-Spec I round-robin, RTK-Spec II
+// priority-preemptive, RTK-Spec TRON) supply different implementations.
+//
+// A running thread is never kept in the ready structure. Lower Priority
+// values mean higher precedence (µITRON convention).
+type Scheduler interface {
+	// Enqueue adds a thread at the tail of its precedence class.
+	Enqueue(t *TThread)
+	// EnqueueFront adds a thread at the head of its precedence class
+	// (a preempted task keeps precedence within its priority).
+	EnqueueFront(t *TThread)
+	// Dequeue removes the thread wherever it is; no-op if absent.
+	Dequeue(t *TThread)
+	// Peek returns the next thread to dispatch without removing it, or nil.
+	Peek() *TThread
+	// ShouldPreempt reports whether `ready` must preempt `running`.
+	ShouldPreempt(running, ready *TThread) bool
+	// Rotate moves the head of the given precedence class to its tail
+	// (tk_rot_rdq / round-robin time slicing).
+	Rotate(priority int)
+	// Len returns the number of queued (ready) threads.
+	Len() int
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sysc"
+)
+
+func TestTable1ListsAPIs(t *testing.T) {
+	var b strings.Builder
+	Table1(&b)
+	out := b.String()
+	for _, api := range []string{"SIM_CreateThread", "SIM_Wait", "SIM_Sleep",
+		"SIM_IntEnter", "SIM_LockDisp", "SIM_HashTB", "SIM_Gantt"} {
+		if !strings.Contains(out, api) {
+			t.Errorf("Table 1 missing %s", api)
+		}
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	// Short sweep: S/R must decrease monotonically with the BFM/widget
+	// access rate once the GUI is on, and the GUI run at the maximum rate
+	// must be slower than the corresponding no-GUI run.
+	cfg := Table2Config{
+		SimTime:      500 * sysc.Ms,
+		FramePeriods: []sysc.Time{100 * sysc.Ms, 10 * sysc.Ms},
+		WorkFactor:   GUIWorkFactor,
+	}
+	var b strings.Builder
+	rows := Table2(&b, cfg)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	noGUIMax, guiSlow, guiFast := rows[1], rows[2], rows[3]
+	if guiFast.SpeedSoverR >= guiSlow.SpeedSoverR {
+		t.Errorf("GUI S/R did not fall with access rate: %v vs %v",
+			guiFast.SpeedSoverR, guiSlow.SpeedSoverR)
+	}
+	if guiFast.SpeedSoverR >= noGUIMax.SpeedSoverR {
+		t.Errorf("GUI at max rate (%.1f) not slower than no-GUI (%.1f)",
+			guiFast.SpeedSoverR, noGUIMax.SpeedSoverR)
+	}
+	if guiFast.Frames == 0 || guiFast.Refreshes <= guiSlow.Refreshes {
+		t.Errorf("refresh counts wrong: %+v vs %+v", guiFast, guiSlow)
+	}
+}
+
+func TestFigure6ProducesTrace(t *testing.T) {
+	var b strings.Builder
+	g := Figure6(&b, 50*sysc.Ms)
+	if len(g.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	if _, _, overlap := g.CheckNoOverlap(); overlap {
+		t.Fatal("trace overlaps")
+	}
+	out := b.String()
+	if !strings.Contains(out, "GANTT") || !strings.Contains(out, "T1.lcd") {
+		t.Fatalf("figure 6 output:\n%s", out)
+	}
+}
+
+func TestFigure7And8(t *testing.T) {
+	var b7 strings.Builder
+	Figure7(&b7, 200*sysc.Ms)
+	if !strings.Contains(b7.String(), "BATTERY [") {
+		t.Fatal("figure 7 missing battery bar")
+	}
+	var b8 strings.Builder
+	Figure8(&b8, 100*sysc.Ms)
+	if !strings.Contains(b8.String(), "== TASK ==") {
+		t.Fatal("figure 8 missing task listing")
+	}
+}
+
+func TestFigure4ProducesVCD(t *testing.T) {
+	var b strings.Builder
+	vcd := Figure4(&b, 100*sysc.Ms)
+	if vcd.Len() == 0 {
+		t.Fatal("no changes")
+	}
+	if !strings.Contains(b.String(), "$enddefinitions") {
+		t.Fatal("not VCD output")
+	}
+}
+
+func TestDelayedDispatchLatencyTracksHandler(t *testing.T) {
+	for _, hw := range []sysc.Time{0, 2 * sysc.Ms} {
+		lat := delayedDispatchLatency(hw)
+		if lat != hw {
+			t.Errorf("handler %v: latency %v", hw, lat)
+		}
+	}
+}
+
+func TestGranularityTimeoutError(t *testing.T) {
+	// A 1.5 ms deadline on a 1 ms tick lands on the 2 ms tick: +0.5 ms.
+	_, terr := granularityRun(1 * sysc.Ms)
+	if terr != 500*sysc.Us {
+		t.Errorf("timeout error = %v, want 500 us", terr)
+	}
+	// On a 100 us tick the same deadline is exact.
+	_, terr = granularityRun(100 * sysc.Us)
+	if terr != 0 {
+		t.Errorf("timeout error = %v, want 0", terr)
+	}
+}
+
+func TestAblationSchedulersOrders(t *testing.T) {
+	var b strings.Builder
+	AblationSchedulers(&b)
+	out := b.String()
+	if !strings.Contains(out, "RTK-Spec I") || !strings.Contains(out, "TRON") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// Priority kernels complete strictly in priority order.
+	if !strings.Contains(out, "ABC") {
+		t.Fatalf("priority order missing:\n%s", out)
+	}
+}
+
+func TestISSBaselineExecutes(t *testing.T) {
+	wall, instrs := ISSBaseline(2*sysc.Ms, 10)
+	if instrs == 0 || wall <= 0 {
+		t.Fatalf("instrs=%d wall=%v", instrs, wall)
+	}
+	// The firmware loop body is 8 cycles / 5 instructions per iteration:
+	// 2 ms at 1 us/cycle is about 250 iterations.
+	if instrs < 1000 || instrs > 1500 {
+		t.Fatalf("instrs = %d, want ~1250", instrs)
+	}
+}
+
+func TestCycleSteppedBaselineCounts(t *testing.T) {
+	_, cycles := CycleSteppedBaseline(5 * sysc.Ms)
+	if cycles != 5000 {
+		t.Fatalf("cycles = %d, want 5000 (one per us)", cycles)
+	}
+}

@@ -1,0 +1,28 @@
+package gui_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gui"
+)
+
+func TestDSWidgetRendersProducer(t *testing.T) {
+	m := gui.NewManager(true)
+	calls := 0
+	w := gui.NewDSWidget(m, func() string {
+		calls++
+		return "== TASK ==\n1 T1 RUNNING"
+	})
+	out := w.RenderText()
+	if !strings.Contains(out, "RUNNING") || calls != 1 {
+		t.Fatalf("out=%q calls=%d", out, calls)
+	}
+	m.Refresh(w)
+	if m.Refreshes() != 1 {
+		t.Fatalf("refreshes = %d", m.Refreshes())
+	}
+	if w.Name() != "ds-widget" {
+		t.Fatalf("name = %q", w.Name())
+	}
+}

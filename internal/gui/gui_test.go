@@ -1,0 +1,164 @@
+package gui_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bfm"
+	"repro/internal/core"
+	"repro/internal/gui"
+	"repro/internal/petri"
+	"repro/internal/sched"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+func TestLCDWidgetRefreshOnDeviceWrite(t *testing.T) {
+	m := gui.NewManager(true)
+	lcd := bfm.NewLCD(2, 16)
+	w := gui.NewLCDWidget(m, lcd)
+	lcd.PortWrite('A')
+	lcd.PortWrite('B')
+	if m.Refreshes() != 2 {
+		t.Fatalf("refreshes = %d", m.Refreshes())
+	}
+	if !strings.Contains(w.RenderText(), "AB") {
+		t.Fatalf("render:\n%s", w.RenderText())
+	}
+	if m.RasterChecksum() == 0 {
+		t.Fatal("no raster work done")
+	}
+}
+
+func TestDisabledGUIDoesNoRasterWork(t *testing.T) {
+	m := gui.NewManager(false)
+	lcd := bfm.NewLCD(2, 16)
+	gui.NewLCDWidget(m, lcd)
+	lcd.PortWrite('A')
+	if m.Refreshes() != 1 {
+		t.Fatalf("refresh not counted: %d", m.Refreshes())
+	}
+	if m.RasterChecksum() != 0 {
+		t.Fatal("disabled GUI did raster work")
+	}
+}
+
+func TestSSDWidget(t *testing.T) {
+	m := gui.NewManager(true)
+	ssd := bfm.NewSSD()
+	w := gui.NewSSDWidget(m, ssd)
+	ssd.PortWrite(0x07)
+	if !strings.Contains(w.RenderText(), "7") {
+		t.Fatalf("render = %q", w.RenderText())
+	}
+	if m.Refreshes() != 1 {
+		t.Fatalf("refreshes = %d", m.Refreshes())
+	}
+}
+
+func TestKeypadWidgetClick(t *testing.T) {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	b := bfm.New(sim, nil, bfm.DefaultConfig())
+	raised := 0
+	b.IntC.SetSink(func(int) { raised++ })
+	b.IntC.EnableLine(bfm.KeypadIntLine)
+	pad := bfm.NewKeypad(b.IntC)
+	m := gui.NewManager(true)
+	w := gui.NewKeypadWidget(m, pad)
+	w.Click(9)
+	if raised != 1 {
+		t.Fatalf("interrupts = %d", raised)
+	}
+	if pad.PortRead() != 9 {
+		t.Fatalf("key = %d", pad.PortRead())
+	}
+	if !strings.Contains(w.RenderText(), "[5]") {
+		t.Fatal("keypad face malformed")
+	}
+}
+
+func TestBatteryWidgetDepletion(t *testing.T) {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	api := core.NewSimAPI(sim, sched.NewPriority(), nil)
+	m := gui.NewManager(true)
+	// Tiny capacity so consumption is visible.
+	w := gui.NewBatteryWidget(m, api, 10*petri.MilliJ)
+	task := api.CreateThread("t", core.KindTask, 1, func(tt *core.TThread) {
+		tt.Consume(core.Cost{Time: sysc.Ms, Energy: 4 * petri.MilliJ}, trace.CtxTask, "")
+	})
+	_ = api.Activate(task)
+	if err := sim.Start(10 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if w.Consumed() != 4*petri.MilliJ {
+		t.Fatalf("consumed = %v", w.Consumed())
+	}
+	if p := w.Percent(); p < 59 || p > 61 {
+		t.Fatalf("percent = %v, want ~60", p)
+	}
+	life, ok := w.Lifespan(10 * sysc.Ms)
+	if !ok || life != 25*sysc.Ms {
+		t.Fatalf("lifespan = %v %v, want 25 ms", life, ok)
+	}
+	if !strings.Contains(w.RenderText(), "BATTERY [") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestBatteryWidgetFloorsAtZero(t *testing.T) {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	api := core.NewSimAPI(sim, sched.NewPriority(), nil)
+	m := gui.NewManager(false)
+	w := gui.NewBatteryWidget(m, api, 1*petri.MicroJ)
+	task := api.CreateThread("t", core.KindTask, 1, func(tt *core.TThread) {
+		tt.Consume(core.Cost{Time: sysc.Ms, Energy: petri.Joule}, trace.CtxTask, "")
+	})
+	_ = api.Activate(task)
+	if err := sim.Start(10 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if w.Remaining() != 0 || w.Percent() != 0 {
+		t.Fatalf("remaining = %v, pct = %v", w.Remaining(), w.Percent())
+	}
+}
+
+func TestTraceWidgetWindow(t *testing.T) {
+	g := trace.NewGantt()
+	g.Add(trace.Segment{Thread: "t1", Start: 0, End: 10 * sysc.Ms, Ctx: trace.CtxTask})
+	g.Add(trace.Segment{Thread: "t2", Start: 10 * sysc.Ms, End: 20 * sysc.Ms, Ctx: trace.CtxHandler})
+	m := gui.NewManager(true)
+	w := gui.NewTraceWidget(m, g, 50*sysc.Ms)
+	out := w.RenderText()
+	if !strings.Contains(out, "t1") || !strings.Contains(out, "t2") {
+		t.Fatalf("trace widget:\n%s", out)
+	}
+	var b strings.Builder
+	w.Dump(&b)
+	if b.Len() == 0 {
+		t.Fatal("dump empty")
+	}
+}
+
+func TestManagerModes(t *testing.T) {
+	m := gui.NewManager(true)
+	if m.Mode() != gui.Animate {
+		t.Fatal("default mode should be animate")
+	}
+	m.SetMode(gui.Step)
+	if m.Mode() != gui.Step {
+		t.Fatal("mode not set")
+	}
+}
+
+func TestRefreshAll(t *testing.T) {
+	m := gui.NewManager(true)
+	gui.NewLCDWidget(m, bfm.NewLCD(2, 16))
+	gui.NewSSDWidget(m, bfm.NewSSD())
+	m.RefreshAll()
+	if m.Refreshes() != 2 {
+		t.Fatalf("refreshes = %d", m.Refreshes())
+	}
+}

@@ -1,0 +1,181 @@
+package i8051
+
+import "fmt"
+
+// Asm is a tiny single-pass 8051 program builder with label fix-ups: enough
+// to write the test and benchmark firmware in readable form without an
+// external assembler.
+type Asm struct {
+	code   []byte
+	labels map[string]uint16
+	fixups []fixup
+}
+
+type fixup struct {
+	at    int // byte position to patch
+	label string
+	kind  byte // 'r' = rel8 (relative to at+1), 'h'/'l' = addr16 halves
+}
+
+// NewAsm returns an empty program builder.
+func NewAsm() *Asm {
+	return &Asm{labels: map[string]uint16{}}
+}
+
+// emit appends raw bytes.
+func (a *Asm) emit(bs ...byte) *Asm {
+	a.code = append(a.code, bs...)
+	return a
+}
+
+// PC returns the current assembly position.
+func (a *Asm) PC() uint16 { return uint16(len(a.code)) }
+
+// Label defines a label at the current position.
+func (a *Asm) Label(name string) *Asm {
+	a.labels[name] = a.PC()
+	return a
+}
+
+// Org pads with NOPs up to the given address (for interrupt vectors).
+func (a *Asm) Org(addr uint16) *Asm {
+	for uint16(len(a.code)) < addr {
+		a.emit(0x00)
+	}
+	return a
+}
+
+// Assemble resolves fix-ups and returns the program image.
+func (a *Asm) Assemble() []byte {
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("i8051: undefined label %q", f.label))
+		}
+		switch f.kind {
+		case 'r':
+			disp := int(target) - (f.at + 1)
+			if disp < -128 || disp > 127 {
+				panic(fmt.Sprintf("i8051: rel jump to %q out of range (%d)", f.label, disp))
+			}
+			a.code[f.at] = byte(int8(disp))
+		case 'h':
+			a.code[f.at] = byte(target >> 8)
+		case 'l':
+			a.code[f.at] = byte(target)
+		}
+	}
+	out := make([]byte, len(a.code))
+	copy(out, a.code)
+	return out
+}
+
+// relTo records a rel8 fix-up at the next byte.
+func (a *Asm) relTo(label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.code), label: label, kind: 'r'})
+	return a.emit(0)
+}
+
+// addr16To records an addr16 fix-up at the next two bytes.
+func (a *Asm) addr16To(label string) *Asm {
+	a.fixups = append(a.fixups,
+		fixup{at: len(a.code), label: label, kind: 'h'},
+		fixup{at: len(a.code) + 1, label: label, kind: 'l'})
+	return a.emit(0, 0)
+}
+
+// --- instructions (named after their mnemonics) ---
+
+func (a *Asm) Nop() *Asm                { return a.emit(0x00) }
+func (a *Asm) MovAImm(v byte) *Asm      { return a.emit(0x74, v) }
+func (a *Asm) MovADir(d byte) *Asm      { return a.emit(0xE5, d) }
+func (a *Asm) MovDirA(d byte) *Asm      { return a.emit(0xF5, d) }
+func (a *Asm) MovDirImm(d, v byte) *Asm { return a.emit(0x75, d, v) }
+func (a *Asm) MovDirDir(dst, src byte) *Asm {
+	return a.emit(0x85, src, dst)
+}
+func (a *Asm) MovRImm(n int, v byte) *Asm { return a.emit(0x78|byte(n), v) }
+func (a *Asm) MovRA(n int) *Asm           { return a.emit(0xF8 | byte(n)) }
+func (a *Asm) MovAR(n int) *Asm           { return a.emit(0xE8 | byte(n)) }
+func (a *Asm) MovRDir(n int, d byte) *Asm { return a.emit(0xA8|byte(n), d) }
+func (a *Asm) MovDirR(d byte, n int) *Asm { return a.emit(0x88|byte(n), d) }
+func (a *Asm) MovAtRiA(i int) *Asm        { return a.emit(0xF6 | byte(i&1)) }
+func (a *Asm) MovAAtRi(i int) *Asm        { return a.emit(0xE6 | byte(i&1)) }
+func (a *Asm) MovDPTR(v uint16) *Asm      { return a.emit(0x90, byte(v>>8), byte(v)) }
+func (a *Asm) MovCAtADPTR() *Asm          { return a.emit(0x93) }
+func (a *Asm) MovxADPTR() *Asm            { return a.emit(0xE0) }
+func (a *Asm) MovxDPTRA() *Asm            { return a.emit(0xF0) }
+func (a *Asm) IncA() *Asm                 { return a.emit(0x04) }
+func (a *Asm) IncDir(d byte) *Asm         { return a.emit(0x05, d) }
+func (a *Asm) IncR(n int) *Asm            { return a.emit(0x08 | byte(n)) }
+func (a *Asm) IncDPTR() *Asm              { return a.emit(0xA3) }
+func (a *Asm) DecA() *Asm                 { return a.emit(0x14) }
+func (a *Asm) DecR(n int) *Asm            { return a.emit(0x18 | byte(n)) }
+func (a *Asm) AddAImm(v byte) *Asm        { return a.emit(0x24, v) }
+func (a *Asm) AddADir(d byte) *Asm        { return a.emit(0x25, d) }
+func (a *Asm) AddAR(n int) *Asm           { return a.emit(0x28 | byte(n)) }
+func (a *Asm) AddcAImm(v byte) *Asm       { return a.emit(0x34, v) }
+func (a *Asm) SubbAImm(v byte) *Asm       { return a.emit(0x94, v) }
+func (a *Asm) SubbAR(n int) *Asm          { return a.emit(0x98 | byte(n)) }
+func (a *Asm) AnlAImm(v byte) *Asm        { return a.emit(0x54, v) }
+func (a *Asm) OrlAImm(v byte) *Asm        { return a.emit(0x44, v) }
+func (a *Asm) XrlAImm(v byte) *Asm        { return a.emit(0x64, v) }
+func (a *Asm) ClrA() *Asm                 { return a.emit(0xE4) }
+func (a *Asm) CplA() *Asm                 { return a.emit(0xF4) }
+func (a *Asm) SwapA() *Asm                { return a.emit(0xC4) }
+func (a *Asm) RlA() *Asm                  { return a.emit(0x23) }
+func (a *Asm) RrA() *Asm                  { return a.emit(0x03) }
+func (a *Asm) RlcA() *Asm                 { return a.emit(0x33) }
+func (a *Asm) RrcA() *Asm                 { return a.emit(0x13) }
+func (a *Asm) DaA() *Asm                  { return a.emit(0xD4) }
+func (a *Asm) MulAB() *Asm                { return a.emit(0xA4) }
+func (a *Asm) DivAB() *Asm                { return a.emit(0x84) }
+func (a *Asm) XchADir(d byte) *Asm        { return a.emit(0xC5, d) }
+func (a *Asm) XchAR(n int) *Asm           { return a.emit(0xC8 | byte(n)) }
+func (a *Asm) PushDir(d byte) *Asm        { return a.emit(0xC0, d) }
+func (a *Asm) PopDir(d byte) *Asm         { return a.emit(0xD0, d) }
+func (a *Asm) ClrC() *Asm                 { return a.emit(0xC3) }
+func (a *Asm) SetbC() *Asm                { return a.emit(0xD3) }
+func (a *Asm) CplC() *Asm                 { return a.emit(0xB3) }
+func (a *Asm) SetbBit(bit byte) *Asm      { return a.emit(0xD2, bit) }
+func (a *Asm) ClrBit(bit byte) *Asm       { return a.emit(0xC2, bit) }
+func (a *Asm) CplBit(bit byte) *Asm       { return a.emit(0xB2, bit) }
+func (a *Asm) MovCBit(bit byte) *Asm      { return a.emit(0xA2, bit) }
+func (a *Asm) MovBitC(bit byte) *Asm      { return a.emit(0x92, bit) }
+func (a *Asm) Ret() *Asm                  { return a.emit(0x22) }
+func (a *Asm) Reti() *Asm                 { return a.emit(0x32) }
+
+func (a *Asm) Sjmp(label string) *Asm { return a.emit(0x80).relTo(label) }
+func (a *Asm) Jz(label string) *Asm   { return a.emit(0x60).relTo(label) }
+func (a *Asm) Jnz(label string) *Asm  { return a.emit(0x70).relTo(label) }
+func (a *Asm) Jc(label string) *Asm   { return a.emit(0x40).relTo(label) }
+func (a *Asm) Jnc(label string) *Asm  { return a.emit(0x50).relTo(label) }
+func (a *Asm) Jb(bit byte, label string) *Asm {
+	return a.emit(0x20, bit).relTo(label)
+}
+func (a *Asm) Jnb(bit byte, label string) *Asm {
+	return a.emit(0x30, bit).relTo(label)
+}
+func (a *Asm) Jbc(bit byte, label string) *Asm {
+	return a.emit(0x10, bit).relTo(label)
+}
+func (a *Asm) Ljmp(label string) *Asm  { return a.emit(0x02).addr16To(label) }
+func (a *Asm) Lcall(label string) *Asm { return a.emit(0x12).addr16To(label) }
+func (a *Asm) DjnzR(n int, label string) *Asm {
+	return a.emit(0xD8 | byte(n)).relTo(label)
+}
+func (a *Asm) DjnzDir(d byte, label string) *Asm {
+	return a.emit(0xD5, d).relTo(label)
+}
+func (a *Asm) CjneAImm(v byte, label string) *Asm {
+	return a.emit(0xB4, v).relTo(label)
+}
+func (a *Asm) CjneRImm(n int, v byte, label string) *Asm {
+	return a.emit(0xB8|byte(n), v).relTo(label)
+}
+
+// Halt emits the conventional SJMP-to-self halt.
+func (a *Asm) Halt() *Asm {
+	a.Label(fmt.Sprintf("_halt%d", len(a.code)))
+	return a.emit(0x80, 0xFE)
+}

@@ -1,0 +1,317 @@
+// Package i8051 is a complete instruction-set simulator of the Intel 8051
+// micro-controller: all 255 defined opcodes, banked registers, bit
+// addressing, the PSW flag model (CY/AC/OV/P), internal RAM, SFRs, external
+// data memory, interrupt vectoring, and standard machine-cycle counts.
+//
+// In the reproduction it plays the role of the "ISS level" that the paper's
+// conclusion compares RTOS-level co-simulation against: the same hardware
+// platform simulated cycle by cycle, orders of magnitude slower than
+// executing the embedded software as host code with annotated timing. The
+// Machine type couples the CPU to the sysc simulation clock (one event per
+// instruction, advancing simulated time by its cycle count).
+package i8051
+
+import "fmt"
+
+// SFR direct addresses used by the core.
+const (
+	SfrP0   = 0x80
+	SfrSP   = 0x81
+	SfrDPL  = 0x82
+	SfrDPH  = 0x83
+	SfrPCON = 0x87
+	SfrTCON = 0x88
+	SfrP1   = 0x90
+	SfrSCON = 0x98
+	SfrSBUF = 0x99
+	SfrP2   = 0xA0
+	SfrIE   = 0xA8
+	SfrP3   = 0xB0
+	SfrIP   = 0xB8
+	SfrPSW  = 0xD0
+	SfrACC  = 0xE0
+	SfrB    = 0xF0
+)
+
+// PSW flag bit positions.
+const (
+	FlagP   = 0 // parity (of ACC, hardware-maintained)
+	FlagOV  = 2 // overflow
+	FlagRS0 = 3
+	FlagRS1 = 4
+	FlagAC  = 6 // auxiliary carry
+	FlagCY  = 7 // carry
+)
+
+// Interrupt vector addresses.
+const (
+	VecReset  = 0x0000
+	VecINT0   = 0x0003
+	VecTimer0 = 0x000B
+	VecINT1   = 0x0013
+	VecTimer1 = 0x001B
+	VecSerial = 0x0023
+)
+
+// XRAMBus abstracts external data memory (MOVX target). The BFM's memory
+// controller satisfies it, so the ISS can share the co-simulation's XRAM.
+type XRAMBus interface {
+	Read(addr uint16) byte
+	Write(addr uint16, v byte)
+}
+
+// sliceXRAM is a plain in-process XRAM.
+type sliceXRAM []byte
+
+func (m sliceXRAM) Read(a uint16) byte { return m[int(a)%len(m)] }
+func (m sliceXRAM) Write(a uint16, v byte) {
+	m[int(a)%len(m)] = v
+}
+
+// CPU is the 8051 core state.
+type CPU struct {
+	Code []byte    // program memory (up to 64 KiB)
+	IRAM [256]byte // internal RAM: 0x00-0x7F direct+indirect, 0x80-0xFF indirect-only
+	SFR  [128]byte // special function registers, direct addresses 0x80-0xFF
+	XRAM XRAMBus
+
+	PC     uint16
+	Cycles uint64 // machine cycles executed
+	Instrs uint64 // instructions executed
+
+	Halted bool // set by SJMP self-loop detection (convenience for tests)
+
+	// PortOut, if set, observes SFR writes to P0..P3 (co-sim hook).
+	PortOut func(port int, v byte)
+	// SerialOut, if set, observes writes to SBUF.
+	SerialOut func(v byte)
+
+	pendingIRQ []uint16 // queued interrupt vectors
+}
+
+// New creates a CPU with the given program at address 0 and 64 KiB of
+// private XRAM.
+func New(program []byte) *CPU {
+	c := &CPU{Code: make([]byte, 0x10000), XRAM: make(sliceXRAM, 0x10000)}
+	copy(c.Code, program)
+	c.Reset()
+	return c
+}
+
+// Reset puts the core in its power-on state.
+func (c *CPU) Reset() {
+	c.PC = VecReset
+	for i := range c.SFR {
+		c.SFR[i] = 0
+	}
+	c.SFR[SfrSP-0x80] = 0x07
+	for i := range c.IRAM {
+		c.IRAM[i] = 0
+	}
+	c.Cycles, c.Instrs = 0, 0
+	c.Halted = false
+	c.pendingIRQ = nil
+}
+
+// --- register accessors ---
+
+// A returns the accumulator.
+func (c *CPU) A() byte { return c.SFR[SfrACC-0x80] }
+
+// SetA writes the accumulator and maintains the parity flag.
+func (c *CPU) SetA(v byte) {
+	c.SFR[SfrACC-0x80] = v
+	c.updParity()
+}
+
+// B returns the B register.
+func (c *CPU) B() byte { return c.SFR[SfrB-0x80] }
+
+// SetB writes the B register.
+func (c *CPU) SetB(v byte) { c.SFR[SfrB-0x80] = v }
+
+// PSW returns the program status word.
+func (c *CPU) PSW() byte { return c.SFR[SfrPSW-0x80] }
+
+// SP returns the stack pointer.
+func (c *CPU) SP() byte { return c.SFR[SfrSP-0x80] }
+
+// DPTR returns the 16-bit data pointer.
+func (c *CPU) DPTR() uint16 {
+	return uint16(c.SFR[SfrDPH-0x80])<<8 | uint16(c.SFR[SfrDPL-0x80])
+}
+
+// SetDPTR writes the data pointer.
+func (c *CPU) SetDPTR(v uint16) {
+	c.SFR[SfrDPH-0x80] = byte(v >> 8)
+	c.SFR[SfrDPL-0x80] = byte(v)
+}
+
+// flag reads one PSW bit.
+func (c *CPU) flag(bit int) bool { return c.PSW()&(1<<bit) != 0 }
+
+// setFlag writes one PSW bit.
+func (c *CPU) setFlag(bit int, on bool) {
+	if on {
+		c.SFR[SfrPSW-0x80] |= 1 << bit
+	} else {
+		c.SFR[SfrPSW-0x80] &^= 1 << bit
+	}
+}
+
+// CY returns the carry flag.
+func (c *CPU) CY() bool { return c.flag(FlagCY) }
+
+// regBase returns the IRAM base of the active register bank.
+func (c *CPU) regBase() byte { return (c.PSW() >> 3) & 0x03 << 3 }
+
+// R reads register Rn of the active bank.
+func (c *CPU) R(n int) byte { return c.IRAM[c.regBase()+byte(n)] }
+
+// SetR writes register Rn of the active bank.
+func (c *CPU) SetR(n int, v byte) { c.IRAM[c.regBase()+byte(n)] = v }
+
+// updParity maintains PSW.P = odd parity of ACC (set when ACC has an odd
+// number of ones).
+func (c *CPU) updParity() {
+	v := c.A()
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	c.setFlag(FlagP, v&1 != 0)
+}
+
+// --- direct/indirect/bit address spaces ---
+
+// readDirect reads a direct address: 0x00-0x7F IRAM, 0x80-0xFF SFR.
+func (c *CPU) readDirect(addr byte) byte {
+	if addr < 0x80 {
+		return c.IRAM[addr]
+	}
+	return c.SFR[addr-0x80]
+}
+
+// writeDirect writes a direct address, with port/serial observers and
+// parity maintenance for ACC.
+func (c *CPU) writeDirect(addr byte, v byte) {
+	if addr < 0x80 {
+		c.IRAM[addr] = v
+		return
+	}
+	c.SFR[addr-0x80] = v
+	switch addr {
+	case SfrACC:
+		c.updParity()
+	case SfrP0, SfrP1, SfrP2, SfrP3:
+		if c.PortOut != nil {
+			c.PortOut(int(addr-SfrP0)>>4, v)
+		}
+	case SfrSBUF:
+		if c.SerialOut != nil {
+			c.SerialOut(v)
+		}
+	}
+}
+
+// readIndirect reads @Ri: the full 256-byte IRAM (upper half is
+// indirect-only on the 8052; modelled here).
+func (c *CPU) readIndirect(addr byte) byte { return c.IRAM[addr] }
+
+// writeIndirect writes @Ri.
+func (c *CPU) writeIndirect(addr byte, v byte) { c.IRAM[addr] = v }
+
+// bitAddr resolves a bit address to (direct byte address, bit index):
+// 0x00-0x7F map to IRAM 0x20-0x2F; 0x80-0xFF map to bit-addressable SFRs.
+func bitAddr(bit byte) (addr byte, idx uint) {
+	if bit < 0x80 {
+		return 0x20 + bit/8, uint(bit % 8)
+	}
+	return bit &^ 0x07, uint(bit % 8)
+}
+
+// readBit reads one bit of the bit-address space.
+func (c *CPU) readBit(bit byte) bool {
+	addr, idx := bitAddr(bit)
+	return c.readDirect(addr)&(1<<idx) != 0
+}
+
+// writeBit writes one bit of the bit-address space.
+func (c *CPU) writeBit(bit byte, on bool) {
+	addr, idx := bitAddr(bit)
+	v := c.readDirect(addr)
+	if on {
+		v |= 1 << idx
+	} else {
+		v &^= 1 << idx
+	}
+	c.writeDirect(addr, v)
+}
+
+// --- stack ---
+
+func (c *CPU) push(v byte) {
+	sp := c.SP() + 1
+	c.SFR[SfrSP-0x80] = sp
+	c.IRAM[sp] = v
+}
+
+func (c *CPU) pop() byte {
+	sp := c.SP()
+	v := c.IRAM[sp]
+	c.SFR[SfrSP-0x80] = sp - 1
+	return v
+}
+
+// pushPC pushes the PC low byte first (8051 call convention).
+func (c *CPU) pushPC() {
+	c.push(byte(c.PC))
+	c.push(byte(c.PC >> 8))
+}
+
+func (c *CPU) popPC() {
+	hi := c.pop()
+	lo := c.pop()
+	c.PC = uint16(hi)<<8 | uint16(lo)
+}
+
+// --- interrupts ---
+
+// RaiseIRQ queues an interrupt vector; it is taken before the next
+// instruction if IE.EA and the corresponding source behaviour is assumed
+// enabled (the simulator models vectoring, not the IE source matrix, which
+// the surrounding BFM already arbitrates).
+func (c *CPU) RaiseIRQ(vector uint16) {
+	c.pendingIRQ = append(c.pendingIRQ, vector)
+}
+
+// takeIRQ vectors to a pending interrupt if the global enable bit is set.
+func (c *CPU) takeIRQ() bool {
+	if len(c.pendingIRQ) == 0 {
+		return false
+	}
+	if c.SFR[SfrIE-0x80]&0x80 == 0 { // EA
+		return false
+	}
+	vec := c.pendingIRQ[0]
+	c.pendingIRQ = c.pendingIRQ[1:]
+	c.pushPC()
+	c.PC = vec
+	c.Cycles += 2 // LCALL-equivalent latency
+	return true
+}
+
+// fetch reads the next code byte.
+func (c *CPU) fetch() byte {
+	v := c.Code[c.PC]
+	c.PC++
+	return v
+}
+
+// rel applies a signed 8-bit displacement to the PC.
+func (c *CPU) rel(d byte) { c.PC = uint16(int32(c.PC) + int32(int8(d))) }
+
+// String summarizes the core state.
+func (c *CPU) String() string {
+	return fmt.Sprintf("PC=%04x A=%02x B=%02x PSW=%02x SP=%02x DPTR=%04x cyc=%d",
+		c.PC, c.A(), c.B(), c.PSW(), c.SP(), c.DPTR(), c.Cycles)
+}

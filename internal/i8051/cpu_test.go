@@ -1,0 +1,477 @@
+package i8051
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// runProgram assembles, executes until halt (bounded), and returns the CPU.
+func runProgram(t *testing.T, a *Asm) *CPU {
+	t.Helper()
+	c := New(a.Assemble())
+	c.Run(1_000_000)
+	if !c.Halted {
+		t.Fatalf("program did not halt: %v", c)
+	}
+	return c
+}
+
+func TestMovImmediateAndRegisters(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovAImm(0x42).
+		MovRA(3).
+		MovRImm(5, 0x99).
+		MovDirA(0x30).
+		Halt())
+	if c.A() != 0x42 || c.R(3) != 0x42 || c.R(5) != 0x99 || c.IRAM[0x30] != 0x42 {
+		t.Fatalf("state: %v R3=%02x R5=%02x [30]=%02x", c, c.R(3), c.R(5), c.IRAM[0x30])
+	}
+}
+
+func TestMovDirDirEncoding(t *testing.T) {
+	// MOV dir,dir encodes source first; 0x85 src dst.
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x30, 0xAB).
+		MovDirDir(0x31, 0x30).
+		Halt())
+	if c.IRAM[0x31] != 0xAB {
+		t.Fatalf("[31]=%02x", c.IRAM[0x31])
+	}
+}
+
+func TestIndirectAddressing(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovRImm(0, 0x40). // R0 -> 0x40
+		MovAImm(0x77).
+		MovAtRiA(0).      // [0x40] = A
+		MovRImm(1, 0x40). // R1 -> 0x40
+		ClrA().
+		MovAAtRi(1). // A = [0x40]
+		Halt())
+	if c.A() != 0x77 || c.IRAM[0x40] != 0x77 {
+		t.Fatalf("A=%02x [40]=%02x", c.A(), c.IRAM[0x40])
+	}
+}
+
+func TestAddFlags(t *testing.T) {
+	cases := []struct {
+		a, b       byte
+		sum        byte
+		cy, ac, ov bool
+	}{
+		{0x10, 0x20, 0x30, false, false, false},
+		{0xFF, 0x01, 0x00, true, true, false},
+		{0x7F, 0x01, 0x80, false, true, true},  // signed overflow
+		{0x80, 0x80, 0x00, true, false, true},  // -128 + -128
+		{0x0F, 0x01, 0x10, false, true, false}, // half carry
+	}
+	for _, tc := range cases {
+		c := runProgram(t, NewAsm().MovAImm(tc.a).AddAImm(tc.b).Halt())
+		if c.A() != tc.sum || c.CY() != tc.cy || c.flag(FlagAC) != tc.ac || c.flag(FlagOV) != tc.ov {
+			t.Errorf("%02x+%02x: A=%02x CY=%v AC=%v OV=%v, want %02x %v %v %v",
+				tc.a, tc.b, c.A(), c.CY(), c.flag(FlagAC), c.flag(FlagOV),
+				tc.sum, tc.cy, tc.ac, tc.ov)
+		}
+	}
+}
+
+func TestAddcUsesCarry(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		SetbC().
+		MovAImm(0x10).
+		AddcAImm(0x05).
+		Halt())
+	if c.A() != 0x16 {
+		t.Fatalf("A=%02x, want 16", c.A())
+	}
+}
+
+func TestSubbFlags(t *testing.T) {
+	// 0x10 - 0x20 borrows.
+	c := runProgram(t, NewAsm().ClrC().MovAImm(0x10).SubbAImm(0x20).Halt())
+	if c.A() != 0xF0 || !c.CY() {
+		t.Fatalf("A=%02x CY=%v", c.A(), c.CY())
+	}
+	// 0x80 - 0x01 = 0x7F: signed overflow.
+	c = runProgram(t, NewAsm().ClrC().MovAImm(0x80).SubbAImm(0x01).Halt())
+	if c.A() != 0x7F || !c.flag(FlagOV) {
+		t.Fatalf("A=%02x OV=%v", c.A(), c.flag(FlagOV))
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovAImm(25).
+		MovDirImm(SfrB, 13).
+		MulAB().
+		Halt())
+	// 25*13 = 325 = 0x0145
+	if c.A() != 0x45 || c.B() != 0x01 || !c.flag(FlagOV) || c.CY() {
+		t.Fatalf("MUL: A=%02x B=%02x OV=%v", c.A(), c.B(), c.flag(FlagOV))
+	}
+	c = runProgram(t, NewAsm().
+		MovAImm(100).
+		MovDirImm(SfrB, 7).
+		DivAB().
+		Halt())
+	if c.A() != 14 || c.B() != 2 || c.flag(FlagOV) {
+		t.Fatalf("DIV: A=%d B=%d", c.A(), c.B())
+	}
+	// Division by zero sets OV.
+	c = runProgram(t, NewAsm().MovAImm(5).MovDirImm(SfrB, 0).DivAB().Halt())
+	if !c.flag(FlagOV) {
+		t.Fatal("DIV by zero should set OV")
+	}
+}
+
+func TestLogicAndRotates(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovAImm(0b1100_1010).
+		AnlAImm(0b1111_0000).
+		Halt())
+	if c.A() != 0b1100_0000 {
+		t.Fatalf("ANL: %08b", c.A())
+	}
+	c = runProgram(t, NewAsm().MovAImm(0x81).RlA().Halt())
+	if c.A() != 0x03 {
+		t.Fatalf("RL: %02x", c.A())
+	}
+	c = runProgram(t, NewAsm().ClrC().MovAImm(0x81).RlcA().Halt())
+	if c.A() != 0x02 || !c.CY() {
+		t.Fatalf("RLC: %02x CY=%v", c.A(), c.CY())
+	}
+	c = runProgram(t, NewAsm().MovAImm(0xA5).SwapA().Halt())
+	if c.A() != 0x5A {
+		t.Fatalf("SWAP: %02x", c.A())
+	}
+	c = runProgram(t, NewAsm().MovAImm(0x0F).CplA().Halt())
+	if c.A() != 0xF0 {
+		t.Fatalf("CPL: %02x", c.A())
+	}
+}
+
+func TestParityFlag(t *testing.T) {
+	c := runProgram(t, NewAsm().MovAImm(0b0000_0111).Halt())
+	if !c.flag(FlagP) {
+		t.Fatal("3 ones: P should be set")
+	}
+	c = runProgram(t, NewAsm().MovAImm(0b0000_0011).Halt())
+	if c.flag(FlagP) {
+		t.Fatal("2 ones: P should be clear")
+	}
+}
+
+func TestDJNZLoop(t *testing.T) {
+	// Sum 1..10 via DJNZ.
+	c := runProgram(t, NewAsm().
+		MovRImm(0, 10).
+		ClrA().
+		Label("loop").
+		AddAR(0).
+		DjnzR(0, "loop").
+		Halt())
+	if c.A() != 55 {
+		t.Fatalf("sum = %d", c.A())
+	}
+}
+
+func TestCJNEAndCarry(t *testing.T) {
+	// CJNE sets CY when first < second.
+	c := runProgram(t, NewAsm().
+		MovAImm(5).
+		CjneAImm(9, "diff").
+		Label("diff").
+		Halt())
+	if !c.CY() {
+		t.Fatal("CJNE 5,9 should set CY")
+	}
+	c = runProgram(t, NewAsm().
+		MovAImm(9).
+		CjneAImm(5, "diff").
+		Label("diff").
+		Halt())
+	if c.CY() {
+		t.Fatal("CJNE 9,5 should clear CY")
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovAImm(1).
+		Lcall("sub").
+		MovRA(7). // after return: A==3
+		Halt().
+		Label("sub").
+		IncA().
+		IncA().
+		Ret())
+	if c.R(7) != 3 {
+		t.Fatalf("R7=%d", c.R(7))
+	}
+	if c.SP() != 0x07 {
+		t.Fatalf("SP=%02x, want balanced 07", c.SP())
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x30, 0xAA).
+		PushDir(0x30).
+		MovDirImm(0x30, 0x00).
+		PopDir(0x31).
+		Halt())
+	if c.IRAM[0x31] != 0xAA {
+		t.Fatalf("[31]=%02x", c.IRAM[0x31])
+	}
+}
+
+func TestBitOperations(t *testing.T) {
+	// Bit 0x08 = IRAM 0x21 bit 0.
+	c := runProgram(t, NewAsm().
+		SetbBit(0x08).
+		Jnb(0x08, "fail").
+		ClrBit(0x08).
+		Jb(0x08, "fail").
+		CplBit(0x08).
+		MovCBit(0x08).
+		MovBitC(0x0F). // IRAM 0x21 bit 7
+		MovAImm(1).
+		Sjmp("end").
+		Label("fail").
+		MovAImm(0xFF).
+		Label("end").
+		Halt())
+	if c.A() != 1 {
+		t.Fatal("bit branch logic failed")
+	}
+	if c.IRAM[0x21] != 0x81 {
+		t.Fatalf("[21]=%02x, want 81", c.IRAM[0x21])
+	}
+}
+
+func TestJBCClearsBit(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		SetbBit(0x10). // IRAM 0x22 bit 0
+		Jbc(0x10, "taken").
+		MovAImm(0xFF).
+		Halt().
+		Label("taken").
+		MovAImm(0x01).
+		Halt())
+	if c.A() != 1 || c.IRAM[0x22] != 0 {
+		t.Fatalf("A=%02x [22]=%02x", c.A(), c.IRAM[0x22])
+	}
+}
+
+func TestRegisterBanks(t *testing.T) {
+	// Switch to bank 1 (PSW.RS0=1, bit 0xD3) and verify R0 maps to 0x08.
+	c := runProgram(t, NewAsm().
+		MovRImm(0, 0x11). // bank 0 R0 -> IRAM 0x00
+		SetbBit(0xD3).    // PSW.3 = RS0
+		MovRImm(0, 0x22). // bank 1 R0 -> IRAM 0x08
+		Halt())
+	if c.IRAM[0x00] != 0x11 || c.IRAM[0x08] != 0x22 {
+		t.Fatalf("[00]=%02x [08]=%02x", c.IRAM[0x00], c.IRAM[0x08])
+	}
+}
+
+func TestMOVXExternalRAM(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovDPTR(0x1234).
+		MovAImm(0x5C).
+		MovxDPTRA().
+		ClrA().
+		MovxADPTR().
+		Halt())
+	if c.A() != 0x5C || c.XRAM.Read(0x1234) != 0x5C {
+		t.Fatalf("A=%02x", c.A())
+	}
+}
+
+func TestMOVCCodeTable(t *testing.T) {
+	a := NewAsm().
+		MovDPTR(0x0100).
+		MovAImm(2).
+		MovCAtADPTR().
+		Halt()
+	a.Org(0x0100)
+	a.emit(10, 20, 30, 40)
+	c := runProgram(t, a)
+	if c.A() != 30 {
+		t.Fatalf("A=%d", c.A())
+	}
+}
+
+func TestDAA(t *testing.T) {
+	// BCD 28 + 19 = 47.
+	c := runProgram(t, NewAsm().
+		MovAImm(0x28).
+		AddAImm(0x19).
+		DaA().
+		Halt())
+	if c.A() != 0x47 {
+		t.Fatalf("DA: %02x, want 47 BCD", c.A())
+	}
+}
+
+func TestXCH(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovAImm(0x11).
+		MovRImm(2, 0x22).
+		XchAR(2).
+		Halt())
+	if c.A() != 0x22 || c.R(2) != 0x11 {
+		t.Fatalf("A=%02x R2=%02x", c.A(), c.R(2))
+	}
+}
+
+func TestCycleCounts(t *testing.T) {
+	// MOV A,#imm (1) + MOV dir,#imm (2) + MUL (4) + SJMP (2) = 9 cycles.
+	c := New(NewAsm().
+		MovAImm(3).
+		MovDirImm(SfrB, 4).
+		MulAB().
+		Halt().
+		Assemble())
+	c.Run(4)
+	if c.Cycles != 9 {
+		t.Fatalf("cycles = %d, want 9", c.Cycles)
+	}
+	if c.Instrs != 4 {
+		t.Fatalf("instrs = %d", c.Instrs)
+	}
+}
+
+func TestInterruptVectoring(t *testing.T) {
+	// Main loop increments R7 forever; ISR at INT0 vector sets IRAM 0x40
+	// and returns.
+	a := NewAsm().
+		Ljmp("main").
+		Org(VecINT0).
+		MovDirImm(0x40, 0xEE).
+		Reti().
+		Label("main").
+		MovDirImm(SfrIE, 0x81). // EA | EX0
+		Label("loop").
+		IncR(7).
+		Sjmp("loop")
+	c := New(a.Assemble())
+	c.Run(10)
+	c.RaiseIRQ(VecINT0)
+	c.Run(10)
+	if c.IRAM[0x40] != 0xEE {
+		t.Fatal("ISR did not run")
+	}
+	// Returned to the loop: R7 keeps counting.
+	before := c.R(7)
+	c.Run(10)
+	if c.R(7) <= before {
+		t.Fatal("main loop did not resume after RETI")
+	}
+}
+
+func TestInterruptMaskedByEA(t *testing.T) {
+	a := NewAsm().
+		Ljmp("main").
+		Org(VecINT0).
+		MovDirImm(0x40, 0xEE).
+		Reti().
+		Label("main").
+		Label("loop").
+		IncR(7).
+		Sjmp("loop")
+	c := New(a.Assemble())
+	c.Run(5)
+	c.RaiseIRQ(VecINT0) // EA clear: stays pending
+	c.Run(20)
+	if c.IRAM[0x40] != 0 {
+		t.Fatal("masked interrupt executed")
+	}
+}
+
+func TestPortAndSerialObservers(t *testing.T) {
+	var ports []byte
+	var serial []byte
+	c := New(NewAsm().
+		MovDirImm(SfrP1, 0x55).
+		MovDirImm(SfrSBUF, 'H').
+		Halt().
+		Assemble())
+	c.PortOut = func(port int, v byte) {
+		if port == 1 {
+			ports = append(ports, v)
+		}
+	}
+	c.SerialOut = func(v byte) { serial = append(serial, v) }
+	c.Run(100)
+	if len(ports) != 1 || ports[0] != 0x55 {
+		t.Fatalf("ports = %v", ports)
+	}
+	if len(serial) != 1 || serial[0] != 'H' {
+		t.Fatalf("serial = %v", serial)
+	}
+}
+
+func TestFibonacciProgram(t *testing.T) {
+	// Compute fib(10) = 55 iteratively: (R0,R1) = (fib(i), fib(i+1)).
+	c := runProgram(t, NewAsm().
+		MovRImm(0, 0). // fib(0)
+		MovRImm(1, 1). // fib(1)
+		MovRImm(2, 9). // loop count
+		Label("loop").
+		MovAR(0).
+		AddAR(1).              // A = a+b
+		MovDirDir(0x00, 0x01). // R0 <- R1 (bank-0 direct addresses)
+		MovRA(1).              // R1 <- A
+		DjnzR(2, "loop").
+		MovAR(1).
+		Halt())
+	if c.A() != 55 {
+		t.Fatalf("fib(10) = %d", c.A())
+	}
+}
+
+// Property: ADD then SUBB with the same operand restores A when no borrow
+// interference (CY cleared in between).
+func TestPropertyAddSubRoundTrip(t *testing.T) {
+	f := func(x, y byte) bool {
+		c := runQuiet(NewAsm().
+			MovAImm(x).
+			AddAImm(y).
+			ClrC().
+			SubbAImm(y).
+			Halt())
+		return c != nil && c.A() == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MUL AB == native product for all byte pairs (sampled).
+func TestPropertyMul(t *testing.T) {
+	f := func(x, y byte) bool {
+		c := runQuiet(NewAsm().
+			MovAImm(x).
+			MovDirImm(SfrB, y).
+			MulAB().
+			Halt())
+		if c == nil {
+			return false
+		}
+		p := uint16(x) * uint16(y)
+		return c.A() == byte(p) && c.B() == byte(p>>8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runQuiet(a *Asm) *CPU {
+	c := New(a.Assemble())
+	c.Run(1_000_000)
+	if !c.Halted {
+		return nil
+	}
+	return c
+}

@@ -1,0 +1,544 @@
+package i8051
+
+import "fmt"
+
+// Step decodes and executes one instruction, returning the machine cycles
+// it took (standard 12-clock-per-cycle 8051 timing). A pending interrupt is
+// vectored first.
+func (c *CPU) Step() int {
+	before := c.Cycles
+	if c.takeIRQ() {
+		return int(c.Cycles - before)
+	}
+	start := c.PC
+	op := c.fetch()
+	cy := c.exec(op)
+	c.Cycles += uint64(cy)
+	c.Instrs++
+	// SJMP to itself = the conventional HALT idiom.
+	if op == 0x80 && c.PC == start {
+		c.Halted = true
+	}
+	return cy
+}
+
+// Run executes up to n instructions (or until Halted) and returns how many
+// ran.
+func (c *CPU) Run(n int) int {
+	for i := 0; i < n; i++ {
+		if c.Halted {
+			return i
+		}
+		c.Step()
+	}
+	return n
+}
+
+// exec dispatches one opcode and returns its cycle count.
+func (c *CPU) exec(op byte) int {
+	// Column-regular families first.
+	switch {
+	case op&0x1F == 0x01: // AJMP addr11
+		lo := c.fetch()
+		c.PC = c.PC&0xF800 | uint16(op&0xE0)<<3 | uint16(lo)
+		return 2
+	case op&0x1F == 0x11: // ACALL addr11
+		lo := c.fetch()
+		c.pushPC()
+		c.PC = c.PC&0xF800 | uint16(op&0xE0)<<3 | uint16(lo)
+		return 2
+	}
+
+	switch op {
+	case 0x00: // NOP
+		return 1
+	case 0x02: // LJMP addr16
+		hi, lo := c.fetch(), c.fetch()
+		c.PC = uint16(hi)<<8 | uint16(lo)
+		return 2
+	case 0x12: // LCALL addr16
+		hi, lo := c.fetch(), c.fetch()
+		c.pushPC()
+		c.PC = uint16(hi)<<8 | uint16(lo)
+		return 2
+	case 0x22, 0x32: // RET / RETI
+		c.popPC()
+		return 2
+	case 0x03: // RR A
+		a := c.A()
+		c.SetA(a>>1 | a<<7)
+		return 1
+	case 0x13: // RRC A
+		a := c.A()
+		oldCY := c.CY()
+		c.setFlag(FlagCY, a&1 != 0)
+		a >>= 1
+		if oldCY {
+			a |= 0x80
+		}
+		c.SetA(a)
+		return 1
+	case 0x23: // RL A
+		a := c.A()
+		c.SetA(a<<1 | a>>7)
+		return 1
+	case 0x33: // RLC A
+		a := c.A()
+		oldCY := c.CY()
+		c.setFlag(FlagCY, a&0x80 != 0)
+		a <<= 1
+		if oldCY {
+			a |= 1
+		}
+		c.SetA(a)
+		return 1
+
+	// --- INC / DEC ---
+	case 0x04:
+		c.SetA(c.A() + 1)
+		return 1
+	case 0x05:
+		d := c.fetch()
+		c.writeDirect(d, c.readDirect(d)+1)
+		return 1
+	case 0x06, 0x07:
+		a := c.R(int(op & 1))
+		c.writeIndirect(a, c.readIndirect(a)+1)
+		return 1
+	case 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F:
+		n := int(op & 7)
+		c.SetR(n, c.R(n)+1)
+		return 1
+	case 0x14:
+		c.SetA(c.A() - 1)
+		return 1
+	case 0x15:
+		d := c.fetch()
+		c.writeDirect(d, c.readDirect(d)-1)
+		return 1
+	case 0x16, 0x17:
+		a := c.R(int(op & 1))
+		c.writeIndirect(a, c.readIndirect(a)-1)
+		return 1
+	case 0x18, 0x19, 0x1A, 0x1B, 0x1C, 0x1D, 0x1E, 0x1F:
+		n := int(op & 7)
+		c.SetR(n, c.R(n)-1)
+		return 1
+	case 0xA3: // INC DPTR
+		c.SetDPTR(c.DPTR() + 1)
+		return 2
+
+	// --- ADD / ADDC / SUBB ---
+	case 0x24:
+		c.add(c.fetch(), false)
+		return 1
+	case 0x25:
+		c.add(c.readDirect(c.fetch()), false)
+		return 1
+	case 0x26, 0x27:
+		c.add(c.readIndirect(c.R(int(op&1))), false)
+		return 1
+	case 0x28, 0x29, 0x2A, 0x2B, 0x2C, 0x2D, 0x2E, 0x2F:
+		c.add(c.R(int(op&7)), false)
+		return 1
+	case 0x34:
+		c.add(c.fetch(), true)
+		return 1
+	case 0x35:
+		c.add(c.readDirect(c.fetch()), true)
+		return 1
+	case 0x36, 0x37:
+		c.add(c.readIndirect(c.R(int(op&1))), true)
+		return 1
+	case 0x38, 0x39, 0x3A, 0x3B, 0x3C, 0x3D, 0x3E, 0x3F:
+		c.add(c.R(int(op&7)), true)
+		return 1
+	case 0x94:
+		c.subb(c.fetch())
+		return 1
+	case 0x95:
+		c.subb(c.readDirect(c.fetch()))
+		return 1
+	case 0x96, 0x97:
+		c.subb(c.readIndirect(c.R(int(op & 1))))
+		return 1
+	case 0x98, 0x99, 0x9A, 0x9B, 0x9C, 0x9D, 0x9E, 0x9F:
+		c.subb(c.R(int(op & 7)))
+		return 1
+
+	// --- logic on A ---
+	case 0x44:
+		c.SetA(c.A() | c.fetch())
+		return 1
+	case 0x45:
+		c.SetA(c.A() | c.readDirect(c.fetch()))
+		return 1
+	case 0x46, 0x47:
+		c.SetA(c.A() | c.readIndirect(c.R(int(op&1))))
+		return 1
+	case 0x48, 0x49, 0x4A, 0x4B, 0x4C, 0x4D, 0x4E, 0x4F:
+		c.SetA(c.A() | c.R(int(op&7)))
+		return 1
+	case 0x54:
+		c.SetA(c.A() & c.fetch())
+		return 1
+	case 0x55:
+		c.SetA(c.A() & c.readDirect(c.fetch()))
+		return 1
+	case 0x56, 0x57:
+		c.SetA(c.A() & c.readIndirect(c.R(int(op&1))))
+		return 1
+	case 0x58, 0x59, 0x5A, 0x5B, 0x5C, 0x5D, 0x5E, 0x5F:
+		c.SetA(c.A() & c.R(int(op&7)))
+		return 1
+	case 0x64:
+		c.SetA(c.A() ^ c.fetch())
+		return 1
+	case 0x65:
+		c.SetA(c.A() ^ c.readDirect(c.fetch()))
+		return 1
+	case 0x66, 0x67:
+		c.SetA(c.A() ^ c.readIndirect(c.R(int(op&1))))
+		return 1
+	case 0x68, 0x69, 0x6A, 0x6B, 0x6C, 0x6D, 0x6E, 0x6F:
+		c.SetA(c.A() ^ c.R(int(op&7)))
+		return 1
+
+	// --- logic on direct ---
+	case 0x42: // ORL dir,A
+		d := c.fetch()
+		c.writeDirect(d, c.readDirect(d)|c.A())
+		return 1
+	case 0x43: // ORL dir,#imm
+		d, imm := c.fetch(), c.fetch()
+		c.writeDirect(d, c.readDirect(d)|imm)
+		return 2
+	case 0x52:
+		d := c.fetch()
+		c.writeDirect(d, c.readDirect(d)&c.A())
+		return 1
+	case 0x53:
+		d, imm := c.fetch(), c.fetch()
+		c.writeDirect(d, c.readDirect(d)&imm)
+		return 2
+	case 0x62:
+		d := c.fetch()
+		c.writeDirect(d, c.readDirect(d)^c.A())
+		return 1
+	case 0x63:
+		d, imm := c.fetch(), c.fetch()
+		c.writeDirect(d, c.readDirect(d)^imm)
+		return 2
+
+	// --- MOV ---
+	case 0x74:
+		c.SetA(c.fetch())
+		return 1
+	case 0x75:
+		d, imm := c.fetch(), c.fetch()
+		c.writeDirect(d, imm)
+		return 2
+	case 0x76, 0x77:
+		c.writeIndirect(c.R(int(op&1)), c.fetch())
+		return 1
+	case 0x78, 0x79, 0x7A, 0x7B, 0x7C, 0x7D, 0x7E, 0x7F:
+		c.SetR(int(op&7), c.fetch())
+		return 1
+	case 0x85: // MOV dir,dir — source first in encoding
+		src, dst := c.fetch(), c.fetch()
+		c.writeDirect(dst, c.readDirect(src))
+		return 2
+	case 0x86, 0x87: // MOV dir,@Ri
+		d := c.fetch()
+		c.writeDirect(d, c.readIndirect(c.R(int(op&1))))
+		return 2
+	case 0x88, 0x89, 0x8A, 0x8B, 0x8C, 0x8D, 0x8E, 0x8F: // MOV dir,Rn
+		d := c.fetch()
+		c.writeDirect(d, c.R(int(op&7)))
+		return 2
+	case 0x90: // MOV DPTR,#imm16
+		hi, lo := c.fetch(), c.fetch()
+		c.SetDPTR(uint16(hi)<<8 | uint16(lo))
+		return 2
+	case 0xA6, 0xA7: // MOV @Ri,dir
+		d := c.fetch()
+		c.writeIndirect(c.R(int(op&1)), c.readDirect(d))
+		return 2
+	case 0xA8, 0xA9, 0xAA, 0xAB, 0xAC, 0xAD, 0xAE, 0xAF: // MOV Rn,dir
+		d := c.fetch()
+		c.SetR(int(op&7), c.readDirect(d))
+		return 2
+	case 0xE5:
+		c.SetA(c.readDirect(c.fetch()))
+		return 1
+	case 0xE6, 0xE7:
+		c.SetA(c.readIndirect(c.R(int(op & 1))))
+		return 1
+	case 0xE8, 0xE9, 0xEA, 0xEB, 0xEC, 0xED, 0xEE, 0xEF:
+		c.SetA(c.R(int(op & 7)))
+		return 1
+	case 0xF5:
+		c.writeDirect(c.fetch(), c.A())
+		return 1
+	case 0xF6, 0xF7:
+		c.writeIndirect(c.R(int(op&1)), c.A())
+		return 1
+	case 0xF8, 0xF9, 0xFA, 0xFB, 0xFC, 0xFD, 0xFE, 0xFF:
+		c.SetR(int(op&7), c.A())
+		return 1
+
+	// --- MOVC / MOVX ---
+	case 0x93: // MOVC A,@A+DPTR
+		c.SetA(c.Code[c.DPTR()+uint16(c.A())])
+		return 2
+	case 0x83: // MOVC A,@A+PC
+		c.SetA(c.Code[c.PC+uint16(c.A())])
+		return 2
+	case 0xE0: // MOVX A,@DPTR
+		c.SetA(c.XRAM.Read(c.DPTR()))
+		return 2
+	case 0xE2, 0xE3: // MOVX A,@Ri
+		c.SetA(c.XRAM.Read(uint16(c.R(int(op & 1)))))
+		return 2
+	case 0xF0: // MOVX @DPTR,A
+		c.XRAM.Write(c.DPTR(), c.A())
+		return 2
+	case 0xF2, 0xF3: // MOVX @Ri,A
+		c.XRAM.Write(uint16(c.R(int(op&1))), c.A())
+		return 2
+
+	// --- XCH / SWAP / CLR / CPL / DA ---
+	case 0xC4: // SWAP A
+		a := c.A()
+		c.SetA(a<<4 | a>>4)
+		return 1
+	case 0xC5:
+		d := c.fetch()
+		a, v := c.A(), c.readDirect(d)
+		c.SetA(v)
+		c.writeDirect(d, a)
+		return 1
+	case 0xC6, 0xC7:
+		r := c.R(int(op & 1))
+		a, v := c.A(), c.readIndirect(r)
+		c.SetA(v)
+		c.writeIndirect(r, a)
+		return 1
+	case 0xC8, 0xC9, 0xCA, 0xCB, 0xCC, 0xCD, 0xCE, 0xCF:
+		n := int(op & 7)
+		a, v := c.A(), c.R(n)
+		c.SetA(v)
+		c.SetR(n, a)
+		return 1
+	case 0xD6, 0xD7: // XCHD A,@Ri — swap low nibbles
+		r := c.R(int(op & 1))
+		a, v := c.A(), c.readIndirect(r)
+		c.SetA(a&0xF0 | v&0x0F)
+		c.writeIndirect(r, v&0xF0|a&0x0F)
+		return 1
+	case 0xE4: // CLR A
+		c.SetA(0)
+		return 1
+	case 0xF4: // CPL A
+		c.SetA(^c.A())
+		return 1
+	case 0xD4: // DA A
+		c.daa()
+		return 1
+
+	// --- MUL / DIV ---
+	case 0xA4: // MUL AB
+		p := uint16(c.A()) * uint16(c.B())
+		c.SetA(byte(p))
+		c.SetB(byte(p >> 8))
+		c.setFlag(FlagCY, false)
+		c.setFlag(FlagOV, p > 0xFF)
+		return 4
+	case 0x84: // DIV AB
+		b := c.B()
+		c.setFlag(FlagCY, false)
+		if b == 0 {
+			c.setFlag(FlagOV, true)
+			return 4
+		}
+		a := c.A()
+		c.SetA(a / b)
+		c.SetB(a % b)
+		c.setFlag(FlagOV, false)
+		return 4
+
+	// --- stack ---
+	case 0xC0: // PUSH dir
+		c.push(c.readDirect(c.fetch()))
+		return 2
+	case 0xD0: // POP dir
+		c.writeDirect(c.fetch(), c.pop())
+		return 2
+
+	// --- jumps ---
+	case 0x80: // SJMP rel
+		c.rel(c.fetch())
+		return 2
+	case 0x73: // JMP @A+DPTR
+		c.PC = c.DPTR() + uint16(c.A())
+		return 2
+	case 0x40: // JC
+		return c.condJump(c.CY())
+	case 0x50: // JNC
+		return c.condJump(!c.CY())
+	case 0x60: // JZ
+		return c.condJump(c.A() == 0)
+	case 0x70: // JNZ
+		return c.condJump(c.A() != 0)
+	case 0x20: // JB bit,rel
+		bit := c.fetch()
+		return c.condJump(c.readBit(bit))
+	case 0x30: // JNB bit,rel
+		bit := c.fetch()
+		return c.condJump(!c.readBit(bit))
+	case 0x10: // JBC bit,rel — jump and clear
+		bit := c.fetch()
+		set := c.readBit(bit)
+		if set {
+			c.writeBit(bit, false)
+		}
+		return c.condJump(set)
+
+	// --- CJNE ---
+	case 0xB4: // CJNE A,#imm,rel
+		imm := c.fetch()
+		return c.cjne(c.A(), imm)
+	case 0xB5: // CJNE A,dir,rel
+		v := c.readDirect(c.fetch())
+		return c.cjne(c.A(), v)
+	case 0xB6, 0xB7: // CJNE @Ri,#imm,rel
+		imm := c.fetch()
+		return c.cjne(c.readIndirect(c.R(int(op&1))), imm)
+	case 0xB8, 0xB9, 0xBA, 0xBB, 0xBC, 0xBD, 0xBE, 0xBF: // CJNE Rn,#imm,rel
+		imm := c.fetch()
+		return c.cjne(c.R(int(op&7)), imm)
+
+	// --- DJNZ ---
+	case 0xD5: // DJNZ dir,rel
+		d := c.fetch()
+		v := c.readDirect(d) - 1
+		c.writeDirect(d, v)
+		return c.condJump(v != 0)
+	case 0xD8, 0xD9, 0xDA, 0xDB, 0xDC, 0xDD, 0xDE, 0xDF: // DJNZ Rn,rel
+		n := int(op & 7)
+		v := c.R(n) - 1
+		c.SetR(n, v)
+		return c.condJump(v != 0)
+
+	// --- bit operations ---
+	case 0xC2: // CLR bit
+		c.writeBit(c.fetch(), false)
+		return 1
+	case 0xD2: // SETB bit
+		c.writeBit(c.fetch(), true)
+		return 1
+	case 0xB2: // CPL bit
+		bit := c.fetch()
+		c.writeBit(bit, !c.readBit(bit))
+		return 1
+	case 0xC3: // CLR C
+		c.setFlag(FlagCY, false)
+		return 1
+	case 0xD3: // SETB C
+		c.setFlag(FlagCY, true)
+		return 1
+	case 0xB3: // CPL C
+		c.setFlag(FlagCY, !c.CY())
+		return 1
+	case 0xA2: // MOV C,bit
+		c.setFlag(FlagCY, c.readBit(c.fetch()))
+		return 1
+	case 0x92: // MOV bit,C
+		c.writeBit(c.fetch(), c.CY())
+		return 2
+	case 0x72: // ORL C,bit
+		c.setFlag(FlagCY, c.CY() || c.readBit(c.fetch()))
+		return 2
+	case 0xA0: // ORL C,/bit
+		c.setFlag(FlagCY, c.CY() || !c.readBit(c.fetch()))
+		return 2
+	case 0x82: // ANL C,bit
+		c.setFlag(FlagCY, c.CY() && c.readBit(c.fetch()))
+		return 2
+	case 0xB0: // ANL C,/bit
+		c.setFlag(FlagCY, c.CY() && !c.readBit(c.fetch()))
+		return 2
+
+	case 0xA5: // reserved
+		return 1
+	}
+	panic(fmt.Sprintf("i8051: unimplemented opcode %#02x at PC=%04x", op, c.PC-1))
+}
+
+// condJump fetches the rel byte and branches when cond holds (all
+// conditional branches are 2 cycles taken or not).
+func (c *CPU) condJump(cond bool) int {
+	d := c.fetch()
+	if cond {
+		c.rel(d)
+	}
+	return 2
+}
+
+// cjne compares and branches when a != b; CY is set when a < b (unsigned).
+func (c *CPU) cjne(a, b byte) int {
+	c.setFlag(FlagCY, a < b)
+	return c.condJump(a != b)
+}
+
+// add performs A += v (+CY) with the 8051 flag model.
+func (c *CPU) add(v byte, withCarry bool) {
+	a := c.A()
+	cin := uint16(0)
+	if withCarry && c.CY() {
+		cin = 1
+	}
+	sum := uint16(a) + uint16(v) + cin
+	half := a&0x0F + v&0x0F + byte(cin)
+	c.setFlag(FlagCY, sum > 0xFF)
+	c.setFlag(FlagAC, half > 0x0F)
+	// OV: carry into bit 7 xor carry out of bit 7.
+	c7 := (uint16(a&0x7F) + uint16(v&0x7F) + cin) > 0x7F
+	c.setFlag(FlagOV, c7 != (sum > 0xFF))
+	c.SetA(byte(sum))
+}
+
+// subb performs A -= v + CY with the 8051 flag model.
+func (c *CPU) subb(v byte) {
+	a := c.A()
+	cin := uint16(0)
+	if c.CY() {
+		cin = 1
+	}
+	diff := uint16(a) - uint16(v) - cin
+	c.setFlag(FlagCY, uint16(a) < uint16(v)+cin)
+	c.setFlag(FlagAC, uint16(a&0x0F) < uint16(v&0x0F)+cin)
+	// OV: borrow into bit 7 xor borrow out of bit 7.
+	b7 := uint16(a&0x7F) < uint16(v&0x7F)+cin
+	c.setFlag(FlagOV, b7 != (uint16(a) < uint16(v)+cin))
+	c.SetA(byte(diff))
+}
+
+// daa decimal-adjusts the accumulator after BCD addition.
+func (c *CPU) daa() {
+	a := uint16(c.A())
+	if a&0x0F > 9 || c.flag(FlagAC) {
+		a += 0x06
+	}
+	if a > 0xFF {
+		c.setFlag(FlagCY, true)
+	}
+	a &= 0xFF
+	if a&0xF0 > 0x90 || c.CY() {
+		a += 0x60
+	}
+	if a > 0xFF {
+		c.setFlag(FlagCY, true)
+	}
+	c.SetA(byte(a))
+}

@@ -1,0 +1,56 @@
+package i8051
+
+import (
+	"repro/internal/sysc"
+)
+
+// Machine couples the ISS to the sysc simulation clock: the CPU executes as
+// a simulation process, advancing simulated time by machine-cycle × cycles
+// for every instruction — the "ISS level" of co-simulation the paper's
+// conclusion compares RTOS-level simulation against.
+type Machine struct {
+	CPU *CPU
+
+	sim          *sysc.Simulator
+	machineCycle sysc.Time
+	batch        int // instructions executed per simulation event
+	thread       *sysc.Thread
+	done         *sysc.Event
+}
+
+// NewMachine spawns the CPU as a simulation process. machineCycle is the
+// duration of one machine cycle (1 us on a 12 MHz 8051); batch sets how
+// many instructions execute per simulation event (1 = fully interleaved,
+// larger batches trade interleaving granularity for speed, like a
+// quantum-keeper in TLM).
+func NewMachine(sim *sysc.Simulator, cpu *CPU, machineCycle sysc.Time, batch int) *Machine {
+	if machineCycle <= 0 {
+		machineCycle = sysc.Us
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	m := &Machine{CPU: cpu, sim: sim, machineCycle: machineCycle, batch: batch,
+		done: sim.NewEvent("i8051.done")}
+	m.thread = sim.Spawn("i8051.cpu", m.run)
+	return m
+}
+
+// Done returns an event notified when the CPU halts.
+func (m *Machine) Done() *sysc.Event { return m.done }
+
+// Halted reports whether the CPU reached its halt idiom.
+func (m *Machine) Halted() bool { return m.CPU.Halted }
+
+func (m *Machine) run(th *sysc.Thread) {
+	for !m.CPU.Halted {
+		cycles := 0
+		for i := 0; i < m.batch && !m.CPU.Halted; i++ {
+			cycles += m.CPU.Step()
+		}
+		if cycles > 0 {
+			th.Wait(sysc.Time(cycles) * m.machineCycle)
+		}
+	}
+	m.done.Notify()
+}

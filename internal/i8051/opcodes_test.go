@@ -1,0 +1,316 @@
+package i8051
+
+import "testing"
+
+// Broad opcode-family coverage: every addressing-mode variant the main
+// tests do not reach, executed as small programs with checked results.
+
+func TestOpcodesMovDirAndRegForms(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		Nop().
+		MovDirImm(0x30, 0x5A).
+		MovADir(0x30).    // A = [30]
+		MovRDir(4, 0x30). // R4 = [30]
+		MovDirR(0x31, 4). // [31] = R4
+		Halt())
+	if c.A() != 0x5A || c.R(4) != 0x5A || c.IRAM[0x31] != 0x5A {
+		t.Fatalf("A=%02x R4=%02x [31]=%02x", c.A(), c.R(4), c.IRAM[0x31])
+	}
+}
+
+func TestOpcodesIncDecForms(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x40, 9).
+		IncDir(0x40). // [40] = 10
+		MovRImm(3, 5).
+		DecR(3). // R3 = 4
+		MovAImm(7).
+		DecA(). // A = 6
+		MovDPTR(0x00FF).
+		IncDPTR(). // DPTR = 0x0100
+		// INC/DEC @Ri
+		MovRImm(0, 0x40).
+		emitOp(0x06). // INC @R0 -> [40] = 11
+		emitOp(0x16). // DEC @R0 -> [40] = 10
+		Halt())
+	if c.IRAM[0x40] != 10 || c.R(3) != 4 || c.A() != 6 || c.DPTR() != 0x0100 {
+		t.Fatalf("[40]=%d R3=%d A=%d DPTR=%04x", c.IRAM[0x40], c.R(3), c.A(), c.DPTR())
+	}
+}
+
+// emitOp exposes raw emission for opcodes without a builder method.
+func (a *Asm) emitOp(bs ...byte) *Asm { return a.emit(bs...) }
+
+func TestOpcodesArithAddressingModes(t *testing.T) {
+	// ADD A,dir / ADD A,@Ri / ADDC A,dir / SUBB A,Rn / SUBB A,dir / @Ri.
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x30, 5).
+		MovRImm(0, 0x30).
+		MovAImm(1).
+		AddADir(0x30). // A = 6
+		emitOp(0x26).  // ADD A,@R0 -> 11
+		ClrC().
+		emitOp(0x35, 0x30). // ADDC A,dir -> 16
+		MovRImm(2, 6).
+		ClrC().
+		SubbAR(2).          // 16-6 = 10
+		emitOp(0x95, 0x30). // SUBB A,dir -> 5
+		emitOp(0x96).       // SUBB A,@R0 -> 0
+		Halt())
+	if c.A() != 0 {
+		t.Fatalf("A = %d, want 0", c.A())
+	}
+}
+
+func TestOpcodesLogicAddressingModes(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x30, 0b1010_1010).
+		MovRImm(0, 0x30).
+		MovRImm(5, 0b0000_1111).
+		MovAImm(0b1111_0000).
+		emitOp(0x45, 0x30). // ORL A,dir -> 1111 1010
+		emitOp(0x56).       // ANL A,@R0 -> 1010 1010
+		emitOp(0x6D).       // XRL A,R5  -> 1010 0101
+		OrlAImm(0b0100_0000).
+		XrlAImm(0b0000_0001).
+		Halt())
+	if c.A() != 0b1110_0100 {
+		t.Fatalf("A = %08b", c.A())
+	}
+}
+
+func TestOpcodesLogicOnDirect(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x30, 0b0011_0000).
+		MovAImm(0b0000_0011).
+		emitOp(0x42, 0x30).       // ORL dir,A   -> 0011 0011
+		emitOp(0x43, 0x30, 0x80). // ORL dir,#   -> 1011 0011
+		emitOp(0x52, 0x30).       // ANL dir,A   -> 0000 0011
+		emitOp(0x53, 0x30, 0x01). // ANL dir,#   -> 0000 0001
+		emitOp(0x62, 0x30).       // XRL dir,A   -> 0000 0010
+		emitOp(0x63, 0x30, 0xFF). // XRL dir,#   -> 1111 1101
+		Halt())
+	if c.IRAM[0x30] != 0b1111_1101 {
+		t.Fatalf("[30] = %08b", c.IRAM[0x30])
+	}
+}
+
+func TestOpcodesXchXchd(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x30, 0x12).
+		MovAImm(0x34).
+		XchADir(0x30). // A=0x12, [30]=0x34
+		MovRImm(0, 0x30).
+		emitOp(0xD6). // XCHD A,@R0: low nibbles swap -> A=0x14, [30]=0x32
+		Halt())
+	if c.A() != 0x14 || c.IRAM[0x30] != 0x32 {
+		t.Fatalf("A=%02x [30]=%02x", c.A(), c.IRAM[0x30])
+	}
+}
+
+func TestOpcodesRotatesRight(t *testing.T) {
+	c := runProgram(t, NewAsm().MovAImm(0x01).RrA().Halt())
+	if c.A() != 0x80 {
+		t.Fatalf("RR: %02x", c.A())
+	}
+	c = runProgram(t, NewAsm().SetbC().MovAImm(0x02).RrcA().Halt())
+	if c.A() != 0x81 || c.CY() {
+		t.Fatalf("RRC: %02x CY=%v", c.A(), c.CY())
+	}
+}
+
+func TestOpcodesConditionalJumps(t *testing.T) {
+	// JZ/JNZ/JC/JNC both taken and not taken.
+	c := runProgram(t, NewAsm().
+		ClrA().
+		Jz("z1"). // taken
+		MovRImm(7, 0xEE).
+		Label("z1").
+		MovAImm(1).
+		Jz("bad"). // not taken
+		Jnz("n1"). // taken
+		Label("bad").
+		MovRImm(7, 0xEE).
+		Label("n1").
+		SetbC().
+		Jc("c1"). // taken
+		MovRImm(7, 0xEE).
+		Label("c1").
+		ClrC().
+		Jnc("ok"). // taken
+		MovRImm(7, 0xEE).
+		Label("ok").
+		Halt())
+	if c.R(7) == 0xEE {
+		t.Fatal("a branch went the wrong way")
+	}
+}
+
+func TestOpcodesAjmpAcall(t *testing.T) {
+	// AJMP/ACALL with page-relative encoding: build manually within page 0.
+	a := NewAsm()
+	a.emitOp(0x01, 0x06) // AJMP 0x0006 (op 0x01: a10..a8=0)
+	a.Org(0x0006)
+	a.emitOp(0x11, 0x0B) // ACALL 0x000B
+	a.MovRImm(6, 0x77).  // after return
+				Halt()
+	a.Org(0x000B)
+	a.MovAImm(0x55).Ret()
+	c := runProgram(t, a)
+	if c.A() != 0x55 || c.R(6) != 0x77 {
+		t.Fatalf("A=%02x R6=%02x", c.A(), c.R(6))
+	}
+}
+
+func TestOpcodesJmpADPTR(t *testing.T) {
+	a := NewAsm().
+		MovDPTR(0x0010).
+		MovAImm(0x02).
+		emitOp(0x73) // JMP @A+DPTR -> 0x0012
+	a.Org(0x0010)
+	a.Halt() // 0x0010: wrong target, halts with R7=0
+	a.Org(0x0012)
+	a.MovRImm(7, 9).Halt()
+	c := runProgram(t, a)
+	if c.R(7) != 9 {
+		t.Fatalf("R7 = %d", c.R(7))
+	}
+}
+
+func TestOpcodesMovcPC(t *testing.T) {
+	// MOVC A,@A+PC reads relative to the NEXT instruction's address.
+	a := NewAsm().
+		MovAImm(2).
+		emitOp(0x83). // MOVC A,@A+PC; PC is at Halt (2 bytes), +2 = table[0]
+		Halt()
+	a.emitOp(0xDE, 0xAD) // table right after the halt
+	c := runProgram(t, a)
+	if c.A() != 0xDE {
+		t.Fatalf("A = %02x", c.A())
+	}
+}
+
+func TestOpcodesMovxRi(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovRImm(0, 0x20).
+		MovAImm(0x99).
+		emitOp(0xF2). // MOVX @R0,A -> XRAM[0x20]
+		ClrA().
+		emitOp(0xE2). // MOVX A,@R0
+		Halt())
+	if c.A() != 0x99 || c.XRAM.Read(0x20) != 0x99 {
+		t.Fatalf("A=%02x", c.A())
+	}
+}
+
+func TestOpcodesDjnzDirCjneForms(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x30, 3).
+		ClrA().
+		Label("l").
+		IncA().
+		DjnzDir(0x30, "l"). // 3 iterations
+		MovRImm(1, 5).
+		CjneRImm(1, 5, "ne"). // equal: falls through
+		MovRImm(7, 0xAA).
+		Label("ne").
+		Halt())
+	if c.A() != 3 {
+		t.Fatalf("DJNZ dir iterations: A = %d", c.A())
+	}
+	if c.R(7) != 0xAA {
+		t.Fatal("equal CJNE Rn,#imm must fall through")
+	}
+}
+
+func TestOpcodesCjneIndirect(t *testing.T) {
+	c := runProgram(t, NewAsm().
+		MovDirImm(0x30, 7).
+		MovRImm(0, 0x30).
+		MovRImm(7, 0).
+		emitOp(0xB6, 0x07, 0x02). // CJNE @R0,#7,+2 — equal: no jump
+		MovRImm(7, 1).            // executed
+		Halt())
+	if c.R(7) != 1 {
+		t.Fatalf("R7 = %d (equal CJNE must not jump)", c.R(7))
+	}
+	// CJNE A,dir,rel with unequal values jumps.
+	c = runProgram(t, NewAsm().
+		MovDirImm(0x30, 9).
+		MovAImm(4).
+		emitOp(0xB5, 0x30, 0x02). // CJNE A,dir,+2 — jumps over marker
+		MovRImm(7, 0xEE).
+		Halt())
+	if c.R(7) == 0xEE {
+		t.Fatal("unequal CJNE fell through")
+	}
+	if !c.CY() { // 4 < 9 sets carry
+		t.Fatal("CJNE carry wrong")
+	}
+}
+
+func TestOpcodesBitCarryLogic(t *testing.T) {
+	// ORL/ANL C,bit and complemented forms + CPL C + JBC not-taken.
+	c := runProgram(t, NewAsm().
+		ClrBit(0x08).
+		ClrC().
+		emitOp(0x72, 0x08). // ORL C,bit(0) -> 0
+		emitOp(0xA0, 0x08). // ORL C,/bit(0) -> 1
+		emitOp(0x82, 0x08). // ANL C,bit(0) -> 0
+		CplC().             // 1
+		emitOp(0xB0, 0x08). // ANL C,/bit(0) -> 1
+		Jbc(0x08, "bad").   // bit clear: not taken
+		MovBitC(0x09).      // bit 0x09 <- C(1)
+		Halt().
+		Label("bad").
+		ClrA().
+		Halt())
+	if !c.readBit(0x09) {
+		t.Fatal("bit-carry pipeline wrong")
+	}
+}
+
+func TestOpcodesDAAWithCarryChain(t *testing.T) {
+	// BCD 99 + 01 = 100: A=0x00, CY=1.
+	c := runProgram(t, NewAsm().
+		MovAImm(0x99).
+		AddAImm(0x01).
+		DaA().
+		Halt())
+	if c.A() != 0x00 || !c.CY() {
+		t.Fatalf("DA: A=%02x CY=%v", c.A(), c.CY())
+	}
+}
+
+func TestOpcodesReservedA5(t *testing.T) {
+	c := New([]byte{0xA5, 0x80, 0xFE})
+	c.Run(10)
+	if !c.Halted || c.Instrs != 2 {
+		t.Fatalf("reserved opcode handling: %v", c)
+	}
+}
+
+func TestCPUStringer(t *testing.T) {
+	c := New(NewAsm().MovAImm(1).Halt().Assemble())
+	c.Run(5)
+	if s := c.String(); len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestAllOpcodesDecode(t *testing.T) {
+	// Every opcode must decode without panicking when fed zero operands.
+	for op := 0; op <= 0xFF; op++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("opcode %#02x panicked: %v", op, r)
+				}
+			}()
+			prog := []byte{byte(op), 0, 0, 0}
+			c := New(prog)
+			c.SFR[SfrSP-0x80] = 0x20 // keep stack ops in bounds
+			c.Step()
+		}()
+	}
+}

@@ -1,0 +1,366 @@
+// Package itron is a µITRON 4.0 compatibility veneer over the RTK-Spec TRON
+// kernel model. The paper motivates its approach by the µITRON standard's
+// market share ("over 40% of RTOSs are based on one specification standard,
+// i.e. µ-ITRON") and validates the SIM_API dynamics against the µITRON v4
+// specification; this package exposes the kernel through µITRON service
+// names and semantics where they differ from T-Kernel:
+//
+//   - act_tsk/can_act queue activation requests (tk_sta_tsk is strict);
+//   - sig_sem releases exactly one resource (no count argument);
+//   - wait services come in the v4 triple: blocking (wai_*), polling
+//     (pol_*), and with timeout (twai_*);
+//   - event-flag clearing is an object attribute (TA_CLR), not a per-wait
+//     mode bit;
+//   - data queues (snd_dtq/rcv_dtq) carry fixed-size words, realized over
+//     the kernel's message buffers;
+//   - loc_cpu/unl_cpu map to dispatch disabling.
+package itron
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// Re-exported kernel types so ITRON application code needs only this
+// package.
+type (
+	// ID identifies a kernel object.
+	ID = tkernel.ID
+	// ER is the service-call error code.
+	ER = tkernel.ER
+	// TMO is a wait timeout.
+	TMO = tkernel.TMO
+)
+
+// µITRON v4 constants.
+const (
+	TmoPol  = tkernel.TmoPol
+	TmoFevr = tkernel.TmoFevr
+
+	// TMaxActCnt is the maximum queued activation count (TMAX_ACTCNT).
+	TMaxActCnt = 255
+	// TMaxWupCnt is the maximum queued wakeup count (TMAX_WUPCNT).
+	TMaxWupCnt = 255
+)
+
+// TSKSTAT is the µITRON task state encoding returned by RefTsk.
+type TSKSTAT int
+
+// Task states (µITRON v4 TTS_* values).
+const (
+	TTSRun TSKSTAT = 0x01
+	TTSRdy TSKSTAT = 0x02
+	TTSWai TSKSTAT = 0x04
+	TTSSus TSKSTAT = 0x08
+	TTSWas TSKSTAT = 0x0C
+	TTSDmt TSKSTAT = 0x10
+)
+
+// String names the state.
+func (s TSKSTAT) String() string {
+	switch s {
+	case TTSRun:
+		return "TTS_RUN"
+	case TTSRdy:
+		return "TTS_RDY"
+	case TTSWai:
+		return "TTS_WAI"
+	case TTSSus:
+		return "TTS_SUS"
+	case TTSWas:
+		return "TTS_WAS"
+	case TTSDmt:
+		return "TTS_DMT"
+	}
+	return "TTS_?"
+}
+
+// tskstatOf maps the core scheduling state to the µITRON encoding.
+func tskstatOf(s core.State) TSKSTAT {
+	switch s {
+	case core.StateRunning:
+		return TTSRun
+	case core.StateReady:
+		return TTSRdy
+	case core.StateWaiting:
+		return TTSWai
+	case core.StateSuspended:
+		return TTSSus
+	case core.StateWaitSuspended:
+		return TTSWas
+	default:
+		return TTSDmt
+	}
+}
+
+// API is a µITRON 4.0 view of a kernel instance.
+type API struct {
+	K *tkernel.Kernel
+
+	clrFlags map[ID]bool // event flags created with TA_CLR
+	dtqSize  map[ID]int  // element size per data queue
+}
+
+// New wraps a kernel.
+func New(k *tkernel.Kernel) *API {
+	return &API{K: k, clrFlags: map[ID]bool{}, dtqSize: map[ID]int{}}
+}
+
+// --- task management ---
+
+// T_CTSK is the µITRON task creation packet.
+type T_CTSK struct {
+	Name string
+	Pri  int
+	Task func(*tkernel.Task)
+}
+
+// CreTsk creates a task (cre_tsk).
+func (a *API) CreTsk(pk T_CTSK) (ID, ER) { return a.K.CreTsk(pk.Name, pk.Pri, pk.Task) }
+
+// ActTsk activates a task, queuing the request when it is not dormant
+// (act_tsk).
+func (a *API) ActTsk(id ID) ER { return a.K.ActTsk(id, TMaxActCnt) }
+
+// CanAct cancels queued activations (can_act).
+func (a *API) CanAct(id ID) (int, ER) { return a.K.CanAct(id) }
+
+// StaTsk starts a dormant task (sta_tsk; no start-code in this model).
+func (a *API) StaTsk(id ID) ER { return a.K.StaTsk(id) }
+
+// ExtTsk exits the calling task (ext_tsk).
+func (a *API) ExtTsk() ER { return a.K.ExtTsk() }
+
+// TerTsk terminates another task (ter_tsk).
+func (a *API) TerTsk(id ID) ER { return a.K.TerTsk(id) }
+
+// ChgPri changes a task's priority (chg_pri).
+func (a *API) ChgPri(id ID, pri int) ER { return a.K.ChgPri(id, pri) }
+
+// GetPri returns a task's current priority (get_pri). id 0 = caller.
+func (a *API) GetPri(id ID) (int, ER) {
+	info, er := a.K.RefTsk(id)
+	if er != tkernel.EOK {
+		return 0, er
+	}
+	return info.Priority, tkernel.EOK
+}
+
+// T_RTSK is the ref_tsk packet.
+type T_RTSK struct {
+	Tskstat TSKSTAT
+	Tskpri  int
+	Tskbpri int
+	Wupcnt  int
+	Actcnt  int
+	Suscnt  int
+}
+
+// RefTsk returns the µITRON task state (ref_tsk).
+func (a *API) RefTsk(id ID) (T_RTSK, ER) {
+	info, er := a.K.RefTsk(id)
+	if er != tkernel.EOK {
+		return T_RTSK{}, er
+	}
+	return T_RTSK{
+		Tskstat: tskstatOf(info.State),
+		Tskpri:  info.Priority,
+		Tskbpri: info.BasePrio,
+		Wupcnt:  info.WupCount,
+		Suscnt:  info.SusCount,
+	}, tkernel.EOK
+}
+
+// GetTid returns the calling task's ID (get_tid).
+func (a *API) GetTid() ID { return a.K.GetTid() }
+
+// --- task-dependent synchronization ---
+
+// SlpTsk sleeps forever until a wakeup (slp_tsk).
+func (a *API) SlpTsk() ER { return a.K.SlpTsk(TmoFevr) }
+
+// TslpTsk sleeps with a timeout (tslp_tsk).
+func (a *API) TslpTsk(tmout TMO) ER { return a.K.SlpTsk(tmout) }
+
+// WupTsk wakes a task, queueing the wakeup when it is not sleeping
+// (wup_tsk).
+func (a *API) WupTsk(id ID) ER { return a.K.WupTsk(id) }
+
+// CanWup cancels queued wakeups (can_wup).
+func (a *API) CanWup(id ID) (int, ER) { return a.K.CanWup(id) }
+
+// DlyTsk delays the calling task (dly_tsk).
+func (a *API) DlyTsk(d sysc.Time) ER { return a.K.DlyTsk(d) }
+
+// RelWai releases another task's wait with E_RLWAI (rel_wai).
+func (a *API) RelWai(id ID) ER { return a.K.RelWai(id) }
+
+// SusTsk / RsmTsk / FrsmTsk forcibly suspend and resume (sus_tsk family).
+func (a *API) SusTsk(id ID) ER  { return a.K.SusTsk(id) }
+func (a *API) RsmTsk(id ID) ER  { return a.K.RsmTsk(id) }
+func (a *API) FrsmTsk(id ID) ER { return a.K.FrsmTsk(id) }
+
+// RotRdq rotates a precedence class (rot_rdq; 0 = caller's priority).
+func (a *API) RotRdq(pri int) ER { return a.K.RotRdq(pri) }
+
+// LocCpu disables dispatching (loc_cpu; interrupts still modelled).
+func (a *API) LocCpu() ER { return a.K.DisDsp() }
+
+// UnlCpu re-enables dispatching (unl_cpu).
+func (a *API) UnlCpu() ER { return a.K.EnaDsp() }
+
+// --- semaphores ---
+
+// T_CSEM is the semaphore creation packet.
+type T_CSEM struct {
+	Name    string
+	Attr    tkernel.Attr
+	IsemCnt int
+	MaxSem  int
+}
+
+// CreSem creates a semaphore (cre_sem).
+func (a *API) CreSem(pk T_CSEM) (ID, ER) {
+	return a.K.CreSem(pk.Name, pk.Attr, pk.IsemCnt, pk.MaxSem)
+}
+
+// SigSem releases exactly one resource (sig_sem has no count in µITRON).
+func (a *API) SigSem(id ID) ER { return a.K.SigSem(id, 1) }
+
+// WaiSem acquires one resource, blocking (wai_sem).
+func (a *API) WaiSem(id ID) ER { return a.K.WaiSem(id, 1, TmoFevr) }
+
+// PolSem acquires one resource without waiting (pol_sem).
+func (a *API) PolSem(id ID) ER { return a.K.WaiSem(id, 1, TmoPol) }
+
+// TwaiSem acquires one resource with a timeout (twai_sem).
+func (a *API) TwaiSem(id ID, tmout TMO) ER { return a.K.WaiSem(id, 1, tmout) }
+
+// DelSem deletes a semaphore (del_sem).
+func (a *API) DelSem(id ID) ER { return a.K.DelSem(id) }
+
+// --- event flags ---
+
+// T_CFLG is the event-flag creation packet. TA_CLR semantics (clear the
+// whole pattern when a wait completes) are an object attribute in µITRON.
+type T_CFLG struct {
+	Name    string
+	Attr    tkernel.Attr
+	Clear   bool // TA_CLR
+	IflgPtn uint32
+}
+
+// CreFlg creates an event flag (cre_flg).
+func (a *API) CreFlg(pk T_CFLG) (ID, ER) {
+	id, er := a.K.CreFlg(pk.Name, pk.Attr, pk.IflgPtn)
+	if er == tkernel.EOK {
+		a.clrFlags[id] = pk.Clear
+	}
+	return id, er
+}
+
+// SetFlg sets pattern bits (set_flg).
+func (a *API) SetFlg(id ID, ptn uint32) ER { return a.K.SetFlg(id, ptn) }
+
+// ClrFlg clears bits: pattern &= clrptn (clr_flg).
+func (a *API) ClrFlg(id ID, clrptn uint32) ER { return a.K.ClrFlg(id, clrptn) }
+
+// WaiFlg waits for the pattern (wai_flg); the object's TA_CLR attribute
+// selects clearing.
+func (a *API) WaiFlg(id ID, waiptn uint32, mode tkernel.FlagMode) (uint32, ER) {
+	return a.K.WaiFlg(id, waiptn, a.mode(id, mode), TmoFevr)
+}
+
+// PolFlg polls the pattern (pol_flg).
+func (a *API) PolFlg(id ID, waiptn uint32, mode tkernel.FlagMode) (uint32, ER) {
+	return a.K.WaiFlg(id, waiptn, a.mode(id, mode), TmoPol)
+}
+
+// TwaiFlg waits with a timeout (twai_flg).
+func (a *API) TwaiFlg(id ID, waiptn uint32, mode tkernel.FlagMode, tmout TMO) (uint32, ER) {
+	return a.K.WaiFlg(id, waiptn, a.mode(id, mode), tmout)
+}
+
+func (a *API) mode(id ID, m tkernel.FlagMode) tkernel.FlagMode {
+	if a.clrFlags[id] {
+		m |= tkernel.TwfCLR
+	}
+	return m
+}
+
+// --- data queues (µITRON v4 object absent from T-Kernel) ---
+
+// dtqWordSize is the serialized size of one data element (a VP_INT word).
+const dtqWordSize = 8
+
+// T_CDTQ is the data-queue creation packet: capacity counts queued words;
+// capacity 0 gives a fully synchronous queue.
+type T_CDTQ struct {
+	Name   string
+	DtqCnt int
+}
+
+// CreDtq creates a data queue (cre_dtq), realized over a kernel message
+// buffer sized for DtqCnt words.
+func (a *API) CreDtq(pk T_CDTQ) (ID, ER) {
+	bufsz := pk.DtqCnt * (dtqWordSize + 4)
+	id, er := a.K.CreMbf(pk.Name, tkernel.TaTFIFO, bufsz, dtqWordSize)
+	if er == tkernel.EOK {
+		a.dtqSize[id] = pk.DtqCnt
+	}
+	return id, er
+}
+
+// SndDtq sends one word, blocking while the queue is full (snd_dtq).
+func (a *API) SndDtq(id ID, data uint64) ER {
+	var b [dtqWordSize]byte
+	binary.LittleEndian.PutUint64(b[:], data)
+	return a.K.SndMbf(id, b[:], TmoFevr)
+}
+
+// PsndDtq sends without waiting (psnd_dtq).
+func (a *API) PsndDtq(id ID, data uint64) ER {
+	var b [dtqWordSize]byte
+	binary.LittleEndian.PutUint64(b[:], data)
+	return a.K.SndMbf(id, b[:], TmoPol)
+}
+
+// TsndDtq sends with a timeout (tsnd_dtq).
+func (a *API) TsndDtq(id ID, data uint64, tmout TMO) ER {
+	var b [dtqWordSize]byte
+	binary.LittleEndian.PutUint64(b[:], data)
+	return a.K.SndMbf(id, b[:], tmout)
+}
+
+// RcvDtq receives one word, blocking while empty (rcv_dtq).
+func (a *API) RcvDtq(id ID) (uint64, ER) {
+	msg, er := a.K.RcvMbf(id, TmoFevr)
+	if er != tkernel.EOK {
+		return 0, er
+	}
+	return binary.LittleEndian.Uint64(msg), tkernel.EOK
+}
+
+// PrcvDtq receives without waiting (prcv_dtq).
+func (a *API) PrcvDtq(id ID) (uint64, ER) {
+	msg, er := a.K.RcvMbf(id, TmoPol)
+	if er != tkernel.EOK {
+		return 0, er
+	}
+	return binary.LittleEndian.Uint64(msg), tkernel.EOK
+}
+
+// TrcvDtq receives with a timeout (trcv_dtq).
+func (a *API) TrcvDtq(id ID, tmout TMO) (uint64, ER) {
+	msg, er := a.K.RcvMbf(id, tmout)
+	if er != tkernel.EOK {
+		return 0, er
+	}
+	return binary.LittleEndian.Uint64(msg), tkernel.EOK
+}
+
+// DelDtq deletes a data queue (del_dtq).
+func (a *API) DelDtq(id ID) ER { return a.K.DelMbf(id) }

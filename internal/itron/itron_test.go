@@ -1,0 +1,236 @@
+package itron_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/itron"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// boot builds an ITRON API over a fresh kernel and boots userMain.
+func boot(t *testing.T, main func(a *itron.API)) (*itron.API, *sysc.Simulator) {
+	t.Helper()
+	sim := sysc.NewSimulator()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts()})
+	api := itron.New(k)
+	k.Boot(func(k *tkernel.Kernel) { main(api) })
+	t.Cleanup(sim.Shutdown)
+	return api, sim
+}
+
+func run(t *testing.T, sim *sysc.Simulator, until sysc.Time) {
+	t.Helper()
+	if err := sim.Start(until); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActTskQueuesWhileActive(t *testing.T) {
+	// The defining act_tsk difference from tk_sta_tsk: activating a
+	// running task queues the request and the task re-runs on exit.
+	runs := 0
+	_, sim := boot(t, func(a *itron.API) {
+		id, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 10, Task: func(task *tkernel.Task) {
+			a.K.Work(core.Cost{Time: 2 * sysc.Ms}, "")
+			runs++
+		}})
+		if er := a.ActTsk(id); er != tkernel.EOK {
+			t.Errorf("first act: %v", er)
+		}
+		if er := a.ActTsk(id); er != tkernel.EOK { // queued
+			t.Errorf("second act: %v", er)
+		}
+		if er := a.ActTsk(id); er != tkernel.EOK { // queued
+			t.Errorf("third act: %v", er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if runs != 3 {
+		t.Fatalf("runs = %d, want 3 (one live + two queued)", runs)
+	}
+}
+
+func TestCanActCancelsQueue(t *testing.T) {
+	runs := 0
+	_, sim := boot(t, func(a *itron.API) {
+		id, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 10, Task: func(task *tkernel.Task) {
+			a.K.Work(core.Cost{Time: 2 * sysc.Ms}, "")
+			runs++
+		}})
+		_ = a.ActTsk(id)
+		_ = a.ActTsk(id)
+		_ = a.ActTsk(id)
+		n, er := a.CanAct(id)
+		if er != tkernel.EOK || n != 2 {
+			t.Errorf("CanAct = %d, %v", n, er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if runs != 1 {
+		t.Fatalf("runs = %d after can_act", runs)
+	}
+}
+
+func TestSigSemSingleCount(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		sem, _ := a.CreSem(itron.T_CSEM{Name: "s", IsemCnt: 0, MaxSem: 2})
+		if er := a.PolSem(sem); er != tkernel.ETMOUT {
+			t.Errorf("empty poll: %v", er)
+		}
+		_ = a.SigSem(sem)
+		if er := a.PolSem(sem); er != tkernel.EOK {
+			t.Errorf("after one signal: %v", er)
+		}
+		if er := a.PolSem(sem); er != tkernel.ETMOUT {
+			t.Errorf("sig_sem must release exactly one: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestTwaiSemTimeout(t *testing.T) {
+	var code tkernel.ER
+	var at sysc.Time
+	_, sim := boot(t, func(a *itron.API) {
+		sem, _ := a.CreSem(itron.T_CSEM{Name: "s", MaxSem: 1})
+		id, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 10, Task: func(task *tkernel.Task) {
+			code = a.TwaiSem(sem, 6*sysc.Ms)
+			at = a.K.Sim().Now()
+		}})
+		_ = a.ActTsk(id)
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.ETMOUT || at != 6*sysc.Ms {
+		t.Fatalf("code=%v at=%v", code, at)
+	}
+}
+
+func TestFlagTAClrAttribute(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		flg, _ := a.CreFlg(itron.T_CFLG{Name: "f", Attr: tkernel.TaWMUL, Clear: true})
+		_ = a.SetFlg(flg, 0b11)
+		ptn, er := a.PolFlg(flg, 0b01, tkernel.TwfORW)
+		if er != tkernel.EOK || ptn != 0b11 {
+			t.Errorf("pol_flg: %b %v", ptn, er)
+		}
+		// TA_CLR: the whole pattern cleared by the completed wait.
+		if _, er := a.PolFlg(flg, 0b10, tkernel.TwfORW); er != tkernel.ETMOUT {
+			t.Errorf("pattern should have been cleared: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestDataQueueRoundTrip(t *testing.T) {
+	var got []uint64
+	_, sim := boot(t, func(a *itron.API) {
+		dtq, er := a.CreDtq(itron.T_CDTQ{Name: "q", DtqCnt: 4})
+		if er != tkernel.EOK {
+			t.Fatalf("cre_dtq: %v", er)
+		}
+		rcv, _ := a.CreTsk(itron.T_CTSK{Name: "rcv", Pri: 10, Task: func(task *tkernel.Task) {
+			for i := 0; i < 3; i++ {
+				v, er := a.RcvDtq(dtq)
+				if er != tkernel.EOK {
+					t.Errorf("rcv_dtq: %v", er)
+					return
+				}
+				got = append(got, v)
+			}
+		}})
+		snd, _ := a.CreTsk(itron.T_CTSK{Name: "snd", Pri: 12, Task: func(task *tkernel.Task) {
+			for i := uint64(1); i <= 3; i++ {
+				a.K.Work(core.Cost{Time: sysc.Ms}, "")
+				if er := a.SndDtq(dtq, i*100); er != tkernel.EOK {
+					t.Errorf("snd_dtq: %v", er)
+				}
+			}
+		}})
+		_ = a.ActTsk(rcv)
+		_ = a.ActTsk(snd)
+	})
+	run(t, sim, sysc.Sec)
+	if len(got) != 3 || got[0] != 100 || got[1] != 200 || got[2] != 300 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDataQueueBlocksWhenFull(t *testing.T) {
+	var sentAt sysc.Time
+	_, sim := boot(t, func(a *itron.API) {
+		dtq, _ := a.CreDtq(itron.T_CDTQ{Name: "q", DtqCnt: 1})
+		snd, _ := a.CreTsk(itron.T_CTSK{Name: "snd", Pri: 10, Task: func(task *tkernel.Task) {
+			_ = a.SndDtq(dtq, 1) // fills
+			if er := a.SndDtq(dtq, 2); er != tkernel.EOK {
+				t.Errorf("blocked send: %v", er)
+			}
+			sentAt = a.K.Sim().Now()
+		}})
+		_ = a.ActTsk(snd)
+		_ = a.DlyTsk(5 * sysc.Ms)
+		if v, er := a.PrcvDtq(dtq); er != tkernel.EOK || v != 1 {
+			t.Errorf("drain: %v %v", v, er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if sentAt != 5*sysc.Ms {
+		t.Fatalf("second send at %v", sentAt)
+	}
+}
+
+func TestRefTskStates(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		id, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 10, Task: func(task *tkernel.Task) {
+			_ = a.SlpTsk()
+		}})
+		st, _ := a.RefTsk(id)
+		if st.Tskstat != itron.TTSDmt {
+			t.Errorf("dormant: %v", st.Tskstat)
+		}
+		_ = a.ActTsk(id)
+		_ = a.DlyTsk(2 * sysc.Ms)
+		st, _ = a.RefTsk(id)
+		if st.Tskstat != itron.TTSWai {
+			t.Errorf("waiting: %v", st.Tskstat)
+		}
+		_ = a.SusTsk(id)
+		st, _ = a.RefTsk(id)
+		if st.Tskstat != itron.TTSWas {
+			t.Errorf("waiting-suspended: %v", st.Tskstat)
+		}
+		_ = a.RsmTsk(id)
+		_ = a.WupTsk(id)
+	})
+	run(t, sim, sysc.Sec)
+}
+
+func TestGetPriAndLocCpu(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		id, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 17, Task: func(task *tkernel.Task) {}})
+		_ = a.ActTsk(id)
+		pri, er := a.GetPri(id)
+		if er != tkernel.EOK || pri != 17 {
+			t.Errorf("get_pri = %d %v", pri, er)
+		}
+		if er := a.LocCpu(); er != tkernel.EOK {
+			t.Errorf("loc_cpu: %v", er)
+		}
+		if er := a.UnlCpu(); er != tkernel.EOK {
+			t.Errorf("unl_cpu: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestTskstatStrings(t *testing.T) {
+	for st, want := range map[itron.TSKSTAT]string{
+		itron.TTSRun: "TTS_RUN", itron.TTSRdy: "TTS_RDY", itron.TTSWai: "TTS_WAI",
+		itron.TTSSus: "TTS_SUS", itron.TTSWas: "TTS_WAS", itron.TTSDmt: "TTS_DMT",
+	} {
+		if st.String() != want {
+			t.Errorf("%d -> %s", st, st.String())
+		}
+	}
+}

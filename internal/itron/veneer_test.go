@@ -1,0 +1,211 @@
+package itron_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/itron"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// TestVeneerTaskServices exercises the thin task-management wrappers.
+func TestVeneerTaskServices(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		id, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 10, Task: func(task *tkernel.Task) {
+			if a.GetTid() == 0 {
+				t.Error("get_tid in task context returned 0")
+			}
+			a.K.Work(core.Cost{Time: 20 * sysc.Ms}, "")
+		}})
+		if er := a.StaTsk(id); er != tkernel.EOK {
+			t.Errorf("sta_tsk: %v", er)
+		}
+		_ = a.DlyTsk(2 * sysc.Ms)
+		if er := a.ChgPri(id, 7); er != tkernel.EOK {
+			t.Errorf("chg_pri: %v", er)
+		}
+		if pri, _ := a.GetPri(id); pri != 7 {
+			t.Errorf("get_pri = %d", pri)
+		}
+		if er := a.RotRdq(7); er != tkernel.EOK {
+			t.Errorf("rot_rdq: %v", er)
+		}
+		if er := a.TerTsk(id); er != tkernel.EOK {
+			t.Errorf("ter_tsk: %v", er)
+		}
+		st, _ := a.RefTsk(id)
+		if st.Tskstat != itron.TTSDmt {
+			t.Errorf("after ter: %v", st.Tskstat)
+		}
+	})
+	run(t, sim, sysc.Sec)
+}
+
+func TestVeneerExtTskUnwinds(t *testing.T) {
+	after := false
+	_, sim := boot(t, func(a *itron.API) {
+		id, _ := a.CreTsk(itron.T_CTSK{Name: "q", Pri: 10, Task: func(task *tkernel.Task) {
+			_ = a.ExtTsk()
+			after = true
+		}})
+		_ = a.ActTsk(id)
+	})
+	run(t, sim, 50*sysc.Ms)
+	if after {
+		t.Fatal("code after ext_tsk ran")
+	}
+}
+
+func TestVeneerSleepWakeRelease(t *testing.T) {
+	var tslpCode, relCode tkernel.ER
+	_, sim := boot(t, func(a *itron.API) {
+		sleeper, _ := a.CreTsk(itron.T_CTSK{Name: "s", Pri: 10, Task: func(task *tkernel.Task) {
+			tslpCode = a.TslpTsk(5 * sysc.Ms) // times out
+			relCode = a.TslpTsk(itron.TmoFevr)
+		}})
+		_ = a.ActTsk(sleeper)
+		_ = a.DlyTsk(10 * sysc.Ms)
+		_ = a.WupTsk(sleeper)
+		_ = a.WupTsk(sleeper) // queues
+		if n, _ := a.CanWup(sleeper); n > 1 {
+			t.Errorf("can_wup = %d", n)
+		}
+		_ = a.DlyTsk(5 * sysc.Ms)
+		// Sleeper may be blocked again; force-release if waiting.
+		st, _ := a.RefTsk(sleeper)
+		if st.Tskstat == itron.TTSWai {
+			if er := a.RelWai(sleeper); er != tkernel.EOK {
+				t.Errorf("rel_wai: %v", er)
+			}
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if tslpCode != tkernel.ETMOUT {
+		t.Fatalf("tslp code = %v", tslpCode)
+	}
+	_ = relCode // either E_OK (queued wakeup) or E_RLWAI (forced)
+}
+
+func TestVeneerSuspendFamily(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		id, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 10, Task: func(task *tkernel.Task) {
+			a.K.Work(core.Cost{Time: 30 * sysc.Ms}, "")
+		}})
+		_ = a.ActTsk(id)
+		_ = a.DlyTsk(2 * sysc.Ms)
+		_ = a.SusTsk(id)
+		_ = a.SusTsk(id)
+		st, _ := a.RefTsk(id)
+		if st.Tskstat != itron.TTSSus || st.Suscnt != 2 {
+			t.Errorf("sus state: %+v", st)
+		}
+		_ = a.RsmTsk(id)
+		_ = a.FrsmTsk(id)
+		st, _ = a.RefTsk(id)
+		if st.Suscnt != 0 {
+			t.Errorf("after frsm: %+v", st)
+		}
+	})
+	run(t, sim, sysc.Sec)
+}
+
+func TestVeneerSemWaiAndDelete(t *testing.T) {
+	var code tkernel.ER
+	_, sim := boot(t, func(a *itron.API) {
+		sem, _ := a.CreSem(itron.T_CSEM{Name: "s", IsemCnt: 1, MaxSem: 4})
+		if er := a.WaiSem(sem); er != tkernel.EOK {
+			t.Errorf("wai_sem: %v", er)
+		}
+		w, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 10, Task: func(task *tkernel.Task) {
+			code = a.WaiSem(sem) // blocks; released by deletion
+		}})
+		_ = a.ActTsk(w)
+		_ = a.DlyTsk(2 * sysc.Ms)
+		if er := a.DelSem(sem); er != tkernel.EOK {
+			t.Errorf("del_sem: %v", er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.EDLT {
+		t.Fatalf("waiter code = %v", code)
+	}
+}
+
+func TestVeneerFlagWaitForms(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		flg, _ := a.CreFlg(itron.T_CFLG{Name: "f", Attr: tkernel.TaWMUL})
+		w, _ := a.CreTsk(itron.T_CTSK{Name: "w", Pri: 10, Task: func(task *tkernel.Task) {
+			ptn, er := a.WaiFlg(flg, 0b10, tkernel.TwfORW)
+			if er != tkernel.EOK || ptn&0b10 == 0 {
+				t.Errorf("wai_flg: %b %v", ptn, er)
+			}
+			if _, er := a.TwaiFlg(flg, 0b100, tkernel.TwfANDW, 3*sysc.Ms); er != tkernel.ETMOUT {
+				t.Errorf("twai_flg: %v", er)
+			}
+		}})
+		_ = a.ActTsk(w)
+		_ = a.DlyTsk(2 * sysc.Ms)
+		_ = a.SetFlg(flg, 0b10)
+		_ = a.DlyTsk(10 * sysc.Ms)
+		_ = a.ClrFlg(flg, 0) // clear everything
+		ptn, er := a.PolFlg(flg, 0xFF, tkernel.TwfORW)
+		if er != tkernel.ETMOUT {
+			t.Errorf("after clr_flg: %b %v", ptn, er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+}
+
+func TestVeneerDtqTimedForms(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		dtq, _ := a.CreDtq(itron.T_CDTQ{Name: "q", DtqCnt: 1})
+		if er := a.PsndDtq(dtq, 11); er != tkernel.EOK {
+			t.Errorf("psnd: %v", er)
+		}
+		if er := a.PsndDtq(dtq, 22); er != tkernel.ETMOUT {
+			t.Errorf("psnd full: %v", er)
+		}
+		if er := a.TsndDtq(dtq, 33, 3*sysc.Ms); er != tkernel.ETMOUT {
+			t.Errorf("tsnd timeout: %v", er)
+		}
+		v, er := a.TrcvDtq(dtq, 3*sysc.Ms)
+		if er != tkernel.EOK || v != 11 {
+			t.Errorf("trcv: %d %v", v, er)
+		}
+		if _, er := a.TrcvDtq(dtq, 3*sysc.Ms); er != tkernel.ETMOUT {
+			t.Errorf("trcv empty: %v", er)
+		}
+		if er := a.DelDtq(dtq); er != tkernel.EOK {
+			t.Errorf("del_dtq: %v", er)
+		}
+		if _, er := a.PrcvDtq(dtq); er != tkernel.ENOEXS {
+			t.Errorf("deleted dtq: %v", er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+}
+
+func TestVeneerTskstatRunningAndReady(t *testing.T) {
+	_, sim := boot(t, func(a *itron.API) {
+		var peer tkernel.ID
+		self, _ := a.CreTsk(itron.T_CTSK{Name: "self", Pri: 10, Task: func(task *tkernel.Task) {
+			st, _ := a.RefTsk(0) // caller: RUNNING
+			if st.Tskstat != itron.TTSRun {
+				t.Errorf("self stat = %v", st.Tskstat)
+			}
+			st, _ = a.RefTsk(peer) // same prio, behind us: READY
+			if st.Tskstat != itron.TTSRdy {
+				t.Errorf("peer stat = %v", st.Tskstat)
+			}
+		}})
+		peer, _ = a.CreTsk(itron.T_CTSK{Name: "peer", Pri: 10, Task: func(task *tkernel.Task) {
+			a.K.Work(core.Cost{Time: sysc.Ms}, "")
+		}})
+		// Activate self first: same priority is FIFO, so self runs first
+		// and observes peer still READY behind it.
+		_ = a.ActTsk(self)
+		_ = a.ActTsk(peer)
+	})
+	run(t, sim, sysc.Sec)
+}

@@ -1,0 +1,230 @@
+package petri
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sysc"
+)
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		in   Energy
+		want string
+	}{
+		{0, "0 J"},
+		{2 * Joule, "2.000 J"},
+		{5 * MilliJ, "5.000 mJ"},
+		{7 * MicroJ, "7.000 uJ"},
+		{9 * NanoJ, "9.000 nJ"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Energy(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEnergyConversions(t *testing.T) {
+	if WattHour.Joules() != 3600 {
+		t.Errorf("WattHour = %v J", WattHour.Joules())
+	}
+	if (10 * WattHour).WattHours() != 10 {
+		t.Errorf("WattHours: got %v", (10 * WattHour).WattHours())
+	}
+}
+
+func TestCostAddScale(t *testing.T) {
+	c := Cost{Time: 10 * sysc.Ms, Energy: 4 * MilliJ}
+	d := c.Add(Cost{Time: 5 * sysc.Ms, Energy: 1 * MilliJ})
+	if d.Time != 15*sysc.Ms || d.Energy != 5*MilliJ {
+		t.Fatalf("Add = %+v", d)
+	}
+	h := c.Scale(0.5)
+	if h.Time != 5*sysc.Ms || h.Energy != 2*MilliJ {
+		t.Fatalf("Scale = %+v", h)
+	}
+}
+
+func TestFireMovesToken(t *testing.T) {
+	n := New("t")
+	a := n.AddPlace("a", 1)
+	b := n.AddPlace("b", 0)
+	tr := n.AddTransition("a->b", Cost{}, []*Place{a}, []*Place{b})
+	if !n.Enabled(tr) {
+		t.Fatal("transition should be enabled")
+	}
+	if err := n.Fire(tr); err != nil {
+		t.Fatal(err)
+	}
+	if a.Tokens != 0 || b.Tokens != 1 {
+		t.Fatalf("marking = %v", n.Marking())
+	}
+	if n.Enabled(tr) {
+		t.Fatal("transition should be disabled after firing")
+	}
+	if err := n.Fire(tr); err == nil {
+		t.Fatal("firing disabled transition should fail")
+	}
+}
+
+func TestCycleNetShape(t *testing.T) {
+	n := NewCycle("tthread", "startup", "run", "wait")
+	if len(n.Places) != 3 || len(n.Transitions) != 3 {
+		t.Fatalf("places=%d transitions=%d", len(n.Places), len(n.Transitions))
+	}
+	if !n.IsStateMachine() {
+		t.Fatal("cycle should be a state machine")
+	}
+	if n.TotalTokens() != 1 {
+		t.Fatalf("tokens = %d, want 1", n.TotalTokens())
+	}
+	// Token walks the cycle and returns to the start.
+	for i := 0; i < 3; i++ {
+		en := n.EnabledTransitions()
+		if len(en) != 1 {
+			t.Fatalf("step %d: %d enabled transitions", i, len(en))
+		}
+		if err := n.Fire(en[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Places[0].Tokens != 1 {
+		t.Fatal("token did not complete the cycle")
+	}
+}
+
+func TestFiringSequenceCharacteristicVector(t *testing.T) {
+	n := NewCycle("x", "p0", "p1")
+	seq := NewFiringSequence(n)
+	c := Cost{Time: 2 * sysc.Ms, Energy: 1 * MilliJ}
+	for i := 0; i < 4; i++ {
+		en := n.EnabledTransitions()[0]
+		if err := n.Fire(en); err != nil {
+			t.Fatal(err)
+		}
+		seq.Record(en, c)
+	}
+	cv := seq.CharacteristicVector()
+	if cv[0] != 2 || cv[1] != 2 {
+		t.Fatalf("characteristic vector = %v, want [2 2]", cv)
+	}
+	if seq.Len() != 4 {
+		t.Fatalf("len = %d", seq.Len())
+	}
+	if seq.ETM() != 8*sysc.Ms || seq.EEM() != 4*MilliJ {
+		t.Fatalf("ETM=%v EEM=%v", seq.ETM(), seq.EEM())
+	}
+	seq.Reset()
+	if seq.Len() != 0 || seq.ETM() != 0 || seq.EEM() != 0 {
+		t.Fatal("reset did not clear sequence")
+	}
+	if cv2 := seq.CharacteristicVector(); cv2[0] != 0 {
+		t.Fatal("reset did not clear counts")
+	}
+}
+
+func TestAccumulatorCETCEE(t *testing.T) {
+	n := NewCycle("x", "p0", "p1")
+	var acc Accumulator
+	for cycle := 0; cycle < 3; cycle++ {
+		seq := NewFiringSequence(n)
+		for i := 0; i < 2; i++ {
+			en := n.EnabledTransitions()[0]
+			_ = n.Fire(en)
+			seq.Record(en, Cost{Time: sysc.Ms, Energy: MicroJ})
+		}
+		acc.AddCycle(seq)
+	}
+	if acc.Cycles != 3 {
+		t.Fatalf("cycles = %d", acc.Cycles)
+	}
+	if acc.CET != 6*sysc.Ms {
+		t.Fatalf("CET = %v", acc.CET)
+	}
+	if acc.CEE != 6*MicroJ {
+		t.Fatalf("CEE = %v", acc.CEE)
+	}
+	acc.AddCost(Cost{Time: sysc.Ms, Energy: MicroJ})
+	if acc.CET != 7*sysc.Ms || acc.Cycles != 3 {
+		t.Fatal("AddCost should not bump cycle count")
+	}
+}
+
+// Property: in a state-machine net with a single token, the total token
+// count is invariant under any sequence of enabled firings.
+func TestPropertyTokenConservation(t *testing.T) {
+	f := func(seed int64, stages uint8, steps uint8) bool {
+		ns := int(stages%8) + 2
+		names := make([]string, ns)
+		for i := range names {
+			names[i] = "p"
+		}
+		n := NewCycle("prop", names...)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(steps); i++ {
+			en := n.EnabledTransitions()
+			if len(en) == 0 {
+				return false // single-token cycle always has one enabled
+			}
+			tr := en[rng.Intn(len(en))]
+			if err := n.Fire(tr); err != nil {
+				return false
+			}
+			if n.TotalTokens() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the characteristic vector counts sum to the sequence length and
+// the total cost equals firings × per-firing cost when uniform.
+func TestPropertyCharacteristicVectorSum(t *testing.T) {
+	f := func(steps uint8) bool {
+		n := NewCycle("prop", "a", "b", "c")
+		seq := NewFiringSequence(n)
+		c := Cost{Time: sysc.Us, Energy: NanoJ}
+		for i := 0; i < int(steps); i++ {
+			en := n.EnabledTransitions()[0]
+			if err := n.Fire(en); err != nil {
+				return false
+			}
+			seq.Record(en, c)
+		}
+		sum := 0
+		for _, v := range seq.CharacteristicVector() {
+			sum += v
+		}
+		eemErr := math.Abs(float64(seq.EEM() - Energy(steps)*NanoJ))
+		return sum == int(steps) &&
+			seq.ETM() == sysc.Time(steps)*sysc.Us &&
+			eemErr < 1e-15 // float accumulation tolerance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralNetNotStateMachine(t *testing.T) {
+	n := New("fork")
+	a := n.AddPlace("a", 1)
+	b := n.AddPlace("b", 0)
+	c := n.AddPlace("c", 0)
+	n.AddTransition("fork", Cost{}, []*Place{a}, []*Place{b, c})
+	if n.IsStateMachine() {
+		t.Fatal("fork net misclassified as state machine")
+	}
+	if err := n.Fire(n.Transitions[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n.TotalTokens() != 2 {
+		t.Fatalf("fork should produce 2 tokens, got %d", n.TotalTokens())
+	}
+}

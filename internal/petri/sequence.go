@@ -1,0 +1,84 @@
+package petri
+
+import "repro/internal/sysc"
+
+// FiringSequence records the transitions fired during one execution cycle of
+// a T-THREAD, in order. Its characteristic vector S̄ counts how many times
+// each transition fired; the attached ETM/EEM sums give the sequence's
+// execution time and energy.
+type FiringSequence struct {
+	net    *Net
+	order  []*Transition
+	counts []int
+	total  Cost
+}
+
+// NewFiringSequence creates an empty sequence over the given net.
+func NewFiringSequence(n *Net) *FiringSequence {
+	return &FiringSequence{net: n, counts: make([]int, len(n.Transitions))}
+}
+
+// Record notes that t fired with the given (possibly preemption-scaled)
+// cost. The cost may differ from t.Cost when the executor charges pro rata.
+func (s *FiringSequence) Record(t *Transition, cost Cost) {
+	s.order = append(s.order, t)
+	if t.ID < len(s.counts) {
+		s.counts[t.ID]++
+	}
+	s.total = s.total.Add(cost)
+}
+
+// Len returns the number of firings recorded.
+func (s *FiringSequence) Len() int { return len(s.order) }
+
+// CharacteristicVector returns S̄: element i is the number of times
+// transition i fired in the sequence.
+func (s *FiringSequence) CharacteristicVector() []int {
+	out := make([]int, len(s.counts))
+	copy(out, s.counts)
+	return out
+}
+
+// ETM returns the execution-time model value of the sequence.
+func (s *FiringSequence) ETM() sysc.Time { return s.total.Time }
+
+// EEM returns the execution-energy model value of the sequence.
+func (s *FiringSequence) EEM() Energy { return s.total.Energy }
+
+// Total returns the combined cost of the sequence.
+func (s *FiringSequence) Total() Cost { return s.total }
+
+// Reset clears the sequence for the next execution cycle while keeping the
+// net binding.
+func (s *FiringSequence) Reset() {
+	s.order = s.order[:0]
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.total = Cost{}
+}
+
+// Accumulator folds firing sequences over multiple T-THREAD cycles into the
+// consumed execution time (CET) and consumed execution energy (CEE):
+//
+//	CET = Σ_cycles ETM(S | T-THREAD)
+//	CEE = Σ_cycles EEM(S | T-THREAD)
+type Accumulator struct {
+	Cycles int
+	CET    sysc.Time
+	CEE    Energy
+}
+
+// AddCycle folds one completed firing sequence into the accumulator.
+func (a *Accumulator) AddCycle(s *FiringSequence) {
+	a.Cycles++
+	a.CET += s.ETM()
+	a.CEE += s.EEM()
+}
+
+// AddCost folds a bare cost (used for costs charged outside a recorded
+// sequence, e.g. partial firings at preemption points).
+func (a *Accumulator) AddCost(c Cost) {
+	a.CET += c.Time
+	a.CEE += c.Energy
+}

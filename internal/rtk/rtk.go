@@ -1,0 +1,246 @@
+// Package rtk implements RTK-Spec I and RTK-Spec II, the two user-defined
+// kernel specifications the paper built with SIM_API (before RTK-Spec TRON)
+// to guarantee the library's coverage of real RTOS dynamics. Both target
+// 8051-class micro-controllers:
+//
+//   - RTK-Spec I: a round-robin scheduler — tasks share the CPU in FIFO
+//     order and the kernel rotates the ready queue on every time slice.
+//   - RTK-Spec II: a priority-based preemptive scheduler.
+//
+// The kernels expose a deliberately small API (create/start tasks,
+// sleep/wakeup, delay, a counting semaphore) — the point is that the same
+// SIM_API constructs (T-THREADs, dispatching, preemption, the interrupt
+// stack) drive all three kernel models unchanged.
+package rtk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+// Policy selects the kernel specification.
+type Policy int
+
+// Kernel policies.
+const (
+	// RoundRobin is RTK-Spec I: FIFO queue, time-sliced.
+	RoundRobin Policy = iota
+	// PriorityPreemptive is RTK-Spec II.
+	PriorityPreemptive
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == RoundRobin {
+		return "RTK-Spec I (round-robin)"
+	}
+	return "RTK-Spec II (priority-preemptive)"
+}
+
+// Config parameterizes a kernel instance.
+type Config struct {
+	// Policy selects RTK-Spec I or II.
+	Policy Policy
+	// TimeSlice is the round-robin quantum (RTK-Spec I; default 5 ms).
+	TimeSlice sysc.Time
+	// Tick is the system tick (default 1 ms).
+	Tick sysc.Time
+	// TickSource optionally drives the kernel from an external clock
+	// (e.g. the BFM RTC).
+	TickSource *sysc.Event
+	// Gantt optionally records the execution trace.
+	Gantt *trace.Gantt
+	// ServiceCost is charged per kernel call (default zero).
+	ServiceCost core.Cost
+}
+
+// Task is an RTK task handle.
+type Task struct {
+	ID   int
+	Name string
+	tt   *core.TThread
+	k    *RTK
+	wup  int
+}
+
+// RTK is one kernel instance (RTK-Spec I or II).
+type RTK struct {
+	sim    *sysc.Simulator
+	api    *core.SimAPI
+	cfg    Config
+	tasks  []*Task
+	ticks  uint64
+	slices uint64
+}
+
+// New builds a kernel over the simulator with its policy's scheduler.
+func New(sim *sysc.Simulator, cfg Config) *RTK {
+	if cfg.Tick <= 0 {
+		cfg.Tick = 1 * sysc.Ms
+	}
+	if cfg.TimeSlice <= 0 {
+		cfg.TimeSlice = 5 * sysc.Ms
+	}
+	var s core.Scheduler
+	if cfg.Policy == RoundRobin {
+		s = sched.NewRoundRobin()
+	} else {
+		s = sched.NewPriority()
+	}
+	k := &RTK{sim: sim, cfg: cfg}
+	k.api = core.NewSimAPI(sim, s, cfg.Gantt)
+
+	tickEv := cfg.TickSource
+	if tickEv == nil {
+		tickEv = sysc.NewTicker(sim, "rtk.tick", cfg.Tick).Event()
+	}
+	sliceTicks := int(cfg.TimeSlice / cfg.Tick)
+	if sliceTicks < 1 {
+		sliceTicks = 1
+	}
+	n := 0
+	sim.SpawnMethod("rtk.tick_handler", func() {
+		k.ticks++
+		if cfg.Policy == RoundRobin {
+			n++
+			if n >= sliceTicks {
+				n = 0
+				k.slices++
+				k.api.YieldCurrent()
+			}
+		}
+	}, tickEv)
+	return k
+}
+
+// API exposes the SIM_API instance.
+func (k *RTK) API() *core.SimAPI { return k.api }
+
+// Ticks returns the number of processed ticks.
+func (k *RTK) Ticks() uint64 { return k.ticks }
+
+// Slices returns the number of round-robin rotations performed.
+func (k *RTK) Slices() uint64 { return k.slices }
+
+// CreateTask registers a task. Priority is ignored under RTK-Spec I.
+func (k *RTK) CreateTask(name string, priority int, body func(*Task)) *Task {
+	t := &Task{ID: len(k.tasks) + 1, Name: name, k: k}
+	t.tt = k.api.CreateThread(name, core.KindTask, priority, func(tt *core.TThread) {
+		body(t)
+	})
+	t.tt.SetExinf(t)
+	k.tasks = append(k.tasks, t)
+	return t
+}
+
+// Start makes a dormant task ready.
+func (k *RTK) Start(t *Task) error {
+	k.charge("start")
+	return k.api.Activate(t.tt)
+}
+
+// charge books the kernel service cost on the calling thread.
+func (k *RTK) charge(name string) {
+	if k.cfg.ServiceCost == (core.Cost{}) {
+		return
+	}
+	if tt := k.api.ExecutingThread(); tt != nil {
+		tt.Consume(k.cfg.ServiceCost, trace.CtxService, "rtk_"+name)
+	}
+}
+
+// Work consumes application execution time in the calling task.
+func (t *Task) Work(c core.Cost, note string) {
+	t.tt.Consume(c, trace.CtxTask, note)
+}
+
+// Sleep blocks the calling task until Wakeup; a queued wakeup returns
+// immediately.
+func (t *Task) Sleep() {
+	t.k.charge("sleep")
+	if t.wup > 0 {
+		t.wup--
+		return
+	}
+	_ = t.k.api.BlockCurrent(fmt.Sprintf("rtk.sleep#%d", t.ID))
+}
+
+// Wakeup releases a sleeping task (queues if not sleeping yet).
+func (k *RTK) Wakeup(t *Task) {
+	k.charge("wakeup")
+	if !k.api.Release(t.tt, nil) {
+		t.wup++
+	}
+}
+
+// Delay suspends the calling task for d (tick granularity).
+func (k *RTK) Delay(d sysc.Time) {
+	k.charge("delay")
+	cur := k.api.Current()
+	if cur == nil {
+		return
+	}
+	ev := k.sim.NewEvent("rtk.delay")
+	target, _ := cur.Exinf().(*Task)
+	k.sim.SpawnMethod("rtk.delay_wake", func() {
+		if target != nil {
+			k.Wakeup(target)
+		}
+	}, ev)
+	ev.NotifyAfter(d)
+	if target != nil {
+		target.Sleep()
+	}
+}
+
+// Semaphore is a counting semaphore with a FIFO wait queue.
+type Semaphore struct {
+	k     *RTK
+	name  string
+	count int
+	q     []*Task
+}
+
+// NewSemaphore creates a semaphore with an initial count.
+func (k *RTK) NewSemaphore(name string, init int) *Semaphore {
+	return &Semaphore{k: k, name: name, count: init}
+}
+
+// Wait acquires one unit, blocking while the count is zero.
+func (s *Semaphore) Wait(t *Task) {
+	s.k.charge("sem_wait")
+	if s.count > 0 && len(s.q) == 0 {
+		s.count--
+		return
+	}
+	s.q = append(s.q, t)
+	_ = s.k.api.BlockCurrent("rtk.sem." + s.name)
+}
+
+// Signal releases one unit, handing it to the queue head if any.
+func (s *Semaphore) Signal() {
+	s.k.charge("sem_signal")
+	if len(s.q) > 0 {
+		head := s.q[0]
+		s.q = s.q[1:]
+		s.k.api.Release(head.tt, nil)
+		return
+	}
+	s.count++
+}
+
+// Count returns the current resource count.
+func (s *Semaphore) Count() int { return s.count }
+
+// State reports a task's scheduling state.
+func (t *Task) State() core.State { return t.tt.State() }
+
+// CET returns the task's consumed execution time.
+func (t *Task) CET() sysc.Time { return t.tt.CET() }
+
+// TThread exposes the underlying T-THREAD.
+func (t *Task) TThread() *core.TThread { return t.tt }

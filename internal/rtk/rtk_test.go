@@ -1,0 +1,227 @@
+package rtk_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rtk"
+	"repro/internal/sysc"
+)
+
+func newKernel(t *testing.T, cfg rtk.Config) (*rtk.RTK, *sysc.Simulator) {
+	t.Helper()
+	sim := sysc.NewSimulator()
+	t.Cleanup(sim.Shutdown)
+	return rtk.New(sim, cfg), sim
+}
+
+func TestRoundRobinSharesCPU(t *testing.T) {
+	k, sim := newKernel(t, rtk.Config{Policy: rtk.RoundRobin, TimeSlice: 5 * sysc.Ms})
+	var slices []string
+	mk := func(name string) *rtk.Task {
+		return k.CreateTask(name, 0, func(task *rtk.Task) {
+			for i := 0; i < 2; i++ {
+				task.Work(core.Cost{Time: 5 * sysc.Ms}, "")
+				slices = append(slices, name)
+			}
+		})
+	}
+	a, b := mk("a"), mk("b")
+	_ = k.Start(a)
+	_ = k.Start(b)
+	if err := sim.Start(100 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(slices, ",")
+	if got != "a,b,a,b" {
+		t.Fatalf("slices = %q, want interleaved", got)
+	}
+	if k.Slices() == 0 {
+		t.Fatal("no rotations counted")
+	}
+}
+
+func TestRoundRobinNoPriorityPreemption(t *testing.T) {
+	// Under RTK-Spec I a "high-priority" arrival does NOT preempt.
+	k, sim := newKernel(t, rtk.Config{Policy: rtk.RoundRobin, TimeSlice: 50 * sysc.Ms})
+	var order []string
+	a := k.CreateTask("a", 10, func(task *rtk.Task) {
+		task.Work(core.Cost{Time: 10 * sysc.Ms}, "")
+		order = append(order, "a")
+	})
+	b := k.CreateTask("b", 1, func(task *rtk.Task) {
+		task.Work(core.Cost{Time: 2 * sysc.Ms}, "")
+		order = append(order, "b")
+	})
+	_ = k.Start(a)
+	sim.Spawn("driver", func(th *sysc.Thread) {
+		th.Wait(3 * sysc.Ms)
+		_ = k.Start(b) // would preempt under RTK-II; not under RTK-I
+	})
+	if err := sim.Start(100 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "a,b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPriorityPreemptivePreempts(t *testing.T) {
+	k, sim := newKernel(t, rtk.Config{Policy: rtk.PriorityPreemptive})
+	var order []string
+	a := k.CreateTask("a", 10, func(task *rtk.Task) {
+		task.Work(core.Cost{Time: 10 * sysc.Ms}, "")
+		order = append(order, "a")
+	})
+	b := k.CreateTask("b", 1, func(task *rtk.Task) {
+		task.Work(core.Cost{Time: 2 * sysc.Ms}, "")
+		order = append(order, "b")
+	})
+	_ = k.Start(a)
+	sim.Spawn("driver", func(th *sysc.Thread) {
+		th.Wait(3 * sysc.Ms)
+		_ = k.Start(b)
+	})
+	if err := sim.Start(100 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "b,a" {
+		t.Fatalf("order = %v", order)
+	}
+	if k.API().Preemptions() != 1 {
+		t.Fatalf("preemptions = %d", k.API().Preemptions())
+	}
+}
+
+func TestSleepWakeup(t *testing.T) {
+	k, sim := newKernel(t, rtk.Config{Policy: rtk.PriorityPreemptive})
+	var woke sysc.Time
+	a := k.CreateTask("a", 5, func(task *rtk.Task) {
+		task.Sleep()
+		woke = sim.Now()
+	})
+	_ = k.Start(a)
+	sim.Spawn("driver", func(th *sysc.Thread) {
+		th.Wait(7 * sysc.Ms)
+		k.Wakeup(a)
+	})
+	if err := sim.Start(100 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 7*sysc.Ms {
+		t.Fatalf("woke at %v", woke)
+	}
+}
+
+func TestQueuedWakeup(t *testing.T) {
+	k, sim := newKernel(t, rtk.Config{Policy: rtk.PriorityPreemptive})
+	done := false
+	a := k.CreateTask("a", 5, func(task *rtk.Task) {
+		task.Work(core.Cost{Time: 3 * sysc.Ms}, "")
+		task.Sleep() // wakeup already queued: returns immediately
+		done = true
+	})
+	_ = k.Start(a)
+	k.Wakeup(a) // task not sleeping yet
+	if err := sim.Start(10 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("queued wakeup lost")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	k, sim := newKernel(t, rtk.Config{Policy: rtk.PriorityPreemptive})
+	var at sysc.Time
+	a := k.CreateTask("a", 5, func(task *rtk.Task) {
+		k.Delay(9 * sysc.Ms)
+		at = sim.Now()
+	})
+	_ = k.Start(a)
+	if err := sim.Start(100 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if at != 9*sysc.Ms {
+		t.Fatalf("delay ended at %v", at)
+	}
+}
+
+func TestSemaphoreProducerConsumer(t *testing.T) {
+	k, sim := newKernel(t, rtk.Config{Policy: rtk.PriorityPreemptive})
+	sem := k.NewSemaphore("items", 0)
+	consumed := 0
+	cons := k.CreateTask("cons", 5, func(task *rtk.Task) {
+		for i := 0; i < 3; i++ {
+			sem.Wait(task)
+			consumed++
+		}
+	})
+	prod := k.CreateTask("prod", 10, func(task *rtk.Task) {
+		for i := 0; i < 3; i++ {
+			task.Work(core.Cost{Time: 2 * sysc.Ms}, "produce")
+			sem.Signal()
+		}
+	})
+	_ = k.Start(cons)
+	_ = k.Start(prod)
+	if err := sim.Start(100 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 3 {
+		t.Fatalf("consumed = %d", consumed)
+	}
+	if sem.Count() != 0 {
+		t.Fatalf("count = %d", sem.Count())
+	}
+}
+
+func TestSameWorkloadBothPolicies(t *testing.T) {
+	// The ablation scenario: identical task set on both kernels; the
+	// round-robin kernel interleaves, the preemptive kernel runs strictly
+	// by priority.
+	runPolicy := func(p rtk.Policy) []string {
+		sim := sysc.NewSimulator()
+		defer sim.Shutdown()
+		k := rtk.New(sim, rtk.Config{Policy: p, TimeSlice: 2 * sysc.Ms})
+		var done []string
+		for i, name := range []string{"hi", "mid", "lo"} {
+			prio := (i + 1) * 10
+			n := name
+			task := k.CreateTask(n, prio, func(task *rtk.Task) {
+				task.Work(core.Cost{Time: 4 * sysc.Ms}, "")
+				done = append(done, n)
+			})
+			_ = k.Start(task)
+		}
+		if err := sim.Start(100 * sysc.Ms); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	pp := runPolicy(rtk.PriorityPreemptive)
+	if strings.Join(pp, ",") != "hi,mid,lo" {
+		t.Fatalf("priority order = %v", pp)
+	}
+	rr := runPolicy(rtk.RoundRobin)
+	if len(rr) != 3 {
+		t.Fatalf("round robin incomplete: %v", rr)
+	}
+	// Under RR with a 2 ms slice and 4 ms of work each, "hi" cannot
+	// monopolize: completion order is FIFO-ish (first finisher is the
+	// first enqueued), and total time is shared.
+	if strings.Join(rr, ",") != "hi,mid,lo" {
+		// acceptable: rotation preserves start order for equal work
+		t.Logf("rr order = %v", rr)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if !strings.Contains(rtk.RoundRobin.String(), "round-robin") {
+		t.Fatal(rtk.RoundRobin.String())
+	}
+	if !strings.Contains(rtk.PriorityPreemptive.String(), "preemptive") {
+		t.Fatal(rtk.PriorityPreemptive.String())
+	}
+}

@@ -1,0 +1,140 @@
+// Package sched provides the external scheduler plug-ins that SIM_API
+// interacts with: the priority-based preemptive ready queue used by
+// RTK-Spec II and RTK-Spec TRON (T-Kernel/OS policy), and the round-robin
+// queue of RTK-Spec I.
+package sched
+
+import "repro/internal/core"
+
+// Priority is a priority-based preemptive scheduler: per-priority FIFO
+// precedence classes, lower numeric priority runs first, and a ready thread
+// preempts the running one only when strictly higher priority. This is the
+// T-Kernel/OS scheduling policy.
+type Priority struct {
+	classes map[int][]*core.TThread
+	n       int
+}
+
+// NewPriority returns an empty priority scheduler.
+func NewPriority() *Priority {
+	return &Priority{classes: map[int][]*core.TThread{}}
+}
+
+// Enqueue adds t at the tail of its priority class.
+func (s *Priority) Enqueue(t *core.TThread) {
+	p := t.Priority()
+	s.classes[p] = append(s.classes[p], t)
+	s.n++
+}
+
+// EnqueueFront adds t at the head of its priority class (a preempted task
+// keeps precedence within its priority).
+func (s *Priority) EnqueueFront(t *core.TThread) {
+	p := t.Priority()
+	s.classes[p] = append([]*core.TThread{t}, s.classes[p]...)
+	s.n++
+}
+
+// Dequeue removes t wherever it is queued.
+func (s *Priority) Dequeue(t *core.TThread) {
+	for p, q := range s.classes {
+		for i, x := range q {
+			if x == t {
+				s.classes[p] = append(q[:i], q[i+1:]...)
+				s.n--
+				return
+			}
+		}
+	}
+}
+
+// Peek returns the head of the highest-priority non-empty class.
+func (s *Priority) Peek() *core.TThread {
+	best := -1
+	for p, q := range s.classes {
+		if len(q) == 0 {
+			continue
+		}
+		if best == -1 || p < best {
+			best = p
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return s.classes[best][0]
+}
+
+// ShouldPreempt reports whether ready strictly outranks running.
+func (s *Priority) ShouldPreempt(running, ready *core.TThread) bool {
+	return ready.Priority() < running.Priority()
+}
+
+// Rotate moves the head of the given priority class to its tail
+// (tk_rot_rdq).
+func (s *Priority) Rotate(priority int) {
+	q := s.classes[priority]
+	if len(q) < 2 {
+		return
+	}
+	head := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = head
+}
+
+// Len returns the number of ready threads.
+func (s *Priority) Len() int { return s.n }
+
+// RoundRobin is the RTK-Spec I scheduler: a single FIFO ready queue with no
+// priority preemption; the running task keeps the CPU until it blocks,
+// exits, or the kernel rotates the queue at a time-slice boundary.
+type RoundRobin struct {
+	q []*core.TThread
+}
+
+// NewRoundRobin returns an empty round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Enqueue adds t at the tail of the ready queue.
+func (s *RoundRobin) Enqueue(t *core.TThread) { s.q = append(s.q, t) }
+
+// EnqueueFront adds t at the head of the ready queue.
+func (s *RoundRobin) EnqueueFront(t *core.TThread) {
+	s.q = append([]*core.TThread{t}, s.q...)
+}
+
+// Dequeue removes t wherever it is queued.
+func (s *RoundRobin) Dequeue(t *core.TThread) {
+	for i, x := range s.q {
+		if x == t {
+			s.q = append(s.q[:i], s.q[i+1:]...)
+			return
+		}
+	}
+}
+
+// Peek returns the head of the ready queue.
+func (s *RoundRobin) Peek() *core.TThread {
+	if len(s.q) == 0 {
+		return nil
+	}
+	return s.q[0]
+}
+
+// ShouldPreempt always reports false: round-robin switches only at
+// time-slice rotation or when the running task gives up the CPU.
+func (s *RoundRobin) ShouldPreempt(running, ready *core.TThread) bool { return false }
+
+// Rotate moves the queue head to the tail regardless of the priority
+// argument (the queue is priority-less).
+func (s *RoundRobin) Rotate(int) {
+	if len(s.q) < 2 {
+		return
+	}
+	head := s.q[0]
+	copy(s.q, s.q[1:])
+	s.q[len(s.q)-1] = head
+}
+
+// Len returns the number of ready threads.
+func (s *RoundRobin) Len() int { return len(s.q) }

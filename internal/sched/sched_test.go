@@ -1,0 +1,176 @@
+package sched_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sysc"
+)
+
+// mkThreads builds detached T-THREADs with given priorities purely for
+// scheduler-queue testing.
+func mkThreads(t *testing.T, prios ...int) []*core.TThread {
+	t.Helper()
+	sim := sysc.NewSimulator()
+	t.Cleanup(sim.Shutdown)
+	api := core.NewSimAPI(sim, sched.NewPriority(), nil)
+	var out []*core.TThread
+	for i, p := range prios {
+		out = append(out, api.CreateThread(string(rune('a'+i)), core.KindTask, p, func(*core.TThread) {}))
+	}
+	return out
+}
+
+func TestPriorityPeekOrder(t *testing.T) {
+	ths := mkThreads(t, 10, 5, 20, 5)
+	s := sched.NewPriority()
+	for _, th := range ths {
+		s.Enqueue(th)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// Highest priority (5) FIFO within class: b before d.
+	if got := s.Peek(); got != ths[1] {
+		t.Fatalf("peek = %v", got.Name())
+	}
+	s.Dequeue(ths[1])
+	if got := s.Peek(); got != ths[3] {
+		t.Fatalf("peek2 = %v", got.Name())
+	}
+	s.Dequeue(ths[3])
+	if got := s.Peek(); got != ths[0] {
+		t.Fatalf("peek3 = %v", got.Name())
+	}
+}
+
+func TestPriorityEnqueueFront(t *testing.T) {
+	ths := mkThreads(t, 10, 10)
+	s := sched.NewPriority()
+	s.Enqueue(ths[0])
+	s.EnqueueFront(ths[1])
+	if s.Peek() != ths[1] {
+		t.Fatal("EnqueueFront not at head")
+	}
+}
+
+func TestPriorityShouldPreempt(t *testing.T) {
+	ths := mkThreads(t, 10, 5, 10)
+	s := sched.NewPriority()
+	if !s.ShouldPreempt(ths[0], ths[1]) {
+		t.Fatal("higher priority must preempt")
+	}
+	if s.ShouldPreempt(ths[0], ths[2]) {
+		t.Fatal("equal priority must not preempt")
+	}
+	if s.ShouldPreempt(ths[1], ths[0]) {
+		t.Fatal("lower priority must not preempt")
+	}
+}
+
+func TestPriorityRotate(t *testing.T) {
+	ths := mkThreads(t, 7, 7, 7)
+	s := sched.NewPriority()
+	for _, th := range ths {
+		s.Enqueue(th)
+	}
+	s.Rotate(7)
+	if s.Peek() != ths[1] {
+		t.Fatal("rotate did not move head to tail")
+	}
+	s.Rotate(99) // empty class: no-op
+	if s.Len() != 3 {
+		t.Fatal("rotate changed population")
+	}
+}
+
+func TestPriorityDequeueAbsent(t *testing.T) {
+	ths := mkThreads(t, 3, 4)
+	s := sched.NewPriority()
+	s.Enqueue(ths[0])
+	s.Dequeue(ths[1]) // absent: no-op
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestRoundRobinFIFO(t *testing.T) {
+	ths := mkThreads(t, 30, 1, 20) // priorities ignored
+	s := sched.NewRoundRobin()
+	for _, th := range ths {
+		s.Enqueue(th)
+	}
+	if s.Peek() != ths[0] {
+		t.Fatal("not FIFO")
+	}
+	if s.ShouldPreempt(ths[0], ths[1]) {
+		t.Fatal("round robin never preempts")
+	}
+	s.Rotate(0)
+	if s.Peek() != ths[1] {
+		t.Fatal("rotate broken")
+	}
+	s.EnqueueFront(ths[0]) // duplicate handling is the caller's concern
+	if s.Peek() != ths[0] {
+		t.Fatal("EnqueueFront broken")
+	}
+}
+
+func TestRoundRobinDequeue(t *testing.T) {
+	ths := mkThreads(t, 1, 2, 3)
+	s := sched.NewRoundRobin()
+	for _, th := range ths {
+		s.Enqueue(th)
+	}
+	s.Dequeue(ths[1])
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Rotate(0)
+	if s.Peek() != ths[2] {
+		t.Fatal("order after dequeue+rotate wrong")
+	}
+}
+
+// Property: Peek always returns a thread of minimal priority among those
+// queued, for arbitrary enqueue sequences.
+func TestPropertyPriorityPeekIsMinimal(t *testing.T) {
+	ths := mkThreads(t, 1, 2, 3, 4, 5, 6, 7, 8)
+	f := func(order []uint8) bool {
+		s := sched.NewPriority()
+		in := map[int]bool{}
+		for _, o := range order {
+			i := int(o) % len(ths)
+			if in[i] {
+				s.Dequeue(ths[i])
+				in[i] = false
+				continue
+			}
+			s.Enqueue(ths[i])
+			in[i] = true
+		}
+		min := 1 << 30
+		count := 0
+		for i, present := range in {
+			if present {
+				count++
+				if ths[i].Priority() < min {
+					min = ths[i].Priority()
+				}
+			}
+		}
+		if s.Len() != count {
+			return false
+		}
+		p := s.Peek()
+		if count == 0 {
+			return p == nil
+		}
+		return p != nil && p.Priority() == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

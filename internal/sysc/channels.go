@@ -1,0 +1,170 @@
+package sysc
+
+// Primitive channels beyond sc_signal: sc_fifo, sc_mutex and sc_semaphore.
+// They follow the SystemC semantics: fifo reads/writes take effect with
+// update-phase visibility of the data-written/data-read events, blocking
+// variants suspend the calling thread process, and the mutex/semaphore are
+// cooperative (no priority, FIFO grant order).
+
+// Fifo is an sc_fifo<T>-style bounded channel for thread processes.
+type Fifo[T any] struct {
+	sim      *Simulator
+	name     string
+	buf      []T
+	capacity int
+	written  *Event // data written (readers wait on this)
+	read     *Event // data read (writers wait on this)
+}
+
+// NewFifo creates a fifo with the given capacity (default 16 when <= 0,
+// like sc_fifo's default).
+func NewFifo[T any](s *Simulator, name string, capacity int) *Fifo[T] {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &Fifo[T]{
+		sim: s, name: name, capacity: capacity,
+		written: s.NewEvent(name + ".data_written"),
+		read:    s.NewEvent(name + ".data_read"),
+	}
+}
+
+// Name returns the channel name.
+func (f *Fifo[T]) Name() string { return f.name }
+
+// Num returns the number of elements available for reading.
+func (f *Fifo[T]) Num() int { return len(f.buf) }
+
+// Free returns the remaining capacity.
+func (f *Fifo[T]) Free() int { return f.capacity - len(f.buf) }
+
+// Write blocks the calling thread while the fifo is full, then appends v.
+func (f *Fifo[T]) Write(th *Thread, v T) {
+	for len(f.buf) >= f.capacity {
+		th.WaitEvent(f.read)
+	}
+	f.buf = append(f.buf, v)
+	f.written.NotifyDelta()
+}
+
+// TryWrite appends v without blocking; ok is false when full (nb_write).
+func (f *Fifo[T]) TryWrite(v T) bool {
+	if len(f.buf) >= f.capacity {
+		return false
+	}
+	f.buf = append(f.buf, v)
+	f.written.NotifyDelta()
+	return true
+}
+
+// Read blocks the calling thread while the fifo is empty, then pops the
+// oldest element.
+func (f *Fifo[T]) Read(th *Thread) T {
+	for len(f.buf) == 0 {
+		th.WaitEvent(f.written)
+	}
+	v := f.buf[0]
+	f.buf = f.buf[1:]
+	f.read.NotifyDelta()
+	return v
+}
+
+// TryRead pops without blocking; ok is false when empty (nb_read).
+func (f *Fifo[T]) TryRead() (v T, ok bool) {
+	if len(f.buf) == 0 {
+		return v, false
+	}
+	v = f.buf[0]
+	f.buf = f.buf[1:]
+	f.read.NotifyDelta()
+	return v, true
+}
+
+// DataWritten returns the event notified (delta) after each write.
+func (f *Fifo[T]) DataWritten() *Event { return f.written }
+
+// DataRead returns the event notified (delta) after each read.
+func (f *Fifo[T]) DataRead() *Event { return f.read }
+
+// Mutex is an sc_mutex-style cooperative lock for thread processes.
+type Mutex struct {
+	sim      *Simulator
+	name     string
+	owner    *Thread
+	unlocked *Event
+}
+
+// NewMutex creates an unlocked mutex.
+func NewMutex(s *Simulator, name string) *Mutex {
+	return &Mutex{sim: s, name: name, unlocked: s.NewEvent(name + ".unlocked")}
+}
+
+// Lock blocks the calling thread until the mutex is free, then takes it.
+func (m *Mutex) Lock(th *Thread) {
+	for m.owner != nil {
+		th.WaitEvent(m.unlocked)
+	}
+	m.owner = th
+}
+
+// TryLock takes the mutex without blocking; false when already owned.
+func (m *Mutex) TryLock(th *Thread) bool {
+	if m.owner != nil {
+		return false
+	}
+	m.owner = th
+	return true
+}
+
+// Unlock releases the mutex; only the owner may unlock (sc_mutex rule).
+func (m *Mutex) Unlock(th *Thread) bool {
+	if m.owner != th {
+		return false
+	}
+	m.owner = nil
+	m.unlocked.Notify()
+	return true
+}
+
+// Owner returns the locking thread (nil when free).
+func (m *Mutex) Owner() *Thread { return m.owner }
+
+// Semaphore is an sc_semaphore-style counting semaphore for threads.
+type Semaphore struct {
+	sim    *Simulator
+	name   string
+	count  int
+	posted *Event
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(s *Simulator, name string, init int) *Semaphore {
+	return &Semaphore{sim: s, name: name, count: init,
+		posted: s.NewEvent(name + ".posted")}
+}
+
+// Wait blocks until the count is positive, then decrements it.
+func (sem *Semaphore) Wait(th *Thread) {
+	for sem.count <= 0 {
+		th.WaitEvent(sem.posted)
+	}
+	sem.count--
+}
+
+// TryWait decrements without blocking; false when the count is zero.
+func (sem *Semaphore) TryWait() bool {
+	if sem.count <= 0 {
+		return false
+	}
+	sem.count--
+	return true
+}
+
+// Post increments the count and wakes waiters.
+func (sem *Semaphore) Post() {
+	sem.count++
+	sem.posted.Notify()
+}
+
+// Value returns the current count.
+func (sem *Semaphore) Value() int { return sem.count }

@@ -1,0 +1,214 @@
+package sysc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFifoBlockingReadWrite(t *testing.T) {
+	sim := NewSimulator()
+	defer sim.Shutdown()
+	f := NewFifo[int](sim, "f", 2)
+	var got []int
+	sim.Spawn("producer", func(th *Thread) {
+		for i := 1; i <= 5; i++ {
+			f.Write(th, i) // blocks when the 2-slot fifo fills
+			th.Wait(Ms)
+		}
+	})
+	sim.Spawn("consumer", func(th *Thread) {
+		for i := 0; i < 5; i++ {
+			th.Wait(3 * Ms) // slower than the producer
+			got = append(got, f.Read(th))
+		}
+	})
+	if err := sim.Start(100 * Ms); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestFifoBackpressureBlocksWriter(t *testing.T) {
+	sim := NewSimulator()
+	defer sim.Shutdown()
+	f := NewFifo[int](sim, "f", 1)
+	var thirdWriteAt Time
+	sim.Spawn("producer", func(th *Thread) {
+		f.Write(th, 1)
+		f.Write(th, 2) // fills after the consumer takes #1... blocks first
+		f.Write(th, 3)
+		thirdWriteAt = th.Now()
+	})
+	sim.Spawn("consumer", func(th *Thread) {
+		th.Wait(5 * Ms)
+		_ = f.Read(th)
+		th.Wait(5 * Ms)
+		_ = f.Read(th)
+		th.Wait(5 * Ms)
+		_ = f.Read(th)
+	})
+	if err := sim.Start(100 * Ms); err != nil {
+		t.Fatal(err)
+	}
+	if thirdWriteAt != 10*Ms {
+		t.Fatalf("third write at %v, want 10 ms", thirdWriteAt)
+	}
+}
+
+func TestFifoNonBlocking(t *testing.T) {
+	sim := NewSimulator()
+	defer sim.Shutdown()
+	f := NewFifo[string](sim, "f", 1)
+	if _, ok := f.TryRead(); ok {
+		t.Fatal("read from empty")
+	}
+	if !f.TryWrite("a") {
+		t.Fatal("write to empty failed")
+	}
+	if f.TryWrite("b") {
+		t.Fatal("write to full succeeded")
+	}
+	if f.Num() != 1 || f.Free() != 0 {
+		t.Fatalf("num=%d free=%d", f.Num(), f.Free())
+	}
+	v, ok := f.TryRead()
+	if !ok || v != "a" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+}
+
+func TestFifoDefaultCapacity(t *testing.T) {
+	sim := NewSimulator()
+	defer sim.Shutdown()
+	f := NewFifo[int](sim, "f", 0)
+	if f.Free() != 16 {
+		t.Fatalf("default capacity = %d", f.Free())
+	}
+}
+
+// Property: FIFO order is preserved for any write sequence through the
+// non-blocking interface.
+func TestPropertyFifoOrder(t *testing.T) {
+	fn := func(vals []int) bool {
+		sim := NewSimulator()
+		defer sim.Shutdown()
+		f := NewFifo[int](sim, "f", len(vals)+1)
+		for _, v := range vals {
+			if !f.TryWrite(v) {
+				return false
+			}
+		}
+		for _, want := range vals {
+			got, ok := f.TryRead()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := f.TryRead()
+		return !ok
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexExclusion(t *testing.T) {
+	sim := NewSimulator()
+	defer sim.Shutdown()
+	m := NewMutex(sim, "m")
+	var order []string
+	sim.Spawn("a", func(th *Thread) {
+		m.Lock(th)
+		order = append(order, "a-in")
+		th.Wait(5 * Ms)
+		order = append(order, "a-out")
+		m.Unlock(th)
+	})
+	sim.Spawn("b", func(th *Thread) {
+		th.Wait(Ms)
+		m.Lock(th) // blocks until a unlocks
+		order = append(order, "b-in")
+		m.Unlock(th)
+	})
+	if err := sim.Start(100 * Ms); err != nil {
+		t.Fatal(err)
+	}
+	want := "a-in,a-out,b-in"
+	if got := join(order); got != want {
+		t.Fatalf("order %q", got)
+	}
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+func TestMutexOwnershipRules(t *testing.T) {
+	sim := NewSimulator()
+	defer sim.Shutdown()
+	m := NewMutex(sim, "m")
+	sim.Spawn("a", func(th *Thread) {
+		if !m.TryLock(th) {
+			t.Error("trylock free failed")
+		}
+		if m.TryLock(th) {
+			t.Error("double trylock succeeded")
+		}
+		if m.Owner() != th {
+			t.Error("owner wrong")
+		}
+		if !m.Unlock(th) {
+			t.Error("owner unlock failed")
+		}
+		if m.Unlock(th) {
+			t.Error("unlock when free succeeded")
+		}
+	})
+	if err := sim.Start(Ms); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphorePrimitives(t *testing.T) {
+	sim := NewSimulator()
+	defer sim.Shutdown()
+	sem := NewSemaphore(sim, "s", 0)
+	var at Time
+	sim.Spawn("waiter", func(th *Thread) {
+		sem.Wait(th)
+		at = th.Now()
+	})
+	sim.Spawn("poster", func(th *Thread) {
+		th.Wait(4 * Ms)
+		sem.Post()
+	})
+	if err := sim.Start(100 * Ms); err != nil {
+		t.Fatal(err)
+	}
+	if at != 4*Ms {
+		t.Fatalf("woke at %v", at)
+	}
+	if !func() bool { sem.Post(); return sem.TryWait() }() {
+		t.Fatal("trywait after post failed")
+	}
+	if sem.TryWait() {
+		t.Fatal("trywait at zero succeeded")
+	}
+	if sem.Value() != 0 {
+		t.Fatalf("value = %d", sem.Value())
+	}
+}

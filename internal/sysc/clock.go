@@ -1,0 +1,66 @@
+package sysc
+
+// Clock is an sc_clock-style periodic boolean signal. The paper's BFM uses a
+// real-time clock with a 1 ms default resolution to drive the kernel's
+// central module; a Clock with period 1 ms provides exactly that tick.
+type Clock struct {
+	*BoolSignal
+	period Time
+	thread *Thread
+}
+
+// NewClock creates a free-running clock with the given period (first rising
+// edge at one period after time zero; 50% duty cycle).
+func NewClock(s *Simulator, name string, period Time) *Clock {
+	if period <= 0 {
+		panic("sysc: clock period must be positive")
+	}
+	c := &Clock{BoolSignal: NewBoolSignal(s, name, false), period: period}
+	c.thread = s.Spawn(name+".gen", func(t *Thread) {
+		half := period / 2
+		if half == 0 {
+			half = 1
+		}
+		for {
+			t.Wait(period - half)
+			c.Write(true)
+			t.Wait(half)
+			c.Write(false)
+		}
+	})
+	return c
+}
+
+// Period returns the clock period.
+func (c *Clock) Period() Time { return c.period }
+
+// Ticker is a lighter-weight periodic event source (no signal semantics):
+// its event fires every period. Kernel tick dispatch in the central module
+// is naturally modelled as a method sensitive to a Ticker.
+type Ticker struct {
+	ev     *Event
+	period Time
+	thread *Thread
+}
+
+// NewTicker creates a periodic event firing first at `period` and then
+// every `period` thereafter.
+func NewTicker(s *Simulator, name string, period Time) *Ticker {
+	if period <= 0 {
+		panic("sysc: ticker period must be positive")
+	}
+	tk := &Ticker{ev: s.NewEvent(name + ".tick"), period: period}
+	tk.thread = s.Spawn(name+".gen", func(t *Thread) {
+		for {
+			t.Wait(period)
+			tk.ev.Notify()
+		}
+	})
+	return tk
+}
+
+// Event returns the periodic event.
+func (tk *Ticker) Event() *Event { return tk.ev }
+
+// Period returns the tick period.
+func (tk *Ticker) Period() Time { return tk.period }

@@ -1,0 +1,118 @@
+package sysc
+
+// Event is a synchronization primitive with SystemC sc_event semantics.
+// Processes wait on events dynamically (Thread.Wait*) or are statically
+// sensitive to them (Method processes). An event holds at most one pending
+// notification; re-notification follows the SystemC override rules:
+// an immediate notification discards any pending one, a delta notification
+// overrides a timed one, and an earlier timed notification overrides a
+// later one.
+//
+// Events are not persistent: notifying an event nobody is waiting on has no
+// effect on later waiters.
+type Event struct {
+	sim  *Simulator
+	name string
+
+	// waiters are threads dynamically waiting on this event.
+	waiters []*Thread
+	// static are processes statically sensitive to this event.
+	static []*Method
+
+	// pending notification state.
+	pendingKind  notifyKind
+	pendingWhen  Time       // valid when pendingKind == notifyTimed
+	pendingEntry *timedItem // heap entry, for cancellation
+}
+
+type notifyKind uint8
+
+const (
+	notifyNone notifyKind = iota
+	notifyDelta
+	notifyTimed
+)
+
+// NewEvent creates a named event bound to the simulator.
+func (s *Simulator) NewEvent(name string) *Event {
+	return &Event{sim: s, name: name}
+}
+
+// Name returns the event's diagnostic name.
+func (e *Event) Name() string { return e.name }
+
+// Notify triggers the event immediately, in the current evaluation phase:
+// all processes waiting on it become runnable right away. Any pending
+// delayed notification is cancelled first.
+func (e *Event) Notify() {
+	e.Cancel()
+	e.sim.trigger(e)
+}
+
+// NotifyDelta schedules the event to trigger in the next delta cycle at the
+// current simulation time. It overrides a pending timed notification and is
+// a no-op if a delta notification is already pending.
+func (e *Event) NotifyDelta() {
+	switch e.pendingKind {
+	case notifyDelta:
+		return
+	case notifyTimed:
+		e.Cancel()
+	}
+	e.pendingKind = notifyDelta
+	e.sim.deltaQ = append(e.sim.deltaQ, e)
+}
+
+// NotifyAfter schedules the event to trigger d after the current simulation
+// time. A pending delta notification wins over any timed one; among timed
+// notifications the earlier wins. Negative d is treated as zero (a timed
+// notification at the current time, still later than any delta).
+func (e *Event) NotifyAfter(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	when := e.sim.now + d
+	switch e.pendingKind {
+	case notifyDelta:
+		return
+	case notifyTimed:
+		if e.pendingWhen <= when {
+			return
+		}
+		e.Cancel()
+	}
+	e.pendingKind = notifyTimed
+	e.pendingWhen = when
+	e.pendingEntry = e.sim.timed.push(when, e)
+}
+
+// Cancel removes any pending delta or timed notification.
+func (e *Event) Cancel() {
+	switch e.pendingKind {
+	case notifyDelta:
+		// Lazy removal: the delta queue checks pendingKind on fire.
+	case notifyTimed:
+		if e.pendingEntry != nil {
+			e.pendingEntry.cancelled = true
+			e.pendingEntry = nil
+		}
+	}
+	e.pendingKind = notifyNone
+}
+
+// Pending reports whether a delta or timed notification is outstanding.
+func (e *Event) Pending() bool { return e.pendingKind != notifyNone }
+
+// addStatic registers a method process as statically sensitive.
+func (e *Event) addStatic(m *Method) { e.static = append(e.static, m) }
+
+// removeWaiter detaches a thread from the waiter list (when the thread is
+// resumed by a different event of its wait set, or killed).
+func (e *Event) removeWaiter(t *Thread) {
+	for i, w := range e.waiters {
+		if w == t {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package sysc
+
+// timedItem is a scheduled timed notification. Cancellation is lazy: the
+// item stays in the heap but is skipped when popped.
+type timedItem struct {
+	when      Time
+	seq       uint64 // tie-break so equal-time items fire in schedule order
+	ev        *Event
+	cancelled bool
+}
+
+// timedQueue is a binary min-heap of timed notifications ordered by
+// (when, seq).
+type timedQueue struct {
+	items []*timedItem
+	seq   uint64
+}
+
+func (q *timedQueue) push(when Time, ev *Event) *timedItem {
+	q.seq++
+	it := &timedItem{when: when, seq: q.seq, ev: ev}
+	q.items = append(q.items, it)
+	q.up(len(q.items) - 1)
+	return it
+}
+
+func (q *timedQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (q *timedQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *timedQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}
+
+func (q *timedQueue) pop() *timedItem {
+	n := len(q.items)
+	it := q.items[0]
+	q.items[0] = q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return it
+}
+
+// nextTime returns the time of the earliest live notification, skipping and
+// discarding cancelled ones. ok is false when the queue is effectively empty.
+func (q *timedQueue) nextTime() (t Time, ok bool) {
+	for len(q.items) > 0 {
+		if q.items[0].cancelled {
+			q.pop()
+			continue
+		}
+		return q.items[0].when, true
+	}
+	return 0, false
+}
+
+func (q *timedQueue) empty() bool {
+	_, ok := q.nextTime()
+	return !ok
+}

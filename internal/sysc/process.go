@@ -1,0 +1,160 @@
+package sysc
+
+import "fmt"
+
+// Thread is an SC_THREAD-style process: a function running on its own
+// goroutine, cooperatively scheduled so that exactly one process executes at
+// a time. The body receives the Thread itself and blocks simulated time via
+// the Wait* methods. When the body returns the thread terminates.
+type Thread struct {
+	sim  *Simulator
+	id   int
+	name string
+	fn   func(*Thread)
+
+	resume chan struct{}
+	park   chan struct{}
+
+	queued  bool // already on the runnable queue
+	waiting []*Event
+	trigEv  *Event // event that resumed the last wait
+	timer   *Event // per-thread timer for Wait/WaitTimeout
+
+	started  bool
+	done     bool
+	killed   bool
+	panicVal any
+}
+
+// killedSentinel unwinds a thread goroutine during Simulator.Shutdown.
+type killedSentinel struct{}
+
+// Spawn creates a thread process. The thread becomes runnable immediately
+// (at elaboration it runs when Start is first called; when spawned from a
+// running process it runs within the current evaluation phase).
+func (s *Simulator) Spawn(name string, fn func(*Thread)) *Thread {
+	s.nextID++
+	t := &Thread{
+		sim:    s,
+		id:     s.nextID,
+		name:   name,
+		fn:     fn,
+		resume: make(chan struct{}),
+		park:   make(chan struct{}),
+	}
+	t.timer = s.NewEvent(name + ".timer")
+	s.threads = append(s.threads, t)
+	go t.main()
+	s.makeRunnable(procRef{t: t})
+	return t
+}
+
+func (t *Thread) main() {
+	<-t.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedSentinel); !ok {
+				t.panicVal = r
+			}
+		}
+		t.done = true
+		t.park <- struct{}{}
+	}()
+	if !t.killed {
+		t.fn(t)
+	}
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Sim returns the owning simulator.
+func (t *Thread) Sim() *Simulator { return t.sim }
+
+// Now returns the current simulation time.
+func (t *Thread) Now() Time { return t.sim.now }
+
+// Done reports whether the thread body has returned.
+func (t *Thread) Done() bool { return t.done }
+
+// yield parks the thread and hands control back to the scheduler. It panics
+// with killedSentinel when the simulator is shutting down.
+func (t *Thread) yield() {
+	t.park <- struct{}{}
+	<-t.resume
+	if t.killed {
+		panic(killedSentinel{})
+	}
+}
+
+// Wait suspends the thread for duration d of simulated time.
+func (t *Thread) Wait(d Time) {
+	t.timer.NotifyAfter(d)
+	t.WaitEvent(t.timer)
+}
+
+// WaitEvent suspends the thread until one of the given events triggers and
+// returns the event that fired. It panics if called with no events (the
+// thread could never resume).
+func (t *Thread) WaitEvent(evs ...*Event) *Event {
+	if len(evs) == 0 {
+		panic(fmt.Sprintf("sysc: thread %q waits on empty event set", t.name))
+	}
+	t.waiting = append(t.waiting[:0], evs...)
+	for _, e := range evs {
+		e.waiters = append(e.waiters, t)
+	}
+	t.trigEv = nil
+	t.yield()
+	return t.trigEv
+}
+
+// WaitTimeout suspends the thread until one of evs triggers or d elapses.
+// It returns the triggering event and false, or nil and true on timeout.
+func (t *Thread) WaitTimeout(d Time, evs ...*Event) (fired *Event, timedOut bool) {
+	t.timer.NotifyAfter(d)
+	got := t.WaitEvent(append([]*Event{t.timer}, evs...)...)
+	if got == t.timer {
+		return nil, true
+	}
+	t.timer.Cancel()
+	return got, false
+}
+
+// YieldDelta suspends the thread for one delta cycle: it resumes at the same
+// simulation time, after all currently runnable processes have run.
+func (t *Thread) YieldDelta() {
+	t.timer.NotifyDelta()
+	t.WaitEvent(t.timer)
+}
+
+// Method is an SC_METHOD-style process: a function invoked (never blocking)
+// each time one of the events in its static sensitivity list triggers.
+type Method struct {
+	sim    *Simulator
+	id     int
+	name   string
+	fn     func()
+	queued bool
+}
+
+// SpawnMethod creates a method process statically sensitive to the given
+// events. Unlike threads, methods do not run at elaboration; they run only
+// when triggered.
+func (s *Simulator) SpawnMethod(name string, fn func(), sensitivity ...*Event) *Method {
+	s.nextID++
+	m := &Method{sim: s, id: s.nextID, name: name, fn: fn}
+	for _, e := range sensitivity {
+		e.addStatic(m)
+	}
+	return m
+}
+
+// Name returns the method's diagnostic name.
+func (m *Method) Name() string { return m.name }
+
+// procRef is one entry in the runnable queue: exactly one of t, m is set.
+type procRef struct {
+	t *Thread
+	m *Method
+}

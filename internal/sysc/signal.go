@@ -1,0 +1,96 @@
+package sysc
+
+// Signal is an sc_signal-style primitive channel: writes take effect in the
+// update phase, and a value change triggers the signal's ValueChanged event
+// in the next delta cycle. T must be comparable so changes can be detected.
+type Signal[T comparable] struct {
+	sim     *Simulator
+	name    string
+	cur     T
+	next    T
+	hasNext bool
+	changed *Event
+}
+
+// NewSignal creates a signal with the given initial value.
+func NewSignal[T comparable](s *Simulator, name string, init T) *Signal[T] {
+	return &Signal[T]{sim: s, name: name, cur: init, next: init,
+		changed: s.NewEvent(name + ".value_changed")}
+}
+
+// Name returns the signal's diagnostic name.
+func (sig *Signal[T]) Name() string { return sig.name }
+
+// Read returns the current (stable) value of the signal.
+func (sig *Signal[T]) Read() T { return sig.cur }
+
+// Write schedules v to become the signal's value in the update phase of the
+// current delta cycle. The last write in an evaluation phase wins.
+func (sig *Signal[T]) Write(v T) {
+	sig.next = v
+	if !sig.hasNext {
+		sig.hasNext = true
+		sig.sim.requestUpdate(sig)
+	}
+}
+
+// update applies the pending write and fires ValueChanged on a real change.
+func (sig *Signal[T]) update() {
+	sig.hasNext = false
+	if sig.next == sig.cur {
+		return
+	}
+	sig.cur = sig.next
+	sig.changed.NotifyDelta()
+}
+
+// ValueChanged returns the event triggered one delta after any value change.
+func (sig *Signal[T]) ValueChanged() *Event { return sig.changed }
+
+// BoolSignal augments Signal[bool] with edge events, mirroring
+// sc_signal<bool>'s posedge_event/negedge_event.
+type BoolSignal struct {
+	Signal[bool]
+	pos *Event
+	neg *Event
+}
+
+// NewBoolSignal creates a boolean signal with edge events.
+func NewBoolSignal(s *Simulator, name string, init bool) *BoolSignal {
+	b := &BoolSignal{
+		Signal: Signal[bool]{sim: s, name: name, cur: init, next: init,
+			changed: s.NewEvent(name + ".value_changed")},
+		pos: s.NewEvent(name + ".posedge"),
+		neg: s.NewEvent(name + ".negedge"),
+	}
+	return b
+}
+
+func (b *BoolSignal) update() {
+	b.hasNext = false
+	if b.next == b.cur {
+		return
+	}
+	b.cur = b.next
+	b.changed.NotifyDelta()
+	if b.cur {
+		b.pos.NotifyDelta()
+	} else {
+		b.neg.NotifyDelta()
+	}
+}
+
+// Write schedules v; overridden so the update phase uses BoolSignal.update.
+func (b *BoolSignal) Write(v bool) {
+	b.next = v
+	if !b.hasNext {
+		b.hasNext = true
+		b.sim.requestUpdate(b)
+	}
+}
+
+// Posedge returns the event fired when the signal transitions false→true.
+func (b *BoolSignal) Posedge() *Event { return b.pos }
+
+// Negedge returns the event fired when the signal transitions true→false.
+func (b *BoolSignal) Negedge() *Event { return b.neg }

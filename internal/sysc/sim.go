@@ -1,0 +1,241 @@
+package sysc
+
+import "fmt"
+
+// Simulator owns a complete discrete-event simulation: the time wheel, the
+// runnable queue, delta and timed notification queues, and all processes.
+// Build a model by spawning processes and creating events/signals, then call
+// Start. Start may be called repeatedly with increasing horizons to step the
+// simulation (the paper's "step mode"). Call Shutdown when finished to
+// reclaim process goroutines.
+type Simulator struct {
+	now        Time
+	deltaCount uint64
+
+	runnable []procRef
+	deltaQ   []*Event
+	timed    timedQueue
+	updates  []updater
+
+	threads []*Thread
+	running *Thread // thread currently executing (nil outside evaluate)
+	nextID  int
+
+	stopRequested bool
+	shutdown      bool
+	err           error
+}
+
+// updater is anything with update semantics in the update phase (signals).
+type updater interface{ update() }
+
+// NewSimulator returns an empty simulation ready for model construction.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// CurrentThread returns the thread process executing right now (nil when
+// called from outside the evaluation of a thread, e.g. from a Method).
+func (s *Simulator) CurrentThread() *Thread { return s.running }
+
+// DeltaCount returns the number of delta cycles executed so far.
+func (s *Simulator) DeltaCount() uint64 { return s.deltaCount }
+
+// Stop requests that the simulation stop at the end of the current delta
+// cycle (sc_stop semantics).
+func (s *Simulator) Stop() { s.stopRequested = true }
+
+// Stopped reports whether Stop has been requested.
+func (s *Simulator) Stopped() bool { return s.stopRequested }
+
+// Err returns the first process panic converted to an error, if any.
+func (s *Simulator) Err() error { return s.err }
+
+// makeRunnable appends a process to the runnable queue exactly once.
+func (s *Simulator) makeRunnable(p procRef) {
+	switch {
+	case p.t != nil:
+		if p.t.queued || p.t.done {
+			return
+		}
+		p.t.queued = true
+	case p.m != nil:
+		if p.m.queued {
+			return
+		}
+		p.m.queued = true
+	}
+	s.runnable = append(s.runnable, p)
+}
+
+// requestUpdate queues a primitive-channel update for the update phase.
+func (s *Simulator) requestUpdate(u updater) {
+	s.updates = append(s.updates, u)
+}
+
+// trigger fires an event immediately: every dynamically waiting thread and
+// every statically sensitive method becomes runnable in the current
+// evaluation phase.
+func (s *Simulator) trigger(e *Event) {
+	if len(e.waiters) > 0 {
+		ws := e.waiters
+		e.waiters = nil
+		for _, t := range ws {
+			// Detach the thread from the other events of its wait set.
+			for _, other := range t.waiting {
+				if other != e {
+					other.removeWaiter(t)
+				}
+			}
+			t.waiting = t.waiting[:0]
+			t.trigEv = e
+			s.makeRunnable(procRef{t: t})
+		}
+	}
+	for _, m := range e.static {
+		s.makeRunnable(procRef{m: m})
+	}
+}
+
+// runProcess executes one runnable process to its next wait (threads) or to
+// completion (methods). Process panics abort the simulation.
+func (s *Simulator) runProcess(p procRef) {
+	switch {
+	case p.t != nil:
+		t := p.t
+		t.queued = false
+		if t.done {
+			return
+		}
+		t.started = true
+		prev := s.running
+		s.running = t
+		t.resume <- struct{}{}
+		<-t.park
+		s.running = prev
+		if t.panicVal != nil && s.err == nil {
+			s.err = fmt.Errorf("sysc: process %q panicked: %v", t.name, t.panicVal)
+			s.stopRequested = true
+		}
+	case p.m != nil:
+		m := p.m
+		m.queued = false
+		func() {
+			defer func() {
+				if r := recover(); r != nil && s.err == nil {
+					s.err = fmt.Errorf("sysc: method %q panicked: %v", m.name, r)
+					s.stopRequested = true
+				}
+			}()
+			m.fn()
+		}()
+	}
+}
+
+// Start runs the simulation until no activity remains, Stop is called, a
+// process panics, or simulated time would pass `until`. When the model goes
+// quiet before the horizon, time advances to `until` so that successive
+// Start calls step the clock deterministically. It returns the first process
+// panic as an error.
+func (s *Simulator) Start(until Time) error {
+	if s.shutdown {
+		return fmt.Errorf("sysc: simulator already shut down")
+	}
+	for !s.stopRequested {
+		// Evaluation phase: run until no process is runnable.
+		for len(s.runnable) > 0 {
+			p := s.runnable[0]
+			s.runnable = s.runnable[1:]
+			s.runProcess(p)
+			if s.stopRequested {
+				break
+			}
+		}
+		if s.stopRequested {
+			break
+		}
+
+		// Update phase: primitive channel updates (may schedule deltas).
+		if len(s.updates) > 0 {
+			ups := s.updates
+			s.updates = nil
+			for _, u := range ups {
+				u.update()
+			}
+		}
+
+		// Delta notification phase.
+		if len(s.deltaQ) > 0 {
+			s.deltaCount++
+			dq := s.deltaQ
+			s.deltaQ = nil
+			fired := false
+			for _, e := range dq {
+				if e.pendingKind != notifyDelta {
+					continue // cancelled or overridden
+				}
+				e.pendingKind = notifyNone
+				s.trigger(e)
+				fired = true
+			}
+			if fired || len(s.runnable) > 0 || len(s.updates) > 0 {
+				continue
+			}
+		}
+		if len(s.runnable) > 0 || len(s.updates) > 0 {
+			continue
+		}
+
+		// Timed notification phase: advance to the next event time.
+		next, ok := s.timed.nextTime()
+		if !ok || next > until {
+			// Step mode: advance the clock to the horizon so successive
+			// Start calls tick deterministically — except for an unbounded
+			// Run, which stops at the last event.
+			if until > s.now && until != MaxTime {
+				s.now = until
+			}
+			break
+		}
+		s.now = next
+		for {
+			t, ok := s.timed.nextTime()
+			if !ok || t != s.now {
+				break
+			}
+			it := s.timed.pop()
+			if it.cancelled || it.ev.pendingKind != notifyTimed || it.ev.pendingEntry != it {
+				continue
+			}
+			it.ev.pendingKind = notifyNone
+			it.ev.pendingEntry = nil
+			s.trigger(it.ev)
+		}
+	}
+	return s.err
+}
+
+// Run is Start with an unbounded horizon: it returns when the model goes
+// quiet or Stop is called.
+func (s *Simulator) Run() error { return s.Start(MaxTime) }
+
+// Shutdown terminates all live process goroutines. The simulator cannot be
+// restarted afterwards. It is safe to call multiple times.
+func (s *Simulator) Shutdown() {
+	if s.shutdown {
+		return
+	}
+	s.shutdown = true
+	s.stopRequested = true
+	for _, t := range s.threads {
+		if t.done {
+			continue
+		}
+		t.killed = true
+		t.resume <- struct{}{}
+		<-t.park
+	}
+}

@@ -1,0 +1,57 @@
+// Package sysc implements a SystemC-like discrete-event simulation kernel:
+// simulated time, events with immediate/delta/timed notification, thread and
+// method processes, evaluate/update phases with delta cycles, signals and
+// clocks. It is the substrate on which the T-THREAD process model and the
+// SIM_API library (internal/core) are built, mirroring the role SystemC 2.0
+// plays in the paper.
+//
+// The kernel is deterministic: exactly one process runs at a time, runnable
+// processes execute in notification order, and repeated runs of the same
+// model produce identical traces.
+package sysc
+
+import "fmt"
+
+// Time is a point in (or duration of) simulated time, in picoseconds.
+// The zero value is the simulation epoch.
+type Time int64
+
+// Time units. A duration is written e.g. 5*sysc.Ms.
+const (
+	Ps  Time = 1
+	Ns  Time = 1000 * Ps
+	Us  Time = 1000 * Ns
+	Ms  Time = 1000 * Us
+	Sec Time = 1000 * Ms
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = 1<<63 - 1
+
+// Picoseconds returns t as a raw picosecond count.
+func (t Time) Picoseconds() int64 { return int64(t) }
+
+// Seconds returns t converted to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Sec) }
+
+// Milliseconds returns t converted to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Ms) }
+
+// String renders the time with the largest unit that divides it evenly,
+// matching the sc_time convention ("5 ms", "250 us", "1 s").
+func (t Time) String() string {
+	if t == 0 {
+		return "0 s"
+	}
+	type unit struct {
+		d    Time
+		name string
+	}
+	units := []unit{{Sec, "s"}, {Ms, "ms"}, {Us, "us"}, {Ns, "ns"}, {Ps, "ps"}}
+	for _, u := range units {
+		if t%u.d == 0 {
+			return fmt.Sprintf("%d %s", int64(t/u.d), u.name)
+		}
+	}
+	return fmt.Sprintf("%d ps", int64(t))
+}

@@ -1,0 +1,127 @@
+package tkds_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkds"
+	"repro/internal/tkernel"
+)
+
+// buildKernel boots a kernel with a few objects of every class so the
+// listings have content.
+func buildKernel(t *testing.T) (*tkernel.Kernel, *sysc.Simulator) {
+	t.Helper()
+	sim := sysc.NewSimulator()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts()})
+	k.Boot(func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("lcd-sem", tkernel.TaTFIFO, 1, 4)
+		_, _ = k.CreFlg("key-flg", tkernel.TaWMUL, 0)
+		_, _ = k.CreMtx("bus-mtx", tkernel.TaInherit, 0)
+		_, _ = k.CreMbx("vid-mbx", tkernel.TaMFIFO)
+		_, _ = k.CreMbf("ser-mbf", tkernel.TaTFIFO, 128, 32)
+		_, _ = k.CreMpf("frame-mpf", tkernel.TaTFIFO, 4, 64)
+		_, _ = k.CreMpl("heap-mpl", tkernel.TaTFIFO, 512)
+		cyc, _ := k.CreCyc("H1", 10*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {})
+		_ = k.StaCyc(cyc)
+		_, _ = k.CreAlm("H2", func(h *tkernel.HandlerCtx) {})
+		_ = k.DefInt(0, "key-isr", func(h *tkernel.HandlerCtx) {})
+		id, _ := k.CreTsk("T1", 10, func(task *tkernel.Task) {
+			_ = k.WaiSem(sem, 1, tkernel.TmoFevr)
+		})
+		_ = k.StaTsk(id)
+		id2, _ := k.CreTsk("T2", 12, func(task *tkernel.Task) {
+			k.Work(core.Cost{Time: 500 * sysc.Ms}, "spin")
+		})
+		_ = k.StaTsk(id2)
+	})
+	t.Cleanup(sim.Shutdown)
+	if err := sim.Start(20 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	return k, sim
+}
+
+func TestListingContainsAllSections(t *testing.T) {
+	k, _ := buildKernel(t)
+	ds := tkds.New(k)
+	var b strings.Builder
+	ds.Listing(&b)
+	out := b.String()
+	for _, section := range []string{
+		"== TASK ==", "== SEMAPHORE ==", "== EVENTFLAG ==", "== MUTEX ==",
+		"== MAILBOX ==", "== MSGBUF ==", "== MEMPOOL(F) ==", "== MEMPOOL(V) ==",
+		"== CYCLIC ==", "== ALARM ==", "== INTERRUPT ==",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("listing missing %q", section)
+		}
+	}
+	for _, name := range []string{"T1", "T2", "lcd-sem", "key-flg", "bus-mtx",
+		"vid-mbx", "ser-mbf", "frame-mpf", "heap-mpl", "H1", "H2", "key-isr"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("listing missing object %q", name)
+		}
+	}
+}
+
+func TestListingShowsRunningAndWaitingStates(t *testing.T) {
+	k, _ := buildKernel(t)
+	ds := tkds.New(k)
+	var b strings.Builder
+	ds.ListTasks(&b)
+	out := b.String()
+	if !strings.Contains(out, "RUNNING") {
+		t.Errorf("no RUNNING task in:\n%s", out)
+	}
+	// T1 consumed the initial count then waits again? It waits after the
+	// count is taken once; with init count 1 the first WaiSem succeeds, so
+	// T1 may be DORMANT. T2 spins: RUNNING. Check T2's row.
+	if !strings.Contains(out, "T2") {
+		t.Errorf("missing T2:\n%s", out)
+	}
+}
+
+func TestTraceEventsShowsTokens(t *testing.T) {
+	k, _ := buildKernel(t)
+	ds := tkds.New(k)
+	var b strings.Builder
+	ds.TraceEvents(&b)
+	out := b.String()
+	if !strings.Contains(out, "running") && !strings.Contains(out, "dormant") {
+		t.Errorf("no token places in:\n%s", out)
+	}
+	if !strings.Contains(out, "T2") {
+		t.Errorf("missing T2 row:\n%s", out)
+	}
+}
+
+func TestEnergyDistribution(t *testing.T) {
+	k, _ := buildKernel(t)
+	ds := tkds.New(k)
+	var b strings.Builder
+	ds.EnergyDistribution(&b)
+	if !strings.Contains(b.String(), "TOTAL") {
+		t.Fatalf("energy table malformed:\n%s", b.String())
+	}
+}
+
+func TestSnapshotAndWatch(t *testing.T) {
+	k, sim := buildKernel(t)
+	ds := tkds.New(k)
+	snap := ds.Snapshot("t0")
+	if !strings.Contains(snap, "snapshot: t0") || !strings.Contains(snap, "== TASK ==") {
+		t.Fatal("snapshot malformed")
+	}
+	var b strings.Builder
+	stop := ds.Watch(5*sysc.Ms, &b)
+	if err := sim.Start(40 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if strings.Count(b.String(), "snapshot:") < 3 {
+		t.Fatalf("watch produced %d snapshots", strings.Count(b.String(), "snapshot:"))
+	}
+}

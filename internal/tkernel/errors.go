@@ -1,0 +1,96 @@
+// Package tkernel is the RTK-Spec TRON kernel simulation model: a
+// behaviourally faithful model of T-Kernel/OS, the µITRON-lineage real-time
+// kernel of the T-Engine platform, built from the T-THREAD and SIM_API
+// constructs of internal/core.
+//
+// The kernel employs priority-based preemptive scheduling and provides task
+// management, task synchronization (sleep/wakeup, suspend/resume), event
+// flags, semaphores, mutexes (with priority inheritance and ceiling),
+// mailboxes, message buffers, fixed- and variable-size memory pools, time
+// management (system time, cyclic handlers, alarm handlers, task delays),
+// interrupt handling with nested interrupts and delayed dispatching, and
+// system management, mirroring the tk_* service-call API.
+package tkernel
+
+import "fmt"
+
+// ER is a µITRON/T-Kernel service-call error code. The zero value is E_OK.
+// ER implements error so codes can flow through SIM_API release channels;
+// E_OK is reported as success.
+type ER int
+
+// µITRON v4 / T-Kernel error codes (the subset the model uses).
+const (
+	EOK     ER = 0   // normal completion
+	ESYS    ER = -5  // system error
+	ENOSPT  ER = -9  // feature not supported
+	ERSATR  ER = -11 // reserved attribute
+	EPAR    ER = -17 // parameter error
+	EID     ER = -18 // invalid ID number
+	ECTX    ER = -25 // context error
+	EILUSE  ER = -28 // illegal service call use
+	ENOMEM  ER = -33 // insufficient memory
+	ELIMIT  ER = -34 // exceeded system limit
+	EOBJ    ER = -41 // object state error
+	ENOEXS  ER = -42 // object does not exist
+	EQOVR   ER = -43 // queueing overflow
+	ERLWAI  ER = -49 // wait released (tk_rel_wai)
+	ETMOUT  ER = -50 // polling failure or timeout
+	EDLT    ER = -51 // waited object was deleted
+	EDISWAI ER = -52 // wait released by wait-disable
+)
+
+// Error renders the canonical code name.
+func (e ER) Error() string {
+	switch e {
+	case EOK:
+		return "E_OK"
+	case ESYS:
+		return "E_SYS"
+	case ENOSPT:
+		return "E_NOSPT"
+	case ERSATR:
+		return "E_RSATR"
+	case EPAR:
+		return "E_PAR"
+	case EID:
+		return "E_ID"
+	case ECTX:
+		return "E_CTX"
+	case EILUSE:
+		return "E_ILUSE"
+	case ENOMEM:
+		return "E_NOMEM"
+	case ELIMIT:
+		return "E_LIMIT"
+	case EOBJ:
+		return "E_OBJ"
+	case ENOEXS:
+		return "E_NOEXS"
+	case EQOVR:
+		return "E_QOVR"
+	case ERLWAI:
+		return "E_RLWAI"
+	case ETMOUT:
+		return "E_TMOUT"
+	case EDLT:
+		return "E_DLT"
+	case EDISWAI:
+		return "E_DISWAI"
+	}
+	return fmt.Sprintf("E_?(%d)", int(e))
+}
+
+// OK reports whether the code is E_OK.
+func (e ER) OK() bool { return e == EOK }
+
+// erOf converts a SIM_API release code (error) back to an ER.
+func erOf(err error) ER {
+	if err == nil {
+		return EOK
+	}
+	if er, ok := err.(ER); ok {
+		return er
+	}
+	return ESYS
+}

@@ -1,0 +1,179 @@
+package tkernel
+
+// Event flag wait modes (tk_wai_flg).
+type FlagMode uint32
+
+// Wait-mode bits.
+const (
+	TwfANDW   FlagMode = 0      // wait until all bits of waiptn are set
+	TwfORW    FlagMode = 1 << 0 // wait until any bit of waiptn is set
+	TwfCLR    FlagMode = 1 << 1 // clear the whole pattern on release
+	TwfBitCLR FlagMode = 1 << 2 // clear only the matched bits on release
+)
+
+// EventFlag is a T-Kernel event flag: a 32-bit pattern tasks wait on with
+// AND/OR conditions and optional clearing (tk_cre_flg family).
+type EventFlag struct {
+	id      ID
+	name    string
+	attr    Attr
+	pattern uint32
+	wq      waitQueue
+	waits   map[*Task]*flgWait
+}
+
+type flgWait struct {
+	waiptn uint32
+	mode   FlagMode
+	relptn *uint32 // where to deliver the release pattern
+}
+
+// FlagInfo is the tk_ref_flg snapshot.
+type FlagInfo struct {
+	Name    string
+	Pattern uint32
+	Waiting []string
+}
+
+// CreFlg creates an event flag with an initial pattern (tk_cre_flg).
+// TaWMUL permits multiple simultaneous waiters.
+func (k *Kernel) CreFlg(name string, attr Attr, init uint32) (ID, ER) {
+	defer k.enter("tk_cre_flg")()
+	k.nextFlg++
+	id := k.nextFlg
+	k.flags[id] = &EventFlag{
+		id: id, name: name, attr: attr, pattern: init,
+		wq:    newWaitQueue(attr),
+		waits: map[*Task]*flgWait{},
+	}
+	return id, EOK
+}
+
+// DelFlg deletes an event flag; waiters are released with E_DLT (tk_del_flg).
+func (k *Kernel) DelFlg(id ID) ER {
+	defer k.enter("tk_del_flg")()
+	f, ok := k.flags[id]
+	if !ok {
+		return ENOEXS
+	}
+	for _, t := range append([]*Task(nil), f.wq.tasks...) {
+		f.wq.remove(t)
+		delete(f.waits, t)
+		k.wake(t, EDLT)
+	}
+	delete(k.flags, id)
+	return EOK
+}
+
+// flgMatch evaluates a wait condition against the current pattern.
+func flgMatch(pattern, waiptn uint32, mode FlagMode) bool {
+	if mode&TwfORW != 0 {
+		return pattern&waiptn != 0
+	}
+	return pattern&waiptn == waiptn
+}
+
+// SetFlg sets bits in the pattern and releases all satisfied waiters in
+// queue order (tk_set_flg).
+func (k *Kernel) SetFlg(id ID, setptn uint32) ER {
+	defer k.enter("tk_set_flg")()
+	f, ok := k.flags[id]
+	if !ok {
+		return ENOEXS
+	}
+	f.pattern |= setptn
+	k.flgRelease(f)
+	return EOK
+}
+
+// flgRelease walks the wait queue releasing satisfied waiters; TwfCLR and
+// TwfBitCLR clearing can unsatisfy later waiters, so the scan restarts on
+// every successful release.
+func (k *Kernel) flgRelease(f *EventFlag) {
+	for {
+		released := false
+		for _, t := range append([]*Task(nil), f.wq.tasks...) {
+			w := f.waits[t]
+			if w == nil || !flgMatch(f.pattern, w.waiptn, w.mode) {
+				continue
+			}
+			if w.relptn != nil {
+				*w.relptn = f.pattern
+			}
+			if w.mode&TwfCLR != 0 {
+				f.pattern = 0
+			} else if w.mode&TwfBitCLR != 0 {
+				f.pattern &^= w.waiptn
+			}
+			f.wq.remove(t)
+			delete(f.waits, t)
+			k.wake(t, EOK)
+			released = true
+			break
+		}
+		if !released {
+			return
+		}
+	}
+}
+
+// ClrFlg clears bits: pattern &= clrptn (tk_clr_flg; clrptn is the mask of
+// bits to KEEP, per the T-Kernel signature).
+func (k *Kernel) ClrFlg(id ID, clrptn uint32) ER {
+	defer k.enter("tk_clr_flg")()
+	f, ok := k.flags[id]
+	if !ok {
+		return ENOEXS
+	}
+	f.pattern &= clrptn
+	return EOK
+}
+
+// WaiFlg waits until the flag pattern satisfies (waiptn, mode), delivering
+// the pattern at release time (tk_wai_flg).
+func (k *Kernel) WaiFlg(id ID, waiptn uint32, mode FlagMode, tmout TMO) (uint32, ER) {
+	defer k.enter("tk_wai_flg")()
+	f, ok := k.flags[id]
+	if !ok {
+		return 0, ENOEXS
+	}
+	if waiptn == 0 {
+		return 0, EPAR
+	}
+	if f.attr&TaWMUL == 0 && f.wq.len() > 0 {
+		return 0, EOBJ // single-waiter flag already has a waiter
+	}
+	if flgMatch(f.pattern, waiptn, mode) {
+		got := f.pattern
+		if mode&TwfCLR != 0 {
+			f.pattern = 0
+		} else if mode&TwfBitCLR != 0 {
+			f.pattern &^= waiptn
+		}
+		return got, EOK
+	}
+	if tmout == TmoPol {
+		return 0, ETMOUT
+	}
+	task, er := k.blockCheck(tmout)
+	if er != EOK {
+		return 0, er
+	}
+	var relptn uint32
+	f.wq.add(task)
+	f.waits[task] = &flgWait{waiptn: waiptn, mode: mode, relptn: &relptn}
+	code := k.sleepOn(task, objName("flg", f.id, f.name), tmout, func() {
+		f.wq.remove(task)
+		delete(f.waits, task)
+	})
+	return relptn, code
+}
+
+// RefFlg returns the event-flag state (tk_ref_flg).
+func (k *Kernel) RefFlg(id ID) (FlagInfo, ER) {
+	f, ok := k.flags[id]
+	if !ok {
+		return FlagInfo{}, ENOEXS
+	}
+	return FlagInfo{Name: f.name, Pattern: f.pattern, Waiting: f.wq.names()}, EOK
+}

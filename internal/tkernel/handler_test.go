@@ -1,0 +1,342 @@
+package tkernel_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+func TestCyclicHandlerFires(t *testing.T) {
+	var fires []sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		cyc, er := k.CreCyc("H1", 10*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {
+			fires = append(fires, h.Now())
+		})
+		if er != tkernel.EOK {
+			t.Fatalf("CreCyc: %v", er)
+		}
+		_ = k.StaCyc(cyc)
+	})
+	run(t, sim, 45*sysc.Ms)
+	want := []sysc.Time{10 * sysc.Ms, 20 * sysc.Ms, 30 * sysc.Ms, 40 * sysc.Ms}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v", fires)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestCyclicHandlerPhase(t *testing.T) {
+	var first sysc.Time = -1
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		cyc, _ := k.CreCyc("H", 10*sysc.Ms, 3*sysc.Ms, func(h *tkernel.HandlerCtx) {
+			if first < 0 {
+				first = h.Now()
+			}
+		})
+		_ = k.StaCyc(cyc)
+	})
+	run(t, sim, 30*sysc.Ms)
+	if first != 3*sysc.Ms {
+		t.Fatalf("first fire at %v, want phase 3 ms", first)
+	}
+}
+
+func TestStpCycStopsFiring(t *testing.T) {
+	count := 0
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		var cyc tkernel.ID
+		cyc, _ = k.CreCyc("H", 5*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {
+			count++
+		})
+		_ = k.StaCyc(cyc)
+		_ = k.DlyTsk(12 * sysc.Ms) // two fires (5, 10)
+		_ = k.StpCyc(cyc)
+		info, _ := k.RefCyc(cyc)
+		if info.Active {
+			t.Error("still active after StpCyc")
+		}
+	})
+	run(t, sim, 100*sysc.Ms)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestCyclicHandlerPreemptsTask(t *testing.T) {
+	// A cyclic handler borrows the CPU from the running task; the task's
+	// wall-clock completion stretches by the handler's execution time.
+	var taskEnd sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		cyc, _ := k.CreCyc("H", 10*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 2 * sysc.Ms}, "cyclic-work")
+		})
+		_ = k.StaCyc(cyc)
+		id, _ := k.CreTsk("T", 10, func(task *tkernel.Task) {
+			k.Work(core.Cost{Time: 20 * sysc.Ms}, "long")
+			taskEnd = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+	})
+	run(t, sim, sysc.Sec)
+	// Task needs 20 ms CPU; handlers at 10 and 20 (and one at 30 lands
+	// while the task still needs time stolen back): fires at 10 & 20 steal
+	// 2x2 ms -> task ends at 24 ms.
+	if taskEnd != 24*sysc.Ms {
+		t.Fatalf("task ended at %v, want 24 ms", taskEnd)
+	}
+}
+
+func TestCyclicOverrunCounted(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		var cyc tkernel.ID
+		cyc, _ = k.CreCyc("H", 5*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 12 * sysc.Ms}, "too-long") // longer than period
+		})
+		_ = k.StaCyc(cyc)
+		_ = k.DlyTsk(30 * sysc.Ms)
+		info, _ := k.RefCyc(cyc)
+		if info.Overruns == 0 {
+			t.Error("overruns not counted")
+		}
+	})
+	run(t, sim, 100*sysc.Ms)
+}
+
+func TestAlarmHandlerOneShot(t *testing.T) {
+	var fires []sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		alm, er := k.CreAlm("H2", func(h *tkernel.HandlerCtx) {
+			fires = append(fires, h.Now())
+		})
+		if er != tkernel.EOK {
+			t.Fatalf("CreAlm: %v", er)
+		}
+		_ = k.StaAlm(alm, 7*sysc.Ms)
+	})
+	run(t, sim, 50*sysc.Ms)
+	if len(fires) != 1 || fires[0] != 7*sysc.Ms {
+		t.Fatalf("fires = %v, want one at 7 ms", fires)
+	}
+}
+
+func TestAlarmRearmReplaces(t *testing.T) {
+	var fires []sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		alm, _ := k.CreAlm("A", func(h *tkernel.HandlerCtx) {
+			fires = append(fires, h.Now())
+		})
+		_ = k.StaAlm(alm, 20*sysc.Ms)
+		_ = k.DlyTsk(2 * sysc.Ms)
+		_ = k.StaAlm(alm, 3*sysc.Ms) // replaces: fires at 5, not 20
+	})
+	run(t, sim, 50*sysc.Ms)
+	if len(fires) != 1 || fires[0] != 5*sysc.Ms {
+		t.Fatalf("fires = %v, want one at 5 ms", fires)
+	}
+}
+
+func TestStpAlmCancels(t *testing.T) {
+	count := 0
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		alm, _ := k.CreAlm("A", func(h *tkernel.HandlerCtx) { count++ })
+		_ = k.StaAlm(alm, 10*sysc.Ms)
+		_ = k.DlyTsk(2 * sysc.Ms)
+		_ = k.StpAlm(alm)
+	})
+	run(t, sim, 50*sysc.Ms)
+	if count != 0 {
+		t.Fatalf("alarm fired %d times after stop", count)
+	}
+}
+
+func TestHandlerCannotBlock(t *testing.T) {
+	var code tkernel.ER = tkernel.EOK
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		alm, _ := k.CreAlm("A", func(h *tkernel.HandlerCtx) {
+			code = h.K.SlpTsk(tkernel.TmoFevr) // blocking from handler: E_CTX
+		})
+		_ = k.StaAlm(alm, 5*sysc.Ms)
+	})
+	run(t, sim, 50*sysc.Ms)
+	if code != tkernel.ECTX {
+		t.Fatalf("blocking in handler = %v, want E_CTX", code)
+	}
+}
+
+func TestHandlerWakesTaskWithDelayedDispatch(t *testing.T) {
+	// The paper's delayed-dispatching rule: a handler waking a high-priority
+	// task does not dispatch until the handler returns.
+	var wokeAt sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		id, _ := k.CreTsk("sleeper", 5, func(task *tkernel.Task) {
+			_ = k.SlpTsk(tkernel.TmoFevr)
+			wokeAt = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		alm, _ := k.CreAlm("A", func(h *tkernel.HandlerCtx) {
+			_ = h.K.WupTsk(id)
+			h.Work(core.Cost{Time: 3 * sysc.Ms}, "post-wakeup-work")
+		})
+		_ = k.StaAlm(alm, 10*sysc.Ms)
+	})
+	run(t, sim, sysc.Sec)
+	if wokeAt != 13*sysc.Ms {
+		t.Fatalf("woke at %v, want 13 ms (10 + 3 handler)", wokeAt)
+	}
+}
+
+func TestExternalInterruptISR(t *testing.T) {
+	var fired []sysc.Time
+	sim := sysc.NewSimulator()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts()})
+	k.Boot(func(k *tkernel.Kernel) {
+		_ = k.DefInt(3, "uart-isr", func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 1 * sysc.Ms}, "isr-body")
+			fired = append(fired, h.Now())
+		})
+	})
+	// External interrupt controller raising INT3.
+	sim.Spawn("intc", func(th *sysc.Thread) {
+		th.Wait(5 * sysc.Ms)
+		if er := k.RaiseInterrupt(3); er != tkernel.EOK {
+			t.Errorf("raise: %v", er)
+		}
+		th.Wait(10 * sysc.Ms)
+		_ = k.RaiseInterrupt(3)
+	})
+	t.Cleanup(sim.Shutdown)
+	run(t, sim, 50*sysc.Ms)
+	if len(fired) != 2 || fired[0] != 6*sysc.Ms || fired[1] != 16*sysc.Ms {
+		t.Fatalf("fired = %v", fired)
+	}
+	info, _ := k.RefInt(3)
+	if info.Fires != 2 || info.Missed != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestRaiseUnknownInterrupt(t *testing.T) {
+	sim := sysc.NewSimulator()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts()})
+	k.Boot(func(k *tkernel.Kernel) {})
+	t.Cleanup(sim.Shutdown)
+	if er := k.RaiseInterrupt(99); er != tkernel.ENOEXS {
+		t.Fatalf("unknown interrupt: %v", er)
+	}
+}
+
+func TestInterruptWhileISRRunningIsMissed(t *testing.T) {
+	sim := sysc.NewSimulator()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts()})
+	k.Boot(func(k *tkernel.Kernel) {
+		_ = k.DefInt(1, "slow-isr", func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 10 * sysc.Ms}, "slow")
+		})
+	})
+	var second tkernel.ER
+	sim.Spawn("intc", func(th *sysc.Thread) {
+		th.Wait(2 * sysc.Ms)
+		_ = k.RaiseInterrupt(1)
+		th.Wait(3 * sysc.Ms)
+		second = k.RaiseInterrupt(1) // same ISR still running
+	})
+	t.Cleanup(sim.Shutdown)
+	run(t, sim, 50*sysc.Ms)
+	if second != tkernel.EQOVR {
+		t.Fatalf("second raise = %v, want E_QOVR", second)
+	}
+	info, _ := k.RefInt(1)
+	if info.Missed != 1 {
+		t.Fatalf("missed = %d", info.Missed)
+	}
+}
+
+func TestNestedInterruptsViaKernel(t *testing.T) {
+	var order []string
+	sim := sysc.NewSimulator()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts()})
+	k.Boot(func(k *tkernel.Kernel) {
+		_ = k.DefInt(1, "isr-lo", func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 6 * sysc.Ms}, "lo")
+			order = append(order, "lo")
+		})
+		_ = k.DefInt(2, "isr-hi", func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 1 * sysc.Ms}, "hi")
+			order = append(order, "hi")
+		})
+	})
+	sim.Spawn("intc", func(th *sysc.Thread) {
+		th.Wait(2 * sysc.Ms)
+		_ = k.RaiseInterrupt(1)
+		th.Wait(2 * sysc.Ms)
+		_ = k.RaiseInterrupt(2) // nests inside isr-lo
+	})
+	t.Cleanup(sim.Shutdown)
+	run(t, sim, 50*sysc.Ms)
+	if len(order) != 2 || order[0] != "hi" || order[1] != "lo" {
+		t.Fatalf("order = %v (nested ISR must finish first)", order)
+	}
+	if k.API().MaxInterruptDepth() != 2 {
+		t.Fatalf("depth = %d", k.API().MaxInterruptDepth())
+	}
+}
+
+func TestRefSysSnapshot(t *testing.T) {
+	k, sim := boot(t, func(k *tkernel.Kernel) {
+		_, _ = k.CreSem("s", tkernel.TaTFIFO, 1, 1)
+		_, _ = k.CreFlg("f", tkernel.TaWMUL, 0)
+		_, _ = k.CreMbx("m", tkernel.TaMFIFO)
+		_, _ = k.CreTsk("w", 10, func(*tkernel.Task) {})
+	})
+	run(t, sim, 20*sysc.Ms)
+	sys := k.RefSys()
+	if sys.Semaphores != 1 || sys.EventFlags != 1 || sys.Mailboxes != 1 {
+		t.Fatalf("counts: %+v", sys)
+	}
+	if sys.Tasks < 2 { // INIT + w
+		t.Fatalf("tasks = %d", sys.Tasks)
+	}
+	if sys.Ticks == 0 || sys.Tick != sysc.Ms {
+		t.Fatalf("tick data: %+v", sys)
+	}
+	ver := k.RefVer()
+	if ver.Product == "" || ver.SpecVer == "" {
+		t.Fatal("empty version info")
+	}
+}
+
+func TestDisDspPreventsPreemption(t *testing.T) {
+	var hiStart sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		hi, _ := k.CreTsk("hi", 1, func(task *tkernel.Task) {
+			hiStart = k.Sim().Now()
+		})
+		lo, _ := k.CreTsk("lo", 20, func(task *tkernel.Task) {
+			_ = k.DisDsp()
+			k.Work(core.Cost{Time: 8 * sysc.Ms}, "protected")
+			_ = k.StaTsk(hi) // would preempt, but dispatching disabled
+			k.Work(core.Cost{Time: 4 * sysc.Ms}, "still-protected")
+			_ = k.EnaDsp()
+			k.Work(core.Cost{Time: 3 * sysc.Ms}, "preemptible")
+		})
+		_ = k.StaTsk(lo)
+	})
+	run(t, sim, sysc.Sec)
+	if hiStart != 12*sysc.Ms {
+		t.Fatalf("hi started at %v, want 12 ms (after EnaDsp)", hiStart)
+	}
+}
+
+func TestTimerHandlerChargesNothingWithZeroCosts(t *testing.T) {
+	k, sim := boot(t, func(k *tkernel.Kernel) {})
+	run(t, sim, 100*sysc.Ms)
+	if k.API().BusyTime() != 0 {
+		t.Fatalf("busy = %v with zero costs and no tasks", k.API().BusyTime())
+	}
+}

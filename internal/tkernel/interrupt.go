@@ -1,0 +1,74 @@
+package tkernel
+
+import (
+	"repro/internal/core"
+)
+
+// ISR is a registered external-interrupt service routine (tk_def_int): a
+// handler-level T-THREAD activated by the Interrupt Dispatch module when
+// its interrupt number is raised by the hardware (BFM interrupt
+// controller).
+type ISR struct {
+	intno  int
+	name   string
+	tt     *core.TThread
+	fires  int
+	missed int // raises rejected because the ISR was still running
+}
+
+// ISRInfo is a snapshot of an interrupt handler's statistics.
+type ISRInfo struct {
+	IntNo  int
+	Name   string
+	Fires  int
+	Missed int
+}
+
+// DefInt defines the interrupt handler for interrupt number intno
+// (tk_def_int). Redefinition replaces the previous handler; a nil fn
+// removes the definition.
+func (k *Kernel) DefInt(intno int, name string, fn HandlerFunc) ER {
+	defer k.enter("tk_def_int")()
+	if intno < 0 {
+		return EPAR
+	}
+	if fn == nil {
+		delete(k.isrs, intno)
+		return EOK
+	}
+	isr := &ISR{intno: intno, name: name}
+	isr.tt = k.api.CreateThread(name, core.KindISR, 0, func(tt *core.TThread) {
+		fn(&HandlerCtx{K: k, tt: tt})
+	})
+	k.isrs[intno] = isr
+	return EOK
+}
+
+// RaiseInterrupt is the Interrupt Dispatch entry: it identifies and
+// responds to an external interrupt by notifying its dedicated service
+// routine. Raising an undefined interrupt returns E_NOEXS; raising one
+// whose handler is still running (and which the hardware would therefore
+// lose) returns E_QOVR and counts as missed. Nested interrupts arise
+// naturally when one ISR is raised while another runs.
+func (k *Kernel) RaiseInterrupt(intno int) ER {
+	isr, ok := k.isrs[intno]
+	if !ok {
+		return ENOEXS
+	}
+	if err := k.api.EnterInterrupt(isr.tt); err != nil {
+		isr.missed++
+		return EQOVR
+	}
+	isr.fires++
+	return EOK
+}
+
+// RefInt returns interrupt-handler statistics.
+func (k *Kernel) RefInt(intno int) (ISRInfo, ER) {
+	isr, ok := k.isrs[intno]
+	if !ok {
+		return ISRInfo{}, ENOEXS
+	}
+	return ISRInfo{IntNo: isr.intno, Name: isr.name, Fires: isr.fires,
+		Missed: isr.missed}, EOK
+}

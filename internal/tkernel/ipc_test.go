@@ -1,0 +1,384 @@
+package tkernel_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mbx, _ := k.CreMbx("m", tkernel.TaMFIFO)
+		_ = k.SndMbx(mbx, &tkernel.Message{Payload: "first"})
+		_ = k.SndMbx(mbx, &tkernel.Message{Payload: "second"})
+		m1, er := k.RcvMbx(mbx, tkernel.TmoPol)
+		if er != tkernel.EOK || m1.Payload != "first" {
+			t.Errorf("rcv1 = %v, %v", m1, er)
+		}
+		m2, _ := k.RcvMbx(mbx, tkernel.TmoPol)
+		if m2.Payload != "second" {
+			t.Errorf("rcv2 = %v", m2)
+		}
+		if _, er := k.RcvMbx(mbx, tkernel.TmoPol); er != tkernel.ETMOUT {
+			t.Errorf("empty poll: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestMailboxPriorityOrder(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mbx, _ := k.CreMbx("m", tkernel.TaMPRI)
+		_ = k.SndMbx(mbx, &tkernel.Message{Priority: 5, Payload: "mid"})
+		_ = k.SndMbx(mbx, &tkernel.Message{Priority: 9, Payload: "low"})
+		_ = k.SndMbx(mbx, &tkernel.Message{Priority: 1, Payload: "high"})
+		want := []string{"high", "mid", "low"}
+		for _, w := range want {
+			m, _ := k.RcvMbx(mbx, tkernel.TmoPol)
+			if m.Payload != w {
+				t.Errorf("got %v, want %s", m.Payload, w)
+			}
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestMailboxBlockingReceive(t *testing.T) {
+	var at sysc.Time
+	var got any
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mbx, _ := k.CreMbx("m", tkernel.TaMFIFO)
+		id, _ := k.CreTsk("rcv", 10, func(task *tkernel.Task) {
+			m, er := k.RcvMbx(mbx, tkernel.TmoFevr)
+			if er != tkernel.EOK {
+				t.Errorf("RcvMbx: %v", er)
+				return
+			}
+			got, at = m.Payload, k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(6 * sysc.Ms)
+		_ = k.SndMbx(mbx, &tkernel.Message{Payload: 42})
+	})
+	run(t, sim, sysc.Sec)
+	if at != 6*sysc.Ms || got != 42 {
+		t.Fatalf("at=%v got=%v", at, got)
+	}
+}
+
+func TestMailboxReceiveTimeout(t *testing.T) {
+	var code tkernel.ER
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mbx, _ := k.CreMbx("m", tkernel.TaMFIFO)
+		id, _ := k.CreTsk("rcv", 10, func(task *tkernel.Task) {
+			_, code = k.RcvMbx(mbx, 4*sysc.Ms)
+		})
+		_ = k.StaTsk(id)
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.ETMOUT {
+		t.Fatalf("code = %v", code)
+	}
+}
+
+func TestMessageBufferCopySemantics(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 256, 64)
+		src := []byte("hello")
+		_ = k.SndMbf(mbf, src, tkernel.TmoPol)
+		src[0] = 'X' // mutating the source must not affect the queued copy
+		got, er := k.RcvMbf(mbf, tkernel.TmoPol)
+		if er != tkernel.EOK || !bytes.Equal(got, []byte("hello")) {
+			t.Errorf("got %q, %v", got, er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestMessageBufferValidation(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 64, 16)
+		if er := k.SndMbf(mbf, make([]byte, 17), tkernel.TmoPol); er != tkernel.EPAR {
+			t.Errorf("oversize: %v", er)
+		}
+		if er := k.SndMbf(mbf, nil, tkernel.TmoPol); er != tkernel.EPAR {
+			t.Errorf("empty: %v", er)
+		}
+		if er := k.SndMbf(999, []byte("x"), tkernel.TmoPol); er != tkernel.ENOEXS {
+			t.Errorf("unknown: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestMessageBufferSenderBlocksWhenFull(t *testing.T) {
+	var sentAt sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		// 24 bytes: fits exactly one 16-byte message (+4 header) but not two.
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 24, 16)
+		id, _ := k.CreTsk("snd", 10, func(task *tkernel.Task) {
+			_ = k.SndMbf(mbf, make([]byte, 16), tkernel.TmoFevr) // fills
+			if er := k.SndMbf(mbf, make([]byte, 16), tkernel.TmoFevr); er != tkernel.EOK {
+				t.Errorf("second send: %v", er)
+			}
+			sentAt = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(5 * sysc.Ms)
+		if _, er := k.RcvMbf(mbf, tkernel.TmoPol); er != tkernel.EOK {
+			t.Errorf("drain: %v", er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if sentAt != 5*sysc.Ms {
+		t.Fatalf("second send completed at %v, want 5 ms", sentAt)
+	}
+}
+
+func TestMessageBufferZeroSizeRendezvous(t *testing.T) {
+	var sndDone, rcvDone sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 0, 32)
+		snd, _ := k.CreTsk("snd", 10, func(task *tkernel.Task) {
+			if er := k.SndMbf(mbf, []byte("sync"), tkernel.TmoFevr); er != tkernel.EOK {
+				t.Errorf("snd: %v", er)
+			}
+			sndDone = k.Sim().Now()
+		})
+		rcv, _ := k.CreTsk("rcv", 11, func(task *tkernel.Task) {
+			got, er := k.RcvMbf(mbf, tkernel.TmoFevr)
+			if er != tkernel.EOK || string(got) != "sync" {
+				t.Errorf("rcv: %q %v", got, er)
+			}
+			rcvDone = k.Sim().Now()
+		})
+		_ = k.StaTsk(snd)
+		_ = k.DlyTsk(3 * sysc.Ms) // sender blocks (no buffer space)
+		_ = k.StaTsk(rcv)
+	})
+	run(t, sim, sysc.Sec)
+	if sndDone != 3*sysc.Ms || rcvDone != 3*sysc.Ms {
+		t.Fatalf("rendezvous at snd=%v rcv=%v, want both 3 ms", sndDone, rcvDone)
+	}
+}
+
+func TestMessageBufferFIFOAcrossBlockedSenders(t *testing.T) {
+	var got []string
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 12, 8) // one 8-byte msg max
+		mkSender := func(name string, msg string) tkernel.ID {
+			id, _ := k.CreTsk(name, 10, func(task *tkernel.Task) {
+				_ = k.SndMbf(mbf, []byte(msg), tkernel.TmoFevr)
+			})
+			return id
+		}
+		s1 := mkSender("s1", "one")
+		s2 := mkSender("s2", "two")
+		s3 := mkSender("s3", "three")
+		_ = k.StaTsk(s1)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.StaTsk(s2)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.StaTsk(s3)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		for i := 0; i < 3; i++ {
+			m, er := k.RcvMbf(mbf, tkernel.TmoFevr)
+			if er != tkernel.EOK {
+				t.Errorf("rcv %d: %v", i, er)
+			}
+			got = append(got, string(m))
+			_ = k.DlyTsk(1 * sysc.Ms)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	want := []string{"one", "two", "three"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFixedPoolExhaustionAndHandoff(t *testing.T) {
+	var gotAt sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mpf, _ := k.CreMpf("p", tkernel.TaTFIFO, 2, 32)
+		b1, er := k.GetMpf(mpf, tkernel.TmoPol)
+		if er != tkernel.EOK || len(b1.Data) != 32 {
+			t.Fatalf("get1: %v", er)
+		}
+		b2, _ := k.GetMpf(mpf, tkernel.TmoPol)
+		if _, er := k.GetMpf(mpf, tkernel.TmoPol); er != tkernel.ETMOUT {
+			t.Errorf("exhausted poll: %v", er)
+		}
+		id, _ := k.CreTsk("w", 10, func(task *tkernel.Task) {
+			b, er := k.GetMpf(mpf, tkernel.TmoFevr)
+			if er != tkernel.EOK || b == nil {
+				t.Errorf("blocked get: %v", er)
+				return
+			}
+			gotAt = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(4 * sysc.Ms)
+		_ = k.RelMpf(mpf, b1)
+		info, _ := k.RefMpf(mpf)
+		if info.FreeBlocks != 0 { // handed straight to the waiter
+			t.Errorf("free = %d", info.FreeBlocks)
+		}
+		_ = k.RelMpf(mpf, b2)
+	})
+	run(t, sim, sysc.Sec)
+	if gotAt != 4*sysc.Ms {
+		t.Fatalf("blocked get completed at %v", gotAt)
+	}
+}
+
+func TestFixedPoolDoubleFreeRejected(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mpf, _ := k.CreMpf("p", tkernel.TaTFIFO, 1, 16)
+		b, _ := k.GetMpf(mpf, tkernel.TmoPol)
+		if er := k.RelMpf(mpf, b); er != tkernel.EOK {
+			t.Errorf("rel: %v", er)
+		}
+		if er := k.RelMpf(mpf, b); er != tkernel.EPAR {
+			t.Errorf("double free: %v", er)
+		}
+		if er := k.RelMpf(mpf, nil); er != tkernel.EPAR {
+			t.Errorf("nil: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestFixedPoolBlocksAreDisjoint(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mpf, _ := k.CreMpf("p", tkernel.TaTFIFO, 4, 8)
+		var blocks []*tkernel.MemBlock
+		for i := 0; i < 4; i++ {
+			b, er := k.GetMpf(mpf, tkernel.TmoPol)
+			if er != tkernel.EOK {
+				t.Fatalf("get %d: %v", i, er)
+			}
+			for j := range b.Data {
+				b.Data[j] = byte(i)
+			}
+			blocks = append(blocks, b)
+		}
+		for i, b := range blocks {
+			for _, v := range b.Data {
+				if v != byte(i) {
+					t.Fatalf("block %d corrupted: %v", i, b.Data)
+				}
+			}
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestVariablePoolAllocFreeCoalesce(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mpl, _ := k.CreMpl("v", tkernel.TaTFIFO, 1024)
+		info, _ := k.RefMpl(mpl)
+		total := info.FreeTotal
+		a, er := k.GetMpl(mpl, 100, tkernel.TmoPol)
+		if er != tkernel.EOK || len(a.Data) < 100 {
+			t.Fatalf("alloc a: %v", er)
+		}
+		b, _ := k.GetMpl(mpl, 200, tkernel.TmoPol)
+		c, _ := k.GetMpl(mpl, 300, tkernel.TmoPol)
+		// Free the middle block, then its neighbours: everything coalesces.
+		_ = k.RelMpl(mpl, b)
+		_ = k.RelMpl(mpl, a)
+		_ = k.RelMpl(mpl, c)
+		info, _ = k.RefMpl(mpl)
+		if info.FreeTotal != total {
+			t.Fatalf("leak: free %d of %d", info.FreeTotal, total)
+		}
+		// One coalesced hole: max allocation equals the whole pool again.
+		if _, er := k.GetMpl(mpl, 1000, tkernel.TmoPol); er != tkernel.EOK {
+			t.Fatalf("full-size realloc failed: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestVariablePoolBlockingGet(t *testing.T) {
+	var at sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mpl, _ := k.CreMpl("v", tkernel.TaTFIFO, 256)
+		big, _ := k.GetMpl(mpl, 200, tkernel.TmoPol)
+		id, _ := k.CreTsk("w", 10, func(task *tkernel.Task) {
+			b, er := k.GetMpl(mpl, 200, tkernel.TmoFevr)
+			if er != tkernel.EOK || b == nil {
+				t.Errorf("blocked alloc: %v", er)
+				return
+			}
+			at = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(3 * sysc.Ms)
+		_ = k.RelMpl(mpl, big)
+	})
+	run(t, sim, sysc.Sec)
+	if at != 3*sysc.Ms {
+		t.Fatalf("alloc completed at %v", at)
+	}
+}
+
+func TestVariablePoolValidation(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mpl, _ := k.CreMpl("v", tkernel.TaTFIFO, 128)
+		if _, er := k.GetMpl(mpl, 0, tkernel.TmoPol); er != tkernel.EPAR {
+			t.Errorf("zero size: %v", er)
+		}
+		if _, er := k.GetMpl(mpl, 10000, tkernel.TmoPol); er != tkernel.EPAR {
+			t.Errorf("oversize: %v", er)
+		}
+		b, _ := k.GetMpl(mpl, 16, tkernel.TmoPol)
+		if er := k.RelMpl(mpl, b); er != tkernel.EOK {
+			t.Errorf("rel: %v", er)
+		}
+		if er := k.RelMpl(mpl, b); er != tkernel.EPAR {
+			t.Errorf("double free: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestVariablePoolWriteIntegrity(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mpl, _ := k.CreMpl("v", tkernel.TaTFIFO, 512)
+		a, _ := k.GetMpl(mpl, 64, tkernel.TmoPol)
+		b, _ := k.GetMpl(mpl, 64, tkernel.TmoPol)
+		for i := range a.Data {
+			a.Data[i] = 0xAA
+		}
+		for i := range b.Data {
+			b.Data[i] = 0xBB
+		}
+		for _, v := range a.Data {
+			if v != 0xAA {
+				t.Fatal("block a corrupted by block b")
+			}
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestWorkChargesCallerOnly(t *testing.T) {
+	k, sim := boot(t, func(k *tkernel.Kernel) {
+		id, _ := k.CreTsk("w", 10, func(task *tkernel.Task) {
+			k.Work(core.Cost{Time: 5 * sysc.Ms, Energy: 1}, "block")
+		})
+		_ = k.StaTsk(id)
+	})
+	run(t, sim, 100*sysc.Ms)
+	tt := k.API().LookupByName("w")
+	if tt.CET() != 5*sysc.Ms {
+		t.Fatalf("CET = %v", tt.CET())
+	}
+}

@@ -1,0 +1,422 @@
+package tkernel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/petri"
+	"repro/internal/sched"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+// ID identifies a kernel object within its class (task, semaphore, ...).
+type ID int
+
+// TMO is a timeout for wait services. Non-negative values are durations;
+// TmoPol polls (fail immediately instead of waiting) and TmoFevr waits
+// forever.
+type TMO = sysc.Time
+
+// Timeout sentinels.
+const (
+	TmoPol  TMO = 0
+	TmoFevr TMO = -1
+)
+
+// Attributes of kernel objects (subset of T-Kernel object attributes).
+type Attr uint32
+
+// Object attribute bits.
+const (
+	TaTFIFO   Attr = 0      // wait queue in FIFO order
+	TaTPRI    Attr = 1 << 0 // wait queue in task priority order
+	TaWSGL    Attr = 0      // event flag: single waiter
+	TaWMUL    Attr = 1 << 1 // event flag: multiple waiters allowed
+	TaMFIFO   Attr = 0      // mailbox messages in FIFO order
+	TaMPRI    Attr = 1 << 2 // mailbox messages in priority order
+	TaInherit Attr = 1 << 3 // mutex: priority inheritance
+	TaCeiling Attr = 1 << 4 // mutex: priority ceiling
+)
+
+// Costs is the ETM/EEM annotation model for kernel code: the execution time
+// and energy charged to the calling T-THREAD for each class of kernel step.
+// The paper estimated these a priori for RTK-Spec TRON; they are fully
+// user-overridable (and calibratable against an ISS, the paper's future
+// work).
+type Costs struct {
+	Service  core.Cost // one tk_* service call body
+	Dispatch core.Cost // one context switch
+	TimerIRQ core.Cost // timer-handler pass per tick
+}
+
+// DefaultCosts returns the estimated annotations used by the case study:
+// a few microseconds and sub-microjoule per kernel step, realistic for the
+// i8051-class target of the paper.
+func DefaultCosts() Costs {
+	return Costs{
+		Service:  core.Cost{Time: 5 * sysc.Us, Energy: 250 * petri.NanoJ},
+		Dispatch: core.Cost{Time: 8 * sysc.Us, Energy: 400 * petri.NanoJ},
+		TimerIRQ: core.Cost{Time: 3 * sysc.Us, Energy: 150 * petri.NanoJ},
+	}
+}
+
+// ZeroCosts returns an annotation model with no kernel overhead (useful for
+// functional tests that assert exact timings).
+func ZeroCosts() Costs { return Costs{} }
+
+// Config parameterizes a kernel instance.
+type Config struct {
+	// Tick is the system-clock resolution driving the central module
+	// (default 1 ms, the paper's RTC resolution).
+	Tick sysc.Time
+	// TickSource, when non-nil, is an external tick event (the BFM's
+	// real-time clock). When nil the kernel generates its own tick.
+	TickSource *sysc.Event
+	// Costs is the kernel ETM/EEM annotation model.
+	Costs Costs
+	// Gantt enables trace recording when non-nil.
+	Gantt *trace.Gantt
+	// MaxPriority bounds task priorities (1..MaxPriority; default 140).
+	MaxPriority int
+	// WupCountMax bounds queued wakeups per task (default 65535).
+	WupCountMax int
+}
+
+// Kernel is one instance of the RTK-Spec TRON simulation model. Create it
+// with New, populate the application in the initial task via Boot, and run
+// the underlying sysc simulator.
+type Kernel struct {
+	sim *sysc.Simulator
+	api *core.SimAPI
+	cfg Config
+
+	tasks map[ID]*Task
+	sems  map[ID]*Semaphore
+	flags map[ID]*EventFlag
+	mtxs  map[ID]*Mutex
+	mbxs  map[ID]*Mailbox
+	mbfs  map[ID]*MessageBuffer
+	mpfs  map[ID]*FixedPool
+	mpls  map[ID]*VariablePool
+	cycs  map[ID]*CyclicHandler
+	alms  map[ID]*AlarmHandler
+	isrs  map[int]*ISR
+	pors  map[ID]*Port
+
+	rdvs    map[RdvNo]portRdv
+	nextRdv uint64
+
+	nextTask, nextSem, nextFlg, nextMtx, nextMbx, nextMbf ID
+	nextMpf, nextMpl, nextCyc, nextAlm, nextPor           ID
+
+	timerQ  timerQueue
+	sysBase sysc.Time // tk_set_tim offset: system time = sysBase + sim time
+	ticks   uint64
+
+	booted bool
+	disDsp bool
+}
+
+// New creates a kernel bound to a fresh SIM_API instance over sim, using
+// the T-Kernel priority-based preemptive scheduling policy.
+func New(sim *sysc.Simulator, cfg Config) *Kernel {
+	if cfg.Tick <= 0 {
+		cfg.Tick = 1 * sysc.Ms
+	}
+	if cfg.MaxPriority <= 0 {
+		cfg.MaxPriority = 140
+	}
+	if cfg.WupCountMax <= 0 {
+		cfg.WupCountMax = 65535
+	}
+	k := &Kernel{
+		sim:   sim,
+		api:   core.NewSimAPI(sim, sched.NewPriority(), cfg.Gantt),
+		cfg:   cfg,
+		tasks: map[ID]*Task{},
+		sems:  map[ID]*Semaphore{},
+		flags: map[ID]*EventFlag{},
+		mtxs:  map[ID]*Mutex{},
+		mbxs:  map[ID]*Mailbox{},
+		mbfs:  map[ID]*MessageBuffer{},
+		mpfs:  map[ID]*FixedPool{},
+		mpls:  map[ID]*VariablePool{},
+		cycs:  map[ID]*CyclicHandler{},
+		alms:  map[ID]*AlarmHandler{},
+		isrs:  map[int]*ISR{},
+		pors:  map[ID]*Port{},
+		rdvs:  map[RdvNo]portRdv{},
+	}
+	return k
+}
+
+// API exposes the SIM_API library instance (for debugger support and
+// experiment harnesses).
+func (k *Kernel) API() *core.SimAPI { return k.api }
+
+// Sim returns the underlying simulator.
+func (k *Kernel) Sim() *sysc.Simulator { return k.sim }
+
+// Tick returns the configured system-clock resolution.
+func (k *Kernel) Tick() sysc.Time { return k.cfg.Tick }
+
+// Ticks returns the number of system ticks processed so far.
+func (k *Kernel) Ticks() uint64 { return k.ticks }
+
+// Boot installs the kernel's central module (Figure 3) and schedules the
+// startup sequence: on "reset" the Boot process initializes the kernel
+// internal state and starts the initial task, which calls the user main
+// entry to create and start tasks, handlers and application resources.
+// The initial task runs at the highest priority (0).
+func (k *Kernel) Boot(userMain func(*Kernel)) {
+	if k.booted {
+		panic("tkernel: Boot called twice")
+	}
+	k.booted = true
+
+	// Thread Dispatch: sensitive to the system tick; activates the timer
+	// handler inside T-Kernel/OS.
+	tickEv := k.cfg.TickSource
+	if tickEv == nil {
+		tickEv = sysc.NewTicker(k.sim, "tkernel.tick", k.cfg.Tick).Event()
+	}
+	k.sim.SpawnMethod("tkernel.thread_dispatch", k.timerHandler, tickEv)
+
+	// Boot module: kernel startup upon H/W reset (time zero).
+	k.sim.Spawn("tkernel.boot", func(th *sysc.Thread) {
+		init := k.api.CreateThread("INIT", core.KindTask, 0, func(tt *core.TThread) {
+			tt.Consume(k.cfg.Costs.Service, trace.CtxStartup, "kernel-init")
+			userMain(k)
+		})
+		k.tasks[0] = &Task{id: 0, k: k, tt: init, name: "INIT"}
+		init.SetExinf(k.tasks[0])
+		if err := k.api.Activate(init); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// timerHandler is the kernel timer handler, activated by Thread Dispatch on
+// every system tick: it updates the system clock and checks the timer queue
+// for cyclic events, alarm events, and task-resuming (timeout) events, then
+// drives the simulation library to dispatch or preempt.
+func (k *Kernel) timerHandler() {
+	k.ticks++
+	now := k.sim.Now()
+	for {
+		fn, ok := k.timerQ.popDue(now)
+		if !ok {
+			return
+		}
+		fn()
+	}
+}
+
+// after schedules fn to run at the first tick at or after d from now.
+// Returns the entry handle (sequence number) for diagnostics.
+func (k *Kernel) after(d sysc.Time, fn func()) uint64 {
+	when := k.sim.Now() + d
+	return k.timerQ.add(when, fn)
+}
+
+// SystemTime returns the current system time (tk_get_tim).
+func (k *Kernel) SystemTime() sysc.Time { return k.sysBase + k.sim.Now() }
+
+// SetSystemTime sets the current system time (tk_set_tim).
+func (k *Kernel) SetSystemTime(t sysc.Time) { k.sysBase = t - k.sim.Now() }
+
+// --- service-call machinery ---
+
+// caller returns the task whose body invoked the current service call, or
+// nil when the call comes from a handler or a plain simulation process.
+func (k *Kernel) caller() *Task {
+	tt := k.api.ExecutingThread()
+	if tt == nil {
+		return nil
+	}
+	if task, ok := tt.Exinf().(*Task); ok && tt.Kind() == core.KindTask {
+		return task
+	}
+	return nil
+}
+
+// enter is the service-call prologue: it locks dispatching for the duration
+// of the call body (service-call atomicity) and charges the service ETM/EEM
+// annotation to the calling T-THREAD. The returned func is the epilogue.
+func (k *Kernel) enter(name string) func() {
+	tt := k.api.ExecutingThread()
+	if tt != nil {
+		// A preempted caller must be dispatched again before it may begin
+		// an atomic service body (see TThread.AwaitCPU).
+		tt.AwaitCPU()
+	}
+	k.api.LockDispatch()
+	if tt != nil {
+		tt.Consume(k.cfg.Costs.Service, trace.CtxService, name)
+	}
+	return k.api.UnlockDispatch
+}
+
+// blockCheck validates that the executing context may issue a blocking wait
+// with the given timeout: only task context, outside handlers, with
+// dispatching enabled beyond the service's own lock. It returns the calling
+// task, or an error code.
+func (k *Kernel) blockCheck(tmout TMO) (*Task, ER) {
+	if tmout < TmoFevr {
+		return nil, EPAR
+	}
+	if k.api.InHandler() {
+		return nil, ECTX
+	}
+	task := k.caller()
+	if task == nil {
+		return nil, ECTX
+	}
+	return task, EOK
+}
+
+// sleepOn blocks the calling task on a kernel object with an optional
+// timeout and returns the wait release code. The service's dispatch lock is
+// released around the wait (atomicity covers the call body up to the block)
+// and re-acquired afterwards.
+//
+// seq-based invalidation guarantees a stale timeout never releases a newer
+// wait of the same task.
+func (k *Kernel) sleepOn(task *Task, obj string, tmout TMO, cancel func()) ER {
+	task.waitSeq++
+	seq := task.waitSeq
+	task.waitCancel = cancel
+	if tmout >= 0 {
+		k.after(tmout, func() {
+			if task.waitSeq == seq && task.tt.State() != core.StateDormant {
+				if task.waitCancel != nil {
+					task.waitCancel()
+					task.waitCancel = nil
+				}
+				k.api.Release(task.tt, ETMOUT)
+			}
+		})
+	}
+	k.api.UnlockDispatch()
+	err := k.api.BlockCurrent(obj)
+	k.api.LockDispatch()
+	task.waitSeq++ // invalidate any outstanding timeout
+	task.waitCancel = nil
+	return erOf(err)
+}
+
+// wake releases a waiting task with the given code, invalidating its
+// timeout entry and wait-queue bookkeeping.
+func (k *Kernel) wake(task *Task, code ER) {
+	task.waitSeq++
+	task.waitCancel = nil
+	if code == EOK {
+		k.api.Release(task.tt, nil)
+	} else {
+		k.api.Release(task.tt, code)
+	}
+}
+
+// timerQueue is the kernel's time-event queue: entries fire in (when, seq)
+// order when the timer handler observes their deadline at a tick.
+type timerQueue struct {
+	items []timerItem
+	seq   uint64
+}
+
+type timerItem struct {
+	when sysc.Time
+	seq  uint64
+	fn   func()
+}
+
+func (q *timerQueue) add(when sysc.Time, fn func()) uint64 {
+	q.seq++
+	q.items = append(q.items, timerItem{when: when, seq: q.seq, fn: fn})
+	return q.seq
+}
+
+// popDue removes and returns the earliest entry with when <= now.
+func (q *timerQueue) popDue(now sysc.Time) (func(), bool) {
+	best := -1
+	for i, it := range q.items {
+		if it.when > now {
+			continue
+		}
+		if best == -1 || it.when < q.items[best].when ||
+			(it.when == q.items[best].when && it.seq < q.items[best].seq) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	fn := q.items[best].fn
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	return fn, true
+}
+
+// Len returns the number of pending time events.
+func (q *timerQueue) Len() int { return len(q.items) }
+
+// waitQueue orders tasks waiting on a kernel object, FIFO or by priority
+// according to the object's attributes.
+type waitQueue struct {
+	tasks []*Task
+	prio  bool
+}
+
+func newWaitQueue(attr Attr) waitQueue { return waitQueue{prio: attr&TaTPRI != 0} }
+
+func (q *waitQueue) add(t *Task) {
+	if !q.prio {
+		q.tasks = append(q.tasks, t)
+		return
+	}
+	pos := len(q.tasks)
+	for i, x := range q.tasks {
+		if t.tt.Priority() < x.tt.Priority() {
+			pos = i
+			break
+		}
+	}
+	q.tasks = append(q.tasks, nil)
+	copy(q.tasks[pos+1:], q.tasks[pos:])
+	q.tasks[pos] = t
+}
+
+func (q *waitQueue) remove(t *Task) {
+	for i, x := range q.tasks {
+		if x == t {
+			q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *waitQueue) head() *Task {
+	if len(q.tasks) == 0 {
+		return nil
+	}
+	return q.tasks[0]
+}
+
+func (q *waitQueue) len() int { return len(q.tasks) }
+
+// names of waiting tasks, for DS listings.
+func (q *waitQueue) names() []string {
+	var out []string
+	for _, t := range q.tasks {
+		out = append(out, t.name)
+	}
+	return out
+}
+
+// objName builds the wait-object label shown in traces and DS listings.
+func objName(class string, id ID, name string) string {
+	if name != "" {
+		return fmt.Sprintf("%s#%d(%s)", class, id, name)
+	}
+	return fmt.Sprintf("%s#%d", class, id)
+}

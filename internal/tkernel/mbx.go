@@ -1,0 +1,132 @@
+package tkernel
+
+// Message is a mailbox message: an arbitrary payload with a message
+// priority used when the mailbox orders messages by priority (TA_MPRI).
+type Message struct {
+	Priority int
+	Payload  any
+}
+
+// Mailbox is a T-Kernel mailbox (tk_cre_mbx family): senders never block
+// (messages are queued by reference), receivers block until a message
+// arrives.
+type Mailbox struct {
+	id   ID
+	name string
+	attr Attr
+	msgs []*Message
+	wq   waitQueue
+	dest map[*Task]**Message // delivery slot per waiting receiver
+}
+
+// MailboxInfo is the tk_ref_mbx snapshot.
+type MailboxInfo struct {
+	Name     string
+	Messages int
+	NextPrio int // priority of the head message (0 if empty)
+	Waiting  []string
+}
+
+// CreMbx creates a mailbox (tk_cre_mbx). TaMPRI orders messages by
+// priority; the default is FIFO.
+func (k *Kernel) CreMbx(name string, attr Attr) (ID, ER) {
+	defer k.enter("tk_cre_mbx")()
+	k.nextMbx++
+	id := k.nextMbx
+	k.mbxs[id] = &Mailbox{id: id, name: name, attr: attr,
+		wq: newWaitQueue(attr), dest: map[*Task]**Message{}}
+	return id, EOK
+}
+
+// DelMbx deletes a mailbox; waiting receivers get E_DLT (tk_del_mbx).
+func (k *Kernel) DelMbx(id ID) ER {
+	defer k.enter("tk_del_mbx")()
+	m, ok := k.mbxs[id]
+	if !ok {
+		return ENOEXS
+	}
+	for _, t := range append([]*Task(nil), m.wq.tasks...) {
+		m.wq.remove(t)
+		delete(m.dest, t)
+		k.wake(t, EDLT)
+	}
+	delete(k.mbxs, id)
+	return EOK
+}
+
+// SndMbx sends a message (tk_snd_mbx); never blocks. A waiting receiver is
+// handed the message directly.
+func (k *Kernel) SndMbx(id ID, msg *Message) ER {
+	defer k.enter("tk_snd_mbx")()
+	m, ok := k.mbxs[id]
+	if !ok {
+		return ENOEXS
+	}
+	if msg == nil {
+		return EPAR
+	}
+	if t := m.wq.head(); t != nil {
+		m.wq.remove(t)
+		*m.dest[t] = msg
+		delete(m.dest, t)
+		k.wake(t, EOK)
+		return EOK
+	}
+	if m.attr&TaMPRI != 0 {
+		pos := len(m.msgs)
+		for i, x := range m.msgs {
+			if msg.Priority < x.Priority {
+				pos = i
+				break
+			}
+		}
+		m.msgs = append(m.msgs, nil)
+		copy(m.msgs[pos+1:], m.msgs[pos:])
+		m.msgs[pos] = msg
+	} else {
+		m.msgs = append(m.msgs, msg)
+	}
+	return EOK
+}
+
+// RcvMbx receives the head message, waiting up to tmout (tk_rcv_mbx).
+func (k *Kernel) RcvMbx(id ID, tmout TMO) (*Message, ER) {
+	defer k.enter("tk_rcv_mbx")()
+	m, ok := k.mbxs[id]
+	if !ok {
+		return nil, ENOEXS
+	}
+	if len(m.msgs) > 0 {
+		msg := m.msgs[0]
+		m.msgs = m.msgs[1:]
+		return msg, EOK
+	}
+	if tmout == TmoPol {
+		return nil, ETMOUT
+	}
+	task, er := k.blockCheck(tmout)
+	if er != EOK {
+		return nil, er
+	}
+	var got *Message
+	m.wq.add(task)
+	m.dest[task] = &got
+	code := k.sleepOn(task, objName("mbx", m.id, m.name), tmout, func() {
+		m.wq.remove(task)
+		delete(m.dest, task)
+	})
+	return got, code
+}
+
+// RefMbx returns the mailbox state (tk_ref_mbx).
+func (k *Kernel) RefMbx(id ID) (MailboxInfo, ER) {
+	m, ok := k.mbxs[id]
+	if !ok {
+		return MailboxInfo{}, ENOEXS
+	}
+	info := MailboxInfo{Name: m.name, Messages: len(m.msgs), Waiting: m.wq.names()}
+	if len(m.msgs) > 0 {
+		info.NextPrio = m.msgs[0].Priority
+	}
+	return info, EOK
+}

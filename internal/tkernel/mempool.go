@@ -1,0 +1,338 @@
+package tkernel
+
+// MemBlock is a block handed out by a memory pool. Data is real usable
+// memory backed by the pool arena.
+type MemBlock struct {
+	Data []byte
+	pool ID   // owning pool id
+	off  int  // arena offset (variable pools)
+	idx  int  // block index (fixed pools)
+	live bool // double-free guard
+}
+
+// FixedPool is a T-Kernel fixed-size memory pool (tk_cre_mpf family):
+// blkcnt blocks of blksz bytes; tk_get_mpf blocks while exhausted.
+type FixedPool struct {
+	id     ID
+	name   string
+	attr   Attr
+	blksz  int
+	blkcnt int
+	free   []int // free block indexes (LIFO)
+	arena  []byte
+	blocks []*MemBlock
+	wq     waitQueue
+	dst    map[*Task]**MemBlock
+}
+
+// FixedPoolInfo is the tk_ref_mpf snapshot.
+type FixedPoolInfo struct {
+	Name       string
+	FreeBlocks int
+	BlockSize  int
+	Waiting    []string
+}
+
+// CreMpf creates a fixed-size pool (tk_cre_mpf).
+func (k *Kernel) CreMpf(name string, attr Attr, blkcnt, blksz int) (ID, ER) {
+	defer k.enter("tk_cre_mpf")()
+	if blkcnt <= 0 || blksz <= 0 {
+		return 0, EPAR
+	}
+	k.nextMpf++
+	id := k.nextMpf
+	p := &FixedPool{
+		id: id, name: name, attr: attr, blksz: blksz, blkcnt: blkcnt,
+		arena: make([]byte, blkcnt*blksz),
+		wq:    newWaitQueue(attr),
+		dst:   map[*Task]**MemBlock{},
+	}
+	p.blocks = make([]*MemBlock, blkcnt)
+	for i := blkcnt - 1; i >= 0; i-- {
+		p.free = append(p.free, i)
+		p.blocks[i] = &MemBlock{pool: id, idx: i,
+			Data: p.arena[i*blksz : (i+1)*blksz]}
+	}
+	k.mpfs[id] = p
+	return id, EOK
+}
+
+// DelMpf deletes a fixed pool; waiters get E_DLT (tk_del_mpf).
+func (k *Kernel) DelMpf(id ID) ER {
+	defer k.enter("tk_del_mpf")()
+	p, ok := k.mpfs[id]
+	if !ok {
+		return ENOEXS
+	}
+	for _, t := range append([]*Task(nil), p.wq.tasks...) {
+		p.wq.remove(t)
+		delete(p.dst, t)
+		k.wake(t, EDLT)
+	}
+	delete(k.mpfs, id)
+	return EOK
+}
+
+// GetMpf acquires one block, waiting up to tmout (tk_get_mpf).
+func (k *Kernel) GetMpf(id ID, tmout TMO) (*MemBlock, ER) {
+	defer k.enter("tk_get_mpf")()
+	p, ok := k.mpfs[id]
+	if !ok {
+		return nil, ENOEXS
+	}
+	if p.wq.len() == 0 && len(p.free) > 0 {
+		return p.take(), EOK
+	}
+	if tmout == TmoPol {
+		return nil, ETMOUT
+	}
+	task, er := k.blockCheck(tmout)
+	if er != EOK {
+		return nil, er
+	}
+	var got *MemBlock
+	p.wq.add(task)
+	p.dst[task] = &got
+	code := k.sleepOn(task, objName("mpf", p.id, p.name), tmout, func() {
+		p.wq.remove(task)
+		delete(p.dst, task)
+	})
+	return got, code
+}
+
+func (p *FixedPool) take() *MemBlock {
+	i := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	b := p.blocks[i]
+	b.live = true
+	return b
+}
+
+// RelMpf returns a block to its pool (tk_rel_mpf); a waiting task is handed
+// the block directly.
+func (k *Kernel) RelMpf(id ID, b *MemBlock) ER {
+	defer k.enter("tk_rel_mpf")()
+	p, ok := k.mpfs[id]
+	if !ok {
+		return ENOEXS
+	}
+	if b == nil || b.pool != id || !b.live {
+		return EPAR
+	}
+	b.live = false
+	if t := p.wq.head(); t != nil {
+		p.wq.remove(t)
+		b.live = true
+		*p.dst[t] = b
+		delete(p.dst, t)
+		k.wake(t, EOK)
+		return EOK
+	}
+	p.free = append(p.free, b.idx)
+	return EOK
+}
+
+// RefMpf returns the fixed-pool state (tk_ref_mpf).
+func (k *Kernel) RefMpf(id ID) (FixedPoolInfo, ER) {
+	p, ok := k.mpfs[id]
+	if !ok {
+		return FixedPoolInfo{}, ENOEXS
+	}
+	return FixedPoolInfo{Name: p.name, FreeBlocks: len(p.free),
+		BlockSize: p.blksz, Waiting: p.wq.names()}, EOK
+}
+
+// VariablePool is a T-Kernel variable-size memory pool (tk_cre_mpl family)
+// backed by a first-fit free-list allocator with coalescing over a real
+// byte arena.
+type VariablePool struct {
+	id    ID
+	name  string
+	attr  Attr
+	arena []byte
+	holes []hole // sorted by offset, coalesced
+	wq    waitQueue
+	reqs  map[*Task]*mplReq
+}
+
+type hole struct{ off, size int }
+
+type mplReq struct {
+	size int
+	dst  **MemBlock
+}
+
+// VariablePoolInfo is the tk_ref_mpl snapshot.
+type VariablePoolInfo struct {
+	Name      string
+	FreeTotal int
+	FreeMax   int // largest contiguous allocatable size
+	Waiting   []string
+}
+
+// align rounds n up to 8 bytes (allocator granule).
+func align(n int) int { return (n + 7) &^ 7 }
+
+// CreMpl creates a variable-size pool of mplsz bytes (tk_cre_mpl).
+func (k *Kernel) CreMpl(name string, attr Attr, mplsz int) (ID, ER) {
+	defer k.enter("tk_cre_mpl")()
+	if mplsz <= 0 {
+		return 0, EPAR
+	}
+	mplsz = align(mplsz)
+	k.nextMpl++
+	id := k.nextMpl
+	k.mpls[id] = &VariablePool{
+		id: id, name: name, attr: attr,
+		arena: make([]byte, mplsz),
+		holes: []hole{{0, mplsz}},
+		wq:    newWaitQueue(attr),
+		reqs:  map[*Task]*mplReq{},
+	}
+	return id, EOK
+}
+
+// DelMpl deletes a variable pool; waiters get E_DLT (tk_del_mpl).
+func (k *Kernel) DelMpl(id ID) ER {
+	defer k.enter("tk_del_mpl")()
+	p, ok := k.mpls[id]
+	if !ok {
+		return ENOEXS
+	}
+	for _, t := range append([]*Task(nil), p.wq.tasks...) {
+		p.wq.remove(t)
+		delete(p.reqs, t)
+		k.wake(t, EDLT)
+	}
+	delete(k.mpls, id)
+	return EOK
+}
+
+// alloc carves size bytes (plus an 8-byte header granule) first-fit.
+func (p *VariablePool) alloc(size int) (*MemBlock, bool) {
+	need := align(size) + 8
+	for i, h := range p.holes {
+		if h.size < need {
+			continue
+		}
+		off := h.off
+		if h.size == need {
+			p.holes = append(p.holes[:i], p.holes[i+1:]...)
+		} else {
+			p.holes[i] = hole{off: h.off + need, size: h.size - need}
+		}
+		return &MemBlock{
+			pool: p.id, off: off, live: true,
+			Data: p.arena[off+8 : off+need],
+		}, true
+	}
+	return nil, false
+}
+
+// release returns a block's extent to the free list, coalescing neighbours.
+func (p *VariablePool) release(b *MemBlock) {
+	size := len(b.Data) + 8
+	pos := len(p.holes)
+	for i, h := range p.holes {
+		if h.off > b.off {
+			pos = i
+			break
+		}
+	}
+	p.holes = append(p.holes, hole{})
+	copy(p.holes[pos+1:], p.holes[pos:])
+	p.holes[pos] = hole{off: b.off, size: size}
+	// Coalesce with next, then previous.
+	if pos+1 < len(p.holes) && p.holes[pos].off+p.holes[pos].size == p.holes[pos+1].off {
+		p.holes[pos].size += p.holes[pos+1].size
+		p.holes = append(p.holes[:pos+1], p.holes[pos+2:]...)
+	}
+	if pos > 0 && p.holes[pos-1].off+p.holes[pos-1].size == p.holes[pos].off {
+		p.holes[pos-1].size += p.holes[pos].size
+		p.holes = append(p.holes[:pos], p.holes[pos+1:]...)
+	}
+}
+
+// GetMpl allocates size bytes, waiting up to tmout while space is
+// insufficient (tk_get_mpl).
+func (k *Kernel) GetMpl(id ID, size int, tmout TMO) (*MemBlock, ER) {
+	defer k.enter("tk_get_mpl")()
+	p, ok := k.mpls[id]
+	if !ok {
+		return nil, ENOEXS
+	}
+	if size <= 0 || align(size)+8 > len(p.arena) {
+		return nil, EPAR
+	}
+	if p.wq.len() == 0 {
+		if b, ok := p.alloc(size); ok {
+			return b, EOK
+		}
+	}
+	if tmout == TmoPol {
+		return nil, ETMOUT
+	}
+	task, er := k.blockCheck(tmout)
+	if er != EOK {
+		return nil, er
+	}
+	var got *MemBlock
+	p.wq.add(task)
+	p.reqs[task] = &mplReq{size: size, dst: &got}
+	code := k.sleepOn(task, objName("mpl", p.id, p.name), tmout, func() {
+		p.wq.remove(task)
+		delete(p.reqs, task)
+	})
+	return got, code
+}
+
+// RelMpl frees a block (tk_rel_mpl) and satisfies queued requests in order.
+func (k *Kernel) RelMpl(id ID, b *MemBlock) ER {
+	defer k.enter("tk_rel_mpl")()
+	p, ok := k.mpls[id]
+	if !ok {
+		return ENOEXS
+	}
+	if b == nil || b.pool != id || !b.live {
+		return EPAR
+	}
+	b.live = false
+	p.release(b)
+	// Grant queued requests in strict queue order while they fit.
+	for {
+		t := p.wq.head()
+		if t == nil {
+			return EOK
+		}
+		req := p.reqs[t]
+		blk, ok := p.alloc(req.size)
+		if !ok {
+			return EOK
+		}
+		p.wq.remove(t)
+		delete(p.reqs, t)
+		*req.dst = blk
+		k.wake(t, EOK)
+	}
+}
+
+// RefMpl returns the variable-pool state (tk_ref_mpl).
+func (k *Kernel) RefMpl(id ID) (VariablePoolInfo, ER) {
+	p, ok := k.mpls[id]
+	if !ok {
+		return VariablePoolInfo{}, ENOEXS
+	}
+	info := VariablePoolInfo{Name: p.name, Waiting: p.wq.names()}
+	for _, h := range p.holes {
+		info.FreeTotal += h.size
+		if h.size > info.FreeMax {
+			info.FreeMax = h.size
+		}
+	}
+	if info.FreeMax >= 8 {
+		info.FreeMax -= 8 // usable payload of the largest hole
+	} else {
+		info.FreeMax = 0
+	}
+	return info, EOK
+}

@@ -1,0 +1,235 @@
+package tkernel_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+func TestErrorCodeNames(t *testing.T) {
+	codes := map[tkernel.ER]string{
+		tkernel.EOK: "E_OK", tkernel.ESYS: "E_SYS", tkernel.ENOSPT: "E_NOSPT",
+		tkernel.ERSATR: "E_RSATR", tkernel.EPAR: "E_PAR", tkernel.EID: "E_ID",
+		tkernel.ECTX: "E_CTX", tkernel.EILUSE: "E_ILUSE", tkernel.ENOMEM: "E_NOMEM",
+		tkernel.ELIMIT: "E_LIMIT", tkernel.EOBJ: "E_OBJ", tkernel.ENOEXS: "E_NOEXS",
+		tkernel.EQOVR: "E_QOVR", tkernel.ERLWAI: "E_RLWAI", tkernel.ETMOUT: "E_TMOUT",
+		tkernel.EDLT: "E_DLT", tkernel.EDISWAI: "E_DISWAI",
+	}
+	for code, want := range codes {
+		if code.Error() != want {
+			t.Errorf("%d -> %q, want %q", int(code), code.Error(), want)
+		}
+	}
+	if !tkernel.EOK.OK() || tkernel.EPAR.OK() {
+		t.Fatal("OK() wrong")
+	}
+	if !strings.Contains(tkernel.ER(-999).Error(), "E_?") {
+		t.Fatal("unknown code name")
+	}
+}
+
+func TestObjectListsAndRefs(t *testing.T) {
+	k, sim := boot(t, func(k *tkernel.Kernel) {
+		_, _ = k.CreSem("s", tkernel.TaTFIFO, 1, 2)
+		_, _ = k.CreFlg("f", tkernel.TaWMUL, 0)
+		_, _ = k.CreMtx("m", tkernel.TaTFIFO, 0)
+		mbx, _ := k.CreMbx("x", tkernel.TaMFIFO)
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 64, 16)
+		_, _ = k.CreMpf("pf", tkernel.TaTFIFO, 2, 8)
+		_, _ = k.CreMpl("pl", tkernel.TaTFIFO, 128)
+		_, _ = k.CreCyc("c", 10*sysc.Ms, 0, func(*tkernel.HandlerCtx) {})
+		alm, _ := k.CreAlm("a", func(*tkernel.HandlerCtx) {})
+		_ = k.DefInt(3, "i", func(*tkernel.HandlerCtx) {})
+		_, _ = k.CrePor("p", tkernel.TaTFIFO, 8, 8)
+		_, _ = k.CreTsk("t", 10, func(*tkernel.Task) {})
+
+		if len(k.TaskList()) < 2 || len(k.SemList()) != 1 || len(k.FlgList()) != 1 ||
+			len(k.MtxList()) != 1 || len(k.MbxList()) != 1 || len(k.MbfList()) != 1 ||
+			len(k.MpfList()) != 1 || len(k.MplList()) != 1 || len(k.CycList()) != 1 ||
+			len(k.AlmList()) != 1 || len(k.PorList()) != 1 || len(k.IntList()) != 1 {
+			t.Error("object lists incomplete")
+		}
+		if info, er := k.RefMbx(mbx); er != tkernel.EOK || info.Name != "x" {
+			t.Errorf("RefMbx: %+v %v", info, er)
+		}
+		if info, er := k.RefMbf(mbf); er != tkernel.EOK || info.FreeBytes != 64 {
+			t.Errorf("RefMbf: %+v %v", info, er)
+		}
+		if info, er := k.RefMtx(1); er != tkernel.EOK || info.Owner != "" {
+			t.Errorf("RefMtx: %+v %v", info, er)
+		}
+		if info, er := k.RefAlm(alm); er != tkernel.EOK || info.Active {
+			t.Errorf("RefAlm: %+v %v", info, er)
+		}
+	})
+	run(t, sim, 20*sysc.Ms)
+	if k.Tick() != sysc.Ms {
+		t.Fatalf("Tick = %v", k.Tick())
+	}
+}
+
+func TestDeleteObjectFamilies(t *testing.T) {
+	var flgCode, mbxCode, mbfCode, mpfCode, mplCode tkernel.ER
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		flg, _ := k.CreFlg("f", tkernel.TaWMUL, 0)
+		mbx, _ := k.CreMbx("x", tkernel.TaMFIFO)
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 0, 8) // rendezvous buffer
+		mpf, _ := k.CreMpf("pf", tkernel.TaTFIFO, 1, 8)
+		mpl, _ := k.CreMpl("pl", tkernel.TaTFIFO, 64)
+		// Exhaust the pools so waiters block.
+		_, _ = k.GetMpf(mpf, tkernel.TmoPol)
+		_, _ = k.GetMpl(mpl, 40, tkernel.TmoPol)
+
+		mk := func(name string, fn func(*tkernel.Task)) {
+			id, _ := k.CreTsk(name, 10, fn)
+			_ = k.StaTsk(id)
+		}
+		mk("wf", func(task *tkernel.Task) { _, flgCode = k.WaiFlg(flg, 1, tkernel.TwfORW, tkernel.TmoFevr) })
+		mk("wx", func(task *tkernel.Task) { _, mbxCode = k.RcvMbx(mbx, tkernel.TmoFevr) })
+		mk("wb", func(task *tkernel.Task) { mbfCode = k.SndMbf(mbf, []byte("z"), tkernel.TmoFevr) })
+		mk("wpf", func(task *tkernel.Task) { _, mpfCode = k.GetMpf(mpf, tkernel.TmoFevr) })
+		mk("wpl", func(task *tkernel.Task) { _, mplCode = k.GetMpl(mpl, 40, tkernel.TmoFevr) })
+
+		_ = k.DlyTsk(3 * sysc.Ms)
+		if er := k.DelFlg(flg); er != tkernel.EOK {
+			t.Errorf("DelFlg: %v", er)
+		}
+		if er := k.DelMbx(mbx); er != tkernel.EOK {
+			t.Errorf("DelMbx: %v", er)
+		}
+		if er := k.DelMbf(mbf); er != tkernel.EOK {
+			t.Errorf("DelMbf: %v", er)
+		}
+		if er := k.DelMpf(mpf); er != tkernel.EOK {
+			t.Errorf("DelMpf: %v", er)
+		}
+		if er := k.DelMpl(mpl); er != tkernel.EOK {
+			t.Errorf("DelMpl: %v", er)
+		}
+		// Deleting again: E_NOEXS.
+		if er := k.DelFlg(flg); er != tkernel.ENOEXS {
+			t.Errorf("DelFlg twice: %v", er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	for name, code := range map[string]tkernel.ER{
+		"flg": flgCode, "mbx": mbxCode, "mbf": mbfCode,
+		"mpf": mpfCode, "mpl": mplCode,
+	} {
+		if code != tkernel.EDLT {
+			t.Errorf("%s waiter code = %v, want E_DLT", name, code)
+		}
+	}
+}
+
+func TestDelCycDelAlmStopFiring(t *testing.T) {
+	fired := 0
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		cyc, _ := k.CreCyc("c", 5*sysc.Ms, 0, func(*tkernel.HandlerCtx) { fired++ })
+		_ = k.StaCyc(cyc)
+		alm, _ := k.CreAlm("a", func(*tkernel.HandlerCtx) { fired++ })
+		_ = k.StaAlm(alm, 20*sysc.Ms)
+		_ = k.DlyTsk(7 * sysc.Ms) // one cyc fire
+		if er := k.DelCyc(cyc); er != tkernel.EOK {
+			t.Errorf("DelCyc: %v", er)
+		}
+		if er := k.DelAlm(alm); er != tkernel.EOK {
+			t.Errorf("DelAlm: %v", er)
+		}
+		if er := k.DelCyc(cyc); er != tkernel.ENOEXS {
+			t.Errorf("DelCyc twice: %v", er)
+		}
+	})
+	run(t, sim, 100*sysc.Ms)
+	if fired != 1 {
+		t.Fatalf("fired = %d after deletion", fired)
+	}
+}
+
+func TestTaskAccessorsAndTThread(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		var captured *tkernel.Task
+		id, _ := k.CreTsk("acc", 10, func(task *tkernel.Task) {
+			captured = task
+			k.Work(core.Cost{Time: sysc.Ms}, "")
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(3 * sysc.Ms)
+		if captured == nil {
+			t.Fatal("task body never ran")
+		}
+		if captured.ID() != id || captured.Name() != "acc" {
+			t.Errorf("accessors: id=%d name=%q", captured.ID(), captured.Name())
+		}
+		if captured.TThread() == nil || captured.TThread().CET() != sysc.Ms {
+			t.Errorf("TThread CET = %v", captured.TThread().CET())
+		}
+	})
+	run(t, sim, sysc.Sec)
+}
+
+func TestActTskCanActInPackage(t *testing.T) {
+	runs := 0
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		id, _ := k.CreTsk("q", 10, func(task *tkernel.Task) {
+			k.Work(core.Cost{Time: sysc.Ms}, "")
+			runs++
+		})
+		if er := k.ActTsk(id, 2); er != tkernel.EOK {
+			t.Errorf("act 1: %v", er)
+		}
+		if er := k.ActTsk(id, 2); er != tkernel.EOK {
+			t.Errorf("act 2 (queued): %v", er)
+		}
+		if er := k.ActTsk(id, 2); er != tkernel.EOK {
+			t.Errorf("act 3 (queued): %v", er)
+		}
+		if er := k.ActTsk(id, 2); er != tkernel.EQOVR {
+			t.Errorf("act 4 over max: %v", er)
+		}
+		if n, er := k.CanAct(id); er != tkernel.EOK || n != 2 {
+			t.Errorf("can_act = %d %v", n, er)
+		}
+		if er := k.ActTsk(999, 2); er != tkernel.ENOEXS {
+			t.Errorf("unknown: %v", er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if runs != 1 {
+		t.Fatalf("runs = %d after cancel", runs)
+	}
+}
+
+func TestMutexOwnerShownInRef(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mtx, _ := k.CreMtx("m", tkernel.TaTFIFO, 0)
+		id, _ := k.CreTsk("owner", 10, func(task *tkernel.Task) {
+			_ = k.LocMtx(mtx, tkernel.TmoFevr)
+			k.Work(core.Cost{Time: 10 * sysc.Ms}, "")
+			_ = k.UnlMtx(mtx)
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(2 * sysc.Ms)
+		info, _ := k.RefMtx(mtx)
+		if info.Owner != "owner" {
+			t.Errorf("owner = %q", info.Owner)
+		}
+	})
+	run(t, sim, sysc.Sec)
+}
+
+func TestGetTidOutsideTask(t *testing.T) {
+	sim := sysc.NewSimulator()
+	t.Cleanup(sim.Shutdown)
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts()})
+	k.Boot(func(*tkernel.Kernel) {})
+	if err := sim.Start(5 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if id := k.GetTid(); id != 0 {
+		t.Fatalf("GetTid outside task = %d", id)
+	}
+}

@@ -1,0 +1,51 @@
+package tkernel_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/petri"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// Regression: a task preempted in the zero-time window between annotated
+// steps must not begin a new atomic service body (dispatch lock) until it
+// is dispatched again; this scenario deadlocked before TThread.AwaitCPU.
+func TestProducerConsumerDefaultCosts(t *testing.T) {
+	sim := sysc.NewSimulator()
+	t.Cleanup(sim.Shutdown)
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.DefaultCosts()})
+	produced, consumed := 0, 0
+	k.Boot(func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("items", tkernel.TaTFIFO, 0, 16)
+		c, _ := k.CreTsk("consumer", 10, func(task *tkernel.Task) {
+			for {
+				if er := k.WaiSem(sem, 1, tkernel.TmoFevr); er != tkernel.EOK {
+					return
+				}
+				k.Work(core.Cost{Time: 2 * sysc.Ms, Energy: 40 * petri.MicroJ}, "consume")
+				consumed++
+			}
+		})
+		p, _ := k.CreTsk("producer", 12, func(task *tkernel.Task) {
+			for i := 0; i < 50; i++ {
+				k.Work(core.Cost{Time: 5 * sysc.Ms, Energy: 60 * petri.MicroJ}, "produce")
+				_ = k.SigSem(sem, 1)
+				produced++
+				_ = k.DlyTsk(10 * sysc.Ms)
+			}
+		})
+		_ = k.StaTsk(c)
+		_ = k.StaTsk(p)
+	})
+	if err := sim.Start(500 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("produced=%d consumed=%d", produced, consumed)
+	info, _ := k.RefTsk(2)
+	t.Logf("producer: %+v", info)
+	if produced < 20 {
+		t.Fatalf("producer stalled: produced=%d", produced)
+	}
+}

@@ -1,0 +1,273 @@
+package tkernel
+
+// Rendezvous ports are the T-Kernel/µITRON client-server synchronization
+// object (tk_cre_por family): a client calls a port with a call pattern and
+// a message (tk_cal_por) and blocks; a server accepts calls matching an
+// accept pattern (tk_acp_por), obtains a rendezvous number, performs the
+// service, and replies (tk_rpl_rdv), which releases the client with the
+// reply message. The call timeout covers the establishment of the
+// rendezvous only — once accepted, the client waits indefinitely for the
+// reply, per the specification.
+
+// Port is a rendezvous port.
+type Port struct {
+	id      ID
+	name    string
+	attr    Attr
+	maxCMsz int // maximum call-message size
+	maxRMsz int // maximum reply-message size
+
+	callQ waitQueue // blocked callers
+	acpQ  waitQueue // blocked acceptors
+
+	calls map[*Task]*porCall
+	acps  map[*Task]*porAcp
+}
+
+type porCall struct {
+	calptn uint32
+	msg    []byte
+	reply  *[]byte // reply destination in the caller's frame
+}
+
+type porAcp struct {
+	acpptn uint32
+	rdvno  *RdvNo  // delivered rendezvous number
+	msg    *[]byte // delivered call message
+}
+
+// RdvNo identifies an established rendezvous awaiting its reply.
+type RdvNo uint64
+
+// rendezvous is an accepted, unreplied call.
+type rendezvous struct {
+	client *Task
+	reply  *[]byte
+}
+
+// PortInfo is the tk_ref_por snapshot.
+type PortInfo struct {
+	Name        string
+	CallWaiting []string
+	AcceptWait  []string
+	OpenRdv     int
+}
+
+// CrePor creates a rendezvous port (tk_cre_por).
+func (k *Kernel) CrePor(name string, attr Attr, maxCMsz, maxRMsz int) (ID, ER) {
+	defer k.enter("tk_cre_por")()
+	if maxCMsz <= 0 || maxRMsz <= 0 {
+		return 0, EPAR
+	}
+	k.nextPor++
+	id := k.nextPor
+	k.pors[id] = &Port{
+		id: id, name: name, attr: attr, maxCMsz: maxCMsz, maxRMsz: maxRMsz,
+		callQ: newWaitQueue(attr), acpQ: newWaitQueue(TaTFIFO),
+		calls: map[*Task]*porCall{}, acps: map[*Task]*porAcp{},
+	}
+	return id, EOK
+}
+
+// DelPor deletes a port: queued callers and acceptors get E_DLT; clients in
+// an established rendezvous also get E_DLT (tk_del_por).
+func (k *Kernel) DelPor(id ID) ER {
+	defer k.enter("tk_del_por")()
+	p, ok := k.pors[id]
+	if !ok {
+		return ENOEXS
+	}
+	for _, t := range append([]*Task(nil), p.callQ.tasks...) {
+		p.callQ.remove(t)
+		delete(p.calls, t)
+		k.wake(t, EDLT)
+	}
+	for _, t := range append([]*Task(nil), p.acpQ.tasks...) {
+		p.acpQ.remove(t)
+		delete(p.acps, t)
+		k.wake(t, EDLT)
+	}
+	for no, r := range k.rdvs {
+		if r.port == id {
+			delete(k.rdvs, no)
+			k.wake(r.rendezvous.client, EDLT)
+		}
+	}
+	delete(k.pors, id)
+	return EOK
+}
+
+// CalPor calls a port (tk_cal_por): block until a server accepts a call
+// whose calptn intersects its accept pattern AND replies. The reply
+// message is returned. tmout bounds rendezvous establishment only.
+func (k *Kernel) CalPor(id ID, calptn uint32, msg []byte, tmout TMO) ([]byte, ER) {
+	defer k.enter("tk_cal_por")()
+	p, ok := k.pors[id]
+	if !ok {
+		return nil, ENOEXS
+	}
+	if calptn == 0 || len(msg) > p.maxCMsz {
+		return nil, EPAR
+	}
+	task, er := k.blockCheck(tmout)
+	if er != EOK {
+		return nil, er
+	}
+	own := make([]byte, len(msg))
+	copy(own, msg)
+	var reply []byte
+
+	// A matching acceptor already waiting: establish immediately.
+	if srv := p.matchAcceptor(calptn); srv != nil {
+		acp := p.acps[srv]
+		p.acpQ.remove(srv)
+		delete(p.acps, srv)
+		no := k.establish(p, task, &reply)
+		*acp.rdvno = no
+		*acp.msg = own
+		k.wake(srv, EOK)
+		// Rendezvous established: wait (unbounded) for the reply.
+		code := k.sleepOn(task, objName("rdv", p.id, p.name), TmoFevr, func() {
+			k.dropRdvOf(task)
+		})
+		return reply, code
+	}
+
+	if tmout == TmoPol {
+		return nil, ETMOUT
+	}
+	p.callQ.add(task)
+	p.calls[task] = &porCall{calptn: calptn, msg: own, reply: &reply}
+	code := k.sleepOn(task, objName("por", p.id, p.name), tmout, func() {
+		p.callQ.remove(task)
+		delete(p.calls, task)
+		k.dropRdvOf(task)
+	})
+	return reply, code
+}
+
+// AcpPor accepts a call on a port (tk_acp_por): returns the rendezvous
+// number and the call message of the first queued caller whose pattern
+// matches acpptn, blocking up to tmout when none is queued.
+func (k *Kernel) AcpPor(id ID, acpptn uint32, tmout TMO) (RdvNo, []byte, ER) {
+	defer k.enter("tk_acp_por")()
+	p, ok := k.pors[id]
+	if !ok {
+		return 0, nil, ENOEXS
+	}
+	if acpptn == 0 {
+		return 0, nil, EPAR
+	}
+
+	// A matching caller already queued: establish immediately.
+	if cl := p.matchCaller(acpptn); cl != nil {
+		call := p.calls[cl]
+		p.callQ.remove(cl)
+		delete(p.calls, cl)
+		// The caller's timeout no longer applies; it now waits for the
+		// reply indefinitely.
+		cl.waitSeq++
+		cl.tt.SetWaitObject(objName("rdv", p.id, p.name))
+		no := k.establish(p, cl, call.reply)
+		return no, call.msg, EOK
+	}
+
+	if tmout == TmoPol {
+		return 0, nil, ETMOUT
+	}
+	task, er := k.blockCheck(tmout)
+	if er != EOK {
+		return 0, nil, er
+	}
+	var no RdvNo
+	var msg []byte
+	p.acpQ.add(task)
+	p.acps[task] = &porAcp{acpptn: acpptn, rdvno: &no, msg: &msg}
+	code := k.sleepOn(task, objName("por", p.id, p.name), tmout, func() {
+		p.acpQ.remove(task)
+		delete(p.acps, task)
+	})
+	return no, msg, code
+}
+
+// RplRdv replies to an established rendezvous, releasing the client with
+// the reply message (tk_rpl_rdv).
+func (k *Kernel) RplRdv(no RdvNo, reply []byte) ER {
+	defer k.enter("tk_rpl_rdv")()
+	r, ok := k.rdvs[no]
+	if !ok {
+		return EOBJ
+	}
+	p := k.pors[r.port]
+	if p != nil && len(reply) > p.maxRMsz {
+		return EPAR
+	}
+	delete(k.rdvs, no)
+	own := make([]byte, len(reply))
+	copy(own, reply)
+	*r.reply = own
+	r.client.rdvno = 0
+	k.wake(r.client, EOK)
+	return EOK
+}
+
+// RefPor returns the port state (tk_ref_por).
+func (k *Kernel) RefPor(id ID) (PortInfo, ER) {
+	p, ok := k.pors[id]
+	if !ok {
+		return PortInfo{}, ENOEXS
+	}
+	open := 0
+	for _, r := range k.rdvs {
+		if r.port == id {
+			open++
+		}
+	}
+	return PortInfo{Name: p.name, CallWaiting: p.callQ.names(),
+		AcceptWait: p.acpQ.names(), OpenRdv: open}, EOK
+}
+
+// establish registers a rendezvous for the given client.
+func (k *Kernel) establish(p *Port, client *Task, reply *[]byte) RdvNo {
+	k.nextRdv++
+	no := RdvNo(k.nextRdv)
+	k.rdvs[no] = portRdv{port: p.id, rendezvous: rendezvous{client: client, reply: reply}}
+	client.rdvno = no
+	return no
+}
+
+// dropRdvOf removes a client's open rendezvous (timeout/forced release).
+func (k *Kernel) dropRdvOf(task *Task) {
+	if task.rdvno != 0 {
+		delete(k.rdvs, task.rdvno)
+		task.rdvno = 0
+	}
+}
+
+// matchAcceptor finds the first waiting acceptor whose pattern intersects
+// calptn.
+func (p *Port) matchAcceptor(calptn uint32) *Task {
+	for _, t := range p.acpQ.tasks {
+		if a := p.acps[t]; a != nil && a.acpptn&calptn != 0 {
+			return t
+		}
+	}
+	return nil
+}
+
+// matchCaller finds the first queued caller whose pattern intersects
+// acpptn.
+func (p *Port) matchCaller(acpptn uint32) *Task {
+	for _, t := range p.callQ.tasks {
+		if c := p.calls[t]; c != nil && c.calptn&acpptn != 0 {
+			return t
+		}
+	}
+	return nil
+}
+
+// portRdv ties a rendezvous to its port for deletion handling.
+type portRdv struct {
+	port ID
+	rendezvous
+}

@@ -1,0 +1,264 @@
+package tkernel_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+func TestRendezvousClientFirst(t *testing.T) {
+	var reply []byte
+	var clientDone, serverAccepted sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		por, er := k.CrePor("svc", tkernel.TaTFIFO, 64, 64)
+		if er != tkernel.EOK {
+			t.Fatalf("CrePor: %v", er)
+		}
+		client, _ := k.CreTsk("client", 10, func(task *tkernel.Task) {
+			r, er := k.CalPor(por, 0b01, []byte("ping"), tkernel.TmoFevr)
+			if er != tkernel.EOK {
+				t.Errorf("CalPor: %v", er)
+				return
+			}
+			reply = r
+			clientDone = k.Sim().Now()
+		})
+		server, _ := k.CreTsk("server", 12, func(task *tkernel.Task) {
+			_ = k.DlyTsk(3 * sysc.Ms) // client calls first
+			no, msg, er := k.AcpPor(por, 0b11, tkernel.TmoFevr)
+			if er != tkernel.EOK || string(msg) != "ping" {
+				t.Errorf("AcpPor: %q %v", msg, er)
+				return
+			}
+			serverAccepted = k.Sim().Now()
+			k.Work(core.Cost{Time: 4 * sysc.Ms}, "service-body")
+			if er := k.RplRdv(no, []byte("pong")); er != tkernel.EOK {
+				t.Errorf("RplRdv: %v", er)
+			}
+		})
+		_ = k.StaTsk(client)
+		_ = k.StaTsk(server)
+	})
+	run(t, sim, sysc.Sec)
+	if string(reply) != "pong" {
+		t.Fatalf("reply = %q", reply)
+	}
+	if serverAccepted != 3*sysc.Ms {
+		t.Fatalf("accepted at %v", serverAccepted)
+	}
+	if clientDone != 7*sysc.Ms {
+		t.Fatalf("client done at %v, want 7 ms (3 + 4 service)", clientDone)
+	}
+}
+
+func TestRendezvousServerFirst(t *testing.T) {
+	var reply []byte
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		por, _ := k.CrePor("svc", tkernel.TaTFIFO, 64, 64)
+		server, _ := k.CreTsk("server", 10, func(task *tkernel.Task) {
+			no, msg, er := k.AcpPor(por, 0b10, tkernel.TmoFevr)
+			if er != tkernel.EOK {
+				t.Errorf("AcpPor: %v", er)
+				return
+			}
+			_ = k.RplRdv(no, append([]byte("echo:"), msg...))
+		})
+		client, _ := k.CreTsk("client", 12, func(task *tkernel.Task) {
+			_ = k.DlyTsk(2 * sysc.Ms) // server accepts first
+			r, er := k.CalPor(por, 0b10, []byte("hi"), tkernel.TmoFevr)
+			if er != tkernel.EOK {
+				t.Errorf("CalPor: %v", er)
+				return
+			}
+			reply = r
+		})
+		_ = k.StaTsk(server)
+		_ = k.StaTsk(client)
+	})
+	run(t, sim, sysc.Sec)
+	if string(reply) != "echo:hi" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestRendezvousPatternMatching(t *testing.T) {
+	// An acceptor with pattern 0b10 must not accept a 0b01 call.
+	var accepted bool
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		por, _ := k.CrePor("svc", tkernel.TaTFIFO, 16, 16)
+		server, _ := k.CreTsk("server", 10, func(task *tkernel.Task) {
+			_, _, er := k.AcpPor(por, 0b10, 20*sysc.Ms)
+			accepted = er == tkernel.EOK
+		})
+		client, _ := k.CreTsk("client", 12, func(task *tkernel.Task) {
+			_, _ = k.CalPor(por, 0b01, []byte("x"), 20*sysc.Ms)
+		})
+		_ = k.StaTsk(server)
+		_ = k.StaTsk(client)
+	})
+	run(t, sim, sysc.Sec)
+	if accepted {
+		t.Fatal("mismatched patterns must not rendezvous")
+	}
+}
+
+func TestRendezvousCallTimeout(t *testing.T) {
+	var code tkernel.ER
+	var at sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		por, _ := k.CrePor("svc", tkernel.TaTFIFO, 16, 16)
+		client, _ := k.CreTsk("client", 10, func(task *tkernel.Task) {
+			_, code = k.CalPor(por, 1, []byte("x"), 5*sysc.Ms)
+			at = k.Sim().Now()
+		})
+		_ = k.StaTsk(client)
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.ETMOUT || at != 5*sysc.Ms {
+		t.Fatalf("code=%v at=%v", code, at)
+	}
+}
+
+func TestRendezvousTimeoutStopsAtEstablishment(t *testing.T) {
+	// Once accepted, the call timeout no longer applies: the service body
+	// may exceed it and the client still gets the reply.
+	var code tkernel.ER
+	var reply []byte
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		por, _ := k.CrePor("svc", tkernel.TaTFIFO, 16, 16)
+		client, _ := k.CreTsk("client", 10, func(task *tkernel.Task) {
+			reply, code = k.CalPor(por, 1, []byte("x"), 5*sysc.Ms)
+		})
+		server, _ := k.CreTsk("server", 12, func(task *tkernel.Task) {
+			no, _, er := k.AcpPor(por, 1, tkernel.TmoFevr)
+			if er != tkernel.EOK {
+				t.Errorf("acp: %v", er)
+				return
+			}
+			k.Work(core.Cost{Time: 50 * sysc.Ms}, "slow-service") // > timeout
+			_ = k.RplRdv(no, []byte("late-ok"))
+		})
+		_ = k.StaTsk(client)
+		_ = k.StaTsk(server)
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.EOK || string(reply) != "late-ok" {
+		t.Fatalf("code=%v reply=%q", code, reply)
+	}
+}
+
+func TestRendezvousAcceptTimeout(t *testing.T) {
+	var code tkernel.ER
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		por, _ := k.CrePor("svc", tkernel.TaTFIFO, 16, 16)
+		server, _ := k.CreTsk("server", 10, func(task *tkernel.Task) {
+			_, _, code = k.AcpPor(por, 1, 4*sysc.Ms)
+		})
+		_ = k.StaTsk(server)
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.ETMOUT {
+		t.Fatalf("code = %v", code)
+	}
+}
+
+func TestRendezvousValidation(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		if _, er := k.CrePor("bad", tkernel.TaTFIFO, 0, 8); er != tkernel.EPAR {
+			t.Errorf("zero maxcmsz: %v", er)
+		}
+		por, _ := k.CrePor("svc", tkernel.TaTFIFO, 4, 4)
+		if _, er := k.CalPor(por, 1, make([]byte, 5), tkernel.TmoPol); er != tkernel.EPAR {
+			t.Errorf("oversize call: %v", er)
+		}
+		if _, er := k.CalPor(por, 0, []byte("x"), tkernel.TmoPol); er != tkernel.EPAR {
+			t.Errorf("zero pattern: %v", er)
+		}
+		if _, _, er := k.AcpPor(999, 1, tkernel.TmoPol); er != tkernel.ENOEXS {
+			t.Errorf("unknown port: %v", er)
+		}
+		if er := k.RplRdv(999, []byte("x")); er != tkernel.EOBJ {
+			t.Errorf("bad rdvno: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestRendezvousDeleteReleasesAll(t *testing.T) {
+	var callCode, acpCode, midCode tkernel.ER
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		por, _ := k.CrePor("svc", tkernel.TaTFIFO, 16, 16)
+		caller, _ := k.CreTsk("caller", 10, func(task *tkernel.Task) {
+			_, callCode = k.CalPor(por, 0b100, []byte("q"), tkernel.TmoFevr)
+		})
+		acceptor, _ := k.CreTsk("acceptor", 11, func(task *tkernel.Task) {
+			_, _, acpCode = k.AcpPor(por, 0b1000, tkernel.TmoFevr)
+		})
+		// A client mid-rendezvous (accepted, not replied) also gets E_DLT.
+		midClient, _ := k.CreTsk("mid", 12, func(task *tkernel.Task) {
+			_, midCode = k.CalPor(por, 0b1, []byte("m"), tkernel.TmoFevr)
+		})
+		server, _ := k.CreTsk("server", 13, func(task *tkernel.Task) {
+			_, _, er := k.AcpPor(por, 0b1, tkernel.TmoFevr)
+			if er != tkernel.EOK {
+				t.Errorf("server acp: %v", er)
+			}
+			// never replies
+		})
+		_ = k.StaTsk(caller)
+		_ = k.StaTsk(acceptor)
+		_ = k.StaTsk(midClient)
+		_ = k.StaTsk(server)
+		_ = k.DlyTsk(5 * sysc.Ms)
+		info, _ := k.RefPor(por)
+		if info.OpenRdv != 1 || len(info.CallWaiting) != 1 || len(info.AcceptWait) != 1 {
+			t.Errorf("port state: %+v", info)
+		}
+		if er := k.DelPor(por); er != tkernel.EOK {
+			t.Errorf("DelPor: %v", er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if callCode != tkernel.EDLT || acpCode != tkernel.EDLT || midCode != tkernel.EDLT {
+		t.Fatalf("codes: call=%v acp=%v mid=%v", callCode, acpCode, midCode)
+	}
+}
+
+func TestRendezvousMultipleClientsFIFO(t *testing.T) {
+	var served []string
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		por, _ := k.CrePor("svc", tkernel.TaTFIFO, 16, 16)
+		mkClient := func(name string) tkernel.ID {
+			id, _ := k.CreTsk(name, 10, func(task *tkernel.Task) {
+				if _, er := k.CalPor(por, 1, []byte(name), tkernel.TmoFevr); er == tkernel.EOK {
+					served = append(served, name)
+				}
+			})
+			return id
+		}
+		c1 := mkClient("c1")
+		c2 := mkClient("c2")
+		server, _ := k.CreTsk("server", 5, func(task *tkernel.Task) {
+			_ = k.DlyTsk(3 * sysc.Ms)
+			for i := 0; i < 2; i++ {
+				no, _, er := k.AcpPor(por, 1, tkernel.TmoFevr)
+				if er != tkernel.EOK {
+					t.Errorf("acp %d: %v", i, er)
+					return
+				}
+				k.Work(core.Cost{Time: sysc.Ms}, "")
+				_ = k.RplRdv(no, []byte("ok"))
+			}
+		})
+		_ = k.StaTsk(c1)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.StaTsk(c2)
+		_ = k.StaTsk(server)
+	})
+	run(t, sim, sysc.Sec)
+	if len(served) != 2 || served[0] != "c1" || served[1] != "c2" {
+		t.Fatalf("served = %v", served)
+	}
+}

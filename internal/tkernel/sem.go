@@ -1,0 +1,135 @@
+package tkernel
+
+// Semaphore is a T-Kernel counting semaphore (tk_cre_sem family): a
+// non-negative resource count with a wait queue of tasks requesting counts.
+type Semaphore struct {
+	id      ID
+	name    string
+	attr    Attr
+	count   int
+	maxSem  int
+	wq      waitQueue
+	pending map[*Task]int // requested count per waiting task
+}
+
+// SemInfo is the tk_ref_sem snapshot.
+type SemInfo struct {
+	Name     string
+	Count    int
+	MaxCount int
+	Waiting  []string
+}
+
+// CreSem creates a semaphore with an initial count and a maximum count
+// (tk_cre_sem).
+func (k *Kernel) CreSem(name string, attr Attr, initCount, maxCount int) (ID, ER) {
+	defer k.enter("tk_cre_sem")()
+	if maxCount <= 0 || initCount < 0 || initCount > maxCount {
+		return 0, EPAR
+	}
+	k.nextSem++
+	id := k.nextSem
+	k.sems[id] = &Semaphore{
+		id: id, name: name, attr: attr,
+		count: initCount, maxSem: maxCount,
+		wq:      newWaitQueue(attr),
+		pending: map[*Task]int{},
+	}
+	return id, EOK
+}
+
+// DelSem deletes a semaphore; waiting tasks are released with E_DLT
+// (tk_del_sem).
+func (k *Kernel) DelSem(id ID) ER {
+	defer k.enter("tk_del_sem")()
+	s, ok := k.sems[id]
+	if !ok {
+		return ENOEXS
+	}
+	for _, t := range append([]*Task(nil), s.wq.tasks...) {
+		s.wq.remove(t)
+		delete(s.pending, t)
+		k.wake(t, EDLT)
+	}
+	delete(k.sems, id)
+	return EOK
+}
+
+// SigSem returns cnt resources to the semaphore and grants queued requests
+// in queue order (tk_sig_sem).
+func (k *Kernel) SigSem(id ID, cnt int) ER {
+	defer k.enter("tk_sig_sem")()
+	s, ok := k.sems[id]
+	if !ok {
+		return ENOEXS
+	}
+	if cnt <= 0 {
+		return EPAR
+	}
+	if s.count+cnt > s.maxSem {
+		return EQOVR
+	}
+	s.count += cnt
+	k.semGrant(s)
+	return EOK
+}
+
+// semGrant satisfies waiting requests from the head of the queue while the
+// count allows (strict queue order: a large head request blocks smaller
+// ones behind it, per the T-Kernel TA_CNT-less semantics).
+func (k *Kernel) semGrant(s *Semaphore) {
+	for {
+		t := s.wq.head()
+		if t == nil {
+			return
+		}
+		need := s.pending[t]
+		if s.count < need {
+			return
+		}
+		s.count -= need
+		s.wq.remove(t)
+		delete(s.pending, t)
+		k.wake(t, EOK)
+	}
+}
+
+// WaiSem acquires cnt resources, waiting up to tmout (tk_wai_sem).
+func (k *Kernel) WaiSem(id ID, cnt int, tmout TMO) ER {
+	defer k.enter("tk_wai_sem")()
+	s, ok := k.sems[id]
+	if !ok {
+		return ENOEXS
+	}
+	if cnt <= 0 || cnt > s.maxSem {
+		return EPAR
+	}
+	if s.wq.len() == 0 && s.count >= cnt {
+		s.count -= cnt
+		return EOK
+	}
+	if tmout == TmoPol {
+		return ETMOUT
+	}
+	task, er := k.blockCheck(tmout)
+	if er != EOK {
+		return er
+	}
+	s.wq.add(task)
+	s.pending[task] = cnt
+	sid := s.id
+	return k.sleepOn(task, objName("sem", sid, s.name), tmout, func() {
+		s.wq.remove(task)
+		delete(s.pending, task)
+	})
+}
+
+// RefSem returns the semaphore state (tk_ref_sem).
+func (k *Kernel) RefSem(id ID) (SemInfo, ER) {
+	s, ok := k.sems[id]
+	if !ok {
+		return SemInfo{}, ENOEXS
+	}
+	return SemInfo{Name: s.name, Count: s.count, MaxCount: s.maxSem,
+		Waiting: s.wq.names()}, EOK
+}

@@ -1,0 +1,168 @@
+package tkernel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+	"repro/internal/trace"
+)
+
+// stressOutcome captures everything the invariants check.
+type stressOutcome struct {
+	busy        sysc.Time
+	totalCET    sysc.Time
+	perTaskCET  []sysc.Time
+	ctxSwitches uint64
+	preemptions uint64
+	overlap     bool
+	finished    int
+}
+
+// runStress builds a random-but-seeded task system: tasks of random
+// priority each perform a random program of work slices, delays, semaphore
+// hand-offs and sleeps (woken by a partner), under a cyclic handler firing
+// every 7 ms. Everything is derived from the seed, so identical seeds must
+// give identical outcomes.
+func runStress(t *testing.T, seed int64, nTasks int, simFor sysc.Time) stressOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	g := trace.NewGantt()
+	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts(), Gantt: g})
+
+	finished := 0
+	expectedWork := make([]sysc.Time, nTasks)
+	ids := make([]tkernel.ID, nTasks)
+
+	// Pre-generate each task's program so the closure order is
+	// deterministic regardless of scheduling.
+	type step struct {
+		op  int // 0 work, 1 delay, 2 sem-signal, 3 sem-wait, 4 yield-rotate
+		dur sysc.Time
+	}
+	programs := make([][]step, nTasks)
+	for i := range programs {
+		n := 3 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			st := step{op: rng.Intn(5), dur: sysc.Time(rng.Intn(4)+1) * sysc.Ms}
+			if st.op == 0 {
+				expectedWork[i] += st.dur
+			}
+			programs[i] = append(programs[i], st)
+		}
+	}
+
+	k.Boot(func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("stress-sem", tkernel.TaTPRI, 2, 1<<30)
+		cyc, _ := k.CreCyc("stress-cyc", 7*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 100 * sysc.Us}, "tick-work")
+			_ = h.K.SigSem(sem, 1) // keep the semaphore supplied
+		})
+		_ = k.StaCyc(cyc)
+		for i := 0; i < nTasks; i++ {
+			idx := i
+			prio := 5 + rng.Intn(20)
+			ids[i], _ = k.CreTsk(fmt.Sprintf("task%d", i), prio, func(task *tkernel.Task) {
+				for _, st := range programs[idx] {
+					switch st.op {
+					case 0:
+						k.Work(core.Cost{Time: st.dur, Energy: 1}, "work")
+					case 1:
+						_ = k.DlyTsk(st.dur)
+					case 2:
+						_ = k.SigSem(sem, 1)
+					case 3:
+						_ = k.WaiSem(sem, 1, st.dur) // bounded wait
+					case 4:
+						_ = k.RotRdq(0)
+					}
+				}
+				finished++
+			})
+			_ = k.StaTsk(ids[i])
+		}
+	})
+	if err := sim.Start(simFor); err != nil {
+		t.Fatal(err)
+	}
+
+	out := stressOutcome{
+		busy:        k.API().BusyTime(),
+		ctxSwitches: k.API().ContextSwitches(),
+		preemptions: k.API().Preemptions(),
+		finished:    finished,
+	}
+	for _, id := range ids {
+		info, _ := k.RefTsk(id)
+		out.perTaskCET = append(out.perTaskCET, info.CET)
+		out.totalCET += info.CET
+	}
+	_, _, out.overlap = g.CheckNoOverlap()
+
+	// Invariants that hold for every seed:
+	if out.overlap {
+		t.Fatalf("seed %d: GANTT overlap on a single CPU", seed)
+	}
+	if out.busy > simFor {
+		t.Fatalf("seed %d: busy %v exceeds simulated %v", seed, out.busy, simFor)
+	}
+	for i, id := range ids {
+		info, _ := k.RefTsk(id)
+		if info.State == core.StateDormant && info.Cycles > 0 {
+			// Completed tasks consumed exactly their requested work.
+			if info.CET != expectedWork[i] {
+				t.Fatalf("seed %d: task%d CET %v != requested %v",
+					seed, i, info.CET, expectedWork[i])
+			}
+		}
+		_ = id
+	}
+	// Every thread's Petri net still holds exactly one token.
+	for _, tt := range k.API().Threads() {
+		if tt.Net().TotalTokens() != 1 {
+			t.Fatalf("seed %d: thread %s token count %d", seed, tt.Name(), tt.Net().TotalTokens())
+		}
+	}
+	return out
+}
+
+func TestStressRandomSystems(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			out := runStress(t, seed, 6, 500*sysc.Ms)
+			if out.finished == 0 {
+				t.Fatal("no task finished")
+			}
+		})
+	}
+}
+
+func TestStressDeterminism(t *testing.T) {
+	a := runStress(t, 42, 8, 300*sysc.Ms)
+	b := runStress(t, 42, 8, 300*sysc.Ms)
+	if a.busy != b.busy || a.ctxSwitches != b.ctxSwitches ||
+		a.preemptions != b.preemptions || a.finished != b.finished {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.perTaskCET {
+		if a.perTaskCET[i] != b.perTaskCET[i] {
+			t.Fatalf("task %d CET differs: %v vs %v", i, a.perTaskCET[i], b.perTaskCET[i])
+		}
+	}
+}
+
+func TestStressManyTasks(t *testing.T) {
+	out := runStress(t, 7, 24, 1*sysc.Sec)
+	if out.finished < 20 {
+		t.Fatalf("only %d/24 tasks finished in 1 s", out.finished)
+	}
+	if out.ctxSwitches == 0 || out.preemptions == 0 {
+		t.Fatalf("implausible kernel activity: %+v", out)
+	}
+}

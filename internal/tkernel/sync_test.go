@@ -1,0 +1,437 @@
+package tkernel_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+func TestSemaphoreBasic(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		sem, er := k.CreSem("s", tkernel.TaTFIFO, 2, 10)
+		if er != tkernel.EOK {
+			t.Fatalf("CreSem: %v", er)
+		}
+		if er := k.WaiSem(sem, 2, tkernel.TmoPol); er != tkernel.EOK {
+			t.Errorf("WaiSem: %v", er)
+		}
+		if er := k.WaiSem(sem, 1, tkernel.TmoPol); er != tkernel.ETMOUT {
+			t.Errorf("empty WaiSem poll: %v", er)
+		}
+		if er := k.SigSem(sem, 1); er != tkernel.EOK {
+			t.Errorf("SigSem: %v", er)
+		}
+		info, _ := k.RefSem(sem)
+		if info.Count != 1 {
+			t.Errorf("count = %d", info.Count)
+		}
+		if er := k.SigSem(sem, 100); er != tkernel.EQOVR {
+			t.Errorf("overflow: %v", er)
+		}
+		if er := k.WaiSem(sem, 0, tkernel.TmoPol); er != tkernel.EPAR {
+			t.Errorf("zero count: %v", er)
+		}
+		if er := k.WaiSem(999, 1, tkernel.TmoPol); er != tkernel.ENOEXS {
+			t.Errorf("unknown: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestSemaphoreBlockingHandoff(t *testing.T) {
+	var acquiredAt sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("s", tkernel.TaTFIFO, 0, 10)
+		id, _ := k.CreTsk("waiter", 10, func(task *tkernel.Task) {
+			if er := k.WaiSem(sem, 3, tkernel.TmoFevr); er != tkernel.EOK {
+				t.Errorf("WaiSem: %v", er)
+			}
+			acquiredAt = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(2 * sysc.Ms)
+		_ = k.SigSem(sem, 1) // not enough
+		_ = k.DlyTsk(2 * sysc.Ms)
+		_ = k.SigSem(sem, 2) // now satisfiable
+	})
+	run(t, sim, sysc.Sec)
+	if acquiredAt != 4*sysc.Ms {
+		t.Fatalf("acquired at %v, want 4 ms", acquiredAt)
+	}
+}
+
+func TestSemaphoreTimeout(t *testing.T) {
+	var code tkernel.ER
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("s", tkernel.TaTFIFO, 0, 1)
+		id, _ := k.CreTsk("w", 10, func(task *tkernel.Task) {
+			code = k.WaiSem(sem, 1, 5*sysc.Ms)
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(10 * sysc.Ms)
+		// Late signal goes to the count, not the timed-out waiter.
+		_ = k.SigSem(sem, 1)
+		info, _ := k.RefSem(sem)
+		if info.Count != 1 || len(info.Waiting) != 0 {
+			t.Errorf("after timeout: %+v", info)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.ETMOUT {
+		t.Fatalf("code = %v", code)
+	}
+}
+
+func TestSemaphoreStrictQueueOrder(t *testing.T) {
+	// A large request at the head blocks smaller ones behind it.
+	var order []string
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("s", tkernel.TaTFIFO, 0, 10)
+		big, _ := k.CreTsk("big", 10, func(task *tkernel.Task) {
+			_ = k.WaiSem(sem, 5, tkernel.TmoFevr)
+			order = append(order, "big")
+		})
+		small, _ := k.CreTsk("small", 10, func(task *tkernel.Task) {
+			_ = k.WaiSem(sem, 1, tkernel.TmoFevr)
+			order = append(order, "small")
+		})
+		_ = k.StaTsk(big)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.StaTsk(small)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.SigSem(sem, 2) // small would fit, but big is at the head
+		_ = k.DlyTsk(1 * sysc.Ms)
+		if len(order) != 0 {
+			t.Errorf("premature grant: %v", order)
+		}
+		_ = k.SigSem(sem, 3) // 5 available: big gets them, then small waits
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.SigSem(sem, 1)
+	})
+	run(t, sim, sysc.Sec)
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSemaphorePriorityQueue(t *testing.T) {
+	var order []string
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("s", tkernel.TaTPRI, 0, 10)
+		mk := func(name string, pri int) tkernel.ID {
+			id, _ := k.CreTsk(name, pri, func(task *tkernel.Task) {
+				_ = k.WaiSem(sem, 1, tkernel.TmoFevr)
+				order = append(order, name)
+			})
+			return id
+		}
+		lo := mk("lo", 20)
+		hi := mk("hi", 5)
+		_ = k.StaTsk(lo)
+		_ = k.DlyTsk(1 * sysc.Ms) // lo queues first
+		_ = k.StaTsk(hi)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.SigSem(sem, 1) // priority queue: hi wins despite arriving later
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.SigSem(sem, 1)
+	})
+	run(t, sim, sysc.Sec)
+	if len(order) != 2 || order[0] != "hi" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSemaphoreDeleteReleasesEDLT(t *testing.T) {
+	var code tkernel.ER
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("s", tkernel.TaTFIFO, 0, 1)
+		id, _ := k.CreTsk("w", 10, func(task *tkernel.Task) {
+			code = k.WaiSem(sem, 1, tkernel.TmoFevr)
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(2 * sysc.Ms)
+		if er := k.DelSem(sem); er != tkernel.EOK {
+			t.Errorf("DelSem: %v", er)
+		}
+		if er := k.SigSem(sem, 1); er != tkernel.ENOEXS {
+			t.Errorf("signal deleted: %v", er)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.EDLT {
+		t.Fatalf("code = %v", code)
+	}
+}
+
+func TestEventFlagModes(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		flg, _ := k.CreFlg("f", tkernel.TaWMUL, 0)
+		// OR wait satisfied by any bit.
+		_ = k.SetFlg(flg, 0b0010)
+		ptn, er := k.WaiFlg(flg, 0b0110, tkernel.TwfORW, tkernel.TmoPol)
+		if er != tkernel.EOK || ptn != 0b0010 {
+			t.Errorf("OR wait: ptn=%b er=%v", ptn, er)
+		}
+		// AND wait unsatisfied.
+		if _, er := k.WaiFlg(flg, 0b0110, tkernel.TwfANDW, tkernel.TmoPol); er != tkernel.ETMOUT {
+			t.Errorf("AND poll: %v", er)
+		}
+		_ = k.SetFlg(flg, 0b0100)
+		ptn, er = k.WaiFlg(flg, 0b0110, tkernel.TwfANDW|tkernel.TwfCLR, tkernel.TmoPol)
+		if er != tkernel.EOK || ptn != 0b0110 {
+			t.Errorf("AND+CLR: ptn=%b er=%v", ptn, er)
+		}
+		info, _ := k.RefFlg(flg)
+		if info.Pattern != 0 {
+			t.Errorf("pattern after CLR = %b", info.Pattern)
+		}
+		// Bit-clear mode clears only matched bits.
+		_ = k.SetFlg(flg, 0b1011)
+		if _, er := k.WaiFlg(flg, 0b0011, tkernel.TwfANDW|tkernel.TwfBitCLR, tkernel.TmoPol); er != tkernel.EOK {
+			t.Errorf("BitCLR: %v", er)
+		}
+		info, _ = k.RefFlg(flg)
+		if info.Pattern != 0b1000 {
+			t.Errorf("pattern after BitCLR = %b", info.Pattern)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestEventFlagBlockingAndDelivery(t *testing.T) {
+	var got uint32
+	var at sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		flg, _ := k.CreFlg("f", tkernel.TaWMUL, 0)
+		id, _ := k.CreTsk("w", 10, func(task *tkernel.Task) {
+			var er tkernel.ER
+			got, er = k.WaiFlg(flg, 0b11, tkernel.TwfANDW, tkernel.TmoFevr)
+			if er != tkernel.EOK {
+				t.Errorf("WaiFlg: %v", er)
+			}
+			at = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(2 * sysc.Ms)
+		_ = k.SetFlg(flg, 0b01) // not yet
+		_ = k.DlyTsk(2 * sysc.Ms)
+		_ = k.SetFlg(flg, 0b10) // satisfied
+	})
+	run(t, sim, sysc.Sec)
+	if at != 4*sysc.Ms || got != 0b11 {
+		t.Fatalf("at=%v ptn=%b", at, got)
+	}
+}
+
+func TestEventFlagSingleWaiterEOBJ(t *testing.T) {
+	var second tkernel.ER
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		flg, _ := k.CreFlg("f", tkernel.TaWSGL, 0)
+		a, _ := k.CreTsk("a", 10, func(task *tkernel.Task) {
+			_, _ = k.WaiFlg(flg, 1, tkernel.TwfORW, tkernel.TmoFevr)
+		})
+		b, _ := k.CreTsk("b", 10, func(task *tkernel.Task) {
+			_, second = k.WaiFlg(flg, 2, tkernel.TwfORW, tkernel.TmoFevr)
+		})
+		_ = k.StaTsk(a)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.StaTsk(b)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.SetFlg(flg, 3)
+	})
+	run(t, sim, sysc.Sec)
+	if second != tkernel.EOBJ {
+		t.Fatalf("second waiter on TA_WSGL flag: %v", second)
+	}
+}
+
+func TestEventFlagMultipleWaitersReleased(t *testing.T) {
+	released := 0
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		flg, _ := k.CreFlg("f", tkernel.TaWMUL, 0)
+		for i := 0; i < 3; i++ {
+			id, _ := k.CreTsk("w", 10, func(task *tkernel.Task) {
+				if _, er := k.WaiFlg(flg, 1, tkernel.TwfORW, tkernel.TmoFevr); er == tkernel.EOK {
+					released++
+				}
+			})
+			_ = k.StaTsk(id)
+		}
+		_ = k.DlyTsk(2 * sysc.Ms)
+		_ = k.SetFlg(flg, 1) // no clearing: releases all three
+	})
+	run(t, sim, sysc.Sec)
+	if released != 3 {
+		t.Fatalf("released = %d, want 3", released)
+	}
+}
+
+func TestEventFlagCLRReleasesOnlyFirst(t *testing.T) {
+	released := 0
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		flg, _ := k.CreFlg("f", tkernel.TaWMUL, 0)
+		for i := 0; i < 3; i++ {
+			id, _ := k.CreTsk("w", 10, func(task *tkernel.Task) {
+				if _, er := k.WaiFlg(flg, 1, tkernel.TwfORW|tkernel.TwfCLR, tkernel.TmoFevr); er == tkernel.EOK {
+					released++
+				}
+			})
+			_ = k.StaTsk(id)
+		}
+		_ = k.DlyTsk(2 * sysc.Ms)
+		_ = k.SetFlg(flg, 1) // first waiter clears: others stay blocked
+		_ = k.DlyTsk(2 * sysc.Ms)
+	})
+	run(t, sim, sysc.Sec)
+	if released != 1 {
+		t.Fatalf("released = %d, want 1 (TWF_CLR)", released)
+	}
+}
+
+func TestMutexBasicAndIlluse(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mtx, _ := k.CreMtx("m", tkernel.TaTFIFO, 0)
+		if er := k.LocMtx(mtx, tkernel.TmoFevr); er != tkernel.EOK {
+			t.Errorf("LocMtx: %v", er)
+		}
+		if er := k.LocMtx(mtx, tkernel.TmoFevr); er != tkernel.EILUSE {
+			t.Errorf("recursive lock: %v", er)
+		}
+		if er := k.UnlMtx(mtx); er != tkernel.EOK {
+			t.Errorf("UnlMtx: %v", er)
+		}
+		if er := k.UnlMtx(mtx); er != tkernel.EILUSE {
+			t.Errorf("unlock unowned: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}
+
+func TestMutexPriorityInheritance(t *testing.T) {
+	// Low-priority owner gets boosted while a high-priority task waits, so
+	// a medium task cannot starve it (classic priority-inversion cure).
+	var midRan, hiGot sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mtx, _ := k.CreMtx("m", tkernel.TaInherit, 0)
+		var lowID tkernel.ID
+		lowID, _ = k.CreTsk("low", 30, func(task *tkernel.Task) {
+			_ = k.LocMtx(mtx, tkernel.TmoFevr)
+			k.Work(core.Cost{Time: 10 * sysc.Ms}, "critical")
+			_ = k.UnlMtx(mtx)
+		})
+		hi, _ := k.CreTsk("hi", 5, func(task *tkernel.Task) {
+			_ = k.LocMtx(mtx, tkernel.TmoFevr)
+			hiGot = k.Sim().Now()
+			_ = k.UnlMtx(mtx)
+		})
+		mid, _ := k.CreTsk("mid", 15, func(task *tkernel.Task) {
+			k.Work(core.Cost{Time: 5 * sysc.Ms}, "")
+			midRan = k.Sim().Now()
+		})
+		_ = k.StaTsk(lowID)
+		_ = k.DlyTsk(2 * sysc.Ms) // low holds the mutex, 2 of 10 ms done
+		_ = k.StaTsk(hi)          // hi blocks on mutex -> low boosted to 5
+		_ = k.StaTsk(mid)         // mid (15) must NOT run before low finishes
+		_ = k.DlyTsk(1 * sysc.Ms) // let hi run and block on the mutex
+		info, _ := k.RefTsk(lowID)
+		if info.Priority != 5 || info.BasePrio != 30 {
+			t.Errorf("low priority %d/%d, want boosted 5/30", info.Priority, info.BasePrio)
+		}
+	})
+	run(t, sim, sysc.Sec)
+	if hiGot != 10*sysc.Ms {
+		t.Fatalf("hi acquired at %v, want 10 ms", hiGot)
+	}
+	if midRan != 15*sysc.Ms {
+		t.Fatalf("mid finished at %v, want 15 ms (after low+hi)", midRan)
+	}
+}
+
+func TestMutexCeiling(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mtx, _ := k.CreMtx("m", tkernel.TaCeiling, 8)
+		id, _ := k.CreTsk("w", 20, func(task *tkernel.Task) {
+			_ = k.LocMtx(mtx, tkernel.TmoFevr)
+			info, _ := k.RefTsk(0)
+			if info.Priority != 8 {
+				t.Errorf("ceiling boost: pri=%d, want 8", info.Priority)
+			}
+			_ = k.UnlMtx(mtx)
+			info, _ = k.RefTsk(0)
+			if info.Priority != 20 {
+				t.Errorf("after unlock: pri=%d, want 20", info.Priority)
+			}
+		})
+		_ = k.StaTsk(id)
+
+		// A task whose base priority outranks the ceiling may not lock.
+		hi, _ := k.CreTsk("hi", 3, func(task *tkernel.Task) {
+			if er := k.LocMtx(mtx, tkernel.TmoFevr); er != tkernel.EILUSE {
+				t.Errorf("lock above ceiling: %v", er)
+			}
+		})
+		_ = k.StaTsk(hi)
+	})
+	run(t, sim, sysc.Sec)
+}
+
+func TestMutexAutoReleaseOnExit(t *testing.T) {
+	var got sysc.Time
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mtx, _ := k.CreMtx("m", tkernel.TaTFIFO, 0)
+		owner, _ := k.CreTsk("owner", 10, func(task *tkernel.Task) {
+			_ = k.LocMtx(mtx, tkernel.TmoFevr)
+			k.Work(core.Cost{Time: 5 * sysc.Ms}, "")
+			// exits without unlocking: kernel must release
+		})
+		waiter, _ := k.CreTsk("waiter", 12, func(task *tkernel.Task) {
+			if er := k.LocMtx(mtx, tkernel.TmoFevr); er != tkernel.EOK {
+				t.Errorf("waiter lock: %v", er)
+			}
+			got = k.Sim().Now()
+		})
+		_ = k.StaTsk(owner)
+		_ = k.StaTsk(waiter)
+	})
+	run(t, sim, sysc.Sec)
+	if got != 5*sysc.Ms {
+		t.Fatalf("waiter acquired at %v, want 5 ms (auto-release on exit)", got)
+	}
+}
+
+func TestMutexDeleteEDLT(t *testing.T) {
+	var code tkernel.ER
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		mtx, _ := k.CreMtx("m", tkernel.TaTFIFO, 0)
+		owner, _ := k.CreTsk("owner", 10, func(task *tkernel.Task) {
+			_ = k.LocMtx(mtx, tkernel.TmoFevr)
+			k.Work(core.Cost{Time: 50 * sysc.Ms}, "")
+		})
+		waiter, _ := k.CreTsk("waiter", 8, func(task *tkernel.Task) {
+			code = k.LocMtx(mtx, tkernel.TmoFevr)
+		})
+		_ = k.StaTsk(owner)
+		_ = k.DlyTsk(1 * sysc.Ms) // owner locks first
+		_ = k.StaTsk(waiter)      // higher priority: runs, blocks on mutex
+		_ = k.DlyTsk(4 * sysc.Ms)
+		_ = k.DelMtx(mtx)
+	})
+	run(t, sim, sysc.Sec)
+	if code != tkernel.EDLT {
+		t.Fatalf("code = %v", code)
+	}
+}
+
+func TestMutexCeilingPlusInheritRejected(t *testing.T) {
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		if _, er := k.CreMtx("m", tkernel.TaCeiling|tkernel.TaInherit, 5); er != tkernel.ERSATR {
+			t.Errorf("combined attributes: %v", er)
+		}
+		if _, er := k.CreMtx("m", tkernel.TaCeiling, 0); er != tkernel.EPAR {
+			t.Errorf("bad ceiling: %v", er)
+		}
+	})
+	run(t, sim, 50*sysc.Ms)
+}

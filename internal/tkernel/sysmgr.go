@@ -1,0 +1,154 @@
+package tkernel
+
+import "repro/internal/sysc"
+
+// SysInfo is the tk_ref_sys snapshot.
+type SysInfo struct {
+	SystemTime  sysc.Time
+	Tick        sysc.Time
+	Ticks       uint64
+	RunTask     string // name of the RUNNING task ("" if idle)
+	InHandler   bool
+	IntNesting  int
+	DispatchDis bool
+	Tasks       int
+	Semaphores  int
+	EventFlags  int
+	Mutexes     int
+	Mailboxes   int
+	MsgBuffers  int
+	FixedPools  int
+	VarPools    int
+	CyclicHdrs  int
+	AlarmHdrs   int
+	Ports       int
+}
+
+// VerInfo is the tk_ref_ver snapshot: identification of the simulated
+// kernel specification.
+type VerInfo struct {
+	Maker   string
+	Product string
+	SpecVer string
+	KernVer string
+}
+
+// RefVer returns kernel version information (tk_ref_ver).
+func (k *Kernel) RefVer() VerInfo {
+	return VerInfo{
+		Maker:   "RTK-Spec (simulation model)",
+		Product: "RTK-Spec TRON / T-Kernel-OS model",
+		SpecVer: "µITRON 4.0 / T-Kernel 1.0",
+		KernVer: "1.0.0",
+	}
+}
+
+// RefSys returns a kernel state snapshot (tk_ref_sys).
+func (k *Kernel) RefSys() SysInfo {
+	info := SysInfo{
+		SystemTime:  k.SystemTime(),
+		Tick:        k.cfg.Tick,
+		Ticks:       k.ticks,
+		InHandler:   k.api.InHandler(),
+		IntNesting:  k.api.InterruptDepth(),
+		DispatchDis: k.disDsp,
+		Tasks:       len(k.tasks),
+		Semaphores:  len(k.sems),
+		EventFlags:  len(k.flags),
+		Mutexes:     len(k.mtxs),
+		Mailboxes:   len(k.mbxs),
+		MsgBuffers:  len(k.mbfs),
+		FixedPools:  len(k.mpfs),
+		VarPools:    len(k.mpls),
+		CyclicHdrs:  len(k.cycs),
+		AlarmHdrs:   len(k.alms),
+		Ports:       len(k.pors),
+	}
+	if cur := k.api.Current(); cur != nil {
+		info.RunTask = cur.Name()
+	}
+	return info
+}
+
+// DisDsp disables task dispatching (tk_dis_dsp). The running task keeps the
+// processor until EnaDsp; interrupts still preempt.
+func (k *Kernel) DisDsp() ER {
+	if k.api.InHandler() {
+		return ECTX
+	}
+	if tt := k.api.ExecutingThread(); tt != nil {
+		tt.AwaitCPU()
+	}
+	if k.disDsp {
+		return EOK
+	}
+	k.disDsp = true
+	k.api.LockDispatch()
+	return EOK
+}
+
+// EnaDsp re-enables task dispatching (tk_ena_dsp).
+func (k *Kernel) EnaDsp() ER {
+	if k.api.InHandler() {
+		return ECTX
+	}
+	if !k.disDsp {
+		return EOK
+	}
+	k.disDsp = false
+	k.api.UnlockDispatch()
+	return EOK
+}
+
+// TaskList returns the IDs of all existing tasks in ascending order.
+func (k *Kernel) TaskList() []ID {
+	out := make([]ID, 0, len(k.tasks))
+	for id := range k.tasks {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// Object-class ID listings for the debugger support layer.
+func (k *Kernel) SemList() []ID { return idsOf(k.sems) }
+func (k *Kernel) FlgList() []ID { return idsOf(k.flags) }
+func (k *Kernel) MtxList() []ID { return idsOf(k.mtxs) }
+func (k *Kernel) MbxList() []ID { return idsOf(k.mbxs) }
+func (k *Kernel) MbfList() []ID { return idsOf(k.mbfs) }
+func (k *Kernel) MpfList() []ID { return idsOf(k.mpfs) }
+func (k *Kernel) MplList() []ID { return idsOf(k.mpls) }
+func (k *Kernel) CycList() []ID { return idsOf(k.cycs) }
+func (k *Kernel) AlmList() []ID { return idsOf(k.alms) }
+func (k *Kernel) PorList() []ID { return idsOf(k.pors) }
+
+// IntList returns the defined interrupt numbers in ascending order.
+func (k *Kernel) IntList() []int {
+	out := make([]int, 0, len(k.isrs))
+	for n := range k.isrs {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func idsOf[T any](m map[ID]T) []ID {
+	out := make([]ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package trace records and renders execution traces of a co-simulation:
+// the time/energy GANTT chart of Figure 6 (per-thread execution segments
+// tagged with their context — OS service, basic block, handler, BFM access),
+// a VCD-style waveform dump for probing BFM signals (Figure 4), and
+// per-thread consumed time/energy reports (Figure 7).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+	"repro/internal/sysc"
+)
+
+// Context tags the execution context of a trace segment. Different contexts
+// are rendered with different patterns, as in the paper's trace widget.
+type Context int
+
+// Execution contexts, per the paper: startup, application task basic block,
+// OS service call, time-event/interrupt handler, BFM (hardware) access, and
+// CPU idle.
+const (
+	CtxStartup Context = iota
+	CtxTask
+	CtxService
+	CtxHandler
+	CtxBFM
+	CtxIdle
+)
+
+// String returns the context's short name.
+func (c Context) String() string {
+	switch c {
+	case CtxStartup:
+		return "startup"
+	case CtxTask:
+		return "task"
+	case CtxService:
+		return "service"
+	case CtxHandler:
+		return "handler"
+	case CtxBFM:
+		return "bfm"
+	case CtxIdle:
+		return "idle"
+	}
+	return "?"
+}
+
+// pattern is the fill glyph used when rendering a segment of this context.
+func (c Context) pattern() rune {
+	switch c {
+	case CtxStartup:
+		return 'S'
+	case CtxTask:
+		return '#'
+	case CtxService:
+		return '='
+	case CtxHandler:
+		return '!'
+	case CtxBFM:
+		return '%'
+	case CtxIdle:
+		return '.'
+	}
+	return '?'
+}
+
+// Segment is one contiguous slice of execution by one thread.
+type Segment struct {
+	Thread string
+	Start  sysc.Time
+	End    sysc.Time
+	Ctx    Context
+	Energy petri.Energy
+	Note   string // e.g. the service call or BFM function name
+}
+
+// Duration returns the simulated length of the segment.
+func (s Segment) Duration() sysc.Time { return s.End - s.Start }
+
+// Gantt accumulates execution segments for all threads of a simulation.
+// The zero value is ready to use.
+type Gantt struct {
+	Segments []Segment
+	enabled  bool
+	limit    int // optional cap on recorded segments; 0 = unlimited
+}
+
+// NewGantt returns an enabled recorder.
+func NewGantt() *Gantt { return &Gantt{enabled: true} }
+
+// SetEnabled turns recording on or off (off for speed-measure runs, on for
+// the paper's "step mode" debugging).
+func (g *Gantt) SetEnabled(on bool) { g.enabled = on }
+
+// Enabled reports whether segments are being recorded.
+func (g *Gantt) Enabled() bool { return g.enabled }
+
+// SetLimit caps the number of recorded segments (0 = unlimited).
+func (g *Gantt) SetLimit(n int) { g.limit = n }
+
+// Add records one execution segment. Zero-length segments are kept only if
+// they carry a note (service-call markers).
+func (g *Gantt) Add(seg Segment) {
+	if !g.enabled {
+		return
+	}
+	if g.limit > 0 && len(g.Segments) >= g.limit {
+		return
+	}
+	if seg.End < seg.Start {
+		return
+	}
+	if seg.Start == seg.End && seg.Note == "" {
+		return
+	}
+	g.Segments = append(g.Segments, seg)
+}
+
+// Reset discards all recorded segments.
+func (g *Gantt) Reset() { g.Segments = g.Segments[:0] }
+
+// Threads returns the distinct thread names in first-appearance order.
+func (g *Gantt) Threads() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, s := range g.Segments {
+		if !seen[s.Thread] {
+			seen[s.Thread] = true
+			names = append(names, s.Thread)
+		}
+	}
+	return names
+}
+
+// Window returns the segments overlapping [from,to).
+func (g *Gantt) Window(from, to sysc.Time) []Segment {
+	var out []Segment
+	for _, s := range g.Segments {
+		if s.End > from && s.Start < to || (s.Start == s.End && s.Start >= from && s.Start < to) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BusyTime returns per-thread total execution time.
+func (g *Gantt) BusyTime() map[string]sysc.Time {
+	m := map[string]sysc.Time{}
+	for _, s := range g.Segments {
+		m[s.Thread] += s.Duration()
+	}
+	return m
+}
+
+// Render writes a text GANTT chart of the window [from,to) using `cols`
+// character columns. Each thread is one row; cells use the context pattern
+// of the segment covering that instant (later segments win ties, matching
+// dispatch order). This is the textual analogue of the paper's Execution
+// Time/Energy Trace widget.
+func (g *Gantt) Render(w io.Writer, from, to sysc.Time, cols int) {
+	if cols <= 0 {
+		cols = 80
+	}
+	if to <= from {
+		fmt.Fprintln(w, "(empty window)")
+		return
+	}
+	span := to - from
+	threads := g.Threads()
+	nameW := 8
+	for _, n := range threads {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	fmt.Fprintf(w, "GANTT %v .. %v  (1 col = %v)\n", from, to, span/sysc.Time(cols))
+	for _, name := range threads {
+		row := make([]rune, cols)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range g.Segments {
+			if s.Thread != name || s.End <= from || s.Start >= to {
+				continue
+			}
+			c0 := int(int64(s.Start-from) * int64(cols) / int64(span))
+			c1 := int(int64(s.End-from) * int64(cols) / int64(span))
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			for i := c0; i < c1 && i < cols; i++ {
+				if i >= 0 {
+					row[i] = s.Ctx.pattern()
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-*s |%s|\n", nameW, name, string(row))
+	}
+	fmt.Fprintf(w, "%-*s  legend: #=task ==service !=handler %%=bfm S=startup .=idle\n", nameW, "")
+}
+
+// Summary writes a per-thread table of segment counts, busy time and energy.
+func (g *Gantt) Summary(w io.Writer) {
+	type row struct {
+		name   string
+		n      int
+		busy   sysc.Time
+		energy petri.Energy
+	}
+	idx := map[string]*row{}
+	var order []string
+	for _, s := range g.Segments {
+		r, ok := idx[s.Thread]
+		if !ok {
+			r = &row{name: s.Thread}
+			idx[s.Thread] = r
+			order = append(order, s.Thread)
+		}
+		r.n++
+		r.busy += s.Duration()
+		r.energy += s.Energy
+	}
+	fmt.Fprintf(w, "%-16s %8s %14s %14s\n", "THREAD", "SEGS", "BUSY", "ENERGY")
+	for _, name := range order {
+		r := idx[name]
+		fmt.Fprintf(w, "%-16s %8d %14s %14s\n", r.name, r.n, r.busy, r.energy)
+	}
+}
+
+// ContextBreakdown returns, for one thread, busy time per context — the
+// data behind the per-pattern display of Figure 6.
+func (g *Gantt) ContextBreakdown(thread string) map[Context]sysc.Time {
+	m := map[Context]sysc.Time{}
+	for _, s := range g.Segments {
+		if s.Thread == thread {
+			m[s.Ctx] += s.Duration()
+		}
+	}
+	return m
+}
+
+// CheckNoOverlap verifies the single-CPU invariant: no two segments overlap
+// in time (handlers preempt tasks, so at any instant at most one thread
+// executes). It returns the first offending pair, if any.
+func (g *Gantt) CheckNoOverlap() (a, b Segment, overlap bool) {
+	segs := make([]Segment, len(g.Segments))
+	copy(segs, g.Segments)
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Start != segs[j].Start {
+			return segs[i].Start < segs[j].Start
+		}
+		return segs[i].End < segs[j].End
+	})
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start < segs[i-1].End {
+			return segs[i-1], segs[i], true
+		}
+	}
+	return Segment{}, Segment{}, false
+}
+
+// String renders the full chart into a string (80 columns).
+func (g *Gantt) String() string {
+	var b strings.Builder
+	var from, to sysc.Time
+	for i, s := range g.Segments {
+		if i == 0 || s.Start < from {
+			from = s.Start
+		}
+		if s.End > to {
+			to = s.End
+		}
+	}
+	g.Render(&b, from, to, 80)
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/petri"
+	"repro/internal/sysc"
+)
+
+func seg(th string, a, b sysc.Time, ctx Context) Segment {
+	return Segment{Thread: th, Start: a, End: b, Ctx: ctx}
+}
+
+func TestGanttAddAndThreads(t *testing.T) {
+	g := NewGantt()
+	g.Add(seg("t1", 0, 5*sysc.Ms, CtxTask))
+	g.Add(seg("t2", 5*sysc.Ms, 7*sysc.Ms, CtxHandler))
+	g.Add(seg("t1", 7*sysc.Ms, 9*sysc.Ms, CtxTask))
+	if got := g.Threads(); len(got) != 2 || got[0] != "t1" || got[1] != "t2" {
+		t.Fatalf("threads = %v", got)
+	}
+	if len(g.Segments) != 3 {
+		t.Fatalf("segments = %d", len(g.Segments))
+	}
+}
+
+func TestGanttRejectsInvalidSegments(t *testing.T) {
+	g := NewGantt()
+	g.Add(seg("x", 5*sysc.Ms, 3*sysc.Ms, CtxTask)) // end < start
+	g.Add(seg("x", 5*sysc.Ms, 5*sysc.Ms, CtxTask)) // zero with no note
+	if len(g.Segments) != 0 {
+		t.Fatalf("invalid segments kept: %v", g.Segments)
+	}
+	g.Add(Segment{Thread: "x", Start: sysc.Ms, End: sysc.Ms, Note: "svc"})
+	if len(g.Segments) != 1 {
+		t.Fatal("zero-length noted segment dropped")
+	}
+}
+
+func TestGanttDisabledAndLimit(t *testing.T) {
+	g := NewGantt()
+	g.SetEnabled(false)
+	g.Add(seg("x", 0, sysc.Ms, CtxTask))
+	if len(g.Segments) != 0 {
+		t.Fatal("disabled recorder recorded")
+	}
+	g.SetEnabled(true)
+	g.SetLimit(2)
+	for i := 0; i < 5; i++ {
+		g.Add(seg("x", sysc.Time(i)*sysc.Ms, sysc.Time(i+1)*sysc.Ms, CtxTask))
+	}
+	if len(g.Segments) != 2 {
+		t.Fatalf("limit ignored: %d", len(g.Segments))
+	}
+}
+
+func TestGanttBusyTimeAndBreakdown(t *testing.T) {
+	g := NewGantt()
+	g.Add(seg("t1", 0, 5*sysc.Ms, CtxTask))
+	g.Add(seg("t1", 5*sysc.Ms, 6*sysc.Ms, CtxService))
+	g.Add(seg("t2", 6*sysc.Ms, 8*sysc.Ms, CtxHandler))
+	busy := g.BusyTime()
+	if busy["t1"] != 6*sysc.Ms || busy["t2"] != 2*sysc.Ms {
+		t.Fatalf("busy = %v", busy)
+	}
+	bd := g.ContextBreakdown("t1")
+	if bd[CtxTask] != 5*sysc.Ms || bd[CtxService] != sysc.Ms {
+		t.Fatalf("breakdown = %v", bd)
+	}
+}
+
+func TestGanttWindow(t *testing.T) {
+	g := NewGantt()
+	g.Add(seg("a", 0, 10*sysc.Ms, CtxTask))
+	g.Add(seg("b", 20*sysc.Ms, 30*sysc.Ms, CtxTask))
+	w := g.Window(5*sysc.Ms, 15*sysc.Ms)
+	if len(w) != 1 || w[0].Thread != "a" {
+		t.Fatalf("window = %v", w)
+	}
+}
+
+func TestGanttOverlapDetection(t *testing.T) {
+	g := NewGantt()
+	g.Add(seg("a", 0, 10*sysc.Ms, CtxTask))
+	g.Add(seg("b", 5*sysc.Ms, 8*sysc.Ms, CtxTask))
+	if _, _, overlap := g.CheckNoOverlap(); !overlap {
+		t.Fatal("overlap not detected")
+	}
+	g.Reset()
+	g.Add(seg("a", 0, 5*sysc.Ms, CtxTask))
+	g.Add(seg("b", 5*sysc.Ms, 8*sysc.Ms, CtxTask))
+	if _, _, overlap := g.CheckNoOverlap(); overlap {
+		t.Fatal("adjacent segments flagged")
+	}
+}
+
+func TestGanttRenderPatterns(t *testing.T) {
+	g := NewGantt()
+	g.Add(seg("task", 0, 10*sysc.Ms, CtxTask))
+	g.Add(seg("isr", 10*sysc.Ms, 20*sysc.Ms, CtxHandler))
+	g.Add(seg("io", 20*sysc.Ms, 30*sysc.Ms, CtxBFM))
+	var b strings.Builder
+	g.Render(&b, 0, 30*sysc.Ms, 30)
+	out := b.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "!") || !strings.Contains(out, "%") {
+		t.Fatalf("patterns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Fatal("legend missing")
+	}
+	if g.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestGanttSummary(t *testing.T) {
+	g := NewGantt()
+	g.Add(Segment{Thread: "t1", Start: 0, End: 2 * sysc.Ms, Ctx: CtxTask,
+		Energy: 3 * petri.MilliJ})
+	var b strings.Builder
+	g.Summary(&b)
+	if !strings.Contains(b.String(), "t1") || !strings.Contains(b.String(), "ENERGY") {
+		t.Fatalf("summary:\n%s", b.String())
+	}
+}
+
+func TestContextStrings(t *testing.T) {
+	for ctx, want := range map[Context]string{
+		CtxStartup: "startup", CtxTask: "task", CtxService: "service",
+		CtxHandler: "handler", CtxBFM: "bfm", CtxIdle: "idle",
+	} {
+		if ctx.String() != want {
+			t.Errorf("%d -> %q", ctx, ctx.String())
+		}
+	}
+}
+
+// Property: BusyTime equals the sum of durations per thread for arbitrary
+// non-overlapping segment sets.
+func TestPropertyBusyTimeSum(t *testing.T) {
+	f := func(durs []uint8) bool {
+		g := NewGantt()
+		var cursor sysc.Time
+		var want sysc.Time
+		for _, d := range durs {
+			dur := sysc.Time(d%50+1) * sysc.Us
+			g.Add(seg("t", cursor, cursor+dur, CtxTask))
+			cursor += dur + sysc.Us
+			want += dur
+		}
+		if _, _, overlap := g.CheckNoOverlap(); overlap {
+			return false
+		}
+		return g.BusyTime()["t"] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCDRenderFormat(t *testing.T) {
+	v := NewVCD()
+	v.Probe("clk", 1)
+	v.Probe("bus", 8)
+	v.ChangeBool("clk", 0, true)
+	v.Change("bus", sysc.Us, 0xAB)
+	v.ChangeBool("clk", 2*sysc.Us, false)
+	v.Change("bus", 2*sysc.Us, 0xAB) // unchanged: ignored
+	if v.Len() != 3 {
+		t.Fatalf("changes = %d", v.Len())
+	}
+	var b strings.Builder
+	v.Render(&b)
+	out := b.String()
+	for _, want := range []string{"$timescale", "$var wire 1", "$var wire 8",
+		"$enddefinitions", "#0", "#1", "#2", "b10101011"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vcd missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVCDAutoProbeAndTable(t *testing.T) {
+	v := NewVCD()
+	v.Change("auto", 0, 7)
+	var b strings.Builder
+	v.Table(&b)
+	if !strings.Contains(b.String(), "auto") || !strings.Contains(b.String(), "0x7") {
+		t.Fatalf("table:\n%s", b.String())
+	}
+}
+
+func TestVCDDisabled(t *testing.T) {
+	v := NewVCD()
+	v.SetEnabled(false)
+	v.Change("x", 0, 1)
+	if v.Len() != 0 {
+		t.Fatal("disabled recorder recorded")
+	}
+}
+
+func TestVCDIDGeneration(t *testing.T) {
+	ids := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if ids[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		ids[id] = true
+	}
+}

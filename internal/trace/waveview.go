@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sysc"
+)
+
+// WaveView renders recorded VCD signals as ASCII timelines — the textual
+// analogue of the waveform viewer of Figure 4: one row per probed signal,
+// value-change markers along a common time axis.
+//
+//	xram.addr |----23--------42-------------|
+//	p1        |--01----55---------aa--------|
+type WaveView struct {
+	vcd *VCD
+}
+
+// NewWaveView creates a viewer over a VCD recorder.
+func NewWaveView(v *VCD) *WaveView { return &WaveView{vcd: v} }
+
+// Render draws the window [from,to) over cols columns. Each change prints
+// its new value (hex) starting at its column; '-' fills steady state.
+func (w *WaveView) Render(out io.Writer, from, to sysc.Time, cols int) {
+	if cols <= 0 {
+		cols = 80
+	}
+	if to <= from {
+		fmt.Fprintln(out, "(empty window)")
+		return
+	}
+	span := to - from
+
+	// Group changes per signal, time-sorted.
+	type chg struct {
+		t   sysc.Time
+		val uint64
+	}
+	perSig := map[string][]chg{}
+	var names []string
+	for _, c := range w.vcd.changes {
+		if c.t < from || c.t >= to {
+			continue
+		}
+		if _, ok := perSig[c.sig.name]; !ok {
+			names = append(names, c.sig.name)
+		}
+		perSig[c.sig.name] = append(perSig[c.sig.name], chg{c.t, c.val})
+	}
+	sort.Strings(names)
+
+	nameW := 8
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	fmt.Fprintf(out, "WAVE %v .. %v  (1 col = %v)\n", from, to, span/sysc.Time(cols))
+	for _, name := range names {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '-'
+		}
+		for _, c := range perSig[name] {
+			col := int(int64(c.t-from) * int64(cols) / int64(span))
+			label := fmt.Sprintf("%x", c.val)
+			for i := 0; i < len(label) && col+i < cols; i++ {
+				row[col+i] = label[i]
+			}
+		}
+		fmt.Fprintf(out, "%-*s |%s|\n", nameW, name, string(row))
+	}
+}
+
+// RenderAll draws the full recorded span.
+func (w *WaveView) RenderAll(out io.Writer, cols int) {
+	var from, to sysc.Time
+	for i, c := range w.vcd.changes {
+		if i == 0 || c.t < from {
+			from = c.t
+		}
+		if c.t > to {
+			to = c.t
+		}
+	}
+	w.Render(out, from, to+1, cols)
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sysc"
+)
+
+func TestWaveViewRender(t *testing.T) {
+	v := NewVCD()
+	v.Probe("clk", 1)
+	v.Probe("bus", 8)
+	v.Change("clk", 0, 1)
+	v.Change("bus", 10*sysc.Us, 0xAB)
+	v.Change("clk", 20*sysc.Us, 0)
+	v.Change("bus", 30*sysc.Us, 0xCD)
+	wv := NewWaveView(v)
+	var b strings.Builder
+	wv.Render(&b, 0, 40*sysc.Us, 40)
+	out := b.String()
+	if !strings.Contains(out, "WAVE") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	for _, want := range []string{"clk", "bus", "ab", "cd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWaveViewEmptyWindow(t *testing.T) {
+	v := NewVCD()
+	wv := NewWaveView(v)
+	var b strings.Builder
+	wv.Render(&b, 10, 10, 40)
+	if !strings.Contains(b.String(), "empty window") {
+		t.Fatal("empty window not reported")
+	}
+}
+
+func TestWaveViewRenderAll(t *testing.T) {
+	v := NewVCD()
+	v.Change("sig", 5*sysc.Us, 7)
+	v.Change("sig", 15*sysc.Us, 9)
+	var b strings.Builder
+	NewWaveView(v).RenderAll(&b, 20)
+	if !strings.Contains(b.String(), "sig") || !strings.Contains(b.String(), "9") {
+		t.Fatalf("render-all:\n%s", b.String())
+	}
+}
