@@ -1,0 +1,39 @@
+# Build, verify, and benchmark the RTK-Spec TRON reproduction.
+#
+#   make check   - tier-1 gate: vet + build + tests + race detector
+#   make bench   - co-simulation speed benchmark -> BENCH_sysc.json
+#   make bench-all  - every benchmark, no JSON capture
+
+GO ?= go
+BENCHTIME ?= 2s
+
+.PHONY: all build test vet race check bench bench-all clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet build test race
+
+# Table 2 co-simulation speed (the paper's S/R headline metric) per
+# configuration, captured to BENCH_sysc.json so the perf trajectory is
+# tracked across PRs.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkTable2CoSimSpeed -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -metric simsec/s -out BENCH_sysc.json
+
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
+
+clean:
+	$(GO) clean ./...

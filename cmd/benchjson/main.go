@@ -1,0 +1,92 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// record of custom benchmark metrics, so the performance trajectory of the
+// simulation engine can be tracked across PRs:
+//
+//	go test -run '^$' -bench BenchmarkTable2CoSimSpeed -benchtime 2s . \
+//	    | go run ./cmd/benchjson -metric simsec/s -out BENCH_sysc.json
+//
+// Stdin is echoed through to stdout, so the harness still shows the live
+// benchmark listing while capturing the JSON.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is the schema of the emitted JSON file.
+type Report struct {
+	// Metric is the custom unit captured per configuration.
+	Metric string `json:"metric"`
+	// Configs maps "Benchmark/sub/config" (GOMAXPROCS suffix stripped) to
+	// the metric value.
+	Configs map[string]float64 `json:"configs"`
+	// NsPerOp maps the same keys to the wall nanoseconds per iteration.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	metric := flag.String("metric", "simsec/s", "custom metric unit to capture")
+	out := flag.String("out", "BENCH_sysc.json", "output JSON file")
+	flag.Parse()
+
+	rep := Report{
+		Metric:  *metric,
+		Configs: map[string]float64{},
+		NsPerOp: map[string]float64{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the trailing -GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// Value/unit pairs follow the iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case *metric:
+				rep.Configs[name] = v
+			case "ns/op":
+				rep.NsPerOp[name] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Configs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no %q metrics found on stdin\n", *metric)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d configs to %s\n", len(rep.Configs), *out)
+}

@@ -30,6 +30,10 @@ func main() {
 	speed := flag.Bool("speed", false, "RTOS-level vs cycle-stepped comparison")
 	simtime := flag.Duration("simtime", time.Second, "simulated S per Table 2 configuration")
 	vcdOut := flag.String("vcd", "", "also write the Figure 4 VCD to this file")
+	workers := flag.Int("workers", 1,
+		"worker pool size for sweeps (1 = sequential reference, 0 = GOMAXPROCS); "+
+			"simulated columns are identical for any value, wall-clock columns "+
+			"reflect shared-core timing when > 1")
 	flag.Parse()
 
 	simS := sysc.Time(simtime.Nanoseconds()) * sysc.Ns
@@ -49,7 +53,11 @@ func main() {
 	section(*t2, func() {
 		cfg := experiments.DefaultTable2Config()
 		cfg.SimTime = simS
-		experiments.Table2(w, cfg)
+		if *workers == 1 {
+			experiments.Table2(w, cfg)
+		} else {
+			experiments.Table2Parallel(w, cfg, *workers)
+		}
 	})
 	section(*f6, func() { experiments.Figure6(w, 100*sysc.Ms) })
 	section(*f7, func() { experiments.Figure7(w, 1*sysc.Sec) })
@@ -74,9 +82,9 @@ func main() {
 		})
 	})
 	section(*a2, func() {
-		experiments.AblationGranularity(w, []sysc.Time{
+		experiments.AblationGranularityParallel(w, []sysc.Time{
 			100 * sysc.Us, 500 * sysc.Us, 1 * sysc.Ms, 5 * sysc.Ms, 10 * sysc.Ms,
-		})
+		}, *workers)
 	})
 	section(*a3, func() { experiments.AblationSchedulers(w) })
 	section(*speed, func() { experiments.SpeedComparison(w, simS) })

@@ -24,6 +24,7 @@ import (
 	"repro/internal/i8051"
 	"repro/internal/petri"
 	"repro/internal/rtk"
+	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkds"
 	"repro/internal/tkernel"
@@ -119,25 +120,76 @@ func Table2Run(guiOn bool, framePeriod sysc.Time, simTime sysc.Time, workFactor 
 	}
 }
 
-// Table2 runs the full sweep and prints the speed table.
-func Table2(w io.Writer, cfg Table2Config) []Table2Row {
+// Table2Case is one grid point of the co-simulation speed sweep.
+type Table2Case struct {
+	GUI         bool
+	FramePeriod sysc.Time
+}
+
+// Table2Cases expands the config into the grid in canonical (merge) order:
+// GUI off before on, frame periods in config order.
+func Table2Cases(cfg Table2Config) []Table2Case {
+	var cases []Table2Case
+	for _, gui := range []bool{false, true} {
+		for _, fp := range cfg.FramePeriods {
+			cases = append(cases, Table2Case{GUI: gui, FramePeriod: fp})
+		}
+	}
+	return cases
+}
+
+// Table2Sweep runs the grid across `workers` cores (1 = the sequential
+// reference path; <= 0 = GOMAXPROCS) and returns rows merged in grid order.
+// Every grid point is an independent Simulator, so the simulated results
+// (frames, refreshes, simulated seconds) are identical for any worker
+// count; only the wall-clock measurements vary.
+func Table2Sweep(cfg Table2Config, workers int) []Table2Row {
+	return sweep.Run(sweep.Runner{Workers: workers}, Table2Cases(cfg),
+		func(_ sweep.Job, c Table2Case) Table2Row {
+			return Table2Run(c.GUI, c.FramePeriod, cfg.SimTime, cfg.WorkFactor)
+		})
+}
+
+// DeterministicString renders the worker-count-independent columns of a row
+// (everything except the wall-clock measurements). Parallel and sequential
+// sweeps of the same config produce byte-identical merged listings.
+func (r Table2Row) DeterministicString() string {
+	period := "off"
+	if r.FramePeriod > 0 {
+		period = fmt.Sprint(r.FramePeriod)
+	}
+	return fmt.Sprintf("gui=%v frame=%s S=%.3f frames=%d refreshes=%d",
+		r.GUI, period, r.SimSeconds, r.Frames, r.Refreshes)
+}
+
+func renderTable2(w io.Writer, cfg Table2Config, rows []Table2Row) {
 	fmt.Fprintln(w, "Table 2 — co-simulation speed measure")
 	fmt.Fprintf(w, "S = %v of simulated system time per configuration\n", cfg.SimTime)
 	fmt.Fprintf(w, "%-6s %-14s %10s %12s %10s %10s\n",
 		"GUI", "BFM->WIDGET", "WALL R", "S/R", "FRAMES", "REFRESHES")
-	var rows []Table2Row
-	for _, gui := range []bool{false, true} {
-		for _, fp := range cfg.FramePeriods {
-			row := Table2Run(gui, fp, cfg.SimTime, cfg.WorkFactor)
-			rows = append(rows, row)
-			period := "off"
-			if fp > 0 {
-				period = fmt.Sprint(fp)
-			}
-			fmt.Fprintf(w, "%-6v %-14s %9.3fs %12.2f %10d %10d\n",
-				gui, period, row.WallSeconds, row.SpeedSoverR, row.Frames, row.Refreshes)
+	for _, row := range rows {
+		period := "off"
+		if row.FramePeriod > 0 {
+			period = fmt.Sprint(row.FramePeriod)
 		}
+		fmt.Fprintf(w, "%-6v %-14s %9.3fs %12.2f %10d %10d\n",
+			row.GUI, period, row.WallSeconds, row.SpeedSoverR, row.Frames, row.Refreshes)
 	}
+}
+
+// Table2 runs the full sweep sequentially and prints the speed table.
+func Table2(w io.Writer, cfg Table2Config) []Table2Row {
+	rows := Table2Sweep(cfg, 1)
+	renderTable2(w, cfg, rows)
+	return rows
+}
+
+// Table2Parallel runs the full sweep across the worker pool and prints the
+// speed table. Simulated columns match the sequential path exactly; the
+// wall-clock columns reflect the shared-core timing.
+func Table2Parallel(w io.Writer, cfg Table2Config, workers int) []Table2Row {
+	rows := Table2Sweep(cfg, workers)
+	renderTable2(w, cfg, rows)
 	return rows
 }
 
@@ -258,12 +310,28 @@ func delayedDispatchLatency(handlerWork sysc.Time) sysc.Time {
 // (events processed per simulated second rise as the tick shrinks) and the
 // timeout accuracy it buys.
 func AblationGranularity(w io.Writer, ticks []sysc.Time) {
+	AblationGranularityParallel(w, ticks, 1)
+}
+
+// AblationGranularityParallel is AblationGranularity across a worker pool:
+// each tick configuration is an independent simulation, so the sweep
+// parallelizes point-wise. The timeout-error column is deterministic for
+// any worker count; wall-clock figures reflect shared-core timing.
+func AblationGranularityParallel(w io.Writer, ticks []sysc.Time, workers int) {
+	type res struct {
+		wall float64
+		terr sysc.Time
+	}
+	results := sweep.Run(sweep.Runner{Workers: workers}, ticks,
+		func(_ sweep.Job, tick sysc.Time) res {
+			wall, terr := granularityRun(tick)
+			return res{wall: wall, terr: terr}
+		})
 	fmt.Fprintln(w, "Ablation A2 — preemption/tick granularity vs speed")
 	fmt.Fprintf(w, "%-10s %12s %14s %16s\n", "TICK", "WALL R", "S/R", "TIMEOUT ERROR")
-	for _, tick := range ticks {
-		wall, terr := granularityRun(tick)
+	for i, tick := range ticks {
 		fmt.Fprintf(w, "%-10v %11.4fs %14.1f %16v\n",
-			tick, wall, 1.0/wall, terr)
+			tick, results[i].wall, 1.0/results[i].wall, results[i].terr)
 	}
 }
 

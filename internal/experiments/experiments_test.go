@@ -139,3 +139,50 @@ func TestCycleSteppedBaselineCounts(t *testing.T) {
 		t.Fatalf("cycles = %d, want 5000 (one per us)", cycles)
 	}
 }
+
+func TestTable2SweepParallelMatchesSequential(t *testing.T) {
+	// The acceptance bar for the sweep runner: the Table 2 grid run across
+	// workers must merge to rows identical to the sequential path in every
+	// simulated (deterministic) column, byte for byte.
+	cfg := Table2Config{
+		SimTime:      100 * sysc.Ms,
+		FramePeriods: []sysc.Time{0, 50 * sysc.Ms, 10 * sysc.Ms},
+		WorkFactor:   GUIWorkFactor,
+	}
+	render := func(rows []Table2Row) string {
+		var b strings.Builder
+		for _, r := range rows {
+			b.WriteString(r.DeterministicString())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	seq := render(Table2Sweep(cfg, 1))
+	if !strings.Contains(seq, "gui=false frame=off") ||
+		!strings.Contains(seq, "gui=true frame=10 ms") {
+		t.Fatalf("sequential sweep missing grid points:\n%s", seq)
+	}
+	for _, workers := range []int{2, 0} {
+		if par := render(Table2Sweep(cfg, workers)); par != seq {
+			t.Errorf("workers=%d merged rows differ from sequential:\n--- parallel\n%s--- sequential\n%s",
+				workers, par, seq)
+		}
+	}
+}
+
+func TestTable2ParallelPrintsFullGrid(t *testing.T) {
+	cfg := Table2Config{
+		SimTime:      50 * sysc.Ms,
+		FramePeriods: []sysc.Time{0, 10 * sysc.Ms},
+		WorkFactor:   GUIWorkFactor,
+	}
+	var b strings.Builder
+	rows := Table2Parallel(&b, cfg, 0)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "REFRESHES") {
+		t.Fatalf("parallel table output malformed:\n%s", out)
+	}
+}

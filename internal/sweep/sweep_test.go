@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sysc"
+)
+
+// simJob runs a tiny self-contained simulation whose result depends only on
+// the job parameters — the shape every sweep job must have.
+func simJob(period sysc.Time, horizon sysc.Time) int {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	ticks := 0
+	sim.Spawn("ticker", func(th *sysc.Thread) {
+		for {
+			th.Wait(period)
+			ticks++
+		}
+	})
+	if err := sim.Start(horizon); err != nil {
+		panic(err)
+	}
+	return ticks
+}
+
+func TestRunMergesInJobOrder(t *testing.T) {
+	jobs := []sysc.Time{1 * sysc.Ms, 2 * sysc.Ms, 5 * sysc.Ms, 10 * sysc.Ms, 3 * sysc.Ms}
+	want := Run(Runner{Workers: 1}, jobs, func(_ Job, p sysc.Time) int {
+		return simJob(p, 100*sysc.Ms)
+	})
+	for _, workers := range []int{2, 4, 0} {
+		got := Run(Runner{Workers: workers}, jobs, func(_ Job, p sysc.Time) int {
+			return simJob(p, 100*sysc.Ms)
+		})
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d: merged results %v, want sequential %v",
+				workers, got, want)
+		}
+	}
+	if want[0] != 100 || want[3] != 10 {
+		t.Fatalf("simulated tick counts wrong: %v", want)
+	}
+}
+
+func TestJobCarriesIndexAndDeterministicSeed(t *testing.T) {
+	jobs := make([]int, 16)
+	type meta struct {
+		index int
+		seed  uint64
+	}
+	collect := func(workers int) []meta {
+		out := make([]meta, len(jobs))
+		Run(Runner{Workers: workers, BaseSeed: 7}, jobs, func(j Job, _ int) int {
+			out[j.Index] = meta{index: j.Index, seed: j.Seed}
+			return 0
+		})
+		return out
+	}
+	seq := collect(1)
+	par := collect(4)
+	for i := range seq {
+		if seq[i].index != i {
+			t.Fatalf("job %d reported index %d", i, seq[i].index)
+		}
+		if seq[i] != par[i] {
+			t.Fatalf("job %d metadata differs across worker counts: %v vs %v",
+				i, seq[i], par[i])
+		}
+		if seq[i].seed != Seed(7, i) {
+			t.Fatalf("job %d seed %#x, want Seed(7,%d)=%#x",
+				i, seq[i].seed, i, Seed(7, i))
+		}
+	}
+	// Distinct indices must get distinct seeds.
+	seen := map[uint64]bool{}
+	for _, m := range seq {
+		if seen[m.seed] {
+			t.Fatalf("duplicate seed %#x", m.seed)
+		}
+		seen[m.seed] = true
+	}
+}
+
+func TestRunHandlesEdgeShapes(t *testing.T) {
+	if got := Run(Runner{Workers: 4}, nil, func(_ Job, _ int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("empty job list returned %v", got)
+	}
+	// More workers than jobs: the pool clamps and still covers every job.
+	got := Run(Runner{Workers: 64}, []int{10, 20}, func(_ Job, v int) int { return v * 2 })
+	if got[0] != 20 || got[1] != 40 {
+		t.Fatalf("clamped pool returned %v", got)
+	}
+	// Map uses default settings.
+	got = Map([]int{1, 2, 3}, func(j Job, v int) int { return v + j.Index })
+	if fmt.Sprint(got) != "[1 3 5]" {
+		t.Fatalf("Map returned %v", got)
+	}
+}

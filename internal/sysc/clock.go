@@ -3,10 +3,15 @@ package sysc
 // Clock is an sc_clock-style periodic boolean signal. The paper's BFM uses a
 // real-time clock with a 1 ms default resolution to drive the kernel's
 // central module; a Clock with period 1 ms provides exactly that tick.
+//
+// The generator is a method process re-arming its own timed event, not a
+// thread: a clock edge costs zero goroutine handoffs, which matters because
+// clocks and tickers dominate the event population of RTOS-level models.
 type Clock struct {
 	*BoolSignal
 	period Time
-	thread *Thread
+	gen    *Event
+	high   bool
 }
 
 // NewClock creates a free-running clock with the given period (first rising
@@ -16,18 +21,21 @@ func NewClock(s *Simulator, name string, period Time) *Clock {
 		panic("sysc: clock period must be positive")
 	}
 	c := &Clock{BoolSignal: NewBoolSignal(s, name, false), period: period}
-	c.thread = s.Spawn(name+".gen", func(t *Thread) {
-		half := period / 2
-		if half == 0 {
-			half = 1
+	half := period / 2
+	if half == 0 {
+		half = 1
+	}
+	c.gen = s.NewEvent(name + ".gen")
+	s.SpawnMethod(name+".gen", func() {
+		c.high = !c.high
+		c.Write(c.high)
+		if c.high {
+			c.gen.NotifyAfter(half)
+		} else {
+			c.gen.NotifyAfter(period - half)
 		}
-		for {
-			t.Wait(period - half)
-			c.Write(true)
-			t.Wait(half)
-			c.Write(false)
-		}
-	})
+	}, c.gen)
+	c.gen.NotifyAfter(period - half)
 	return c
 }
 
@@ -36,11 +44,12 @@ func (c *Clock) Period() Time { return c.period }
 
 // Ticker is a lighter-weight periodic event source (no signal semantics):
 // its event fires every period. Kernel tick dispatch in the central module
-// is naturally modelled as a method sensitive to a Ticker.
+// is naturally modelled as a method sensitive to a Ticker. Like Clock, the
+// generator is a self-re-arming method process with no goroutine of its own.
 type Ticker struct {
 	ev     *Event
+	gen    *Event
 	period Time
-	thread *Thread
 }
 
 // NewTicker creates a periodic event firing first at `period` and then
@@ -50,12 +59,12 @@ func NewTicker(s *Simulator, name string, period Time) *Ticker {
 		panic("sysc: ticker period must be positive")
 	}
 	tk := &Ticker{ev: s.NewEvent(name + ".tick"), period: period}
-	tk.thread = s.Spawn(name+".gen", func(t *Thread) {
-		for {
-			t.Wait(period)
-			tk.ev.Notify()
-		}
-	})
+	tk.gen = s.NewEvent(name + ".gen")
+	s.SpawnMethod(name+".gen", func() {
+		tk.ev.Notify()
+		tk.gen.NotifyAfter(period)
+	}, tk.gen)
+	tk.gen.NotifyAfter(period)
 	return tk
 }
 

@@ -93,7 +93,7 @@ func (e *Event) Cancel() {
 		// Lazy removal: the delta queue checks pendingKind on fire.
 	case notifyTimed:
 		if e.pendingEntry != nil {
-			e.pendingEntry.cancelled = true
+			e.sim.timed.cancel(e.pendingEntry)
 			e.pendingEntry = nil
 		}
 	}
@@ -107,11 +107,17 @@ func (e *Event) Pending() bool { return e.pendingKind != notifyNone }
 func (e *Event) addStatic(m *Method) { e.static = append(e.static, m) }
 
 // removeWaiter detaches a thread from the waiter list (when the thread is
-// resumed by a different event of its wait set, or killed).
+// resumed by a different event of its wait set, or killed). Swap-delete: the
+// relative order of the remaining waiters is not preserved, which is fine —
+// wake order is fixed per run (the list mutates identically on every run),
+// so the simulation stays deterministic.
 func (e *Event) removeWaiter(t *Thread) {
 	for i, w := range e.waiters {
 		if w == t {
-			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			last := len(e.waiters) - 1
+			e.waiters[i] = e.waiters[last]
+			e.waiters[last] = nil
+			e.waiters = e.waiters[:last]
 			return
 		}
 	}

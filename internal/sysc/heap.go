@@ -1,7 +1,10 @@
 package sysc
 
-// timedItem is a scheduled timed notification. Cancellation is lazy: the
-// item stays in the heap but is skipped when popped.
+// timedItem is a scheduled timed notification. Cancellation is lazy by
+// default: the item stays in the heap but is skipped when popped. When
+// cancelled items outnumber live ones the queue compacts eagerly, so a
+// model that schedules and cancels many timeouts (the WaitTimeout pattern)
+// never accumulates an arbitrarily large dead tail.
 type timedItem struct {
 	when      Time
 	seq       uint64 // tie-break so equal-time items fire in schedule order
@@ -10,18 +13,74 @@ type timedItem struct {
 }
 
 // timedQueue is a binary min-heap of timed notifications ordered by
-// (when, seq).
+// (when, seq). Popped and cancelled items are recycled through a free list
+// so steady-state scheduling does not allocate.
 type timedQueue struct {
 	items []*timedItem
 	seq   uint64
+
+	free    []*timedItem // recycled items available for push
+	ncancel int          // cancelled items still sitting in the heap
 }
+
+// compactMin is the heap size below which compaction is never worth it.
+const compactMin = 64
 
 func (q *timedQueue) push(when Time, ev *Event) *timedItem {
 	q.seq++
-	it := &timedItem{when: when, seq: q.seq, ev: ev}
+	var it *timedItem
+	if n := len(q.free); n > 0 {
+		it = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		it.when, it.seq, it.ev, it.cancelled = when, q.seq, ev, false
+	} else {
+		it = &timedItem{when: when, seq: q.seq, ev: ev}
+	}
 	q.items = append(q.items, it)
 	q.up(len(q.items) - 1)
 	return it
+}
+
+// cancel marks a scheduled item dead. The heap slot is reclaimed lazily on
+// pop, or eagerly via compact once dead items exceed the live fraction.
+func (q *timedQueue) cancel(it *timedItem) {
+	if it == nil || it.cancelled {
+		return
+	}
+	it.cancelled = true
+	it.ev = nil
+	q.ncancel++
+	if len(q.items) >= compactMin && q.ncancel*2 > len(q.items) {
+		q.compact()
+	}
+}
+
+// release returns a popped item to the free list for reuse.
+func (q *timedQueue) release(it *timedItem) {
+	it.ev = nil
+	q.free = append(q.free, it)
+}
+
+// compact drops every cancelled item and restores the heap invariant in
+// O(n). Live-item (when, seq) ordering is unaffected.
+func (q *timedQueue) compact() {
+	live := q.items[:0]
+	for _, it := range q.items {
+		if it.cancelled {
+			q.release(it)
+		} else {
+			live = append(live, it)
+		}
+	}
+	for i := len(live); i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = live
+	q.ncancel = 0
+	for i := len(q.items)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
 }
 
 func (q *timedQueue) less(i, j int) bool {
@@ -71,15 +130,19 @@ func (q *timedQueue) pop() *timedItem {
 	if len(q.items) > 0 {
 		q.down(0)
 	}
+	if it.cancelled {
+		q.ncancel--
+	}
 	return it
 }
 
-// nextTime returns the time of the earliest live notification, skipping and
-// discarding cancelled ones. ok is false when the queue is effectively empty.
+// nextTime returns the time of the earliest live notification, skipping,
+// discarding and recycling cancelled ones. ok is false when the queue is
+// effectively empty.
 func (q *timedQueue) nextTime() (t Time, ok bool) {
 	for len(q.items) > 0 {
 		if q.items[0].cancelled {
-			q.pop()
+			q.release(q.pop())
 			continue
 		}
 		return q.items[0].when, true

@@ -17,13 +17,12 @@ type Thread struct {
 
 	queued  bool // already on the runnable queue
 	waiting []*Event
-	trigEv  *Event // event that resumed the last wait
-	timer   *Event // per-thread timer for Wait/WaitTimeout
+	scratch []*Event // reusable wait-set buffer (WaitTimeout fast path)
+	trigEv  *Event   // event that resumed the last wait
+	timer   *Event   // per-thread timer for Wait/WaitTimeout
 
-	started  bool
-	done     bool
-	killed   bool
-	panicVal any
+	done   bool
+	killed bool
 }
 
 // killedSentinel unwinds a thread goroutine during Simulator.Shutdown.
@@ -34,13 +33,17 @@ type killedSentinel struct{}
 // running process it runs within the current evaluation phase).
 func (s *Simulator) Spawn(name string, fn func(*Thread)) *Thread {
 	s.nextID++
+	// The handoff channels are buffered (capacity 1) so neither side ever
+	// blocks on send: at most one token is in flight per direction, and a
+	// send whose peer has not yet reached its receive completes immediately
+	// instead of parking the sender for an extra Go-scheduler round trip.
 	t := &Thread{
 		sim:    s,
 		id:     s.nextID,
 		name:   name,
 		fn:     fn,
-		resume: make(chan struct{}),
-		park:   make(chan struct{}),
+		resume: make(chan struct{}, 1),
+		park:   make(chan struct{}, 1),
 	}
 	t.timer = s.NewEvent(name + ".timer")
 	s.threads = append(s.threads, t)
@@ -52,13 +55,19 @@ func (s *Simulator) Spawn(name string, fn func(*Thread)) *Thread {
 func (t *Thread) main() {
 	<-t.resume
 	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(killedSentinel); !ok {
-				t.panicVal = r
-			}
+		r := recover()
+		if _, ok := r.(killedSentinel); ok {
+			r = nil
 		}
 		t.done = true
-		t.park <- struct{}{}
+		if t.killed {
+			// Shutdown handshake: the killer waits on the park channel.
+			t.park <- struct{}{}
+			return
+		}
+		// Normal termination (or a body panic) during simulation: record
+		// the outcome and pass the evaluation baton on.
+		t.sim.threadExit(t, r)
 	}()
 	if !t.killed {
 		t.fn(t)
@@ -77,10 +86,12 @@ func (t *Thread) Now() Time { return t.sim.now }
 // Done reports whether the thread body has returned.
 func (t *Thread) Done() bool { return t.done }
 
-// yield parks the thread and hands control back to the scheduler. It panics
-// with killedSentinel when the simulator is shutting down.
+// yield suspends the thread: it passes the evaluation baton to the next
+// runnable process (or wakes the scheduler when the phase is over) and parks
+// until resumed. It panics with killedSentinel when the simulator is
+// shutting down.
 func (t *Thread) yield() {
-	t.park <- struct{}{}
+	t.sim.passBaton()
 	<-t.resume
 	if t.killed {
 		panic(killedSentinel{})
@@ -111,9 +122,13 @@ func (t *Thread) WaitEvent(evs ...*Event) *Event {
 
 // WaitTimeout suspends the thread until one of evs triggers or d elapses.
 // It returns the triggering event and false, or nil and true on timeout.
+// The combined wait set lives in a per-thread scratch buffer so the call
+// does not allocate.
 func (t *Thread) WaitTimeout(d Time, evs ...*Event) (fired *Event, timedOut bool) {
 	t.timer.NotifyAfter(d)
-	got := t.WaitEvent(append([]*Event{t.timer}, evs...)...)
+	t.scratch = append(t.scratch[:0], t.timer)
+	t.scratch = append(t.scratch, evs...)
+	got := t.WaitEvent(t.scratch...)
 	if got == t.timer {
 		return nil, true
 	}

@@ -13,6 +13,7 @@ type Simulator struct {
 	deltaCount uint64
 
 	runnable []procRef
+	runHead  int // index of the next runnable entry (index-based drain)
 	deltaQ   []*Event
 	timed    timedQueue
 	updates  []updater
@@ -20,6 +21,11 @@ type Simulator struct {
 	threads []*Thread
 	running *Thread // thread currently executing (nil outside evaluate)
 	nextID  int
+
+	// schedWake resumes the scheduler goroutine when an evaluation phase
+	// drains. Buffered so the scheduler can hand itself the token when the
+	// whole phase ran inline (methods only).
+	schedWake chan struct{}
 
 	stopRequested bool
 	shutdown      bool
@@ -31,7 +37,7 @@ type updater interface{ update() }
 
 // NewSimulator returns an empty simulation ready for model construction.
 func NewSimulator() *Simulator {
-	return &Simulator{}
+	return &Simulator{schedWake: make(chan struct{}, 1)}
 }
 
 // Now returns the current simulation time.
@@ -81,8 +87,11 @@ func (s *Simulator) requestUpdate(u updater) {
 // evaluation phase.
 func (s *Simulator) trigger(e *Event) {
 	if len(e.waiters) > 0 {
+		// Keep the backing array for the next wait generation: nothing can
+		// re-append to e.waiters while this loop runs (woken threads only
+		// become runnable here; they execute later in the evaluation phase).
 		ws := e.waiters
-		e.waiters = nil
+		e.waiters = ws[:0]
 		for _, t := range ws {
 			// Detach the thread from the other events of its wait set.
 			for _, other := range t.waiting {
@@ -100,39 +109,63 @@ func (s *Simulator) trigger(e *Event) {
 	}
 }
 
-// runProcess executes one runnable process to its next wait (threads) or to
-// completion (methods). Process panics abort the simulation.
-func (s *Simulator) runProcess(p procRef) {
-	switch {
-	case p.t != nil:
-		t := p.t
-		t.queued = false
-		if t.done {
+// passBaton advances the evaluation phase from whichever goroutine currently
+// holds control: the scheduler at the start of a phase, or a thread that is
+// yielding or terminating. Runnable methods execute inline (no goroutine
+// switch); the first runnable thread receives the baton directly, so a
+// thread-to-thread context switch costs a single channel handoff instead of
+// the former two (thread -> scheduler -> thread). When the queue drains (or
+// a stop is requested) the scheduler goroutine is woken to run the update,
+// delta and timed phases.
+func (s *Simulator) passBaton() {
+	if !s.stopRequested {
+		for s.runHead < len(s.runnable) {
+			p := s.runnable[s.runHead]
+			s.runHead++
+			if m := p.m; m != nil {
+				m.queued = false
+				s.running = nil
+				s.runMethod(m)
+				if s.stopRequested {
+					break
+				}
+				continue
+			}
+			t := p.t
+			t.queued = false
+			if t.done {
+				continue
+			}
+			s.running = t
+			t.resume <- struct{}{}
 			return
 		}
-		t.started = true
-		prev := s.running
-		s.running = t
-		t.resume <- struct{}{}
-		<-t.park
-		s.running = prev
-		if t.panicVal != nil && s.err == nil {
-			s.err = fmt.Errorf("sysc: process %q panicked: %v", t.name, t.panicVal)
+	}
+	s.running = nil
+	s.schedWake <- struct{}{}
+}
+
+// runMethod invokes a method process, converting a panic into a simulation
+// abort. It may run on the scheduler goroutine or inline on a thread
+// goroutine passing the baton; CurrentThread is nil either way.
+func (s *Simulator) runMethod(m *Method) {
+	defer func() {
+		if r := recover(); r != nil && s.err == nil {
+			s.err = fmt.Errorf("sysc: method %q panicked: %v", m.name, r)
 			s.stopRequested = true
 		}
-	case p.m != nil:
-		m := p.m
-		m.queued = false
-		func() {
-			defer func() {
-				if r := recover(); r != nil && s.err == nil {
-					s.err = fmt.Errorf("sysc: method %q panicked: %v", m.name, r)
-					s.stopRequested = true
-				}
-			}()
-			m.fn()
-		}()
+	}()
+	m.fn()
+}
+
+// threadExit finishes a thread's participation in the evaluation phase from
+// the thread's own goroutine: record a panic, then pass the baton on.
+func (s *Simulator) threadExit(t *Thread, panicVal any) {
+	if panicVal != nil && s.err == nil {
+		s.err = fmt.Errorf("sysc: process %q panicked: %v", t.name, panicVal)
+		s.stopRequested = true
 	}
+	s.passBaton()
 }
 
 // Start runs the simulation until no activity remains, Stop is called, a
@@ -145,14 +178,19 @@ func (s *Simulator) Start(until Time) error {
 		return fmt.Errorf("sysc: simulator already shut down")
 	}
 	for !s.stopRequested {
-		// Evaluation phase: run until no process is runnable.
-		for len(s.runnable) > 0 {
-			p := s.runnable[0]
-			s.runnable = s.runnable[1:]
-			s.runProcess(p)
-			if s.stopRequested {
-				break
-			}
+		// Evaluation phase: run until no process is runnable. The baton
+		// pass drains the queue across goroutines (threads resume each
+		// other directly); the scheduler sleeps until the phase is over.
+		// The queue drains by index so the head pop neither copies nor
+		// pins the whole backing array; once empty it resets to reuse the
+		// capacity.
+		if s.runHead < len(s.runnable) {
+			s.passBaton()
+			<-s.schedWake
+		}
+		if s.runHead == len(s.runnable) {
+			s.runnable = s.runnable[:0]
+			s.runHead = 0
 		}
 		if s.stopRequested {
 			break
@@ -161,17 +199,18 @@ func (s *Simulator) Start(until Time) error {
 		// Update phase: primitive channel updates (may schedule deltas).
 		if len(s.updates) > 0 {
 			ups := s.updates
-			s.updates = nil
+			s.updates = ups[:0]
 			for _, u := range ups {
 				u.update()
 			}
 		}
 
-		// Delta notification phase.
+		// Delta notification phase. The slice is reused: trigger only queues
+		// processes, so nothing appends to deltaQ while dq is iterated.
 		if len(s.deltaQ) > 0 {
 			s.deltaCount++
 			dq := s.deltaQ
-			s.deltaQ = nil
+			s.deltaQ = dq[:0]
 			fired := false
 			for _, e := range dq {
 				if e.pendingKind != notifyDelta {
@@ -181,11 +220,11 @@ func (s *Simulator) Start(until Time) error {
 				s.trigger(e)
 				fired = true
 			}
-			if fired || len(s.runnable) > 0 || len(s.updates) > 0 {
+			if fired || s.runHead < len(s.runnable) || len(s.updates) > 0 {
 				continue
 			}
 		}
-		if len(s.runnable) > 0 || len(s.updates) > 0 {
+		if s.runHead < len(s.runnable) || len(s.updates) > 0 {
 			continue
 		}
 
@@ -207,12 +246,16 @@ func (s *Simulator) Start(until Time) error {
 				break
 			}
 			it := s.timed.pop()
-			if it.cancelled || it.ev.pendingKind != notifyTimed || it.ev.pendingEntry != it {
+			ev := it.ev
+			live := !it.cancelled && ev != nil &&
+				ev.pendingKind == notifyTimed && ev.pendingEntry == it
+			s.timed.release(it)
+			if !live {
 				continue
 			}
-			it.ev.pendingKind = notifyNone
-			it.ev.pendingEntry = nil
-			s.trigger(it.ev)
+			ev.pendingKind = notifyNone
+			ev.pendingEntry = nil
+			s.trigger(ev)
 		}
 	}
 	return s.err
