@@ -7,7 +7,7 @@
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race check bench bench-all clean
+.PHONY: all build test vet race check chaos bench bench-all clean
 
 all: check
 
@@ -24,6 +24,12 @@ race:
 	$(GO) test -race ./...
 
 check: vet build test race
+
+# Deterministic fault-injection campaign with kernel invariant oracles.
+# Behavior-level faults must all PASS on a correct kernel; add CHAOS_FLAGS
+# (e.g. -corrupt -minimize) to exercise the oracle self-test path.
+chaos:
+	$(GO) run ./cmd/chaos -seeds 200 -workers 0 $(CHAOS_FLAGS)
 
 # Table 2 co-simulation speed (the paper's S/R headline metric) per
 # configuration, captured to BENCH_sysc.json so the perf trajectory is

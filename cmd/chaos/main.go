@@ -1,0 +1,84 @@
+// Command chaos runs deterministic fault-injection campaigns against the
+// RTK-Spec TRON kernel model with live invariant oracles.
+//
+//	chaos -seeds 1000 -workers 8          # fan a campaign across 8 workers
+//	chaos -seeds 100 -corrupt -minimize   # draw corruption faults, minimize failures
+//	chaos -seed 42 -job 17 -v             # replay one job verbosely
+//
+// Every verdict derives from (base seed, job index) alone: the summary is
+// byte-identical for any -workers value, and a failing job replays exactly
+// with -job. Behavior-level faults (interrupt jitter/bursts/drops, execution
+// -time inflation, delayed ticks, pool exhaustion, buffer flooding) must all
+// pass on a correct kernel; -corrupt adds bookkeeping-corruption faults that
+// the oracles must catch — the self-test proving the oracle layer works.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sysc"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 16, "campaign jobs to run")
+	seed := flag.Uint64("seed", 0, "campaign base seed")
+	workers := flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS; never affects results)")
+	dur := flag.Duration("dur", 150*time.Millisecond, "simulated time per job")
+	tasks := flag.Int("tasks", 6, "application tasks per job")
+	faults := flag.Int("faults", 5, "faults per schedule")
+	corrupt := flag.Bool("corrupt", false, "include corruption faults (pool leak) the oracles must catch")
+	minimize := flag.Bool("minimize", false, "ddmin failing schedules to a minimal repro")
+	job := flag.Int("job", -1, "replay a single job index instead of the campaign")
+	verbose := flag.Bool("v", false, "print fired faults and repro artifacts")
+	flag.Parse()
+
+	cfg := chaos.Config{
+		Seeds:    *seeds,
+		BaseSeed: *seed,
+		Workers:  *workers,
+		Dur:      sysc.Time(dur.Nanoseconds()) * sysc.Ns,
+		Tasks:    *tasks,
+		Faults:   *faults,
+		Corrupt:  *corrupt,
+		Minimize: *minimize,
+	}
+
+	if *job >= 0 {
+		v := chaos.RunJob(cfg, *job)
+		r := chaos.Report{Cfg: cfg, Verdicts: []chaos.Verdict{v}}
+		fmt.Print(r.Summary())
+		if *verbose || !v.Pass {
+			fmt.Println(v.Repro)
+		}
+		if !v.Pass {
+			os.Exit(1)
+		}
+		return
+	}
+
+	wall0 := time.Now()
+	report := chaos.Run(cfg)
+	wall := time.Since(wall0)
+
+	fmt.Print(report.Summary())
+	fmt.Fprintf(os.Stderr, "wall: %v (%d workers)\n", wall.Round(time.Millisecond), *workers)
+
+	failures := report.Failures()
+	if *verbose {
+		for _, i := range failures {
+			fmt.Printf("\n--- repro for job %d (replay: chaos -seed %d -job %d", i, *seed, i)
+			if *corrupt {
+				fmt.Print(" -corrupt")
+			}
+			fmt.Print(") ---\n")
+			fmt.Println(report.Verdicts[i].Repro)
+		}
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}

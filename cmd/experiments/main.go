@@ -29,6 +29,9 @@ func main() {
 	a3 := flag.Bool("a3", false, "Ablation A3: scheduler comparison")
 	speed := flag.Bool("speed", false, "RTOS-level vs cycle-stepped comparison")
 	simtime := flag.Duration("simtime", time.Second, "simulated S per Table 2 configuration")
+	seed := flag.Uint64("seed", 0,
+		"base seed randomizing each sweep point's synthetic user input "+
+			"(0 = fixed legacy pattern; results depend on the seed, never on -workers)")
 	vcdOut := flag.String("vcd", "", "also write the Figure 4 VCD to this file")
 	workers := flag.Int("workers", 1,
 		"worker pool size for sweeps (1 = sequential reference, 0 = GOMAXPROCS); "+
@@ -53,6 +56,7 @@ func main() {
 	section(*t2, func() {
 		cfg := experiments.DefaultTable2Config()
 		cfg.SimTime = simS
+		cfg.BaseSeed = *seed
 		if *workers == 1 {
 			experiments.Table2(w, cfg)
 		} else {

@@ -27,6 +27,7 @@ func main() {
 	gui := flag.Bool("gui", true, "model GUI widget overhead")
 	frame := flag.Duration("frame", 10*time.Millisecond, "LCD frame period (widget-driving BFM access)")
 	vcdOut := flag.String("vcd", "", "write a VCD waveform of BFM signals")
+	seed := flag.Uint64("seed", 0, "seed the synthetic user's key presses (0 = fixed legacy pattern)")
 	flag.Parse()
 
 	g := trace.NewGantt()
@@ -41,6 +42,7 @@ func main() {
 	cfg.FramePeriod = sysc.Time(frame.Nanoseconds()) * sysc.Ns
 	cfg.Trace = g
 	cfg.VCD = vcd
+	cfg.Seed = *seed
 	a := app.Build(cfg)
 	defer a.Shutdown()
 

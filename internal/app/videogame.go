@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gui"
 	"repro/internal/petri"
+	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 	"repro/internal/trace"
@@ -46,6 +47,9 @@ type Config struct {
 	FrameWork core.Cost
 	// IdleSlice is T4's work chunk per loop (default 1 ms at low power).
 	IdleSlice core.Cost
+	// Seed randomizes the synthetic user's key presses (deterministic per
+	// seed). Zero keeps the legacy fixed up/down pattern.
+	Seed uint64
 }
 
 // DefaultConfig returns the case-study configuration: a frame every 10 ms
@@ -164,13 +168,23 @@ func Build(cfg Config) *App {
 
 	a.K.Boot(a.userMain)
 
-	// Synthetic user pressing keys (GUI event capture).
+	// Synthetic user pressing keys (GUI event capture). A non-zero seed
+	// draws the up/down sequence from a deterministic stream instead of the
+	// legacy fixed pattern, so runs vary by seed but replay exactly.
 	if cfg.KeyPeriod > 0 {
 		a.Sim.Spawn("user.keys", func(th *sysc.Thread) {
 			keys := []byte{2, 8, 2, 2, 8, 8} // up/down pattern
+			var rng *sweep.RNG
+			if cfg.Seed != 0 {
+				rng = sweep.NewRNG(cfg.Seed)
+			}
 			for i := 0; ; i++ {
 				th.Wait(cfg.KeyPeriod)
-				a.PadW.Click(keys[i%len(keys)])
+				key := keys[i%len(keys)]
+				if rng != nil {
+					key = keys[rng.Intn(len(keys))]
+				}
+				a.PadW.Click(key)
 			}
 		})
 	}

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sweep"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	Seeds    int    // jobs to run (default 16)
+	BaseSeed uint64 // campaign seed; job i uses sweep.Seed(BaseSeed, i)
+	Workers  int    // sweep pool size (<= 0: GOMAXPROCS); never affects results
+
+	Dur      sysc.Time // simulated time per job (default 150 ms)
+	Tasks    int       // application tasks per job (default 6)
+	Faults   int       // faults per schedule (default 5)
+	Corrupt  bool      // include corruption faults (PoolLeak) in the draw
+	Minimize bool      // ddmin failing schedules to a minimal repro
+
+	OracleInterval sysc.Time // oracle throttle (default 1 ms)
+}
+
+func (c Config) normalized() Config {
+	if c.Seeds <= 0 {
+		c.Seeds = 16
+	}
+	if c.Dur <= 0 {
+		c.Dur = 150 * sysc.Ms
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 6
+	}
+	if c.Faults < 0 {
+		c.Faults = 0
+	} else if c.Faults == 0 {
+		c.Faults = 5
+	}
+	if c.OracleInterval <= 0 {
+		c.OracleInterval = 1 * sysc.Ms
+	}
+	return c
+}
+
+// Verdict is one job's outcome. Every field derives from (BaseSeed, Index)
+// alone — nothing here depends on worker count or wall-clock — so campaign
+// summaries are byte-identical however the pool is sized.
+type Verdict struct {
+	Index int
+	Seed  uint64
+	Pass  bool
+
+	Schedule    Schedule
+	FaultsFired int
+	Checks      int
+	Violations  []Violation
+
+	// Deterministic activity digest.
+	Ticks       uint64
+	CtxSwitches uint64
+	Preemptions uint64
+	Interrupts  uint64
+	Cycles      int
+
+	// Failure artifacts.
+	Minimized    Schedule // minimal failing sub-schedule (when minimization ran)
+	MinimizeRuns int
+	Repro        string // fault log + violations + fault-annotated Gantt window
+}
+
+// Report is a full campaign result.
+type Report struct {
+	Cfg      Config
+	Verdicts []Verdict
+}
+
+// Failures returns the indexes of failing jobs, in order.
+func (r Report) Failures() []int {
+	var out []int
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			out = append(out, v.Index)
+		}
+	}
+	return out
+}
+
+// Summary renders the campaign verdict table. The text is a pure function
+// of the verdicts, which are pure functions of (BaseSeed, job index): any
+// worker count yields the identical byte sequence.
+func (r Report) Summary() string {
+	var b strings.Builder
+	c := r.Cfg
+	fmt.Fprintf(&b, "chaos campaign: seeds=%d base=0x%016x dur=%v tasks=%d faults=%d corrupt=%v\n",
+		c.Seeds, c.BaseSeed, c.Dur, c.Tasks, c.Faults, c.Corrupt)
+	for _, v := range r.Verdicts {
+		status := "PASS"
+		if !v.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "job %4d seed=0x%016x %s fired=%d/%d checks=%d ticks=%d ctx=%d pre=%d irq=%d cycles=%d\n",
+			v.Index, v.Seed, status, v.FaultsFired, len(v.Schedule), v.Checks,
+			v.Ticks, v.CtxSwitches, v.Preemptions, v.Interrupts, v.Cycles)
+		for _, viol := range v.Violations {
+			fmt.Fprintf(&b, "         %s\n", viol)
+		}
+		if v.Minimized != nil {
+			fmt.Fprintf(&b, "         minimized to %d fault(s) in %d runs:\n",
+				len(v.Minimized), v.MinimizeRuns)
+			for _, f := range v.Minimized {
+				fmt.Fprintf(&b, "           %s\n", f)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "failures: %d/%d\n", len(r.Failures()), len(r.Verdicts))
+	return b.String()
+}
+
+// Run executes the campaign across the sweep pool and returns all verdicts
+// in job order.
+func Run(cfg Config) Report {
+	cfg = cfg.normalized()
+	jobs := make([]int, cfg.Seeds)
+	runner := sweep.Runner{Workers: cfg.Workers, BaseSeed: cfg.BaseSeed}
+	verdicts := sweep.Run(runner, jobs, func(job sweep.Job, _ int) Verdict {
+		return runSeed(cfg, job.Index, job.Seed)
+	})
+	return Report{Cfg: cfg, Verdicts: verdicts}
+}
+
+// RunJob replays a single campaign job from (cfg.BaseSeed, index) — the
+// whole failure-replay contract in one call.
+func RunJob(cfg Config, index int) Verdict {
+	cfg = cfg.normalized()
+	return runSeed(cfg, index, sweep.Seed(cfg.BaseSeed, index))
+}
+
+// runSeed draws the job's fault schedule, executes it, and minimizes on
+// failure.
+func runSeed(cfg Config, index int, seed uint64) Verdict {
+	// Stream 1 of the job seed drives the schedule; stream 0 (inside
+	// BuildSystem) drives the application. Separate streams keep the two
+	// draws independent of each other's draw counts.
+	rng := sweep.NewRNG(sweep.Seed(seed, 1))
+	targets := Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
+	sched := RandomSchedule(rng, targets, cfg.Faults, cfg.Dur, cfg.Corrupt)
+
+	v := execute(cfg, seed, sched)
+	v.Index = index
+	v.Seed = seed
+
+	if !v.Pass && cfg.Minimize && len(sched) > 1 {
+		min, runs := ddmin(sched, func(sub Schedule) bool {
+			return !execute(cfg, seed, sub).Pass
+		})
+		v.MinimizeRuns = runs
+		if len(min) < len(sched) {
+			v.Minimized = min
+			// Re-derive the repro from the minimal schedule so the report
+			// shows only the faults that matter.
+			v.Repro = execute(cfg, seed, min).Repro
+		}
+	}
+	return v
+}
+
+// execute runs one simulation of seed's application under sched and renders
+// failure artifacts.
+func execute(cfg Config, seed uint64, sched Schedule) Verdict {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+
+	sys := BuildSystem(sim, seed, SystemConfig{Tasks: cfg.Tasks, Costs: tkernel.DefaultCosts()})
+	inj := Install(sys.K, sched)
+	orc := Attach(sys.K, sys.Gantt, cfg.OracleInterval)
+
+	if err := sim.Start(cfg.Dur); err != nil {
+		orc.fail(sim.Now(), "simulator", "%v", err)
+	}
+	orc.Final(sim.Now())
+
+	v := Verdict{
+		Pass:        orc.Passed(),
+		Schedule:    sched,
+		FaultsFired: len(inj.Fired()),
+		Checks:      orc.Checks(),
+		Violations:  orc.Violations,
+		Ticks:       sys.K.Ticks(),
+		CtxSwitches: sys.K.API().ContextSwitches(),
+		Preemptions: sys.K.API().Preemptions(),
+		Interrupts:  sys.K.API().Interrupts(),
+		Cycles:      sys.Cycles(),
+	}
+	if !v.Pass {
+		v.Repro = renderRepro(sys, inj, orc)
+	}
+	return v
+}
+
+// renderRepro builds the failure report: the injected-fault log, every
+// violation, and a fault-annotated Gantt window around the first violation.
+func renderRepro(sys *System, inj *Injector, orc *Oracles) string {
+	var b strings.Builder
+	b.WriteString("fault schedule:\n")
+	for _, f := range inj.Fired() {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	b.WriteString("violations:\n")
+	for _, v := range orc.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	first := orc.Violations[0].At
+	from := first - 10*sysc.Ms
+	if from < 0 {
+		from = 0
+	}
+	to := first + 2*sysc.Ms
+	fmt.Fprintf(&b, "trace window around first violation (%v):\n", first)
+	sys.Gantt.Render(&b, from, to, 100)
+	for _, f := range inj.Fired() {
+		if f.At >= from && f.At < to {
+			fmt.Fprintf(&b, "  fault @ %v: %s\n", f.At, f.F)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+	"repro/internal/sysc"
+)
+
+// A correct kernel must absorb every behavior-level fault without violating
+// any invariant: campaigns without corruption faults pass on every seed.
+func TestCampaignBehaviorFaultsAllPass(t *testing.T) {
+	r := Run(Config{Seeds: 8, BaseSeed: 0xC0FFEE, Dur: 120 * sysc.Ms, Workers: 1})
+	if f := r.Failures(); len(f) != 0 {
+		for _, i := range f {
+			t.Logf("job %d:\n%s", i, r.Verdicts[i].Repro)
+		}
+		t.Fatalf("behavior-only campaign failed jobs %v", f)
+	}
+	for _, v := range r.Verdicts {
+		if v.Checks == 0 {
+			t.Fatalf("job %d: oracles never ran", v.Index)
+		}
+		if v.Cycles == 0 {
+			t.Fatalf("job %d: application made no progress", v.Index)
+		}
+	}
+}
+
+// The acceptance contract: verdict summaries are byte-identical for any
+// worker count, because every verdict is a pure function of (base seed,
+// job index).
+func TestCampaignWorkerCountDeterminism(t *testing.T) {
+	cfg := Config{Seeds: 6, BaseSeed: 42, Dur: 80 * sysc.Ms, Corrupt: true}
+	cfg.Workers = 1
+	seq := Run(cfg).Summary()
+	cfg.Workers = 4
+	par := Run(cfg).Summary()
+	if seq != par {
+		t.Fatalf("summaries differ between 1 and 4 workers:\n--- w=1\n%s\n--- w=4\n%s", seq, par)
+	}
+	cfg.Workers = 3
+	if got := Run(cfg).Summary(); got != seq {
+		t.Fatalf("summary differs with 3 workers")
+	}
+}
+
+// A corruption fault (pool leak) must be caught by the pool-accounting
+// oracle, and the verdict must replay from (base seed, index) alone.
+func TestLeakCaughtAndReplays(t *testing.T) {
+	cfg := Config{Seeds: 1, BaseSeed: 7, Dur: 60 * sysc.Ms, Workers: 1}
+	seed := sweep.Seed(cfg.BaseSeed, 0)
+
+	// Hand-build a schedule with a single leak to hit the oracle directly.
+	sched := Schedule{{Kind: PoolLeak, At: 20 * sysc.Ms, Obj: 1}}
+	v := execute(cfg.normalized(), seed, sched)
+	if v.Pass {
+		t.Fatal("pool leak not caught")
+	}
+	found := false
+	for _, viol := range v.Violations {
+		if viol.Oracle == "pool-accounting" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a pool-accounting violation, got %v", v.Violations)
+	}
+	if v.Repro == "" || !strings.Contains(v.Repro, "pool-leak") {
+		t.Fatalf("repro missing fault annotation:\n%s", v.Repro)
+	}
+
+	// Replay: identical verdict both times.
+	w := execute(cfg.normalized(), seed, sched)
+	if w.Pass != v.Pass || w.Ticks != v.Ticks || w.CtxSwitches != v.CtxSwitches ||
+		w.Cycles != v.Cycles || len(w.Violations) != len(v.Violations) {
+		t.Fatalf("replay diverged: %+v vs %+v", v, w)
+	}
+}
+
+// Minimization shrinks a failing schedule down to the corruption fault that
+// actually causes the failure.
+func TestMinimizeIsolatesLeak(t *testing.T) {
+	cfg := Config{Dur: 60 * sysc.Ms, Tasks: 4}.normalized()
+	seed := sweep.Seed(99, 0)
+	sched := Schedule{
+		{Kind: SpuriousIRQ, At: 10 * sysc.Ms, IntNo: 2},
+		{Kind: ETMInflate, At: 15 * sysc.Ms, Dur: 5 * sysc.Ms, Pct: 200},
+		{Kind: PoolLeak, At: 25 * sysc.Ms, Obj: 1},
+		{Kind: IRQBurst, At: 30 * sysc.Ms, IntNo: 1, Count: 3, Gap: 200 * sysc.Us},
+		{Kind: TickDelay, At: 35 * sysc.Ms, Dur: 4 * sysc.Ms, Gap: 300 * sysc.Us},
+	}
+	if execute(cfg, seed, sched).Pass {
+		t.Fatal("schedule with leak unexpectedly passed")
+	}
+	min, runs := ddmin(sched, func(sub Schedule) bool {
+		return !execute(cfg, seed, sub).Pass
+	})
+	if len(min) != 1 || min[0].Kind != PoolLeak {
+		t.Fatalf("minimization kept %d faults (%v) after %d runs", len(min), min, runs)
+	}
+	if execute(cfg, seed, min).Pass {
+		t.Fatal("minimized schedule no longer fails")
+	}
+}
+
+// RunJob replays exactly what the campaign computed for that index.
+func TestRunJobMatchesCampaign(t *testing.T) {
+	cfg := Config{Seeds: 3, BaseSeed: 1234, Dur: 60 * sysc.Ms, Workers: 2, Corrupt: true}
+	r := Run(cfg)
+	for i := range r.Verdicts {
+		v := RunJob(cfg, i)
+		a, b := r.Verdicts[i], v
+		if a.Pass != b.Pass || a.Ticks != b.Ticks || a.CtxSwitches != b.CtxSwitches ||
+			a.Cycles != b.Cycles || a.FaultsFired != b.FaultsFired {
+			t.Fatalf("job %d: campaign %+v != replay %+v", i, a, b)
+		}
+	}
+}
+
+// The random schedule draw itself is deterministic and respects the corrupt
+// gate.
+func TestRandomScheduleDeterministicAndGated(t *testing.T) {
+	tg := Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
+	a := RandomSchedule(sweep.NewRNG(5), tg, 12, 100*sysc.Ms, true)
+	b := RandomSchedule(sweep.NewRNG(5), tg, 12, 100*sysc.Ms, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	clean := RandomSchedule(sweep.NewRNG(5), tg, 64, 100*sysc.Ms, false)
+	for _, f := range clean {
+		if f.Kind == PoolLeak {
+			t.Fatal("PoolLeak drawn without corrupt mode")
+		}
+	}
+}

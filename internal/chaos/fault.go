@@ -1,0 +1,174 @@
+// Package chaos runs deterministic fault-injection campaigns against the
+// RTK-Spec TRON kernel model with live invariant oracles.
+//
+// A campaign fans seeded jobs across a sweep worker pool. Each job builds a
+// random-but-seeded task system (system.go), installs a random schedule of
+// kernel perturbations through the fault hooks exposed by sysc/core/tkernel
+// (injector.go), and checks kernel invariants at every quiescent point of
+// the simulation (oracle.go). Everything a job does derives from
+// (campaign base seed, job index) alone, so any verdict — including a
+// failure — replays bit-for-bit regardless of worker count, and a failing
+// fault schedule can be minimized offline (minimize.go).
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/sweep"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// FaultKind classifies one injected perturbation.
+type FaultKind int
+
+// Fault kinds. All except PoolLeak are behavior-level faults: they perturb
+// timing and resource availability in ways a correct kernel must absorb
+// without violating any invariant. PoolLeak corrupts kernel bookkeeping
+// itself and therefore MUST be flagged by the pool-accounting oracle — it is
+// the self-test proving the oracle layer catches real defects.
+const (
+	// SpuriousIRQ raises interrupt IntNo once at time At (jittered arrival
+	// of an edge the device never generated).
+	SpuriousIRQ FaultKind = iota
+	// IRQBurst raises interrupt IntNo Count times, Gap apart, starting at
+	// At (interrupt storm).
+	IRQBurst
+	// DropIRQ suppresses every raise of interrupt IntNo during [At, At+Dur)
+	// (lost edge: faulty wire or masked controller).
+	DropIRQ
+	// ETMInflate multiplies every Consume cost by Pct/100 during
+	// [At, At+Dur) (miscalibrated ETM, cache pollution, DVFS throttling).
+	ETMInflate
+	// TickDelay defers the timer-queue pass of every system tick in
+	// [At, At+Dur) by Gap (late RTC interrupt delivery).
+	TickDelay
+	// PoolExhaust polls fixed pool Obj dry at At, holds every block for
+	// Dur, then returns them all (a greedy driver hogging buffers).
+	PoolExhaust
+	// MbfFlood fills message buffer Obj with junk messages at At until the
+	// buffer rejects them (a babbling producer).
+	MbfFlood
+	// PoolLeak corrupts fixed pool Obj's accounting at At: one free block
+	// vanishes without being recorded as outstanding. Corruption-class.
+	PoolLeak
+)
+
+// String returns the kind's short name.
+func (k FaultKind) String() string {
+	switch k {
+	case SpuriousIRQ:
+		return "spurious-irq"
+	case IRQBurst:
+		return "irq-burst"
+	case DropIRQ:
+		return "drop-irq"
+	case ETMInflate:
+		return "etm-inflate"
+	case TickDelay:
+		return "tick-delay"
+	case PoolExhaust:
+		return "pool-exhaust"
+	case MbfFlood:
+		return "mbf-flood"
+	case PoolLeak:
+		return "pool-leak"
+	}
+	return "?"
+}
+
+// Fault is one scheduled perturbation. Which fields matter depends on Kind.
+type Fault struct {
+	Kind  FaultKind
+	At    sysc.Time  // injection time
+	Dur   sysc.Time  // window length (DropIRQ, ETMInflate, TickDelay, PoolExhaust)
+	Gap   sysc.Time  // spacing (IRQBurst) or deferral (TickDelay)
+	IntNo int        // target interrupt (SpuriousIRQ, IRQBurst, DropIRQ)
+	Obj   tkernel.ID // target object (PoolExhaust, MbfFlood, PoolLeak)
+	Pct   int        // cost multiplier in percent (ETMInflate)
+	Count int        // raises in a burst (IRQBurst)
+}
+
+// String renders the fault compactly for logs and repro reports.
+func (f Fault) String() string {
+	switch f.Kind {
+	case SpuriousIRQ:
+		return fmt.Sprintf("%v %s int=%d", f.At, f.Kind, f.IntNo)
+	case IRQBurst:
+		return fmt.Sprintf("%v %s int=%d n=%d gap=%v", f.At, f.Kind, f.IntNo, f.Count, f.Gap)
+	case DropIRQ:
+		return fmt.Sprintf("%v %s int=%d dur=%v", f.At, f.Kind, f.IntNo, f.Dur)
+	case ETMInflate:
+		return fmt.Sprintf("%v %s pct=%d dur=%v", f.At, f.Kind, f.Pct, f.Dur)
+	case TickDelay:
+		return fmt.Sprintf("%v %s defer=%v dur=%v", f.At, f.Kind, f.Gap, f.Dur)
+	case PoolExhaust:
+		return fmt.Sprintf("%v %s mpf=%d hold=%v", f.At, f.Kind, f.Obj, f.Dur)
+	case MbfFlood:
+		return fmt.Sprintf("%v %s mbf=%d", f.At, f.Kind, f.Obj)
+	case PoolLeak:
+		return fmt.Sprintf("%v %s mpf=%d", f.At, f.Kind, f.Obj)
+	}
+	return fmt.Sprintf("%v ?", f.At)
+}
+
+// Schedule is an injector program: the faults of one job, in creation order
+// (injection order is governed by each fault's At).
+type Schedule []Fault
+
+// Targets names the kernel objects a schedule may perturb. BuildSystem
+// creates objects in a fixed order, so IDs are the same for every seed.
+type Targets struct {
+	IntNos []int      // defined external interrupts
+	Mpf    tkernel.ID // fixed pool to exhaust/leak
+	Mbf    tkernel.ID // message buffer to flood
+}
+
+// behaviorKinds are the fault kinds a correct kernel must absorb.
+var behaviorKinds = []FaultKind{
+	SpuriousIRQ, IRQBurst, DropIRQ, ETMInflate, TickDelay, PoolExhaust, MbfFlood,
+}
+
+// RandomSchedule draws n faults over the window [0, dur) from rng. With
+// corrupt set, PoolLeak joins the draw pool, so some schedules contain
+// corruption faults the oracles must catch. All draws come from rng alone:
+// equal (rng seed, targets, n, dur, corrupt) give equal schedules.
+func RandomSchedule(rng *sweep.RNG, t Targets, n int, dur sysc.Time, corrupt bool) Schedule {
+	kinds := behaviorKinds
+	if corrupt {
+		kinds = append(append([]FaultKind(nil), behaviorKinds...), PoolLeak)
+	}
+	var out Schedule
+	for i := 0; i < n; i++ {
+		f := Fault{Kind: kinds[rng.Intn(len(kinds))]}
+		// Land inside the middle 80% of the run so windows neither straddle
+		// boot nor get truncated by the horizon.
+		f.At = dur/10 + sysc.Time(rng.Int63n(int64(dur*8/10)))
+		switch f.Kind {
+		case SpuriousIRQ:
+			f.IntNo = t.IntNos[rng.Intn(len(t.IntNos))]
+		case IRQBurst:
+			f.IntNo = t.IntNos[rng.Intn(len(t.IntNos))]
+			f.Count = 2 + rng.Intn(6)
+			f.Gap = sysc.Time(50+rng.Intn(400)) * sysc.Us
+		case DropIRQ:
+			f.IntNo = t.IntNos[rng.Intn(len(t.IntNos))]
+			f.Dur = sysc.Time(2+rng.Intn(10)) * sysc.Ms
+		case ETMInflate:
+			f.Pct = 110 + 10*rng.Intn(30) // 1.1x .. 4.0x
+			f.Dur = sysc.Time(2+rng.Intn(10)) * sysc.Ms
+		case TickDelay:
+			f.Gap = sysc.Time(100+100*rng.Intn(8)) * sysc.Us
+			f.Dur = sysc.Time(2+rng.Intn(8)) * sysc.Ms
+		case PoolExhaust:
+			f.Obj = t.Mpf
+			f.Dur = sysc.Time(1+rng.Intn(8)) * sysc.Ms
+		case MbfFlood:
+			f.Obj = t.Mbf
+		case PoolLeak:
+			f.Obj = t.Mpf
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+	"repro/internal/trace"
+)
+
+// Fired is one injection the injector actually performed, for the fault log
+// of a repro report.
+type Fired struct {
+	At   sysc.Time
+	F    Fault
+	Note string
+}
+
+// String renders one fault-log line.
+func (e Fired) String() string {
+	if e.Note == "" {
+		return fmt.Sprintf("[%v] fired %s", e.At, e.F)
+	}
+	return fmt.Sprintf("[%v] fired %s (%s)", e.At, e.F, e.Note)
+}
+
+// Injector drives one schedule of faults into a kernel instance. Window
+// faults (ETMInflate, TickDelay, DropIRQ) install as hooks consulted by the
+// kernel on its own paths; event faults (SpuriousIRQ, IRQBurst, PoolExhaust,
+// MbfFlood, PoolLeak) each get a dedicated simulation thread that sleeps
+// until its injection time — overlapping holds never delay later faults.
+type Injector struct {
+	k     *tkernel.Kernel
+	fired []Fired
+
+	etm   []Fault // ETMInflate windows
+	drops []Fault // DropIRQ windows
+	ticks []Fault // TickDelay windows
+
+	// One-shot firing latches so window faults log once, not per hit.
+	logged map[int]bool
+}
+
+// Install wires sched into k. Must be called after tkernel.New and before
+// the simulation starts (hooks are consulted from Boot onward; injection
+// threads spawn at time zero and sleep until their fault's At).
+func Install(k *tkernel.Kernel, sched Schedule) *Injector {
+	inj := &Injector{k: k, logged: map[int]bool{}}
+	for i, f := range sched {
+		switch f.Kind {
+		case ETMInflate:
+			inj.etm = append(inj.etm, f)
+		case DropIRQ:
+			inj.drops = append(inj.drops, f)
+		case TickDelay:
+			inj.ticks = append(inj.ticks, f)
+		default:
+			inj.spawnEvent(i, f)
+		}
+	}
+	if len(inj.etm) > 0 {
+		k.API().SetConsumeShaper(inj.shapeCost)
+	}
+	if len(inj.drops) > 0 {
+		k.SetInterruptFilter(inj.filterInt)
+	}
+	if len(inj.ticks) > 0 {
+		k.SetTickDelay(inj.delayTick)
+	}
+	return inj
+}
+
+// Fired returns the fault log in injection order.
+func (inj *Injector) Fired() []Fired { return inj.fired }
+
+// log records one injection.
+func (inj *Injector) log(f Fault, note string) {
+	inj.fired = append(inj.fired, Fired{At: inj.k.Sim().Now(), F: f, Note: note})
+}
+
+// logWindowOnce records a window fault's first hit only.
+func (inj *Injector) logWindowOnce(key int, f Fault, note string) {
+	if !inj.logged[key] {
+		inj.logged[key] = true
+		inj.log(f, note)
+	}
+}
+
+// in reports whether now lies in f's window.
+func in(f Fault, now sysc.Time) bool { return now >= f.At && now < f.At+f.Dur }
+
+// shapeCost is the Consume shaper: inside any ETMInflate window, execution
+// costs stretch by the window's factor (stacking multiplicatively when
+// windows overlap).
+func (inj *Injector) shapeCost(t *core.TThread, c core.Cost, ctx trace.Context) core.Cost {
+	now := inj.k.Sim().Now()
+	for i, f := range inj.etm {
+		if in(f, now) {
+			inj.logWindowOnce(0x100+i, f, "first inflated slice: "+t.Name())
+			c.Time = c.Time * sysc.Time(f.Pct) / 100
+			c.Energy = c.Energy * core.Energy(f.Pct) / 100
+		}
+	}
+	return c
+}
+
+// filterInt is the interrupt filter: raises of a dropped interrupt inside a
+// DropIRQ window are suppressed.
+func (inj *Injector) filterInt(intno int) tkernel.IntDecision {
+	now := inj.k.Sim().Now()
+	for i, f := range inj.drops {
+		if f.IntNo == intno && in(f, now) {
+			inj.logWindowOnce(0x200+i, f, fmt.Sprintf("dropping int %d", intno))
+			return tkernel.IntDrop
+		}
+	}
+	return tkernel.IntPass
+}
+
+// delayTick is the tick-delay hook: ticks inside a TickDelay window deliver
+// their timer pass late (overlapping deferrals merge per sc_event rules).
+func (inj *Injector) delayTick(tick uint64) sysc.Time {
+	now := inj.k.Sim().Now()
+	var d sysc.Time
+	for i, f := range inj.ticks {
+		if in(f, now) && f.Gap > d {
+			inj.logWindowOnce(0x300+i, f, fmt.Sprintf("deferring tick %d", tick))
+			d = f.Gap
+		}
+	}
+	return d
+}
+
+// spawnEvent dedicates a simulation thread to one event fault. The thread is
+// a plain sysc process (no T-THREAD): its service calls consume no kernel
+// cost and use polling timeouts only, so it perturbs the system exactly as
+// scheduled and never blocks in the kernel.
+func (inj *Injector) spawnEvent(i int, f Fault) {
+	k := inj.k
+	k.Sim().Spawn(fmt.Sprintf("chaos.fault%d", i), func(th *sysc.Thread) {
+		if f.At > th.Now() {
+			th.Wait(f.At - th.Now())
+		}
+		switch f.Kind {
+		case SpuriousIRQ:
+			er := k.RaiseInterrupt(f.IntNo)
+			inj.log(f, "raise: "+er.Error())
+		case IRQBurst:
+			for n := 0; n < f.Count; n++ {
+				er := k.RaiseInterrupt(f.IntNo)
+				if n == 0 {
+					inj.log(f, "first raise: "+er.Error())
+				}
+				if f.Gap > 0 {
+					th.Wait(f.Gap)
+				}
+			}
+		case PoolExhaust:
+			var held []*tkernel.MemBlock
+			for {
+				b, er := k.GetMpf(f.Obj, tkernel.TmoPol)
+				if er != tkernel.EOK {
+					break
+				}
+				held = append(held, b)
+			}
+			inj.log(f, fmt.Sprintf("holding %d blocks", len(held)))
+			if f.Dur > 0 {
+				th.Wait(f.Dur)
+			}
+			for _, b := range held {
+				k.RelMpf(f.Obj, b)
+			}
+		case MbfFlood:
+			junk := []byte("chaos-flood!")
+			n := 0
+			for n < 1024 {
+				if er := k.SndMbf(f.Obj, junk, tkernel.TmoPol); er != tkernel.EOK {
+					break
+				}
+				n++
+			}
+			inj.log(f, fmt.Sprintf("flooded %d messages", n))
+		case PoolLeak:
+			er := k.InjectPoolLeak(f.Obj)
+			inj.log(f, "leak: "+er.Error())
+		}
+	})
+}

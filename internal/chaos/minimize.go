@@ -1,0 +1,55 @@
+package chaos
+
+// ddmin is Zeller's delta-debugging minimization specialized to fault
+// schedules: it shrinks a failing schedule to a smaller one that still
+// fails, by testing subsets and complements at increasing granularity. The
+// predicate must be deterministic (ours replays the same seed under a
+// sub-schedule, which the determinism contract guarantees). Returns the
+// minimized schedule and how many predicate runs were spent. The result is
+// 1-minimal up to the run budget: removing any single remaining fault makes
+// the failure disappear.
+func ddmin(sched Schedule, fails func(Schedule) bool) (Schedule, int) {
+	const maxRuns = 64
+	runs := 0
+	test := func(s Schedule) bool {
+		runs++
+		return fails(s)
+	}
+
+	cur := sched
+	n := 2
+	for len(cur) >= 2 && runs < maxRuns {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		// Try each subset, then each complement.
+		for i := 0; i < len(cur) && runs < maxRuns; i += chunk {
+			end := i + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			subset := append(Schedule(nil), cur[i:end]...)
+			if test(subset) {
+				cur, n, reduced = subset, 2, true
+				break
+			}
+			complement := append(append(Schedule(nil), cur[:i]...), cur[end:]...)
+			if len(complement) > 0 && test(complement) {
+				cur, reduced = complement, true
+				if n > 2 {
+					n--
+				}
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur, runs
+}

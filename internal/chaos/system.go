@@ -1,0 +1,194 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+	"repro/internal/trace"
+)
+
+// SystemConfig parameterizes the synthetic application a chaos job runs.
+type SystemConfig struct {
+	Tasks int       // application tasks (default 6)
+	Costs tkernel.Costs
+}
+
+// System is one built job: a kernel hosting a seeded random application that
+// exercises every service family the oracles watch — semaphore hand-offs,
+// PI and ceiling mutexes, message buffers, both memory-pool kinds, bounded
+// sleeps woken by a cyclic handler, ready-queue rotation, and two external
+// interrupts raised by a periodic device model.
+type System struct {
+	K       *tkernel.Kernel
+	Gantt   *trace.Gantt
+	Targets Targets
+	TaskIDs []tkernel.ID
+
+	cycles int // completed task program iterations (activity digest)
+}
+
+// Cycles returns how many task program iterations completed — a cheap
+// deterministic activity digest for verdict summaries.
+func (s *System) Cycles() int { return s.cycles }
+
+// Program step opcodes (drawn per task from the system seed).
+const (
+	opWork = iota
+	opDelay
+	opSigSem
+	opWaiSem
+	opLockInherit
+	opLockCeiling
+	opSndMbf
+	opRcvMbf
+	opGetMpf
+	opGetMpl
+	opSleep
+	opRotate
+	opCount
+)
+
+type step struct {
+	op   int
+	dur  sysc.Time
+	size int
+}
+
+// BuildSystem constructs the synthetic application on sim, fully determined
+// by seed. Object creation order is fixed, so the injector's Targets are
+// identical for every seed: interrupts {1, 2}, mpf#1, mbf#1.
+func BuildSystem(sim *sysc.Simulator, seed uint64, cfg SystemConfig) *System {
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 6
+	}
+	rng := sweep.NewRNG(sweep.Seed(seed, 0))
+	g := trace.NewGantt()
+	k := tkernel.New(sim, tkernel.Config{Costs: cfg.Costs, Gantt: g})
+	sys := &System{
+		K: k, Gantt: g,
+		Targets: Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1},
+		TaskIDs: make([]tkernel.ID, cfg.Tasks),
+	}
+
+	// Pre-draw every task's priority and program before Boot so the draw
+	// order never depends on scheduling.
+	prios := make([]int, cfg.Tasks)
+	programs := make([][]step, cfg.Tasks)
+	for i := range programs {
+		prios[i] = 5 + rng.Intn(20)
+		n := 4 + rng.Intn(5)
+		for j := 0; j < n; j++ {
+			st := step{
+				op:   rng.Intn(opCount),
+				dur:  sysc.Time(1+rng.Intn(4)) * sysc.Ms,
+				size: 8 + 8*rng.Intn(6),
+			}
+			programs[i] = append(programs[i], st)
+		}
+		// Every loop iteration ends with a delay so no program can pin the
+		// CPU and every task keeps making progress across the whole run.
+		programs[i] = append(programs[i], step{op: opDelay, dur: sysc.Time(1+rng.Intn(3)) * sysc.Ms})
+	}
+
+	k.Boot(func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("chaos-sem", tkernel.TaTPRI, 2, 1<<30)
+		mtxI, _ := k.CreMtx("chaos-pi", tkernel.TaInherit, 0)
+		mtxC, _ := k.CreMtx("chaos-ceil", tkernel.TaCeiling, 4)
+		mbf, _ := k.CreMbf("chaos-mbf", tkernel.TaTPRI, 96, 16)
+		mpf, _ := k.CreMpf("chaos-mpf", tkernel.TaTPRI, 4, 32)
+		mpl, _ := k.CreMpl("chaos-mpl", tkernel.TaTPRI, 256)
+
+		// Cyclic handler: keeps the semaphore supplied and wakes sleepers
+		// round-robin (the partner of every opSleep step).
+		var wakeNext int
+		cyc, _ := k.CreCyc("chaos-cyc", 7*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 80 * sysc.Us, Energy: 4e-9}, "cyc-work")
+			_ = h.K.SigSem(sem, 1)
+			_ = h.K.WupTsk(sys.TaskIDs[wakeNext%cfg.Tasks])
+			wakeNext++
+		})
+		_ = k.StaCyc(cyc)
+
+		// Two external interrupts: int 1 is the periodic device below; int 2
+		// only ever fires from injected spurious raises/bursts.
+		_ = k.DefInt(1, "chaos-isr1", func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 60 * sysc.Us, Energy: 3e-9}, "isr1")
+			_ = h.K.SigSem(sem, 1)
+		})
+		_ = k.DefInt(2, "chaos-isr2", func(h *tkernel.HandlerCtx) {
+			h.Work(core.Cost{Time: 40 * sysc.Us, Energy: 2e-9}, "isr2")
+		})
+
+		for i := 0; i < cfg.Tasks; i++ {
+			prog := programs[i]
+			id, _ := k.CreTsk(fmt.Sprintf("chaos%d", i), prios[i], func(task *tkernel.Task) {
+				for {
+					for _, st := range prog {
+						runStep(k, st, sem, mtxI, mtxC, mbf, mpf, mpl)
+					}
+					sys.cycles++
+				}
+			})
+			sys.TaskIDs[i] = id
+			_ = k.StaTsk(id)
+		}
+	})
+
+	// Periodic device model: raises interrupt 1 every 5 ms (the target the
+	// DropIRQ fault suppresses and IRQBurst storms).
+	sim.Spawn("chaos.device", func(th *sysc.Thread) {
+		for {
+			th.Wait(5 * sysc.Ms)
+			_ = k.RaiseInterrupt(1)
+		}
+	})
+
+	return sys
+}
+
+// runStep executes one program step. Every wait is bounded, so injected
+// exhaustion or flooding shows up as E_TMOUT — never a stuck system.
+func runStep(k *tkernel.Kernel, st step, sem, mtxI, mtxC, mbf, mpf, mpl tkernel.ID) {
+	switch st.op {
+	case opWork:
+		k.Work(core.Cost{Time: st.dur, Energy: 1e-6}, "app-work")
+	case opDelay:
+		_ = k.DlyTsk(st.dur)
+	case opSigSem:
+		_ = k.SigSem(sem, 1)
+	case opWaiSem:
+		_ = k.WaiSem(sem, 1, st.dur)
+	case opLockInherit:
+		if k.LocMtx(mtxI, st.dur) == tkernel.EOK {
+			k.Work(core.Cost{Time: 400 * sysc.Us, Energy: 2e-7}, "crit-pi")
+			_ = k.UnlMtx(mtxI)
+		}
+	case opLockCeiling:
+		if k.LocMtx(mtxC, st.dur) == tkernel.EOK {
+			k.Work(core.Cost{Time: 250 * sysc.Us, Energy: 1e-7}, "crit-ceil")
+			_ = k.UnlMtx(mtxC)
+		}
+	case opSndMbf:
+		msg := make([]byte, 8)
+		_ = k.SndMbf(mbf, msg, st.dur)
+	case opRcvMbf:
+		_, _ = k.RcvMbf(mbf, st.dur)
+	case opGetMpf:
+		if b, er := k.GetMpf(mpf, st.dur); er == tkernel.EOK {
+			k.Work(core.Cost{Time: 150 * sysc.Us, Energy: 5e-8}, "use-mpf")
+			_ = k.RelMpf(mpf, b)
+		}
+	case opGetMpl:
+		if b, er := k.GetMpl(mpl, st.size, st.dur); er == tkernel.EOK {
+			k.Work(core.Cost{Time: 150 * sysc.Us, Energy: 5e-8}, "use-mpl")
+			_ = k.RelMpl(mpl, b)
+		}
+	case opSleep:
+		_ = k.SlpTsk(st.dur)
+	case opRotate:
+		_ = k.RotRdq(0)
+	}
+}

@@ -61,6 +61,11 @@ type SimAPI struct {
 	// battery widget to integrate energy online).
 	onCharge func(t *TThread, d sysc.Time, e Energy)
 
+	// consumeShaper, if set, transforms every Consume cost before it is
+	// spent (the chaos ETM-inflation hook: per-basic-block execution-time
+	// perturbation). It must be deterministic for reproducible runs.
+	consumeShaper func(t *TThread, c Cost, ctx trace.Context) Cost
+
 	// elog records kernel-dynamics events when attached.
 	elog *EventLog
 }
@@ -86,6 +91,15 @@ func (a *SimAPI) Gantt() *trace.Gantt { return a.gantt }
 // SetChargeObserver installs a callback invoked on every charged run slice.
 func (a *SimAPI) SetChargeObserver(fn func(t *TThread, d sysc.Time, e Energy)) {
 	a.onCharge = fn
+}
+
+// SetConsumeShaper installs a cost transformer applied to every Consume call
+// before the budget is spent — the fault-injection hook for execution-time
+// inflation (a miscalibrated ETM, cache pollution, DVFS throttling). The
+// shaper sees the consuming thread and the execution context and returns the
+// perturbed cost; it must be deterministic. nil removes the shaper.
+func (a *SimAPI) SetConsumeShaper(fn func(t *TThread, c Cost, ctx trace.Context) Cost) {
+	a.consumeShaper = fn
 }
 
 // --- SIM_HashTB: thread registry ---
@@ -202,6 +216,15 @@ func (a *SimAPI) UnlockDispatch() {
 
 // DispatchLocked reports whether task dispatching is currently disabled.
 func (a *SimAPI) DispatchLocked() bool { return a.dispatchLocked > 0 }
+
+// DispatchPending reports whether a delayed dispatch is latched, waiting for
+// the dispatch lock or handler nest to clear. Invariant oracles use it to
+// recognize (and skip) transient scheduling windows.
+func (a *SimAPI) DispatchPending() bool { return a.pendingDispatch }
+
+// ReadyCount returns the number of threads the external scheduler holds
+// (the READY population; the RUNNING thread is never kept in the queue).
+func (a *SimAPI) ReadyCount() int { return a.sched.Len() }
 
 // RequestDispatch asks the library to reconsider which task should run.
 // While dispatching is locked or a handler is active the request is latched

@@ -254,6 +254,9 @@ func (t *TThread) AwaitCPU() { t.waitForCPU() }
 //
 // Consume must be called from within the thread's own body.
 func (t *TThread) Consume(cost Cost, ctx trace.Context, note string) {
+	if t.api.consumeShaper != nil {
+		cost = t.api.consumeShaper(t, cost, ctx)
+	}
 	t.waitForCPU()
 	total := cost.Time
 	remaining := total

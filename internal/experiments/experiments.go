@@ -83,6 +83,11 @@ type Table2Config struct {
 	FramePeriods []sysc.Time
 	// WorkFactor overrides the GUI raster calibration (0 = GUIWorkFactor).
 	WorkFactor int
+	// BaseSeed randomizes each grid point's synthetic user input (every
+	// point gets sweep.Seed(BaseSeed, index), so results depend only on the
+	// base seed and grid position, never on worker count). Zero keeps the
+	// legacy fixed key pattern.
+	BaseSeed uint64
 }
 
 // DefaultTable2Config mirrors the paper's sweep.
@@ -98,6 +103,12 @@ func DefaultTable2Config() Table2Config {
 // Table2Run measures one configuration: simulate S of the video game and
 // time the wall clock R.
 func Table2Run(guiOn bool, framePeriod sysc.Time, simTime sysc.Time, workFactor int) Table2Row {
+	return table2RunSeeded(guiOn, framePeriod, simTime, workFactor, 0)
+}
+
+// table2RunSeeded is Table2Run with the synthetic user seeded (0 = legacy
+// fixed key pattern).
+func table2RunSeeded(guiOn bool, framePeriod sysc.Time, simTime sysc.Time, workFactor int, seed uint64) Table2Row {
 	if workFactor <= 0 {
 		workFactor = GUIWorkFactor
 	}
@@ -105,6 +116,7 @@ func Table2Run(guiOn bool, framePeriod sysc.Time, simTime sysc.Time, workFactor 
 	cfg.GUI = guiOn
 	cfg.GUIWorkFactor = workFactor
 	cfg.FramePeriod = framePeriod
+	cfg.Seed = seed
 	a := app.Build(cfg)
 	defer a.Shutdown()
 	start := time.Now()
@@ -144,9 +156,13 @@ func Table2Cases(cfg Table2Config) []Table2Case {
 // (frames, refreshes, simulated seconds) are identical for any worker
 // count; only the wall-clock measurements vary.
 func Table2Sweep(cfg Table2Config, workers int) []Table2Row {
-	return sweep.Run(sweep.Runner{Workers: workers}, Table2Cases(cfg),
-		func(_ sweep.Job, c Table2Case) Table2Row {
-			return Table2Run(c.GUI, c.FramePeriod, cfg.SimTime, cfg.WorkFactor)
+	return sweep.Run(sweep.Runner{Workers: workers, BaseSeed: cfg.BaseSeed}, Table2Cases(cfg),
+		func(job sweep.Job, c Table2Case) Table2Row {
+			seed := uint64(0)
+			if cfg.BaseSeed != 0 {
+				seed = job.Seed
+			}
+			return table2RunSeeded(c.GUI, c.FramePeriod, cfg.SimTime, cfg.WorkFactor, seed)
 		})
 }
 

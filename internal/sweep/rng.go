@@ -1,0 +1,45 @@
+package sweep
+
+// RNG is a small deterministic random stream (splitmix64) for seeded
+// simulation inputs. It exists so models can draw platform-stable random
+// numbers from a Job seed without importing math/rand: the sequence depends
+// only on the seed, never on global state, so any draw is replayable from
+// (base seed, job index) alone. Derive independent streams for separate
+// concerns with NewRNG(Seed(jobSeed, n)) so adding draws to one concern
+// cannot perturb another.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a stream seeded with s. Equal seeds yield equal sequences.
+func NewRNG(s uint64) *RNG { return &RNG{state: s} }
+
+// Uint64 returns the next 64 random bits (splitmix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sweep.RNG.Intn: n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). n must be > 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sweep.RNG.Int63n: n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

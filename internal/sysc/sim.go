@@ -22,6 +22,11 @@ type Simulator struct {
 	running *Thread // thread currently executing (nil outside evaluate)
 	nextID  int
 
+	// quiescentHook, when set, observes every quiescent point: the model has
+	// no runnable process, no pending update and no pending delta at the
+	// current time, immediately before the timed phase advances the clock.
+	quiescentHook func(Time)
+
 	// schedWake resumes the scheduler goroutine when an evaluation phase
 	// drains. Buffered so the scheduler can hand itself the token when the
 	// whole phase ran inline (methods only).
@@ -49,6 +54,15 @@ func (s *Simulator) CurrentThread() *Thread { return s.running }
 
 // DeltaCount returns the number of delta cycles executed so far.
 func (s *Simulator) DeltaCount() uint64 { return s.deltaCount }
+
+// SetQuiescentHook installs an observer invoked at every quiescent point of
+// the simulation: all activity at the current time has drained and the timed
+// phase is about to advance the clock (or the run is about to end at its
+// horizon). At that instant the model state is stable, which makes the hook
+// the natural place for live invariant checking (the chaos oracles). The
+// hook must only observe — it must not spawn processes or notify events.
+// nil removes the hook.
+func (s *Simulator) SetQuiescentHook(fn func(Time)) { s.quiescentHook = fn }
 
 // Stop requests that the simulation stop at the end of the current delta
 // cycle (sc_stop semantics).
@@ -228,7 +242,12 @@ func (s *Simulator) Start(until Time) error {
 			continue
 		}
 
-		// Timed notification phase: advance to the next event time.
+		// Timed notification phase: advance to the next event time. The
+		// model is quiescent at s.now here — nothing runnable, no updates,
+		// no deltas — so observers get a stable snapshot.
+		if s.quiescentHook != nil {
+			s.quiescentHook(s.now)
+		}
 		next, ok := s.timed.nextTime()
 		if !ok || next > until {
 			// Step mode: advance the clock to the horizon so successive

@@ -1,0 +1,195 @@
+package tkernel_test
+
+import (
+	"testing"
+
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// Error paths under resource exhaustion: timed waits on dry pools and full
+// message buffers must expire with E_TMOUT at exactly the requested time,
+// forced release must deliver E_RLWAI, and in every case the wait queues
+// (observed through the introspection snapshots) must be left clean.
+
+func TestFixedPoolTimedGetTimesOut(t *testing.T) {
+	var code tkernel.ER
+	var at sysc.Time
+	k, sim := boot(t, func(k *tkernel.Kernel) {
+		mpf, _ := k.CreMpf("p", tkernel.TaTFIFO, 1, 16)
+		held, _ := k.GetMpf(mpf, tkernel.TmoPol)
+		id, _ := k.CreTsk("waiter", 10, func(task *tkernel.Task) {
+			_, code = k.GetMpf(mpf, 7*sysc.Ms)
+			at = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(3 * sysc.Ms)
+		// Mid-wait: the waiter must be queued on the pool.
+		snaps := k.SnapshotFixedPools()
+		if len(snaps) != 1 || len(snaps[0].Waiting) != 1 || snaps[0].Waiting[0] != id {
+			t.Errorf("mid-wait snapshot: %+v", snaps)
+		}
+		_ = k.DlyTsk(10 * sysc.Ms)
+		_ = k.RelMpf(mpf, held)
+	})
+	run(t, sim, 100*sysc.Ms)
+	if code != tkernel.ETMOUT || at != 7*sysc.Ms {
+		t.Fatalf("waiter got %v at %v, want E_TMOUT at 7 ms", code, at)
+	}
+	// Timeout must have removed the waiter from the queue, and accounting
+	// must balance after the release.
+	p := k.SnapshotFixedPools()[0]
+	if len(p.Waiting) != 0 {
+		t.Fatalf("stale waiter after timeout: %+v", p)
+	}
+	if p.Free+p.Outstanding != p.Total || p.Free != p.Total {
+		t.Fatalf("pool accounting after release: %+v", p)
+	}
+}
+
+func TestVariablePoolExhaustionPaths(t *testing.T) {
+	var code tkernel.ER
+	var at sysc.Time
+	k, sim := boot(t, func(k *tkernel.Kernel) {
+		mpl, _ := k.CreMpl("v", tkernel.TaTFIFO, 128)
+		big, _ := k.GetMpl(mpl, 120, tkernel.TmoPol)
+		// Polling a carved-out arena fails immediately.
+		if _, er := k.GetMpl(mpl, 64, tkernel.TmoPol); er != tkernel.ETMOUT {
+			t.Errorf("poll on carved arena: %v", er)
+		}
+		id, _ := k.CreTsk("waiter", 10, func(task *tkernel.Task) {
+			_, code = k.GetMpl(mpl, 64, 5*sysc.Ms)
+			at = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(2 * sysc.Ms)
+		snaps := k.SnapshotVariablePools()
+		if len(snaps) != 1 || len(snaps[0].Waiting) != 1 || snaps[0].Waiting[0] != id {
+			t.Errorf("mid-wait snapshot: %+v", snaps)
+		}
+		_ = k.DlyTsk(10 * sysc.Ms)
+		_ = k.RelMpl(mpl, big)
+	})
+	run(t, sim, 100*sysc.Ms)
+	if code != tkernel.ETMOUT || at != 5*sysc.Ms {
+		t.Fatalf("waiter got %v at %v, want E_TMOUT at 5 ms", code, at)
+	}
+	p := k.SnapshotVariablePools()[0]
+	if len(p.Waiting) != 0 {
+		t.Fatalf("stale waiter after timeout: %+v", p)
+	}
+	if p.FreeBytes+p.AllocBytes != p.ArenaSize || p.AllocBytes != 0 {
+		t.Fatalf("arena accounting after release: %+v", p)
+	}
+}
+
+func TestMessageBufferSendTimeoutOnFullBuffer(t *testing.T) {
+	var code tkernel.ER
+	var at sysc.Time
+	k, sim := boot(t, func(k *tkernel.Kernel) {
+		// 12 bytes: exactly one 8-byte message (+4 header); a second send
+		// must block for space that never comes.
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 12, 8)
+		if er := k.SndMbf(mbf, []byte("occupied"), tkernel.TmoPol); er != tkernel.EOK {
+			t.Fatalf("fill: %v", er)
+		}
+		if er := k.SndMbf(mbf, []byte("poll"), tkernel.TmoPol); er != tkernel.ETMOUT {
+			t.Errorf("poll on full buffer: %v", er)
+		}
+		id, _ := k.CreTsk("sender", 10, func(task *tkernel.Task) {
+			code = k.SndMbf(mbf, []byte("late"), 6*sysc.Ms)
+			at = k.Sim().Now()
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(2 * sysc.Ms)
+		snaps := k.SnapshotMessageBuffers()
+		if len(snaps) != 1 || len(snaps[0].SendWaiting) != 1 || snaps[0].SendWaiting[0] != id {
+			t.Errorf("mid-wait snapshot: %+v", snaps)
+		}
+		_ = k.DlyTsk(10 * sysc.Ms)
+		// The timed-out message must never have been enqueued.
+		got, er := k.RcvMbf(mbf, tkernel.TmoPol)
+		if er != tkernel.EOK || string(got) != "occupied" {
+			t.Errorf("drain: %q %v", got, er)
+		}
+		if _, er := k.RcvMbf(mbf, tkernel.TmoPol); er != tkernel.ETMOUT {
+			t.Errorf("buffer should be empty: %v", er)
+		}
+	})
+	run(t, sim, 100*sysc.Ms)
+	if code != tkernel.ETMOUT || at != 6*sysc.Ms {
+		t.Fatalf("sender got %v at %v, want E_TMOUT at 6 ms", code, at)
+	}
+	b := k.SnapshotMessageBuffers()[0]
+	if len(b.SendWaiting) != 0 || len(b.RecvWaiting) != 0 {
+		t.Fatalf("stale waiters after timeout: %+v", b)
+	}
+}
+
+func TestRelWaiReleasesPoolWaiter(t *testing.T) {
+	var code tkernel.ER
+	var at sysc.Time
+	k, sim := boot(t, func(k *tkernel.Kernel) {
+		mpf, _ := k.CreMpf("p", tkernel.TaTFIFO, 1, 16)
+		held, _ := k.GetMpf(mpf, tkernel.TmoPol)
+		id, _ := k.CreTsk("waiter", 10, func(task *tkernel.Task) {
+			_, code = k.GetMpf(mpf, tkernel.TmoFevr)
+			at = k.Sim().Now()
+		})
+		// Releasing a task that is not waiting is E_OBJ; unknown is E_NOEXS.
+		if er := k.RelWai(id); er != tkernel.EOBJ {
+			t.Errorf("RelWai on dormant: %v", er)
+		}
+		if er := k.RelWai(999); er != tkernel.ENOEXS {
+			t.Errorf("RelWai on unknown: %v", er)
+		}
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(4 * sysc.Ms)
+		if er := k.RelWai(id); er != tkernel.EOK {
+			t.Errorf("RelWai: %v", er)
+		}
+		_ = k.DlyTsk(1 * sysc.Ms)
+		// The forced release must have dequeued the waiter: releasing the
+		// held block now returns it to the free list instead of handing it
+		// to a ghost waiter.
+		_ = k.RelMpf(mpf, held)
+	})
+	run(t, sim, 100*sysc.Ms)
+	if code != tkernel.ERLWAI || at != 4*sysc.Ms {
+		t.Fatalf("waiter got %v at %v, want E_RLWAI at 4 ms", code, at)
+	}
+	p := k.SnapshotFixedPools()[0]
+	if len(p.Waiting) != 0 || p.Free != p.Total || p.Outstanding != 0 {
+		t.Fatalf("pool state after forced release: %+v", p)
+	}
+}
+
+func TestRelWaiReleasesMessageBufferReceiver(t *testing.T) {
+	var code tkernel.ER
+	var got []byte
+	k, sim := boot(t, func(k *tkernel.Kernel) {
+		mbf, _ := k.CreMbf("b", tkernel.TaTFIFO, 64, 16)
+		id, _ := k.CreTsk("rcv", 10, func(task *tkernel.Task) {
+			got, code = k.RcvMbf(mbf, tkernel.TmoFevr)
+		})
+		_ = k.StaTsk(id)
+		_ = k.DlyTsk(3 * sysc.Ms)
+		if er := k.RelWai(id); er != tkernel.EOK {
+			t.Errorf("RelWai: %v", er)
+		}
+		_ = k.DlyTsk(1 * sysc.Ms)
+		// A message sent after the forced release must stay queued: the
+		// released receiver's delivery slot is gone.
+		if er := k.SndMbf(mbf, []byte("after"), tkernel.TmoPol); er != tkernel.EOK {
+			t.Errorf("send after release: %v", er)
+		}
+	})
+	run(t, sim, 100*sysc.Ms)
+	if code != tkernel.ERLWAI || got != nil {
+		t.Fatalf("receiver got %q, %v, want nil, E_RLWAI", got, code)
+	}
+	b := k.SnapshotMessageBuffers()[0]
+	if len(b.RecvWaiting) != 0 || b.Messages != 1 {
+		t.Fatalf("buffer state after forced release: %+v", b)
+	}
+}

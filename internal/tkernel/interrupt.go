@@ -9,20 +9,39 @@ import (
 // its interrupt number is raised by the hardware (BFM interrupt
 // controller).
 type ISR struct {
-	intno  int
-	name   string
-	tt     *core.TThread
-	fires  int
-	missed int // raises rejected because the ISR was still running
+	intno   int
+	name    string
+	tt      *core.TThread
+	fires   int
+	missed  int // raises rejected because the ISR was still running
+	dropped int // raises suppressed by the interrupt filter (fault injection)
 }
 
 // ISRInfo is a snapshot of an interrupt handler's statistics.
 type ISRInfo struct {
-	IntNo  int
-	Name   string
-	Fires  int
-	Missed int
+	IntNo   int
+	Name    string
+	Fires   int
+	Missed  int
+	Dropped int
 }
+
+// IntDecision is the verdict of an interrupt filter for one raise.
+type IntDecision int
+
+// Interrupt-filter verdicts.
+const (
+	// IntPass delivers the interrupt normally.
+	IntPass IntDecision = iota
+	// IntDrop suppresses the raise silently, as faulty hardware would: the
+	// ISR never fires and the raiser observes E_OK.
+	IntDrop
+)
+
+// SetInterruptFilter installs the dropped-interrupt fault hook: fn screens
+// every RaiseInterrupt before dispatch and may suppress the raise. The hook
+// must be deterministic. nil removes it.
+func (k *Kernel) SetInterruptFilter(fn func(intno int) IntDecision) { k.intFilter = fn }
 
 // DefInt defines the interrupt handler for interrupt number intno
 // (tk_def_int). Redefinition replaces the previous handler; a nil fn
@@ -55,6 +74,10 @@ func (k *Kernel) RaiseInterrupt(intno int) ER {
 	if !ok {
 		return ENOEXS
 	}
+	if k.intFilter != nil && k.intFilter(intno) == IntDrop {
+		isr.dropped++
+		return EOK
+	}
 	if err := k.api.EnterInterrupt(isr.tt); err != nil {
 		isr.missed++
 		return EQOVR
@@ -70,5 +93,5 @@ func (k *Kernel) RefInt(intno int) (ISRInfo, ER) {
 		return ISRInfo{}, ENOEXS
 	}
 	return ISRInfo{IntNo: isr.intno, Name: isr.name, Fires: isr.fires,
-		Missed: isr.missed}, EOK
+		Missed: isr.missed, Dropped: isr.dropped}, EOK
 }

@@ -114,6 +114,16 @@ type Kernel struct {
 	sysBase sysc.Time // tk_set_tim offset: system time = sysBase + sim time
 	ticks   uint64
 
+	// tickDelay, if set, is consulted on every system tick: a positive
+	// return defers that tick's timer-queue pass by the given amount (the
+	// chaos delayed-tick-delivery fault). tickDeferEv carries the deferral.
+	tickDelay   func(tick uint64) sysc.Time
+	tickDeferEv *sysc.Event
+
+	// intFilter, if set, screens every external interrupt before dispatch
+	// (the chaos dropped-interrupt fault).
+	intFilter func(intno int) IntDecision
+
 	booted bool
 	disDsp bool
 }
@@ -183,6 +193,10 @@ func (k *Kernel) Boot(userMain func(*Kernel)) {
 	}
 	k.sim.SpawnMethod("tkernel.thread_dispatch", k.timerHandler, tickEv)
 
+	// Deferred-tick carrier for the delayed-tick-delivery fault hook.
+	k.tickDeferEv = k.sim.NewEvent("tkernel.tick_defer")
+	k.sim.SpawnMethod("tkernel.deferred_tick", k.runTimerQ, k.tickDeferEv)
+
 	// Boot module: kernel startup upon H/W reset (time zero).
 	k.sim.Spawn("tkernel.boot", func(th *sysc.Thread) {
 		init := k.api.CreateThread("INIT", core.KindTask, 0, func(tt *core.TThread) {
@@ -203,6 +217,21 @@ func (k *Kernel) Boot(userMain func(*Kernel)) {
 // drives the simulation library to dispatch or preempt.
 func (k *Kernel) timerHandler() {
 	k.ticks++
+	if k.tickDelay != nil {
+		if d := k.tickDelay(k.ticks); d > 0 {
+			// Deliver this tick's timer pass late. Overlapping deferrals
+			// merge onto the earliest pending delivery (sc_event override
+			// rules), which models a hardware timer losing edges: the late
+			// pass pops everything due by then in one go.
+			k.tickDeferEv.NotifyAfter(d)
+			return
+		}
+	}
+	k.runTimerQ()
+}
+
+// runTimerQ pops and runs every timer-queue entry due at the current time.
+func (k *Kernel) runTimerQ() {
 	now := k.sim.Now()
 	for {
 		fn, ok := k.timerQ.popDue(now)
@@ -212,6 +241,12 @@ func (k *Kernel) timerHandler() {
 		fn()
 	}
 }
+
+// SetTickDelay installs the delayed-tick-delivery fault hook: fn is called
+// with each tick's ordinal and a positive return defers that tick's timer
+// pass (cyclic/alarm firings, wait timeouts) by the returned amount. The
+// hook must be deterministic. nil removes it.
+func (k *Kernel) SetTickDelay(fn func(tick uint64) sysc.Time) { k.tickDelay = fn }
 
 // after schedules fn to run at the first tick at or after d from now.
 // Returns the entry handle (sequence number) for diagnostics.
@@ -403,6 +438,24 @@ func (q *waitQueue) head() *Task {
 }
 
 func (q *waitQueue) len() int { return len(q.tasks) }
+
+// ids of waiting tasks in queue order, for invariant snapshots.
+func (q *waitQueue) ids() []ID {
+	var out []ID
+	for _, t := range q.tasks {
+		out = append(out, t.id)
+	}
+	return out
+}
+
+// prios of waiting tasks in queue order, for invariant snapshots.
+func (q *waitQueue) prios() []int {
+	var out []int
+	for _, t := range q.tasks {
+		out = append(out, t.tt.Priority())
+	}
+	return out
+}
 
 // names of waiting tasks, for DS listings.
 func (q *waitQueue) names() []string {

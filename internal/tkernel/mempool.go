@@ -13,16 +13,17 @@ type MemBlock struct {
 // FixedPool is a T-Kernel fixed-size memory pool (tk_cre_mpf family):
 // blkcnt blocks of blksz bytes; tk_get_mpf blocks while exhausted.
 type FixedPool struct {
-	id     ID
-	name   string
-	attr   Attr
-	blksz  int
-	blkcnt int
-	free   []int // free block indexes (LIFO)
-	arena  []byte
-	blocks []*MemBlock
-	wq     waitQueue
-	dst    map[*Task]**MemBlock
+	id          ID
+	name        string
+	attr        Attr
+	blksz       int
+	blkcnt      int
+	free        []int // free block indexes (LIFO)
+	outstanding int   // blocks currently handed out (accounting invariant)
+	arena       []byte
+	blocks      []*MemBlock
+	wq          waitQueue
+	dst         map[*Task]**MemBlock
 }
 
 // FixedPoolInfo is the tk_ref_mpf snapshot.
@@ -105,6 +106,7 @@ func (p *FixedPool) take() *MemBlock {
 	p.free = p.free[:len(p.free)-1]
 	b := p.blocks[i]
 	b.live = true
+	p.outstanding++
 	return b
 }
 
@@ -121,6 +123,7 @@ func (k *Kernel) RelMpf(id ID, b *MemBlock) ER {
 	}
 	b.live = false
 	if t := p.wq.head(); t != nil {
+		// Direct handoff: the block stays outstanding, ownership moves.
 		p.wq.remove(t)
 		b.live = true
 		*p.dst[t] = b
@@ -129,6 +132,7 @@ func (k *Kernel) RelMpf(id ID, b *MemBlock) ER {
 		return EOK
 	}
 	p.free = append(p.free, b.idx)
+	p.outstanding--
 	return EOK
 }
 
@@ -146,13 +150,14 @@ func (k *Kernel) RefMpf(id ID) (FixedPoolInfo, ER) {
 // backed by a first-fit free-list allocator with coalescing over a real
 // byte arena.
 type VariablePool struct {
-	id    ID
-	name  string
-	attr  Attr
-	arena []byte
-	holes []hole // sorted by offset, coalesced
-	wq    waitQueue
-	reqs  map[*Task]*mplReq
+	id         ID
+	name       string
+	attr       Attr
+	arena      []byte
+	holes      []hole // sorted by offset, coalesced
+	allocBytes int    // bytes currently carved out (accounting invariant)
+	wq         waitQueue
+	reqs       map[*Task]*mplReq
 }
 
 type hole struct{ off, size int }
@@ -221,6 +226,7 @@ func (p *VariablePool) alloc(size int) (*MemBlock, bool) {
 		} else {
 			p.holes[i] = hole{off: h.off + need, size: h.size - need}
 		}
+		p.allocBytes += need
 		return &MemBlock{
 			pool: p.id, off: off, live: true,
 			Data: p.arena[off+8 : off+need],
@@ -232,6 +238,7 @@ func (p *VariablePool) alloc(size int) (*MemBlock, bool) {
 // release returns a block's extent to the free list, coalescing neighbours.
 func (p *VariablePool) release(b *MemBlock) {
 	size := len(b.Data) + 8
+	p.allocBytes -= size
 	pos := len(p.holes)
 	for i, h := range p.holes {
 		if h.off > b.off {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
@@ -18,7 +19,7 @@ type stressOutcome struct {
 	perTaskCET  []sysc.Time
 	ctxSwitches uint64
 	preemptions uint64
-	overlap     bool
+	checks      int
 	finished    int
 }
 
@@ -26,7 +27,9 @@ type stressOutcome struct {
 // priority each perform a random program of work slices, delays, semaphore
 // hand-offs and sleeps (woken by a partner), under a cyclic handler firing
 // every 7 ms. Everything is derived from the seed, so identical seeds must
-// give identical outcomes.
+// give identical outcomes. The kernel invariants (non-overlap, accounting,
+// queue consistency, Petri tokens) are checked live by the shared chaos
+// oracle layer rather than reimplemented here.
 func runStress(t *testing.T, seed int64, nTasks int, simFor sysc.Time) stressOutcome {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
@@ -34,6 +37,7 @@ func runStress(t *testing.T, seed int64, nTasks int, simFor sysc.Time) stressOut
 	defer sim.Shutdown()
 	g := trace.NewGantt()
 	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts(), Gantt: g})
+	orc := chaos.Attach(k, g, 1*sysc.Ms)
 
 	finished := 0
 	expectedWork := make([]sysc.Time, nTasks)
@@ -90,11 +94,13 @@ func runStress(t *testing.T, seed int64, nTasks int, simFor sysc.Time) stressOut
 	if err := sim.Start(simFor); err != nil {
 		t.Fatal(err)
 	}
+	orc.Final(simFor)
 
 	out := stressOutcome{
 		busy:        k.API().BusyTime(),
 		ctxSwitches: k.API().ContextSwitches(),
 		preemptions: k.API().Preemptions(),
+		checks:      orc.Checks(),
 		finished:    finished,
 	}
 	for _, id := range ids {
@@ -102,30 +108,28 @@ func runStress(t *testing.T, seed int64, nTasks int, simFor sysc.Time) stressOut
 		out.perTaskCET = append(out.perTaskCET, info.CET)
 		out.totalCET += info.CET
 	}
-	_, _, out.overlap = g.CheckNoOverlap()
 
-	// Invariants that hold for every seed:
-	if out.overlap {
-		t.Fatalf("seed %d: GANTT overlap on a single CPU", seed)
+	// The shared invariant layer covers non-overlap, busy/CET accounting,
+	// queue consistency, mutex/PI sanity, pool conservation and Petri
+	// tokens — live, at every quiescent millisecond, not just at the end.
+	if !orc.Passed() {
+		for _, v := range orc.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		t.FailNow()
 	}
-	if out.busy > simFor {
-		t.Fatalf("seed %d: busy %v exceeds simulated %v", seed, out.busy, simFor)
+	if out.checks == 0 {
+		t.Fatalf("seed %d: oracle never ran", seed)
 	}
+	// Workload-specific invariant the generic oracles cannot know about:
+	// completed tasks consumed exactly the work their program requested.
 	for i, id := range ids {
 		info, _ := k.RefTsk(id)
 		if info.State == core.StateDormant && info.Cycles > 0 {
-			// Completed tasks consumed exactly their requested work.
 			if info.CET != expectedWork[i] {
 				t.Fatalf("seed %d: task%d CET %v != requested %v",
 					seed, i, info.CET, expectedWork[i])
 			}
-		}
-		_ = id
-	}
-	// Every thread's Petri net still holds exactly one token.
-	for _, tt := range k.API().Threads() {
-		if tt.Net().TotalTokens() != 1 {
-			t.Fatalf("seed %d: thread %s token count %d", seed, tt.Name(), tt.Net().TotalTokens())
 		}
 	}
 	return out
