@@ -7,7 +7,7 @@
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race check chaos bench bench-all clean
+.PHONY: all build test vet race check chaos chaos-traced bench bench-guard bench-all clean
 
 all: check
 
@@ -31,12 +31,25 @@ check: vet build test race
 chaos:
 	$(GO) run ./cmd/chaos -seeds 200 -workers 0 $(CHAOS_FLAGS)
 
+# 20-seed campaign replayed with the streaming Perfetto exporter attached:
+# every job must pass its oracles and every emitted trace must schema-check.
+chaos-traced:
+	$(GO) test ./internal/chaos -run 'TestTracedCampaignSchema|TestRunJobTraceVerdictMatchesRunJob' -v
+
 # Table 2 co-simulation speed (the paper's S/R headline metric) per
 # configuration, captured to BENCH_sysc.json so the perf trajectory is
 # tracked across PRs.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkTable2CoSimSpeed -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -metric simsec/s -out BENCH_sysc.json
+
+# Re-run the speed benchmark and fail if any configuration regresses more
+# than 5% below the committed BENCH_sysc.json baseline (writes the fresh
+# numbers to a scratch file, never the baseline).
+bench-guard:
+	$(GO) test -run '^$$' -bench BenchmarkTable2CoSimSpeed -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -metric simsec/s -out /tmp/BENCH_sysc.new.json \
+			-baseline BENCH_sysc.json -tolerance 5
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...

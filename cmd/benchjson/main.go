@@ -33,6 +33,8 @@ type Report struct {
 func main() {
 	metric := flag.String("metric", "simsec/s", "custom metric unit to capture")
 	out := flag.String("out", "BENCH_sysc.json", "output JSON file")
+	baseline := flag.String("baseline", "", "baseline JSON to guard against: exit 1 if any shared config regresses")
+	tolerance := flag.Float64("tolerance", 5, "allowed regression below the baseline metric, in percent")
 	flag.Parse()
 
 	rep := Report{
@@ -89,4 +91,44 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d configs to %s\n", len(rep.Configs), *out)
+
+	if *baseline != "" {
+		if err := guard(rep, *baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// guard compares the captured metric against a baseline report: any config
+// present in both whose metric falls more than tolerance percent below the
+// baseline value fails the run. Higher metric = better (simsec/s).
+func guard(rep Report, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	checked := 0
+	for name, b := range base.Configs {
+		v, ok := rep.Configs[name]
+		if !ok {
+			continue
+		}
+		checked++
+		floor := b * (1 - tolerance/100)
+		if v < floor {
+			return fmt.Errorf("regression: %s %s = %.1f, baseline %.1f (floor %.1f at -tolerance %g%%)",
+				name, rep.Metric, v, b, floor, tolerance)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s %s = %.1f vs baseline %.1f ok\n",
+			name, rep.Metric, v, b)
+	}
+	if checked == 0 {
+		return fmt.Errorf("baseline %s shares no configs with this run", path)
+	}
+	return nil
 }

@@ -4,6 +4,7 @@
 //	chaos -seeds 1000 -workers 8          # fan a campaign across 8 workers
 //	chaos -seeds 100 -corrupt -minimize   # draw corruption faults, minimize failures
 //	chaos -seed 42 -job 17 -v             # replay one job verbosely
+//	chaos -seed 42 -job 17 -trace t.json  # replay with a Perfetto trace
 //
 // Every verdict derives from (base seed, job index) alone: the summary is
 // byte-identical for any -workers value, and a failing job replays exactly
@@ -33,6 +34,7 @@ func main() {
 	corrupt := flag.Bool("corrupt", false, "include corruption faults (pool leak) the oracles must catch")
 	minimize := flag.Bool("minimize", false, "ddmin failing schedules to a minimal repro")
 	job := flag.Int("job", -1, "replay a single job index instead of the campaign")
+	traceOut := flag.String("trace", "", "with -job: stream a Perfetto trace of the replay (load at ui.perfetto.dev)")
 	verbose := flag.Bool("v", false, "print fired faults and repro artifacts")
 	flag.Parse()
 
@@ -47,8 +49,31 @@ func main() {
 		Minimize: *minimize,
 	}
 
+	if *traceOut != "" && *job < 0 {
+		fmt.Fprintln(os.Stderr, "-trace requires -job (one replay per trace file)")
+		os.Exit(2)
+	}
+
 	if *job >= 0 {
-		v := chaos.RunJob(cfg, *job)
+		var v chaos.Verdict
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			v, err = chaos.RunJobTrace(cfg, *job, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written to %s (load at ui.perfetto.dev)\n", *traceOut)
+		} else {
+			v = chaos.RunJob(cfg, *job)
+		}
 		r := chaos.Report{Cfg: cfg, Verdicts: []chaos.Verdict{v}}
 		fmt.Print(r.Summary())
 		if *verbose || !v.Pass {

@@ -33,6 +33,8 @@ func main() {
 		"base seed randomizing each sweep point's synthetic user input "+
 			"(0 = fixed legacy pattern; results depend on the seed, never on -workers)")
 	vcdOut := flag.String("vcd", "", "also write the Figure 4 VCD to this file")
+	metricsOut := flag.String("metrics", "",
+		"with -fig7: also write the per-task scheduling-metrics JSON report to this file")
 	workers := flag.Int("workers", 1,
 		"worker pool size for sweeps (1 = sequential reference, 0 = GOMAXPROCS); "+
 			"simulated columns are identical for any value, wall-clock columns "+
@@ -64,7 +66,20 @@ func main() {
 		}
 	})
 	section(*f6, func() { experiments.Figure6(w, 100*sysc.Ms) })
-	section(*f7, func() { experiments.Figure7(w, 1*sysc.Sec) })
+	section(*f7, func() {
+		if *metricsOut == "" {
+			experiments.Figure7(w, 1*sysc.Sec)
+			return
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		experiments.Figure7Metrics(w, f, 1*sysc.Sec)
+		fmt.Fprintf(w, "metrics: per-task report written to %s\n", *metricsOut)
+	})
 	section(*f8, func() { experiments.Figure8(w, 500*sysc.Ms) })
 	section(*f4, func() {
 		out := w

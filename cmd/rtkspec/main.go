@@ -5,6 +5,8 @@
 //	rtkspec -step -dur 100ms        # step mode: per-tick GANTT trace
 //	rtkspec -ds                     # dump the T-Kernel/DS listing at the end
 //	rtkspec -vcd wave.vcd           # probe BFM signals into a VCD file
+//	rtkspec -trace out.json         # stream a Perfetto/Chrome trace
+//	rtkspec -metrics report.json    # per-task latency/wait/CET-CEE report
 //	rtkspec -gui=false -frame 50ms  # sweep the Table 2 knobs by hand
 package main
 
@@ -15,6 +17,8 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/event"
+	"repro/internal/metrics"
 	"repro/internal/sysc"
 	"repro/internal/tkds"
 	"repro/internal/trace"
@@ -27,6 +31,8 @@ func main() {
 	gui := flag.Bool("gui", true, "model GUI widget overhead")
 	frame := flag.Duration("frame", 10*time.Millisecond, "LCD frame period (widget-driving BFM access)")
 	vcdOut := flag.String("vcd", "", "write a VCD waveform of BFM signals")
+	traceOut := flag.String("trace", "", "stream a Perfetto/Chrome trace-event JSON file (load at ui.perfetto.dev)")
+	metricsOut := flag.String("metrics", "", "write a per-task scheduling-metrics JSON report")
 	seed := flag.Uint64("seed", 0, "seed the synthetic user's key presses (0 = fixed legacy pattern)")
 	flag.Parse()
 
@@ -36,10 +42,26 @@ func main() {
 	if *vcdOut != "" {
 		vcd = trace.NewVCD()
 	}
+	bus := event.NewBus()
+	var pf *trace.Perfetto
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		pf = trace.AttachPerfetto(bus, f)
+	}
+	var coll *metrics.Collector
+	if *metricsOut != "" {
+		coll = metrics.Attach(bus)
+	}
 
 	cfg := app.DefaultConfig()
 	cfg.GUI = *gui
 	cfg.FramePeriod = sysc.Time(frame.Nanoseconds()) * sysc.Ns
+	cfg.Bus = bus
 	cfg.Trace = g
 	cfg.VCD = vcd
 	cfg.Seed = *seed
@@ -95,5 +117,25 @@ func main() {
 		fmt.Printf("\nwaveform: %d changes written to %s\n", vcd.Len(), *vcdOut)
 		fmt.Println("probed signals (first 100 ms):")
 		trace.NewWaveView(vcd).Render(os.Stdout, 0, 100*sysc.Ms, 100)
+	}
+	if pf != nil {
+		if err := pf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d events written to %s (load at ui.perfetto.dev)\n", pf.Events(), *traceOut)
+	}
+	if coll != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := coll.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("metrics: per-task report written to %s\n", *metricsOut)
 	}
 }

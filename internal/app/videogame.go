@@ -14,6 +14,7 @@ package app
 import (
 	"repro/internal/bfm"
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/gui"
 	"repro/internal/petri"
 	"repro/internal/sweep"
@@ -37,6 +38,10 @@ type Config struct {
 	GUI bool
 	// GUIWorkFactor overrides the widget raster work (0 = default).
 	GUIWorkFactor int
+	// Bus optionally supplies an externally created kernel event bus, so
+	// observers (trace exporters, metrics, oracles) can subscribe before the
+	// simulation starts. Nil lets the kernel create a private one.
+	Bus *event.Bus
 	// Trace attaches a GANTT recorder (step-mode debugging).
 	Trace *trace.Gantt
 	// VCD attaches a waveform recorder probing BFM signals (Figure 4).
@@ -137,6 +142,7 @@ func Build(cfg Config) *App {
 	a.B = bfm.New(a.Sim, nil, bcfg)
 	a.K = tkernel.New(a.Sim, tkernel.Config{
 		Costs:      costs,
+		Bus:        cfg.Bus,
 		Gantt:      cfg.Trace,
 		TickSource: a.B.RTC.TickEvent(),
 		Tick:       a.B.RTC.Period(),

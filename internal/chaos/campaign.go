@@ -2,11 +2,14 @@ package chaos
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
+	"repro/internal/event"
 	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a campaign.
@@ -138,6 +141,23 @@ func RunJob(cfg Config, index int) Verdict {
 	return runSeed(cfg, index, sweep.Seed(cfg.BaseSeed, index))
 }
 
+// RunJobTrace replays a single campaign job with a streaming Perfetto
+// exporter subscribed to the kernel's event bus, writing the trace-event
+// JSON to w. Minimization is skipped: the trace documents the full original
+// schedule. It returns the verdict and any trace-write error.
+func RunJobTrace(cfg Config, index int, w io.Writer) (Verdict, error) {
+	cfg = cfg.normalized()
+	seed := sweep.Seed(cfg.BaseSeed, index)
+	rng := sweep.NewRNG(sweep.Seed(seed, 1))
+	targets := Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
+	sched := RandomSchedule(rng, targets, cfg.Faults, cfg.Dur, cfg.Corrupt)
+
+	v, err := execute(cfg, seed, sched, w)
+	v.Index = index
+	v.Seed = seed
+	return v, err
+}
+
 // runSeed draws the job's fault schedule, executes it, and minimizes on
 // failure.
 func runSeed(cfg Config, index int, seed uint64) Verdict {
@@ -148,32 +168,41 @@ func runSeed(cfg Config, index int, seed uint64) Verdict {
 	targets := Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
 	sched := RandomSchedule(rng, targets, cfg.Faults, cfg.Dur, cfg.Corrupt)
 
-	v := execute(cfg, seed, sched)
+	v, _ := execute(cfg, seed, sched, nil)
 	v.Index = index
 	v.Seed = seed
 
 	if !v.Pass && cfg.Minimize && len(sched) > 1 {
 		min, runs := ddmin(sched, func(sub Schedule) bool {
-			return !execute(cfg, seed, sub).Pass
+			sv, _ := execute(cfg, seed, sub, nil)
+			return !sv.Pass
 		})
 		v.MinimizeRuns = runs
 		if len(min) < len(sched) {
 			v.Minimized = min
 			// Re-derive the repro from the minimal schedule so the report
 			// shows only the faults that matter.
-			v.Repro = execute(cfg, seed, min).Repro
+			rv, _ := execute(cfg, seed, min, nil)
+			v.Repro = rv.Repro
 		}
 	}
 	return v
 }
 
 // execute runs one simulation of seed's application under sched and renders
-// failure artifacts.
-func execute(cfg Config, seed uint64, sched Schedule) Verdict {
+// failure artifacts. A non-nil traceW attaches a streaming Perfetto exporter
+// for the run; its write/encode error is returned.
+func execute(cfg Config, seed uint64, sched Schedule, traceW io.Writer) (Verdict, error) {
 	sim := sysc.NewSimulator()
 	defer sim.Shutdown()
 
-	sys := BuildSystem(sim, seed, SystemConfig{Tasks: cfg.Tasks, Costs: tkernel.DefaultCosts()})
+	scfg := SystemConfig{Tasks: cfg.Tasks, Costs: tkernel.DefaultCosts()}
+	var pf *trace.Perfetto
+	if traceW != nil {
+		scfg.Bus = event.NewBus()
+		pf = trace.AttachPerfetto(scfg.Bus, traceW)
+	}
+	sys := BuildSystem(sim, seed, scfg)
 	inj := Install(sys.K, sched)
 	orc := Attach(sys.K, sys.Gantt, cfg.OracleInterval)
 
@@ -197,7 +226,10 @@ func execute(cfg Config, seed uint64, sched Schedule) Verdict {
 	if !v.Pass {
 		v.Repro = renderRepro(sys, inj, orc)
 	}
-	return v
+	if pf != nil {
+		return v, pf.Close()
+	}
+	return v, nil
 }
 
 // renderRepro builds the failure report: the injected-fault log, every

@@ -48,13 +48,19 @@ func TestCampaignWorkerCountDeterminism(t *testing.T) {
 
 // A corruption fault (pool leak) must be caught by the pool-accounting
 // oracle, and the verdict must replay from (base seed, index) alone.
+// execT runs execute without tracing, for tests that drive it directly.
+func execT(cfg Config, seed uint64, sched Schedule) Verdict {
+	v, _ := execute(cfg, seed, sched, nil)
+	return v
+}
+
 func TestLeakCaughtAndReplays(t *testing.T) {
 	cfg := Config{Seeds: 1, BaseSeed: 7, Dur: 60 * sysc.Ms, Workers: 1}
 	seed := sweep.Seed(cfg.BaseSeed, 0)
 
 	// Hand-build a schedule with a single leak to hit the oracle directly.
 	sched := Schedule{{Kind: PoolLeak, At: 20 * sysc.Ms, Obj: 1}}
-	v := execute(cfg.normalized(), seed, sched)
+	v := execT(cfg.normalized(), seed, sched)
 	if v.Pass {
 		t.Fatal("pool leak not caught")
 	}
@@ -72,7 +78,7 @@ func TestLeakCaughtAndReplays(t *testing.T) {
 	}
 
 	// Replay: identical verdict both times.
-	w := execute(cfg.normalized(), seed, sched)
+	w := execT(cfg.normalized(), seed, sched)
 	if w.Pass != v.Pass || w.Ticks != v.Ticks || w.CtxSwitches != v.CtxSwitches ||
 		w.Cycles != v.Cycles || len(w.Violations) != len(v.Violations) {
 		t.Fatalf("replay diverged: %+v vs %+v", v, w)
@@ -91,16 +97,16 @@ func TestMinimizeIsolatesLeak(t *testing.T) {
 		{Kind: IRQBurst, At: 30 * sysc.Ms, IntNo: 1, Count: 3, Gap: 200 * sysc.Us},
 		{Kind: TickDelay, At: 35 * sysc.Ms, Dur: 4 * sysc.Ms, Gap: 300 * sysc.Us},
 	}
-	if execute(cfg, seed, sched).Pass {
+	if execT(cfg, seed, sched).Pass {
 		t.Fatal("schedule with leak unexpectedly passed")
 	}
 	min, runs := ddmin(sched, func(sub Schedule) bool {
-		return !execute(cfg, seed, sub).Pass
+		return !execT(cfg, seed, sub).Pass
 	})
 	if len(min) != 1 || min[0].Kind != PoolLeak {
 		t.Fatalf("minimization kept %d faults (%v) after %d runs", len(min), min, runs)
 	}
-	if execute(cfg, seed, min).Pass {
+	if execT(cfg, seed, min).Pass {
 		t.Fatal("minimized schedule no longer fails")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 	"repro/internal/trace"
@@ -25,10 +26,11 @@ func (v Violation) String() string {
 // broken at every subsequent check, and the first few hits carry the signal.
 const maxViolations = 32
 
-// Oracles checks kernel invariants live during a simulation. Attach installs
-// it on the simulator's quiescent hook: checks run only when nothing is
-// runnable and no update/delta activity remains — a stable snapshot between
-// timesteps — throttled to one pass per interval of simulated time.
+// Oracles checks kernel invariants live during a simulation. Attach
+// subscribes it to the kernel's event bus for quiescent points: checks run
+// only when nothing is runnable and no update/delta activity remains — a
+// stable snapshot between timesteps — throttled to one pass per interval of
+// simulated time.
 //
 // Structural checks that can observe legal mid-transition states (a service
 // body parked inside its atomic section while holding the dispatch lock, a
@@ -58,14 +60,14 @@ type Oracles struct {
 }
 
 // Attach creates the oracle set for k (with optional Gantt g for the overlap
-// check) and installs it on the simulator's quiescent hook. interval <= 0
-// defaults to one check per millisecond of simulated time.
+// check) and subscribes it to the kernel's event bus for quiescent points.
+// interval <= 0 defaults to one check per millisecond of simulated time.
 func Attach(k *tkernel.Kernel, g *trace.Gantt, interval sysc.Time) *Oracles {
 	if interval <= 0 {
 		interval = 1 * sysc.Ms
 	}
 	o := &Oracles{k: k, g: g, interval: interval, lastCET: map[*core.TThread]sysc.Time{}}
-	k.Sim().SetQuiescentHook(o.observe)
+	k.Bus().Subscribe(o.observe, event.KindQuiescent)
 	return o
 }
 
@@ -75,8 +77,9 @@ func (o *Oracles) Checks() int { return o.checks }
 // Passed reports whether no invariant was violated.
 func (o *Oracles) Passed() bool { return len(o.Violations) == 0 }
 
-// observe is the quiescent hook: throttle, then check.
-func (o *Oracles) observe(now sysc.Time) {
+// observe handles quiescent-point events: throttle, then check.
+func (o *Oracles) observe(e event.Event) {
+	now := e.Time
 	if o.primed && now-o.last < o.interval {
 		return
 	}
@@ -188,7 +191,7 @@ func (o *Oracles) checkPools(now sysc.Time) {
 }
 
 // checkRunning: at most one task RUNNING at any stable instant.
-func (o *Oracles) checkRunning(now sysc.Time, tasks []tkernel.TaskSnapshot) {
+func (o *Oracles) checkRunning(now sysc.Time, tasks []tkernel.TaskInfo) {
 	running := 0
 	for _, t := range tasks {
 		if t.State == core.StateRunning {
@@ -202,7 +205,7 @@ func (o *Oracles) checkRunning(now sysc.Time, tasks []tkernel.TaskSnapshot) {
 
 // checkReadyQueue: the external scheduler's queue population equals the
 // number of READY threads (the RUNNING thread is never queued).
-func (o *Oracles) checkReadyQueue(now sysc.Time, tasks []tkernel.TaskSnapshot) {
+func (o *Oracles) checkReadyQueue(now sysc.Time, tasks []tkernel.TaskInfo) {
 	ready := 0
 	for _, tt := range o.k.API().Threads() {
 		if tt.State() == core.StateReady {
@@ -220,13 +223,13 @@ func (o *Oracles) checkReadyQueue(now sysc.Time, tasks []tkernel.TaskSnapshot) {
 // resource and would sleep forever). Bare waits ("sleep", "delay") have no
 // queue; object classes without snapshots (flags, mailboxes, rendezvous)
 // are skipped.
-func (o *Oracles) checkWaitQueues(now sysc.Time, tasks []tkernel.TaskSnapshot) {
+func (o *Oracles) checkWaitQueues(now sysc.Time, tasks []tkernel.TaskInfo) {
 	sets := map[string]map[tkernel.ID]bool{}
-	add := func(class string, id tkernel.ID, name string, waiting ...[]tkernel.ID) {
+	add := func(class string, id tkernel.ID, name string, waiting ...[]tkernel.WaitRef) {
 		set := map[tkernel.ID]bool{}
-		for _, ids := range waiting {
-			for _, w := range ids {
-				set[w] = true
+		for _, refs := range waiting {
+			for _, w := range refs {
+				set[w.ID] = true
 			}
 		}
 		sets[objLabel(class, id, name)] = set
@@ -267,14 +270,14 @@ func (o *Oracles) checkWaitQueues(now sysc.Time, tasks []tkernel.TaskSnapshot) {
 // the ceilings of owned TA_CEILING mutexes, and the head-waiter priority of
 // owned TA_INHERIT mutexes (mirroring the kernel's recompute rule); owners
 // are never dormant and never wait on a mutex they own.
-func (o *Oracles) checkMutexes(now sysc.Time, tasks []tkernel.TaskSnapshot) {
-	byID := map[tkernel.ID]tkernel.TaskSnapshot{}
+func (o *Oracles) checkMutexes(now sysc.Time, tasks []tkernel.TaskInfo) {
+	byID := map[tkernel.ID]tkernel.TaskInfo{}
 	for _, t := range tasks {
 		byID[t.ID] = t
 	}
 	expected := map[tkernel.ID]int{}
 	for _, t := range tasks {
-		expected[t.ID] = t.BasePriority
+		expected[t.ID] = t.BasePrio
 	}
 	for _, m := range o.k.SnapshotMutexes() {
 		if !m.HasOwner {
@@ -290,17 +293,17 @@ func (o *Oracles) checkMutexes(now sysc.Time, tasks []tkernel.TaskSnapshot) {
 				m.ID, m.Name, owner.ID, owner.Name)
 		}
 		for _, w := range m.Waiting {
-			if w == m.Owner {
+			if w.ID == m.Owner {
 				o.fail(now, "mutex", "mtx#%d(%s): owner task#%d waits on its own mutex",
-					m.ID, m.Name, w)
+					m.ID, m.Name, w.ID)
 			}
 		}
 		if m.Attr&tkernel.TaCeiling != 0 && m.Ceiling < expected[m.Owner] {
 			expected[m.Owner] = m.Ceiling
 		}
-		if m.Attr&tkernel.TaInherit != 0 && len(m.WaitingPrios) > 0 &&
-			m.WaitingPrios[0] < expected[m.Owner] {
-			expected[m.Owner] = m.WaitingPrios[0]
+		if m.Attr&tkernel.TaInherit != 0 && len(m.Waiting) > 0 &&
+			m.Waiting[0].Priority < expected[m.Owner] {
+			expected[m.Owner] = m.Waiting[0].Priority
 		}
 	}
 	for _, t := range tasks {
@@ -310,7 +313,7 @@ func (o *Oracles) checkMutexes(now sysc.Time, tasks []tkernel.TaskSnapshot) {
 		if want := expected[t.ID]; t.Priority != want {
 			o.fail(now, "priority",
 				"task#%d(%s) effective priority %d, expected %d (base %d)",
-				t.ID, t.Name, t.Priority, want, t.BasePriority)
+				t.ID, t.Name, t.Priority, want, t.BasePrio)
 		}
 	}
 }

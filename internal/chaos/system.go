@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
@@ -12,8 +13,11 @@ import (
 
 // SystemConfig parameterizes the synthetic application a chaos job runs.
 type SystemConfig struct {
-	Tasks int       // application tasks (default 6)
+	Tasks int // application tasks (default 6)
 	Costs tkernel.Costs
+	// Bus optionally supplies the kernel event bus, letting callers attach
+	// exporters before the run. Nil lets the kernel create a private one.
+	Bus *event.Bus
 }
 
 // System is one built job: a kernel hosting a seeded random application that
@@ -66,7 +70,7 @@ func BuildSystem(sim *sysc.Simulator, seed uint64, cfg SystemConfig) *System {
 	}
 	rng := sweep.NewRNG(sweep.Seed(seed, 0))
 	g := trace.NewGantt()
-	k := tkernel.New(sim, tkernel.Config{Costs: cfg.Costs, Gantt: g})
+	k := tkernel.New(sim, tkernel.Config{Costs: cfg.Costs, Bus: cfg.Bus, Gantt: g})
 	sys := &System{
 		K: k, Gantt: g,
 		Targets: Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1},

@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+// TestTracedCampaignSchema replays a 20-seed campaign with a Perfetto
+// exporter subscribed to each job's kernel bus: every job must pass its
+// oracles (behavior-level faults only) and every trace must schema-check.
+// This is the CI traced-campaign gate.
+func TestTracedCampaignSchema(t *testing.T) {
+	cfg := Config{Seeds: 20, BaseSeed: 0xDECAF, Dur: 60 * sysc.Ms}
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		v, err := RunJobTrace(cfg, i, &buf)
+		if err != nil {
+			t.Fatalf("job %d: trace error: %v", i, err)
+		}
+		if !v.Pass {
+			t.Errorf("job %d: oracle violations under tracing:\n%s", i, v.Repro)
+		}
+		n, err := trace.ValidatePerfetto(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("job %d: trace record %d: %v", i, n, err)
+		}
+		if n < 100 {
+			t.Errorf("job %d: suspiciously small trace: %d records", i, n)
+		}
+	}
+}
+
+// TestRunJobTraceVerdictMatchesRunJob pins that attaching the exporter does
+// not perturb the simulation: the traced replay and the plain replay of the
+// same job reach identical verdicts.
+func TestRunJobTraceVerdictMatchesRunJob(t *testing.T) {
+	cfg := Config{Seeds: 4, BaseSeed: 7, Dur: 80 * sysc.Ms}
+	for i := 0; i < 4; i++ {
+		var buf bytes.Buffer
+		tv, err := RunJobTrace(cfg, i, &buf)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		pv := RunJob(cfg, i)
+		if tv.Pass != pv.Pass || tv.Checks != pv.Checks || tv.Ticks != pv.Ticks ||
+			tv.CtxSwitches != pv.CtxSwitches || tv.Preemptions != pv.Preemptions ||
+			tv.Interrupts != pv.Interrupts || tv.FaultsFired != pv.FaultsFired {
+			t.Errorf("job %d: traced verdict %+v != plain verdict %+v", i, tv, pv)
+		}
+	}
+}

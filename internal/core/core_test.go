@@ -5,31 +5,34 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/petri"
 	"repro/internal/sched"
 	"repro/internal/sysc"
 	"repro/internal/trace"
 )
 
-// rig wires a sysc simulator, a priority scheduler, a GANTT recorder and the
-// SIM_API library together for tests.
+// rig wires a sysc simulator, a priority scheduler, an event bus, a GANTT
+// recorder and the SIM_API library together for tests.
 type rig struct {
 	sim *sysc.Simulator
 	api *core.SimAPI
+	bus *event.Bus
 	g   *trace.Gantt
 }
 
-func newRig() *rig {
+func newRigWith(s core.Scheduler) *rig {
 	sim := sysc.NewSimulator()
+	bus := event.NewBus()
+	event.AttachSimulator(bus, sim)
 	g := trace.NewGantt()
-	return &rig{sim: sim, api: core.NewSimAPI(sim, sched.NewPriority(), g), g: g}
+	trace.AttachGantt(bus, g)
+	return &rig{sim: sim, api: core.NewSimAPI(sim, s, bus), bus: bus, g: g}
 }
 
-func newRRRig() *rig {
-	sim := sysc.NewSimulator()
-	g := trace.NewGantt()
-	return &rig{sim: sim, api: core.NewSimAPI(sim, sched.NewRoundRobin(), g), g: g}
-}
+func newRig() *rig { return newRigWith(sched.NewPriority()) }
+
+func newRRRig() *rig { return newRigWith(sched.NewRoundRobin()) }
 
 func cost(d sysc.Time, e core.Energy) core.Cost { return core.Cost{Time: d, Energy: e} }
 
@@ -724,9 +727,9 @@ func TestChargeObserver(t *testing.T) {
 	r := newRig()
 	defer r.sim.Shutdown()
 	var total core.Energy
-	r.api.SetChargeObserver(func(_ *core.TThread, _ sysc.Time, e core.Energy) {
-		total += e
-	})
+	r.bus.Subscribe(func(e event.Event) {
+		total += core.Energy(e.Energy)
+	}, event.KindRunSlice)
 	a := r.api.CreateThread("a", core.KindTask, 10, func(tt *core.TThread) {
 		tt.Consume(cost(5*sysc.Ms, 3*petri.MilliJ), trace.CtxTask, "")
 	})

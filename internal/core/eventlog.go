@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/event"
 	"repro/internal/sysc"
 )
 
@@ -111,20 +112,46 @@ func (l *EventLog) add(e Event) {
 	l.events = append(l.events, e)
 }
 
-// SetEventLog attaches a kernel-dynamics event recorder (nil detaches).
-func (a *SimAPI) SetEventLog(l *EventLog) { a.elog = l }
+// logKinds maps the bus event kinds the log records to their EventKind.
+var logKinds = map[event.Kind]EventKind{
+	event.KindDispatch:  EvDispatch,
+	event.KindPreempt:   EvPreempt,
+	event.KindBlock:     EvBlock,
+	event.KindRelease:   EvRelease,
+	event.KindIntEnter:  EvIntEnter,
+	event.KindIntExit:   EvIntExit,
+	event.KindActivate:  EvActivate,
+	event.KindExit:      EvExit,
+	event.KindTerminate: EvTerminate,
+	event.KindSuspend:   EvSuspend,
+	event.KindResume:    EvResume,
+}
+
+// SetEventLog attaches a kernel-dynamics event recorder (nil detaches). The
+// log is an ordinary bus subscriber: it listens for the kernel-dynamics
+// subset of events and renders them into the flat record the T-Kernel/DS
+// tracing listing consumes.
+func (a *SimAPI) SetEventLog(l *EventLog) {
+	if a.elogSub != nil {
+		a.elogSub.Close()
+		a.elogSub = nil
+	}
+	a.elog = l
+	if l == nil {
+		return
+	}
+	kinds := make([]event.Kind, 0, len(logKinds))
+	for k := range logKinds {
+		kinds = append(kinds, k)
+	}
+	a.elogSub = a.bus.Subscribe(func(e event.Event) {
+		detail := e.Obj
+		if e.Kind == event.KindIntEnter {
+			detail = fmt.Sprintf("depth %d", e.Seq)
+		}
+		l.add(Event{Time: e.Time, Kind: logKinds[e.Kind], Thread: e.Thread, Detail: detail})
+	}, kinds...)
+}
 
 // EventLog returns the attached recorder (nil when none).
 func (a *SimAPI) EventLog() *EventLog { return a.elog }
-
-// logEvent records one kernel-dynamics event when a log is attached.
-func (a *SimAPI) logEvent(kind EventKind, t *TThread, detail string) {
-	if a.elog == nil {
-		return
-	}
-	name := ""
-	if t != nil {
-		name = t.name
-	}
-	a.elog.add(Event{Time: a.sim.Now(), Kind: kind, Thread: name, Detail: detail})
-}

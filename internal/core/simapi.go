@@ -6,6 +6,7 @@ import (
 	"repro/internal/petri"
 	"sort"
 
+	"repro/internal/event"
 	"repro/internal/sysc"
 	"repro/internal/trace"
 )
@@ -31,12 +32,12 @@ import (
 //	SIM_LockDisp      -> LockDispatch / UnlockDispatch
 //	SIM_RotRdq        -> RotateReady
 //	SIM_HashTB        -> Threads / Lookup / LookupByName
-//	SIM_Gantt         -> Gantt
+//	SIM_Gantt         -> Bus (KindRunSlice -> trace.AttachGantt)
 //	SIM_EnergyStat    -> EnergyReport
 type SimAPI struct {
 	sim   *sysc.Simulator
 	sched Scheduler
-	gantt *trace.Gantt
+	bus   *event.Bus
 
 	table  map[int]*TThread // SIM_HashTB
 	order  []*TThread
@@ -57,26 +58,31 @@ type SimAPI struct {
 	interrupts  uint64
 	maxIStack   int
 
-	// onCharge, if set, observes every charged run slice (used by the GUI
-	// battery widget to integrate energy online).
-	onCharge func(t *TThread, d sysc.Time, e Energy)
-
 	// consumeShaper, if set, transforms every Consume cost before it is
 	// spent (the chaos ETM-inflation hook: per-basic-block execution-time
-	// perturbation). It must be deterministic for reproducible runs.
+	// perturbation). It must be deterministic for reproducible runs. This is
+	// an intervention hook, not observation — it stays outside the bus.
 	consumeShaper func(t *TThread, c Cost, ctx trace.Context) Cost
 
-	// elog records kernel-dynamics events when attached.
-	elog *EventLog
+	// elog/elogSub: the attached kernel-dynamics recorder and its bus
+	// subscription (SetEventLog).
+	elog    *EventLog
+	elogSub *event.Subscription
 }
 
 // NewSimAPI creates the library bound to a sysc simulator, an external
-// scheduler and an optional GANTT recorder (nil disables tracing).
-func NewSimAPI(sim *sysc.Simulator, sched Scheduler, gantt *trace.Gantt) *SimAPI {
+// scheduler and an event bus. All observation — run slices, token
+// transitions, kernel dynamics — is published on the bus; pass nil to have
+// the library create a private one (events then flow to whoever subscribes
+// via Bus()).
+func NewSimAPI(sim *sysc.Simulator, sched Scheduler, bus *event.Bus) *SimAPI {
+	if bus == nil {
+		bus = event.NewBus()
+	}
 	return &SimAPI{
 		sim:    sim,
 		sched:  sched,
-		gantt:  gantt,
+		bus:    bus,
 		table:  map[int]*TThread{},
 		byProc: map[*sysc.Thread]*TThread{},
 	}
@@ -85,12 +91,21 @@ func NewSimAPI(sim *sysc.Simulator, sched Scheduler, gantt *trace.Gantt) *SimAPI
 // Sim returns the underlying sysc simulator.
 func (a *SimAPI) Sim() *sysc.Simulator { return a.sim }
 
-// Gantt returns the trace recorder (may be nil).
-func (a *SimAPI) Gantt() *trace.Gantt { return a.gantt }
+// Bus returns the kernel event bus the library publishes on. Never nil.
+func (a *SimAPI) Bus() *event.Bus { return a.bus }
 
-// SetChargeObserver installs a callback invoked on every charged run slice.
-func (a *SimAPI) SetChargeObserver(fn func(t *TThread, d sysc.Time, e Energy)) {
-	a.onCharge = fn
+// publish emits a kernel-dynamics event about thread t (nil for the kernel
+// itself). It is a no-op bitmask test when nobody subscribed to the kind;
+// callers that must format obj guard with Wants themselves.
+func (a *SimAPI) publish(k event.Kind, t *TThread, obj string) {
+	if !a.bus.Wants(k) {
+		return
+	}
+	name := ""
+	if t != nil {
+		name = t.name
+	}
+	a.bus.Publish(event.Event{Kind: k, Time: a.sim.Now(), Thread: name, Obj: obj})
 }
 
 // SetConsumeShaper installs a cost transformer applied to every Consume call
@@ -252,7 +267,9 @@ func (a *SimAPI) dispatch() {
 			return
 		}
 		a.preemptions++
-		a.logEvent(EvPreempt, cur, "by "+next.name)
+		if a.bus.Wants(event.KindPreempt) {
+			a.publish(event.KindPreempt, cur, "by "+next.name)
+		}
 		cur.pauseFire()
 		cur.state = StateReady
 		a.current = nil
@@ -270,7 +287,7 @@ func (a *SimAPI) switchTo(t *TThread) {
 	a.ctxSwitches++
 	t.state = StateRunning
 	a.current = t
-	a.logEvent(EvDispatch, t, "")
+	a.publish(event.KindDispatch, t, "")
 	t.resumeFire()
 	t.dispatchEv.Notify()
 }
@@ -286,7 +303,7 @@ func (a *SimAPI) Activate(t *TThread) error {
 	t.state = StateReady
 	t.relCode = nil
 	t.hasPendingRel = false
-	a.logEvent(EvActivate, t, "")
+	a.publish(event.KindActivate, t, "")
 	a.sched.Enqueue(t)
 	a.RequestDispatch()
 	return nil
@@ -299,7 +316,7 @@ func (a *SimAPI) threadExited(t *TThread) {
 		a.exitHandler(t)
 		return
 	}
-	a.logEvent(EvExit, t, "")
+	a.publish(event.KindExit, t, "")
 	// The body may return while the thread is READY (preempted at the very
 	// last instant, e.g. by the task it just woke); it exits regardless.
 	a.sched.Dequeue(t)
@@ -341,7 +358,7 @@ func (a *SimAPI) Terminate(t *TThread) error {
 		return fmt.Errorf("core: terminate %q: not active (%v)", t.name, t.state)
 	}
 	wasCurrent := a.current == t
-	a.logEvent(EvTerminate, t, "")
+	a.publish(event.KindTerminate, t, "")
 	if t.tokenPlace() != plDormant {
 		// The body is mid-cycle somewhere: request an unwind.
 		t.terminated = true
@@ -404,7 +421,7 @@ func (a *SimAPI) BlockCurrent(waitObj string) error {
 	t.state = StateWaiting
 	t.waitObj = waitObj
 	t.relCode = nil
-	a.logEvent(EvBlock, t, waitObj)
+	a.publish(event.KindBlock, t, waitObj)
 	t.fire(trEw, Cost{})
 	a.current = nil
 	a.RequestDispatch()
@@ -428,11 +445,13 @@ func (a *SimAPI) Release(t *TThread, code error) bool {
 		t.state = StateReady
 		t.relCode = code
 		t.waitObj = ""
-		detail := "normal"
-		if code != nil {
-			detail = code.Error()
+		if a.bus.Wants(event.KindRelease) {
+			detail := "normal"
+			if code != nil {
+				detail = code.Error()
+			}
+			a.publish(event.KindRelease, t, detail)
 		}
-		a.logEvent(EvRelease, t, detail)
 		t.fire(trWk, Cost{})
 		a.sched.Enqueue(t)
 		a.RequestDispatch()
@@ -455,7 +474,7 @@ func (a *SimAPI) Release(t *TThread, code error) bool {
 
 // SuspendForce forcibly suspends a thread; suspensions nest.
 func (a *SimAPI) SuspendForce(t *TThread) error {
-	a.logEvent(EvSuspend, t, "")
+	a.publish(event.KindSuspend, t, "")
 	switch t.state {
 	case StateRunning:
 		t.pauseFire()
@@ -484,7 +503,7 @@ func (a *SimAPI) SuspendForce(t *TThread) error {
 // ResumeForce undoes one forced suspension; the thread resumes READY (or
 // WAITING) when the count reaches zero.
 func (a *SimAPI) ResumeForce(t *TThread) error {
-	a.logEvent(EvResume, t, "")
+	a.publish(event.KindResume, t, "")
 	switch t.state {
 	case StateSuspended:
 		t.suspCount--
@@ -567,7 +586,10 @@ func (a *SimAPI) EnterInterrupt(h *TThread) error {
 		return fmt.Errorf("core: handler %q overrun: still %v", h.name, h.state)
 	}
 	a.interrupts++
-	a.logEvent(EvIntEnter, h, fmt.Sprintf("depth %d", len(a.istack)+1))
+	if a.bus.Wants(event.KindIntEnter) {
+		a.bus.Publish(event.Event{Kind: event.KindIntEnter, Time: a.sim.Now(),
+			Thread: h.name, Seq: uint64(len(a.istack) + 1)})
+	}
 	if owner := a.CPUOwner(); owner != nil {
 		owner.pauseFire()
 		owner.preemptEv.Notify()
@@ -586,7 +608,7 @@ func (a *SimAPI) EnterInterrupt(h *TThread) error {
 // the interrupted context, and perform any delayed dispatch once the stack
 // empties (the paper's delayed-dispatching rule).
 func (a *SimAPI) exitHandler(h *TThread) {
-	a.logEvent(EvIntExit, h, "")
+	a.publish(event.KindIntExit, h, "")
 	h.fire(trXt, Cost{})
 	h.state = StateDormant
 	if n := len(a.istack); n == 0 || a.istack[n-1] != h {

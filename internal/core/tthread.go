@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/event"
 	"repro/internal/petri"
 	"repro/internal/sysc"
 	"repro/internal/trace"
@@ -188,6 +189,12 @@ func (t *TThread) fire(idx int, cost Cost) {
 			t.name, err, t.state, t.tokenPlace()))
 	}
 	t.seq.Record(tr, cost)
+	if a := t.api; a.bus.Wants(event.KindToken) {
+		a.bus.Publish(event.Event{
+			Kind: event.KindToken, Time: a.sim.Now(),
+			Thread: t.name, Code: idx, Obj: tr.Name,
+		})
+	}
 }
 
 // pauseFire moves the token running->ready if it is at running (used when
@@ -297,19 +304,18 @@ func (t *TThread) Exit() {
 	panic(resetSignal{})
 }
 
-// charge books a completed run slice into the thread statistics and the
-// GANTT recorder.
+// charge books a completed run slice into the thread statistics and
+// publishes it on the event bus (where the Gantt recorder, the Perfetto
+// exporter and the metrics collector subscribe).
 func (t *TThread) charge(start, end sysc.Time, e Energy, ctx trace.Context, note string) {
 	t.acc.AddCost(Cost{Time: end - start, Energy: e})
 	a := t.api
 	a.busy += end - start
-	if a.gantt != nil {
-		a.gantt.Add(trace.Segment{
-			Thread: t.name, Start: start, End: end, Ctx: ctx, Energy: e, Note: note,
+	if a.bus.Wants(event.KindRunSlice) {
+		a.bus.Publish(event.Event{
+			Kind: event.KindRunSlice, Time: end, Start: start,
+			Thread: t.name, Ctx: uint8(ctx), Energy: petri.Energy(e), Obj: note,
 		})
-	}
-	if a.onCharge != nil {
-		a.onCharge(t, end-start, e)
 	}
 }
 

@@ -1,0 +1,142 @@
+package event_test
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/sysc"
+)
+
+func TestNilBusIsInert(t *testing.T) {
+	var b *event.Bus
+	if b.Wants(event.KindDispatch) {
+		t.Fatal("nil bus wants events")
+	}
+	b.Publish(event.Event{Kind: event.KindDispatch}) // must not panic
+}
+
+func TestWantsTracksSubscriptions(t *testing.T) {
+	b := event.NewBus()
+	if b.Wants(event.KindRunSlice) {
+		t.Fatal("empty bus wants run-slice")
+	}
+	sub := b.Subscribe(func(event.Event) {}, event.KindRunSlice)
+	if !b.Wants(event.KindRunSlice) {
+		t.Fatal("bus does not want run-slice after subscribe")
+	}
+	if b.Wants(event.KindDispatch) {
+		t.Fatal("bus wants a kind nobody subscribed to")
+	}
+	sub.Close()
+	if b.Wants(event.KindRunSlice) {
+		t.Fatal("bus still wants run-slice after close")
+	}
+	sub.Close() // second close is harmless
+}
+
+func TestPublishRoutesByKind(t *testing.T) {
+	b := event.NewBus()
+	var got []event.Event
+	b.Subscribe(func(e event.Event) { got = append(got, e) },
+		event.KindDispatch, event.KindPreempt)
+	b.Publish(event.Event{Kind: event.KindDispatch, Thread: "a"})
+	b.Publish(event.Event{Kind: event.KindBlock, Thread: "x"}) // not subscribed
+	b.Publish(event.Event{Kind: event.KindPreempt, Thread: "b"})
+	if len(got) != 2 || got[0].Thread != "a" || got[1].Thread != "b" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSubscribeAllKinds(t *testing.T) {
+	b := event.NewBus()
+	n := 0
+	sub := b.Subscribe(func(event.Event) { n++ })
+	for k := 0; k < event.NumKinds(); k++ {
+		if !b.Wants(event.Kind(k)) {
+			t.Fatalf("kind %v not wanted by catch-all subscriber", event.Kind(k))
+		}
+		b.Publish(event.Event{Kind: event.Kind(k)})
+	}
+	if n != event.NumKinds() {
+		t.Fatalf("delivered %d of %d", n, event.NumKinds())
+	}
+	sub.Close()
+	for k := 0; k < event.NumKinds(); k++ {
+		if b.Wants(event.Kind(k)) {
+			t.Fatalf("kind %v still wanted after close", event.Kind(k))
+		}
+	}
+}
+
+func TestMultipleSubscribersInOrder(t *testing.T) {
+	b := event.NewBus()
+	var order []int
+	first := b.Subscribe(func(event.Event) { order = append(order, 1) }, event.KindSvcExit)
+	b.Subscribe(func(event.Event) { order = append(order, 2) }, event.KindSvcExit)
+	b.Publish(event.Event{Kind: event.KindSvcExit})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order %v", order)
+	}
+	first.Close()
+	order = nil
+	b.Publish(event.Event{Kind: event.KindSvcExit})
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("after close, order %v", order)
+	}
+	if !b.Wants(event.KindSvcExit) {
+		t.Fatal("bus lost interest while a subscriber remains")
+	}
+}
+
+func TestKindNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for k := 0; k < event.NumKinds(); k++ {
+		name := event.Kind(k).String()
+		if name == "?" || name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestAttachSimulator drives a tiny model and checks quiescent/time-advance
+// events stream out in time order with matching boundaries.
+func TestAttachSimulator(t *testing.T) {
+	sim := sysc.NewSimulator()
+	b := event.NewBus()
+	event.AttachSimulator(b, sim)
+
+	var quiescent, advances []event.Event
+	b.Subscribe(func(e event.Event) { quiescent = append(quiescent, e) }, event.KindQuiescent)
+	b.Subscribe(func(e event.Event) { advances = append(advances, e) }, event.KindTimeAdvance)
+
+	ev := sim.NewEvent("tick")
+	n := 0
+	sim.Spawn("ticker", func(th *sysc.Thread) {
+		for n < 3 {
+			n++
+			ev.NotifyAfter(1 * sysc.Ms)
+			th.WaitEvent(ev)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Shutdown()
+
+	if len(quiescent) == 0 || len(advances) == 0 {
+		t.Fatalf("quiescent=%d advances=%d, want both > 0", len(quiescent), len(advances))
+	}
+	for _, a := range advances {
+		if a.Start >= a.Time {
+			t.Fatalf("advance from %v to %v not forward", a.Start, a.Time)
+		}
+	}
+	last := advances[len(advances)-1]
+	if last.Time != 3*sysc.Ms {
+		t.Fatalf("final advance to %v, want 3ms", last.Time)
+	}
+}

@@ -1,0 +1,29 @@
+package event
+
+import "repro/internal/sysc"
+
+// simAdapter bridges the sysc.Observer callbacks onto the bus.
+type simAdapter struct {
+	b   *Bus
+	sim *sysc.Simulator
+}
+
+func (a simAdapter) Quiescent(now sysc.Time) {
+	if a.b.Wants(KindQuiescent) {
+		a.b.Publish(Event{Kind: KindQuiescent, Time: now, Seq: a.sim.DeltaCount()})
+	}
+}
+
+func (a simAdapter) TimeAdvance(from, to sysc.Time) {
+	if a.b.Wants(KindTimeAdvance) {
+		a.b.Publish(Event{Kind: KindTimeAdvance, Start: from, Time: to})
+	}
+}
+
+// AttachSimulator installs the bus as the simulator's observer, publishing
+// KindQuiescent at every quiescent point and KindTimeAdvance whenever the
+// timed phase moves the clock. The simulator has a single observer slot;
+// fan-out happens on the bus.
+func AttachSimulator(b *Bus, sim *sysc.Simulator) {
+	sim.SetObserver(simAdapter{b: b, sim: sim})
+}

@@ -20,8 +20,10 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/gui"
 	"repro/internal/i8051"
+	"repro/internal/metrics"
 	"repro/internal/petri"
 	"repro/internal/rtk"
 	"repro/internal/sweep"
@@ -238,9 +240,20 @@ func Figure6(w io.Writer, window sysc.Time) *trace.Gantt {
 
 // Figure7 runs the video game for d and prints the consumed time/energy
 // distribution with the 10 Wh battery status.
-func Figure7(w io.Writer, d sysc.Time) {
+func Figure7(w io.Writer, d sysc.Time) { Figure7Metrics(w, nil, d) }
+
+// Figure7Metrics is Figure7 plus, when metricsW is non-nil, a machine-
+// readable per-task scheduling-metrics report (dispatch latency, wait time,
+// preemption counts, CET/CEE rollups) derived from the kernel event bus and
+// written as JSON next to the human-readable distribution.
+func Figure7Metrics(w, metricsW io.Writer, d sysc.Time) {
 	cfg := app.DefaultConfig()
 	cfg.GUI = false
+	var coll *metrics.Collector
+	if metricsW != nil {
+		cfg.Bus = event.NewBus()
+		coll = metrics.Attach(cfg.Bus)
+	}
 	a := app.Build(cfg)
 	defer a.Shutdown()
 	if err := a.Run(d); err != nil {
@@ -251,6 +264,11 @@ func Figure7(w io.Writer, d sysc.Time) {
 	if life, ok := a.Battery.Lifespan(d); ok {
 		fmt.Fprintf(w, "projected battery lifespan at this load: %.1f hours\n",
 			life.Seconds()/3600)
+	}
+	if coll != nil {
+		if err := coll.WriteJSON(metricsW); err != nil {
+			panic(err)
+		}
 	}
 }
 

@@ -1,0 +1,205 @@
+// Package metrics derives per-task scheduling and accounting statistics from
+// the kernel event bus: dispatch latency (ready -> running), wait time
+// (blocked -> released), preemption/dispatch counts, and CET/CEE rollups per
+// task and per execution context. The collector is a pure bus subscriber — it
+// never touches kernel internals — and its report is machine-readable JSON
+// with deterministic field and row order, suitable for regression diffing
+// next to the Figure 7 time/energy distribution.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+// histBuckets is the number of log2 histogram buckets. Bucket i counts
+// samples whose value in microseconds has bit length i, so bucket 0 is
+// sub-microsecond, bucket 1 is [1us,2us), bucket 20 is [0.5s,1s), and the
+// last bucket absorbs everything longer.
+const histBuckets = 24
+
+// Histogram is a log2-bucketed latency histogram over simulated time.
+type Histogram struct {
+	Count   uint64             `json:"count"`
+	SumUs   float64            `json:"sum_us"`
+	MaxUs   float64            `json:"max_us"`
+	Buckets [histBuckets]uint64 `json:"log2_us_buckets"`
+}
+
+// observe records one duration sample.
+func (h *Histogram) observe(d sysc.Time) {
+	if d < 0 {
+		return
+	}
+	us := float64(d) / 1e6
+	h.Count++
+	h.SumUs += us
+	if us > h.MaxUs {
+		h.MaxUs = us
+	}
+	i := bits.Len64(uint64(d / 1e6))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.Buckets[i]++
+}
+
+// MeanUs returns the mean sample in microseconds (0 when empty).
+func (h *Histogram) MeanUs() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumUs / float64(h.Count)
+}
+
+// TaskMetrics aggregates one task's scheduling behaviour over a run.
+type TaskMetrics struct {
+	Thread          string    `json:"thread"`
+	Dispatches      uint64    `json:"dispatches"`
+	Preemptions     uint64    `json:"preemptions"`
+	CETUs           float64   `json:"cet_us"`
+	CEEJoules       float64   `json:"cee_j"`
+	DispatchLatency Histogram `json:"dispatch_latency"`
+	WaitTime        Histogram `json:"wait_time"`
+}
+
+// ContextMetrics rolls consumed time and energy up by execution context
+// (task, service, handler, bfm, idle...), mirroring the Figure 7 breakdown.
+type ContextMetrics struct {
+	Context string  `json:"context"`
+	TimeUs  float64 `json:"time_us"`
+	Joules  float64 `json:"joules"`
+	Slices  uint64  `json:"slices"`
+}
+
+// Report is the full machine-readable metrics dump for one run.
+type Report struct {
+	SimTimeUs float64          `json:"sim_time_us"`
+	Tasks     []TaskMetrics    `json:"tasks"`
+	Contexts  []ContextMetrics `json:"contexts"`
+}
+
+// Collector subscribes to the bus and accumulates metrics as events stream
+// by. It keeps O(tasks) state; event volume does not grow its footprint.
+type Collector struct {
+	sub *event.Subscription
+
+	tasks map[string]*taskState
+	ctxs  map[uint8]*ContextMetrics
+
+	end sysc.Time
+}
+
+type taskState struct {
+	m TaskMetrics
+
+	readyAt   sysc.Time
+	ready     bool
+	blockedAt sysc.Time
+	blocked   bool
+}
+
+// collectorKinds is the event subset the collector consumes.
+var collectorKinds = []event.Kind{
+	event.KindRunSlice,
+	event.KindDispatch, event.KindPreempt,
+	event.KindBlock, event.KindRelease,
+	event.KindActivate,
+}
+
+// Attach subscribes a new collector to the bus.
+func Attach(b *event.Bus) *Collector {
+	c := &Collector{
+		tasks: map[string]*taskState{},
+		ctxs:  map[uint8]*ContextMetrics{},
+	}
+	c.sub = b.Subscribe(c.handle, collectorKinds...)
+	return c
+}
+
+// Close detaches the collector from the bus.
+func (c *Collector) Close() { c.sub.Close() }
+
+// task returns (creating on first sight) the state for a thread name.
+func (c *Collector) task(name string) *taskState {
+	t, ok := c.tasks[name]
+	if !ok {
+		t = &taskState{m: TaskMetrics{Thread: name}}
+		c.tasks[name] = t
+	}
+	return t
+}
+
+func (c *Collector) handle(e event.Event) {
+	if e.Time > c.end {
+		c.end = e.Time
+	}
+	switch e.Kind {
+	case event.KindRunSlice:
+		t := c.task(e.Thread)
+		dur := e.Time - e.Start
+		t.m.CETUs += float64(dur) / 1e6
+		t.m.CEEJoules += e.Energy.Joules()
+		ctx, ok := c.ctxs[e.Ctx]
+		if !ok {
+			ctx = &ContextMetrics{Context: trace.Context(e.Ctx).String()}
+			c.ctxs[e.Ctx] = ctx
+		}
+		ctx.TimeUs += float64(dur) / 1e6
+		ctx.Joules += e.Energy.Joules()
+		ctx.Slices++
+	case event.KindActivate:
+		t := c.task(e.Thread)
+		t.readyAt, t.ready = e.Time, true
+	case event.KindRelease:
+		t := c.task(e.Thread)
+		if t.blocked {
+			t.m.WaitTime.observe(e.Time - t.blockedAt)
+			t.blocked = false
+		}
+		t.readyAt, t.ready = e.Time, true
+	case event.KindPreempt:
+		// The preempted thread goes back to READY and will be re-dispatched.
+		t := c.task(e.Thread)
+		t.m.Preemptions++
+		t.readyAt, t.ready = e.Time, true
+	case event.KindDispatch:
+		t := c.task(e.Thread)
+		t.m.Dispatches++
+		if t.ready {
+			t.m.DispatchLatency.observe(e.Time - t.readyAt)
+			t.ready = false
+		}
+	case event.KindBlock:
+		t := c.task(e.Thread)
+		t.blockedAt, t.blocked = e.Time, true
+	}
+}
+
+// Report snapshots the accumulated metrics, task rows and context rows
+// sorted by name for deterministic output.
+func (c *Collector) Report() Report {
+	r := Report{SimTimeUs: float64(c.end) / 1e6}
+	for _, t := range c.tasks {
+		r.Tasks = append(r.Tasks, t.m)
+	}
+	sort.Slice(r.Tasks, func(i, j int) bool { return r.Tasks[i].Thread < r.Tasks[j].Thread })
+	for _, x := range c.ctxs {
+		r.Contexts = append(r.Contexts, *x)
+	}
+	sort.Slice(r.Contexts, func(i, j int) bool { return r.Contexts[i].Context < r.Contexts[j].Context })
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Report())
+}

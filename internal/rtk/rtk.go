@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/sched"
 	"repro/internal/sysc"
 	"repro/internal/trace"
@@ -52,6 +53,9 @@ type Config struct {
 	// TickSource optionally drives the kernel from an external clock
 	// (e.g. the BFM RTC).
 	TickSource *sysc.Event
+	// Bus optionally supplies an externally created event bus; when nil the
+	// kernel creates a private one (reachable via Bus()).
+	Bus *event.Bus
 	// Gantt optionally records the execution trace.
 	Gantt *trace.Gantt
 	// ServiceCost is charged per kernel call (default zero).
@@ -92,7 +96,15 @@ func New(sim *sysc.Simulator, cfg Config) *RTK {
 		s = sched.NewPriority()
 	}
 	k := &RTK{sim: sim, cfg: cfg}
-	k.api = core.NewSimAPI(sim, s, cfg.Gantt)
+	bus := cfg.Bus
+	if bus == nil {
+		bus = event.NewBus()
+	}
+	event.AttachSimulator(bus, sim)
+	if cfg.Gantt != nil {
+		trace.AttachGantt(bus, cfg.Gantt)
+	}
+	k.api = core.NewSimAPI(sim, s, bus)
 
 	tickEv := cfg.TickSource
 	if tickEv == nil {

@@ -22,10 +22,11 @@ type Simulator struct {
 	running *Thread // thread currently executing (nil outside evaluate)
 	nextID  int
 
-	// quiescentHook, when set, observes every quiescent point: the model has
-	// no runnable process, no pending update and no pending delta at the
-	// current time, immediately before the timed phase advances the clock.
-	quiescentHook func(Time)
+	// observer, when set, watches scheduler milestones: quiescent points
+	// (no runnable process, no pending update, no pending delta at the
+	// current time, immediately before the timed phase advances the clock)
+	// and timed-phase clock advances.
+	observer Observer
 
 	// schedWake resumes the scheduler goroutine when an evaluation phase
 	// drains. Buffered so the scheduler can hand itself the token when the
@@ -55,14 +56,21 @@ func (s *Simulator) CurrentThread() *Thread { return s.running }
 // DeltaCount returns the number of delta cycles executed so far.
 func (s *Simulator) DeltaCount() uint64 { return s.deltaCount }
 
-// SetQuiescentHook installs an observer invoked at every quiescent point of
-// the simulation: all activity at the current time has drained and the timed
-// phase is about to advance the clock (or the run is about to end at its
-// horizon). At that instant the model state is stable, which makes the hook
-// the natural place for live invariant checking (the chaos oracles). The
-// hook must only observe — it must not spawn processes or notify events.
-// nil removes the hook.
-func (s *Simulator) SetQuiescentHook(fn func(Time)) { s.quiescentHook = fn }
+// Observer watches the simulator's phase milestones. Quiescent fires at
+// every quiescent point: all activity at the current time has drained and
+// the timed phase is about to advance the clock (or the run is about to end
+// at its horizon). At that instant the model state is stable, which makes it
+// the natural place for live invariant checking. TimeAdvance fires after the
+// timed phase moves the clock from `from` to `to`. Observers must only
+// observe — they must not spawn processes or notify events.
+type Observer interface {
+	Quiescent(now Time)
+	TimeAdvance(from, to Time)
+}
+
+// SetObserver installs the simulator's single observer slot (nil removes
+// it). Multi-consumer fan-out belongs to the event bus layered on top.
+func (s *Simulator) SetObserver(o Observer) { s.observer = o }
 
 // Stop requests that the simulation stop at the end of the current delta
 // cycle (sc_stop semantics).
@@ -245,8 +253,8 @@ func (s *Simulator) Start(until Time) error {
 		// Timed notification phase: advance to the next event time. The
 		// model is quiescent at s.now here — nothing runnable, no updates,
 		// no deltas — so observers get a stable snapshot.
-		if s.quiescentHook != nil {
-			s.quiescentHook(s.now)
+		if s.observer != nil {
+			s.observer.Quiescent(s.now)
 		}
 		next, ok := s.timed.nextTime()
 		if !ok || next > until {
@@ -254,11 +262,19 @@ func (s *Simulator) Start(until Time) error {
 			// Start calls tick deterministically — except for an unbounded
 			// Run, which stops at the last event.
 			if until > s.now && until != MaxTime {
+				prev := s.now
 				s.now = until
+				if s.observer != nil {
+					s.observer.TimeAdvance(prev, s.now)
+				}
 			}
 			break
 		}
+		prev := s.now
 		s.now = next
+		if s.observer != nil {
+			s.observer.TimeAdvance(prev, s.now)
+		}
 		for {
 			t, ok := s.timed.nextTime()
 			if !ok || t != s.now {

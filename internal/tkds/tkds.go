@@ -76,7 +76,7 @@ func (d *DS) ListMutexes(w io.Writer) {
 		if er != tkernel.EOK {
 			continue
 		}
-		fmt.Fprintf(w, "%-4d %-12s %-12s %s\n", id, info.Name, dash(info.Owner), list(info.Waiting))
+		fmt.Fprintf(w, "%-4d %-12s %-12s %s\n", id, info.Name, dash(info.OwnerName), list(info.Waiting))
 	}
 }
 
@@ -118,7 +118,7 @@ func (d *DS) ListMemoryPools(w io.Writer) {
 			continue
 		}
 		fmt.Fprintf(w, "%-4d %-12s %6d %6d %s\n",
-			id, info.Name, info.FreeBlocks, info.BlockSize, list(info.Waiting))
+			id, info.Name, info.Free, info.BlockSize, list(info.Waiting))
 	}
 	fmt.Fprintf(w, "== MEMPOOL(V) ==\n")
 	fmt.Fprintf(w, "%-4s %-12s %8s %8s %s\n", "ID", "NAME", "FREE", "MAXBLK", "WAITING")
@@ -128,7 +128,7 @@ func (d *DS) ListMemoryPools(w io.Writer) {
 			continue
 		}
 		fmt.Fprintf(w, "%-4d %-12s %8d %8d %s\n",
-			id, info.Name, info.FreeTotal, info.FreeMax, list(info.Waiting))
+			id, info.Name, info.FreeBytes, info.FreeMax, list(info.Waiting))
 	}
 }
 
@@ -247,9 +247,13 @@ func dash(s string) string {
 	return s
 }
 
-func list(names []string) string {
-	if len(names) == 0 {
+func list(refs []tkernel.WaitRef) string {
+	if len(refs) == 0 {
 		return "-"
+	}
+	names := make([]string, len(refs))
+	for i, r := range refs {
+		names[i] = r.Name
 	}
 	return strings.Join(names, ",")
 }

@@ -26,7 +26,7 @@ func TestFixedPoolTimedGetTimesOut(t *testing.T) {
 		_ = k.DlyTsk(3 * sysc.Ms)
 		// Mid-wait: the waiter must be queued on the pool.
 		snaps := k.SnapshotFixedPools()
-		if len(snaps) != 1 || len(snaps[0].Waiting) != 1 || snaps[0].Waiting[0] != id {
+		if len(snaps) != 1 || len(snaps[0].Waiting) != 1 || snaps[0].Waiting[0].ID != id {
 			t.Errorf("mid-wait snapshot: %+v", snaps)
 		}
 		_ = k.DlyTsk(10 * sysc.Ms)
@@ -64,7 +64,7 @@ func TestVariablePoolExhaustionPaths(t *testing.T) {
 		_ = k.StaTsk(id)
 		_ = k.DlyTsk(2 * sysc.Ms)
 		snaps := k.SnapshotVariablePools()
-		if len(snaps) != 1 || len(snaps[0].Waiting) != 1 || snaps[0].Waiting[0] != id {
+		if len(snaps) != 1 || len(snaps[0].Waiting) != 1 || snaps[0].Waiting[0].ID != id {
 			t.Errorf("mid-wait snapshot: %+v", snaps)
 		}
 		_ = k.DlyTsk(10 * sysc.Ms)
@@ -103,7 +103,7 @@ func TestMessageBufferSendTimeoutOnFullBuffer(t *testing.T) {
 		_ = k.StaTsk(id)
 		_ = k.DlyTsk(2 * sysc.Ms)
 		snaps := k.SnapshotMessageBuffers()
-		if len(snaps) != 1 || len(snaps[0].SendWaiting) != 1 || snaps[0].SendWaiting[0] != id {
+		if len(snaps) != 1 || len(snaps[0].SendWaiting) != 1 || snaps[0].SendWaiting[0].ID != id {
 			t.Errorf("mid-wait snapshot: %+v", snaps)
 		}
 		_ = k.DlyTsk(10 * sysc.Ms)

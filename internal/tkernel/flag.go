@@ -30,15 +30,17 @@ type flgWait struct {
 
 // FlagInfo is the tk_ref_flg snapshot.
 type FlagInfo struct {
+	ID      ID
 	Name    string
 	Pattern uint32
-	Waiting []string
+	Waiting []WaitRef
 }
 
 // CreFlg creates an event flag with an initial pattern (tk_cre_flg).
 // TaWMUL permits multiple simultaneous waiters.
-func (k *Kernel) CreFlg(name string, attr Attr, init uint32) (ID, ER) {
-	defer k.enter("tk_cre_flg")()
+func (k *Kernel) CreFlg(name string, attr Attr, init uint32) (_ ID, er ER) {
+	k.enterSvc("tk_cre_flg")
+	defer k.exitSvc("tk_cre_flg", &er)
 	k.nextFlg++
 	id := k.nextFlg
 	k.flags[id] = &EventFlag{
@@ -50,8 +52,9 @@ func (k *Kernel) CreFlg(name string, attr Attr, init uint32) (ID, ER) {
 }
 
 // DelFlg deletes an event flag; waiters are released with E_DLT (tk_del_flg).
-func (k *Kernel) DelFlg(id ID) ER {
-	defer k.enter("tk_del_flg")()
+func (k *Kernel) DelFlg(id ID) (er ER) {
+	k.enterSvc("tk_del_flg")
+	defer k.exitSvc("tk_del_flg", &er)
 	f, ok := k.flags[id]
 	if !ok {
 		return ENOEXS
@@ -75,8 +78,9 @@ func flgMatch(pattern, waiptn uint32, mode FlagMode) bool {
 
 // SetFlg sets bits in the pattern and releases all satisfied waiters in
 // queue order (tk_set_flg).
-func (k *Kernel) SetFlg(id ID, setptn uint32) ER {
-	defer k.enter("tk_set_flg")()
+func (k *Kernel) SetFlg(id ID, setptn uint32) (er ER) {
+	k.enterSvc("tk_set_flg")
+	defer k.exitSvc("tk_set_flg", &er)
 	f, ok := k.flags[id]
 	if !ok {
 		return ENOEXS
@@ -119,8 +123,9 @@ func (k *Kernel) flgRelease(f *EventFlag) {
 
 // ClrFlg clears bits: pattern &= clrptn (tk_clr_flg; clrptn is the mask of
 // bits to KEEP, per the T-Kernel signature).
-func (k *Kernel) ClrFlg(id ID, clrptn uint32) ER {
-	defer k.enter("tk_clr_flg")()
+func (k *Kernel) ClrFlg(id ID, clrptn uint32) (er ER) {
+	k.enterSvc("tk_clr_flg")
+	defer k.exitSvc("tk_clr_flg", &er)
 	f, ok := k.flags[id]
 	if !ok {
 		return ENOEXS
@@ -131,8 +136,9 @@ func (k *Kernel) ClrFlg(id ID, clrptn uint32) ER {
 
 // WaiFlg waits until the flag pattern satisfies (waiptn, mode), delivering
 // the pattern at release time (tk_wai_flg).
-func (k *Kernel) WaiFlg(id ID, waiptn uint32, mode FlagMode, tmout TMO) (uint32, ER) {
-	defer k.enter("tk_wai_flg")()
+func (k *Kernel) WaiFlg(id ID, waiptn uint32, mode FlagMode, tmout TMO) (_ uint32, er ER) {
+	k.enterSvc("tk_wai_flg")
+	defer k.exitSvc("tk_wai_flg", &er)
 	f, ok := k.flags[id]
 	if !ok {
 		return 0, ENOEXS
@@ -175,5 +181,6 @@ func (k *Kernel) RefFlg(id ID) (FlagInfo, ER) {
 	if !ok {
 		return FlagInfo{}, ENOEXS
 	}
-	return FlagInfo{Name: f.name, Pattern: f.pattern, Waiting: f.wq.names()}, EOK
+	return FlagInfo{ID: f.id, Name: f.name, Pattern: f.pattern,
+		Waiting: f.wq.refs()}, EOK
 }

@@ -46,8 +46,9 @@ func (k *Kernel) SetInterruptFilter(fn func(intno int) IntDecision) { k.intFilte
 // DefInt defines the interrupt handler for interrupt number intno
 // (tk_def_int). Redefinition replaces the previous handler; a nil fn
 // removes the definition.
-func (k *Kernel) DefInt(intno int, name string, fn HandlerFunc) ER {
-	defer k.enter("tk_def_int")()
+func (k *Kernel) DefInt(intno int, name string, fn HandlerFunc) (er ER) {
+	k.enterSvc("tk_def_int")
+	defer k.exitSvc("tk_def_int", &er)
 	if intno < 0 {
 		return EPAR
 	}

@@ -1,174 +1,80 @@
 package tkernel
 
-import (
-	"sort"
-
-	"repro/internal/core"
-)
+import "sort"
 
 // This file is the kernel's invariant-introspection surface: deterministic
 // (ID-sorted) structural snapshots of kernel objects, consumed by the chaos
 // oracle layer (internal/chaos) to check wait-queue membership, priority
-// inheritance, and resource accounting live during a simulation. Snapshots
-// expose object identity and bookkeeping that the tk_ref_* services
-// deliberately omit (task IDs instead of names, queue-order priorities,
-// outstanding-block counts).
+// inheritance, and resource accounting live during a simulation. The
+// snapshot path and the tk_ref_* services return the same unified views
+// (TaskInfo, SemInfo, MutexInfo, ...): object identity, queue-order waiter
+// priorities and bookkeeping counters are part of every view, so there is a
+// single source of truth for kernel-object state.
 
-// TaskSnapshot is one task's scheduling state for invariant checking.
-type TaskSnapshot struct {
-	ID           ID
-	Name         string
-	State        core.State
-	Priority     int // current (possibly boosted) priority
-	BasePriority int
-	WaitObj      string // objName of the blocking object ("" if none)
-	WupCount     int
+// WaitRef identifies one waiting task in a kernel object's queue, in queue
+// order: its ID, name and current (possibly boosted) priority.
+type WaitRef struct {
+	ID       ID
+	Name     string
+	Priority int
 }
 
 // SnapshotTasks returns all tasks (including the INIT task, ID 0) sorted by
 // ID.
-func (k *Kernel) SnapshotTasks() []TaskSnapshot {
-	out := make([]TaskSnapshot, 0, len(k.tasks))
-	for id, t := range k.tasks {
-		out = append(out, TaskSnapshot{
-			ID:           id,
-			Name:         t.name,
-			State:        t.tt.State(),
-			Priority:     t.tt.Priority(),
-			BasePriority: t.tt.BasePriority(),
-			WaitObj:      t.tt.WaitObject(),
-			WupCount:     t.wupCount,
-		})
+func (k *Kernel) SnapshotTasks() []TaskInfo {
+	out := make([]TaskInfo, 0, len(k.tasks))
+	for _, t := range k.tasks {
+		out = append(out, k.taskInfo(t))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
-}
-
-// MutexSnapshot is one mutex's ownership state for invariant checking.
-type MutexSnapshot struct {
-	ID           ID
-	Name         string
-	Attr         Attr
-	Ceiling      int
-	Owner        ID // 0 = unlocked (the INIT task never owns mutexes)
-	HasOwner     bool
-	Waiting      []ID  // queue order
-	WaitingPrios []int // current priorities, queue order
 }
 
 // SnapshotMutexes returns all mutexes sorted by ID.
-func (k *Kernel) SnapshotMutexes() []MutexSnapshot {
-	out := make([]MutexSnapshot, 0, len(k.mtxs))
-	for id, m := range k.mtxs {
-		s := MutexSnapshot{
-			ID: id, Name: m.name, Attr: m.attr, Ceiling: m.ceiling,
-			Waiting: m.wq.ids(), WaitingPrios: m.wq.prios(),
-		}
-		if m.owner != nil {
-			s.Owner = m.owner.id
-			s.HasOwner = true
-		}
-		out = append(out, s)
+func (k *Kernel) SnapshotMutexes() []MutexInfo {
+	out := make([]MutexInfo, 0, len(k.mtxs))
+	for _, m := range k.mtxs {
+		out = append(out, k.mtxInfo(m))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
-}
-
-// SemSnapshot is one semaphore's counting state for invariant checking.
-type SemSnapshot struct {
-	ID       ID
-	Name     string
-	Count    int
-	MaxCount int
-	Waiting  []ID
-	HeadNeed int // resource request of the queue head (0 when no waiters)
 }
 
 // SnapshotSemaphores returns all semaphores sorted by ID.
-func (k *Kernel) SnapshotSemaphores() []SemSnapshot {
-	out := make([]SemSnapshot, 0, len(k.sems))
-	for id, s := range k.sems {
-		snap := SemSnapshot{ID: id, Name: s.name, Count: s.count,
-			MaxCount: s.maxSem, Waiting: s.wq.ids()}
-		if h := s.wq.head(); h != nil {
-			snap.HeadNeed = s.pending[h]
-		}
-		out = append(out, snap)
+func (k *Kernel) SnapshotSemaphores() []SemInfo {
+	out := make([]SemInfo, 0, len(k.sems))
+	for _, s := range k.sems {
+		out = append(out, k.semInfo(s))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
-}
-
-// FixedPoolSnapshot is one fixed pool's accounting for invariant checking.
-type FixedPoolSnapshot struct {
-	ID          ID
-	Name        string
-	Total       int // block count at creation
-	Free        int // blocks on the free list
-	Outstanding int // blocks handed out and not yet returned
-	Waiting     []ID
 }
 
 // SnapshotFixedPools returns all fixed-size pools sorted by ID.
-func (k *Kernel) SnapshotFixedPools() []FixedPoolSnapshot {
-	out := make([]FixedPoolSnapshot, 0, len(k.mpfs))
-	for id, p := range k.mpfs {
-		out = append(out, FixedPoolSnapshot{
-			ID: id, Name: p.name, Total: p.blkcnt, Free: len(p.free),
-			Outstanding: p.outstanding, Waiting: p.wq.ids(),
-		})
+func (k *Kernel) SnapshotFixedPools() []FixedPoolInfo {
+	out := make([]FixedPoolInfo, 0, len(k.mpfs))
+	for _, p := range k.mpfs {
+		out = append(out, k.mpfInfo(p))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
-}
-
-// VariablePoolSnapshot is one variable pool's accounting for invariant
-// checking.
-type VariablePoolSnapshot struct {
-	ID         ID
-	Name       string
-	ArenaSize  int
-	FreeBytes  int // total free-hole bytes
-	AllocBytes int // bytes currently carved out (payload + headers)
-	Waiting    []ID
 }
 
 // SnapshotVariablePools returns all variable-size pools sorted by ID.
-func (k *Kernel) SnapshotVariablePools() []VariablePoolSnapshot {
-	out := make([]VariablePoolSnapshot, 0, len(k.mpls))
-	for id, p := range k.mpls {
-		s := VariablePoolSnapshot{ID: id, Name: p.name,
-			ArenaSize: len(p.arena), AllocBytes: p.allocBytes,
-			Waiting: p.wq.ids()}
-		for _, h := range p.holes {
-			s.FreeBytes += h.size
-		}
-		out = append(out, s)
+func (k *Kernel) SnapshotVariablePools() []VariablePoolInfo {
+	out := make([]VariablePoolInfo, 0, len(k.mpls))
+	for _, p := range k.mpls {
+		out = append(out, k.mplInfo(p))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// MbfSnapshot is one message buffer's queue state for invariant checking.
-type MbfSnapshot struct {
-	ID          ID
-	Name        string
-	BufSize     int
-	UsedBytes   int
-	Messages    int
-	SendWaiting []ID
-	RecvWaiting []ID
-}
-
 // SnapshotMessageBuffers returns all message buffers sorted by ID.
-func (k *Kernel) SnapshotMessageBuffers() []MbfSnapshot {
-	out := make([]MbfSnapshot, 0, len(k.mbfs))
-	for id, b := range k.mbfs {
-		out = append(out, MbfSnapshot{
-			ID: id, Name: b.name, BufSize: b.bufsz, UsedBytes: b.used,
-			Messages: len(b.msgs), SendWaiting: b.sendQ.ids(),
-			RecvWaiting: b.recvQ.ids(),
-		})
+func (k *Kernel) SnapshotMessageBuffers() []MessageBufferInfo {
+	out := make([]MessageBufferInfo, 0, len(k.mbfs))
+	for _, b := range k.mbfs {
+		out = append(out, k.mbfInfo(b))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

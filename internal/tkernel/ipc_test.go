@@ -226,8 +226,8 @@ func TestFixedPoolExhaustionAndHandoff(t *testing.T) {
 		_ = k.DlyTsk(4 * sysc.Ms)
 		_ = k.RelMpf(mpf, b1)
 		info, _ := k.RefMpf(mpf)
-		if info.FreeBlocks != 0 { // handed straight to the waiter
-			t.Errorf("free = %d", info.FreeBlocks)
+		if info.Free != 0 { // handed straight to the waiter
+			t.Errorf("free = %d", info.Free)
 		}
 		_ = k.RelMpf(mpf, b2)
 	})
@@ -283,7 +283,7 @@ func TestVariablePoolAllocFreeCoalesce(t *testing.T) {
 	_, sim := boot(t, func(k *tkernel.Kernel) {
 		mpl, _ := k.CreMpl("v", tkernel.TaTFIFO, 1024)
 		info, _ := k.RefMpl(mpl)
-		total := info.FreeTotal
+		total := info.FreeBytes
 		a, er := k.GetMpl(mpl, 100, tkernel.TmoPol)
 		if er != tkernel.EOK || len(a.Data) < 100 {
 			t.Fatalf("alloc a: %v", er)
@@ -295,8 +295,8 @@ func TestVariablePoolAllocFreeCoalesce(t *testing.T) {
 		_ = k.RelMpl(mpl, a)
 		_ = k.RelMpl(mpl, c)
 		info, _ = k.RefMpl(mpl)
-		if info.FreeTotal != total {
-			t.Fatalf("leak: free %d of %d", info.FreeTotal, total)
+		if info.FreeBytes != total {
+			t.Fatalf("leak: free %d of %d", info.FreeBytes, total)
 		}
 		// One coalesced hole: max allocation equals the whole pool again.
 		if _, er := k.GetMpl(mpl, 1000, tkernel.TmoPol); er != tkernel.EOK {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/petri"
 	"repro/internal/sched"
 	"repro/internal/sysc"
@@ -75,7 +76,10 @@ type Config struct {
 	TickSource *sysc.Event
 	// Costs is the kernel ETM/EEM annotation model.
 	Costs Costs
-	// Gantt enables trace recording when non-nil.
+	// Bus is the kernel event bus all layers publish on. When nil the
+	// kernel creates a private one, reachable via (*Kernel).Bus.
+	Bus *event.Bus
+	// Gantt, when non-nil, is subscribed to the bus for segment recording.
 	Gantt *trace.Gantt
 	// MaxPriority bounds task priorities (1..MaxPriority; default 140).
 	MaxPriority int
@@ -89,6 +93,7 @@ type Config struct {
 type Kernel struct {
 	sim *sysc.Simulator
 	api *core.SimAPI
+	bus *event.Bus
 	cfg Config
 
 	tasks map[ID]*Task
@@ -140,9 +145,18 @@ func New(sim *sysc.Simulator, cfg Config) *Kernel {
 	if cfg.WupCountMax <= 0 {
 		cfg.WupCountMax = 65535
 	}
+	bus := cfg.Bus
+	if bus == nil {
+		bus = event.NewBus()
+	}
+	event.AttachSimulator(bus, sim)
+	if cfg.Gantt != nil {
+		trace.AttachGantt(bus, cfg.Gantt)
+	}
 	k := &Kernel{
 		sim:   sim,
-		api:   core.NewSimAPI(sim, sched.NewPriority(), cfg.Gantt),
+		api:   core.NewSimAPI(sim, sched.NewPriority(), bus),
+		bus:   bus,
 		cfg:   cfg,
 		tasks: map[ID]*Task{},
 		sems:  map[ID]*Semaphore{},
@@ -164,6 +178,10 @@ func New(sim *sysc.Simulator, cfg Config) *Kernel {
 // API exposes the SIM_API library instance (for debugger support and
 // experiment harnesses).
 func (k *Kernel) API() *core.SimAPI { return k.api }
+
+// Bus returns the kernel event bus: the single observation surface for
+// traces, metrics and invariant oracles. Never nil.
+func (k *Kernel) Bus() *event.Bus { return k.bus }
 
 // Sim returns the underlying simulator.
 func (k *Kernel) Sim() *sysc.Simulator { return k.sim }
@@ -234,11 +252,15 @@ func (k *Kernel) timerHandler() {
 func (k *Kernel) runTimerQ() {
 	now := k.sim.Now()
 	for {
-		fn, ok := k.timerQ.popDue(now)
+		it, ok := k.timerQ.popDue(now)
 		if !ok {
 			return
 		}
-		fn()
+		if k.bus.Wants(event.KindTimerFire) {
+			k.bus.Publish(event.Event{Kind: event.KindTimerFire,
+				Time: now, Start: it.when, Seq: it.seq})
+		}
+		it.fn()
 	}
 }
 
@@ -276,10 +298,13 @@ func (k *Kernel) caller() *Task {
 	return nil
 }
 
-// enter is the service-call prologue: it locks dispatching for the duration
-// of the call body (service-call atomicity) and charges the service ETM/EEM
-// annotation to the calling T-THREAD. The returned func is the epilogue.
-func (k *Kernel) enter(name string) func() {
+// enterSvc is the service-call prologue: it locks dispatching for the
+// duration of the call body (service-call atomicity), publishes the enter
+// event and charges the service ETM/EEM annotation to the calling T-THREAD.
+// Every service pairs it with a deferred exitSvc over a named ER result, so
+// the exit event carries the resolved return code on every path — including
+// early E_ID/E_NOEXS error returns.
+func (k *Kernel) enterSvc(name string) {
 	tt := k.api.ExecutingThread()
 	if tt != nil {
 		// A preempted caller must be dispatched again before it may begin
@@ -287,10 +312,32 @@ func (k *Kernel) enter(name string) func() {
 		tt.AwaitCPU()
 	}
 	k.api.LockDispatch()
+	if k.bus.Wants(event.KindSvcEnter) {
+		k.bus.Publish(event.Event{Kind: event.KindSvcEnter,
+			Time: k.sim.Now(), Thread: threadName(tt), Obj: name})
+	}
 	if tt != nil {
 		tt.Consume(k.cfg.Costs.Service, trace.CtxService, name)
 	}
-	return k.api.UnlockDispatch
+}
+
+// exitSvc is the service-call epilogue: it publishes the exit event with the
+// resolved error code and releases the dispatch lock.
+func (k *Kernel) exitSvc(name string, er *ER) {
+	if k.bus.Wants(event.KindSvcExit) {
+		k.bus.Publish(event.Event{Kind: event.KindSvcExit,
+			Time: k.sim.Now(), Thread: threadName(k.api.ExecutingThread()),
+			Obj: name, Code: int(*er)})
+	}
+	k.api.UnlockDispatch()
+}
+
+// threadName names a T-THREAD, tolerating nil (handler/boot contexts).
+func threadName(tt *core.TThread) string {
+	if tt == nil {
+		return ""
+	}
+	return tt.Name()
 }
 
 // blockCheck validates that the executing context may issue a blocking wait
@@ -373,7 +420,7 @@ func (q *timerQueue) add(when sysc.Time, fn func()) uint64 {
 }
 
 // popDue removes and returns the earliest entry with when <= now.
-func (q *timerQueue) popDue(now sysc.Time) (func(), bool) {
+func (q *timerQueue) popDue(now sysc.Time) (timerItem, bool) {
 	best := -1
 	for i, it := range q.items {
 		if it.when > now {
@@ -385,11 +432,11 @@ func (q *timerQueue) popDue(now sysc.Time) (func(), bool) {
 		}
 	}
 	if best == -1 {
-		return nil, false
+		return timerItem{}, false
 	}
-	fn := q.items[best].fn
+	it := q.items[best]
 	q.items = append(q.items[:best], q.items[best+1:]...)
-	return fn, true
+	return it, true
 }
 
 // Len returns the number of pending time events.
@@ -462,6 +509,15 @@ func (q *waitQueue) names() []string {
 	var out []string
 	for _, t := range q.tasks {
 		out = append(out, t.name)
+	}
+	return out
+}
+
+// refs returns the unified per-waiter view in queue order.
+func (q *waitQueue) refs() []WaitRef {
+	var out []WaitRef
+	for _, t := range q.tasks {
+		out = append(out, WaitRef{ID: t.id, Name: t.name, Priority: t.tt.Priority()})
 	}
 	return out
 }

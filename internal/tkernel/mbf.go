@@ -21,17 +21,21 @@ type MessageBuffer struct {
 
 // MessageBufferInfo is the tk_ref_mbf snapshot.
 type MessageBufferInfo struct {
+	ID          ID
 	Name        string
+	BufSize     int
+	UsedBytes   int
 	FreeBytes   int
 	Messages    int
-	SendWaiting []string
-	RecvWaiting []string
+	SendWaiting []WaitRef
+	RecvWaiting []WaitRef
 }
 
 // CreMbf creates a message buffer with buffer size bufsz and maximum
 // message size maxmsz (tk_cre_mbf).
-func (k *Kernel) CreMbf(name string, attr Attr, bufsz, maxmsz int) (ID, ER) {
-	defer k.enter("tk_cre_mbf")()
+func (k *Kernel) CreMbf(name string, attr Attr, bufsz, maxmsz int) (_ ID, er ER) {
+	k.enterSvc("tk_cre_mbf")
+	defer k.exitSvc("tk_cre_mbf", &er)
 	if bufsz < 0 || maxmsz <= 0 {
 		return 0, EPAR
 	}
@@ -46,8 +50,9 @@ func (k *Kernel) CreMbf(name string, attr Attr, bufsz, maxmsz int) (ID, ER) {
 }
 
 // DelMbf deletes a message buffer; all waiters get E_DLT (tk_del_mbf).
-func (k *Kernel) DelMbf(id ID) ER {
-	defer k.enter("tk_del_mbf")()
+func (k *Kernel) DelMbf(id ID) (er ER) {
+	k.enterSvc("tk_del_mbf")
+	defer k.exitSvc("tk_del_mbf", &er)
 	b, ok := k.mbfs[id]
 	if !ok {
 		return ENOEXS
@@ -66,8 +71,9 @@ func (k *Kernel) DelMbf(id ID) ER {
 
 // SndMbf sends a message of len(msg) bytes, waiting for space up to tmout
 // (tk_snd_mbf). Messages longer than maxmsz are E_PAR.
-func (k *Kernel) SndMbf(id ID, msg []byte, tmout TMO) ER {
-	defer k.enter("tk_snd_mbf")()
+func (k *Kernel) SndMbf(id ID, msg []byte, tmout TMO) (er ER) {
+	k.enterSvc("tk_snd_mbf")
+	defer k.exitSvc("tk_snd_mbf", &er)
 	b, ok := k.mbfs[id]
 	if !ok {
 		return ENOEXS
@@ -108,8 +114,9 @@ func (k *Kernel) SndMbf(id ID, msg []byte, tmout TMO) ER {
 }
 
 // RcvMbf receives the oldest message, waiting up to tmout (tk_rcv_mbf).
-func (k *Kernel) RcvMbf(id ID, tmout TMO) ([]byte, ER) {
-	defer k.enter("tk_rcv_mbf")()
+func (k *Kernel) RcvMbf(id ID, tmout TMO) (_ []byte, er ER) {
+	k.enterSvc("tk_rcv_mbf")
+	defer k.exitSvc("tk_rcv_mbf", &er)
 	b, ok := k.mbfs[id]
 	if !ok {
 		return nil, ENOEXS
@@ -189,11 +196,19 @@ func (k *Kernel) RefMbf(id ID) (MessageBufferInfo, ER) {
 	if !ok {
 		return MessageBufferInfo{}, ENOEXS
 	}
+	return k.mbfInfo(b), EOK
+}
+
+// mbfInfo builds the unified view of one message buffer.
+func (k *Kernel) mbfInfo(b *MessageBuffer) MessageBufferInfo {
 	return MessageBufferInfo{
+		ID:          b.id,
 		Name:        b.name,
+		BufSize:     b.bufsz,
+		UsedBytes:   b.used,
 		FreeBytes:   b.bufsz - b.used,
 		Messages:    len(b.msgs),
-		SendWaiting: b.sendQ.names(),
-		RecvWaiting: b.recvQ.names(),
-	}, EOK
+		SendWaiting: b.sendQ.refs(),
+		RecvWaiting: b.recvQ.refs(),
+	}
 }

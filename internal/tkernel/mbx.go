@@ -21,16 +21,18 @@ type Mailbox struct {
 
 // MailboxInfo is the tk_ref_mbx snapshot.
 type MailboxInfo struct {
+	ID       ID
 	Name     string
 	Messages int
 	NextPrio int // priority of the head message (0 if empty)
-	Waiting  []string
+	Waiting  []WaitRef
 }
 
 // CreMbx creates a mailbox (tk_cre_mbx). TaMPRI orders messages by
 // priority; the default is FIFO.
-func (k *Kernel) CreMbx(name string, attr Attr) (ID, ER) {
-	defer k.enter("tk_cre_mbx")()
+func (k *Kernel) CreMbx(name string, attr Attr) (_ ID, er ER) {
+	k.enterSvc("tk_cre_mbx")
+	defer k.exitSvc("tk_cre_mbx", &er)
 	k.nextMbx++
 	id := k.nextMbx
 	k.mbxs[id] = &Mailbox{id: id, name: name, attr: attr,
@@ -39,8 +41,9 @@ func (k *Kernel) CreMbx(name string, attr Attr) (ID, ER) {
 }
 
 // DelMbx deletes a mailbox; waiting receivers get E_DLT (tk_del_mbx).
-func (k *Kernel) DelMbx(id ID) ER {
-	defer k.enter("tk_del_mbx")()
+func (k *Kernel) DelMbx(id ID) (er ER) {
+	k.enterSvc("tk_del_mbx")
+	defer k.exitSvc("tk_del_mbx", &er)
 	m, ok := k.mbxs[id]
 	if !ok {
 		return ENOEXS
@@ -56,8 +59,9 @@ func (k *Kernel) DelMbx(id ID) ER {
 
 // SndMbx sends a message (tk_snd_mbx); never blocks. A waiting receiver is
 // handed the message directly.
-func (k *Kernel) SndMbx(id ID, msg *Message) ER {
-	defer k.enter("tk_snd_mbx")()
+func (k *Kernel) SndMbx(id ID, msg *Message) (er ER) {
+	k.enterSvc("tk_snd_mbx")
+	defer k.exitSvc("tk_snd_mbx", &er)
 	m, ok := k.mbxs[id]
 	if !ok {
 		return ENOEXS
@@ -90,8 +94,9 @@ func (k *Kernel) SndMbx(id ID, msg *Message) ER {
 }
 
 // RcvMbx receives the head message, waiting up to tmout (tk_rcv_mbx).
-func (k *Kernel) RcvMbx(id ID, tmout TMO) (*Message, ER) {
-	defer k.enter("tk_rcv_mbx")()
+func (k *Kernel) RcvMbx(id ID, tmout TMO) (_ *Message, er ER) {
+	k.enterSvc("tk_rcv_mbx")
+	defer k.exitSvc("tk_rcv_mbx", &er)
 	m, ok := k.mbxs[id]
 	if !ok {
 		return nil, ENOEXS
@@ -124,7 +129,8 @@ func (k *Kernel) RefMbx(id ID) (MailboxInfo, ER) {
 	if !ok {
 		return MailboxInfo{}, ENOEXS
 	}
-	info := MailboxInfo{Name: m.name, Messages: len(m.msgs), Waiting: m.wq.names()}
+	info := MailboxInfo{ID: m.id, Name: m.name, Messages: len(m.msgs),
+		Waiting: m.wq.refs()}
 	if len(m.msgs) > 0 {
 		info.NextPrio = m.msgs[0].Priority
 	}

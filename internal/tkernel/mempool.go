@@ -28,15 +28,19 @@ type FixedPool struct {
 
 // FixedPoolInfo is the tk_ref_mpf snapshot.
 type FixedPoolInfo struct {
-	Name       string
-	FreeBlocks int
-	BlockSize  int
-	Waiting    []string
+	ID          ID
+	Name        string
+	BlockSize   int
+	Total       int // block count at creation
+	Free        int // blocks on the free list
+	Outstanding int // blocks handed out and not yet returned
+	Waiting     []WaitRef
 }
 
 // CreMpf creates a fixed-size pool (tk_cre_mpf).
-func (k *Kernel) CreMpf(name string, attr Attr, blkcnt, blksz int) (ID, ER) {
-	defer k.enter("tk_cre_mpf")()
+func (k *Kernel) CreMpf(name string, attr Attr, blkcnt, blksz int) (_ ID, er ER) {
+	k.enterSvc("tk_cre_mpf")
+	defer k.exitSvc("tk_cre_mpf", &er)
 	if blkcnt <= 0 || blksz <= 0 {
 		return 0, EPAR
 	}
@@ -59,8 +63,9 @@ func (k *Kernel) CreMpf(name string, attr Attr, blkcnt, blksz int) (ID, ER) {
 }
 
 // DelMpf deletes a fixed pool; waiters get E_DLT (tk_del_mpf).
-func (k *Kernel) DelMpf(id ID) ER {
-	defer k.enter("tk_del_mpf")()
+func (k *Kernel) DelMpf(id ID) (er ER) {
+	k.enterSvc("tk_del_mpf")
+	defer k.exitSvc("tk_del_mpf", &er)
 	p, ok := k.mpfs[id]
 	if !ok {
 		return ENOEXS
@@ -75,8 +80,9 @@ func (k *Kernel) DelMpf(id ID) ER {
 }
 
 // GetMpf acquires one block, waiting up to tmout (tk_get_mpf).
-func (k *Kernel) GetMpf(id ID, tmout TMO) (*MemBlock, ER) {
-	defer k.enter("tk_get_mpf")()
+func (k *Kernel) GetMpf(id ID, tmout TMO) (_ *MemBlock, er ER) {
+	k.enterSvc("tk_get_mpf")
+	defer k.exitSvc("tk_get_mpf", &er)
 	p, ok := k.mpfs[id]
 	if !ok {
 		return nil, ENOEXS
@@ -112,8 +118,9 @@ func (p *FixedPool) take() *MemBlock {
 
 // RelMpf returns a block to its pool (tk_rel_mpf); a waiting task is handed
 // the block directly.
-func (k *Kernel) RelMpf(id ID, b *MemBlock) ER {
-	defer k.enter("tk_rel_mpf")()
+func (k *Kernel) RelMpf(id ID, b *MemBlock) (er ER) {
+	k.enterSvc("tk_rel_mpf")
+	defer k.exitSvc("tk_rel_mpf", &er)
 	p, ok := k.mpfs[id]
 	if !ok {
 		return ENOEXS
@@ -142,8 +149,14 @@ func (k *Kernel) RefMpf(id ID) (FixedPoolInfo, ER) {
 	if !ok {
 		return FixedPoolInfo{}, ENOEXS
 	}
-	return FixedPoolInfo{Name: p.name, FreeBlocks: len(p.free),
-		BlockSize: p.blksz, Waiting: p.wq.names()}, EOK
+	return k.mpfInfo(p), EOK
+}
+
+// mpfInfo builds the unified view of one fixed pool.
+func (k *Kernel) mpfInfo(p *FixedPool) FixedPoolInfo {
+	return FixedPoolInfo{ID: p.id, Name: p.name, BlockSize: p.blksz,
+		Total: p.blkcnt, Free: len(p.free), Outstanding: p.outstanding,
+		Waiting: p.wq.refs()}
 }
 
 // VariablePool is a T-Kernel variable-size memory pool (tk_cre_mpl family)
@@ -169,18 +182,22 @@ type mplReq struct {
 
 // VariablePoolInfo is the tk_ref_mpl snapshot.
 type VariablePoolInfo struct {
-	Name      string
-	FreeTotal int
-	FreeMax   int // largest contiguous allocatable size
-	Waiting   []string
+	ID         ID
+	Name       string
+	ArenaSize  int
+	FreeBytes  int // total free-hole bytes (FreeBytes+AllocBytes == ArenaSize)
+	FreeMax    int // largest contiguous allocatable (payload) size
+	AllocBytes int // bytes currently carved out (payload + headers)
+	Waiting    []WaitRef
 }
 
 // align rounds n up to 8 bytes (allocator granule).
 func align(n int) int { return (n + 7) &^ 7 }
 
 // CreMpl creates a variable-size pool of mplsz bytes (tk_cre_mpl).
-func (k *Kernel) CreMpl(name string, attr Attr, mplsz int) (ID, ER) {
-	defer k.enter("tk_cre_mpl")()
+func (k *Kernel) CreMpl(name string, attr Attr, mplsz int) (_ ID, er ER) {
+	k.enterSvc("tk_cre_mpl")
+	defer k.exitSvc("tk_cre_mpl", &er)
 	if mplsz <= 0 {
 		return 0, EPAR
 	}
@@ -198,8 +215,9 @@ func (k *Kernel) CreMpl(name string, attr Attr, mplsz int) (ID, ER) {
 }
 
 // DelMpl deletes a variable pool; waiters get E_DLT (tk_del_mpl).
-func (k *Kernel) DelMpl(id ID) ER {
-	defer k.enter("tk_del_mpl")()
+func (k *Kernel) DelMpl(id ID) (er ER) {
+	k.enterSvc("tk_del_mpl")
+	defer k.exitSvc("tk_del_mpl", &er)
 	p, ok := k.mpls[id]
 	if !ok {
 		return ENOEXS
@@ -262,8 +280,9 @@ func (p *VariablePool) release(b *MemBlock) {
 
 // GetMpl allocates size bytes, waiting up to tmout while space is
 // insufficient (tk_get_mpl).
-func (k *Kernel) GetMpl(id ID, size int, tmout TMO) (*MemBlock, ER) {
-	defer k.enter("tk_get_mpl")()
+func (k *Kernel) GetMpl(id ID, size int, tmout TMO) (_ *MemBlock, er ER) {
+	k.enterSvc("tk_get_mpl")
+	defer k.exitSvc("tk_get_mpl", &er)
 	p, ok := k.mpls[id]
 	if !ok {
 		return nil, ENOEXS
@@ -294,8 +313,9 @@ func (k *Kernel) GetMpl(id ID, size int, tmout TMO) (*MemBlock, ER) {
 }
 
 // RelMpl frees a block (tk_rel_mpl) and satisfies queued requests in order.
-func (k *Kernel) RelMpl(id ID, b *MemBlock) ER {
-	defer k.enter("tk_rel_mpl")()
+func (k *Kernel) RelMpl(id ID, b *MemBlock) (er ER) {
+	k.enterSvc("tk_rel_mpl")
+	defer k.exitSvc("tk_rel_mpl", &er)
 	p, ok := k.mpls[id]
 	if !ok {
 		return ENOEXS
@@ -329,9 +349,15 @@ func (k *Kernel) RefMpl(id ID) (VariablePoolInfo, ER) {
 	if !ok {
 		return VariablePoolInfo{}, ENOEXS
 	}
-	info := VariablePoolInfo{Name: p.name, Waiting: p.wq.names()}
+	return k.mplInfo(p), EOK
+}
+
+// mplInfo builds the unified view of one variable pool.
+func (k *Kernel) mplInfo(p *VariablePool) VariablePoolInfo {
+	info := VariablePoolInfo{ID: p.id, Name: p.name, ArenaSize: len(p.arena),
+		AllocBytes: p.allocBytes, Waiting: p.wq.refs()}
 	for _, h := range p.holes {
-		info.FreeTotal += h.size
+		info.FreeBytes += h.size
 		if h.size > info.FreeMax {
 			info.FreeMax = h.size
 		}
@@ -341,5 +367,5 @@ func (k *Kernel) RefMpl(id ID) (VariablePoolInfo, ER) {
 	} else {
 		info.FreeMax = 0
 	}
-	return info, EOK
+	return info
 }

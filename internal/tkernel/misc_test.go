@@ -58,7 +58,7 @@ func TestObjectListsAndRefs(t *testing.T) {
 		if info, er := k.RefMbf(mbf); er != tkernel.EOK || info.FreeBytes != 64 {
 			t.Errorf("RefMbf: %+v %v", info, er)
 		}
-		if info, er := k.RefMtx(1); er != tkernel.EOK || info.Owner != "" {
+		if info, er := k.RefMtx(1); er != tkernel.EOK || info.OwnerName != "" {
 			t.Errorf("RefMtx: %+v %v", info, er)
 		}
 		if info, er := k.RefAlm(alm); er != tkernel.EOK || info.Active {
@@ -214,8 +214,8 @@ func TestMutexOwnerShownInRef(t *testing.T) {
 		_ = k.StaTsk(id)
 		_ = k.DlyTsk(2 * sysc.Ms)
 		info, _ := k.RefMtx(mtx)
-		if info.Owner != "owner" {
-			t.Errorf("owner = %q", info.Owner)
+		if info.OwnerName != "owner" {
+			t.Errorf("owner = %q", info.OwnerName)
 		}
 	})
 	run(t, sim, sysc.Sec)

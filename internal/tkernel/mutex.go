@@ -15,15 +15,21 @@ type Mutex struct {
 
 // MutexInfo is the tk_ref_mtx snapshot.
 type MutexInfo struct {
-	Name    string
-	Owner   string // "" when unlocked
-	Waiting []string
+	ID        ID
+	Name      string
+	Attr      Attr
+	Ceiling   int
+	Owner     ID     // waiting-task view: 0 when unlocked (see HasOwner)
+	OwnerName string // "" when unlocked
+	HasOwner  bool
+	Waiting   []WaitRef
 }
 
 // CreMtx creates a mutex (tk_cre_mtx). For TA_CEILING, ceilpri is the
 // ceiling priority; ignored otherwise.
-func (k *Kernel) CreMtx(name string, attr Attr, ceilpri int) (ID, ER) {
-	defer k.enter("tk_cre_mtx")()
+func (k *Kernel) CreMtx(name string, attr Attr, ceilpri int) (_ ID, er ER) {
+	k.enterSvc("tk_cre_mtx")
+	defer k.exitSvc("tk_cre_mtx", &er)
 	if attr&TaCeiling != 0 && (ceilpri < 1 || ceilpri > k.cfg.MaxPriority) {
 		return 0, EPAR
 	}
@@ -42,8 +48,9 @@ func (k *Kernel) CreMtx(name string, attr Attr, ceilpri int) (ID, ER) {
 }
 
 // DelMtx deletes a mutex; waiters are released with E_DLT (tk_del_mtx).
-func (k *Kernel) DelMtx(id ID) ER {
-	defer k.enter("tk_del_mtx")()
+func (k *Kernel) DelMtx(id ID) (er ER) {
+	k.enterSvc("tk_del_mtx")
+	defer k.exitSvc("tk_del_mtx", &er)
 	m, ok := k.mtxs[id]
 	if !ok {
 		return ENOEXS
@@ -62,8 +69,9 @@ func (k *Kernel) DelMtx(id ID) ER {
 // LocMtx locks the mutex, waiting up to tmout (tk_loc_mtx). Re-locking a
 // mutex the caller already owns is E_ILUSE. Under TA_CEILING, a locker
 // whose base priority outranks the ceiling is E_ILUSE.
-func (k *Kernel) LocMtx(id ID, tmout TMO) ER {
-	defer k.enter("tk_loc_mtx")()
+func (k *Kernel) LocMtx(id ID, tmout TMO) (er ER) {
+	k.enterSvc("tk_loc_mtx")
+	defer k.exitSvc("tk_loc_mtx", &er)
 	m, ok := k.mtxs[id]
 	if !ok {
 		return ENOEXS
@@ -103,8 +111,9 @@ func (k *Kernel) LocMtx(id ID, tmout TMO) ER {
 
 // UnlMtx unlocks the mutex and passes ownership to the head waiter
 // (tk_unl_mtx). Only the owner may unlock (E_ILUSE).
-func (k *Kernel) UnlMtx(id ID) ER {
-	defer k.enter("tk_unl_mtx")()
+func (k *Kernel) UnlMtx(id ID) (er ER) {
+	k.enterSvc("tk_unl_mtx")
+	defer k.exitSvc("tk_unl_mtx", &er)
 	m, ok := k.mtxs[id]
 	if !ok {
 		return ENOEXS
@@ -132,11 +141,19 @@ func (k *Kernel) RefMtx(id ID) (MutexInfo, ER) {
 	if !ok {
 		return MutexInfo{}, ENOEXS
 	}
-	info := MutexInfo{Name: m.name, Waiting: m.wq.names()}
+	return k.mtxInfo(m), EOK
+}
+
+// mtxInfo builds the unified view of one mutex.
+func (k *Kernel) mtxInfo(m *Mutex) MutexInfo {
+	info := MutexInfo{ID: m.id, Name: m.name, Attr: m.attr,
+		Ceiling: m.ceiling, Waiting: m.wq.refs()}
 	if m.owner != nil {
-		info.Owner = m.owner.name
+		info.Owner = m.owner.id
+		info.OwnerName = m.owner.name
+		info.HasOwner = true
 	}
-	return info, EOK
+	return info
 }
 
 // takeOwnership records ownership and applies a ceiling boost.

@@ -47,15 +47,17 @@ type rendezvous struct {
 
 // PortInfo is the tk_ref_por snapshot.
 type PortInfo struct {
+	ID          ID
 	Name        string
-	CallWaiting []string
-	AcceptWait  []string
+	CallWaiting []WaitRef
+	AcceptWait  []WaitRef
 	OpenRdv     int
 }
 
 // CrePor creates a rendezvous port (tk_cre_por).
-func (k *Kernel) CrePor(name string, attr Attr, maxCMsz, maxRMsz int) (ID, ER) {
-	defer k.enter("tk_cre_por")()
+func (k *Kernel) CrePor(name string, attr Attr, maxCMsz, maxRMsz int) (_ ID, er ER) {
+	k.enterSvc("tk_cre_por")
+	defer k.exitSvc("tk_cre_por", &er)
 	if maxCMsz <= 0 || maxRMsz <= 0 {
 		return 0, EPAR
 	}
@@ -71,8 +73,9 @@ func (k *Kernel) CrePor(name string, attr Attr, maxCMsz, maxRMsz int) (ID, ER) {
 
 // DelPor deletes a port: queued callers and acceptors get E_DLT; clients in
 // an established rendezvous also get E_DLT (tk_del_por).
-func (k *Kernel) DelPor(id ID) ER {
-	defer k.enter("tk_del_por")()
+func (k *Kernel) DelPor(id ID) (er ER) {
+	k.enterSvc("tk_del_por")
+	defer k.exitSvc("tk_del_por", &er)
 	p, ok := k.pors[id]
 	if !ok {
 		return ENOEXS
@@ -100,8 +103,9 @@ func (k *Kernel) DelPor(id ID) ER {
 // CalPor calls a port (tk_cal_por): block until a server accepts a call
 // whose calptn intersects its accept pattern AND replies. The reply
 // message is returned. tmout bounds rendezvous establishment only.
-func (k *Kernel) CalPor(id ID, calptn uint32, msg []byte, tmout TMO) ([]byte, ER) {
-	defer k.enter("tk_cal_por")()
+func (k *Kernel) CalPor(id ID, calptn uint32, msg []byte, tmout TMO) (_ []byte, er ER) {
+	k.enterSvc("tk_cal_por")
+	defer k.exitSvc("tk_cal_por", &er)
 	p, ok := k.pors[id]
 	if !ok {
 		return nil, ENOEXS
@@ -149,8 +153,9 @@ func (k *Kernel) CalPor(id ID, calptn uint32, msg []byte, tmout TMO) ([]byte, ER
 // AcpPor accepts a call on a port (tk_acp_por): returns the rendezvous
 // number and the call message of the first queued caller whose pattern
 // matches acpptn, blocking up to tmout when none is queued.
-func (k *Kernel) AcpPor(id ID, acpptn uint32, tmout TMO) (RdvNo, []byte, ER) {
-	defer k.enter("tk_acp_por")()
+func (k *Kernel) AcpPor(id ID, acpptn uint32, tmout TMO) (_ RdvNo, _ []byte, er ER) {
+	k.enterSvc("tk_acp_por")
+	defer k.exitSvc("tk_acp_por", &er)
 	p, ok := k.pors[id]
 	if !ok {
 		return 0, nil, ENOEXS
@@ -192,8 +197,9 @@ func (k *Kernel) AcpPor(id ID, acpptn uint32, tmout TMO) (RdvNo, []byte, ER) {
 
 // RplRdv replies to an established rendezvous, releasing the client with
 // the reply message (tk_rpl_rdv).
-func (k *Kernel) RplRdv(no RdvNo, reply []byte) ER {
-	defer k.enter("tk_rpl_rdv")()
+func (k *Kernel) RplRdv(no RdvNo, reply []byte) (er ER) {
+	k.enterSvc("tk_rpl_rdv")
+	defer k.exitSvc("tk_rpl_rdv", &er)
 	r, ok := k.rdvs[no]
 	if !ok {
 		return EOBJ
@@ -223,8 +229,8 @@ func (k *Kernel) RefPor(id ID) (PortInfo, ER) {
 			open++
 		}
 	}
-	return PortInfo{Name: p.name, CallWaiting: p.callQ.names(),
-		AcceptWait: p.acpQ.names(), OpenRdv: open}, EOK
+	return PortInfo{ID: p.id, Name: p.name, CallWaiting: p.callQ.refs(),
+		AcceptWait: p.acpQ.refs(), OpenRdv: open}, EOK
 }
 
 // establish registers a rendezvous for the given client.

@@ -12,18 +12,22 @@ type Semaphore struct {
 	pending map[*Task]int // requested count per waiting task
 }
 
-// SemInfo is the tk_ref_sem snapshot.
+// SemInfo is the unified semaphore view returned by both tk_ref_sem and the
+// invariant snapshot path (SnapshotSemaphores).
 type SemInfo struct {
+	ID       ID
 	Name     string
 	Count    int
 	MaxCount int
-	Waiting  []string
+	HeadNeed int // resource request of the queue head (0 when no waiters)
+	Waiting  []WaitRef
 }
 
 // CreSem creates a semaphore with an initial count and a maximum count
 // (tk_cre_sem).
-func (k *Kernel) CreSem(name string, attr Attr, initCount, maxCount int) (ID, ER) {
-	defer k.enter("tk_cre_sem")()
+func (k *Kernel) CreSem(name string, attr Attr, initCount, maxCount int) (_ ID, er ER) {
+	k.enterSvc("tk_cre_sem")
+	defer k.exitSvc("tk_cre_sem", &er)
 	if maxCount <= 0 || initCount < 0 || initCount > maxCount {
 		return 0, EPAR
 	}
@@ -40,8 +44,9 @@ func (k *Kernel) CreSem(name string, attr Attr, initCount, maxCount int) (ID, ER
 
 // DelSem deletes a semaphore; waiting tasks are released with E_DLT
 // (tk_del_sem).
-func (k *Kernel) DelSem(id ID) ER {
-	defer k.enter("tk_del_sem")()
+func (k *Kernel) DelSem(id ID) (er ER) {
+	k.enterSvc("tk_del_sem")
+	defer k.exitSvc("tk_del_sem", &er)
 	s, ok := k.sems[id]
 	if !ok {
 		return ENOEXS
@@ -57,8 +62,9 @@ func (k *Kernel) DelSem(id ID) ER {
 
 // SigSem returns cnt resources to the semaphore and grants queued requests
 // in queue order (tk_sig_sem).
-func (k *Kernel) SigSem(id ID, cnt int) ER {
-	defer k.enter("tk_sig_sem")()
+func (k *Kernel) SigSem(id ID, cnt int) (er ER) {
+	k.enterSvc("tk_sig_sem")
+	defer k.exitSvc("tk_sig_sem", &er)
 	s, ok := k.sems[id]
 	if !ok {
 		return ENOEXS
@@ -95,8 +101,9 @@ func (k *Kernel) semGrant(s *Semaphore) {
 }
 
 // WaiSem acquires cnt resources, waiting up to tmout (tk_wai_sem).
-func (k *Kernel) WaiSem(id ID, cnt int, tmout TMO) ER {
-	defer k.enter("tk_wai_sem")()
+func (k *Kernel) WaiSem(id ID, cnt int, tmout TMO) (er ER) {
+	k.enterSvc("tk_wai_sem")
+	defer k.exitSvc("tk_wai_sem", &er)
 	s, ok := k.sems[id]
 	if !ok {
 		return ENOEXS
@@ -130,6 +137,15 @@ func (k *Kernel) RefSem(id ID) (SemInfo, ER) {
 	if !ok {
 		return SemInfo{}, ENOEXS
 	}
-	return SemInfo{Name: s.name, Count: s.count, MaxCount: s.maxSem,
-		Waiting: s.wq.names()}, EOK
+	return k.semInfo(s), EOK
+}
+
+// semInfo builds the unified view of one semaphore.
+func (k *Kernel) semInfo(s *Semaphore) SemInfo {
+	info := SemInfo{ID: s.id, Name: s.name, Count: s.count,
+		MaxCount: s.maxSem, Waiting: s.wq.refs()}
+	if h := s.wq.head(); h != nil {
+		info.HeadNeed = s.pending[h]
+	}
+	return info
 }

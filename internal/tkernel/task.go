@@ -33,6 +33,7 @@ func (t *Task) TThread() *core.TThread { return t.tt }
 
 // TaskInfo is the tk_ref_tsk snapshot.
 type TaskInfo struct {
+	ID       ID
 	Name     string
 	State    core.State
 	Priority int
@@ -48,8 +49,9 @@ type TaskInfo struct {
 // CreTsk creates a task (tk_cre_tsk): name, priority (1..MaxPriority) and
 // the task body. The body receives the owning task handle; it may issue any
 // kernel service. Tasks are created DORMANT.
-func (k *Kernel) CreTsk(name string, priority int, body func(*Task)) (ID, ER) {
-	defer k.enter("tk_cre_tsk")()
+func (k *Kernel) CreTsk(name string, priority int, body func(*Task)) (_ ID, er ER) {
+	k.enterSvc("tk_cre_tsk")
+	defer k.exitSvc("tk_cre_tsk", &er)
 	if priority < 1 || priority > k.cfg.MaxPriority {
 		return 0, EPAR
 	}
@@ -68,8 +70,9 @@ func (k *Kernel) CreTsk(name string, priority int, body func(*Task)) (ID, ER) {
 }
 
 // DelTsk deletes a dormant task (tk_del_tsk).
-func (k *Kernel) DelTsk(id ID) ER {
-	defer k.enter("tk_del_tsk")()
+func (k *Kernel) DelTsk(id ID) (er ER) {
+	k.enterSvc("tk_del_tsk")
+	defer k.exitSvc("tk_del_tsk", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -85,8 +88,9 @@ func (k *Kernel) DelTsk(id ID) ER {
 }
 
 // StaTsk starts a dormant task (tk_sta_tsk).
-func (k *Kernel) StaTsk(id ID) ER {
-	defer k.enter("tk_sta_tsk")()
+func (k *Kernel) StaTsk(id ID) (er ER) {
+	k.enterSvc("tk_sta_tsk")
+	defer k.exitSvc("tk_sta_tsk", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -113,8 +117,9 @@ func (k *Kernel) ExtTsk() ER {
 
 // TerTsk forcibly terminates another task (tk_ter_tsk). Terminating the
 // calling task itself is E_OBJ (use ExtTsk).
-func (k *Kernel) TerTsk(id ID) ER {
-	defer k.enter("tk_ter_tsk")()
+func (k *Kernel) TerTsk(id ID) (er ER) {
+	k.enterSvc("tk_ter_tsk")
+	defer k.exitSvc("tk_ter_tsk", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -141,8 +146,9 @@ func (k *Kernel) TerTsk(id ID) ER {
 // starts; an active task gets the request queued (up to max activations)
 // and re-activates when it exits. This is the ITRON-compatibility hook used
 // by internal/itron; T-Kernel itself only has the strict StaTsk.
-func (k *Kernel) ActTsk(id ID, maxQueued int) ER {
-	defer k.enter("act_tsk")()
+func (k *Kernel) ActTsk(id ID, maxQueued int) (er ER) {
+	k.enterSvc("act_tsk")
+	defer k.exitSvc("act_tsk", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -162,8 +168,9 @@ func (k *Kernel) ActTsk(id ID, maxQueued int) ER {
 
 // CanAct cancels queued activation requests and returns how many were
 // queued (µITRON can_act). id 0 = caller.
-func (k *Kernel) CanAct(id ID) (int, ER) {
-	defer k.enter("can_act")()
+func (k *Kernel) CanAct(id ID) (_ int, er ER) {
+	k.enterSvc("can_act")
+	defer k.exitSvc("can_act", &er)
 	task, er := k.taskOrSelf(id)
 	if er != EOK {
 		return 0, er
@@ -176,8 +183,9 @@ func (k *Kernel) CanAct(id ID) (int, ER) {
 }
 
 // ChgPri changes a task's base priority (tk_chg_pri). id 0 = caller.
-func (k *Kernel) ChgPri(id ID, priority int) ER {
-	defer k.enter("tk_chg_pri")()
+func (k *Kernel) ChgPri(id ID, priority int) (er ER) {
+	k.enterSvc("tk_chg_pri")
+	defer k.exitSvc("tk_chg_pri", &er)
 	task, er := k.taskOrSelf(id)
 	if er != EOK {
 		return er
@@ -194,8 +202,9 @@ func (k *Kernel) ChgPri(id ID, priority int) ER {
 
 // SlpTsk puts the calling task to sleep awaiting a wakeup (tk_slp_tsk).
 // A queued wakeup (tk_wup_tsk issued earlier) completes it immediately.
-func (k *Kernel) SlpTsk(tmout TMO) ER {
-	defer k.enter("tk_slp_tsk")()
+func (k *Kernel) SlpTsk(tmout TMO) (er ER) {
+	k.enterSvc("tk_slp_tsk")
+	defer k.exitSvc("tk_slp_tsk", &er)
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
 		return er
@@ -212,8 +221,9 @@ func (k *Kernel) SlpTsk(tmout TMO) ER {
 
 // WupTsk wakes a sleeping task (tk_wup_tsk); wakeups queue when the task is
 // not sleeping yet (up to WupCountMax).
-func (k *Kernel) WupTsk(id ID) ER {
-	defer k.enter("tk_wup_tsk")()
+func (k *Kernel) WupTsk(id ID) (er ER) {
+	k.enterSvc("tk_wup_tsk")
+	defer k.exitSvc("tk_wup_tsk", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -235,8 +245,9 @@ func (k *Kernel) WupTsk(id ID) ER {
 
 // CanWup cancels queued wakeups and returns how many were queued
 // (tk_can_wup). id 0 = caller.
-func (k *Kernel) CanWup(id ID) (int, ER) {
-	defer k.enter("tk_can_wup")()
+func (k *Kernel) CanWup(id ID) (_ int, er ER) {
+	k.enterSvc("tk_can_wup")
+	defer k.exitSvc("tk_can_wup", &er)
 	task, er := k.taskOrSelf(id)
 	if er != EOK {
 		return 0, er
@@ -248,8 +259,9 @@ func (k *Kernel) CanWup(id ID) (int, ER) {
 
 // DlyTsk delays the calling task for at least d (tk_dly_tsk). Unlike
 // SlpTsk, wakeups do not shorten the delay; only RelWai does (E_RLWAI).
-func (k *Kernel) DlyTsk(d sysc.Time) ER {
-	defer k.enter("tk_dly_tsk")()
+func (k *Kernel) DlyTsk(d sysc.Time) (er ER) {
+	k.enterSvc("tk_dly_tsk")
+	defer k.exitSvc("tk_dly_tsk", &er)
 	task, er := k.blockCheck(TmoFevr)
 	if er != EOK {
 		return er
@@ -266,8 +278,9 @@ func (k *Kernel) DlyTsk(d sysc.Time) ER {
 
 // RelWai forcibly releases another task's wait state with E_RLWAI
 // (tk_rel_wai).
-func (k *Kernel) RelWai(id ID) ER {
-	defer k.enter("tk_rel_wai")()
+func (k *Kernel) RelWai(id ID) (er ER) {
+	k.enterSvc("tk_rel_wai")
+	defer k.exitSvc("tk_rel_wai", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -285,8 +298,9 @@ func (k *Kernel) RelWai(id ID) ER {
 }
 
 // SusTsk forcibly suspends a task (tk_sus_tsk); suspensions nest.
-func (k *Kernel) SusTsk(id ID) ER {
-	defer k.enter("tk_sus_tsk")()
+func (k *Kernel) SusTsk(id ID) (er ER) {
+	k.enterSvc("tk_sus_tsk")
+	defer k.exitSvc("tk_sus_tsk", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -301,8 +315,9 @@ func (k *Kernel) SusTsk(id ID) ER {
 }
 
 // RsmTsk resumes a forcibly suspended task by one level (tk_rsm_tsk).
-func (k *Kernel) RsmTsk(id ID) ER {
-	defer k.enter("tk_rsm_tsk")()
+func (k *Kernel) RsmTsk(id ID) (er ER) {
+	k.enterSvc("tk_rsm_tsk")
+	defer k.exitSvc("tk_rsm_tsk", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -315,8 +330,9 @@ func (k *Kernel) RsmTsk(id ID) ER {
 
 // FrsmTsk resumes a task regardless of the suspension nesting depth
 // (tk_frsm_tsk).
-func (k *Kernel) FrsmTsk(id ID) ER {
-	defer k.enter("tk_frsm_tsk")()
+func (k *Kernel) FrsmTsk(id ID) (er ER) {
+	k.enterSvc("tk_frsm_tsk")
+	defer k.exitSvc("tk_frsm_tsk", &er)
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -343,7 +359,13 @@ func (k *Kernel) RefTsk(id ID) (TaskInfo, ER) {
 	if er != EOK {
 		return TaskInfo{}, er
 	}
+	return k.taskInfo(task), EOK
+}
+
+// taskInfo builds the unified view of one task.
+func (k *Kernel) taskInfo(task *Task) TaskInfo {
 	return TaskInfo{
+		ID:       task.id,
 		Name:     task.name,
 		State:    task.tt.State(),
 		Priority: task.tt.Priority(),
@@ -354,13 +376,14 @@ func (k *Kernel) RefTsk(id ID) (TaskInfo, ER) {
 		CET:      task.tt.CET(),
 		CEE:      task.tt.CEE(),
 		Cycles:   task.tt.Cycles(),
-	}, EOK
+	}
 }
 
 // RotRdq rotates the ready queue of the given priority (tk_rot_rdq);
 // priority 0 rotates the class of the running task.
-func (k *Kernel) RotRdq(priority int) ER {
-	defer k.enter("tk_rot_rdq")()
+func (k *Kernel) RotRdq(priority int) (er ER) {
+	k.enterSvc("tk_rot_rdq")
+	defer k.exitSvc("tk_rot_rdq", &er)
 	if priority == 0 {
 		if cur := k.api.Current(); cur != nil {
 			k.api.YieldCurrent()

@@ -53,8 +53,9 @@ type CyclicInfo struct {
 
 // CreCyc creates a cyclic handler with the given cycle interval and initial
 // phase (tk_cre_cyc). TA_STA semantics are obtained by calling StaCyc.
-func (k *Kernel) CreCyc(name string, interval, phase sysc.Time, fn HandlerFunc) (ID, ER) {
-	defer k.enter("tk_cre_cyc")()
+func (k *Kernel) CreCyc(name string, interval, phase sysc.Time, fn HandlerFunc) (_ ID, er ER) {
+	k.enterSvc("tk_cre_cyc")
+	defer k.exitSvc("tk_cre_cyc", &er)
 	if interval <= 0 || phase < 0 {
 		return 0, EPAR
 	}
@@ -70,8 +71,9 @@ func (k *Kernel) CreCyc(name string, interval, phase sysc.Time, fn HandlerFunc) 
 }
 
 // DelCyc deletes a cyclic handler (tk_del_cyc).
-func (k *Kernel) DelCyc(id ID) ER {
-	defer k.enter("tk_del_cyc")()
+func (k *Kernel) DelCyc(id ID) (er ER) {
+	k.enterSvc("tk_del_cyc")
+	defer k.exitSvc("tk_del_cyc", &er)
 	c, ok := k.cycs[id]
 	if !ok {
 		return ENOEXS
@@ -84,8 +86,9 @@ func (k *Kernel) DelCyc(id ID) ER {
 
 // StaCyc activates a cyclic handler: the first activation occurs after the
 // phase, subsequent ones every interval (tk_sta_cyc).
-func (k *Kernel) StaCyc(id ID) ER {
-	defer k.enter("tk_sta_cyc")()
+func (k *Kernel) StaCyc(id ID) (er ER) {
+	k.enterSvc("tk_sta_cyc")
+	defer k.exitSvc("tk_sta_cyc", &er)
 	c, ok := k.cycs[id]
 	if !ok {
 		return ENOEXS
@@ -119,8 +122,9 @@ func (k *Kernel) scheduleCyc(c *CyclicHandler, d sysc.Time) {
 }
 
 // StpCyc deactivates a cyclic handler (tk_stp_cyc).
-func (k *Kernel) StpCyc(id ID) ER {
-	defer k.enter("tk_stp_cyc")()
+func (k *Kernel) StpCyc(id ID) (er ER) {
+	k.enterSvc("tk_stp_cyc")
+	defer k.exitSvc("tk_stp_cyc", &er)
 	c, ok := k.cycs[id]
 	if !ok {
 		return ENOEXS
@@ -161,8 +165,9 @@ type AlarmInfo struct {
 }
 
 // CreAlm creates an alarm handler (tk_cre_alm).
-func (k *Kernel) CreAlm(name string, fn HandlerFunc) (ID, ER) {
-	defer k.enter("tk_cre_alm")()
+func (k *Kernel) CreAlm(name string, fn HandlerFunc) (_ ID, er ER) {
+	k.enterSvc("tk_cre_alm")
+	defer k.exitSvc("tk_cre_alm", &er)
 	k.nextAlm++
 	id := k.nextAlm
 	a := &AlarmHandler{id: id, name: name, k: k, fn: fn}
@@ -174,8 +179,9 @@ func (k *Kernel) CreAlm(name string, fn HandlerFunc) (ID, ER) {
 }
 
 // DelAlm deletes an alarm handler (tk_del_alm).
-func (k *Kernel) DelAlm(id ID) ER {
-	defer k.enter("tk_del_alm")()
+func (k *Kernel) DelAlm(id ID) (er ER) {
+	k.enterSvc("tk_del_alm")
+	defer k.exitSvc("tk_del_alm", &er)
 	a, ok := k.alms[id]
 	if !ok {
 		return ENOEXS
@@ -188,8 +194,9 @@ func (k *Kernel) DelAlm(id ID) ER {
 
 // StaAlm arms the alarm to fire once, d from now (tk_sta_alm). Re-arming
 // replaces the previous setting.
-func (k *Kernel) StaAlm(id ID, d sysc.Time) ER {
-	defer k.enter("tk_sta_alm")()
+func (k *Kernel) StaAlm(id ID, d sysc.Time) (er ER) {
+	k.enterSvc("tk_sta_alm")
+	defer k.exitSvc("tk_sta_alm", &er)
 	a, ok := k.alms[id]
 	if !ok {
 		return ENOEXS
@@ -212,8 +219,9 @@ func (k *Kernel) StaAlm(id ID, d sysc.Time) ER {
 }
 
 // StpAlm disarms the alarm (tk_stp_alm).
-func (k *Kernel) StpAlm(id ID) ER {
-	defer k.enter("tk_stp_alm")()
+func (k *Kernel) StpAlm(id ID) (er ER) {
+	k.enterSvc("tk_stp_alm")
+	defer k.exitSvc("tk_stp_alm", &er)
 	a, ok := k.alms[id]
 	if !ok {
 		return ENOEXS

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/event"
+	"repro/internal/sysc"
+)
+
+// Perfetto streams kernel events into the Chrome trace-event JSON format
+// (the "JSON Array Format"), which ui.perfetto.dev and chrome://tracing load
+// directly. Charged run slices become complete ("X") events with durations;
+// kernel dynamics (dispatch, preemption, interrupts, service calls, timer
+// fires...) become instant ("i") events on the owning thread's row, or on a
+// synthetic "kernel" row when no thread is involved.
+//
+// The exporter writes incrementally — each event is encoded and flushed to
+// the underlying writer as it is published, so arbitrarily long runs never
+// buffer the whole trace in memory. Output is deterministic: records are
+// emitted in publish order with fixed field order, so two runs of the same
+// seeded model produce byte-identical files.
+type Perfetto struct {
+	w       *bufio.Writer
+	sub     *event.Subscription
+	tids    map[string]int
+	nextTid int
+	n       int // records written
+	err     error
+}
+
+// tidKernel is the synthetic row carrying events without a subject thread.
+const tidKernel = 0
+
+// pfPid is the single process ID used for the whole simulation.
+const pfPid = 1
+
+// picosecond -> microsecond (the trace-event ts/dur unit).
+const psPerUs = 1e6
+
+type pfMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type pfComplete struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type pfInstant struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// pfKinds is the event subset the exporter records. Quiescent points and
+// time advances are deliberately excluded: they occur at every timed-phase
+// boundary and would dominate the file without adding visual information.
+var pfKinds = []event.Kind{
+	event.KindRunSlice,
+	event.KindSvcEnter, event.KindSvcExit,
+	event.KindDispatch, event.KindPreempt,
+	event.KindBlock, event.KindRelease,
+	event.KindIntEnter, event.KindIntExit,
+	event.KindActivate, event.KindExit, event.KindTerminate,
+	event.KindSuspend, event.KindResume,
+	event.KindTimerFire,
+}
+
+// AttachPerfetto subscribes a streaming exporter to the bus, writing the
+// JSON array to w. Call Close after the run to finish the array and flush.
+func AttachPerfetto(b *event.Bus, w io.Writer) *Perfetto {
+	p := &Perfetto{
+		w:       bufio.NewWriter(w),
+		tids:    map[string]int{},
+		nextTid: tidKernel + 1,
+	}
+	p.w.WriteString("[")
+	p.meta("process_name", pfPid, tidKernel, map[string]any{"name": "rtk-spec-tron"})
+	p.meta("thread_name", pfPid, tidKernel, map[string]any{"name": "kernel"})
+	p.sub = b.Subscribe(p.handle, pfKinds...)
+	return p
+}
+
+// Close detaches the exporter from the bus, terminates the JSON array and
+// flushes. It returns the first write or encode error encountered.
+func (p *Perfetto) Close() error {
+	p.sub.Close()
+	p.w.WriteString("\n]\n")
+	if err := p.w.Flush(); err != nil && p.err == nil {
+		p.err = err
+	}
+	return p.err
+}
+
+// Events returns the number of trace records written so far.
+func (p *Perfetto) Events() int { return p.n }
+
+// tid returns the row for a thread name, assigning one (and emitting its
+// thread_name metadata) on first sight. Events without a subject thread go
+// to the kernel row.
+func (p *Perfetto) tid(thread string) int {
+	if thread == "" {
+		return tidKernel
+	}
+	if id, ok := p.tids[thread]; ok {
+		return id
+	}
+	id := p.nextTid
+	p.nextTid++
+	p.tids[thread] = id
+	p.meta("thread_name", pfPid, id, map[string]any{"name": thread})
+	return id
+}
+
+func (p *Perfetto) handle(e event.Event) {
+	switch e.Kind {
+	case event.KindRunSlice:
+		name := e.Obj
+		if name == "" {
+			name = Context(e.Ctx).String()
+		}
+		p.emit(pfComplete{
+			Name: name, Cat: Context(e.Ctx).String(), Ph: "X",
+			Ts: us(e.Start), Dur: us(e.Time - e.Start),
+			Pid: pfPid, Tid: p.tid(e.Thread),
+			Args: map[string]any{"energy_j": float64(e.Energy)},
+		})
+	case event.KindSvcExit:
+		p.instant(e, e.Obj, map[string]any{"er": e.Code})
+	case event.KindSvcEnter:
+		p.instant(e, e.Obj, nil)
+	case event.KindPreempt, event.KindBlock, event.KindRelease:
+		var args map[string]any
+		if e.Obj != "" {
+			args = map[string]any{"detail": e.Obj}
+		}
+		p.instant(e, e.Kind.String(), args)
+	case event.KindIntEnter:
+		p.instant(e, e.Kind.String(), map[string]any{"depth": e.Seq})
+	case event.KindTimerFire:
+		p.instant(e, e.Kind.String(), map[string]any{"armed_us": us(e.Start), "seq": e.Seq})
+	default:
+		p.instant(e, e.Kind.String(), nil)
+	}
+}
+
+// instant emits an "i" record for e on its thread's row.
+func (p *Perfetto) instant(e event.Event, name string, args map[string]any) {
+	p.emit(pfInstant{
+		Name: name, Cat: e.Kind.String(), Ph: "i",
+		Ts: us(e.Time), Pid: pfPid, Tid: p.tid(e.Thread), S: "t",
+		Args: args,
+	})
+}
+
+func (p *Perfetto) meta(name string, pid, tid int, args map[string]any) {
+	p.emit(pfMeta{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args})
+}
+
+// emit encodes one record and appends it to the array.
+func (p *Perfetto) emit(rec any) {
+	if p.err != nil {
+		return
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		p.err = err
+		return
+	}
+	if p.n > 0 {
+		p.w.WriteString(",\n")
+	} else {
+		p.w.WriteString("\n")
+	}
+	if _, err := p.w.Write(buf); err != nil {
+		p.err = err
+		return
+	}
+	p.n++
+}
+
+// us converts simulation picoseconds to trace-event microseconds.
+func us(t sysc.Time) float64 { return float64(t) / psPerUs }
+
+// ValidatePerfetto schema-checks a trace-event JSON array: every record must
+// carry a known phase (M/X/i), pid and tid, a numeric ts for X/i records and
+// a non-negative dur for X records. It returns the number of records.
+func ValidatePerfetto(r io.Reader) (int, error) {
+	var recs []map[string]any
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return 0, fmt.Errorf("trace: not a JSON array: %w", err)
+	}
+	for i, rec := range recs {
+		ph, _ := rec["ph"].(string)
+		switch ph {
+		case "M", "X", "i":
+		default:
+			return i, fmt.Errorf("trace: record %d: bad ph %q", i, rec["ph"])
+		}
+		if _, ok := rec["pid"].(float64); !ok {
+			return i, fmt.Errorf("trace: record %d: missing pid", i)
+		}
+		if _, ok := rec["tid"].(float64); !ok {
+			return i, fmt.Errorf("trace: record %d: missing tid", i)
+		}
+		if ph == "M" {
+			continue
+		}
+		if _, ok := rec["ts"].(float64); !ok {
+			return i, fmt.Errorf("trace: record %d: missing ts", i)
+		}
+		if ph == "X" {
+			dur, ok := rec["dur"].(float64)
+			if !ok || dur < 0 {
+				return i, fmt.Errorf("trace: record %d: bad dur %v", i, rec["dur"])
+			}
+		}
+	}
+	return len(recs), nil
+}
