@@ -7,7 +7,7 @@
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race check chaos chaos-traced bench bench-guard bench-all clean
+.PHONY: all build test vet race check chaos chaos-traced bench bench-guard bench-all perf-smoke clean
 
 all: check
 
@@ -53,6 +53,15 @@ bench-guard:
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
+
+# CI perf smoke: the headline gui=off/frame=off configuration (plus its idle
+# twins) against the committed baseline, with a generous 20% tolerance to
+# absorb shared-runner noise while still catching order-of-magnitude
+# regressions in the kernel hot path.
+perf-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable2CoSimSpeed/gui=off/frame=off' -benchtime 1s . \
+		| $(GO) run ./cmd/benchjson -metric simsec/s -out /tmp/BENCH_sysc.smoke.json \
+			-baseline BENCH_sysc.json -tolerance 20
 
 clean:
 	$(GO) clean ./...

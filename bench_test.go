@@ -28,36 +28,52 @@ const benchSimWindow = 250 * sysc.Ms
 // simsec/s is the paper's S/R.
 func BenchmarkTable2CoSimSpeed(b *testing.B) {
 	type cfg struct {
-		name  string
-		gui   bool
-		frame sysc.Time
+		name       string
+		gui        bool
+		frame      sysc.Time
+		idleSleep  sysc.Time
+		noTickless bool
+		window     sysc.Time // overrides benchSimWindow when non-zero
 	}
 	cases := []cfg{
-		{"gui=off/frame=off", false, 0},
-		{"gui=off/frame=100ms", false, 100 * sysc.Ms},
-		{"gui=off/frame=50ms", false, 50 * sysc.Ms},
-		{"gui=off/frame=20ms", false, 20 * sysc.Ms},
-		{"gui=off/frame=10ms", false, 10 * sysc.Ms},
-		{"gui=on/frame=off", true, 0},
-		{"gui=on/frame=100ms", true, 100 * sysc.Ms},
-		{"gui=on/frame=50ms", true, 50 * sysc.Ms},
-		{"gui=on/frame=20ms", true, 20 * sysc.Ms},
-		{"gui=on/frame=10ms", true, 10 * sysc.Ms},
+		{name: "gui=off/frame=off"},
+		{name: "gui=off/frame=100ms", frame: 100 * sysc.Ms},
+		{name: "gui=off/frame=50ms", frame: 50 * sysc.Ms},
+		{name: "gui=off/frame=20ms", frame: 20 * sysc.Ms},
+		{name: "gui=off/frame=10ms", frame: 10 * sysc.Ms},
+		{name: "gui=on/frame=off", gui: true},
+		{name: "gui=on/frame=100ms", gui: true, frame: 100 * sysc.Ms},
+		{name: "gui=on/frame=50ms", gui: true, frame: 50 * sysc.Ms},
+		{name: "gui=on/frame=20ms", gui: true, frame: 20 * sysc.Ms},
+		{name: "gui=on/frame=10ms", gui: true, frame: 10 * sysc.Ms},
+		// Idle-heavy variant: T4 sleeps in tk_dly_tsk instead of modelling
+		// busy work, so most system ticks have nothing to do — the tickless
+		// fast-forward case. The tickless=off twin measures its gain. The
+		// longer window amortizes model construction, which otherwise
+		// dominates an idle iteration and hides the steady-state gain.
+		{name: "gui=off/frame=off/idle=sleep", idleSleep: 50 * sysc.Ms, window: 2500 * sysc.Ms},
+		{name: "gui=off/frame=off/idle=sleep/tickless=off", idleSleep: 50 * sysc.Ms, noTickless: true, window: 2500 * sysc.Ms},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			window := benchSimWindow
+			if c.window != 0 {
+				window = c.window
+			}
 			for i := 0; i < b.N; i++ {
 				acfg := app.DefaultConfig()
 				acfg.GUI = c.gui
 				acfg.GUIWorkFactor = experiments.GUIWorkFactor
 				acfg.FramePeriod = c.frame
+				acfg.IdleSleep = c.idleSleep
+				acfg.DisableTickless = c.noTickless
 				a := app.Build(acfg)
-				if err := a.Run(benchSimWindow); err != nil {
+				if err := a.Run(window); err != nil {
 					b.Fatal(err)
 				}
 				a.Shutdown()
 			}
-			simsec := benchSimWindow.Seconds() * float64(b.N)
+			simsec := window.Seconds() * float64(b.N)
 			b.ReportMetric(simsec/b.Elapsed().Seconds(), "simsec/s")
 		})
 	}

@@ -17,6 +17,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/profiling"
 )
 
 // Report is the schema of the emitted JSON file.
@@ -35,7 +37,14 @@ func main() {
 	out := flag.String("out", "BENCH_sysc.json", "output JSON file")
 	baseline := flag.String("baseline", "", "baseline JSON to guard against: exit 1 if any shared config regresses")
 	tolerance := flag.Float64("tolerance", 5, "allowed regression below the baseline metric, in percent")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	rep := Report{
 		Metric:  *metric,
@@ -97,6 +106,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	rtkspec -trace out.json         # stream a Perfetto/Chrome trace
 //	rtkspec -metrics report.json    # per-task latency/wait/CET-CEE report
 //	rtkspec -gui=false -frame 50ms  # sweep the Table 2 knobs by hand
+//	rtkspec -cpuprofile cpu.out -memprofile mem.out  # pprof the run
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/event"
 	"repro/internal/metrics"
+	"repro/internal/profiling"
 	"repro/internal/sysc"
 	"repro/internal/tkds"
 	"repro/internal/trace"
@@ -34,7 +36,14 @@ func main() {
 	traceOut := flag.String("trace", "", "stream a Perfetto/Chrome trace-event JSON file (load at ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "write a per-task scheduling-metrics JSON report")
 	seed := flag.Uint64("seed", 0, "seed the synthetic user's key presses (0 = fixed legacy pattern)")
+	prof := profiling.AddFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	g := trace.NewGantt()
 	g.SetLimit(500000)
@@ -137,5 +146,9 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("metrics: per-task report written to %s\n", *metricsOut)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,78 @@
+package app_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+// abRun builds the case study with full observability attached, runs 2 s of
+// system time, and returns the perfetto trace bytes, the metrics JSON bytes
+// and the kernel tick count.
+func abRun(t *testing.T, cfg app.Config, disable bool) ([]byte, []byte, uint64) {
+	t.Helper()
+	bus := event.NewBus()
+	var tbuf bytes.Buffer
+	pf := trace.AttachPerfetto(bus, &tbuf)
+	coll := metrics.Attach(bus)
+	cfg.Bus = bus
+	cfg.DisableTickless = disable
+	a := app.Build(cfg)
+	defer a.Shutdown()
+	if err := a.Run(2 * sysc.Sec); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	if err := coll.WriteJSON(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	coll.Close()
+	return tbuf.Bytes(), mbuf.Bytes(), a.K.Ticks()
+}
+
+// TestTicklessObservablyIdentical asserts the tickless fast-forward is
+// invisible to every observer: for a fixed seed, the perfetto trace and the
+// metrics JSON are byte-identical with tickless on and off, in both the busy
+// default configuration and a sleeping-idle one where most ticks are
+// skipped.
+func TestTicklessObservablyIdentical(t *testing.T) {
+	busy := app.DefaultConfig()
+	busy.GUI = false
+	busy.Seed = 7
+
+	idle := app.DefaultConfig()
+	idle.GUI = false
+	idle.Seed = 7
+	idle.FramePeriod = 0
+	idle.IdleSleep = 20 * sysc.Ms
+
+	for name, cfg := range map[string]app.Config{"busy": busy, "idle": idle} {
+		t.Run(name, func(t *testing.T) {
+			trOn, mOn, ticksOn := abRun(t, cfg, false)
+			trOff, mOff, ticksOff := abRun(t, cfg, true)
+			if ticksOn != ticksOff {
+				t.Fatalf("ticks: tickless %d, baseline %d", ticksOn, ticksOff)
+			}
+			if ticksOn != 2000 {
+				t.Fatalf("ticks = %d, want 2000", ticksOn)
+			}
+			if !bytes.Equal(trOn, trOff) {
+				t.Fatalf("perfetto trace differs (%d vs %d bytes)", len(trOn), len(trOff))
+			}
+			if !bytes.Equal(mOn, mOff) {
+				t.Fatalf("metrics JSON differs:\n%s\n---\n%s", mOn, mOff)
+			}
+			if len(trOn) == 0 || len(mOn) == 0 {
+				t.Fatal("empty observability output")
+			}
+		})
+	}
+}

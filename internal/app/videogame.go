@@ -50,8 +50,21 @@ type Config struct {
 	Costs *tkernel.Costs
 	// FrameWork is T1's computation per frame (default 300 us / 15 uJ).
 	FrameWork core.Cost
-	// IdleSlice is T4's work chunk per loop (default 1 ms at low power).
+	// IdleSlice is T4's work chunk per loop (default 10 ms at low power).
+	// The slice is only a trace-segmentation granule: SIM_Wait is a
+	// preemption point that wakes on the preempt event and charges pro
+	// rata, so a longer slice changes neither scheduling instants nor
+	// consumed time/energy — it just cuts the idle thread's park/wake
+	// round-trips (and, under tickless, lets the clock skip across it).
 	IdleSlice core.Cost
+	// IdleSleep, when positive, makes T4 block in tk_dly_tsk for this long
+	// per loop instead of modelling IdleSlice of busy work — the
+	// halt-the-CPU idle loop of a real RTOS, and the configuration where
+	// the tickless fast-forward pays off.
+	IdleSleep sysc.Time
+	// DisableTickless forces every RTC tick to be simulated (A/B trace
+	// comparison, debugging).
+	DisableTickless bool
 	// Seed randomizes the synthetic user's key presses (deterministic per
 	// seed). Zero keeps the legacy fixed up/down pattern.
 	Seed uint64
@@ -119,7 +132,7 @@ func Build(cfg Config) *App {
 		cfg.FrameWork = core.Cost{Time: 300 * sysc.Us, Energy: 15 * petri.MicroJ}
 	}
 	if cfg.IdleSlice == (core.Cost{}) {
-		cfg.IdleSlice = core.Cost{Time: 1 * sysc.Ms, Energy: 2 * petri.MicroJ}
+		cfg.IdleSlice = core.Cost{Time: 10 * sysc.Ms, Energy: 20 * petri.MicroJ}
 	}
 	costs := tkernel.DefaultCosts()
 	if cfg.Costs != nil {
@@ -141,11 +154,13 @@ func Build(cfg Config) *App {
 	bcfg.VCD = cfg.VCD
 	a.B = bfm.New(a.Sim, nil, bcfg)
 	a.K = tkernel.New(a.Sim, tkernel.Config{
-		Costs:      costs,
-		Bus:        cfg.Bus,
-		Gantt:      cfg.Trace,
-		TickSource: a.B.RTC.TickEvent(),
-		Tick:       a.B.RTC.Period(),
+		Costs:           costs,
+		Bus:             cfg.Bus,
+		Gantt:           cfg.Trace,
+		TickSource:      a.B.RTC.TickEvent(),
+		Tick:            a.B.RTC.Period(),
+		Ticker:          a.B.RTC.Ticker(),
+		DisableTickless: cfg.DisableTickless,
 	})
 	a.B.SetAPI(a.K.API())
 
@@ -339,9 +354,17 @@ func (a *App) ssdTask(task *tkernel.Task) {
 }
 
 // idleTask is T4: the lowest-priority task burning idle cycles (its share
-// in the time/energy distribution shows the CPU headroom, Figure 7).
+// in the time/energy distribution shows the CPU headroom, Figure 7). With
+// IdleSleep set it blocks in tk_dly_tsk instead, leaving the CPU genuinely
+// idle between events.
 func (a *App) idleTask(task *tkernel.Task) {
 	for {
+		if a.cfg.IdleSleep > 0 {
+			if er := a.K.DlyTsk(a.cfg.IdleSleep); er != tkernel.EOK {
+				return
+			}
+			continue
+		}
 		a.K.Work(a.cfg.IdleSlice, "idle")
 	}
 }

@@ -157,27 +157,44 @@ func newRTC(sim *sysc.Simulator, period sysc.Time) *RTC {
 // TickEvent returns the tick event; pass it as the kernel's TickSource.
 func (r *RTC) TickEvent() *sysc.Event { return r.ticker.Event() }
 
+// Ticker returns the underlying periodic source; pass it as the kernel's
+// Config.Ticker to enable the tickless fast-forward (the kernel is the only
+// consumer of the RTC tick).
+func (r *RTC) Ticker() *sysc.Ticker { return r.ticker }
+
 // Period returns the tick resolution.
 func (r *RTC) Period() sysc.Time { return r.period }
 
 // MemoryController models external data memory (XRAM) accessed with MOVX
-// (2 machine cycles per transfer on the 8051).
+// (2 machine cycles per transfer on the 8051). The backing arena is
+// allocated on the first write: a 64 KiB zeroed arena per platform build is
+// by far the largest construction cost, and most models never touch XRAM
+// (reads of unwritten memory are 0 either way).
 type MemoryController struct {
 	b    *BFM
-	xram []byte
+	size int
+	xram []byte // nil until first written
 }
 
 func newMemoryController(b *BFM, size int) *MemoryController {
-	return &MemoryController{b: b, xram: make([]byte, size)}
+	return &MemoryController{b: b, size: size}
 }
 
 // Size returns the XRAM size in bytes.
-func (m *MemoryController) Size() int { return len(m.xram) }
+func (m *MemoryController) Size() int { return m.size }
+
+// mem returns the arena, materializing it on first use.
+func (m *MemoryController) mem() []byte {
+	if m.xram == nil {
+		m.xram = make([]byte, m.size)
+	}
+	return m.xram
+}
 
 // Read performs a MOVX read (2 machine cycles).
 func (m *MemoryController) Read(addr uint16) byte {
 	m.b.call(2, fmt.Sprintf("movx.rd@%04x", addr))
-	if int(addr) >= len(m.xram) {
+	if int(addr) >= m.size || m.xram == nil {
 		return 0
 	}
 	return m.xram[addr]
@@ -186,8 +203,8 @@ func (m *MemoryController) Read(addr uint16) byte {
 // Write performs a MOVX write (2 machine cycles).
 func (m *MemoryController) Write(addr uint16, v byte) {
 	m.b.call(2, fmt.Sprintf("movx.wr@%04x", addr))
-	if int(addr) < len(m.xram) {
-		m.xram[addr] = v
+	if int(addr) < m.size {
+		m.mem()[addr] = v
 	}
 	m.b.probe("xram.addr", uint64(addr))
 	m.b.probe("xram.data", uint64(v))
@@ -197,8 +214,12 @@ func (m *MemoryController) Write(addr uint16, v byte) {
 func (m *MemoryController) ReadBlock(addr uint16, n int) []byte {
 	m.b.call(2*n, fmt.Sprintf("movx.blk.rd@%04x+%d", addr, n))
 	out := make([]byte, 0, n)
-	for i := 0; i < n && int(addr)+i < len(m.xram); i++ {
-		out = append(out, m.xram[int(addr)+i])
+	for i := 0; i < n && int(addr)+i < m.size; i++ {
+		if m.xram == nil {
+			out = append(out, 0)
+		} else {
+			out = append(out, m.xram[int(addr)+i])
+		}
 	}
 	return out
 }
@@ -207,8 +228,8 @@ func (m *MemoryController) ReadBlock(addr uint16, n int) []byte {
 func (m *MemoryController) WriteBlock(addr uint16, data []byte) {
 	m.b.call(2*len(data), fmt.Sprintf("movx.blk.wr@%04x+%d", addr, len(data)))
 	for i, v := range data {
-		if int(addr)+i < len(m.xram) {
-			m.xram[int(addr)+i] = v
+		if int(addr)+i < m.size {
+			m.mem()[int(addr)+i] = v
 		}
 	}
 }

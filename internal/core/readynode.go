@@ -1,0 +1,20 @@
+package core
+
+// ReadyNode is the intrusive ready-queue link embedded in every TThread.
+// Scheduler implementations thread their per-priority doubly-linked lists
+// through these nodes, so enqueue/dequeue/rotate never allocate — the
+// classic RTOS TCB-list layout (µITRON/T-Kernel ready queues work the same
+// way). A thread sits in at most one ready structure at a time: In points at
+// the Scheduler currently holding the thread (nil when unqueued), which
+// makes Dequeue of an absent thread a no-op and lets a re-enqueue relocate
+// the node instead of corrupting the previous list.
+type ReadyNode struct {
+	Next, Prev *TThread
+	In         Scheduler // owning queue, nil when not queued
+	Prio       int       // precedence class the node was filed under at enqueue
+}
+
+// ReadyLink exposes the thread's intrusive ready-queue node to scheduler
+// implementations. Only the Scheduler recorded in the node's In field may
+// mutate the link fields.
+func (t *TThread) ReadyLink() *ReadyNode { return &t.ready }

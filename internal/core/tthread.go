@@ -42,24 +42,26 @@ const (
 	plWaiting
 )
 
+// tthreadPlaces and tthreadArcs describe the cyclic state-machine net of
+// Figure 2, indexed by the pl*/tr* constants above.
+var (
+	tthreadPlaces = []string{"dormant", "running", "ready", "waiting"}
+	tthreadArcs   = []petri.Arc{
+		{Name: "Es", In: plDormant, Out: plRunning},
+		{Name: "Ec", In: plRunning, Out: plRunning},
+		{Name: "paused", In: plRunning, Out: plReady},
+		{Name: "Ex", In: plReady, Out: plRunning},
+		{Name: "Ew", In: plRunning, Out: plWaiting},
+		{Name: "wakeup", In: plWaiting, Out: plReady},
+		{Name: "exit", In: plRunning, Out: plDormant},
+		{Name: "term-ready", In: plReady, Out: plDormant},
+		{Name: "term-wait", In: plWaiting, Out: plDormant},
+	}
+)
+
 // newTThreadNet builds the cyclic state-machine net of Figure 2.
 func newTThreadNet(name string) *petri.Net {
-	n := petri.New(name)
-	d := n.AddPlace("dormant", 1)
-	r := n.AddPlace("running", 0)
-	q := n.AddPlace("ready", 0)
-	w := n.AddPlace("waiting", 0)
-	one := func(p *petri.Place) []*petri.Place { return []*petri.Place{p} }
-	n.AddTransition("Es", petri.Cost{}, one(d), one(r))
-	n.AddTransition("Ec", petri.Cost{}, one(r), one(r))
-	n.AddTransition("paused", petri.Cost{}, one(r), one(q))
-	n.AddTransition("Ex", petri.Cost{}, one(q), one(r))
-	n.AddTransition("Ew", petri.Cost{}, one(r), one(w))
-	n.AddTransition("wakeup", petri.Cost{}, one(w), one(q))
-	n.AddTransition("exit", petri.Cost{}, one(r), one(d))
-	n.AddTransition("term-ready", petri.Cost{}, one(q), one(d))
-	n.AddTransition("term-wait", petri.Cost{}, one(w), one(d))
-	return n
+	return petri.NewStateMachine(name, tthreadPlaces, plDormant, tthreadArcs)
 }
 
 // TThread is the paper's controllable process model: a cyclic object whose
@@ -92,6 +94,8 @@ type TThread struct {
 	hasPendingRel bool
 
 	exinf any // user extended information (µITRON exinf)
+
+	ready ReadyNode // intrusive ready-queue link (owned by the scheduler)
 
 	net    *petri.Net
 	seq    *petri.FiringSequence

@@ -180,6 +180,42 @@ func (n *Net) IsStateMachine() bool {
 	return true
 }
 
+// Arc describes one state-machine transition for NewStateMachine: a named
+// transition moving the token from place index In to place index Out.
+type Arc struct {
+	Name    string
+	In, Out int
+}
+
+// NewStateMachine bulk-builds a single-token state-machine net: one place per
+// name with the token on places[initial], and one zero-cost transition per
+// arc. Unlike AddPlace/AddTransition it allocates a fixed handful of backing
+// arrays, which matters because a T-THREAD net is built per thread and net
+// construction otherwise dominates model build time.
+func NewStateMachine(name string, places []string, initial int, arcs []Arc) *Net {
+	ps := make([]Place, len(places))
+	pp := make([]*Place, len(places))
+	for i, pn := range places {
+		ps[i] = Place{ID: i, Name: pn}
+		pp[i] = &ps[i]
+	}
+	if initial >= 0 && initial < len(ps) {
+		ps[initial].Tokens = 1
+	}
+	ts := make([]Transition, len(arcs))
+	tp := make([]*Transition, len(arcs))
+	ends := make([]*Place, 2*len(arcs))
+	for i, a := range arcs {
+		ends[2*i], ends[2*i+1] = pp[a.In], pp[a.Out]
+		ts[i] = Transition{ID: i, Name: a.Name,
+			Inputs:  ends[2*i : 2*i+1 : 2*i+1],
+			Outputs: ends[2*i+1 : 2*i+2 : 2*i+2],
+		}
+		tp[i] = &ts[i]
+	}
+	return &Net{Name: name, Places: pp, Transitions: tp}
+}
+
 // NewCycle builds the cyclic state-machine net of a T-THREAD (Figure 2): one
 // place per stage name, transitions stage(i) -> stage(i+1 mod N), and a
 // single token on the first place. Costs default to zero and are assigned

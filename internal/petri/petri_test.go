@@ -228,3 +228,59 @@ func TestGeneralNetNotStateMachine(t *testing.T) {
 		t.Fatalf("fork should produce 2 tokens, got %d", n.TotalTokens())
 	}
 }
+
+// TestNewStateMachineEquivalent asserts the bulk constructor builds the same
+// net as the incremental AddPlace/AddTransition sequence.
+func TestNewStateMachineEquivalent(t *testing.T) {
+	places := []string{"a", "b", "c"}
+	arcs := []Arc{{Name: "t0", In: 0, Out: 1}, {Name: "t1", In: 1, Out: 2}, {Name: "self", In: 2, Out: 2}}
+	got := NewStateMachine("sm", places, 0, arcs)
+
+	want := New("sm")
+	for i, p := range places {
+		tok := 0
+		if i == 0 {
+			tok = 1
+		}
+		want.AddPlace(p, tok)
+	}
+	for _, a := range arcs {
+		want.AddTransition(a.Name, Cost{}, []*Place{want.Places[a.In]}, []*Place{want.Places[a.Out]})
+	}
+
+	if len(got.Places) != len(want.Places) || len(got.Transitions) != len(want.Transitions) {
+		t.Fatalf("sizes: %d/%d places, %d/%d transitions",
+			len(got.Places), len(want.Places), len(got.Transitions), len(want.Transitions))
+	}
+	for i := range got.Places {
+		g, w := got.Places[i], want.Places[i]
+		if g.ID != w.ID || g.Name != w.Name || g.Tokens != w.Tokens {
+			t.Fatalf("place %d: %+v vs %+v", i, g, w)
+		}
+	}
+	for i := range got.Transitions {
+		g, w := got.Transitions[i], want.Transitions[i]
+		if g.ID != w.ID || g.Name != w.Name || g.Cost != w.Cost {
+			t.Fatalf("transition %d: %+v vs %+v", i, g, w)
+		}
+		if len(g.Inputs) != 1 || len(g.Outputs) != 1 ||
+			g.Inputs[0].ID != w.Inputs[0].ID || g.Outputs[0].ID != w.Outputs[0].ID {
+			t.Fatalf("transition %d arcs differ", i)
+		}
+	}
+	if !got.IsStateMachine() {
+		t.Fatal("not a state machine")
+	}
+	// Firing through the bulk-built net moves the single token identically.
+	for _, tr := range got.Transitions {
+		if got.Enabled(tr) {
+			if err := got.Fire(tr); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if m := got.Marking(); m[0] != 0 || m[1] != 1 || m[2] != 0 {
+		t.Fatalf("marking after t0 = %v", m)
+	}
+}

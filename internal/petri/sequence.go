@@ -2,13 +2,14 @@ package petri
 
 import "repro/internal/sysc"
 
-// FiringSequence records the transitions fired during one execution cycle of
-// a T-THREAD, in order. Its characteristic vector S̄ counts how many times
-// each transition fired; the attached ETM/EEM sums give the sequence's
-// execution time and energy.
+// FiringSequence summarizes the transitions fired during one execution cycle
+// of a T-THREAD. Its characteristic vector S̄ counts how many times each
+// transition fired; the attached ETM/EEM sums give the sequence's execution
+// time and energy. Only the counts are kept — the ordered firing list is not
+// materialized, so a cycle of any length records in O(1) space.
 type FiringSequence struct {
 	net    *Net
-	order  []*Transition
+	n      int
 	counts []int
 	total  Cost
 }
@@ -21,7 +22,7 @@ func NewFiringSequence(n *Net) *FiringSequence {
 // Record notes that t fired with the given (possibly preemption-scaled)
 // cost. The cost may differ from t.Cost when the executor charges pro rata.
 func (s *FiringSequence) Record(t *Transition, cost Cost) {
-	s.order = append(s.order, t)
+	s.n++
 	if t.ID < len(s.counts) {
 		s.counts[t.ID]++
 	}
@@ -29,7 +30,7 @@ func (s *FiringSequence) Record(t *Transition, cost Cost) {
 }
 
 // Len returns the number of firings recorded.
-func (s *FiringSequence) Len() int { return len(s.order) }
+func (s *FiringSequence) Len() int { return s.n }
 
 // CharacteristicVector returns S̄: element i is the number of times
 // transition i fired in the sequence.
@@ -51,7 +52,7 @@ func (s *FiringSequence) Total() Cost { return s.total }
 // Reset clears the sequence for the next execution cycle while keeping the
 // net binding.
 func (s *FiringSequence) Reset() {
-	s.order = s.order[:0]
+	s.n = 0
 	for i := range s.counts {
 		s.counts[i] = 0
 	}

@@ -1,0 +1,66 @@
+// Package profiling provides the shared -cpuprofile/-memprofile plumbing of
+// the command-line tools, mirroring the flags of `go test`.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config holds the profile output paths; empty strings disable a profile.
+type Config struct {
+	CPU string
+	Mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag set and
+// returns the config they populate. Call before flag.Parse.
+func AddFlags() *Config {
+	c := &Config{}
+	flag.StringVar(&c.CPU, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&c.Mem, "memprofile", "", "write a pprof heap profile to this file on exit")
+	return c
+}
+
+// Start begins CPU profiling if requested and returns a stop function that
+// ends the CPU profile and writes the heap profile. Call stop once, before
+// exiting; it is safe to call when no profile was requested.
+func (c *Config) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.CPU != "" {
+		cpuFile, err = os.Create(c.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if c.Mem != "" {
+			f, err := os.Create(c.Mem)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

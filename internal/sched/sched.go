@@ -2,67 +2,141 @@
 // interacts with: the priority-based preemptive ready queue used by
 // RTK-Spec II and RTK-Spec TRON (T-Kernel/OS policy), and the round-robin
 // queue of RTK-Spec I.
+//
+// Both schedulers use the classic O(1) RTOS data path: intrusive
+// doubly-linked TCB lists threaded through the ReadyNode embedded in each
+// core.TThread, with (for Priority) a two-level ready bitmap so the highest
+// ready precedence class is found with two TrailingZeros64 instructions.
+// Enqueue, EnqueueFront, Dequeue and Rotate are O(1) and allocation-free in
+// steady state; Peek is O(1).
 package sched
 
-import "repro/internal/core"
+import (
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+const wordBits = 64
+
+// maxPriorities bounds the two-level bitmap: one 64-bit summary word over up
+// to 64 detail words. Far above any µITRON priority range in use (the kernel
+// defaults to 140 levels).
+const maxPriorities = wordBits * wordBits
+
+// list is one precedence class: an intrusive FIFO of ready threads.
+type list struct {
+	head, tail *core.TThread
+}
 
 // Priority is a priority-based preemptive scheduler: per-priority FIFO
 // precedence classes, lower numeric priority runs first, and a ready thread
 // preempts the running one only when strictly higher priority. This is the
 // T-Kernel/OS scheduling policy.
+//
+// summary bit w is set iff words[w] != 0; words[w] bit b is set iff class
+// w*64+b is non-empty. classes grows lazily to the highest priority seen, so
+// steady-state operation never allocates.
 type Priority struct {
-	classes map[int][]*core.TThread
+	summary uint64
+	words   [wordBits]uint64
+	classes []list
 	n       int
 }
 
 // NewPriority returns an empty priority scheduler.
 func NewPriority() *Priority {
-	return &Priority{classes: map[int][]*core.TThread{}}
+	return &Priority{}
 }
 
-// Enqueue adds t at the tail of its priority class.
-func (s *Priority) Enqueue(t *core.TThread) {
-	p := t.Priority()
-	s.classes[p] = append(s.classes[p], t)
-	s.n++
-}
+// Enqueue adds t at the tail of its priority class. If t is already queued
+// (here or in another scheduler) it is relocated.
+func (s *Priority) Enqueue(t *core.TThread) { s.insert(t, false) }
 
 // EnqueueFront adds t at the head of its priority class (a preempted task
-// keeps precedence within its priority).
-func (s *Priority) EnqueueFront(t *core.TThread) {
+// keeps precedence within its priority). If t is already queued it is
+// relocated.
+func (s *Priority) EnqueueFront(t *core.TThread) { s.insert(t, true) }
+
+func (s *Priority) insert(t *core.TThread, front bool) {
+	nd := t.ReadyLink()
+	if nd.In != nil {
+		nd.In.Dequeue(t)
+	}
 	p := t.Priority()
-	s.classes[p] = append([]*core.TThread{t}, s.classes[p]...)
+	if p < 0 || p >= maxPriorities {
+		panic("sched: priority out of bitmap range")
+	}
+	if p >= len(s.classes) {
+		// Round the growth up to a whole summary word so a burst of
+		// ascending priorities reallocates at most once per 64 classes.
+		grown := make([]list, (p/wordBits+1)*wordBits)
+		copy(grown, s.classes)
+		s.classes = grown
+	}
+	l := &s.classes[p]
+	if front {
+		nd.Prev = nil
+		nd.Next = l.head
+		if l.head != nil {
+			l.head.ReadyLink().Prev = t
+		} else {
+			l.tail = t
+		}
+		l.head = t
+	} else {
+		nd.Next = nil
+		nd.Prev = l.tail
+		if l.tail != nil {
+			l.tail.ReadyLink().Next = t
+		} else {
+			l.head = t
+		}
+		l.tail = t
+	}
+	s.words[p/wordBits] |= 1 << (p % wordBits)
+	s.summary |= 1 << (p / wordBits)
+	nd.In = s
+	nd.Prio = p
 	s.n++
 }
 
-// Dequeue removes t wherever it is queued.
+// Dequeue removes t from its class; no-op if t is not queued here.
 func (s *Priority) Dequeue(t *core.TThread) {
-	for p, q := range s.classes {
-		for i, x := range q {
-			if x == t {
-				s.classes[p] = append(q[:i], q[i+1:]...)
-				s.n--
-				return
-			}
+	nd := t.ReadyLink()
+	if nd.In != core.Scheduler(s) {
+		return
+	}
+	p := nd.Prio
+	l := &s.classes[p]
+	if nd.Prev != nil {
+		nd.Prev.ReadyLink().Next = nd.Next
+	} else {
+		l.head = nd.Next
+	}
+	if nd.Next != nil {
+		nd.Next.ReadyLink().Prev = nd.Prev
+	} else {
+		l.tail = nd.Prev
+	}
+	if l.head == nil {
+		s.words[p/wordBits] &^= 1 << (p % wordBits)
+		if s.words[p/wordBits] == 0 {
+			s.summary &^= 1 << (p / wordBits)
 		}
 	}
+	nd.Next, nd.Prev, nd.In = nil, nil, nil
+	s.n--
 }
 
 // Peek returns the head of the highest-priority non-empty class.
 func (s *Priority) Peek() *core.TThread {
-	best := -1
-	for p, q := range s.classes {
-		if len(q) == 0 {
-			continue
-		}
-		if best == -1 || p < best {
-			best = p
-		}
-	}
-	if best == -1 {
+	if s.summary == 0 {
 		return nil
 	}
-	return s.classes[best][0]
+	w := bits.TrailingZeros64(s.summary)
+	b := bits.TrailingZeros64(s.words[w])
+	return s.classes[w*wordBits+b].head
 }
 
 // ShouldPreempt reports whether ready strictly outranks running.
@@ -73,13 +147,21 @@ func (s *Priority) ShouldPreempt(running, ready *core.TThread) bool {
 // Rotate moves the head of the given priority class to its tail
 // (tk_rot_rdq).
 func (s *Priority) Rotate(priority int) {
-	q := s.classes[priority]
-	if len(q) < 2 {
+	if priority < 0 || priority >= len(s.classes) {
 		return
 	}
-	head := q[0]
-	copy(q, q[1:])
-	q[len(q)-1] = head
+	l := &s.classes[priority]
+	h := l.head
+	if h == nil || h == l.tail {
+		return
+	}
+	nd := h.ReadyLink()
+	l.head = nd.Next
+	l.head.ReadyLink().Prev = nil
+	nd.Next = nil
+	nd.Prev = l.tail
+	l.tail.ReadyLink().Next = h
+	l.tail = h
 }
 
 // Len returns the number of ready threads.
@@ -87,39 +169,75 @@ func (s *Priority) Len() int { return s.n }
 
 // RoundRobin is the RTK-Spec I scheduler: a single FIFO ready queue with no
 // priority preemption; the running task keeps the CPU until it blocks,
-// exits, or the kernel rotates the queue at a time-slice boundary.
+// exits, or the kernel rotates the queue at a time-slice boundary. The queue
+// is the same intrusive list as one Priority precedence class.
 type RoundRobin struct {
-	q []*core.TThread
+	q list
+	n int
 }
 
 // NewRoundRobin returns an empty round-robin scheduler.
 func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 
-// Enqueue adds t at the tail of the ready queue.
-func (s *RoundRobin) Enqueue(t *core.TThread) { s.q = append(s.q, t) }
+// Enqueue adds t at the tail of the ready queue; an already-queued thread is
+// relocated.
+func (s *RoundRobin) Enqueue(t *core.TThread) { s.insert(t, false) }
 
-// EnqueueFront adds t at the head of the ready queue.
-func (s *RoundRobin) EnqueueFront(t *core.TThread) {
-	s.q = append([]*core.TThread{t}, s.q...)
+// EnqueueFront adds t at the head of the ready queue; an already-queued
+// thread is relocated.
+func (s *RoundRobin) EnqueueFront(t *core.TThread) { s.insert(t, true) }
+
+func (s *RoundRobin) insert(t *core.TThread, front bool) {
+	nd := t.ReadyLink()
+	if nd.In != nil {
+		nd.In.Dequeue(t)
+	}
+	if front {
+		nd.Prev = nil
+		nd.Next = s.q.head
+		if s.q.head != nil {
+			s.q.head.ReadyLink().Prev = t
+		} else {
+			s.q.tail = t
+		}
+		s.q.head = t
+	} else {
+		nd.Next = nil
+		nd.Prev = s.q.tail
+		if s.q.tail != nil {
+			s.q.tail.ReadyLink().Next = t
+		} else {
+			s.q.head = t
+		}
+		s.q.tail = t
+	}
+	nd.In = s
+	nd.Prio = 0
+	s.n++
 }
 
-// Dequeue removes t wherever it is queued.
+// Dequeue removes t from the queue; no-op if t is not queued here.
 func (s *RoundRobin) Dequeue(t *core.TThread) {
-	for i, x := range s.q {
-		if x == t {
-			s.q = append(s.q[:i], s.q[i+1:]...)
-			return
-		}
+	nd := t.ReadyLink()
+	if nd.In != core.Scheduler(s) {
+		return
 	}
+	if nd.Prev != nil {
+		nd.Prev.ReadyLink().Next = nd.Next
+	} else {
+		s.q.head = nd.Next
+	}
+	if nd.Next != nil {
+		nd.Next.ReadyLink().Prev = nd.Prev
+	} else {
+		s.q.tail = nd.Prev
+	}
+	nd.Next, nd.Prev, nd.In = nil, nil, nil
+	s.n--
 }
 
 // Peek returns the head of the ready queue.
-func (s *RoundRobin) Peek() *core.TThread {
-	if len(s.q) == 0 {
-		return nil
-	}
-	return s.q[0]
-}
+func (s *RoundRobin) Peek() *core.TThread { return s.q.head }
 
 // ShouldPreempt always reports false: round-robin switches only at
 // time-slice rotation or when the running task gives up the CPU.
@@ -128,13 +246,18 @@ func (s *RoundRobin) ShouldPreempt(running, ready *core.TThread) bool { return f
 // Rotate moves the queue head to the tail regardless of the priority
 // argument (the queue is priority-less).
 func (s *RoundRobin) Rotate(int) {
-	if len(s.q) < 2 {
+	h := s.q.head
+	if h == nil || h == s.q.tail {
 		return
 	}
-	head := s.q[0]
-	copy(s.q, s.q[1:])
-	s.q[len(s.q)-1] = head
+	nd := h.ReadyLink()
+	s.q.head = nd.Next
+	s.q.head.ReadyLink().Prev = nil
+	nd.Next = nil
+	nd.Prev = s.q.tail
+	s.q.tail.ReadyLink().Next = h
+	s.q.tail = h
 }
 
 // Len returns the number of ready threads.
-func (s *RoundRobin) Len() int { return len(s.q) }
+func (s *RoundRobin) Len() int { return s.n }

@@ -1,0 +1,298 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// refPriority is the pre-bitmap map-based priority scheduler, retained
+// verbatim as the reference implementation for the differential test. It is
+// not intrusive: it never touches the threads' ReadyNode, so the same
+// threads can sit in a refPriority and a sched.Priority simultaneously.
+type refPriority struct {
+	classes map[int][]*core.TThread
+	n       int
+}
+
+func newRefPriority() *refPriority {
+	return &refPriority{classes: map[int][]*core.TThread{}}
+}
+
+func (s *refPriority) Enqueue(t *core.TThread) {
+	p := t.Priority()
+	s.classes[p] = append(s.classes[p], t)
+	s.n++
+}
+
+func (s *refPriority) EnqueueFront(t *core.TThread) {
+	p := t.Priority()
+	s.classes[p] = append([]*core.TThread{t}, s.classes[p]...)
+	s.n++
+}
+
+func (s *refPriority) Dequeue(t *core.TThread) {
+	for p, q := range s.classes {
+		for i, x := range q {
+			if x == t {
+				s.classes[p] = append(q[:i], q[i+1:]...)
+				s.n--
+				return
+			}
+		}
+	}
+}
+
+func (s *refPriority) Peek() *core.TThread {
+	best := -1
+	for p, q := range s.classes {
+		if len(q) == 0 {
+			continue
+		}
+		if best == -1 || p < best {
+			best = p
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return s.classes[best][0]
+}
+
+func (s *refPriority) Rotate(priority int) {
+	q := s.classes[priority]
+	if len(q) < 2 {
+		return
+	}
+	head := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = head
+}
+
+func (s *refPriority) Len() int { return s.n }
+
+// refRoundRobin is the pre-rewrite slice-based round-robin queue, kept as
+// the reference for the round-robin differential test.
+type refRoundRobin struct {
+	q []*core.TThread
+}
+
+func (s *refRoundRobin) Enqueue(t *core.TThread) { s.q = append(s.q, t) }
+
+func (s *refRoundRobin) EnqueueFront(t *core.TThread) {
+	s.q = append([]*core.TThread{t}, s.q...)
+}
+
+func (s *refRoundRobin) Dequeue(t *core.TThread) {
+	for i, x := range s.q {
+		if x == t {
+			s.q = append(s.q[:i], s.q[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *refRoundRobin) Peek() *core.TThread {
+	if len(s.q) == 0 {
+		return nil
+	}
+	return s.q[0]
+}
+
+func (s *refRoundRobin) Rotate() {
+	if len(s.q) < 2 {
+		return
+	}
+	head := s.q[0]
+	copy(s.q, s.q[1:])
+	s.q[len(s.q)-1] = head
+}
+
+func (s *refRoundRobin) Len() int { return len(s.q) }
+
+func name(t *core.TThread) string {
+	if t == nil {
+		return "<nil>"
+	}
+	return t.Name()
+}
+
+// TestDifferentialPriority drives the bitmap scheduler and the retained
+// map-based reference with identical randomized op sequences (seeded, no
+// double-enqueues — a thread is in at most one ready structure in the
+// kernel) and asserts identical Peek results, population, and final
+// dispatch order, including tk_rot_rdq within-class FIFO precedence.
+func TestDifferentialPriority(t *testing.T) {
+	// Few distinct priorities so classes collide and FIFO order matters.
+	ths := mkThreads(t, 5, 5, 5, 9, 9, 9, 9, 2, 2, 7, 7, 7, 7, 7, 1, 12)
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		got := sched.NewPriority()
+		want := newRefPriority()
+		queued := map[int]bool{}
+		var in []int // queued indices, for picking dequeue victims
+		pick := func(present bool) int {
+			for tries := 0; tries < 64; tries++ {
+				i := rng.Intn(len(ths))
+				if queued[i] == present {
+					return i
+				}
+			}
+			return -1
+		}
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(5); op {
+			case 0, 1: // enqueue / enqueue-front an absent thread
+				if i := pick(false); i >= 0 {
+					if op == 0 {
+						got.Enqueue(ths[i])
+						want.Enqueue(ths[i])
+					} else {
+						got.EnqueueFront(ths[i])
+						want.EnqueueFront(ths[i])
+					}
+					queued[i] = true
+					in = append(in, i)
+				}
+			case 2: // dequeue a queued thread
+				if i := pick(true); i >= 0 {
+					got.Dequeue(ths[i])
+					want.Dequeue(ths[i])
+					queued[i] = false
+				}
+			case 3: // tk_rot_rdq at the running precedence class
+				if p := want.Peek(); p != nil {
+					got.Rotate(p.Priority())
+					want.Rotate(p.Priority())
+				}
+			case 4: // rotate an arbitrary (possibly empty) class
+				pr := rng.Intn(14)
+				got.Rotate(pr)
+				want.Rotate(pr)
+			}
+			if g, w := got.Peek(), want.Peek(); g != w {
+				t.Fatalf("seed %d step %d: Peek %s, reference %s", seed, step, name(g), name(w))
+			}
+			if g, w := got.Len(), want.Len(); g != w {
+				t.Fatalf("seed %d step %d: Len %d, reference %d", seed, step, g, w)
+			}
+		}
+		// Drain: the full dispatch order must match.
+		for pos := 0; want.Peek() != nil; pos++ {
+			g, w := got.Peek(), want.Peek()
+			if g != w {
+				t.Fatalf("seed %d drain pos %d: dispatch %s, reference %s", seed, pos, name(g), name(w))
+			}
+			got.Dequeue(w)
+			want.Dequeue(w)
+		}
+		if got.Len() != 0 {
+			t.Fatalf("seed %d: %d threads left after drain", seed, got.Len())
+		}
+		_ = in
+	}
+}
+
+// TestDifferentialRoundRobin mirrors TestDifferentialPriority for the
+// RTK-Spec I single-queue scheduler.
+func TestDifferentialRoundRobin(t *testing.T) {
+	ths := mkThreads(t, 1, 2, 3, 4, 5, 6, 7, 8)
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		got := sched.NewRoundRobin()
+		want := &refRoundRobin{}
+		queued := map[int]bool{}
+		pick := func(present bool) int {
+			for tries := 0; tries < 64; tries++ {
+				i := rng.Intn(len(ths))
+				if queued[i] == present {
+					return i
+				}
+			}
+			return -1
+		}
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(4); op {
+			case 0, 1:
+				if i := pick(false); i >= 0 {
+					if op == 0 {
+						got.Enqueue(ths[i])
+						want.Enqueue(ths[i])
+					} else {
+						got.EnqueueFront(ths[i])
+						want.EnqueueFront(ths[i])
+					}
+					queued[i] = true
+				}
+			case 2:
+				if i := pick(true); i >= 0 {
+					got.Dequeue(ths[i])
+					want.Dequeue(ths[i])
+					queued[i] = false
+				}
+			case 3:
+				got.Rotate(0)
+				want.Rotate()
+			}
+			if g, w := got.Peek(), want.Peek(); g != w {
+				t.Fatalf("seed %d step %d: Peek %s, reference %s", seed, step, name(g), name(w))
+			}
+			if g, w := got.Len(), want.Len(); g != w {
+				t.Fatalf("seed %d step %d: Len %d, reference %d", seed, step, g, w)
+			}
+		}
+		for pos := 0; want.Peek() != nil; pos++ {
+			g, w := got.Peek(), want.Peek()
+			if g != w {
+				t.Fatalf("seed %d drain pos %d: dispatch %s, reference %s", seed, pos, name(g), name(w))
+			}
+			got.Dequeue(w)
+			want.Dequeue(w)
+		}
+	}
+}
+
+// TestSchedulerZeroAllocs asserts the O(1) data path: once the per-priority
+// class table exists, Enqueue/EnqueueFront/Dequeue/Peek/Rotate perform no
+// allocations.
+func TestSchedulerZeroAllocs(t *testing.T) {
+	ths := mkThreads(t, 5, 5, 9, 12)
+	s := sched.NewPriority()
+	// Warm-up: grow the class table to the highest priority in use.
+	for _, th := range ths {
+		s.Enqueue(th)
+	}
+	for _, th := range ths {
+		s.Dequeue(th)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, th := range ths {
+			s.Enqueue(th)
+		}
+		s.Peek()
+		s.Rotate(5)
+		s.EnqueueFront(ths[0])
+		for _, th := range ths {
+			s.Dequeue(th)
+		}
+	}); n != 0 {
+		t.Fatalf("Priority ops allocate: %.1f allocs/run", n)
+	}
+
+	rr := sched.NewRoundRobin()
+	if n := testing.AllocsPerRun(100, func() {
+		for _, th := range ths {
+			rr.Enqueue(th)
+		}
+		rr.Peek()
+		rr.Rotate(0)
+		rr.EnqueueFront(ths[0])
+		for _, th := range ths {
+			rr.Dequeue(th)
+		}
+	}); n != 0 {
+		t.Fatalf("RoundRobin ops allocate: %.1f allocs/run", n)
+	}
+}

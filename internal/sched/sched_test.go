@@ -112,7 +112,7 @@ func TestRoundRobinFIFO(t *testing.T) {
 	if s.Peek() != ths[1] {
 		t.Fatal("rotate broken")
 	}
-	s.EnqueueFront(ths[0]) // duplicate handling is the caller's concern
+	s.EnqueueFront(ths[0]) // re-enqueue of a queued thread relocates it
 	if s.Peek() != ths[0] {
 		t.Fatal("EnqueueFront broken")
 	}

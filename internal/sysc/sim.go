@@ -28,6 +28,13 @@ type Simulator struct {
 	// and timed-phase clock advances.
 	observer Observer
 
+	// warp, when set, runs at every quiescent point after the observer and
+	// before the timed phase picks the next event time. Unlike an Observer it
+	// may re-schedule timed notifications (cancel + re-arm) — the tickless
+	// fast-forward moves a Ticker's generator across a gap of no-op firings —
+	// but it must not make any process runnable at the current time.
+	warp func(now, horizon Time)
+
 	// schedWake resumes the scheduler goroutine when an evaluation phase
 	// drains. Buffered so the scheduler can hand itself the token when the
 	// whole phase ran inline (methods only).
@@ -71,6 +78,40 @@ type Observer interface {
 // SetObserver installs the simulator's single observer slot (nil removes
 // it). Multi-consumer fan-out belongs to the event bus layered on top.
 func (s *Simulator) SetObserver(o Observer) { s.observer = o }
+
+// SetWarpHook installs the quiescent-point warp hook (nil removes it). The
+// hook runs when the model is stable at the current time, receives the
+// current time and the Start horizon, and may re-arm timed notifications to
+// fast-forward periodic sources across provably idle gaps. One slot: the
+// kernel layer owns it.
+func (s *Simulator) SetWarpHook(fn func(now, horizon Time)) { s.warp = fn }
+
+// NextTimedExcluding returns the earliest pending timed-notification time
+// belonging to any event other than ex (the tickless fast-forward asks
+// "when does anything besides my own tick generator need to run?").
+func (s *Simulator) NextTimedExcluding(ex *Event) (Time, bool) {
+	t, ok := s.timed.nextTime()
+	if !ok {
+		return 0, false
+	}
+	if s.timed.items[0].ev != ex {
+		return t, true
+	}
+	// The excluded event holds the heap root; scan for the earliest other
+	// live entry (an event has at most one live entry, so skipping the root
+	// suffices for ex).
+	found := false
+	var min Time
+	for _, it := range s.timed.items[1:] {
+		if it.cancelled {
+			continue
+		}
+		if !found || it.when < min {
+			found, min = true, it.when
+		}
+	}
+	return min, found
+}
 
 // Stop requests that the simulation stop at the end of the current delta
 // cycle (sc_stop semantics).
@@ -255,6 +296,9 @@ func (s *Simulator) Start(until Time) error {
 		// no deltas — so observers get a stable snapshot.
 		if s.observer != nil {
 			s.observer.Quiescent(s.now)
+		}
+		if s.warp != nil {
+			s.warp(s.now, until)
 		}
 		next, ok := s.timed.nextTime()
 		if !ok || next > until {

@@ -1,0 +1,83 @@
+package sysc_test
+
+import (
+	"testing"
+
+	"repro/internal/sysc"
+)
+
+// TestTickerSkipToPhase asserts SkipTo counts skipped firings exactly and
+// keeps the generator on the original tick grid, and that EnsureFire undoes
+// a skip down to the first grid point covering a new deadline.
+func TestTickerSkipToPhase(t *testing.T) {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	tk := sysc.NewTicker(sim, "t", 10*sysc.Ms)
+	var fires []sysc.Time
+	sim.SpawnMethod("probe", func() { fires = append(fires, sim.Now()) }, tk.Event())
+
+	if next, ok := tk.NextFire(); !ok || next != 10*sysc.Ms {
+		t.Fatalf("NextFire = %v %v", next, ok)
+	}
+	// No-op skips: at or before the next fire.
+	if n := tk.SkipTo(10 * sysc.Ms); n != 0 {
+		t.Fatalf("SkipTo(next) skipped %d", n)
+	}
+	// Skip past 10, 20, 30 ms; the grid-ceiled target is 40 ms.
+	if n := tk.SkipTo(35 * sysc.Ms); n != 3 {
+		t.Fatalf("SkipTo(35ms) skipped %d, want 3", n)
+	}
+	if next, _ := tk.NextFire(); next != 40*sysc.Ms {
+		t.Fatalf("NextFire after skip = %v", next)
+	}
+	// Pull back for a deadline at 15 ms: the covering grid point is 20 ms,
+	// re-instating the firings at 20 and 30 ms.
+	if n := tk.EnsureFire(15 * sysc.Ms); n != 2 {
+		t.Fatalf("EnsureFire(15ms) re-instated %d, want 2", n)
+	}
+	if next, _ := tk.NextFire(); next != 20*sysc.Ms {
+		t.Fatalf("NextFire after pull-back = %v", next)
+	}
+	if n := tk.EnsureFire(20 * sysc.Ms); n != 0 {
+		t.Fatalf("EnsureFire(on next) re-instated %d", n)
+	}
+	if err := sim.Start(60 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	want := []sysc.Time{20 * sysc.Ms, 30 * sysc.Ms, 40 * sysc.Ms, 50 * sysc.Ms, 60 * sysc.Ms}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v", fires)
+	}
+	for i, w := range want {
+		if fires[i] != w {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+// TestNextTimedExcluding asserts the warp query skips exactly the excluded
+// event's pending notification.
+func TestNextTimedExcluding(t *testing.T) {
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	a := sim.NewEvent("a")
+	b := sim.NewEvent("b")
+	if _, ok := sim.NextTimedExcluding(a); ok {
+		t.Fatal("empty queue reported a time")
+	}
+	a.NotifyAfter(5 * sysc.Ms)
+	b.NotifyAfter(8 * sysc.Ms)
+	if w, ok := sim.NextTimedExcluding(nil); !ok || w != 5*sysc.Ms {
+		t.Fatalf("excluding nothing: %v %v", w, ok)
+	}
+	if w, ok := sim.NextTimedExcluding(a); !ok || w != 8*sysc.Ms {
+		t.Fatalf("excluding root: %v %v", w, ok)
+	}
+	if w, ok := sim.NextTimedExcluding(b); !ok || w != 5*sysc.Ms {
+		t.Fatalf("excluding non-root: %v %v", w, ok)
+	}
+	b.Cancel()
+	if _, ok := sim.NextTimedExcluding(a); ok {
+		t.Fatal("cancelled entry counted")
+	}
+}

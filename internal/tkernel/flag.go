@@ -59,11 +59,10 @@ func (k *Kernel) DelFlg(id ID) (er ER) {
 	if !ok {
 		return ENOEXS
 	}
-	for _, t := range append([]*Task(nil), f.wq.tasks...) {
-		f.wq.remove(t)
+	f.wq.drain(func(t *Task) {
 		delete(f.waits, t)
 		k.wake(t, EDLT)
-	}
+	})
 	delete(k.flags, id)
 	return EOK
 }
@@ -96,7 +95,7 @@ func (k *Kernel) SetFlg(id ID, setptn uint32) (er ER) {
 func (k *Kernel) flgRelease(f *EventFlag) {
 	for {
 		released := false
-		for _, t := range append([]*Task(nil), f.wq.tasks...) {
+		for t := f.wq.head(); t != nil; t = t.wqNext {
 			w := f.waits[t]
 			if w == nil || !flgMatch(f.pattern, w.waiptn, w.mode) {
 				continue

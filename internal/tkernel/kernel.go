@@ -74,6 +74,16 @@ type Config struct {
 	// TickSource, when non-nil, is an external tick event (the BFM's
 	// real-time clock). When nil the kernel generates its own tick.
 	TickSource *sysc.Event
+	// Ticker, when non-nil, is the periodic source behind TickSource. Handing
+	// the kernel the Ticker (not just its event) enables the tickless
+	// fast-forward: at quiescent points the kernel skips tick firings that
+	// provably do nothing. Only safe when the kernel is the sole consumer of
+	// the tick event. Ignored when TickSource is nil (the kernel then owns
+	// its ticker and fast-forwards it anyway).
+	Ticker *sysc.Ticker
+	// DisableTickless forces every tick to be simulated even when the kernel
+	// holds the Ticker handle (for A/B trace comparison and debugging).
+	DisableTickless bool
 	// Costs is the kernel ETM/EEM annotation model.
 	Costs Costs
 	// Bus is the kernel event bus all layers publish on. When nil the
@@ -118,6 +128,11 @@ type Kernel struct {
 	timerQ  timerQueue
 	sysBase sysc.Time // tk_set_tim offset: system time = sysBase + sim time
 	ticks   uint64
+
+	// ticker is non-nil exactly when the tickless fast-forward is active:
+	// the kernel holds the periodic source's handle and may skip provably
+	// idle tick firings (crediting them to ticks).
+	ticker *sysc.Ticker
 
 	// tickDelay, if set, is consulted on every system tick: a positive
 	// return defers that tick's timer-queue pass by the given amount (the
@@ -206,10 +221,16 @@ func (k *Kernel) Boot(userMain func(*Kernel)) {
 	// Thread Dispatch: sensitive to the system tick; activates the timer
 	// handler inside T-Kernel/OS.
 	tickEv := k.cfg.TickSource
+	ticker := k.cfg.Ticker
 	if tickEv == nil {
-		tickEv = sysc.NewTicker(k.sim, "tkernel.tick", k.cfg.Tick).Event()
+		ticker = sysc.NewTicker(k.sim, "tkernel.tick", k.cfg.Tick)
+		tickEv = ticker.Event()
 	}
 	k.sim.SpawnMethod("tkernel.thread_dispatch", k.timerHandler, tickEv)
+	if ticker != nil && !k.cfg.DisableTickless {
+		k.ticker = ticker
+		k.sim.SetWarpHook(k.warp)
+	}
 
 	// Deferred-tick carrier for the delayed-tick-delivery fault hook.
 	k.tickDeferEv = k.sim.NewEvent("tkernel.tick_defer")
@@ -270,10 +291,51 @@ func (k *Kernel) runTimerQ() {
 // hook must be deterministic. nil removes it.
 func (k *Kernel) SetTickDelay(fn func(tick uint64) sysc.Time) { k.tickDelay = fn }
 
+// warp is the tickless fast-forward, called by the simulator at every
+// quiescent point. A tick firing is a no-op unless a kernel timer entry is
+// due at it, so the ticker can jump straight to the first instant with real
+// work: the earliest timer deadline, the earliest non-tick simulator event
+// (whatever it makes runnable may call timed services), or the Start horizon
+// (so step mode observes the same final tick count). SkipTo grid-ceils the
+// target and preserves phase; the skipped firings are credited to ticks up
+// front, which is exact because nothing can run — and hence nothing can read
+// Ticks() — before the first of those instants.
+func (k *Kernel) warp(now, horizon sysc.Time) {
+	if k.tickDelay != nil {
+		return // chaos tick faults must see every tick delivered
+	}
+	next, ok := k.ticker.NextFire()
+	if !ok {
+		return
+	}
+	target := sysc.Time(-1)
+	if w, ok := k.timerQ.earliest(); ok {
+		target = w
+	}
+	if w, ok := k.sim.NextTimedExcluding(k.ticker.Gen()); ok && (target < 0 || w < target) {
+		target = w
+	}
+	if horizon != sysc.MaxTime && (target < 0 || horizon < target) {
+		target = horizon
+	}
+	if target <= next {
+		// Nothing to skip — including the unbounded-Run-with-no-work case
+		// (target < 0), where the ticker must stay free-running.
+		return
+	}
+	k.ticks += uint64(k.ticker.SkipTo(target))
+}
+
 // after schedules fn to run at the first tick at or after d from now.
 // Returns the entry handle (sequence number) for diagnostics.
 func (k *Kernel) after(d sysc.Time, fn func()) uint64 {
 	when := k.sim.Now() + d
+	if k.ticker != nil && k.tickDelay == nil {
+		// Backstop for deadlines created outside the simulation (service
+		// calls between Start steps): if the ticker was fast-forwarded past
+		// this deadline's tick, pull it back and undo the skip credit.
+		k.ticks -= uint64(k.ticker.EnsureFire(when))
+	}
 	return k.timerQ.add(when, fn)
 }
 
@@ -401,7 +463,10 @@ func (k *Kernel) wake(task *Task, code ER) {
 }
 
 // timerQueue is the kernel's time-event queue: entries fire in (when, seq)
-// order when the timer handler observes their deadline at a tick.
+// order when the timer handler observes their deadline at a tick. It is a
+// binary min-heap on (when, seq), so add/pop are O(log n) and the earliest
+// deadline — which the tickless fast-forward consults at every quiescent
+// point — is O(1).
 type timerQueue struct {
 	items []timerItem
 	seq   uint64
@@ -413,83 +478,172 @@ type timerItem struct {
 	fn   func()
 }
 
+func (q *timerQueue) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
+}
+
+func (q *timerQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *timerQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.items[i], q.items[min] = q.items[min], q.items[i]
+		i = min
+	}
+}
+
 func (q *timerQueue) add(when sysc.Time, fn func()) uint64 {
 	q.seq++
 	q.items = append(q.items, timerItem{when: when, seq: q.seq, fn: fn})
+	q.up(len(q.items) - 1)
 	return q.seq
 }
 
 // popDue removes and returns the earliest entry with when <= now.
 func (q *timerQueue) popDue(now sysc.Time) (timerItem, bool) {
-	best := -1
-	for i, it := range q.items {
-		if it.when > now {
-			continue
-		}
-		if best == -1 || it.when < q.items[best].when ||
-			(it.when == q.items[best].when && it.seq < q.items[best].seq) {
-			best = i
-		}
-	}
-	if best == -1 {
+	if len(q.items) == 0 || q.items[0].when > now {
 		return timerItem{}, false
 	}
-	it := q.items[best]
-	q.items = append(q.items[:best], q.items[best+1:]...)
+	it := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = timerItem{} // drop the fn reference
+	q.items = q.items[:last]
+	q.down(0)
 	return it, true
+}
+
+// earliest returns the earliest pending deadline.
+func (q *timerQueue) earliest() (sysc.Time, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].when, true
 }
 
 // Len returns the number of pending time events.
 func (q *timerQueue) Len() int { return len(q.items) }
 
 // waitQueue orders tasks waiting on a kernel object, FIFO or by priority
-// according to the object's attributes.
+// according to the object's attributes. It is an intrusive doubly-linked
+// list threaded through the wqNext/wqPrev links embedded in each Task — a
+// task waits on at most one object, so one embedded node suffices — making
+// add and remove O(1) for FIFO queues and alloc-free ordered inserts for
+// TA_TPRI queues. The embedded wqIn back-pointer makes remove-if-absent a
+// no-op and lets priority changes relocate a waiter without rebuilding
+// anything.
+//
+// A waitQueue must not be copied once tasks are linked (the links point
+// back at it); kernel objects embed it by value and never move.
 type waitQueue struct {
-	tasks []*Task
-	prio  bool
+	first, last *Task
+	n           int
+	prio        bool
+	mtx         *Mutex // owning mutex, for inheritance recompute on re-sort
 }
 
 func newWaitQueue(attr Attr) waitQueue { return waitQueue{prio: attr&TaTPRI != 0} }
 
+// add inserts t: at the tail for FIFO queues, or before the first strictly
+// lower-precedence waiter for TA_TPRI queues (FIFO within equal priority,
+// per T-Kernel). An already-queued task is relocated.
 func (q *waitQueue) add(t *Task) {
-	if !q.prio {
-		q.tasks = append(q.tasks, t)
+	if t.wqIn != nil {
+		t.wqIn.remove(t)
+	}
+	if q.prio {
+		p := t.tt.Priority()
+		for x := q.first; x != nil; x = x.wqNext {
+			if p < x.tt.Priority() {
+				q.insertBefore(t, x)
+				return
+			}
+		}
+	}
+	// FIFO tail (also the TA_TPRI "no lower-precedence waiter" case).
+	t.wqNext = nil
+	t.wqPrev = q.last
+	if q.last != nil {
+		q.last.wqNext = t
+	} else {
+		q.first = t
+	}
+	q.last = t
+	t.wqIn = q
+	q.n++
+}
+
+// insertBefore links t immediately ahead of x (x must be queued here).
+func (q *waitQueue) insertBefore(t, x *Task) {
+	t.wqNext = x
+	t.wqPrev = x.wqPrev
+	if x.wqPrev != nil {
+		x.wqPrev.wqNext = t
+	} else {
+		q.first = t
+	}
+	x.wqPrev = t
+	t.wqIn = q
+	q.n++
+}
+
+// remove unlinks t; no-op when t is not queued here.
+func (q *waitQueue) remove(t *Task) {
+	if t.wqIn != q {
 		return
 	}
-	pos := len(q.tasks)
-	for i, x := range q.tasks {
-		if t.tt.Priority() < x.tt.Priority() {
-			pos = i
-			break
-		}
+	if t.wqPrev != nil {
+		t.wqPrev.wqNext = t.wqNext
+	} else {
+		q.first = t.wqNext
 	}
-	q.tasks = append(q.tasks, nil)
-	copy(q.tasks[pos+1:], q.tasks[pos:])
-	q.tasks[pos] = t
+	if t.wqNext != nil {
+		t.wqNext.wqPrev = t.wqPrev
+	} else {
+		q.last = t.wqPrev
+	}
+	t.wqNext, t.wqPrev, t.wqIn = nil, nil, nil
+	q.n--
 }
 
-func (q *waitQueue) remove(t *Task) {
-	for i, x := range q.tasks {
-		if x == t {
-			q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
-			return
-		}
+func (q *waitQueue) head() *Task { return q.first }
+
+func (q *waitQueue) len() int { return q.n }
+
+// drain repeatedly removes the queue head and hands it to fn (the Del*
+// release-everybody pattern; safe against fn mutating the queue).
+func (q *waitQueue) drain(fn func(*Task)) {
+	for t := q.first; t != nil; t = q.first {
+		q.remove(t)
+		fn(t)
 	}
 }
-
-func (q *waitQueue) head() *Task {
-	if len(q.tasks) == 0 {
-		return nil
-	}
-	return q.tasks[0]
-}
-
-func (q *waitQueue) len() int { return len(q.tasks) }
 
 // ids of waiting tasks in queue order, for invariant snapshots.
 func (q *waitQueue) ids() []ID {
 	var out []ID
-	for _, t := range q.tasks {
+	for t := q.first; t != nil; t = t.wqNext {
 		out = append(out, t.id)
 	}
 	return out
@@ -498,7 +652,7 @@ func (q *waitQueue) ids() []ID {
 // prios of waiting tasks in queue order, for invariant snapshots.
 func (q *waitQueue) prios() []int {
 	var out []int
-	for _, t := range q.tasks {
+	for t := q.first; t != nil; t = t.wqNext {
 		out = append(out, t.tt.Priority())
 	}
 	return out
@@ -507,7 +661,7 @@ func (q *waitQueue) prios() []int {
 // names of waiting tasks, for DS listings.
 func (q *waitQueue) names() []string {
 	var out []string
-	for _, t := range q.tasks {
+	for t := q.first; t != nil; t = t.wqNext {
 		out = append(out, t.name)
 	}
 	return out
@@ -516,10 +670,38 @@ func (q *waitQueue) names() []string {
 // refs returns the unified per-waiter view in queue order.
 func (q *waitQueue) refs() []WaitRef {
 	var out []WaitRef
-	for _, t := range q.tasks {
+	for t := q.first; t != nil; t = t.wqNext {
 		out = append(out, WaitRef{ID: t.id, Name: t.name, Priority: t.tt.Priority()})
 	}
 	return out
+}
+
+// requeueWaiter re-files a waiting task within its priority-ordered wait
+// queue after its effective priority changed (tk_chg_pri on a waiter, or a
+// priority-inheritance boost reaching a task that is itself blocked): the
+// node is moved to the tail of its new precedence group. When the queue
+// belongs to an inheritance mutex, a head change re-propagates the boost to
+// that mutex's owner.
+func (k *Kernel) requeueWaiter(task *Task) {
+	q := task.wqIn
+	if q == nil || !q.prio {
+		return
+	}
+	q.remove(task)
+	q.add(task)
+	if q.mtx != nil {
+		k.recomputeInheritance(q.mtx)
+	}
+}
+
+// setEffective applies an effective-priority change to a task and keeps its
+// wait-queue position consistent.
+func (k *Kernel) setEffective(task *Task, p int) {
+	if p == task.tt.Priority() {
+		return
+	}
+	k.api.SetEffectivePriority(task.tt, p)
+	k.requeueWaiter(task)
 }
 
 // objName builds the wait-object label shown in traces and DS listings.

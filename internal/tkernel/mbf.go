@@ -58,12 +58,11 @@ func (k *Kernel) DelMbf(id ID) (er ER) {
 		return ENOEXS
 	}
 	for _, q := range []*waitQueue{&b.sendQ, &b.recvQ} {
-		for _, t := range append([]*Task(nil), q.tasks...) {
-			q.remove(t)
+		q.drain(func(t *Task) {
 			delete(b.sMsg, t)
 			delete(b.rDst, t)
 			k.wake(t, EDLT)
-		}
+		})
 	}
 	delete(k.mbfs, id)
 	return EOK

@@ -48,11 +48,10 @@ func (k *Kernel) DelMbx(id ID) (er ER) {
 	if !ok {
 		return ENOEXS
 	}
-	for _, t := range append([]*Task(nil), m.wq.tasks...) {
-		m.wq.remove(t)
+	m.wq.drain(func(t *Task) {
 		delete(m.dest, t)
 		k.wake(t, EDLT)
-	}
+	})
 	delete(k.mbxs, id)
 	return EOK
 }

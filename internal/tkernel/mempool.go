@@ -70,11 +70,10 @@ func (k *Kernel) DelMpf(id ID) (er ER) {
 	if !ok {
 		return ENOEXS
 	}
-	for _, t := range append([]*Task(nil), p.wq.tasks...) {
-		p.wq.remove(t)
+	p.wq.drain(func(t *Task) {
 		delete(p.dst, t)
 		k.wake(t, EDLT)
-	}
+	})
 	delete(k.mpfs, id)
 	return EOK
 }
@@ -222,11 +221,10 @@ func (k *Kernel) DelMpl(id ID) (er ER) {
 	if !ok {
 		return ENOEXS
 	}
-	for _, t := range append([]*Task(nil), p.wq.tasks...) {
-		p.wq.remove(t)
+	p.wq.drain(func(t *Task) {
 		delete(p.reqs, t)
 		k.wake(t, EDLT)
-	}
+	})
 	delete(k.mpls, id)
 	return EOK
 }

@@ -42,8 +42,10 @@ func (k *Kernel) CreMtx(name string, attr Attr, ceilpri int) (_ ID, er ER) {
 	if attr&(TaInherit|TaCeiling) != 0 {
 		wqAttr |= TaTPRI // inheritance/ceiling imply priority-ordered queue
 	}
-	k.mtxs[id] = &Mutex{id: id, name: name, attr: attr, ceiling: ceilpri,
+	m := &Mutex{id: id, name: name, attr: attr, ceiling: ceilpri,
 		wq: newWaitQueue(wqAttr)}
+	m.wq.mtx = m
+	k.mtxs[id] = m
 	return id, EOK
 }
 
@@ -58,10 +60,9 @@ func (k *Kernel) DelMtx(id ID) (er ER) {
 	if m.owner != nil {
 		k.dropOwnership(m.owner, m)
 	}
-	for _, t := range append([]*Task(nil), m.wq.tasks...) {
-		m.wq.remove(t)
+	m.wq.drain(func(t *Task) {
 		k.wake(t, EDLT)
-	}
+	})
 	delete(k.mtxs, id)
 	return EOK
 }
@@ -96,9 +97,11 @@ func (k *Kernel) LocMtx(id ID, tmout TMO) (er ER) {
 	if tmout == TmoPol {
 		return ETMOUT
 	}
-	// Priority inheritance: boost the owner to the blocker's priority.
+	// Priority inheritance: boost the owner to the blocker's priority (and,
+	// if the owner is itself blocked in a priority queue, re-file it there —
+	// transitive inheritance along a wait chain).
 	if m.attr&TaInherit != 0 && task.tt.Priority() < m.owner.tt.Priority() {
-		k.api.SetEffectivePriority(m.owner.tt, task.tt.Priority())
+		k.setEffective(m.owner, task.tt.Priority())
 	}
 	m.wq.add(task)
 	code := k.sleepOn(task, objName("mtx", m.id, m.name), tmout, func() {
@@ -161,7 +164,7 @@ func (k *Kernel) takeOwnership(task *Task, m *Mutex) {
 	m.owner = task
 	task.owned = append(task.owned, m)
 	if m.attr&TaCeiling != 0 && m.ceiling < task.tt.Priority() {
-		k.api.SetEffectivePriority(task.tt, m.ceiling)
+		k.setEffective(task, m.ceiling)
 	}
 }
 
@@ -193,9 +196,7 @@ func (k *Kernel) recomputeEffective(task *Task) {
 			}
 		}
 	}
-	if p != task.tt.Priority() {
-		k.api.SetEffectivePriority(task.tt, p)
-	}
+	k.setEffective(task, p)
 }
 
 // recomputeInheritance refreshes the owner's boost after the wait queue of

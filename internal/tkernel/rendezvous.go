@@ -80,16 +80,14 @@ func (k *Kernel) DelPor(id ID) (er ER) {
 	if !ok {
 		return ENOEXS
 	}
-	for _, t := range append([]*Task(nil), p.callQ.tasks...) {
-		p.callQ.remove(t)
+	p.callQ.drain(func(t *Task) {
 		delete(p.calls, t)
 		k.wake(t, EDLT)
-	}
-	for _, t := range append([]*Task(nil), p.acpQ.tasks...) {
-		p.acpQ.remove(t)
+	})
+	p.acpQ.drain(func(t *Task) {
 		delete(p.acps, t)
 		k.wake(t, EDLT)
-	}
+	})
 	for no, r := range k.rdvs {
 		if r.port == id {
 			delete(k.rdvs, no)
@@ -253,7 +251,7 @@ func (k *Kernel) dropRdvOf(task *Task) {
 // matchAcceptor finds the first waiting acceptor whose pattern intersects
 // calptn.
 func (p *Port) matchAcceptor(calptn uint32) *Task {
-	for _, t := range p.acpQ.tasks {
+	for t := p.acpQ.head(); t != nil; t = t.wqNext {
 		if a := p.acps[t]; a != nil && a.acpptn&calptn != 0 {
 			return t
 		}
@@ -264,7 +262,7 @@ func (p *Port) matchAcceptor(calptn uint32) *Task {
 // matchCaller finds the first queued caller whose pattern intersects
 // acpptn.
 func (p *Port) matchCaller(acpptn uint32) *Task {
-	for _, t := range p.callQ.tasks {
+	for t := p.callQ.head(); t != nil; t = t.wqNext {
 		if c := p.calls[t]; c != nil && c.calptn&acpptn != 0 {
 			return t
 		}

@@ -51,11 +51,10 @@ func (k *Kernel) DelSem(id ID) (er ER) {
 	if !ok {
 		return ENOEXS
 	}
-	for _, t := range append([]*Task(nil), s.wq.tasks...) {
-		s.wq.remove(t)
+	s.wq.drain(func(t *Task) {
 		delete(s.pending, t)
 		k.wake(t, EDLT)
-	}
+	})
 	delete(k.sems, id)
 	return EOK
 }

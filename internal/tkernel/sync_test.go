@@ -435,3 +435,39 @@ func TestMutexCeilingPlusInheritRejected(t *testing.T) {
 	})
 	run(t, sim, 50*sysc.Ms)
 }
+
+// TestChgPriRepositionsWaiter: changing the priority of a task blocked on a
+// TA_TPRI semaphore re-files its wait-queue node, so a later boost lets it
+// overtake a waiter that arrived first.
+func TestChgPriRepositionsWaiter(t *testing.T) {
+	var grants []string
+	_, sim := boot(t, func(k *tkernel.Kernel) {
+		sem, _ := k.CreSem("s", tkernel.TaTPRI, 0, 10)
+		mk := func(name string, prio int) tkernel.ID {
+			id, _ := k.CreTsk(name, prio, func(task *tkernel.Task) {
+				if er := k.WaiSem(sem, 1, tkernel.TmoFevr); er != tkernel.EOK {
+					t.Errorf("%s WaiSem: %v", name, er)
+					return
+				}
+				grants = append(grants, name)
+			})
+			_ = k.StaTsk(id)
+			return id
+		}
+		a := mk("a", 10)
+		_ = a
+		b := mk("b", 11)
+		_ = k.DlyTsk(1 * sysc.Ms) // both queued: [a(10), b(11)]
+		if er := k.ChgPri(b, 5); er != tkernel.EOK {
+			t.Errorf("ChgPri: %v", er)
+		}
+		// b now outranks a and must be granted first.
+		_ = k.SigSem(sem, 1)
+		_ = k.DlyTsk(1 * sysc.Ms)
+		_ = k.SigSem(sem, 1)
+	})
+	run(t, sim, 100*sysc.Ms)
+	if len(grants) != 2 || grants[0] != "b" || grants[1] != "a" {
+		t.Fatalf("grant order = %v, want [b a]", grants)
+	}
+}

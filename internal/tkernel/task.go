@@ -19,6 +19,11 @@ type Task struct {
 	waitCancel func()
 	rdvno      RdvNo // open rendezvous awaiting reply (0 = none)
 
+	// Intrusive wait-queue node: a task waits on at most one kernel object,
+	// so one embedded link suffices. Owned by the waitQueue in wqIn.
+	wqNext, wqPrev *Task
+	wqIn           *waitQueue
+
 	owned []*Mutex // mutexes currently locked by this task
 }
 
@@ -197,6 +202,7 @@ func (k *Kernel) ChgPri(id ID, priority int) (er ER) {
 		return EOBJ
 	}
 	k.api.ChangePriority(task.tt, priority)
+	k.requeueWaiter(task)
 	return EOK
 }
 

@@ -1,0 +1,100 @@
+package tkernel_test
+
+import (
+	"testing"
+
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+)
+
+// runTicked boots a kernel on an external 1 ms ticker with a probe counting
+// the tick firings that are actually simulated, runs userMain for 1 s, and
+// returns (logical ticks, simulated firings).
+func runTicked(t *testing.T, disable bool, userMain func(*tkernel.Kernel)) (uint64, int) {
+	t.Helper()
+	sim := sysc.NewSimulator()
+	t.Cleanup(sim.Shutdown)
+	tk := sysc.NewTicker(sim, "tick", sysc.Ms)
+	fired := 0
+	sim.SpawnMethod("probe", func() { fired++ }, tk.Event())
+	k := tkernel.New(sim, tkernel.Config{
+		Tick: sysc.Ms, TickSource: tk.Event(), Ticker: tk,
+		DisableTickless: disable,
+	})
+	k.Boot(userMain)
+	if err := sim.Start(sysc.Sec); err != nil {
+		t.Fatal(err)
+	}
+	return k.Ticks(), fired
+}
+
+// TestTicklessSkipsIdleTicks: with no timed kernel work at all, the tickless
+// kernel simulates a single tick firing (the horizon one) yet accounts the
+// same 1000 logical ticks as the fully ticked run.
+func TestTicklessSkipsIdleTicks(t *testing.T) {
+	ticks, fired := runTicked(t, false, func(*tkernel.Kernel) {})
+	if ticks != 1000 {
+		t.Fatalf("tickless ticks = %d, want 1000", ticks)
+	}
+	if fired > 1 {
+		t.Fatalf("tickless simulated %d firings, want <= 1", fired)
+	}
+	bTicks, bFired := runTicked(t, true, func(*tkernel.Kernel) {})
+	if bTicks != 1000 || bFired != 1000 {
+		t.Fatalf("baseline = %d ticks, %d firings, want 1000/1000", bTicks, bFired)
+	}
+}
+
+// TestTicklessCyclicExact: a 100 ms cyclic handler fires on exactly the same
+// schedule with and without tickless, while the tickless run only simulates
+// the ticks that pop it.
+func TestTicklessCyclicExact(t *testing.T) {
+	run := func(disable bool) (uint64, int, []sysc.Time) {
+		var at []sysc.Time
+		ticks, fired := runTicked(t, disable, func(k *tkernel.Kernel) {
+			id, _ := k.CreCyc("cyc", 100*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {
+				at = append(at, h.K.Sim().Now())
+			})
+			_ = k.StaCyc(id)
+		})
+		return ticks, fired, at
+	}
+	ticks, fired, at := run(false)
+	bTicks, bFired, bAt := run(true)
+	if ticks != bTicks {
+		t.Fatalf("ticks %d != baseline %d", ticks, bTicks)
+	}
+	if len(at) != len(bAt) {
+		t.Fatalf("cyclic fired %d vs baseline %d", len(at), len(bAt))
+	}
+	for i := range at {
+		if at[i] != bAt[i] {
+			t.Fatalf("firing %d at %v, baseline %v", i, at[i], bAt[i])
+		}
+	}
+	if fired >= bFired/10 {
+		t.Fatalf("tickless simulated %d of %d firings — no skipping", fired, bFired)
+	}
+}
+
+// TestTicklessDisabledUnderTickFault: a tick-delay hook (the chaos fault)
+// must see every tick delivered even when the kernel holds the ticker.
+func TestTicklessDisabledUnderTickFault(t *testing.T) {
+	sim := sysc.NewSimulator()
+	t.Cleanup(sim.Shutdown)
+	tk := sysc.NewTicker(sim, "tick", sysc.Ms)
+	fired := 0
+	sim.SpawnMethod("probe", func() { fired++ }, tk.Event())
+	k := tkernel.New(sim, tkernel.Config{
+		Tick: sysc.Ms, TickSource: tk.Event(), Ticker: tk,
+	})
+	k.Boot(func(*tkernel.Kernel) {})
+	seen := 0
+	k.SetTickDelay(func(uint64) sysc.Time { seen++; return 0 })
+	if err := sim.Start(100 * sysc.Ms); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 100 || seen != 100 || k.Ticks() != 100 {
+		t.Fatalf("fired=%d hook=%d ticks=%d, want 100 each", fired, seen, k.Ticks())
+	}
+}
