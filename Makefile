@@ -7,7 +7,7 @@
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race check chaos chaos-traced bench bench-guard bench-all perf-smoke clean
+.PHONY: all build test vet race check serve serve-e2e chaos chaos-traced bench bench-guard bench-all perf-smoke clean
 
 all: check
 
@@ -24,6 +24,19 @@ race:
 	$(GO) test -race ./...
 
 check: vet build test race
+
+# Simulation-as-a-service: the bounded HTTP/JSON job server over the run
+# façade. POST a run.Spec to /api/v1/jobs, poll it, download artifacts; see
+# README "Serving simulations" for curl examples.
+serve:
+	$(GO) run ./cmd/rtkserve -addr :8080 -workers 4 -queue 28
+
+# Server end-to-end gate: 32 concurrent jobs on a 4-worker pool with 429
+# backpressure past capacity, graceful-shutdown drain, job deadlines, and
+# byte-identical CLI-vs-HTTP artifacts for a fixed-seed Spec.
+serve-e2e:
+	$(GO) test ./internal/server -run \
+		'TestBackpressure|TestGracefulShutdown|TestDeadlineExceeded|TestDeterminismHTTPvsCLI' -v
 
 # Deterministic fault-injection campaign with kernel invariant oracles.
 # Behavior-level faults must all PASS on a correct kernel; add CHAOS_FLAGS

@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/petri"
 	"repro/internal/rtk"
+	"repro/internal/run/opts"
 	"repro/internal/sysc"
 	"repro/internal/tkds"
 	"repro/internal/tkernel"
@@ -87,7 +88,7 @@ func BenchmarkFigure6Trace(b *testing.B) {
 		g := trace.NewGantt()
 		cfg := app.DefaultConfig()
 		cfg.GUI = false
-		cfg.Trace = g
+		cfg.Gantt = g
 		a := app.Build(cfg)
 		tick := a.K.Tick()
 		for t := tick; t <= 100*sysc.Ms; t += tick {
@@ -215,7 +216,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 		b.Run("tick="+tick.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sim := sysc.NewSimulator()
-				k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts(), Tick: tick})
+				k := tkernel.New(sim, tkernel.Config{CommonOptions: opts.CommonOptions{Tick: tick}, Costs: tkernel.ZeroCosts()})
 				k.Boot(func(k *tkernel.Kernel) {
 					id, _ := k.CreTsk("t", 10, func(task *tkernel.Task) {
 						for {
@@ -256,7 +257,7 @@ func BenchmarkAblationSchedulers(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sim := sysc.NewSimulator()
-				k := rtk.New(sim, rtk.Config{Policy: p, TimeSlice: 2 * sysc.Ms})
+				k := rtk.New(sim, rtk.Config{CommonOptions: opts.CommonOptions{TimeSlice: 2 * sysc.Ms}, Policy: p})
 				work(k)
 				if err := sim.Start(benchSimWindow); err != nil {
 					b.Fatal(err)

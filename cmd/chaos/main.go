@@ -1,10 +1,13 @@
 // Command chaos runs deterministic fault-injection campaigns against the
-// RTK-Spec TRON kernel model with live invariant oracles.
+// RTK-Spec TRON kernel model with live invariant oracles. It is a thin flag
+// shim over the unified run façade — the same run.Spec submitted to
+// rtkserve produces byte-identical artifacts.
 //
 //	chaos -seeds 1000 -workers 8          # fan a campaign across 8 workers
 //	chaos -seeds 100 -corrupt -minimize   # draw corruption faults, minimize failures
 //	chaos -seed 42 -job 17 -v             # replay one job verbosely
 //	chaos -seed 42 -job 17 -trace t.json  # replay with a Perfetto trace
+//	chaos -seeds 1000 -timeout 30s        # wall-clock cap; partial summary on expiry
 //
 // Every verdict derives from (base seed, job index) alone: the summary is
 // byte-identical for any -workers value, and a failing job replays exactly
@@ -15,13 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/chaos"
-	"repro/internal/sysc"
+	"repro/internal/run"
 )
 
 func main() {
@@ -35,75 +38,59 @@ func main() {
 	minimize := flag.Bool("minimize", false, "ddmin failing schedules to a minimal repro")
 	job := flag.Int("job", -1, "replay a single job index instead of the campaign")
 	traceOut := flag.String("trace", "", "with -job: stream a Perfetto trace of the replay (load at ui.perfetto.dev)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline; on expiry completed verdicts are reported and the exit code is 1")
 	verbose := flag.Bool("v", false, "print fired faults and repro artifacts")
 	flag.Parse()
-
-	cfg := chaos.Config{
-		Seeds:    *seeds,
-		BaseSeed: *seed,
-		Workers:  *workers,
-		Dur:      sysc.Time(dur.Nanoseconds()) * sysc.Ns,
-		Tasks:    *tasks,
-		Faults:   *faults,
-		Corrupt:  *corrupt,
-		Minimize: *minimize,
-	}
 
 	if *traceOut != "" && *job < 0 {
 		fmt.Fprintln(os.Stderr, "-trace requires -job (one replay per trace file)")
 		os.Exit(2)
 	}
 
+	cs := &run.ChaosSpec{
+		Seeds:    *seeds,
+		Workers:  *workers,
+		Tasks:    *tasks,
+		Faults:   *faults,
+		Corrupt:  *corrupt,
+		Minimize: *minimize,
+	}
 	if *job >= 0 {
-		var v chaos.Verdict
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			v, err = chaos.RunJobTrace(cfg, *job, f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "trace:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("trace written to %s (load at ui.perfetto.dev)\n", *traceOut)
-		} else {
-			v = chaos.RunJob(cfg, *job)
-		}
-		r := chaos.Report{Cfg: cfg, Verdicts: []chaos.Verdict{v}}
-		fmt.Print(r.Summary())
-		if *verbose || !v.Pass {
-			fmt.Println(v.Repro)
-		}
-		if !v.Pass {
+		cs.Job = job
+	}
+	spec := run.Spec{
+		Scenario:  run.ScenarioChaos,
+		Seed:      *seed,
+		Dur:       run.Duration(*dur),
+		Deadline:  run.Duration(*timeout),
+		Chaos:     cs,
+		Artifacts: []string{run.ArtifactSummary, run.ArtifactRepro},
+	}
+	if *traceOut != "" {
+		spec.Artifacts = append(spec.Artifacts, run.ArtifactTrace)
+	}
+
+	res, runErr := run.Execute(context.Background(), spec)
+	if *traceOut != "" && runErr == nil {
+		if err := os.WriteFile(*traceOut, res.Artifacts[run.ArtifactTrace], 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return
+		fmt.Printf("trace written to %s (load at ui.perfetto.dev)\n", *traceOut)
 	}
 
-	wall0 := time.Now()
-	report := chaos.Run(cfg)
-	wall := time.Since(wall0)
+	fmt.Print(string(res.Artifacts[run.ArtifactSummary]))
+	fmt.Fprintf(os.Stderr, "wall: %v (%d workers)\n", res.Stats.Wall.Std().Round(time.Millisecond), *workers)
 
-	fmt.Print(report.Summary())
-	fmt.Fprintf(os.Stderr, "wall: %v (%d workers)\n", wall.Round(time.Millisecond), *workers)
-
-	failures := report.Failures()
-	if *verbose {
-		for _, i := range failures {
-			fmt.Printf("\n--- repro for job %d (replay: chaos -seed %d -job %d", i, *seed, i)
-			if *corrupt {
-				fmt.Print(" -corrupt")
-			}
-			fmt.Print(") ---\n")
-			fmt.Println(report.Verdicts[i].Repro)
-		}
+	if repro := res.Artifacts[run.ArtifactRepro]; len(repro) > 0 && (*verbose || res.Stats.Failures > 0) {
+		fmt.Println()
+		os.Stdout.Write(repro)
 	}
-	if len(failures) > 0 {
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", runErr)
+		os.Exit(1)
+	}
+	if res.Stats.Failures > 0 {
 		os.Exit(1)
 	}
 }

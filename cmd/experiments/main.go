@@ -1,4 +1,6 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures. It is a
+// thin flag shim over the unified run façade — the same run.Spec submitted
+// to rtkserve produces the same report.
 //
 //	go run ./cmd/experiments -all
 //	go run ./cmd/experiments -table2 -simtime 1s
@@ -7,13 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/sysc"
+	"repro/internal/run"
 )
 
 func main() {
@@ -39,79 +41,69 @@ func main() {
 		"worker pool size for sweeps (1 = sequential reference, 0 = GOMAXPROCS); "+
 			"simulated columns are identical for any value, wall-clock columns "+
 			"reflect shared-core timing when > 1")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock deadline; on expiry the report ends at the last finished section and the exit code is 1")
 	flag.Parse()
 
-	simS := sysc.Time(simtime.Nanoseconds()) * sysc.Ns
-	w := os.Stdout
-	any := false
-	section := func(on bool, run func()) {
-		if on || *all {
-			if any {
-				fmt.Fprintln(w, "\n"+divider)
-			}
-			any = true
-			run()
+	// Sections run in the canonical report order regardless of flag order.
+	var sections []string
+	section := func(on bool, name string) {
+		if on {
+			sections = append(sections, name)
 		}
 	}
-
-	section(*t1, func() { experiments.Table1(w) })
-	section(*t2, func() {
-		cfg := experiments.DefaultTable2Config()
-		cfg.SimTime = simS
-		cfg.BaseSeed = *seed
-		if *workers == 1 {
-			experiments.Table2(w, cfg)
-		} else {
-			experiments.Table2Parallel(w, cfg, *workers)
-		}
-	})
-	section(*f6, func() { experiments.Figure6(w, 100*sysc.Ms) })
-	section(*f7, func() {
-		if *metricsOut == "" {
-			experiments.Figure7(w, 1*sysc.Sec)
-			return
-		}
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		experiments.Figure7Metrics(w, f, 1*sysc.Sec)
-		fmt.Fprintf(w, "metrics: per-task report written to %s\n", *metricsOut)
-	})
-	section(*f8, func() { experiments.Figure8(w, 500*sysc.Ms) })
-	section(*f4, func() {
-		out := w
-		if *vcdOut != "" {
-			f, err := os.Create(*vcdOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
-			fmt.Fprintf(w, "Figure 4 VCD written to %s\n", *vcdOut)
-		}
-		experiments.Figure4(out, 200*sysc.Ms)
-	})
-	section(*a1, func() {
-		experiments.AblationDelayedDispatch(w, []sysc.Time{
-			0, 500 * sysc.Us, 2 * sysc.Ms, 5 * sysc.Ms,
-		})
-	})
-	section(*a2, func() {
-		experiments.AblationGranularityParallel(w, []sysc.Time{
-			100 * sysc.Us, 500 * sysc.Us, 1 * sysc.Ms, 5 * sysc.Ms, 10 * sysc.Ms,
-		}, *workers)
-	})
-	section(*a3, func() { experiments.AblationSchedulers(w) })
-	section(*speed, func() { experiments.SpeedComparison(w, simS) })
-
-	if !any {
+	section(*t1, "table1")
+	section(*t2, "table2")
+	section(*f6, "fig6")
+	section(*f7, "fig7")
+	section(*f8, "fig8")
+	section(*f4, "fig4")
+	section(*a1, "a1")
+	section(*a2, "a2")
+	section(*a3, "a3")
+	section(*speed, "speed")
+	if *all {
+		sections = []string{"all"}
+	}
+	if len(sections) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-}
 
-const divider = "================================================================"
+	spec := run.Spec{
+		Scenario: run.ScenarioExperiments,
+		Seed:     *seed,
+		Deadline: run.Duration(*timeout),
+		Experiments: &run.ExperimentsSpec{
+			Sections: sections,
+			SimTime:  run.Duration(*simtime),
+			Workers:  *workers,
+		},
+		Artifacts: []string{run.ArtifactReport},
+	}
+	if *vcdOut != "" {
+		spec.Artifacts = append(spec.Artifacts, run.ArtifactVCD)
+	}
+	if *metricsOut != "" {
+		spec.Artifacts = append(spec.Artifacts, run.ArtifactMetrics)
+	}
+
+	res, runErr := run.Execute(context.Background(), spec)
+	os.Stdout.Write(res.Artifacts[run.ArtifactReport])
+	if *vcdOut != "" {
+		if err := os.WriteFile(*vcdOut, res.Artifacts[run.ArtifactVCD], 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, res.Artifacts[run.ArtifactMetrics], 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
+		os.Exit(1)
+	}
+}

@@ -1,5 +1,7 @@
 // Command rtkspec runs the RTOS-centric co-simulator on the case-study
-// system: RTK-Spec TRON + i8051 BFM + GUI widgets + the video game.
+// system: RTK-Spec TRON + i8051 BFM + GUI widgets + the video game. It is a
+// thin flag shim over the unified run façade — the same run.Spec submitted
+// to rtkserve produces byte-identical artifacts.
 //
 //	rtkspec -dur 1s                 # animate mode, speed + distribution
 //	rtkspec -step -dur 100ms        # step mode: per-tick GANTT trace
@@ -8,22 +10,19 @@
 //	rtkspec -trace out.json         # stream a Perfetto/Chrome trace
 //	rtkspec -metrics report.json    # per-task latency/wait/CET-CEE report
 //	rtkspec -gui=false -frame 50ms  # sweep the Table 2 knobs by hand
+//	rtkspec -timeout 10s            # wall-clock cap; exits 1 on expiry
 //	rtkspec -cpuprofile cpu.out -memprofile mem.out  # pprof the run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/app"
-	"repro/internal/event"
-	"repro/internal/metrics"
 	"repro/internal/profiling"
-	"repro/internal/sysc"
-	"repro/internal/tkds"
-	"repro/internal/trace"
+	"repro/internal/run"
 )
 
 func main() {
@@ -32,10 +31,14 @@ func main() {
 	ds := flag.Bool("ds", false, "print the T-Kernel/DS listing at the end")
 	gui := flag.Bool("gui", true, "model GUI widget overhead")
 	frame := flag.Duration("frame", 10*time.Millisecond, "LCD frame period (widget-driving BFM access)")
+	tick := flag.Duration("tick", 0, "kernel tick period (0 = model default, 1ms)")
+	tickless := flag.Bool("tickless", true, "fast-forward the clock across provably idle ticks")
+	idleSleep := flag.Duration("idle-sleep", 0, "make the idle task sleep in tk_dly_tsk per loop (0 = busy idle)")
 	vcdOut := flag.String("vcd", "", "write a VCD waveform of BFM signals")
 	traceOut := flag.String("trace", "", "stream a Perfetto/Chrome trace-event JSON file (load at ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "write a per-task scheduling-metrics JSON report")
 	seed := flag.Uint64("seed", 0, "seed the synthetic user's key presses (0 = fixed legacy pattern)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline; on expiry the run stops at a quiescent point and exits 1")
 	prof := profiling.AddFlags()
 	flag.Parse()
 
@@ -45,106 +48,73 @@ func main() {
 		os.Exit(1)
 	}
 
-	g := trace.NewGantt()
-	g.SetLimit(500000)
-	var vcd *trace.VCD
-	if *vcdOut != "" {
-		vcd = trace.NewVCD()
+	spec := run.Spec{
+		Dur:       run.Duration(*dur),
+		Seed:      *seed,
+		Deadline:  run.Duration(*timeout),
+		GUI:       gui,
+		Frame:     run.Duration(*frame),
+		Tick:      run.Duration(*tick),
+		Tickless:  tickless,
+		Step:      *step,
+		IdleSleep: run.Duration(*idleSleep),
+		Artifacts: []string{run.ArtifactConsole},
 	}
-	bus := event.NewBus()
-	var pf *trace.Perfetto
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		pf = trace.AttachPerfetto(bus, f)
-	}
-	var coll *metrics.Collector
-	if *metricsOut != "" {
-		coll = metrics.Attach(bus)
-	}
-
-	cfg := app.DefaultConfig()
-	cfg.GUI = *gui
-	cfg.FramePeriod = sysc.Time(frame.Nanoseconds()) * sysc.Ns
-	cfg.Bus = bus
-	cfg.Trace = g
-	cfg.VCD = vcd
-	cfg.Seed = *seed
-	a := app.Build(cfg)
-	defer a.Shutdown()
-
-	simDur := sysc.Time(dur.Nanoseconds()) * sysc.Ns
-	wall0 := time.Now()
 	if *step {
-		// Step mode: advance in steps of the system tick (1 ms) rather
-		// than animate mode, as the paper prescribes for trace viewing.
-		tick := a.K.Tick()
-		for t := tick; t <= simDur; t += tick {
-			if err := a.Run(t); err != nil {
-				fmt.Fprintln(os.Stderr, "simulation error:", err)
-				os.Exit(1)
-			}
-		}
-	} else if err := a.Run(simDur); err != nil {
-		fmt.Fprintln(os.Stderr, "simulation error:", err)
+		spec.Artifacts = append(spec.Artifacts, run.ArtifactGantt)
+	}
+	if *ds {
+		spec.Artifacts = append(spec.Artifacts, run.ArtifactDS)
+	}
+	if *vcdOut != "" {
+		spec.Artifacts = append(spec.Artifacts, run.ArtifactVCD)
+	}
+	if *traceOut != "" {
+		spec.Artifacts = append(spec.Artifacts, run.ArtifactTrace)
+	}
+	if *metricsOut != "" {
+		spec.Artifacts = append(spec.Artifacts, run.ArtifactMetrics)
+	}
+
+	res, runErr := run.Execute(context.Background(), spec)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "simulation error:", runErr)
 		os.Exit(1)
 	}
-	wall := time.Since(wall0)
 
+	st := res.Stats
 	fmt.Printf("RTK-Spec TRON co-simulation: S=%v R=%v S/R=%.2f mode=%s\n",
-		simDur, wall.Round(time.Millisecond), simDur.Seconds()/wall.Seconds(),
+		st.SimTime.Std(), st.Wall.Std().Round(time.Millisecond), st.SimPerWall,
 		map[bool]string{true: "step", false: "animate"}[*step])
-	fmt.Printf("game: frames=%d score=%d bonus=%d  kernel: ticks=%d ctxsw=%d preempt=%d irq=%d\n\n",
-		a.Frames(), a.Score(), a.Bonus(), a.K.Ticks(),
-		a.K.API().ContextSwitches(), a.K.API().Preemptions(), a.K.API().Interrupts())
-
-	fmt.Println(a.LCDW.RenderText())
-	fmt.Println("SSD:", a.SSDW.RenderText())
-	fmt.Println()
-	fmt.Println(a.Battery.RenderText())
+	os.Stdout.Write(res.Artifacts[run.ArtifactConsole])
 
 	if *step {
 		fmt.Println("execution time/energy trace (first 100 ms):")
-		g.Render(os.Stdout, 0, 100*sysc.Ms, 100)
+		os.Stdout.Write(res.Artifacts[run.ArtifactGantt])
 	}
 	if *ds {
 		fmt.Println()
-		tkds.New(a.K).Listing(os.Stdout)
+		os.Stdout.Write(res.Artifacts[run.ArtifactDS])
 	}
-	if vcd != nil {
-		f, err := os.Create(*vcdOut)
-		if err != nil {
+	if *vcdOut != "" {
+		if err := os.WriteFile(*vcdOut, res.Artifacts[run.ArtifactVCD], 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		vcd.Render(f)
-		f.Close()
-		fmt.Printf("\nwaveform: %d changes written to %s\n", vcd.Len(), *vcdOut)
-		fmt.Println("probed signals (first 100 ms):")
-		trace.NewWaveView(vcd).Render(os.Stdout, 0, 100*sysc.Ms, 100)
+		fmt.Printf("\nwaveform: %d changes written to %s\n", st.VCDChanges, *vcdOut)
 	}
-	if pf != nil {
-		if err := pf.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\ntrace: %d events written to %s (load at ui.perfetto.dev)\n", pf.Events(), *traceOut)
-	}
-	if coll != nil {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, res.Artifacts[run.ArtifactTrace], 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := coll.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
+		fmt.Printf("\ntrace: %d events written to %s (load at ui.perfetto.dev)\n", st.TraceEvents, *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, res.Artifacts[run.ArtifactMetrics], 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		f.Close()
 		fmt.Printf("metrics: per-task report written to %s\n", *metricsOut)
 	}
 	if err := stopProf(); err != nil {

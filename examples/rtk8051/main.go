@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/petri"
 	"repro/internal/rtk"
+	"repro/internal/run/opts"
 	"repro/internal/sysc"
 )
 
@@ -27,10 +28,12 @@ func runPolicy(policy rtk.Policy) {
 	// The 8051 BFM provides the tick.
 	b := bfm.New(sim, nil, bfm.DefaultConfig())
 	k := rtk.New(sim, rtk.Config{
+		CommonOptions: opts.CommonOptions{
+			TimeSlice: 5 * sysc.Ms,
+			Tick:      b.RTC.Period(),
+		},
 		Policy:      policy,
-		TimeSlice:   5 * sysc.Ms,
 		TickSource:  b.RTC.TickEvent(),
-		Tick:        b.RTC.Period(),
 		ServiceCost: core.Cost{Time: 10 * sysc.Us, Energy: petri.MicroJ},
 	})
 	b.SetAPI(k.API())

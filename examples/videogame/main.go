@@ -33,7 +33,7 @@ func main() {
 	cfg := app.DefaultConfig()
 	cfg.GUI = *guiOn
 	cfg.FramePeriod = sysc.Time(frame.Nanoseconds()) * sysc.Ns
-	cfg.Trace = g
+	cfg.Gantt = g
 
 	a := app.Build(cfg)
 	defer a.Shutdown()

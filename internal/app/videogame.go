@@ -12,19 +12,27 @@
 package app
 
 import (
+	"context"
+
 	"repro/internal/bfm"
 	"repro/internal/core"
-	"repro/internal/event"
 	"repro/internal/gui"
 	"repro/internal/petri"
+	"repro/internal/run/opts"
 	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 	"repro/internal/trace"
 )
 
-// Config parameterizes the co-simulation framework build.
+// Config parameterizes the co-simulation framework build. The embedded
+// CommonOptions carry the cross-kernel knobs: Tick sets the BFM real-time
+// clock period driving the kernel's central module (default 1 ms), Bus/Gantt
+// the observability wiring; TimeSlice is ignored (RTK-Spec TRON is purely
+// priority-preemptive).
 type Config struct {
+	opts.CommonOptions
+
 	// FramePeriod is the cyclic-handler period pacing LCD frames — the BFM
 	// access rate that drives the GUI widget (the paper sweeps this; max
 	// rate is a widget refresh every 10 ms). Zero disables LCD frames.
@@ -38,12 +46,6 @@ type Config struct {
 	GUI bool
 	// GUIWorkFactor overrides the widget raster work (0 = default).
 	GUIWorkFactor int
-	// Bus optionally supplies an externally created kernel event bus, so
-	// observers (trace exporters, metrics, oracles) can subscribe before the
-	// simulation starts. Nil lets the kernel create a private one.
-	Bus *event.Bus
-	// Trace attaches a GANTT recorder (step-mode debugging).
-	Trace *trace.Gantt
 	// VCD attaches a waveform recorder probing BFM signals (Figure 4).
 	VCD *trace.VCD
 	// Costs is the kernel annotation model (default DefaultCosts).
@@ -152,13 +154,18 @@ func Build(cfg Config) *App {
 	// access-budget attribution is attached after kernel construction.
 	bcfg := bfm.DefaultConfig()
 	bcfg.VCD = cfg.VCD
+	if cfg.Tick > 0 {
+		bcfg.TickPeriod = cfg.Tick
+	}
 	a.B = bfm.New(a.Sim, nil, bcfg)
 	a.K = tkernel.New(a.Sim, tkernel.Config{
+		CommonOptions: opts.CommonOptions{
+			Tick:  a.B.RTC.Period(),
+			Bus:   cfg.Bus,
+			Gantt: cfg.Gantt,
+		},
 		Costs:           costs,
-		Bus:             cfg.Bus,
-		Gantt:           cfg.Trace,
 		TickSource:      a.B.RTC.TickEvent(),
-		Tick:            a.B.RTC.Period(),
 		Ticker:          a.B.RTC.Ticker(),
 		DisableTickless: cfg.DisableTickless,
 	})
@@ -178,8 +185,8 @@ func Build(cfg Config) *App {
 	a.SSDW = gui.NewSSDWidget(a.GUI, a.SSD)
 	a.PadW = gui.NewKeypadWidget(a.GUI, a.Pad)
 	a.Battery = gui.NewBatteryWidget(a.GUI, a.K.API(), 10*petri.WattHour)
-	if cfg.Trace != nil {
-		a.TraceW = gui.NewTraceWidget(a.GUI, cfg.Trace, 100*sysc.Ms)
+	if cfg.Gantt != nil {
+		a.TraceW = gui.NewTraceWidget(a.GUI, cfg.Gantt, 100*sysc.Ms)
 	}
 
 	// Interrupt controller -> kernel interrupt dispatch.
@@ -371,6 +378,13 @@ func (a *App) idleTask(task *tkernel.Task) {
 
 // Run simulates d of system time and returns the simulator error, if any.
 func (a *App) Run(d sysc.Time) error { return a.Sim.Start(d) }
+
+// RunContext runs like Run but observes ctx at every quiescent point: a
+// cancelled or expired context stops the simulation at the next stable
+// instant and its error is returned (the server's job-cancellation path).
+func (a *App) RunContext(ctx context.Context, d sysc.Time) error {
+	return a.Sim.StartContext(ctx, d)
+}
 
 // Shutdown reclaims the simulation processes.
 func (a *App) Shutdown() { a.Sim.Shutdown() }

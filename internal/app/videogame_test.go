@@ -78,7 +78,7 @@ func TestVideoGameTraceNoOverlap(t *testing.T) {
 	g := trace.NewGantt()
 	cfg := app.DefaultConfig()
 	cfg.GUI = false
-	cfg.Trace = g
+	cfg.Gantt = g
 	a := buildAndRun(t, cfg, 200*sysc.Ms)
 	if len(g.Segments) == 0 {
 		t.Fatal("no trace segments")

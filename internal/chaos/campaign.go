@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -125,20 +126,49 @@ func (r Report) Summary() string {
 // Run executes the campaign across the sweep pool and returns all verdicts
 // in job order.
 func Run(cfg Config) Report {
+	r, _ := RunContext(context.Background(), cfg)
+	return r
+}
+
+// RunContext runs the campaign under a context: once ctx is done no new job
+// starts and in-flight simulations stop at their next quiescent point. The
+// report then holds the verdicts of the jobs that completed (original
+// indices kept) alongside the context's cause — the partial-result
+// contract shared by server job cancellation and the CLI -timeout flag.
+func RunContext(ctx context.Context, cfg Config) (Report, error) {
 	cfg = cfg.normalized()
 	jobs := make([]int, cfg.Seeds)
+	completed := make([]bool, cfg.Seeds)
 	runner := sweep.Runner{Workers: cfg.Workers, BaseSeed: cfg.BaseSeed}
-	verdicts := sweep.Run(runner, jobs, func(job sweep.Job, _ int) Verdict {
-		return runSeed(cfg, job.Index, job.Seed)
+	verdicts, err := sweep.RunContext(ctx, runner, jobs, func(job sweep.Job, _ int) Verdict {
+		v, ok := runSeed(ctx, cfg, job.Index, job.Seed)
+		completed[job.Index] = ok
+		return v
 	})
-	return Report{Cfg: cfg, Verdicts: verdicts}
+	if err == nil {
+		return Report{Cfg: cfg, Verdicts: verdicts}, nil
+	}
+	kept := make([]Verdict, 0, len(verdicts))
+	for i, v := range verdicts {
+		if completed[i] {
+			kept = append(kept, v)
+		}
+	}
+	return Report{Cfg: cfg, Verdicts: kept}, err
 }
 
 // RunJob replays a single campaign job from (cfg.BaseSeed, index) — the
 // whole failure-replay contract in one call.
 func RunJob(cfg Config, index int) Verdict {
+	v, _ := RunJobContext(context.Background(), cfg, index)
+	return v
+}
+
+// RunJobContext is RunJob under a context (see RunContext). The boolean
+// reports whether the job ran to completion.
+func RunJobContext(ctx context.Context, cfg Config, index int) (Verdict, bool) {
 	cfg = cfg.normalized()
-	return runSeed(cfg, index, sweep.Seed(cfg.BaseSeed, index))
+	return runSeed(ctx, cfg, index, sweep.Seed(cfg.BaseSeed, index))
 }
 
 // RunJobTrace replays a single campaign job with a streaming Perfetto
@@ -146,21 +176,27 @@ func RunJob(cfg Config, index int) Verdict {
 // JSON to w. Minimization is skipped: the trace documents the full original
 // schedule. It returns the verdict and any trace-write error.
 func RunJobTrace(cfg Config, index int, w io.Writer) (Verdict, error) {
+	return RunJobTraceContext(context.Background(), cfg, index, w)
+}
+
+// RunJobTraceContext is RunJobTrace under a context (see RunContext).
+func RunJobTraceContext(ctx context.Context, cfg Config, index int, w io.Writer) (Verdict, error) {
 	cfg = cfg.normalized()
 	seed := sweep.Seed(cfg.BaseSeed, index)
 	rng := sweep.NewRNG(sweep.Seed(seed, 1))
 	targets := Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
 	sched := RandomSchedule(rng, targets, cfg.Faults, cfg.Dur, cfg.Corrupt)
 
-	v, err := execute(cfg, seed, sched, w)
+	v, err := execute(ctx, cfg, seed, sched, w)
 	v.Index = index
 	v.Seed = seed
 	return v, err
 }
 
 // runSeed draws the job's fault schedule, executes it, and minimizes on
-// failure.
-func runSeed(cfg Config, index int, seed uint64) Verdict {
+// failure. The boolean is false when ctx stopped the run early — the
+// verdict is then partial and must not count as a campaign result.
+func runSeed(ctx context.Context, cfg Config, index int, seed uint64) (Verdict, bool) {
 	// Stream 1 of the job seed drives the schedule; stream 0 (inside
 	// BuildSystem) drives the application. Separate streams keep the two
 	// draws independent of each other's draw counts.
@@ -168,13 +204,16 @@ func runSeed(cfg Config, index int, seed uint64) Verdict {
 	targets := Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
 	sched := RandomSchedule(rng, targets, cfg.Faults, cfg.Dur, cfg.Corrupt)
 
-	v, _ := execute(cfg, seed, sched, nil)
+	v, err := execute(ctx, cfg, seed, sched, nil)
 	v.Index = index
 	v.Seed = seed
+	if err != nil && ctx.Err() != nil {
+		return v, false
+	}
 
 	if !v.Pass && cfg.Minimize && len(sched) > 1 {
 		min, runs := ddmin(sched, func(sub Schedule) bool {
-			sv, _ := execute(cfg, seed, sub, nil)
+			sv, _ := execute(ctx, cfg, seed, sub, nil)
 			return !sv.Pass
 		})
 		v.MinimizeRuns = runs
@@ -182,32 +221,41 @@ func runSeed(cfg Config, index int, seed uint64) Verdict {
 			v.Minimized = min
 			// Re-derive the repro from the minimal schedule so the report
 			// shows only the faults that matter.
-			rv, _ := execute(cfg, seed, min, nil)
+			rv, _ := execute(ctx, cfg, seed, min, nil)
 			v.Repro = rv.Repro
 		}
+		if ctx.Err() != nil {
+			return v, false
+		}
 	}
-	return v
+	return v, true
 }
 
 // execute runs one simulation of seed's application under sched and renders
 // failure artifacts. A non-nil traceW attaches a streaming Perfetto exporter
-// for the run; its write/encode error is returned.
-func execute(cfg Config, seed uint64, sched Schedule, traceW io.Writer) (Verdict, error) {
+// for the run; its write/encode error — or the context's cause when ctx
+// stopped the run early — is returned.
+func execute(ctx context.Context, cfg Config, seed uint64, sched Schedule, traceW io.Writer) (Verdict, error) {
 	sim := sysc.NewSimulator()
 	defer sim.Shutdown()
 
-	scfg := SystemConfig{Tasks: cfg.Tasks, Costs: tkernel.DefaultCosts()}
+	scfg := SystemConfig{Tasks: cfg.Tasks, Costs: tkernel.DefaultCosts(), Schedule: sched}
 	var pf *trace.Perfetto
 	if traceW != nil {
 		scfg.Bus = event.NewBus()
 		pf = trace.AttachPerfetto(scfg.Bus, traceW)
 	}
 	sys := BuildSystem(sim, seed, scfg)
-	inj := Install(sys.K, sched)
+	inj := sys.Inj
 	orc := Attach(sys.K, sys.Gantt, cfg.OracleInterval)
 
-	if err := sim.Start(cfg.Dur); err != nil {
-		orc.fail(sim.Now(), "simulator", "%v", err)
+	var cancelErr error
+	if err := sim.StartContext(ctx, cfg.Dur); err != nil {
+		if ctx.Err() != nil {
+			cancelErr = err
+		} else {
+			orc.fail(sim.Now(), "simulator", "%v", err)
+		}
 	}
 	orc.Final(sim.Now())
 
@@ -227,9 +275,11 @@ func execute(cfg Config, seed uint64, sched Schedule, traceW io.Writer) (Verdict
 		v.Repro = renderRepro(sys, inj, orc)
 	}
 	if pf != nil {
-		return v, pf.Close()
+		if err := pf.Close(); err != nil && cancelErr == nil {
+			cancelErr = err
+		}
 	}
-	return v, nil
+	return v, cancelErr
 }
 
 // renderRepro builds the failure report: the injected-fault log, every

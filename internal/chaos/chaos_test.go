@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestCampaignWorkerCountDeterminism(t *testing.T) {
 // oracle, and the verdict must replay from (base seed, index) alone.
 // execT runs execute without tracing, for tests that drive it directly.
 func execT(cfg Config, seed uint64, sched Schedule) Verdict {
-	v, _ := execute(cfg, seed, sched, nil)
+	v, _ := execute(context.Background(), cfg, seed, sched, nil)
 	return v
 }
 

@@ -26,12 +26,20 @@ func (e Fired) String() string {
 }
 
 // Injector drives one schedule of faults into a kernel instance. Window
-// faults (ETMInflate, TickDelay, DropIRQ) install as hooks consulted by the
-// kernel on its own paths; event faults (SpuriousIRQ, IRQBurst, PoolExhaust,
-// MbfFlood, PoolLeak) each get a dedicated simulation thread that sleeps
-// until its injection time — overlapping holds never delay later faults.
+// faults (ETMInflate, TickDelay, DropIRQ) install as construction-time
+// hooks consulted by the kernel on its own paths; event faults
+// (SpuriousIRQ, IRQBurst, PoolExhaust, MbfFlood, PoolLeak) each get a
+// dedicated simulation thread that sleeps until its injection time —
+// overlapping holds never delay later faults.
+//
+// Lifecycle: NewInjector partitions the schedule before the kernel exists,
+// Configure freezes the window-fault hooks into the tkernel.Config, and
+// Bind attaches the built kernel and spawns the event-fault threads. The
+// kernel's fault instrumentation is therefore immutable from New onward —
+// concurrent server jobs can never race on setter state.
 type Injector struct {
 	k     *tkernel.Kernel
+	sched Schedule
 	fired []Fired
 
 	etm   []Fault // ETMInflate windows
@@ -42,12 +50,11 @@ type Injector struct {
 	logged map[int]bool
 }
 
-// Install wires sched into k. Must be called after tkernel.New and before
-// the simulation starts (hooks are consulted from Boot onward; injection
-// threads spawn at time zero and sleep until their fault's At).
-func Install(k *tkernel.Kernel, sched Schedule) *Injector {
-	inj := &Injector{k: k, logged: map[int]bool{}}
-	for i, f := range sched {
+// NewInjector partitions sched into window and event faults. Call Configure
+// on the kernel config, build the kernel, then Bind it.
+func NewInjector(sched Schedule) *Injector {
+	inj := &Injector{sched: sched, logged: map[int]bool{}}
+	for _, f := range sched {
 		switch f.Kind {
 		case ETMInflate:
 			inj.etm = append(inj.etm, f)
@@ -55,20 +62,39 @@ func Install(k *tkernel.Kernel, sched Schedule) *Injector {
 			inj.drops = append(inj.drops, f)
 		case TickDelay:
 			inj.ticks = append(inj.ticks, f)
+		}
+	}
+	return inj
+}
+
+// Configure freezes the schedule's window-fault hooks into cfg. Hooks are
+// only installed for fault kinds the schedule actually draws, so a
+// fault-free schedule costs the kernel nothing.
+func (inj *Injector) Configure(cfg *tkernel.Config) {
+	if len(inj.etm) > 0 {
+		cfg.ConsumeShaper = inj.shapeCost
+	}
+	if len(inj.drops) > 0 {
+		cfg.InterruptFilter = inj.filterInt
+	}
+	if len(inj.ticks) > 0 {
+		cfg.TickDelay = inj.delayTick
+	}
+}
+
+// Bind attaches the kernel built from the Configure-d config and spawns the
+// event-fault threads. Must run before the simulation starts (hooks are
+// consulted from Boot onward; injection threads spawn at time zero and
+// sleep until their fault's At).
+func (inj *Injector) Bind(k *tkernel.Kernel) {
+	inj.k = k
+	for i, f := range inj.sched {
+		switch f.Kind {
+		case ETMInflate, DropIRQ, TickDelay:
 		default:
 			inj.spawnEvent(i, f)
 		}
 	}
-	if len(inj.etm) > 0 {
-		k.API().SetConsumeShaper(inj.shapeCost)
-	}
-	if len(inj.drops) > 0 {
-		k.SetInterruptFilter(inj.filterInt)
-	}
-	if len(inj.ticks) > 0 {
-		k.SetTickDelay(inj.delayTick)
-	}
-	return inj
 }
 
 // Fired returns the fault log in injection order.

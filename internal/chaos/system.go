@@ -18,6 +18,10 @@ type SystemConfig struct {
 	// Bus optionally supplies the kernel event bus, letting callers attach
 	// exporters before the run. Nil lets the kernel create a private one.
 	Bus *event.Bus
+	// Schedule is the fault schedule to inject. Window-fault hooks are
+	// frozen into the kernel's construction config and the injector is
+	// bound before BuildSystem returns (reachable via System.Inj).
+	Schedule Schedule
 }
 
 // System is one built job: a kernel hosting a seeded random application that
@@ -27,6 +31,7 @@ type SystemConfig struct {
 // interrupts raised by a periodic device model.
 type System struct {
 	K       *tkernel.Kernel
+	Inj     *Injector
 	Gantt   *trace.Gantt
 	Targets Targets
 	TaskIDs []tkernel.ID
@@ -70,9 +75,15 @@ func BuildSystem(sim *sysc.Simulator, seed uint64, cfg SystemConfig) *System {
 	}
 	rng := sweep.NewRNG(sweep.Seed(seed, 0))
 	g := trace.NewGantt()
-	k := tkernel.New(sim, tkernel.Config{Costs: cfg.Costs, Bus: cfg.Bus, Gantt: g})
+	inj := NewInjector(cfg.Schedule)
+	kcfg := tkernel.Config{Costs: cfg.Costs}
+	kcfg.Bus = cfg.Bus
+	kcfg.Gantt = g
+	inj.Configure(&kcfg)
+	k := tkernel.New(sim, kcfg)
+	inj.Bind(k)
 	sys := &System{
-		K: k, Gantt: g,
+		K: k, Inj: inj, Gantt: g,
 		Targets: Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1},
 		TaskIDs: make([]tkernel.ID, cfg.Tasks),
 	}

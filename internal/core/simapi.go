@@ -61,7 +61,9 @@ type SimAPI struct {
 	// consumeShaper, if set, transforms every Consume cost before it is
 	// spent (the chaos ETM-inflation hook: per-basic-block execution-time
 	// perturbation). It must be deterministic for reproducible runs. This is
-	// an intervention hook, not observation — it stays outside the bus.
+	// an intervention hook, not observation — it stays outside the bus, and
+	// it is frozen at construction (WithConsumeShaper) so concurrent
+	// simulations can never race on it.
 	consumeShaper func(t *TThread, c Cost, ctx trace.Context) Cost
 
 	// elog/elogSub: the attached kernel-dynamics recorder and its bus
@@ -70,22 +72,40 @@ type SimAPI struct {
 	elogSub *event.Subscription
 }
 
+// Option configures a SimAPI instance at construction. Intervention hooks
+// are options (not setters) so an instance's instrumentation is immutable
+// once it exists — a hard requirement for serving concurrent jobs.
+type Option func(*SimAPI)
+
+// WithConsumeShaper installs a cost transformer applied to every Consume
+// call before the budget is spent — the fault-injection hook for
+// execution-time inflation (a miscalibrated ETM, cache pollution, DVFS
+// throttling). The shaper sees the consuming thread and the execution
+// context and returns the perturbed cost; it must be deterministic.
+func WithConsumeShaper(fn func(t *TThread, c Cost, ctx trace.Context) Cost) Option {
+	return func(a *SimAPI) { a.consumeShaper = fn }
+}
+
 // NewSimAPI creates the library bound to a sysc simulator, an external
 // scheduler and an event bus. All observation — run slices, token
 // transitions, kernel dynamics — is published on the bus; pass nil to have
 // the library create a private one (events then flow to whoever subscribes
 // via Bus()).
-func NewSimAPI(sim *sysc.Simulator, sched Scheduler, bus *event.Bus) *SimAPI {
+func NewSimAPI(sim *sysc.Simulator, sched Scheduler, bus *event.Bus, opts ...Option) *SimAPI {
 	if bus == nil {
 		bus = event.NewBus()
 	}
-	return &SimAPI{
+	a := &SimAPI{
 		sim:    sim,
 		sched:  sched,
 		bus:    bus,
 		table:  map[int]*TThread{},
 		byProc: map[*sysc.Thread]*TThread{},
 	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
 }
 
 // Sim returns the underlying sysc simulator.
@@ -106,15 +126,6 @@ func (a *SimAPI) publish(k event.Kind, t *TThread, obj string) {
 		name = t.name
 	}
 	a.bus.Publish(event.Event{Kind: k, Time: a.sim.Now(), Thread: name, Obj: obj})
-}
-
-// SetConsumeShaper installs a cost transformer applied to every Consume call
-// before the budget is spent — the fault-injection hook for execution-time
-// inflation (a miscalibrated ETM, cache pollution, DVFS throttling). The
-// shaper sees the consuming thread and the execution context and returns the
-// perturbed cost; it must be deterministic. nil removes the shaper.
-func (a *SimAPI) SetConsumeShaper(fn func(t *TThread, c Cost, ctx trace.Context) Cost) {
-	a.consumeShaper = fn
 }
 
 // --- SIM_HashTB: thread registry ---

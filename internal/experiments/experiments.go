@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/petri"
 	"repro/internal/rtk"
+	"repro/internal/run/opts"
 	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkds"
@@ -217,7 +218,7 @@ func Figure6(w io.Writer, window sysc.Time) *trace.Gantt {
 	g := trace.NewGantt()
 	cfg := app.DefaultConfig()
 	cfg.GUI = false
-	cfg.Trace = g
+	cfg.Gantt = g
 	a := app.Build(cfg)
 	defer a.Shutdown()
 	a.GUI.SetMode(gui.Step)
@@ -372,7 +373,7 @@ func AblationGranularityParallel(w io.Writer, ticks []sysc.Time, workers int) {
 func granularityRun(tick sysc.Time) (wallSeconds float64, timeoutErr sysc.Time) {
 	sim := sysc.NewSimulator()
 	defer sim.Shutdown()
-	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts(), Tick: tick})
+	k := tkernel.New(sim, tkernel.Config{CommonOptions: opts.CommonOptions{Tick: tick}, Costs: tkernel.ZeroCosts()})
 	var wake sysc.Time
 	const want = 1500 * sysc.Us // deliberately off-tick deadline
 	k.Boot(func(k *tkernel.Kernel) {
@@ -406,7 +407,7 @@ func AblationSchedulers(w io.Writer) {
 func rtkRun(p rtk.Policy) (order string, ctxsw, pre uint64) {
 	sim := sysc.NewSimulator()
 	defer sim.Shutdown()
-	k := rtk.New(sim, rtk.Config{Policy: p, TimeSlice: 2 * sysc.Ms})
+	k := rtk.New(sim, rtk.Config{CommonOptions: opts.CommonOptions{TimeSlice: 2 * sysc.Ms}, Policy: p})
 	var done string
 	for i, name := range []string{"A", "B", "C"} {
 		n := name

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/run/opts"
 	"repro/internal/sched"
 	"repro/internal/sysc"
 	"repro/internal/trace"
@@ -42,22 +43,18 @@ func (p Policy) String() string {
 	return "RTK-Spec II (priority-preemptive)"
 }
 
-// Config parameterizes a kernel instance.
+// Config parameterizes a kernel instance. The embedded CommonOptions carry
+// the cross-kernel knobs: Tick is the system tick (default 1 ms), TimeSlice
+// the round-robin quantum (RTK-Spec I; default 5 ms), Bus/Gantt the
+// observability wiring.
 type Config struct {
+	opts.CommonOptions
+
 	// Policy selects RTK-Spec I or II.
 	Policy Policy
-	// TimeSlice is the round-robin quantum (RTK-Spec I; default 5 ms).
-	TimeSlice sysc.Time
-	// Tick is the system tick (default 1 ms).
-	Tick sysc.Time
 	// TickSource optionally drives the kernel from an external clock
 	// (e.g. the BFM RTC).
 	TickSource *sysc.Event
-	// Bus optionally supplies an externally created event bus; when nil the
-	// kernel creates a private one (reachable via Bus()).
-	Bus *event.Bus
-	// Gantt optionally records the execution trace.
-	Gantt *trace.Gantt
 	// ServiceCost is charged per kernel call (default zero).
 	ServiceCost core.Cost
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rtk"
+	"repro/internal/run/opts"
 	"repro/internal/sysc"
 )
 
@@ -17,7 +18,7 @@ func newKernel(t *testing.T, cfg rtk.Config) (*rtk.RTK, *sysc.Simulator) {
 }
 
 func TestRoundRobinSharesCPU(t *testing.T) {
-	k, sim := newKernel(t, rtk.Config{Policy: rtk.RoundRobin, TimeSlice: 5 * sysc.Ms})
+	k, sim := newKernel(t, rtk.Config{CommonOptions: opts.CommonOptions{TimeSlice: 5 * sysc.Ms}, Policy: rtk.RoundRobin})
 	var slices []string
 	mk := func(name string) *rtk.Task {
 		return k.CreateTask(name, 0, func(task *rtk.Task) {
@@ -44,7 +45,7 @@ func TestRoundRobinSharesCPU(t *testing.T) {
 
 func TestRoundRobinNoPriorityPreemption(t *testing.T) {
 	// Under RTK-Spec I a "high-priority" arrival does NOT preempt.
-	k, sim := newKernel(t, rtk.Config{Policy: rtk.RoundRobin, TimeSlice: 50 * sysc.Ms})
+	k, sim := newKernel(t, rtk.Config{CommonOptions: opts.CommonOptions{TimeSlice: 50 * sysc.Ms}, Policy: rtk.RoundRobin})
 	var order []string
 	a := k.CreateTask("a", 10, func(task *rtk.Task) {
 		task.Work(core.Cost{Time: 10 * sysc.Ms}, "")
@@ -184,7 +185,7 @@ func TestSameWorkloadBothPolicies(t *testing.T) {
 	runPolicy := func(p rtk.Policy) []string {
 		sim := sysc.NewSimulator()
 		defer sim.Shutdown()
-		k := rtk.New(sim, rtk.Config{Policy: p, TimeSlice: 2 * sysc.Ms})
+		k := rtk.New(sim, rtk.Config{CommonOptions: opts.CommonOptions{TimeSlice: 2 * sysc.Ms}, Policy: p})
 		var done []string
 		for i, name := range []string{"hi", "mid", "lo"} {
 			prio := (i + 1) * 10

@@ -1,0 +1,219 @@
+package run
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sysc"
+)
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"250ms"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Std() != 250*time.Millisecond {
+		t.Fatalf("string form: got %v", d.Std())
+	}
+	if err := json.Unmarshal([]byte(`1000000`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Std() != time.Millisecond {
+		t.Fatalf("integer form: got %v", d.Std())
+	}
+	b, err := json.Marshal(Duration(1500 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1.5s"` {
+		t.Fatalf("marshal: got %s", b)
+	}
+	if Duration(time.Millisecond).Sim() != 1*sysc.Ms {
+		t.Fatal("Sim conversion off")
+	}
+}
+
+func TestValidateArtifacts(t *testing.T) {
+	if _, err := Execute(context.Background(), Spec{Artifacts: []string{"nope"}}); err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+	if _, err := Execute(context.Background(), Spec{Scenario: "warp"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	// gantt.txt belongs to videogame, not chaos.
+	if _, err := Execute(context.Background(), Spec{
+		Scenario: ScenarioChaos, Artifacts: []string{ArtifactGantt},
+	}); err == nil {
+		t.Fatal("cross-scenario artifact accepted")
+	}
+	// trace.json on chaos requires a job replay.
+	if _, err := Execute(context.Background(), Spec{
+		Scenario: ScenarioChaos, Artifacts: []string{ArtifactTrace},
+	}); err == nil {
+		t.Fatal("campaign trace accepted without chaos.job")
+	}
+}
+
+// TestVideogameDeterminism is the façade's core contract: the same Spec
+// executed twice yields byte-identical artifacts (Stats wall-clock fields
+// excluded).
+func TestVideogameDeterminism(t *testing.T) {
+	spec := Spec{
+		Dur:  Duration(120 * time.Millisecond),
+		Seed: 42,
+		Artifacts: []string{
+			ArtifactTrace, ArtifactMetrics, ArtifactGantt,
+			ArtifactVCD, ArtifactDS, ArtifactConsole,
+		},
+	}
+	r1, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range spec.Artifacts {
+		a1, a2 := r1.Artifacts[name], r2.Artifacts[name]
+		if len(a1) == 0 {
+			t.Errorf("%s: empty artifact", name)
+			continue
+		}
+		if !bytes.Equal(a1, a2) {
+			t.Errorf("%s: not byte-identical across runs (%d vs %d bytes)", name, len(a1), len(a2))
+		}
+	}
+	if r1.Stats.Frames == 0 || r1.Stats.Ticks == 0 {
+		t.Fatalf("empty stats digest: %+v", r1.Stats)
+	}
+	if r1.Stats.Frames != r2.Stats.Frames || r1.Stats.Score != r2.Stats.Score ||
+		r1.Stats.CtxSwitches != r2.Stats.CtxSwitches {
+		t.Fatalf("stats digest differs: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+// TestVideogameCancel checks the partial-result contract: a cancelled
+// context stops the run at a quiescent point with the context's cause.
+func TestVideogameCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Execute(ctx, Spec{Dur: Duration(time.Second)})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Stats.SimTime.Std() >= time.Second {
+		t.Fatalf("run was not cut short: simulated %v", res.Stats.SimTime.Std())
+	}
+}
+
+// TestDeadline checks that Spec.Deadline bounds wall-clock time and yields
+// a deadline-exceeded partial result.
+func TestDeadline(t *testing.T) {
+	res, err := Execute(context.Background(), Spec{
+		Dur:      Duration(time.Hour), // far more sim time than the deadline allows
+		Deadline: Duration(30 * time.Millisecond),
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if res.Stats.SimTime.Std() >= time.Hour {
+		t.Fatal("run was not cut short by the deadline")
+	}
+}
+
+// TestChaosReplayMatchesCampaign checks the façade reproduces the chaos
+// package's own replay contract: the single-job scenario yields the same
+// verdict digest as calling chaos.RunJob directly.
+func TestChaosReplayMatchesCampaign(t *testing.T) {
+	job := 3
+	spec := Spec{
+		Scenario:  ScenarioChaos,
+		Seed:      7,
+		Dur:       Duration(60 * time.Millisecond),
+		Chaos:     &ChaosSpec{Job: &job},
+		Artifacts: []string{ArtifactSummary},
+	}
+	res, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := chaos.RunJob(chaos.Config{BaseSeed: 7, Dur: 60 * sysc.Ms}, job)
+	if res.Stats.Jobs != 1 {
+		t.Fatalf("jobs = %d", res.Stats.Jobs)
+	}
+	wantFail := 0
+	if !direct.Pass {
+		wantFail = 1
+	}
+	if res.Stats.Failures != wantFail {
+		t.Fatalf("failures = %d, direct pass = %v", res.Stats.Failures, direct.Pass)
+	}
+	if res.Stats.Ticks != direct.Ticks || res.Stats.CtxSwitches != direct.CtxSwitches {
+		t.Fatalf("digest mismatch: stats %+v vs verdict %+v", res.Stats, direct)
+	}
+	if len(res.Artifacts[ArtifactSummary]) == 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestChaosCampaign smoke-tests the campaign path and its summary/repro
+// artifacts.
+func TestChaosCampaign(t *testing.T) {
+	spec := Spec{
+		Scenario:  ScenarioChaos,
+		Seed:      11,
+		Dur:       Duration(40 * time.Millisecond),
+		Chaos:     &ChaosSpec{Seeds: 4, Workers: 2},
+		Artifacts: []string{ArtifactSummary, ArtifactRepro},
+	}
+	res, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Jobs != 4 {
+		t.Fatalf("jobs = %d", res.Stats.Jobs)
+	}
+	if res.Stats.Failures != 0 {
+		t.Fatalf("correct kernel failed %d jobs:\n%s", res.Stats.Failures, res.Artifacts[ArtifactSummary])
+	}
+	sum := res.Artifacts[ArtifactSummary]
+	if !bytes.Contains(sum, []byte("failures: 0/4")) {
+		t.Fatalf("summary missing verdict line:\n%s", sum)
+	}
+	// No failures: the repro artifact exists and is empty.
+	if repro, ok := res.Artifacts[ArtifactRepro]; !ok || len(repro) != 0 {
+		t.Fatalf("repro artifact: ok=%v len=%d", ok, len(repro))
+	}
+}
+
+// TestExperimentsSections smoke-tests a cheap experiments subset.
+func TestExperimentsSections(t *testing.T) {
+	spec := Spec{
+		Scenario:    ScenarioExperiments,
+		Experiments: &ExperimentsSpec{Sections: []string{"table1", "a3"}},
+		Artifacts:   []string{ArtifactReport},
+	}
+	res, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Artifacts[ArtifactReport]
+	if !bytes.Contains(rep, []byte("Table 1")) {
+		t.Fatalf("report missing Table 1:\n%s", rep)
+	}
+	if !bytes.Contains(rep, []byte(sectionDivider)) {
+		t.Fatal("report missing section divider")
+	}
+
+	if _, err := Execute(context.Background(), Spec{
+		Scenario:    ScenarioExperiments,
+		Experiments: &ExperimentsSpec{Sections: []string{"fig99"}},
+	}); err == nil {
+		t.Fatal("unknown section accepted")
+	}
+}

@@ -1,0 +1,432 @@
+// Package server is the simulation-as-a-service layer: a bounded HTTP/JSON
+// job service over the run façade. Clients POST a run.Spec, poll the job,
+// and download the artifacts the run produced; the server executes every
+// job through run.Execute on a persistent sweep.Pool, so a Spec submitted
+// over HTTP is built by exactly the code path the CLIs use and yields
+// byte-identical artifacts.
+//
+// Capacity is explicit: a fixed worker count, a bounded submission queue,
+// and a 429 + Retry-After rejection once the queue is full — the service
+// never buffers unbounded work. Jobs are cancellable (DELETE) and
+// deadline-bounded (Spec.Deadline, capped by Config.MaxJobTime), and
+// Shutdown drains in-flight jobs before returning.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/run"
+	"repro/internal/sweep"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. A job is terminal in StateDone, StateFailed or
+// StateCancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers is the simulation pool size (default 1). Each worker runs one
+	// job at a time.
+	Workers int
+	// Queue bounds the number of accepted-but-not-started jobs (default
+	// 2*Workers). A full queue rejects submissions with 429.
+	Queue int
+	// MaxJobTime caps every job's wall-clock time; a Spec deadline may only
+	// tighten it (0 = no cap).
+	MaxJobTime time.Duration
+	// MaxJobs bounds the number of retained job records; once exceeded the
+	// oldest terminal jobs are evicted (default 1024).
+	MaxJobs int
+	// Execute overrides the run executor. Tests use it to substitute
+	// controllable fakes; nil means run.Execute.
+	Execute func(context.Context, run.Spec) (run.Result, error)
+}
+
+// Job is one submitted run and its outcome.
+type Job struct {
+	ID        string
+	Spec      run.Spec
+	State     State
+	Err       string // terminal error (failed/cancelled)
+	Stats     run.Stats
+	Artifacts map[string][]byte
+
+	cancel context.CancelCauseFunc
+	seq    uint64
+}
+
+// JobView is the wire form of a job's status.
+type JobView struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Spec      run.Spec   `json:"spec"`
+	Error     string     `json:"error,omitempty"`
+	Stats     *run.Stats `json:"stats,omitempty"`
+	Artifacts []string   `json:"artifacts,omitempty"`
+}
+
+// Server is the job service. Create with New, mount as an http.Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg  Config
+	pool *sweep.Pool
+	mux  *http.ServeMux
+
+	ctx  context.Context // base context of every job; cancelled by Shutdown(force)
+	stop context.CancelCauseFunc
+	exec func(context.Context, run.Spec) (run.Result, error)
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  uint64
+
+	// varz counters.
+	submitted uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+}
+
+// New builds and starts the service: the worker pool is live and the
+// handler ready to mount.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	s := &Server{
+		cfg:  cfg,
+		pool: sweep.NewPool(cfg.Workers, cfg.Queue),
+		jobs: make(map[string]*Job),
+		exec: cfg.Execute,
+	}
+	if s.exec == nil {
+		s.exec = run.Execute
+	}
+	s.ctx, s.stop = context.WithCancelCause(context.Background())
+
+	m := http.NewServeMux()
+	m.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	m.HandleFunc("GET /api/v1/jobs", s.handleList)
+	m.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	m.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	m.HandleFunc("GET /api/v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	m.HandleFunc("GET /healthz", s.handleHealthz)
+	m.HandleFunc("GET /varz", s.handleVarz)
+	s.mux = m
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown gracefully stops the service: admission closes immediately
+// (submissions get 503), queued and in-flight jobs run to completion, and
+// Shutdown returns once the pool is idle. If ctx expires first, remaining
+// jobs are cancelled at their next quiescent point and their completion is
+// awaited before returning ctx's cause.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.pool.Drain(ctx)
+	if err != nil {
+		// Deadline hit: force-cancel whatever is still running, then wait
+		// for the workers to wind down (cancellation lands at the next
+		// quiescent point, so this is prompt).
+		s.stop(fmt.Errorf("server: shutdown: %w", err))
+		_ = s.pool.Drain(context.Background())
+	}
+	return err
+}
+
+// --- job lifecycle ---
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec run.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+		return
+	}
+	if err := run.Validate(spec); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	job := &Job{
+		ID:    "j" + strconv.FormatUint(s.seq, 10),
+		Spec:  spec,
+		State: StateQueued,
+		seq:   s.seq,
+	}
+	jctx, cancel := context.WithCancelCause(s.ctx)
+	job.cancel = cancel
+	s.jobs[job.ID] = job
+	s.evictLocked()
+	s.mu.Unlock()
+
+	err := s.pool.TrySubmit(func(int) { s.runJob(job, jctx) })
+	if err != nil {
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.rejected++
+		s.mu.Unlock()
+		cancel(nil)
+		switch {
+		case errors.Is(err, sweep.ErrSaturated):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "queue full, retry later")
+		case errors.Is(err, sweep.ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.mu.Lock()
+	s.submitted++
+	view := viewOf(job)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// runJob executes one job on a pool worker.
+func (s *Server) runJob(job *Job, jctx context.Context) {
+	defer job.cancel(nil)
+
+	s.mu.Lock()
+	if job.State == StateCancelled {
+		// Cancelled while queued: never run.
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	s.mu.Unlock()
+
+	ctx := jctx
+	if s.cfg.MaxJobTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxJobTime)
+		defer cancel()
+	}
+	res, err := s.exec(ctx, job.Spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.Stats = res.Stats
+	job.Artifacts = res.Artifacts
+	switch {
+	case err == nil:
+		job.State = StateDone
+		s.completed++
+	case jctx.Err() != nil && s.ctx.Err() == nil && !errors.Is(context.Cause(jctx), context.DeadlineExceeded):
+		// Client-initiated cancel (DELETE).
+		job.State = StateCancelled
+		job.Err = err.Error()
+		s.cancelled++
+	default:
+		job.State = StateFailed
+		job.Err = err.Error()
+		s.failed++
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var view JobView
+	if ok {
+		view = viewOf(job)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.jobs))
+	order := make(map[string]uint64, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, viewOf(j))
+		order[j.ID] = j.seq
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(i, k int) bool { return order[views[i].ID] < order[views[k].ID] })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	if ok {
+		switch job.State {
+		case StateQueued:
+			// The queued closure will observe the state and skip execution.
+			job.State = StateCancelled
+			job.Err = "cancelled before start"
+			s.cancelled++
+		case StateRunning:
+			job.cancel(context.Canceled)
+		}
+	}
+	var view JobView
+	if ok {
+		view = viewOf(job)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id, name := r.PathValue("id"), r.PathValue("name")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var state State
+	var body []byte
+	var have bool
+	if ok {
+		state = job.State
+		body, have = job.Artifacts[name]
+	}
+	s.mu.Unlock()
+	switch {
+	case !ok:
+		httpError(w, http.StatusNotFound, "no such job")
+	case state == StateQueued || state == StateRunning:
+		httpError(w, http.StatusConflict, "job not finished")
+	case !have:
+		httpError(w, http.StatusNotFound, "no such artifact")
+	default:
+		w.Header().Set("Content-Type", contentType(name))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	}
+}
+
+// evictLocked drops the oldest terminal jobs once the record table exceeds
+// MaxJobs. Live (queued/running) jobs are never evicted.
+func (s *Server) evictLocked() {
+	over := len(s.jobs) - s.cfg.MaxJobs
+	if over <= 0 {
+		return
+	}
+	terminal := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateDone, StateFailed, StateCancelled:
+			terminal = append(terminal, j)
+		}
+	}
+	sort.Slice(terminal, func(i, k int) bool { return terminal[i].seq < terminal[k].seq })
+	for i := 0; i < len(terminal) && i < over; i++ {
+		delete(s.jobs, terminal[i].ID)
+	}
+}
+
+// --- introspection ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Varz is the self-metrics document served at /varz.
+type Varz struct {
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+	Queued   int `json:"queued"`
+	InFlight int `json:"in_flight"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	JobsRetained  int    `json:"jobs_retained"`
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	v := Varz{
+		Workers:       s.cfg.Workers,
+		QueueCap:      s.pool.Cap(),
+		Queued:        s.pool.Queued(),
+		InFlight:      s.pool.InFlight(),
+		JobsSubmitted: s.submitted,
+		JobsRejected:  s.rejected,
+		JobsCompleted: s.completed,
+		JobsFailed:    s.failed,
+		JobsCancelled: s.cancelled,
+		JobsRetained:  len(s.jobs),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// --- helpers ---
+
+// viewOf snapshots a job for the wire. Caller holds s.mu.
+func viewOf(j *Job) JobView {
+	v := JobView{ID: j.ID, State: j.State, Spec: j.Spec, Error: j.Err}
+	if j.State == StateDone || j.State == StateFailed {
+		stats := j.Stats
+		v.Stats = &stats
+		names := make([]string, 0, len(j.Artifacts))
+		for name := range j.Artifacts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		v.Artifacts = names
+	}
+	return v
+}
+
+func contentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg, "code": code})
+}

@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool errors.
+var (
+	// ErrSaturated is returned by TrySubmit when the bounded queue is full —
+	// the backpressure signal a server maps to 429 + Retry-After.
+	ErrSaturated = errors.New("sweep: pool queue full")
+	// ErrClosed is returned by TrySubmit after Close.
+	ErrClosed = errors.New("sweep: pool closed")
+)
+
+// Pool is the long-running sibling of Run: a persistent worker pool with a
+// bounded submission queue. Where Run executes a known batch and returns,
+// Pool serves an open-ended stream of independent tasks (the simulation job
+// server) with explicit backpressure — a full queue rejects instead of
+// blocking — and a drain path for graceful shutdown.
+type Pool struct {
+	queue chan func(worker int)
+	wg    sync.WaitGroup
+
+	queued   atomic.Int64
+	inFlight atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	idle   chan struct{} // closed when queued+inFlight drops to 0 after Close
+}
+
+// NewPool starts workers goroutines serving a queue of at most depth
+// pending tasks. workers <= 0 defaults to 1; depth <= 0 defaults to
+// 2*workers.
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	p := &Pool{
+		queue: make(chan func(worker int), depth),
+		idle:  make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				p.queued.Add(-1)
+				p.inFlight.Add(1)
+				fn(worker)
+				p.inFlight.Add(-1)
+			}
+		}(w)
+	}
+	return p
+}
+
+// TrySubmit enqueues fn without blocking. It returns ErrSaturated when the
+// queue is full and ErrClosed after Close; nil means a worker will run fn.
+func (p *Pool) TrySubmit(fn func(worker int)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.queue <- fn:
+		p.queued.Add(1)
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// Queued returns the number of accepted tasks not yet picked up by a
+// worker.
+func (p *Pool) Queued() int { return int(p.queued.Load()) }
+
+// InFlight returns the number of tasks currently executing.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
+
+// Cap returns the queue capacity.
+func (p *Pool) Cap() int { return cap(p.queue) }
+
+// Close stops admission. Tasks already accepted — queued or in flight —
+// still run to completion; use Drain to wait for them. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	go func() {
+		p.wg.Wait()
+		close(p.idle)
+	}()
+}
+
+// Drain closes the pool and blocks until every accepted task has finished
+// or ctx is done, returning ctx's cause in the latter case — the graceful-
+// shutdown path: stop accepting, let in-flight jobs complete.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.Close()
+	select {
+	case <-p.idle:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}

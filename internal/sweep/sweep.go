@@ -8,6 +8,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -49,6 +50,17 @@ type Runner struct {
 // strictly in input order on the calling goroutine — the sequential
 // reference path.
 func Run[J, R any](r Runner, jobs []J, run func(Job, J) R) []R {
+	results, _ := RunContext(context.Background(), r, jobs, run)
+	return results
+}
+
+// RunContext is Run threaded through a context: no new job starts once ctx
+// is done. Jobs already in flight finish (a run function that wants
+// mid-job cancellation should itself observe ctx, e.g. via
+// sysc.StartContext), queued jobs are skipped, and the context's cause is
+// returned alongside the partial results — results[i] is the zero R for
+// every job that never ran. A nil error means every job completed.
+func RunContext[J, R any](ctx context.Context, r Runner, jobs []J, run func(Job, J) R) ([]R, error) {
 	results := make([]R, len(jobs))
 	workers := r.Workers
 	if workers <= 0 {
@@ -57,11 +69,15 @@ func Run[J, R any](r Runner, jobs []J, run func(Job, J) R) []R {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i, j := range jobs {
+			if err := cancelled(ctx, done); err != nil {
+				return results, err
+			}
 			results[i] = run(Job{Index: i, Seed: Seed(r.BaseSeed, i), Worker: 0}, j)
 		}
-		return results
+		return results, nil
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -70,16 +86,43 @@ func Run[J, R any](r Runner, jobs []J, run func(Job, J) R) []R {
 		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
+				if cancelled(ctx, done) != nil {
+					continue // drain without running
+				}
 				results[i] = run(Job{Index: i, Seed: Seed(r.BaseSeed, i), Worker: worker}, jobs[i])
 			}
 		}(w)
 	}
+	var err error
+dispatch:
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			err = context.Cause(ctx)
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	return results
+	if err == nil {
+		err = cancelled(ctx, done)
+	}
+	return results, err
+}
+
+// cancelled reports the context's cause once its done channel is closed
+// (done == nil means the context can never be cancelled).
+func cancelled(ctx context.Context, done <-chan struct{}) error {
+	if done == nil {
+		return nil
+	}
+	select {
+	case <-done:
+		return context.Cause(ctx)
+	default:
+		return nil
+	}
 }
 
 // Map is Run with default Runner settings (GOMAXPROCS workers, base seed 0).

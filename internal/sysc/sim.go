@@ -1,6 +1,9 @@
 package sysc
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Simulator owns a complete discrete-event simulation: the time wheel, the
 // runnable queue, delta and timed notification queues, and all processes.
@@ -39,6 +42,13 @@ type Simulator struct {
 	// drains. Buffered so the scheduler can hand itself the token when the
 	// whole phase ran inline (methods only).
 	schedWake chan struct{}
+
+	// cancel, when non-nil, is polled at every quiescent point (the model
+	// is stable there): once closed, the run stops before the clock
+	// advances again and cancelled records that the stop came from the
+	// context, not the model (StartContext).
+	cancel    <-chan struct{}
+	cancelled bool
 
 	stopRequested bool
 	shutdown      bool
@@ -294,6 +304,14 @@ func (s *Simulator) Start(until Time) error {
 		// Timed notification phase: advance to the next event time. The
 		// model is quiescent at s.now here — nothing runnable, no updates,
 		// no deltas — so observers get a stable snapshot.
+		if s.cancel != nil {
+			select {
+			case <-s.cancel:
+				s.cancelled = true
+				return s.err
+			default:
+			}
+		}
 		if s.observer != nil {
 			s.observer.Quiescent(s.now)
 		}
@@ -343,6 +361,30 @@ func (s *Simulator) Start(until Time) error {
 // Run is Start with an unbounded horizon: it returns when the model goes
 // quiet or Stop is called.
 func (s *Simulator) Run() error { return s.Start(MaxTime) }
+
+// StartContext runs like Start but observes ctx at every quiescent point:
+// once ctx is done the run stops at the next stable instant — before the
+// clock advances again — and the context's cause is returned. Model state
+// stays consistent, so the caller can still harvest partial results (the
+// server's per-job deadline and cancellation path, and the CLIs' -timeout
+// flags). A simulation that completes its horizon first returns exactly
+// what Start would, even if ctx expires afterwards.
+func (s *Simulator) StartContext(ctx context.Context, until Time) error {
+	done := ctx.Done()
+	if done == nil {
+		return s.Start(until)
+	}
+	s.cancel = done
+	s.cancelled = false
+	defer func() { s.cancel = nil }()
+	if err := s.Start(until); err != nil {
+		return err
+	}
+	if s.cancelled {
+		return context.Cause(ctx)
+	}
+	return nil
+}
 
 // Shutdown terminates all live process goroutines. The simulator cannot be
 // restarted afterwards. It is safe to call multiple times.

@@ -38,11 +38,6 @@ const (
 	IntDrop
 )
 
-// SetInterruptFilter installs the dropped-interrupt fault hook: fn screens
-// every RaiseInterrupt before dispatch and may suppress the raise. The hook
-// must be deterministic. nil removes it.
-func (k *Kernel) SetInterruptFilter(fn func(intno int) IntDecision) { k.intFilter = fn }
-
 // DefInt defines the interrupt handler for interrupt number intno
 // (tk_def_int). Redefinition replaces the previous handler; a nil fn
 // removes the definition.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/petri"
+	"repro/internal/run/opts"
 	"repro/internal/sched"
 	"repro/internal/sysc"
 	"repro/internal/trace"
@@ -66,11 +67,14 @@ func DefaultCosts() Costs {
 // functional tests that assert exact timings).
 func ZeroCosts() Costs { return Costs{} }
 
-// Config parameterizes a kernel instance.
+// Config parameterizes a kernel instance. The embedded CommonOptions carry
+// the cross-kernel knobs: Tick is the system-clock resolution driving the
+// central module (default 1 ms, the paper's RTC resolution), Bus/Gantt the
+// observability wiring; TimeSlice is ignored (the T-Kernel policy is purely
+// priority-preemptive).
 type Config struct {
-	// Tick is the system-clock resolution driving the central module
-	// (default 1 ms, the paper's RTC resolution).
-	Tick sysc.Time
+	opts.CommonOptions
+
 	// TickSource, when non-nil, is an external tick event (the BFM's
 	// real-time clock). When nil the kernel generates its own tick.
 	TickSource *sysc.Event
@@ -86,15 +90,25 @@ type Config struct {
 	DisableTickless bool
 	// Costs is the kernel ETM/EEM annotation model.
 	Costs Costs
-	// Bus is the kernel event bus all layers publish on. When nil the
-	// kernel creates a private one, reachable via (*Kernel).Bus.
-	Bus *event.Bus
-	// Gantt, when non-nil, is subscribed to the bus for segment recording.
-	Gantt *trace.Gantt
 	// MaxPriority bounds task priorities (1..MaxPriority; default 140).
 	MaxPriority int
 	// WupCountMax bounds queued wakeups per task (default 65535).
 	WupCountMax int
+
+	// TickDelay is the delayed-tick-delivery fault hook: it is consulted
+	// with each tick's ordinal and a positive return defers that tick's
+	// timer pass (cyclic/alarm firings, wait timeouts) by the returned
+	// amount. The hook must be deterministic. Fault instrumentation is
+	// frozen at construction so concurrent jobs can never race on it.
+	TickDelay func(tick uint64) sysc.Time
+	// InterruptFilter is the dropped-interrupt fault hook: it screens every
+	// RaiseInterrupt before dispatch and may suppress the raise. The hook
+	// must be deterministic.
+	InterruptFilter func(intno int) IntDecision
+	// ConsumeShaper is the execution-time-inflation fault hook, applied to
+	// every Consume cost before the budget is spent (forwarded to the
+	// SIM_API instance; see core.WithConsumeShaper).
+	ConsumeShaper func(t *core.TThread, c core.Cost, ctx trace.Context) core.Cost
 }
 
 // Kernel is one instance of the RTK-Spec TRON simulation model. Create it
@@ -134,15 +148,12 @@ type Kernel struct {
 	// idle tick firings (crediting them to ticks).
 	ticker *sysc.Ticker
 
-	// tickDelay, if set, is consulted on every system tick: a positive
-	// return defers that tick's timer-queue pass by the given amount (the
-	// chaos delayed-tick-delivery fault). tickDeferEv carries the deferral.
+	// tickDelay and intFilter are the fault hooks frozen from Config at
+	// construction (Config.TickDelay, Config.InterruptFilter); tickDeferEv
+	// carries a deferred tick's late timer pass.
 	tickDelay   func(tick uint64) sysc.Time
 	tickDeferEv *sysc.Event
-
-	// intFilter, if set, screens every external interrupt before dispatch
-	// (the chaos dropped-interrupt fault).
-	intFilter func(intno int) IntDecision
+	intFilter   func(intno int) IntDecision
 
 	booted bool
 	disDsp bool
@@ -168,24 +179,30 @@ func New(sim *sysc.Simulator, cfg Config) *Kernel {
 	if cfg.Gantt != nil {
 		trace.AttachGantt(bus, cfg.Gantt)
 	}
+	var apiOpts []core.Option
+	if cfg.ConsumeShaper != nil {
+		apiOpts = append(apiOpts, core.WithConsumeShaper(cfg.ConsumeShaper))
+	}
 	k := &Kernel{
-		sim:   sim,
-		api:   core.NewSimAPI(sim, sched.NewPriority(), bus),
-		bus:   bus,
-		cfg:   cfg,
-		tasks: map[ID]*Task{},
-		sems:  map[ID]*Semaphore{},
-		flags: map[ID]*EventFlag{},
-		mtxs:  map[ID]*Mutex{},
-		mbxs:  map[ID]*Mailbox{},
-		mbfs:  map[ID]*MessageBuffer{},
-		mpfs:  map[ID]*FixedPool{},
-		mpls:  map[ID]*VariablePool{},
-		cycs:  map[ID]*CyclicHandler{},
-		alms:  map[ID]*AlarmHandler{},
-		isrs:  map[int]*ISR{},
-		pors:  map[ID]*Port{},
-		rdvs:  map[RdvNo]portRdv{},
+		sim:       sim,
+		api:       core.NewSimAPI(sim, sched.NewPriority(), bus, apiOpts...),
+		bus:       bus,
+		cfg:       cfg,
+		tickDelay: cfg.TickDelay,
+		intFilter: cfg.InterruptFilter,
+		tasks:     map[ID]*Task{},
+		sems:      map[ID]*Semaphore{},
+		flags:     map[ID]*EventFlag{},
+		mtxs:      map[ID]*Mutex{},
+		mbxs:      map[ID]*Mailbox{},
+		mbfs:      map[ID]*MessageBuffer{},
+		mpfs:      map[ID]*FixedPool{},
+		mpls:      map[ID]*VariablePool{},
+		cycs:      map[ID]*CyclicHandler{},
+		alms:      map[ID]*AlarmHandler{},
+		isrs:      map[int]*ISR{},
+		pors:      map[ID]*Port{},
+		rdvs:      map[RdvNo]portRdv{},
 	}
 	return k
 }
@@ -284,12 +301,6 @@ func (k *Kernel) runTimerQ() {
 		it.fn()
 	}
 }
-
-// SetTickDelay installs the delayed-tick-delivery fault hook: fn is called
-// with each tick's ordinal and a positive return defers that tick's timer
-// pass (cyclic/alarm firings, wait timeouts) by the returned amount. The
-// hook must be deterministic. nil removes it.
-func (k *Kernel) SetTickDelay(fn func(tick uint64) sysc.Time) { k.tickDelay = fn }
 
 // warp is the tickless fast-forward, called by the simulator at every
 // quiescent point. A tick firing is a no-op unless a kernel timer entry is

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/event"
+	"repro/internal/run/opts"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 )
@@ -61,7 +62,7 @@ func TestServiceCallEnterExitPairing(t *testing.T) {
 	sim := sysc.NewSimulator()
 	defer sim.Shutdown()
 	bus := event.NewBus()
-	k := tkernel.New(sim, tkernel.Config{Bus: bus, Costs: tkernel.ZeroCosts()})
+	k := tkernel.New(sim, tkernel.Config{CommonOptions: opts.CommonOptions{Bus: bus}, Costs: tkernel.ZeroCosts()})
 	chk := &svcPairChecker{t: t}
 	bus.Subscribe(chk.handle, event.KindSvcEnter, event.KindSvcExit)
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/run/opts"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 	"repro/internal/trace"
@@ -36,7 +37,7 @@ func runStress(t *testing.T, seed int64, nTasks int, simFor sysc.Time) stressOut
 	sim := sysc.NewSimulator()
 	defer sim.Shutdown()
 	g := trace.NewGantt()
-	k := tkernel.New(sim, tkernel.Config{Costs: tkernel.ZeroCosts(), Gantt: g})
+	k := tkernel.New(sim, tkernel.Config{CommonOptions: opts.CommonOptions{Gantt: g}, Costs: tkernel.ZeroCosts()})
 	orc := chaos.Attach(k, g, 1*sysc.Ms)
 
 	finished := 0

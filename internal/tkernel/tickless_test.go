@@ -3,6 +3,7 @@ package tkernel_test
 import (
 	"testing"
 
+	"repro/internal/run/opts"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 )
@@ -18,7 +19,9 @@ func runTicked(t *testing.T, disable bool, userMain func(*tkernel.Kernel)) (uint
 	fired := 0
 	sim.SpawnMethod("probe", func() { fired++ }, tk.Event())
 	k := tkernel.New(sim, tkernel.Config{
-		Tick: sysc.Ms, TickSource: tk.Event(), Ticker: tk,
+		CommonOptions:   opts.CommonOptions{Tick: sysc.Ms},
+		TickSource:      tk.Event(),
+		Ticker:          tk,
 		DisableTickless: disable,
 	})
 	k.Boot(userMain)
@@ -85,12 +88,14 @@ func TestTicklessDisabledUnderTickFault(t *testing.T) {
 	tk := sysc.NewTicker(sim, "tick", sysc.Ms)
 	fired := 0
 	sim.SpawnMethod("probe", func() { fired++ }, tk.Event())
+	seen := 0
 	k := tkernel.New(sim, tkernel.Config{
-		Tick: sysc.Ms, TickSource: tk.Event(), Ticker: tk,
+		CommonOptions: opts.CommonOptions{Tick: sysc.Ms},
+		TickSource:    tk.Event(),
+		Ticker:        tk,
+		TickDelay:     func(uint64) sysc.Time { seen++; return 0 },
 	})
 	k.Boot(func(*tkernel.Kernel) {})
-	seen := 0
-	k.SetTickDelay(func(uint64) sysc.Time { seen++; return 0 })
 	if err := sim.Start(100 * sysc.Ms); err != nil {
 		t.Fatal(err)
 	}

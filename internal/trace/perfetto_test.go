@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/petri"
+	"repro/internal/run/opts"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 	"repro/internal/trace"
@@ -56,7 +57,7 @@ func traceRun(t *testing.T) []byte {
 	defer sim.Shutdown()
 	bus := event.NewBus()
 	p := trace.AttachPerfetto(bus, &buf)
-	k := tkernel.New(sim, tkernel.Config{Bus: bus, Costs: tkernel.ZeroCosts()})
+	k := tkernel.New(sim, tkernel.Config{CommonOptions: opts.CommonOptions{Bus: bus}, Costs: tkernel.ZeroCosts()})
 	k.Boot(func(k *tkernel.Kernel) {
 		work := core.Cost{Time: 10 * sysc.Ms, Energy: 1 * petri.MilliJ}
 		sem, _ := k.CreSem("gate", tkernel.TaTFIFO, 0, 1)
