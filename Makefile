@@ -3,11 +3,12 @@
 #   make check   - tier-1 gate: vet + build + tests + race detector
 #   make bench   - co-simulation speed benchmark -> BENCH_sysc.json
 #   make bench-all  - every benchmark, no JSON capture
+#   make engine-diff - byte-identical A/B gate between the T-THREAD engines
 
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race check serve serve-e2e chaos chaos-traced bench bench-guard bench-all perf-smoke clean
+.PHONY: all build test vet race race-engine check serve serve-e2e chaos chaos-traced engine-diff bench bench-guard bench-all perf-smoke clean
 
 all: check
 
@@ -22,6 +23,13 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# The goroutine reference engine is the only multi-goroutine data path left —
+# the continuation engine steps everything inline on the scheduler goroutine —
+# so exercise it explicitly under the race detector through the differential
+# A/B suite (which runs every scenario on engine=goroutine by name).
+race-engine:
+	$(GO) test -race ./internal/run -run 'TestEngineDiff' -v
 
 check: vet build test race
 
@@ -48,6 +56,13 @@ chaos:
 # every job must pass its oracles and every emitted trace must schema-check.
 chaos-traced:
 	$(GO) test ./internal/chaos -run 'TestTracedCampaignSchema|TestRunJobTraceVerdictMatchesRunJob' -v
+
+# Differential A/B gate between the two T-THREAD engines: the videogame
+# scenario across its headline configurations plus a 20-seed chaos campaign
+# (with per-seed trace replays) must produce byte-identical artifacts on
+# engine=goroutine and engine=continuation.
+engine-diff:
+	$(GO) test ./internal/run -run 'TestEngineDiff' -v
 
 # Table 2 co-simulation speed (the paper's S/R headline metric) per
 # configuration, captured to BENCH_sysc.json so the perf trajectory is

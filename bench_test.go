@@ -26,7 +26,11 @@ const benchSimWindow = 250 * sysc.Ms
 // BenchmarkTable2CoSimSpeed regenerates Table 2: co-simulation speed of the
 // full framework (RTK-Spec TRON + i8051 BFM + video game) across GUI
 // overhead and widget-driving BFM access rates. The custom metric
-// simsec/s is the paper's S/R.
+// simsec/s is the paper's S/R. Every configuration runs on both T-THREAD
+// engines: the continuation engine is the headline (plain config name, what
+// BENCH_sysc.json and the perf gates track) and the goroutine reference
+// engine rides along under an engine=goroutine suffix so the handoff-cost
+// gap stays measured.
 func BenchmarkTable2CoSimSpeed(b *testing.B) {
 	type cfg struct {
 		name       string
@@ -56,27 +60,35 @@ func BenchmarkTable2CoSimSpeed(b *testing.B) {
 		{name: "gui=off/frame=off/idle=sleep/tickless=off", idleSleep: 50 * sysc.Ms, noTickless: true, window: 2500 * sysc.Ms},
 	}
 	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			window := benchSimWindow
-			if c.window != 0 {
-				window = c.window
+		for _, engine := range []string{opts.EngineContinuation, opts.EngineGoroutine} {
+			engine := engine
+			name := c.name
+			if engine == opts.EngineGoroutine {
+				name += "/engine=goroutine"
 			}
-			for i := 0; i < b.N; i++ {
-				acfg := app.DefaultConfig()
-				acfg.GUI = c.gui
-				acfg.GUIWorkFactor = experiments.GUIWorkFactor
-				acfg.FramePeriod = c.frame
-				acfg.IdleSleep = c.idleSleep
-				acfg.DisableTickless = c.noTickless
-				a := app.Build(acfg)
-				if err := a.Run(window); err != nil {
-					b.Fatal(err)
+			b.Run(name, func(b *testing.B) {
+				window := benchSimWindow
+				if c.window != 0 {
+					window = c.window
 				}
-				a.Shutdown()
-			}
-			simsec := window.Seconds() * float64(b.N)
-			b.ReportMetric(simsec/b.Elapsed().Seconds(), "simsec/s")
-		})
+				for i := 0; i < b.N; i++ {
+					acfg := app.DefaultConfig()
+					acfg.Engine = engine
+					acfg.GUI = c.gui
+					acfg.GUIWorkFactor = experiments.GUIWorkFactor
+					acfg.FramePeriod = c.frame
+					acfg.IdleSleep = c.idleSleep
+					acfg.DisableTickless = c.noTickless
+					a := app.Build(acfg)
+					if err := a.Run(window); err != nil {
+						b.Fatal(err)
+					}
+					a.Shutdown()
+				}
+				simsec := window.Seconds() * float64(b.N)
+				b.ReportMetric(simsec/b.Elapsed().Seconds(), "simsec/s")
+			})
+		}
 	}
 }
 

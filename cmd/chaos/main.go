@@ -36,6 +36,7 @@ func main() {
 	faults := flag.Int("faults", 5, "faults per schedule")
 	corrupt := flag.Bool("corrupt", false, "include corruption faults (pool leak) the oracles must catch")
 	minimize := flag.Bool("minimize", false, "ddmin failing schedules to a minimal repro")
+	engine := flag.String("engine", "", "T-THREAD engine: goroutine (default) or continuation")
 	job := flag.Int("job", -1, "replay a single job index instead of the campaign")
 	traceOut := flag.String("trace", "", "with -job: stream a Perfetto trace of the replay (load at ui.perfetto.dev)")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline; on expiry completed verdicts are reported and the exit code is 1")
@@ -61,6 +62,7 @@ func main() {
 	spec := run.Spec{
 		Scenario:  run.ScenarioChaos,
 		Seed:      *seed,
+		Engine:    *engine,
 		Dur:       run.Duration(*dur),
 		Deadline:  run.Duration(*timeout),
 		Chaos:     cs,

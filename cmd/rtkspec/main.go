@@ -38,6 +38,7 @@ func main() {
 	traceOut := flag.String("trace", "", "stream a Perfetto/Chrome trace-event JSON file (load at ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "write a per-task scheduling-metrics JSON report")
 	seed := flag.Uint64("seed", 0, "seed the synthetic user's key presses (0 = fixed legacy pattern)")
+	engine := flag.String("engine", "", "T-THREAD engine: goroutine (default) or continuation")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline; on expiry the run stops at a quiescent point and exits 1")
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 	spec := run.Spec{
 		Dur:       run.Duration(*dur),
 		Seed:      *seed,
+		Engine:    *engine,
 		Deadline:  run.Duration(*timeout),
 		GUI:       gui,
 		Frame:     run.Duration(*frame),

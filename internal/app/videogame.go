@@ -160,9 +160,10 @@ func Build(cfg Config) *App {
 	a.B = bfm.New(a.Sim, nil, bcfg)
 	a.K = tkernel.New(a.Sim, tkernel.Config{
 		CommonOptions: opts.CommonOptions{
-			Tick:  a.B.RTC.Period(),
-			Bus:   cfg.Bus,
-			Gantt: cfg.Gantt,
+			Engine: cfg.Engine,
+			Tick:   a.B.RTC.Period(),
+			Bus:    cfg.Bus,
+			Gantt:  cfg.Gantt,
 		},
 		Costs:           costs,
 		TickSource:      a.B.RTC.TickEvent(),
@@ -198,38 +199,58 @@ func Build(cfg Config) *App {
 
 	// Synthetic user pressing keys (GUI event capture). A non-zero seed
 	// draws the up/down sequence from a deterministic stream instead of the
-	// legacy fixed pattern, so runs vary by seed but replay exactly.
+	// legacy fixed pattern, so runs vary by seed but replay exactly. Under
+	// the continuation engine the user runs as a step-function coroutine —
+	// same click instants, no goroutine.
 	if cfg.KeyPeriod > 0 {
-		a.Sim.Spawn("user.keys", func(th *sysc.Thread) {
-			keys := []byte{2, 8, 2, 2, 8, 8} // up/down pattern
-			var rng *sweep.RNG
-			if cfg.Seed != 0 {
-				rng = sweep.NewRNG(cfg.Seed)
+		keys := []byte{2, 8, 2, 2, 8, 8} // up/down pattern
+		var rng *sweep.RNG
+		if cfg.Seed != 0 {
+			rng = sweep.NewRNG(cfg.Seed)
+		}
+		click := func(i int) {
+			key := keys[i%len(keys)]
+			if rng != nil {
+				key = keys[rng.Intn(len(keys))]
 			}
-			for i := 0; ; i++ {
-				th.Wait(cfg.KeyPeriod)
-				key := keys[i%len(keys)]
-				if rng != nil {
-					key = keys[rng.Intn(len(keys))]
+			a.PadW.Click(key)
+		}
+		if cfg.Engine == opts.EngineContinuation {
+			i, started := 0, false
+			a.Sim.SpawnCoro("user.keys", func(c *sysc.Coro) {
+				if started {
+					click(i)
+					i++
 				}
-				a.PadW.Click(key)
-			}
-		})
+				started = true
+				c.Wait(cfg.KeyPeriod)
+			})
+		} else {
+			a.Sim.Spawn("user.keys", func(th *sysc.Thread) {
+				for i := 0; ; i++ {
+					th.Wait(cfg.KeyPeriod)
+					click(i)
+				}
+			})
+		}
 	}
 	return a
 }
 
 // userMain is the user main entry called by the INIT task: it creates and
 // starts tasks, handlers and application resources (Figure 3's startup).
+// Every body is a tkernel.Program, so the same op sequence runs on either
+// T-THREAD engine: the goroutine engine interprets it, the continuation
+// engine drives it inline as a resumable machine.
 func (a *App) userMain(k *tkernel.Kernel) {
 	a.frameFlg, _ = k.CreFlg("frame-flg", tkernel.TaWMUL, 0)
 	a.keyMbx, _ = k.CreMbx("key-mbx", tkernel.TaMFIFO)
 	a.scoreSem, _ = k.CreSem("score-sem", tkernel.TaTFIFO, 0, 100)
 
-	a.T1, _ = k.CreTsk("T1.lcd", 10, a.lcdTask)
-	a.T2, _ = k.CreTsk("T2.keypad", 8, a.keypadTask)
-	a.T3, _ = k.CreTsk("T3.ssd", 12, a.ssdTask)
-	a.T4, _ = k.CreTsk("T4.idle", 100, a.idleTask)
+	a.T1, _ = k.CreTskProg("T1.lcd", 10, a.lcdProgram(k))
+	a.T2, _ = k.CreTskProg("T2.keypad", 8, a.keypadProgram(k))
+	a.T3, _ = k.CreTskProg("T3.ssd", 12, a.ssdProgram(k))
+	a.T4, _ = k.CreTskProg("T4.idle", 100, a.idleProgram(k))
 
 	_ = k.StaTsk(a.T1)
 	_ = k.StaTsk(a.T2)
@@ -238,55 +259,68 @@ func (a *App) userMain(k *tkernel.Kernel) {
 
 	// H1: cyclic handler pacing frames at the BFM access rate.
 	if a.cfg.FramePeriod > 0 {
-		a.H1, _ = k.CreCyc("H1.cyclic", a.cfg.FramePeriod, 0, func(h *tkernel.HandlerCtx) {
-			h.Work(core.Cost{Time: 20 * sysc.Us, Energy: petri.MicroJ}, "frame-tick")
-			_ = h.K.SetFlg(a.frameFlg, flgFrame)
-		})
+		a.H1, _ = k.CreCycProg("H1.cyclic", a.cfg.FramePeriod, 0,
+			k.NewHandlerProgram("H1.cyclic").
+				Work(core.Cost{Time: 20 * sysc.Us, Energy: petri.MicroJ}, "frame-tick").
+				SetFlg(&a.frameFlg, flgFrame, nil))
 		_ = k.StaCyc(a.H1)
 	}
 
-	// H2: alarm handler awarding a periodic bonus, re-arming itself.
-	var rearm func(h *tkernel.HandlerCtx)
-	rearm = func(h *tkernel.HandlerCtx) {
-		h.Work(core.Cost{Time: 15 * sysc.Us, Energy: petri.MicroJ}, "bonus")
-		a.bonus++
-		_ = h.K.SigSem(a.scoreSem, 1)
-		_ = h.K.StaAlm(a.H2, a.cfg.AlarmPeriod)
-	}
-	a.H2, _ = k.CreAlm("H2.alarm", func(h *tkernel.HandlerCtx) { rearm(h) })
+	// H2: alarm handler awarding a periodic bonus, re-arming itself (the
+	// StaAlm op reads &a.H2, assigned below after the program is built).
+	a.H2, _ = k.CreAlmProg("H2.alarm",
+		k.NewHandlerProgram("H2.alarm").
+			Work(core.Cost{Time: 15 * sysc.Us, Energy: petri.MicroJ}, "bonus").
+			Atom(func() { a.bonus++ }).
+			SigSem(&a.scoreSem, 1, nil).
+			StaAlm(&a.H2, a.cfg.AlarmPeriod, nil))
 	_ = k.StaAlm(a.H2, a.cfg.AlarmPeriod)
 
 	// Keypad ISR: read the key from the port, post it to T2's mailbox.
-	_ = k.DefInt(bfm.KeypadIntLine, "key-isr", func(h *tkernel.HandlerCtx) {
-		h.Work(core.Cost{Time: 10 * sysc.Us, Energy: petri.MicroJ}, "key-isr")
-		a.B.Ports[2].Select(0)
-		key := a.B.Ports[2].Read()
-		_ = h.K.SndMbx(a.keyMbx, &tkernel.Message{Payload: key})
-	})
+	var keyMsg *tkernel.Message
+	_ = k.DefIntProg(bfm.KeypadIntLine, "key-isr",
+		k.NewHandlerProgram("key-isr").
+			Work(core.Cost{Time: 10 * sysc.Us, Energy: petri.MicroJ}, "key-isr").
+			AtomIo(func() { // keypad port read consumes BFM time
+				a.B.Ports[2].Select(0)
+				keyMsg = &tkernel.Message{Payload: a.B.Ports[2].Read()}
+			}).
+			SndMbx(&a.keyMbx, &keyMsg, nil))
 	// Serial ISR: count transmit completions (waveform fodder).
-	_ = k.DefInt(bfm.SerialIntLine, "ser-isr", func(h *tkernel.HandlerCtx) {
-		h.Work(core.Cost{Time: 5 * sysc.Us, Energy: 500 * petri.NanoJ}, "ser-isr")
-	})
+	_ = k.DefIntProg(bfm.SerialIntLine, "ser-isr",
+		k.NewHandlerProgram("ser-isr").
+			Work(core.Cost{Time: 5 * sysc.Us, Energy: 500 * petri.NanoJ}, "ser-isr"))
 }
 
-// lcdTask is T1: wait for the frame event, compute the next game frame and
-// render it into the LCD through BFM port writes.
-func (a *App) lcdTask(task *tkernel.Task) {
-	k := a.K
-	for {
-		ptn, er := k.WaiFlg(a.frameFlg, flgFrame|flgQuit, tkernel.TwfORW|tkernel.TwfBitCLR, tkernel.TmoFevr)
-		if er != tkernel.EOK || ptn&flgQuit != 0 {
-			return
-		}
-		k.Work(a.cfg.FrameWork, "frame-compute")
-		a.stepGame()
-		a.renderFrame()
-		a.frames++
-	}
+// lcdProgram is T1: wait for the frame event, compute the next game frame
+// and render it into the LCD through BFM port writes.
+func (a *App) lcdProgram(k *tkernel.Kernel) *tkernel.Program {
+	var (
+		ptn    uint32
+		er     tkernel.ER
+		scored bool
+	)
+	return k.NewProgram("T1.lcd").
+		Label("loop").
+		WaiFlg(&a.frameFlg, flgFrame|flgQuit, tkernel.TwfORW|tkernel.TwfBitCLR,
+			tkernel.TmoFevr, &ptn, &er).
+		Br(func() bool { return er != tkernel.EOK || ptn&flgQuit != 0 }, "end").
+		Work(a.cfg.FrameWork, "frame-compute").
+		Atom(func() { scored = a.stepGame() }).
+		Br(func() bool { return !scored }, "render").
+		SigSem(&a.scoreSem, 1, nil).
+		Label("render").
+		AtomIo(func() { // LCD port writes consume BFM/GUI time
+			a.renderFrame()
+			a.frames++
+		}).
+		Jump("loop").
+		Label("end")
 }
 
-// stepGame advances the ball and scores paddle hits.
-func (a *App) stepGame() {
+// stepGame advances the ball and reports a paddle hit (the caller signals
+// the score semaphore as its own program op).
+func (a *App) stepGame() bool {
 	a.ballX += a.ballDir
 	if a.ballX <= 0 {
 		a.ballX = 0
@@ -297,9 +331,10 @@ func (a *App) stepGame() {
 		a.ballDir = -1
 		if a.paddle == 1 { // paddle in the ball's row half
 			a.score++
-			_ = a.K.SigSem(a.scoreSem, 1)
+			return true
 		}
 	}
+	return false
 }
 
 // renderFrame writes the frame to the LCD over the parallel port: the BFM
@@ -318,62 +353,73 @@ func (a *App) renderFrame() {
 	}
 }
 
-// keypadTask is T2: receive key events from the ISR's mailbox and move the
-// paddle.
-func (a *App) keypadTask(task *tkernel.Task) {
-	k := a.K
-	for {
-		msg, er := k.RcvMbx(a.keyMbx, tkernel.TmoFevr)
-		if er != tkernel.EOK {
-			return
-		}
-		k.Work(core.Cost{Time: 80 * sysc.Us, Energy: 4 * petri.MicroJ}, "key-handle")
-		key, _ := msg.Payload.(byte)
-		switch key {
-		case 2: // up
-			a.paddle = 1
-		case 8: // down
-			a.paddle = 0
-		}
-	}
-}
-
-// ssdTask is T3: update the score display whenever the score semaphore is
-// signalled (by T1 scoring or H2 bonuses).
-func (a *App) ssdTask(task *tkernel.Task) {
-	k := a.K
-	for {
-		if er := k.WaiSem(a.scoreSem, 1, tkernel.TmoFevr); er != tkernel.EOK {
-			return
-		}
-		k.Work(core.Cost{Time: 60 * sysc.Us, Energy: 3 * petri.MicroJ}, "score-update")
-		total := a.score + a.bonus
-		p := a.B.Ports[1]
-		p.Select(1) // SSD
-		p.Write(byte(0x00 | (total/1000)%10))
-		p.Write(byte(0x10 | (total/100)%10))
-		p.Write(byte(0x20 | (total/10)%10))
-		p.Write(byte(0x30 | total%10))
-		// Report the score over the serial channel (waveform traffic;
-		// transmission completion raises the serial ISR).
-		a.B.Serial.Send(byte(total))
-	}
-}
-
-// idleTask is T4: the lowest-priority task burning idle cycles (its share
-// in the time/energy distribution shows the CPU headroom, Figure 7). With
-// IdleSleep set it blocks in tk_dly_tsk instead, leaving the CPU genuinely
-// idle between events.
-func (a *App) idleTask(task *tkernel.Task) {
-	for {
-		if a.cfg.IdleSleep > 0 {
-			if er := a.K.DlyTsk(a.cfg.IdleSleep); er != tkernel.EOK {
-				return
+// keypadProgram is T2: receive key events from the ISR's mailbox and move
+// the paddle.
+func (a *App) keypadProgram(k *tkernel.Kernel) *tkernel.Program {
+	var (
+		msg *tkernel.Message
+		er  tkernel.ER
+	)
+	return k.NewProgram("T2.keypad").
+		Label("loop").
+		RcvMbx(&a.keyMbx, tkernel.TmoFevr, &msg, &er).
+		Br(func() bool { return er != tkernel.EOK }, "end").
+		Work(core.Cost{Time: 80 * sysc.Us, Energy: 4 * petri.MicroJ}, "key-handle").
+		Atom(func() {
+			key, _ := msg.Payload.(byte)
+			switch key {
+			case 2: // up
+				a.paddle = 1
+			case 8: // down
+				a.paddle = 0
 			}
-			continue
-		}
-		a.K.Work(a.cfg.IdleSlice, "idle")
+		}).
+		Jump("loop").
+		Label("end")
+}
+
+// ssdProgram is T3: update the score display whenever the score semaphore
+// is signalled (by T1 scoring or H2 bonuses).
+func (a *App) ssdProgram(k *tkernel.Kernel) *tkernel.Program {
+	var er tkernel.ER
+	return k.NewProgram("T3.ssd").
+		Label("loop").
+		WaiSem(&a.scoreSem, 1, tkernel.TmoFevr, &er).
+		Br(func() bool { return er != tkernel.EOK }, "end").
+		Work(core.Cost{Time: 60 * sysc.Us, Energy: 3 * petri.MicroJ}, "score-update").
+		AtomIo(func() { // SSD port writes + serial send consume BFM time
+			total := a.score + a.bonus
+			p := a.B.Ports[1]
+			p.Select(1) // SSD
+			p.Write(byte(0x00 | (total/1000)%10))
+			p.Write(byte(0x10 | (total/100)%10))
+			p.Write(byte(0x20 | (total/10)%10))
+			p.Write(byte(0x30 | total%10))
+			// Report the score over the serial channel (waveform traffic;
+			// transmission completion raises the serial ISR).
+			a.B.Serial.Send(byte(total))
+		}).
+		Jump("loop").
+		Label("end")
+}
+
+// idleProgram is T4: the lowest-priority task burning idle cycles (its
+// share in the time/energy distribution shows the CPU headroom, Figure 7).
+// With IdleSleep set it blocks in tk_dly_tsk instead, leaving the CPU
+// genuinely idle between events.
+func (a *App) idleProgram(k *tkernel.Kernel) *tkernel.Program {
+	p := k.NewProgram("T4.idle")
+	if a.cfg.IdleSleep > 0 {
+		var er tkernel.ER
+		return p.Label("loop").
+			DlyTsk(a.cfg.IdleSleep, &er).
+			Br(func() bool { return er != tkernel.EOK }, "end").
+			Jump("loop").
+			Label("end")
 	}
+	return p.Label("loop").
+		Work(a.cfg.IdleSlice, "idle").
+		Jump("loop")
 }
 
 // Run simulates d of system time and returns the simulator error, if any.

@@ -24,6 +24,7 @@ type Config struct {
 	Faults   int       // faults per schedule (default 5)
 	Corrupt  bool      // include corruption faults (PoolLeak) in the draw
 	Minimize bool      // ddmin failing schedules to a minimal repro
+	Engine   string    // T-THREAD engine ("" = goroutine)
 
 	OracleInterval sysc.Time // oracle throttle (default 1 ms)
 }
@@ -239,7 +240,8 @@ func execute(ctx context.Context, cfg Config, seed uint64, sched Schedule, trace
 	sim := sysc.NewSimulator()
 	defer sim.Shutdown()
 
-	scfg := SystemConfig{Tasks: cfg.Tasks, Costs: tkernel.DefaultCosts(), Schedule: sched}
+	scfg := SystemConfig{Tasks: cfg.Tasks, Costs: tkernel.DefaultCosts(), Schedule: sched,
+		Engine: cfg.Engine}
 	var pf *trace.Perfetto
 	if traceW != nil {
 		scfg.Bus = event.NewBus()

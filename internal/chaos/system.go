@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/run/opts"
 	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
@@ -22,6 +23,9 @@ type SystemConfig struct {
 	// frozen into the kernel's construction config and the injector is
 	// bound before BuildSystem returns (reachable via System.Inj).
 	Schedule Schedule
+	// Engine selects the T-THREAD execution engine (opts.EngineGoroutine /
+	// opts.EngineContinuation; empty = goroutine).
+	Engine string
 }
 
 // System is one built job: a kernel hosting a seeded random application that
@@ -77,6 +81,7 @@ func BuildSystem(sim *sysc.Simulator, seed uint64, cfg SystemConfig) *System {
 	g := trace.NewGantt()
 	inj := NewInjector(cfg.Schedule)
 	kcfg := tkernel.Config{Costs: cfg.Costs}
+	kcfg.Engine = cfg.Engine
 	kcfg.Bus = cfg.Bus
 	kcfg.Gantt = g
 	inj.Configure(&kcfg)
@@ -115,95 +120,129 @@ func BuildSystem(sim *sysc.Simulator, seed uint64, cfg SystemConfig) *System {
 		mbf, _ := k.CreMbf("chaos-mbf", tkernel.TaTPRI, 96, 16)
 		mpf, _ := k.CreMpf("chaos-mpf", tkernel.TaTPRI, 4, 32)
 		mpl, _ := k.CreMpl("chaos-mpl", tkernel.TaTPRI, 256)
+		objs := &chaosObjs{sem: sem, mtxI: mtxI, mtxC: mtxC, mbf: mbf, mpf: mpf, mpl: mpl}
 
 		// Cyclic handler: keeps the semaphore supplied and wakes sleepers
 		// round-robin (the partner of every opSleep step).
 		var wakeNext int
-		cyc, _ := k.CreCyc("chaos-cyc", 7*sysc.Ms, 0, func(h *tkernel.HandlerCtx) {
-			h.Work(core.Cost{Time: 80 * sysc.Us, Energy: 4e-9}, "cyc-work")
-			_ = h.K.SigSem(sem, 1)
-			_ = h.K.WupTsk(sys.TaskIDs[wakeNext%cfg.Tasks])
-			wakeNext++
-		})
+		var wakeID tkernel.ID
+		cyc, _ := k.CreCycProg("chaos-cyc", 7*sysc.Ms, 0,
+			k.NewHandlerProgram("chaos-cyc").
+				Work(core.Cost{Time: 80 * sysc.Us, Energy: 4e-9}, "cyc-work").
+				SigSem(&objs.sem, 1, nil).
+				Atom(func() {
+					wakeID = sys.TaskIDs[wakeNext%cfg.Tasks]
+					wakeNext++
+				}).
+				WupTsk(&wakeID, nil))
 		_ = k.StaCyc(cyc)
 
 		// Two external interrupts: int 1 is the periodic device below; int 2
 		// only ever fires from injected spurious raises/bursts.
-		_ = k.DefInt(1, "chaos-isr1", func(h *tkernel.HandlerCtx) {
-			h.Work(core.Cost{Time: 60 * sysc.Us, Energy: 3e-9}, "isr1")
-			_ = h.K.SigSem(sem, 1)
-		})
-		_ = k.DefInt(2, "chaos-isr2", func(h *tkernel.HandlerCtx) {
-			h.Work(core.Cost{Time: 40 * sysc.Us, Energy: 2e-9}, "isr2")
-		})
+		_ = k.DefIntProg(1, "chaos-isr1",
+			k.NewHandlerProgram("chaos-isr1").
+				Work(core.Cost{Time: 60 * sysc.Us, Energy: 3e-9}, "isr1").
+				SigSem(&objs.sem, 1, nil))
+		_ = k.DefIntProg(2, "chaos-isr2",
+			k.NewHandlerProgram("chaos-isr2").
+				Work(core.Cost{Time: 40 * sysc.Us, Energy: 2e-9}, "isr2"))
 
 		for i := 0; i < cfg.Tasks; i++ {
-			prog := programs[i]
-			id, _ := k.CreTsk(fmt.Sprintf("chaos%d", i), prios[i], func(task *tkernel.Task) {
-				for {
-					for _, st := range prog {
-						runStep(k, st, sem, mtxI, mtxC, mbf, mpf, mpl)
-					}
-					sys.cycles++
-				}
-			})
+			name := fmt.Sprintf("chaos%d", i)
+			id, _ := k.CreTskProg(name, prios[i],
+				buildStepProgram(k, name, programs[i], sys, objs))
 			sys.TaskIDs[i] = id
 			_ = k.StaTsk(id)
 		}
 	})
 
 	// Periodic device model: raises interrupt 1 every 5 ms (the target the
-	// DropIRQ fault suppresses and IRQBurst storms).
-	sim.Spawn("chaos.device", func(th *sysc.Thread) {
-		for {
-			th.Wait(5 * sysc.Ms)
-			_ = k.RaiseInterrupt(1)
-		}
-	})
+	// DropIRQ fault suppresses and IRQBurst storms). On the continuation
+	// engine it runs as a step-function coroutine — same raise instants, no
+	// goroutine.
+	if cfg.Engine == opts.EngineContinuation {
+		started := false
+		sim.SpawnCoro("chaos.device", func(c *sysc.Coro) {
+			if started {
+				_ = k.RaiseInterrupt(1)
+			}
+			started = true
+			c.Wait(5 * sysc.Ms)
+		})
+	} else {
+		sim.Spawn("chaos.device", func(th *sysc.Thread) {
+			for {
+				th.Wait(5 * sysc.Ms)
+				_ = k.RaiseInterrupt(1)
+			}
+		})
+	}
 
 	return sys
 }
 
-// runStep executes one program step. Every wait is bounded, so injected
-// exhaustion or flooding shows up as E_TMOUT — never a stuck system.
-func runStep(k *tkernel.Kernel, st step, sem, mtxI, mtxC, mbf, mpf, mpl tkernel.ID) {
-	switch st.op {
-	case opWork:
-		k.Work(core.Cost{Time: st.dur, Energy: 1e-6}, "app-work")
-	case opDelay:
-		_ = k.DlyTsk(st.dur)
-	case opSigSem:
-		_ = k.SigSem(sem, 1)
-	case opWaiSem:
-		_ = k.WaiSem(sem, 1, st.dur)
-	case opLockInherit:
-		if k.LocMtx(mtxI, st.dur) == tkernel.EOK {
-			k.Work(core.Cost{Time: 400 * sysc.Us, Energy: 2e-7}, "crit-pi")
-			_ = k.UnlMtx(mtxI)
+// chaosObjs holds the shared kernel-object IDs a step program references.
+type chaosObjs struct {
+	sem, mtxI, mtxC, mbf, mpf, mpl tkernel.ID
+}
+
+// buildStepProgram compiles one task's pre-drawn step list into a Program:
+// the op sequence of the old runStep loop, one label per conditional step.
+// Every wait is bounded, so injected exhaustion or flooding shows up as
+// E_TMOUT — never a stuck system.
+func buildStepProgram(k *tkernel.Kernel, name string, steps []step,
+	sys *System, o *chaosObjs) *tkernel.Program {
+	var (
+		er  tkernel.ER
+		blk *tkernel.MemBlock
+		snd = make([]byte, 8) // SndMbf copies; one zeroed buffer suffices
+		rcv []byte
+	)
+	p := k.NewProgram(name).Label("loop")
+	for j, st := range steps {
+		skip := fmt.Sprintf("s%d", j)
+		switch st.op {
+		case opWork:
+			p.Work(core.Cost{Time: st.dur, Energy: 1e-6}, "app-work")
+		case opDelay:
+			p.DlyTsk(st.dur, nil)
+		case opSigSem:
+			p.SigSem(&o.sem, 1, nil)
+		case opWaiSem:
+			p.WaiSem(&o.sem, 1, st.dur, nil)
+		case opLockInherit:
+			p.LocMtx(&o.mtxI, st.dur, &er).
+				Br(func() bool { return er != tkernel.EOK }, skip).
+				Work(core.Cost{Time: 400 * sysc.Us, Energy: 2e-7}, "crit-pi").
+				UnlMtx(&o.mtxI, nil).
+				Label(skip)
+		case opLockCeiling:
+			p.LocMtx(&o.mtxC, st.dur, &er).
+				Br(func() bool { return er != tkernel.EOK }, skip).
+				Work(core.Cost{Time: 250 * sysc.Us, Energy: 1e-7}, "crit-ceil").
+				UnlMtx(&o.mtxC, nil).
+				Label(skip)
+		case opSndMbf:
+			p.SndMbf(&o.mbf, &snd, st.dur, nil)
+		case opRcvMbf:
+			p.RcvMbf(&o.mbf, st.dur, &rcv, nil)
+		case opGetMpf:
+			p.GetMpf(&o.mpf, st.dur, &blk, &er).
+				Br(func() bool { return er != tkernel.EOK }, skip).
+				Work(core.Cost{Time: 150 * sysc.Us, Energy: 5e-8}, "use-mpf").
+				RelMpf(&o.mpf, &blk, nil).
+				Label(skip)
+		case opGetMpl:
+			p.GetMpl(&o.mpl, st.size, st.dur, &blk, &er).
+				Br(func() bool { return er != tkernel.EOK }, skip).
+				Work(core.Cost{Time: 150 * sysc.Us, Energy: 5e-8}, "use-mpl").
+				RelMpl(&o.mpl, &blk, nil).
+				Label(skip)
+		case opSleep:
+			p.SlpTsk(st.dur, nil)
+		case opRotate:
+			p.RotRdq(0, nil)
 		}
-	case opLockCeiling:
-		if k.LocMtx(mtxC, st.dur) == tkernel.EOK {
-			k.Work(core.Cost{Time: 250 * sysc.Us, Energy: 1e-7}, "crit-ceil")
-			_ = k.UnlMtx(mtxC)
-		}
-	case opSndMbf:
-		msg := make([]byte, 8)
-		_ = k.SndMbf(mbf, msg, st.dur)
-	case opRcvMbf:
-		_, _ = k.RcvMbf(mbf, st.dur)
-	case opGetMpf:
-		if b, er := k.GetMpf(mpf, st.dur); er == tkernel.EOK {
-			k.Work(core.Cost{Time: 150 * sysc.Us, Energy: 5e-8}, "use-mpf")
-			_ = k.RelMpf(mpf, b)
-		}
-	case opGetMpl:
-		if b, er := k.GetMpl(mpl, st.size, st.dur); er == tkernel.EOK {
-			k.Work(core.Cost{Time: 150 * sysc.Us, Energy: 5e-8}, "use-mpl")
-			_ = k.RelMpl(mpl, b)
-		}
-	case opSleep:
-		_ = k.SlpTsk(st.dur)
-	case opRotate:
-		_ = k.RotRdq(0)
 	}
+	return p.Atom(func() { sys.cycles++ }).Jump("loop")
 }

@@ -42,6 +42,7 @@ type SimAPI struct {
 	table  map[int]*TThread // SIM_HashTB
 	order  []*TThread
 	byProc map[*sysc.Thread]*TThread
+	byCoro map[*sysc.Coro]*TThread // continuation-engine threads
 	nextID int
 
 	current *TThread   // the RUNNING task (nil when the CPU idles)
@@ -162,7 +163,12 @@ func (a *SimAPI) DeleteThread(t *TThread) error {
 	}
 	t.state = StateNonExistent
 	delete(a.table, t.id)
-	delete(a.byProc, t.th)
+	if t.th != nil {
+		delete(a.byProc, t.th)
+	}
+	if t.co != nil {
+		delete(a.byCoro, t.co)
+	}
 	for i, x := range a.order {
 		if x == t {
 			a.order = append(a.order[:i], a.order[i+1:]...)
@@ -209,11 +215,13 @@ func (a *SimAPI) CPUOwner() *TThread {
 // simulation process (central module, interrupt dispatch, boot). Kernel
 // layers use it to attribute service-call costs to the calling task safely.
 func (a *SimAPI) ExecutingThread() *TThread {
-	cur := a.sim.CurrentThread()
-	if cur == nil {
-		return nil
+	if cur := a.sim.CurrentThread(); cur != nil {
+		return a.byProc[cur]
 	}
-	return a.byProc[cur]
+	if co := a.sim.CurrentCoro(); co != nil {
+		return a.byCoro[co]
+	}
+	return nil
 }
 
 // InHandler reports whether a handler-level context is active.

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/petri"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+// This file is the continuation-engine face of the T-THREAD: resumable
+// counterparts of the goroutine blocking primitives (waitForCPU, Consume,
+// BlockCurrent) and the coroutine cycle driver that replaces TThread.run.
+//
+// Each Step* primitive mirrors its blocking twin phase for phase: where the
+// goroutine version parks its process inside sysc.Thread.Wait*, the
+// resumable version arms the identical wait on the T-THREAD's sysc.Coro and
+// returns StepWait; the next coroutine step re-enters the primitive, which
+// resumes from its recorded phase. Because both versions traverse the same
+// bookkeeping in the same order (fires, charges, bus publishes, scheduler
+// calls), a compiled body produces byte-identical kernel dynamics on either
+// engine.
+
+// Step is the outcome of driving one resumable primitive.
+type Step uint8
+
+// Step outcomes.
+const (
+	// StepDone: the primitive completed; the machine proceeds.
+	StepDone Step = iota
+	// StepWait: a wait was armed on the coroutine; the machine must return
+	// BodyWait and re-enter the same primitive on the next step.
+	StepWait
+	// StepReset: the thread was terminated mid-primitive; the machine must
+	// unwind and return BodyReset (the resetSignal panic of the goroutine
+	// engine, without a stack to unwind).
+	StepReset
+)
+
+// BodyStep is the outcome of one step of a compiled T-THREAD body.
+type BodyStep uint8
+
+// Body outcomes.
+const (
+	// BodyDone: the body finished its cycle (the goroutine body returned).
+	// The machine has rewound itself for the next activation.
+	BodyDone BodyStep = iota
+	// BodyWait: the body parked at a yield point; step again when the armed
+	// wait fires.
+	BodyWait
+	// BodyReset: the body observed a terminate/reset mid-cycle and has
+	// rewound itself for the next activation.
+	BodyReset
+)
+
+// CompiledBody is a T-THREAD body expressed as a resumable state machine
+// for the continuation engine. Step drives the body until it completes,
+// parks, or is reset; on BodyDone/BodyReset the implementation must have
+// rewound its own state so the next Step begins a fresh cycle.
+type CompiledBody interface {
+	Step(t *TThread) BodyStep
+}
+
+// consumePhase tracks where inside Consume a resumable thread is parked.
+type consumePhase uint8
+
+const (
+	csIdle      consumePhase = iota
+	csAcquire                // initial waitForCPU (and first-slice arm)
+	csSlice                  // parked in WaitTimeout(remaining, preemptEv)
+	csReacquire              // waitForCPU after a preemption mid-budget
+	csFinal                  // final waitForCPU before the Ec fire
+)
+
+// consumeState is the saved frame of one in-flight StepConsume.
+type consumeState struct {
+	phase     consumePhase
+	cost      Cost
+	ctx       trace.Context
+	note      string
+	total     sysc.Time
+	remaining sysc.Time
+	start     sysc.Time
+}
+
+// blockPhase tracks where inside BlockCurrent a resumable thread is parked.
+type blockPhase uint8
+
+const (
+	bsIdle    blockPhase = iota
+	bsAcquire            // pre-commit waitForCPU + pendingRel fast path
+	bsPark               // committed to WAITING, parked for redispatch
+)
+
+// StepAwaitCPU is the resumable waitForCPU/AwaitCPU: re-enter until it
+// stops returning StepWait.
+func (t *TThread) StepAwaitCPU() Step {
+	if t.terminated {
+		return StepReset
+	}
+	if t.ownsCPU() {
+		return StepDone
+	}
+	t.co.WaitEvent(t.dispatchEv)
+	return StepWait
+}
+
+// StepConsume is the resumable Consume (SIM_Wait). The cost/ctx/note
+// arguments are captured on the first entry of an episode and ignored while
+// one is in flight, so the machine may pass them on every re-entry.
+func (t *TThread) StepConsume(cost Cost, ctx trace.Context, note string) Step {
+	cs := &t.cs
+	for {
+		switch cs.phase {
+		case csIdle:
+			if t.api.consumeShaper != nil {
+				cost = t.api.consumeShaper(t, cost, ctx)
+			}
+			cs.cost, cs.ctx, cs.note = cost, ctx, note
+			cs.total = cost.Time
+			cs.remaining = cs.total
+			cs.phase = csAcquire
+		case csAcquire:
+			if t.terminated {
+				cs.phase = csIdle
+				return StepReset
+			}
+			if !t.ownsCPU() {
+				t.co.WaitEvent(t.dispatchEv)
+				return StepWait
+			}
+			if cs.remaining <= 0 {
+				// Zero-time step: record the marker and the energy, fire Ec.
+				t.charge(t.Now(), t.Now(), cs.cost.Energy, cs.ctx, cs.note)
+				t.fire(trEc, cs.cost)
+				cs.phase = csIdle
+				return StepDone
+			}
+			cs.start = t.Now()
+			t.co.WaitTimeout(cs.remaining, t.preemptEv)
+			cs.phase = csSlice
+			return StepWait
+		case csSlice:
+			timedOut := t.co.TimedOut()
+			consumed := t.Now() - cs.start
+			if consumed > 0 || timedOut {
+				frac := float64(consumed) / float64(cs.total)
+				t.charge(cs.start, cs.start+consumed,
+					Energy(float64(cs.cost.Energy)*frac), cs.ctx, cs.note)
+				cs.remaining -= consumed
+			}
+			if timedOut {
+				cs.phase = csFinal
+				continue
+			}
+			if t.terminated {
+				cs.phase = csIdle
+				return StepReset
+			}
+			cs.phase = csReacquire
+		case csReacquire:
+			if t.terminated {
+				cs.phase = csIdle
+				return StepReset
+			}
+			if !t.ownsCPU() {
+				t.co.WaitEvent(t.dispatchEv)
+				return StepWait
+			}
+			if cs.remaining > 0 {
+				cs.start = t.Now()
+				t.co.WaitTimeout(cs.remaining, t.preemptEv)
+				cs.phase = csSlice
+				return StepWait
+			}
+			cs.phase = csFinal
+		case csFinal:
+			// The step may have completed at the same instant the thread was
+			// scheduled out; the Ec transition fires once it owns the CPU
+			// again (the trailing waitForCPU of the goroutine version).
+			if t.terminated {
+				cs.phase = csIdle
+				return StepReset
+			}
+			if !t.ownsCPU() {
+				t.co.WaitEvent(t.dispatchEv)
+				return StepWait
+			}
+			t.fire(trEc, cs.cost)
+			cs.phase = csIdle
+			return StepDone
+		}
+	}
+}
+
+// StepBlock is the resumable BlockCurrent (SIM_Sleep). On StepDone the
+// returned error is the release code Release delivered (nil for a normal
+// wakeup); it is meaningless for other outcomes.
+func (t *TThread) StepBlock(waitObj string) (Step, error) {
+	a := t.api
+	for {
+		switch t.bs {
+		case bsIdle:
+			if len(a.istack) > 0 {
+				panic("core: BlockCurrent from handler context")
+			}
+			t.bs = bsAcquire
+		case bsAcquire:
+			if t.terminated {
+				t.bs = bsIdle
+				return StepReset, nil
+			}
+			if !t.ownsCPU() {
+				t.co.WaitEvent(t.dispatchEv)
+				return StepWait, nil
+			}
+			if t.hasPendingRel {
+				t.hasPendingRel = false
+				t.bs = bsIdle
+				return StepDone, t.pendingRel
+			}
+			t.state = StateWaiting
+			t.waitObj = waitObj
+			t.relCode = nil
+			a.publish(event.KindBlock, t, waitObj)
+			t.fire(trEw, Cost{})
+			a.current = nil
+			a.RequestDispatch()
+			t.bs = bsPark
+		case bsPark:
+			if t.terminated {
+				t.bs = bsIdle
+				return StepReset, nil
+			}
+			if !t.ownsCPU() {
+				t.co.WaitEvent(t.dispatchEv)
+				return StepWait, nil
+			}
+			t.bs = bsIdle
+			return StepDone, t.relCode
+		}
+	}
+}
+
+// coroStep is the coroutine cycle driver wrapping a compiled T-THREAD: the
+// continuation-engine twin of TThread.run. One invocation drives the body
+// as far as it can go — through whole cycles when activations chain — and
+// returns with exactly one wait armed.
+func (t *TThread) coroStep(c *sysc.Coro) {
+	for {
+		if !t.crInBody {
+			// Park until dispatched for a new cycle (safeWaitForCPU).
+			if t.ownsCPU() && !t.terminated {
+				t.crInBody = true
+				continue
+			}
+			t.terminated = false
+			c.WaitEvent(t.dispatchEv)
+			return
+		}
+		switch t.compiled.Step(t) {
+		case BodyWait:
+			return
+		case BodyReset:
+			// Reset path: Terminate already performed the bookkeeping.
+			t.terminated = false
+			t.cycleEnd()
+			t.crInBody = false
+		case BodyDone:
+			t.api.threadExited(t)
+			t.cycleEnd()
+			t.crInBody = false
+		}
+	}
+}
+
+// CreateThreadCompiled registers a new T-THREAD whose body is a compiled
+// state machine driven by a sysc coroutine — the continuation engine's
+// CreateThread. The thread is indistinguishable from a goroutine-backed one
+// to the scheduler, the kernel layers and every observer.
+func (a *SimAPI) CreateThreadCompiled(name string, kind Kind, priority int, body CompiledBody) *TThread {
+	a.nextID++
+	t := &TThread{
+		api:          a,
+		id:           a.nextID,
+		name:         name,
+		kind:         kind,
+		compiled:     body,
+		priority:     priority,
+		basePriority: priority,
+		state:        StateDormant,
+		net:          newTThreadNet(name),
+	}
+	t.seq = petri.NewFiringSequence(t.net)
+	t.dispatchEv = a.sim.NewEvent(name + ".dispatch")
+	t.preemptEv = a.sim.NewEvent(name + ".preempt")
+	a.table[t.id] = t
+	a.order = append(a.order, t)
+	t.co = a.sim.SpawnCoro("tthread."+name, t.coroStep)
+	if a.byCoro == nil {
+		a.byCoro = map[*sysc.Coro]*TThread{}
+	}
+	a.byCoro[t.co] = t
+	return t
+}
+
+// Compiled reports whether the thread's body is a compiled state machine
+// (continuation engine) rather than a goroutine closure.
+func (t *TThread) Compiled() bool { return t.compiled != nil }

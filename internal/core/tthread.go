@@ -82,6 +82,15 @@ type TThread struct {
 	dispatchEv *sysc.Event // Es/Ex/Ei carrier: fired when given the CPU
 	preemptEv  *sysc.Event // asks the thread to yield at its next preemption point
 
+	// Continuation engine: the coroutine driving a compiled body, the body
+	// machine itself, and the saved frames of in-flight resumable
+	// primitives (see step.go). nil/zero for goroutine-backed threads.
+	co       *sysc.Coro
+	compiled CompiledBody
+	crInBody bool // the compiled body is mid-cycle
+	cs       consumeState
+	bs       blockPhase
+
 	state      State
 	suspCount  int    // forced-suspension nesting (tk_sus_tsk)
 	terminated bool   // reset request: unwind body to the top of the cycle
@@ -263,8 +272,13 @@ func (t *TThread) AwaitCPU() { t.waitForCPU() }
 // emitted, and the thread suspends until it is dispatched again, then
 // resumes the remaining budget. Completion fires one Ec transition.
 //
-// Consume must be called from within the thread's own body.
+// Consume must be called from within the thread's own body. Compiled
+// (continuation-engine) bodies cannot park inside an opaque closure: code
+// reaching here from one belongs in a Work op or an AtomIo fallback body.
 func (t *TThread) Consume(cost Cost, ctx trace.Context, note string) {
+	if t.th == nil {
+		panic(fmt.Sprintf("core: thread %q: Consume from a compiled body outside a Work op (mark the enclosing atom AtomIo)", t.name))
+	}
 	if t.api.consumeShaper != nil {
 		cost = t.api.consumeShaper(t, cost, ctx)
 	}
@@ -326,7 +340,7 @@ func (t *TThread) charge(start, end sysc.Time, e Energy, ctx trace.Context, note
 // cycleEnd performs end-of-cycle bookkeeping when the body returns or the
 // thread is reset: store the characteristic vector and reset the sequence.
 func (t *TThread) cycleEnd() {
-	t.lastCV = t.seq.CharacteristicVector()
+	t.lastCV = t.seq.AppendCharacteristicVector(t.lastCV)
 	t.acc.Cycles++
 	t.seq.Reset()
 }

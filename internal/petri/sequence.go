@@ -35,9 +35,15 @@ func (s *FiringSequence) Len() int { return s.n }
 // CharacteristicVector returns S̄: element i is the number of times
 // transition i fired in the sequence.
 func (s *FiringSequence) CharacteristicVector() []int {
-	out := make([]int, len(s.counts))
-	copy(out, s.counts)
-	return out
+	return s.AppendCharacteristicVector(nil)
+}
+
+// AppendCharacteristicVector writes S̄ into dst, reusing its capacity, and
+// returns the result. Per-cycle bookkeeping snapshots the vector through
+// this so a T-THREAD's steady state does not allocate after the first
+// execution cycle (on either process engine).
+func (s *FiringSequence) AppendCharacteristicVector(dst []int) []int {
+	return append(dst[:0], s.counts...)
 }
 
 // ETM returns the execution-time model value of the sequence.

@@ -26,6 +26,7 @@ func executeChaos(ctx context.Context, spec Spec) (Result, error) {
 		Faults:   cs.Faults,
 		Corrupt:  cs.Corrupt,
 		Minimize: cs.Minimize,
+		Engine:   spec.Engine,
 	}
 	// Mirror the chaos.Config defaults up front so the Report header (which
 	// prints the config) is identical whether the run came from flags or

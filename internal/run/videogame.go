@@ -60,6 +60,7 @@ func executeVideogame(ctx context.Context, spec Spec) (Result, error) {
 	cfg.DisableTickless = !boolOr(spec.Tickless, true)
 	cfg.IdleSleep = spec.IdleSleep.Sim()
 	cfg.Seed = spec.Seed
+	cfg.Engine = spec.Engine
 	cfg.Bus = bus
 	cfg.Gantt = g
 	cfg.VCD = vcd

@@ -1,0 +1,137 @@
+package sysc
+
+import "fmt"
+
+// Coro is a continuation-style process: a resumable step function driven
+// inline by the scheduler loop. Where a Thread parks its goroutine at every
+// Wait* call (one channel handoff per context switch), a Coro's step
+// function *returns* having armed its next wait, and the scheduler simply
+// calls it again when that wait fires — the steady-state data path runs on
+// a single goroutine with zero channel operations per context switch.
+//
+// The yield-point contract: a step must arm at most one wait (WaitEvent /
+// WaitTimeout / Wait / YieldDelta) and then return. Returning without
+// arming terminates the coroutine. State that must survive across steps
+// lives in variables the step closure captures (or in an explicit state
+// machine the closure drives); the Fired/TimedOut accessors report what
+// resumed the current step.
+type Coro struct {
+	sim  *Simulator
+	id   int
+	name string
+	step func(*Coro)
+
+	queued  bool     // already on the runnable queue
+	waiting []*Event // events of the armed wait set
+	scratch []*Event // reusable wait-set buffer (WaitTimeout fast path)
+	trigEv  *Event   // event that fired the current resumption
+	timer   *Event   // per-coroutine timer for Wait/WaitTimeout
+
+	armed bool // a wait was armed during the current step
+	done  bool
+}
+
+// SpawnCoro creates a coroutine process. Like a Thread it becomes runnable
+// immediately: at elaboration it runs when Start is first called, and when
+// spawned from a running process it runs within the current evaluation
+// phase. Unlike a Thread it owns no goroutine.
+func (s *Simulator) SpawnCoro(name string, step func(*Coro)) *Coro {
+	s.nextID++
+	c := &Coro{sim: s, id: s.nextID, name: name, step: step}
+	c.timer = s.NewEvent(name + ".timer")
+	s.makeRunnable(procRef{c: c})
+	return c
+}
+
+// Name returns the coroutine's diagnostic name.
+func (c *Coro) Name() string { return c.name }
+
+// Sim returns the owning simulator.
+func (c *Coro) Sim() *Simulator { return c.sim }
+
+// Now returns the current simulation time.
+func (c *Coro) Now() Time { return c.sim.now }
+
+// Done reports whether the coroutine has terminated (a step returned
+// without arming a wait).
+func (c *Coro) Done() bool { return c.done }
+
+// Fired returns the event that resumed the current step (nil on the first
+// step and after a Wait timeout).
+func (c *Coro) Fired() *Event { return c.trigEv }
+
+// WaitEvent arms the coroutine to resume when one of the given events
+// triggers, then the step must return. The next step's Fired reports which
+// event it was. Arming twice in one step panics: a coroutine can be parked
+// on only one wait set at a time.
+func (c *Coro) WaitEvent(evs ...*Event) {
+	if len(evs) == 0 {
+		panic(fmt.Sprintf("sysc: coroutine %q waits on empty event set", c.name))
+	}
+	if c.armed {
+		panic(fmt.Sprintf("sysc: coroutine %q armed two waits in one step", c.name))
+	}
+	c.waiting = append(c.waiting[:0], evs...)
+	for _, e := range evs {
+		e.cwaiters = append(e.cwaiters, c)
+	}
+	c.trigEv = nil
+	c.armed = true
+}
+
+// Wait arms the coroutine to resume after duration d of simulated time.
+func (c *Coro) Wait(d Time) {
+	c.timer.NotifyAfter(d)
+	c.WaitEvent(c.timer)
+}
+
+// WaitTimeout arms the coroutine to resume when one of evs triggers or d
+// elapses. The resumed step calls TimedOut to resolve which it was. The
+// combined wait set lives in a per-coroutine scratch buffer so the call
+// does not allocate.
+func (c *Coro) WaitTimeout(d Time, evs ...*Event) {
+	c.timer.NotifyAfter(d)
+	c.scratch = append(c.scratch[:0], c.timer)
+	c.scratch = append(c.scratch, evs...)
+	c.WaitEvent(c.scratch...)
+}
+
+// TimedOut resolves the WaitTimeout that parked the previous step: it
+// reports whether the timeout fired, and — exactly as Thread.WaitTimeout
+// does on its resume path — cancels the pending timer notification when
+// another event of the set fired first.
+func (c *Coro) TimedOut() bool {
+	if c.trigEv == c.timer {
+		return true
+	}
+	c.timer.Cancel()
+	return false
+}
+
+// YieldDelta arms the coroutine to resume in the next delta cycle, after
+// all currently runnable processes have run.
+func (c *Coro) YieldDelta() {
+	c.timer.NotifyDelta()
+	c.WaitEvent(c.timer)
+}
+
+// runCoro executes one step of a coroutine inline, converting a panic into
+// a simulation abort. Like methods it may run on the scheduler goroutine or
+// on a thread goroutine passing the baton; CurrentThread is nil either way,
+// and CurrentCoro names the stepping coroutine for the duration.
+func (s *Simulator) runCoro(c *Coro) {
+	prev := s.curCoro
+	s.curCoro = c
+	defer func() {
+		s.curCoro = prev
+		if r := recover(); r != nil && s.err == nil {
+			s.err = fmt.Errorf("sysc: coroutine %q panicked: %v", c.name, r)
+			s.stopRequested = true
+		}
+	}()
+	c.armed = false
+	c.step(c)
+	if !c.armed {
+		c.done = true
+	}
+}

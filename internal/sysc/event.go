@@ -16,6 +16,8 @@ type Event struct {
 
 	// waiters are threads dynamically waiting on this event.
 	waiters []*Thread
+	// cwaiters are coroutines dynamically waiting on this event.
+	cwaiters []*Coro
 	// static are processes statically sensitive to this event.
 	static []*Method
 
@@ -118,6 +120,20 @@ func (e *Event) removeWaiter(t *Thread) {
 			e.waiters[i] = e.waiters[last]
 			e.waiters[last] = nil
 			e.waiters = e.waiters[:last]
+			return
+		}
+	}
+}
+
+// removeCoroWaiter is removeWaiter for coroutine waiters, with the same
+// swap-delete determinism argument.
+func (e *Event) removeCoroWaiter(c *Coro) {
+	for i, w := range e.cwaiters {
+		if w == c {
+			last := len(e.cwaiters) - 1
+			e.cwaiters[i] = e.cwaiters[last]
+			e.cwaiters[last] = nil
+			e.cwaiters = e.cwaiters[:last]
 			return
 		}
 	}

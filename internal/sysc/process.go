@@ -168,8 +168,9 @@ func (s *Simulator) SpawnMethod(name string, fn func(), sensitivity ...*Event) *
 // Name returns the method's diagnostic name.
 func (m *Method) Name() string { return m.name }
 
-// procRef is one entry in the runnable queue: exactly one of t, m is set.
+// procRef is one entry in the runnable queue: exactly one of t, m, c is set.
 type procRef struct {
 	t *Thread
 	m *Method
+	c *Coro
 }

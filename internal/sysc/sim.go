@@ -23,6 +23,7 @@ type Simulator struct {
 
 	threads []*Thread
 	running *Thread // thread currently executing (nil outside evaluate)
+	curCoro *Coro   // coroutine currently stepping (nil outside a step)
 	nextID  int
 
 	// observer, when set, watches scheduler milestones: quiescent points
@@ -69,6 +70,10 @@ func (s *Simulator) Now() Time { return s.now }
 // CurrentThread returns the thread process executing right now (nil when
 // called from outside the evaluation of a thread, e.g. from a Method).
 func (s *Simulator) CurrentThread() *Thread { return s.running }
+
+// CurrentCoro returns the coroutine process stepping right now (nil when
+// called from outside a coroutine step).
+func (s *Simulator) CurrentCoro() *Coro { return s.curCoro }
 
 // DeltaCount returns the number of delta cycles executed so far.
 func (s *Simulator) DeltaCount() uint64 { return s.deltaCount }
@@ -146,6 +151,11 @@ func (s *Simulator) makeRunnable(p procRef) {
 			return
 		}
 		p.m.queued = true
+	case p.c != nil:
+		if p.c.queued || p.c.done {
+			return
+		}
+		p.c.queued = true
 	}
 	s.runnable = append(s.runnable, p)
 }
@@ -177,6 +187,23 @@ func (s *Simulator) trigger(e *Event) {
 			s.makeRunnable(procRef{t: t})
 		}
 	}
+	if len(e.cwaiters) > 0 {
+		// Coroutine waiters wake after threads, before static methods — the
+		// order is fixed, so runs stay deterministic. The backing array is
+		// kept for the next wait generation like the thread list above.
+		cs := e.cwaiters
+		e.cwaiters = cs[:0]
+		for _, c := range cs {
+			for _, other := range c.waiting {
+				if other != e {
+					other.removeCoroWaiter(c)
+				}
+			}
+			c.waiting = c.waiting[:0]
+			c.trigEv = e
+			s.makeRunnable(procRef{c: c})
+		}
+	}
 	for _, m := range e.static {
 		s.makeRunnable(procRef{m: m})
 	}
@@ -199,6 +226,18 @@ func (s *Simulator) passBaton() {
 				m.queued = false
 				s.running = nil
 				s.runMethod(m)
+				if s.stopRequested {
+					break
+				}
+				continue
+			}
+			if c := p.c; c != nil {
+				c.queued = false
+				if c.done {
+					continue
+				}
+				s.running = nil
+				s.runCoro(c)
 				if s.stopRequested {
 					break
 				}
@@ -251,15 +290,35 @@ func (s *Simulator) Start(until Time) error {
 		return fmt.Errorf("sysc: simulator already shut down")
 	}
 	for !s.stopRequested {
-		// Evaluation phase: run until no process is runnable. The baton
-		// pass drains the queue across goroutines (threads resume each
-		// other directly); the scheduler sleeps until the phase is over.
-		// The queue drains by index so the head pop neither copies nor
-		// pins the whole backing array; once empty it resets to reuse the
-		// capacity.
-		if s.runHead < len(s.runnable) {
-			s.passBaton()
-			<-s.schedWake
+		// Evaluation phase: run until no process is runnable. Methods and
+		// coroutines execute inline on the scheduler goroutine; only when a
+		// thread reaches the queue head does the baton pass engage (threads
+		// resume each other directly and the scheduler sleeps until the
+		// phase is over). A phase containing no runnable thread therefore
+		// completes without a single channel operation. The queue drains by
+		// index so the head pop neither copies nor pins the whole backing
+		// array; once empty it resets to reuse the capacity.
+		for s.runHead < len(s.runnable) && !s.stopRequested {
+			p := s.runnable[s.runHead]
+			if p.t != nil {
+				s.passBaton()
+				<-s.schedWake
+				break
+			}
+			s.runHead++
+			if m := p.m; m != nil {
+				m.queued = false
+				s.running = nil
+				s.runMethod(m)
+				continue
+			}
+			c := p.c
+			c.queued = false
+			if c.done {
+				continue
+			}
+			s.running = nil
+			s.runCoro(c)
 		}
 		if s.runHead == len(s.runnable) {
 			s.runnable = s.runnable[:0]

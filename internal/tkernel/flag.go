@@ -80,6 +80,11 @@ func flgMatch(pattern, waiptn uint32, mode FlagMode) bool {
 func (k *Kernel) SetFlg(id ID, setptn uint32) (er ER) {
 	k.enterSvc("tk_set_flg")
 	defer k.exitSvc("tk_set_flg", &er)
+	return k.setFlgBody(id, setptn)
+}
+
+// setFlgBody is the engine-split call body of SetFlg.
+func (k *Kernel) setFlgBody(id ID, setptn uint32) ER {
 	f, ok := k.flags[id]
 	if !ok {
 		return ENOEXS
@@ -138,40 +143,46 @@ func (k *Kernel) ClrFlg(id ID, clrptn uint32) (er ER) {
 func (k *Kernel) WaiFlg(id ID, waiptn uint32, mode FlagMode, tmout TMO) (_ uint32, er ER) {
 	k.enterSvc("tk_wai_flg")
 	defer k.exitSvc("tk_wai_flg", &er)
+	var relptn uint32
+	er = k.finish(k.waiFlgBody(id, waiptn, mode, tmout, &relptn))
+	return relptn, er
+}
+
+// waiFlgBody is the engine-split call body of WaiFlg: the release pattern
+// is delivered through relptn (zero on error paths).
+func (k *Kernel) waiFlgBody(id ID, waiptn uint32, mode FlagMode, tmout TMO, relptn *uint32) (ER, *armedWait) {
 	f, ok := k.flags[id]
 	if !ok {
-		return 0, ENOEXS
+		return ENOEXS, nil
 	}
 	if waiptn == 0 {
-		return 0, EPAR
+		return EPAR, nil
 	}
 	if f.attr&TaWMUL == 0 && f.wq.len() > 0 {
-		return 0, EOBJ // single-waiter flag already has a waiter
+		return EOBJ, nil // single-waiter flag already has a waiter
 	}
 	if flgMatch(f.pattern, waiptn, mode) {
-		got := f.pattern
+		*relptn = f.pattern
 		if mode&TwfCLR != 0 {
 			f.pattern = 0
 		} else if mode&TwfBitCLR != 0 {
 			f.pattern &^= waiptn
 		}
-		return got, EOK
+		return EOK, nil
 	}
 	if tmout == TmoPol {
-		return 0, ETMOUT
+		return ETMOUT, nil
 	}
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
-		return 0, er
+		return er, nil
 	}
-	var relptn uint32
 	f.wq.add(task)
-	f.waits[task] = &flgWait{waiptn: waiptn, mode: mode, relptn: &relptn}
-	code := k.sleepOn(task, objName("flg", f.id, f.name), tmout, func() {
+	f.waits[task] = &flgWait{waiptn: waiptn, mode: mode, relptn: relptn}
+	return EOK, k.armSleep(task, objName("flg", f.id, f.name), tmout, func() {
 		f.wq.remove(task)
 		delete(f.waits, task)
 	})
-	return relptn, code
 }
 
 // RefFlg returns the event-flag state (tk_ref_flg).

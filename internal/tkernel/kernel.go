@@ -431,14 +431,21 @@ func (k *Kernel) blockCheck(tmout TMO) (*Task, ER) {
 	return task, EOK
 }
 
-// sleepOn blocks the calling task on a kernel object with an optional
-// timeout and returns the wait release code. The service's dispatch lock is
-// released around the wait (atomicity covers the call body up to the block)
-// and re-acquired afterwards.
-//
-// seq-based invalidation guarantees a stale timeout never releases a newer
-// wait of the same task.
-func (k *Kernel) sleepOn(task *Task, obj string, tmout TMO, cancel func()) ER {
+// armedWait is a committed-but-not-yet-blocked wait: the task is on its
+// object's wait queue with the timeout armed, and the caller must complete
+// the wait (block on obj, then endSleep) on its engine's blocking path.
+// Each Task embeds one (a task waits on at most one object), so arming a
+// wait never allocates.
+type armedWait struct {
+	task *Task
+	obj  string
+}
+
+// armSleep is the first half of sleepOn: it commits the calling task to a
+// wait (seq-based timeout invalidation guarantees a stale timeout never
+// releases a newer wait of the same task) and returns the armed wait for
+// the engine-specific blocking path to complete.
+func (k *Kernel) armSleep(task *Task, obj string, tmout TMO, cancel func()) *armedWait {
 	task.waitSeq++
 	seq := task.waitSeq
 	task.waitCancel = cancel
@@ -453,12 +460,47 @@ func (k *Kernel) sleepOn(task *Task, obj string, tmout TMO, cancel func()) ER {
 			}
 		})
 	}
-	k.api.UnlockDispatch()
-	err := k.api.BlockCurrent(obj)
-	k.api.LockDispatch()
-	task.waitSeq++ // invalidate any outstanding timeout
+	task.aw.task = task
+	task.aw.obj = obj
+	return &task.aw
+}
+
+// endSleep is the second half of sleepOn, run after the block completes
+// under the re-acquired dispatch lock: it invalidates any outstanding
+// timeout and resolves the release code.
+func (k *Kernel) endSleep(task *Task, err error) ER {
+	task.waitSeq++
 	task.waitCancel = nil
 	return erOf(err)
+}
+
+// finish completes a split service body on the goroutine engine. A body
+// that did not arm a wait just yields its code; one that did is blocked
+// here with the service's dispatch lock released around the wait
+// (atomicity covers the call body up to the block) and re-acquired
+// afterwards. The continuation engine's machine replaces this with
+// StepBlock at the same point.
+func (k *Kernel) finish(er ER, aw *armedWait) ER {
+	if aw == nil {
+		return er
+	}
+	k.api.UnlockDispatch()
+	err := k.api.BlockCurrent(aw.obj)
+	k.api.LockDispatch()
+	return k.endSleep(aw.task, err)
+}
+
+// sleepOn blocks the calling task on a kernel object with an optional
+// timeout and returns the wait release code (armSleep + finish in one
+// step, for services that are not split onto the program IR).
+func (k *Kernel) sleepOn(task *Task, obj string, tmout TMO, cancel func()) ER {
+	return k.finish(EOK, k.armSleep(task, obj, tmout, cancel))
+}
+
+// engineCompiled reports whether this kernel compiles program-IR bodies to
+// continuation machines instead of interpreting them on goroutines.
+func (k *Kernel) engineCompiled() bool {
+	return k.cfg.Engine == opts.EngineContinuation
 }
 
 // wake releases a waiting task with the given code, invalidating its

@@ -73,12 +73,17 @@ func (k *Kernel) DelMbf(id ID) (er ER) {
 func (k *Kernel) SndMbf(id ID, msg []byte, tmout TMO) (er ER) {
 	k.enterSvc("tk_snd_mbf")
 	defer k.exitSvc("tk_snd_mbf", &er)
+	return k.finish(k.sndMbfBody(id, msg, tmout))
+}
+
+// sndMbfBody is the engine-split call body of SndMbf.
+func (k *Kernel) sndMbfBody(id ID, msg []byte, tmout TMO) (ER, *armedWait) {
 	b, ok := k.mbfs[id]
 	if !ok {
-		return ENOEXS
+		return ENOEXS, nil
 	}
 	if len(msg) == 0 || len(msg) > b.maxmsz {
-		return EPAR
+		return EPAR, nil
 	}
 	own := make([]byte, len(msg))
 	copy(own, msg)
@@ -90,23 +95,23 @@ func (k *Kernel) SndMbf(id ID, msg []byte, tmout TMO) (er ER) {
 			*b.rDst[t] = own
 			delete(b.rDst, t)
 			k.wake(t, EOK)
-			return EOK
+			return EOK, nil
 		}
 	}
 	if b.sendQ.len() == 0 && b.fits(len(own)) {
 		b.push(own)
-		return EOK
+		return EOK, nil
 	}
 	if tmout == TmoPol {
-		return ETMOUT
+		return ETMOUT, nil
 	}
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
-		return er
+		return er, nil
 	}
 	b.sendQ.add(task)
 	b.sMsg[task] = own
-	return k.sleepOn(task, objName("mbf", b.id, b.name), tmout, func() {
+	return EOK, k.armSleep(task, objName("mbf", b.id, b.name), tmout, func() {
 		b.sendQ.remove(task)
 		delete(b.sMsg, task)
 	})
@@ -116,40 +121,46 @@ func (k *Kernel) SndMbf(id ID, msg []byte, tmout TMO) (er ER) {
 func (k *Kernel) RcvMbf(id ID, tmout TMO) (_ []byte, er ER) {
 	k.enterSvc("tk_rcv_mbf")
 	defer k.exitSvc("tk_rcv_mbf", &er)
+	var got []byte
+	er = k.finish(k.rcvMbfBody(id, tmout, &got))
+	return got, er
+}
+
+// rcvMbfBody is the engine-split call body of RcvMbf: the message is
+// delivered through dst (nil on error paths).
+func (k *Kernel) rcvMbfBody(id ID, tmout TMO, dst *[]byte) (ER, *armedWait) {
 	b, ok := k.mbfs[id]
 	if !ok {
-		return nil, ENOEXS
+		return ENOEXS, nil
 	}
 	if len(b.msgs) > 0 {
-		msg := b.pop()
+		*dst = b.pop()
 		k.mbfDrainSenders(b)
-		return msg, EOK
+		return EOK, nil
 	}
 	// Empty buffer: a blocked sender (zero-size rendezvous) hands over
 	// directly.
 	if t := b.sendQ.head(); t != nil {
-		msg := b.sMsg[t]
+		*dst = b.sMsg[t]
 		b.sendQ.remove(t)
 		delete(b.sMsg, t)
 		k.wake(t, EOK)
 		k.mbfDrainSenders(b)
-		return msg, EOK
+		return EOK, nil
 	}
 	if tmout == TmoPol {
-		return nil, ETMOUT
+		return ETMOUT, nil
 	}
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
-		return nil, er
+		return er, nil
 	}
-	var got []byte
 	b.recvQ.add(task)
-	b.rDst[task] = &got
-	code := k.sleepOn(task, objName("mbf", b.id, b.name), tmout, func() {
+	b.rDst[task] = dst
+	return EOK, k.armSleep(task, objName("mbf", b.id, b.name), tmout, func() {
 		b.recvQ.remove(task)
 		delete(b.rDst, task)
 	})
-	return got, code
 }
 
 // mbfDrainSenders moves blocked senders' messages into freed space, in

@@ -61,6 +61,11 @@ func (k *Kernel) DelMbx(id ID) (er ER) {
 func (k *Kernel) SndMbx(id ID, msg *Message) (er ER) {
 	k.enterSvc("tk_snd_mbx")
 	defer k.exitSvc("tk_snd_mbx", &er)
+	return k.sndMbxBody(id, msg)
+}
+
+// sndMbxBody is the engine-split call body of SndMbx.
+func (k *Kernel) sndMbxBody(id ID, msg *Message) ER {
 	m, ok := k.mbxs[id]
 	if !ok {
 		return ENOEXS
@@ -96,30 +101,36 @@ func (k *Kernel) SndMbx(id ID, msg *Message) (er ER) {
 func (k *Kernel) RcvMbx(id ID, tmout TMO) (_ *Message, er ER) {
 	k.enterSvc("tk_rcv_mbx")
 	defer k.exitSvc("tk_rcv_mbx", &er)
+	var got *Message
+	er = k.finish(k.rcvMbxBody(id, tmout, &got))
+	return got, er
+}
+
+// rcvMbxBody is the engine-split call body of RcvMbx: the message is
+// delivered through dst (nil on error paths).
+func (k *Kernel) rcvMbxBody(id ID, tmout TMO, dst **Message) (ER, *armedWait) {
 	m, ok := k.mbxs[id]
 	if !ok {
-		return nil, ENOEXS
+		return ENOEXS, nil
 	}
 	if len(m.msgs) > 0 {
-		msg := m.msgs[0]
+		*dst = m.msgs[0]
 		m.msgs = m.msgs[1:]
-		return msg, EOK
+		return EOK, nil
 	}
 	if tmout == TmoPol {
-		return nil, ETMOUT
+		return ETMOUT, nil
 	}
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
-		return nil, er
+		return er, nil
 	}
-	var got *Message
 	m.wq.add(task)
-	m.dest[task] = &got
-	code := k.sleepOn(task, objName("mbx", m.id, m.name), tmout, func() {
+	m.dest[task] = dst
+	return EOK, k.armSleep(task, objName("mbx", m.id, m.name), tmout, func() {
 		m.wq.remove(task)
 		delete(m.dest, task)
 	})
-	return got, code
 }
 
 // RefMbx returns the mailbox state (tk_ref_mbx).

@@ -82,28 +82,35 @@ func (k *Kernel) DelMpf(id ID) (er ER) {
 func (k *Kernel) GetMpf(id ID, tmout TMO) (_ *MemBlock, er ER) {
 	k.enterSvc("tk_get_mpf")
 	defer k.exitSvc("tk_get_mpf", &er)
+	var got *MemBlock
+	er = k.finish(k.getMpfBody(id, tmout, &got))
+	return got, er
+}
+
+// getMpfBody is the engine-split call body of GetMpf: the block is
+// delivered through dst (nil on error paths).
+func (k *Kernel) getMpfBody(id ID, tmout TMO, dst **MemBlock) (ER, *armedWait) {
 	p, ok := k.mpfs[id]
 	if !ok {
-		return nil, ENOEXS
+		return ENOEXS, nil
 	}
 	if p.wq.len() == 0 && len(p.free) > 0 {
-		return p.take(), EOK
+		*dst = p.take()
+		return EOK, nil
 	}
 	if tmout == TmoPol {
-		return nil, ETMOUT
+		return ETMOUT, nil
 	}
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
-		return nil, er
+		return er, nil
 	}
-	var got *MemBlock
 	p.wq.add(task)
-	p.dst[task] = &got
-	code := k.sleepOn(task, objName("mpf", p.id, p.name), tmout, func() {
+	p.dst[task] = dst
+	return EOK, k.armSleep(task, objName("mpf", p.id, p.name), tmout, func() {
 		p.wq.remove(task)
 		delete(p.dst, task)
 	})
-	return got, code
 }
 
 func (p *FixedPool) take() *MemBlock {
@@ -120,6 +127,11 @@ func (p *FixedPool) take() *MemBlock {
 func (k *Kernel) RelMpf(id ID, b *MemBlock) (er ER) {
 	k.enterSvc("tk_rel_mpf")
 	defer k.exitSvc("tk_rel_mpf", &er)
+	return k.relMpfBody(id, b)
+}
+
+// relMpfBody is the engine-split call body of RelMpf.
+func (k *Kernel) relMpfBody(id ID, b *MemBlock) ER {
 	p, ok := k.mpfs[id]
 	if !ok {
 		return ENOEXS
@@ -281,39 +293,51 @@ func (p *VariablePool) release(b *MemBlock) {
 func (k *Kernel) GetMpl(id ID, size int, tmout TMO) (_ *MemBlock, er ER) {
 	k.enterSvc("tk_get_mpl")
 	defer k.exitSvc("tk_get_mpl", &er)
+	var got *MemBlock
+	er = k.finish(k.getMplBody(id, size, tmout, &got))
+	return got, er
+}
+
+// getMplBody is the engine-split call body of GetMpl: the block is
+// delivered through dst (nil on error paths).
+func (k *Kernel) getMplBody(id ID, size int, tmout TMO, dst **MemBlock) (ER, *armedWait) {
 	p, ok := k.mpls[id]
 	if !ok {
-		return nil, ENOEXS
+		return ENOEXS, nil
 	}
 	if size <= 0 || align(size)+8 > len(p.arena) {
-		return nil, EPAR
+		return EPAR, nil
 	}
 	if p.wq.len() == 0 {
 		if b, ok := p.alloc(size); ok {
-			return b, EOK
+			*dst = b
+			return EOK, nil
 		}
 	}
 	if tmout == TmoPol {
-		return nil, ETMOUT
+		return ETMOUT, nil
 	}
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
-		return nil, er
+		return er, nil
 	}
-	var got *MemBlock
 	p.wq.add(task)
-	p.reqs[task] = &mplReq{size: size, dst: &got}
-	code := k.sleepOn(task, objName("mpl", p.id, p.name), tmout, func() {
+	p.reqs[task] = &mplReq{size: size, dst: dst}
+	return EOK, k.armSleep(task, objName("mpl", p.id, p.name), tmout, func() {
 		p.wq.remove(task)
 		delete(p.reqs, task)
 	})
-	return got, code
 }
 
 // RelMpl frees a block (tk_rel_mpl) and satisfies queued requests in order.
 func (k *Kernel) RelMpl(id ID, b *MemBlock) (er ER) {
 	k.enterSvc("tk_rel_mpl")
 	defer k.exitSvc("tk_rel_mpl", &er)
+	return k.relMplBody(id, b)
+}
+
+// relMplBody is the engine-split call body of RelMpl.
+func (k *Kernel) relMplBody(id ID, b *MemBlock) ER {
 	p, ok := k.mpls[id]
 	if !ok {
 		return ENOEXS

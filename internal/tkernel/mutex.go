@@ -73,29 +73,34 @@ func (k *Kernel) DelMtx(id ID) (er ER) {
 func (k *Kernel) LocMtx(id ID, tmout TMO) (er ER) {
 	k.enterSvc("tk_loc_mtx")
 	defer k.exitSvc("tk_loc_mtx", &er)
+	return k.finish(k.locMtxBody(id, tmout))
+}
+
+// locMtxBody is the engine-split call body of LocMtx.
+func (k *Kernel) locMtxBody(id ID, tmout TMO) (ER, *armedWait) {
 	m, ok := k.mtxs[id]
 	if !ok {
-		return ENOEXS
+		return ENOEXS, nil
 	}
 	if tmout < TmoFevr {
-		return EPAR
+		return EPAR, nil
 	}
 	task := k.caller()
 	if task == nil || k.api.InHandler() {
-		return ECTX // mutexes are task-context only
+		return ECTX, nil // mutexes are task-context only
 	}
 	if m.owner == task {
-		return EILUSE
+		return EILUSE, nil
 	}
 	if m.attr&TaCeiling != 0 && task.tt.BasePriority() < m.ceiling {
-		return EILUSE
+		return EILUSE, nil
 	}
 	if m.owner == nil {
 		k.takeOwnership(task, m)
-		return EOK
+		return EOK, nil
 	}
 	if tmout == TmoPol {
-		return ETMOUT
+		return ETMOUT, nil
 	}
 	// Priority inheritance: boost the owner to the blocker's priority (and,
 	// if the owner is itself blocked in a priority queue, re-file it there —
@@ -104,12 +109,11 @@ func (k *Kernel) LocMtx(id ID, tmout TMO) (er ER) {
 		k.setEffective(m.owner, task.tt.Priority())
 	}
 	m.wq.add(task)
-	code := k.sleepOn(task, objName("mtx", m.id, m.name), tmout, func() {
+	// On success the releaser transfers ownership to the waiter already.
+	return EOK, k.armSleep(task, objName("mtx", m.id, m.name), tmout, func() {
 		m.wq.remove(task)
 		k.recomputeInheritance(m)
 	})
-	// On success the releaser transferred ownership to us already.
-	return code
 }
 
 // UnlMtx unlocks the mutex and passes ownership to the head waiter
@@ -117,6 +121,11 @@ func (k *Kernel) LocMtx(id ID, tmout TMO) (er ER) {
 func (k *Kernel) UnlMtx(id ID) (er ER) {
 	k.enterSvc("tk_unl_mtx")
 	defer k.exitSvc("tk_unl_mtx", &er)
+	return k.unlMtxBody(id)
+}
+
+// unlMtxBody is the engine-split call body of UnlMtx.
+func (k *Kernel) unlMtxBody(id ID) ER {
 	m, ok := k.mtxs[id]
 	if !ok {
 		return ENOEXS

@@ -64,6 +64,11 @@ func (k *Kernel) DelSem(id ID) (er ER) {
 func (k *Kernel) SigSem(id ID, cnt int) (er ER) {
 	k.enterSvc("tk_sig_sem")
 	defer k.exitSvc("tk_sig_sem", &er)
+	return k.sigSemBody(id, cnt)
+}
+
+// sigSemBody is the engine-split call body of SigSem.
+func (k *Kernel) sigSemBody(id ID, cnt int) ER {
 	s, ok := k.sems[id]
 	if !ok {
 		return ENOEXS
@@ -103,28 +108,33 @@ func (k *Kernel) semGrant(s *Semaphore) {
 func (k *Kernel) WaiSem(id ID, cnt int, tmout TMO) (er ER) {
 	k.enterSvc("tk_wai_sem")
 	defer k.exitSvc("tk_wai_sem", &er)
+	return k.finish(k.waiSemBody(id, cnt, tmout))
+}
+
+// waiSemBody is the engine-split call body of WaiSem.
+func (k *Kernel) waiSemBody(id ID, cnt int, tmout TMO) (ER, *armedWait) {
 	s, ok := k.sems[id]
 	if !ok {
-		return ENOEXS
+		return ENOEXS, nil
 	}
 	if cnt <= 0 || cnt > s.maxSem {
-		return EPAR
+		return EPAR, nil
 	}
 	if s.wq.len() == 0 && s.count >= cnt {
 		s.count -= cnt
-		return EOK
+		return EOK, nil
 	}
 	if tmout == TmoPol {
-		return ETMOUT
+		return ETMOUT, nil
 	}
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
-		return er
+		return er, nil
 	}
 	s.wq.add(task)
 	s.pending[task] = cnt
 	sid := s.id
-	return k.sleepOn(task, objName("sem", sid, s.name), tmout, func() {
+	return EOK, k.armSleep(task, objName("sem", sid, s.name), tmout, func() {
 		s.wq.remove(task)
 		delete(s.pending, task)
 	})

@@ -24,6 +24,11 @@ type Task struct {
 	wqNext, wqPrev *Task
 	wqIn           *waitQueue
 
+	// aw is the embedded armed-wait record handed out by armSleep; a task
+	// arms at most one wait at a time, so embedding it keeps the split
+	// service bodies allocation-free.
+	aw armedWait
+
 	owned []*Mutex // mutexes currently locked by this task
 }
 
@@ -211,18 +216,23 @@ func (k *Kernel) ChgPri(id ID, priority int) (er ER) {
 func (k *Kernel) SlpTsk(tmout TMO) (er ER) {
 	k.enterSvc("tk_slp_tsk")
 	defer k.exitSvc("tk_slp_tsk", &er)
+	return k.finish(k.slpTskBody(tmout))
+}
+
+// slpTskBody is the engine-split call body of SlpTsk.
+func (k *Kernel) slpTskBody(tmout TMO) (ER, *armedWait) {
 	task, er := k.blockCheck(tmout)
 	if er != EOK {
-		return er
+		return er, nil
 	}
 	if task.wupCount > 0 {
 		task.wupCount--
-		return EOK
+		return EOK, nil
 	}
 	if tmout == TmoPol {
-		return ETMOUT
+		return ETMOUT, nil
 	}
-	return k.sleepOn(task, "sleep", tmout, nil)
+	return EOK, k.armSleep(task, "sleep", tmout, nil)
 }
 
 // WupTsk wakes a sleeping task (tk_wup_tsk); wakeups queue when the task is
@@ -230,6 +240,11 @@ func (k *Kernel) SlpTsk(tmout TMO) (er ER) {
 func (k *Kernel) WupTsk(id ID) (er ER) {
 	k.enterSvc("tk_wup_tsk")
 	defer k.exitSvc("tk_wup_tsk", &er)
+	return k.wupTskBody(id)
+}
+
+// wupTskBody is the engine-split call body of WupTsk.
+func (k *Kernel) wupTskBody(id ID) ER {
 	task, ok := k.tasks[id]
 	if !ok {
 		return ENOEXS
@@ -268,16 +283,25 @@ func (k *Kernel) CanWup(id ID) (_ int, er ER) {
 func (k *Kernel) DlyTsk(d sysc.Time) (er ER) {
 	k.enterSvc("tk_dly_tsk")
 	defer k.exitSvc("tk_dly_tsk", &er)
+	return dlyTskPost(k.finish(k.dlyTskBody(d)))
+}
+
+// dlyTskBody is the engine-split call body of DlyTsk.
+func (k *Kernel) dlyTskBody(d sysc.Time) (ER, *armedWait) {
 	task, er := k.blockCheck(TmoFevr)
 	if er != EOK {
-		return er
+		return er, nil
 	}
 	if d <= 0 {
-		return EOK
+		return EOK, nil
 	}
-	code := k.sleepOn(task, "delay", d, nil)
+	return EOK, k.armSleep(task, "delay", d, nil)
+}
+
+// dlyTskPost remaps the release code: normal expiry of a delay is success.
+func dlyTskPost(code ER) ER {
 	if code == ETMOUT {
-		return EOK // normal expiry of a delay is success
+		return EOK
 	}
 	return code
 }
@@ -390,6 +414,11 @@ func (k *Kernel) taskInfo(task *Task) TaskInfo {
 func (k *Kernel) RotRdq(priority int) (er ER) {
 	k.enterSvc("tk_rot_rdq")
 	defer k.exitSvc("tk_rot_rdq", &er)
+	return k.rotRdqBody(priority)
+}
+
+// rotRdqBody is the engine-split call body of RotRdq.
+func (k *Kernel) rotRdqBody(priority int) ER {
 	if priority == 0 {
 		if cur := k.api.Current(); cur != nil {
 			k.api.YieldCurrent()

@@ -197,6 +197,11 @@ func (k *Kernel) DelAlm(id ID) (er ER) {
 func (k *Kernel) StaAlm(id ID, d sysc.Time) (er ER) {
 	k.enterSvc("tk_sta_alm")
 	defer k.exitSvc("tk_sta_alm", &er)
+	return k.staAlmBody(id, d)
+}
+
+// staAlmBody is the engine-split call body of StaAlm.
+func (k *Kernel) staAlmBody(id ID, d sysc.Time) ER {
 	a, ok := k.alms[id]
 	if !ok {
 		return ENOEXS
