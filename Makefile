@@ -8,7 +8,7 @@
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race race-engine check serve serve-e2e chaos chaos-traced engine-diff bench bench-guard bench-all perf-smoke clean
+.PHONY: all build test vet race race-engine check serve serve-e2e chaos chaos-traced engine-diff bench bench-guard bench-all perf-smoke scenarios synthetic-campaign clean
 
 all: check
 
@@ -83,13 +83,33 @@ bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
 
 # CI perf smoke: the headline gui=off/frame=off configuration (plus its idle
-# twins) against the committed baseline, with a generous 20% tolerance to
-# absorb shared-runner noise while still catching order-of-magnitude
-# regressions in the kernel hot path.
+# twins) and the fixed synthetic workload against the committed baseline,
+# with a generous 20% tolerance to absorb shared-runner noise while still
+# catching order-of-magnitude regressions in the kernel hot path.
 perf-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkTable2CoSimSpeed/gui=off/frame=off' -benchtime 1s . \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkTable2CoSimSpeed/gui=off/frame=off|BenchmarkSyntheticCoSimSpeed' \
+		-benchtime 1s . \
 		| $(GO) run ./cmd/benchjson -metric simsec/s -out /tmp/BENCH_sysc.smoke.json \
 			-baseline BENCH_sysc.json -tolerance 20
+
+# Run every example scenario under examples/scenarios on both T-THREAD
+# engines through the -spec file path (the same run.Spec JSON rtkserve
+# accepts). Each file must validate, build, and complete on each engine.
+scenarios:
+	@for f in examples/scenarios/*.json; do \
+		for e in goroutine continuation; do \
+			echo "== $$f ($$e)"; \
+			$(GO) run ./cmd/rtkspec -spec $$f -engine $$e || exit 1; \
+		done; \
+	done
+
+# Seeded synthetic chaos campaign: every job draws a fresh generated task
+# set from its own seed and must pass all kernel invariant oracles on the
+# continuation engine (the goroutine engine is covered by engine-diff).
+synthetic-campaign:
+	$(GO) run ./cmd/chaos -seeds 50 -engine continuation \
+		-gen "tasks=6,util=0.6,irqs=2"
 
 clean:
 	$(GO) clean ./...

@@ -12,10 +12,12 @@ import (
 	"repro/internal/petri"
 	"repro/internal/rtk"
 	"repro/internal/run/opts"
+	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkds"
 	"repro/internal/tkernel"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // benchSimWindow is the simulated time per benchmark iteration. Table 2's
@@ -425,5 +427,40 @@ func BenchmarkTThreadConsume(b *testing.B) {
 		if err := sim.Start(horizon); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSyntheticCoSimSpeed measures kernel simulation speed on a
+// generated synthetic task set — the default workload.GenSpec draw at a
+// fixed seed, so the set (6 tasks, utilization 0.6, one sem/mutex/mbf/flag,
+// one interrupt source) is identical across runs and machines. Unlike the
+// Table 2 benchmark there is no BFM or GUI layer: this tracks the bare
+// kernel data path under a mixed periodic/blocking load. Both T-THREAD
+// engines run; the continuation engine is the headline.
+func BenchmarkSyntheticCoSimSpeed(b *testing.B) {
+	ts := workload.Generate(sweep.NewRNG(sweep.Seed(42, 0)), workload.GenSpec{})
+	for _, engine := range []string{opts.EngineContinuation, opts.EngineGoroutine} {
+		name := "gen=default"
+		if engine == opts.EngineGoroutine {
+			name += "/engine=goroutine"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim := sysc.NewSimulator()
+				kcfg := tkernel.Config{Costs: tkernel.DefaultCosts()}
+				kcfg.Engine = engine
+				k := tkernel.New(sim, kcfg)
+				inst := workload.Build(sim, k, ts, 42)
+				if err := sim.Start(benchSimWindow); err != nil {
+					b.Fatal(err)
+				}
+				if inst.Activations() == 0 {
+					b.Fatal("no task activations")
+				}
+				sim.Shutdown()
+			}
+			simsec := benchSimWindow.Seconds() * float64(b.N)
+			b.ReportMetric(simsec/b.Elapsed().Seconds(), "simsec/s")
+		})
 	}
 }

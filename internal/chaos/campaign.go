@@ -11,6 +11,7 @@ import (
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Config parameterizes a campaign.
@@ -25,6 +26,13 @@ type Config struct {
 	Corrupt  bool      // include corruption faults (PoolLeak) in the draw
 	Minimize bool      // ddmin failing schedules to a minimal repro
 	Engine   string    // T-THREAD engine ("" = goroutine)
+
+	// Synthetic, when non-nil, replaces the built-in chaos application:
+	// each job generates a fresh workload.TaskSet from stream 0 of its own
+	// seed and runs it under the fault schedule, with targets derived from
+	// the generated objects. Tasks is ignored (the generator's Tasks field
+	// governs).
+	Synthetic *workload.GenSpec
 
 	OracleInterval sysc.Time // oracle throttle (default 1 ms)
 }
@@ -101,6 +109,12 @@ func (r Report) Summary() string {
 	c := r.Cfg
 	fmt.Fprintf(&b, "chaos campaign: seeds=%d base=0x%016x dur=%v tasks=%d faults=%d corrupt=%v\n",
 		c.Seeds, c.BaseSeed, c.Dur, c.Tasks, c.Faults, c.Corrupt)
+	if c.Synthetic != nil {
+		gs := c.Synthetic.Normalized()
+		fmt.Fprintf(&b, "synthetic workload: tasks=%d util=%.2f periods=%v..%v sems=%d mutexes=%d mbfs=%d flags=%d irqs=%d\n",
+			gs.Tasks, gs.Util, gs.PeriodMin.Std(), gs.PeriodMax.Std(),
+			gs.Sems, gs.Mutexes, gs.Mbfs, gs.Flags, gs.Interrupts)
+	}
 	for _, v := range r.Verdicts {
 		status := "PASS"
 		if !v.Pass {
@@ -184,9 +198,7 @@ func RunJobTrace(cfg Config, index int, w io.Writer) (Verdict, error) {
 func RunJobTraceContext(ctx context.Context, cfg Config, index int, w io.Writer) (Verdict, error) {
 	cfg = cfg.normalized()
 	seed := sweep.Seed(cfg.BaseSeed, index)
-	rng := sweep.NewRNG(sweep.Seed(seed, 1))
-	targets := Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
-	sched := RandomSchedule(rng, targets, cfg.Faults, cfg.Dur, cfg.Corrupt)
+	sched := drawSchedule(cfg, seed)
 
 	v, err := execute(ctx, cfg, seed, sched, w)
 	v.Index = index
@@ -194,16 +206,45 @@ func RunJobTraceContext(ctx context.Context, cfg Config, index int, w io.Writer)
 	return v, err
 }
 
+// jobTargets returns the fault targets of one job: the fixed object layout
+// of the built-in application, or the objects the job's generated TaskSet
+// will create (workload.Build allocates IDs in declaration order, so the
+// targets are known before anything is built).
+func jobTargets(cfg Config, seed uint64) Targets {
+	if cfg.Synthetic == nil {
+		return Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
+	}
+	ts := synthTaskSet(cfg, seed)
+	t := Targets{}
+	for _, irq := range ts.Interrupts {
+		t.IntNos = append(t.IntNos, irq.IntNo)
+	}
+	if len(ts.Mbfs) > 0 {
+		t.Mbf = 1
+	}
+	return t
+}
+
+// synthTaskSet draws the job's synthetic task set: stream 0 of the job
+// seed, the same stream the built-in application draws from.
+func synthTaskSet(cfg Config, seed uint64) *workload.TaskSet {
+	return workload.Generate(sweep.NewRNG(sweep.Seed(seed, 0)), *cfg.Synthetic)
+}
+
+// drawSchedule draws the job's fault schedule. Stream 1 of the job seed
+// drives the schedule; stream 0 drives the application (built-in steps or
+// generated task set). Separate streams keep the two draws independent of
+// each other's draw counts.
+func drawSchedule(cfg Config, seed uint64) Schedule {
+	rng := sweep.NewRNG(sweep.Seed(seed, 1))
+	return RandomSchedule(rng, jobTargets(cfg, seed), cfg.Faults, cfg.Dur, cfg.Corrupt)
+}
+
 // runSeed draws the job's fault schedule, executes it, and minimizes on
 // failure. The boolean is false when ctx stopped the run early — the
 // verdict is then partial and must not count as a campaign result.
 func runSeed(ctx context.Context, cfg Config, index int, seed uint64) (Verdict, bool) {
-	// Stream 1 of the job seed drives the schedule; stream 0 (inside
-	// BuildSystem) drives the application. Separate streams keep the two
-	// draws independent of each other's draw counts.
-	rng := sweep.NewRNG(sweep.Seed(seed, 1))
-	targets := Targets{IntNos: []int{1, 2}, Mpf: 1, Mbf: 1}
-	sched := RandomSchedule(rng, targets, cfg.Faults, cfg.Dur, cfg.Corrupt)
+	sched := drawSchedule(cfg, seed)
 
 	v, err := execute(ctx, cfg, seed, sched, nil)
 	v.Index = index
@@ -247,7 +288,12 @@ func execute(ctx context.Context, cfg Config, seed uint64, sched Schedule, trace
 		scfg.Bus = event.NewBus()
 		pf = trace.AttachPerfetto(scfg.Bus, traceW)
 	}
-	sys := BuildSystem(sim, seed, scfg)
+	var sys *System
+	if cfg.Synthetic != nil {
+		sys = BuildSyntheticSystem(sim, seed, scfg, synthTaskSet(cfg, seed))
+	} else {
+		sys = BuildSystem(sim, seed, scfg)
+	}
 	inj := sys.Inj
 	orc := Attach(sys.K, sys.Gantt, cfg.OracleInterval)
 

@@ -129,14 +129,38 @@ var behaviorKinds = []FaultKind{
 	SpuriousIRQ, IRQBurst, DropIRQ, ETMInflate, TickDelay, PoolExhaust, MbfFlood,
 }
 
+// available reports whether the targets provide what kind needs: IRQ
+// faults need a defined interrupt, pool faults a fixed pool, floods a
+// message buffer. ETMInflate and TickDelay perturb the kernel itself and
+// are always available.
+func (t Targets) available(kind FaultKind) bool {
+	switch kind {
+	case SpuriousIRQ, IRQBurst, DropIRQ:
+		return len(t.IntNos) > 0
+	case PoolExhaust, PoolLeak:
+		return t.Mpf != 0
+	case MbfFlood:
+		return t.Mbf != 0
+	}
+	return true
+}
+
 // RandomSchedule draws n faults over the window [0, dur) from rng. With
 // corrupt set, PoolLeak joins the draw pool, so some schedules contain
-// corruption faults the oracles must catch. All draws come from rng alone:
-// equal (rng seed, targets, n, dur, corrupt) give equal schedules.
+// corruption faults the oracles must catch. Kinds whose target class the
+// Targets lack are filtered out of the pool (order preserved, so full
+// targets draw exactly as before). All draws come from rng alone: equal
+// (rng seed, targets, n, dur, corrupt) give equal schedules.
 func RandomSchedule(rng *sweep.RNG, t Targets, n int, dur sysc.Time, corrupt bool) Schedule {
-	kinds := behaviorKinds
+	all := behaviorKinds
 	if corrupt {
-		kinds = append(append([]FaultKind(nil), behaviorKinds...), PoolLeak)
+		all = append(append([]FaultKind(nil), behaviorKinds...), PoolLeak)
+	}
+	var kinds []FaultKind
+	for _, k := range all {
+		if t.available(k) {
+			kinds = append(kinds, k)
+		}
 	}
 	var out Schedule
 	for i := 0; i < n; i++ {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // SystemConfig parameterizes the synthetic application a chaos job runs.
@@ -40,12 +41,46 @@ type System struct {
 	Targets Targets
 	TaskIDs []tkernel.ID
 
-	cycles int // completed task program iterations (activity digest)
+	cycles int                // completed task program iterations (activity digest)
+	inst   *workload.Instance // synthetic workload, when this system runs one
 }
 
 // Cycles returns how many task program iterations completed — a cheap
 // deterministic activity digest for verdict summaries.
-func (s *System) Cycles() int { return s.cycles }
+func (s *System) Cycles() int {
+	if s.inst != nil {
+		return int(s.inst.Activations())
+	}
+	return s.cycles
+}
+
+// BuildSyntheticSystem constructs a job around a generated (or hand-written)
+// workload.TaskSet instead of the built-in application: same injector
+// wiring, same oracles, but the kernel hosts the declarative task set and
+// the fault targets are the set's own objects.
+func BuildSyntheticSystem(sim *sysc.Simulator, seed uint64, cfg SystemConfig, ts *workload.TaskSet) *System {
+	g := trace.NewGantt()
+	inj := NewInjector(cfg.Schedule)
+	kcfg := tkernel.Config{Costs: cfg.Costs}
+	kcfg.Engine = cfg.Engine
+	kcfg.Bus = cfg.Bus
+	kcfg.Gantt = g
+	inj.Configure(&kcfg)
+	k := tkernel.New(sim, kcfg)
+	inj.Bind(k)
+
+	inst := workload.Build(sim, k, ts, seed)
+	targets := Targets{IntNos: inst.IntNos}
+	if len(inst.MbfIDs) > 0 {
+		targets.Mbf = inst.MbfIDs[0]
+	}
+	return &System{
+		K: k, Inj: inj, Gantt: g,
+		Targets: targets,
+		TaskIDs: inst.TaskIDs,
+		inst:    inst,
+	}
+}
 
 // Program step opcodes (drawn per task from the system seed).
 const (

@@ -18,15 +18,16 @@ func executeChaos(ctx context.Context, spec Spec) (Result, error) {
 		cs = &ChaosSpec{}
 	}
 	cfg := chaos.Config{
-		Seeds:    cs.Seeds,
-		BaseSeed: spec.Seed,
-		Workers:  cs.Workers,
-		Dur:      spec.Dur.Sim(),
-		Tasks:    cs.Tasks,
-		Faults:   cs.Faults,
-		Corrupt:  cs.Corrupt,
-		Minimize: cs.Minimize,
-		Engine:   spec.Engine,
+		Seeds:     cs.Seeds,
+		BaseSeed:  spec.Seed,
+		Workers:   cs.Workers,
+		Dur:       spec.Dur.Sim(),
+		Tasks:     cs.Tasks,
+		Faults:    cs.Faults,
+		Corrupt:   cs.Corrupt,
+		Minimize:  cs.Minimize,
+		Engine:    spec.Engine,
+		Synthetic: cs.Synthetic,
 	}
 	// Mirror the chaos.Config defaults up front so the Report header (which
 	// prints the config) is identical whether the run came from flags or

@@ -1,0 +1,50 @@
+package opts
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/sysc"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("250ms") and unmarshals from either a string or integer nanoseconds, so
+// hand-written JSON specs stay legible. It lives here, below the run façade,
+// so pure-data spec packages (run, workload) share one wire representation;
+// client code should normally refer to it as run.Duration.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Std converts to the standard-library representation.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Sim converts to simulated time.
+func (d Duration) Sim() sysc.Time {
+	return sysc.Time(time.Duration(d).Nanoseconds()) * sysc.Ns
+}

@@ -12,12 +12,10 @@ package run
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"time"
 
 	"repro/internal/run/opts"
-	"repro/internal/sysc"
+	"repro/internal/workload"
 )
 
 // CommonOptions re-exports the construction knob set shared by
@@ -39,47 +37,16 @@ const (
 	ScenarioChaos Scenario = "chaos"
 	// ScenarioExperiments regenerates the paper's tables and figures.
 	ScenarioExperiments Scenario = "experiments"
+	// ScenarioSynthetic runs a declarative workload.TaskSet — hand-written
+	// or drawn by the seeded generator — on a bare kernel.
+	ScenarioSynthetic Scenario = "synthetic"
 )
 
 // Duration is a time.Duration that marshals as a human-readable string
 // ("250ms") and unmarshals from either a string or integer nanoseconds, so
-// hand-written JSON specs stay legible.
-type Duration time.Duration
-
-// MarshalJSON renders the duration as a string.
-func (d Duration) MarshalJSON() ([]byte, error) {
-	return json.Marshal(time.Duration(d).String())
-}
-
-// UnmarshalJSON accepts "250ms"-style strings or integer nanoseconds.
-func (d *Duration) UnmarshalJSON(b []byte) error {
-	if len(b) > 0 && b[0] == '"' {
-		var s string
-		if err := json.Unmarshal(b, &s); err != nil {
-			return err
-		}
-		v, err := time.ParseDuration(s)
-		if err != nil {
-			return err
-		}
-		*d = Duration(v)
-		return nil
-	}
-	var n int64
-	if err := json.Unmarshal(b, &n); err != nil {
-		return err
-	}
-	*d = Duration(n)
-	return nil
-}
-
-// Std converts to the standard-library representation.
-func (d Duration) Std() time.Duration { return time.Duration(d) }
-
-// Sim converts to simulated time.
-func (d Duration) Sim() sysc.Time {
-	return sysc.Time(time.Duration(d).Nanoseconds()) * sysc.Ns
-}
+// hand-written JSON specs stay legible (defined in internal/run/opts so
+// spec-bearing packages below the façade share the wire representation).
+type Duration = opts.Duration
 
 // Artifact names a deterministic output a Spec can request. Unknown names
 // are rejected by Execute, and each scenario documents which names it can
@@ -110,6 +77,9 @@ const (
 	ArtifactRepro = "repro.txt"
 	// ArtifactReport is the rendered tables/figures text (experiments).
 	ArtifactReport = "report.txt"
+	// ArtifactTaskSet is the fully resolved workload.TaskSet that ran —
+	// for generated sets, the concrete draw — as indented JSON (synthetic).
+	ArtifactTaskSet = "taskset.json"
 )
 
 // Spec is a complete, pure-data description of one run: scenario, seed,
@@ -156,6 +126,9 @@ type Spec struct {
 	// loop instead of busy work (videogame; 0 keeps the busy idle loop).
 	IdleSleep Duration `json:"idle_sleep,omitempty"`
 
+	// Synthetic selects the declarative workload (synthetic scenario
+	// only): an inline TaskSet or generator parameters.
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
 	// Chaos parameterizes the fault plan (chaos scenario only).
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
 	// Experiments selects the tables/figures to regenerate (experiments
@@ -165,6 +138,15 @@ type Spec struct {
 	// Artifacts lists the outputs to produce (Artifact* names). Empty
 	// means stats only.
 	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// SyntheticSpec selects the synthetic scenario's workload: exactly one of
+// TaskSet (an inline declarative scenario) or Gen (generator parameters;
+// the TaskSet is drawn from stream 2 of Spec.Seed, so a generated run is
+// still a pure function of the Spec).
+type SyntheticSpec struct {
+	TaskSet *workload.TaskSet `json:"taskset,omitempty"`
+	Gen     *workload.GenSpec `json:"gen,omitempty"`
 }
 
 // ChaosSpec is the fault plan of a chaos run.
@@ -186,6 +168,10 @@ type ChaosSpec struct {
 	Corrupt bool `json:"corrupt,omitempty"`
 	// Minimize ddmins failing schedules to a minimal repro.
 	Minimize bool `json:"minimize,omitempty"`
+	// Synthetic, when non-nil, makes every job generate a fresh synthetic
+	// task set from its own seed (replacing the built-in chaos application)
+	// with fault targets derived from the generated objects.
+	Synthetic *workload.GenSpec `json:"synthetic,omitempty"`
 }
 
 // ExperimentsSpec selects paper tables and figures.
@@ -218,6 +204,9 @@ type Stats struct {
 	CtxSwitches uint64 `json:"ctx_switches,omitempty"`
 	Preemptions uint64 `json:"preemptions,omitempty"`
 	Interrupts  uint64 `json:"interrupts,omitempty"`
+
+	// Activations counts completed task-body activations (synthetic).
+	Activations uint64 `json:"activations,omitempty"`
 
 	// Videogame digest.
 	Frames uint64 `json:"frames,omitempty"`
@@ -266,6 +255,8 @@ func Execute(ctx context.Context, spec Spec) (Result, error) {
 		return executeChaos(ctx, spec)
 	case ScenarioExperiments:
 		return executeExperiments(ctx, spec)
+	case ScenarioSynthetic:
+		return executeSynthetic(ctx, spec)
 	default:
 		return Result{}, fmt.Errorf("run: unknown scenario %q", spec.Scenario)
 	}
@@ -283,6 +274,10 @@ var scenarioArtifacts = map[Scenario]map[string]bool{
 	},
 	ScenarioExperiments: {
 		ArtifactReport: true, ArtifactVCD: true, ArtifactMetrics: true,
+	},
+	ScenarioSynthetic: {
+		ArtifactTrace: true, ArtifactMetrics: true, ArtifactGantt: true,
+		ArtifactTaskSet: true,
 	},
 }
 
@@ -316,6 +311,33 @@ func Validate(spec Spec) error {
 	}
 	if spec.Scenario == ScenarioExperiments && spec.Experiments != nil {
 		if _, err := expandSections(spec.Experiments.Sections); err != nil {
+			return err
+		}
+	}
+	if spec.Synthetic != nil && spec.Scenario != ScenarioSynthetic {
+		return fmt.Errorf("run: synthetic workload requires scenario %q, got %q", ScenarioSynthetic, spec.Scenario)
+	}
+	if spec.Scenario == ScenarioSynthetic {
+		syn := spec.Synthetic
+		switch {
+		case syn == nil:
+			return fmt.Errorf("run: scenario %q requires the synthetic field (taskset or gen)", ScenarioSynthetic)
+		case syn.TaskSet != nil && syn.Gen != nil:
+			return fmt.Errorf("run: synthetic wants exactly one of taskset and gen, got both")
+		case syn.TaskSet != nil:
+			if err := syn.TaskSet.Validate(); err != nil {
+				return err
+			}
+		case syn.Gen != nil:
+			if err := syn.Gen.Validate(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("run: synthetic wants exactly one of taskset and gen, got neither")
+		}
+	}
+	if spec.Chaos != nil && spec.Chaos.Synthetic != nil {
+		if err := spec.Chaos.Synthetic.Validate(); err != nil {
 			return err
 		}
 	}

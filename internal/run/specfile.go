@@ -1,0 +1,33 @@
+package run
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadSpecFile reads and validates a full Spec from a JSON file — the
+// -spec flag behind cmd/rtkspec and cmd/chaos. Unknown fields are rejected
+// so a typoed knob fails loudly instead of silently running defaults.
+func LoadSpecFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("run: spec file: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// ParseSpec decodes and validates a Spec from JSON bytes.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("run: spec: %w", err)
+	}
+	if err := Validate(spec); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}

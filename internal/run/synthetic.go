@@ -1,0 +1,120 @@
+package run
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+	"repro/internal/sysc"
+	"repro/internal/tkernel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// genStream is the sweep.Seed stream index the synthetic scenario draws a
+// generated TaskSet from (streams 0 and 1 belong to the chaos app and fault
+// schedule; interrupt device models start at workload's own base).
+const genStream = 2
+
+// resolveTaskSet returns the concrete TaskSet a synthetic spec runs: the
+// inline set, or the generator draw from stream genStream of the run seed.
+func resolveTaskSet(spec Spec) *workload.TaskSet {
+	if spec.Synthetic.TaskSet != nil {
+		return spec.Synthetic.TaskSet
+	}
+	return workload.Generate(sweep.NewRNG(sweep.Seed(spec.Seed, genStream)), *spec.Synthetic.Gen)
+}
+
+// executeSynthetic runs a declarative workload on a bare kernel and
+// harvests the requested artifacts. Like every scenario, the artifacts are
+// a pure function of the Spec: the task set resolves deterministically and
+// everything stochastic inside the run draws from seeded streams.
+func executeSynthetic(ctx context.Context, spec Spec) (Result, error) {
+	dur := spec.Dur.Sim()
+	if dur <= 0 {
+		dur = 1 * sysc.Sec
+	}
+	ts := resolveTaskSet(spec)
+
+	bus := event.NewBus()
+	var traceBuf bytes.Buffer
+	var pf *trace.Perfetto
+	if wants(spec, ArtifactTrace) {
+		pf = trace.AttachPerfetto(bus, &traceBuf)
+	}
+	var coll *metrics.Collector
+	if wants(spec, ArtifactMetrics) {
+		coll = metrics.Attach(bus)
+	}
+	var g *trace.Gantt
+	if wants(spec, ArtifactGantt) {
+		g = trace.NewGantt()
+		g.SetLimit(ganttLimit)
+	}
+
+	sim := sysc.NewSimulator()
+	defer sim.Shutdown()
+	kcfg := tkernel.Config{Costs: tkernel.DefaultCosts()}
+	kcfg.Engine = spec.Engine
+	kcfg.Tick = spec.Tick.Sim()
+	kcfg.DisableTickless = !boolOr(spec.Tickless, true)
+	kcfg.Bus = bus
+	kcfg.Gantt = g
+	k := tkernel.New(sim, kcfg)
+	inst := workload.Build(sim, k, ts, spec.Seed)
+
+	wall0 := time.Now()
+	runErr := sim.StartContext(ctx, dur)
+	wall := time.Since(wall0)
+
+	simNs := time.Duration(sim.Now() / sysc.Ns)
+	res := Result{
+		Stats: Stats{
+			Scenario:    ScenarioSynthetic,
+			SimTime:     Duration(simNs),
+			Wall:        Duration(wall),
+			Ticks:       k.Ticks(),
+			CtxSwitches: k.API().ContextSwitches(),
+			Preemptions: k.API().Preemptions(),
+			Interrupts:  k.API().Interrupts(),
+			Activations: inst.Activations(),
+		},
+		Artifacts: map[string][]byte{},
+	}
+	if wall > 0 {
+		res.Stats.SimPerWall = simNs.Seconds() / wall.Seconds()
+	}
+
+	if pf != nil {
+		if err := pf.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("run: trace: %w", err)
+		}
+		res.Stats.TraceEvents = pf.Events()
+		res.Artifacts[ArtifactTrace] = traceBuf.Bytes()
+	}
+	if coll != nil {
+		var buf bytes.Buffer
+		if err := coll.WriteJSON(&buf); err != nil && runErr == nil {
+			runErr = fmt.Errorf("run: metrics: %w", err)
+		}
+		res.Artifacts[ArtifactMetrics] = buf.Bytes()
+	}
+	if g != nil {
+		var buf bytes.Buffer
+		g.Render(&buf, 0, ganttWindow, 100)
+		res.Artifacts[ArtifactGantt] = buf.Bytes()
+	}
+	if wants(spec, ArtifactTaskSet) {
+		b, err := json.MarshalIndent(ts, "", "  ")
+		if err != nil && runErr == nil {
+			runErr = fmt.Errorf("run: taskset: %w", err)
+		}
+		res.Artifacts[ArtifactTaskSet] = append(b, '\n')
+	}
+	return res, runErr
+}

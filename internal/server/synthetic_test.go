@@ -1,0 +1,59 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/run"
+	"repro/internal/workload"
+)
+
+// TestSyntheticHTTPvsCLI extends the cross-transport contract to the
+// synthetic scenario: a fixed-seed generated task set produces
+// byte-identical trace, metrics, and resolved-taskset artifacts whether
+// executed directly or through the job server.
+func TestSyntheticHTTPvsCLI(t *testing.T) {
+	spec := run.Spec{
+		Scenario:  run.ScenarioSynthetic,
+		Dur:       run.Duration(100 * time.Millisecond),
+		Seed:      42,
+		Synthetic: &run.SyntheticSpec{Gen: &workload.GenSpec{Interrupts: 2}},
+		Artifacts: []string{run.ArtifactTrace, run.ArtifactMetrics, run.ArtifactTaskSet},
+	}
+	direct, err := run.Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body, _ := json.Marshal(spec)
+	id := submit(t, ts, string(body))
+	v := waitTerminal(t, ts, id)
+	if v.State != StateDone {
+		t.Fatalf("state %s (%s)", v.State, v.Error)
+	}
+	for _, name := range spec.Artifacts {
+		got := fetchArtifact(t, ts, id, name)
+		want := direct.Artifacts[name]
+		if len(want) == 0 {
+			t.Fatalf("%s: empty direct artifact", name)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: HTTP and direct bytes differ (%d vs %d)", name, len(got), len(want))
+		}
+	}
+	if v.Stats.Activations != direct.Stats.Activations || v.Stats.CtxSwitches != direct.Stats.CtxSwitches {
+		t.Fatalf("stats digest differs: %+v vs %+v", v.Stats, direct.Stats)
+	}
+	if direct.Stats.Activations == 0 {
+		t.Fatal("synthetic run recorded no task activations")
+	}
+}

@@ -221,6 +221,11 @@ func (k *Kernel) Sim() *sysc.Simulator { return k.sim }
 // Tick returns the configured system-clock resolution.
 func (k *Kernel) Tick() sysc.Time { return k.cfg.Tick }
 
+// Engine returns the configured T-THREAD engine (opts.EngineGoroutine or
+// opts.EngineContinuation), so system builders outside the kernel can pick
+// the matching device-model process style.
+func (k *Kernel) Engine() string { return k.cfg.Engine }
+
 // Ticks returns the number of system ticks processed so far.
 func (k *Kernel) Ticks() uint64 { return k.ticks }
 

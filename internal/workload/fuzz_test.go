@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// FuzzTaskSetJSON feeds arbitrary bytes to Parse: it must never panic, and
+// any set it accepts must survive a marshal/reparse round trip (i.e. Parse
+// only ever returns fully validated sets).
+func FuzzTaskSetJSON(f *testing.F) {
+	for seed := uint64(0); seed < 4; seed++ {
+		ts := Generate(sweep.NewRNG(sweep.Seed(seed, 0)), GenSpec{})
+		data, err := json.Marshal(ts)
+		if err != nil {
+			f.Fatalf("seed corpus: %v", err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tasks":[{"name":"t","priority":5,"ops":[{"op":"dly_tsk","dur":"1ms"}]}]}`))
+	f.Add([]byte(`{"tasks":[{"name":"t","priority":5,"ops":[{"op":"lock","obj":"m"}]}]}`))
+	f.Add([]byte(`{"tasks":[],"bogus":true}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"tasks":[{"name":"t","priority":-3}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := Parse(data)
+		if err != nil {
+			return
+		}
+		round, err := json.Marshal(ts)
+		if err != nil {
+			t.Fatalf("accepted set fails to marshal: %v", err)
+		}
+		if _, err := Parse(round); err != nil {
+			t.Fatalf("accepted set fails reparse: %v\n%s", err, round)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// TestGenerateProperties drives the generator across 50 seeds and asserts
+// the contract: the draw validates, total utilization tracks the target,
+// the JSON round trip is lossless, and the same seed reproduces the same
+// set exactly.
+func TestGenerateProperties(t *testing.T) {
+	gs := GenSpec{}
+	for seed := uint64(0); seed < 50; seed++ {
+		ts := Generate(sweep.NewRNG(sweep.Seed(seed, 0)), gs)
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("seed %d: generated set fails validation: %v", seed, err)
+		}
+
+		var u float64
+		for _, task := range ts.Tasks {
+			if task.Period <= 0 {
+				t.Fatalf("seed %d: task %s not periodic", seed, task.Name)
+			}
+			u += float64(task.CET) / float64(task.Period)
+		}
+		if math.Abs(u-0.6) > 0.05 {
+			t.Errorf("seed %d: total utilization %.4f, want 0.6 +/- 0.05", seed, u)
+		}
+
+		data, err := json.Marshal(ts)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		round, err := Parse(data)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if !reflect.DeepEqual(ts, round) {
+			t.Errorf("seed %d: JSON round trip not lossless", seed)
+		}
+
+		again := Generate(sweep.NewRNG(sweep.Seed(seed, 0)), gs)
+		if !reflect.DeepEqual(ts, again) {
+			t.Errorf("seed %d: same seed produced different sets", seed)
+		}
+	}
+}
+
+// TestGenerateHonorsSpec exercises the non-default generator knobs.
+func TestGenerateHonorsSpec(t *testing.T) {
+	gs := GenSpec{
+		Tasks: 12, Util: 0.8,
+		PeriodMin: Duration(10 * time.Millisecond), PeriodMax: Duration(40 * time.Millisecond),
+		Sems: 3, Mutexes: 2, Mbfs: -1, Flags: 2, Interrupts: 4,
+	}
+	ts := Generate(sweep.NewRNG(7), gs)
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if len(ts.Tasks) != 12 || len(ts.Sems) != 3 || len(ts.Mutexes) != 2 ||
+		len(ts.Mbfs) != 0 || len(ts.Flags) != 2 || len(ts.Interrupts) != 4 {
+		t.Fatalf("object counts do not match the spec: %d tasks %d sems %d mutexes %d mbfs %d flags %d irqs",
+			len(ts.Tasks), len(ts.Sems), len(ts.Mutexes), len(ts.Mbfs), len(ts.Flags), len(ts.Interrupts))
+	}
+	for _, task := range ts.Tasks {
+		if p := task.Period.Std(); p < 10*time.Millisecond || p > 40*time.Millisecond {
+			t.Errorf("task %s period %v outside 10ms..40ms", task.Name, p)
+		}
+	}
+	var u float64
+	for _, task := range ts.Tasks {
+		u += float64(task.CET) / float64(task.Period)
+	}
+	if math.Abs(u-0.8) > 0.05 {
+		t.Errorf("total utilization %.4f, want 0.8 +/- 0.05", u)
+	}
+}
+
+// TestParseGenFlag covers the CLI key=value syntax.
+func TestParseGenFlag(t *testing.T) {
+	gs, err := ParseGenFlag("tasks=8,util=0.65,irqs=2,sems=0,pmin=2ms,pmax=20ms")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n := gs.Normalized()
+	if n.Tasks != 8 || n.Util != 0.65 || n.Interrupts != 2 || n.Sems != 0 ||
+		n.PeriodMin.Std() != 2*time.Millisecond || n.PeriodMax.Std() != 20*time.Millisecond {
+		t.Fatalf("parsed spec wrong: %+v", n)
+	}
+	if _, err := ParseGenFlag(""); err != nil {
+		t.Fatalf("empty flag should mean defaults: %v", err)
+	}
+	for _, bad := range []string{"tasks", "tasks=x", "bogus=1", "tasks=9999", "util=-1", "pmin=1s,pmax=1ms"} {
+		if _, err := ParseGenFlag(bad); err == nil {
+			t.Errorf("ParseGenFlag(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestUUniFast checks the utilization draw sums exactly and stays
+// non-negative.
+func TestUUniFast(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := sweep.NewRNG(seed)
+		utils := uunifast(rng, 8, 0.75)
+		var sum float64
+		for _, u := range utils {
+			if u < 0 {
+				t.Fatalf("seed %d: negative utilization %v", seed, u)
+			}
+			sum += u
+		}
+		if math.Abs(sum-0.75) > 1e-9 {
+			t.Fatalf("seed %d: utilizations sum to %v, want 0.75", seed, sum)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Structural caps. They bound what a hostile or fuzzed spec can make the
+// lowering build, far above anything a real scenario needs.
+const (
+	maxTasks      = 64
+	maxObjects    = 32 // per sync-object class
+	maxHandlers   = 32 // cyclics + alarms
+	maxInterrupts = 16
+	maxOps        = 256 // per body
+	maxPriority   = 140 // tkernel default MaxPriority
+)
+
+// Parse decodes and validates a JSON TaskSet. It never panics on arbitrary
+// input: malformed JSON, unknown fields and invalid graphs all come back as
+// descriptive errors.
+func Parse(data []byte) (*TaskSet, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var ts TaskSet
+	if err := dec.Decode(&ts); err != nil {
+		return nil, fmt.Errorf("workload: parse: %w", err)
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}
+
+// Validate checks the whole scenario graph — bounds, name uniqueness,
+// cross-references, op arguments, lock discipline, handler restrictions —
+// without building anything. A TaskSet that validates lowers onto a kernel
+// without further error checks.
+func (ts *TaskSet) Validate() error {
+	if len(ts.Tasks) == 0 {
+		return fmt.Errorf("workload: task set needs at least one task")
+	}
+	if len(ts.Tasks) > maxTasks {
+		return fmt.Errorf("workload: %d tasks exceeds the cap of %d", len(ts.Tasks), maxTasks)
+	}
+	if len(ts.Sems) > maxObjects || len(ts.Mutexes) > maxObjects ||
+		len(ts.Mbfs) > maxObjects || len(ts.Flags) > maxObjects {
+		return fmt.Errorf("workload: more than %d sync objects in one class", maxObjects)
+	}
+	if len(ts.Cyclics)+len(ts.Alarms) > maxHandlers {
+		return fmt.Errorf("workload: more than %d time-event handlers", maxHandlers)
+	}
+	if len(ts.Interrupts) > maxInterrupts {
+		return fmt.Errorf("workload: more than %d interrupt sources", maxInterrupts)
+	}
+
+	names := newNameIndex()
+	for i, s := range ts.Sems {
+		if err := names.add("sem", s.Name); err != nil {
+			return err
+		}
+		if s.Init < 0 || s.Max < 0 {
+			return fmt.Errorf("workload: sem %q: negative init or max", s.Name)
+		}
+		if s.Max > 0 && s.Init > s.Max {
+			return fmt.Errorf("workload: sem %q: init %d exceeds max %d", s.Name, s.Init, s.Max)
+		}
+		_ = i
+	}
+	for _, m := range ts.Mutexes {
+		if err := names.add("mutex", m.Name); err != nil {
+			return err
+		}
+		switch m.Policy {
+		case "", PolicyInherit, PolicyNone:
+			if m.Ceiling != 0 {
+				return fmt.Errorf("workload: mutex %q: ceiling set without the ceiling policy", m.Name)
+			}
+		case PolicyCeiling:
+			if m.Ceiling < 1 || m.Ceiling > maxPriority {
+				return fmt.Errorf("workload: mutex %q: ceiling %d out of range 1..%d", m.Name, m.Ceiling, maxPriority)
+			}
+		default:
+			return fmt.Errorf("workload: mutex %q: unknown policy %q", m.Name, m.Policy)
+		}
+	}
+	for _, b := range ts.Mbfs {
+		if err := names.add("mbf", b.Name); err != nil {
+			return err
+		}
+		if b.BufSz < 0 || b.MaxMsg < 0 {
+			return fmt.Errorf("workload: mbf %q: negative bufsz or maxmsg", b.Name)
+		}
+		if b.BufSz > 0 && b.MaxMsg > b.BufSz {
+			return fmt.Errorf("workload: mbf %q: maxmsg %d exceeds bufsz %d", b.Name, b.MaxMsg, b.BufSz)
+		}
+	}
+	for _, f := range ts.Flags {
+		if err := names.add("flag", f.Name); err != nil {
+			return err
+		}
+	}
+	for _, t := range ts.Tasks {
+		if err := names.add("task", t.Name); err != nil {
+			return err
+		}
+	}
+	for _, c := range ts.Cyclics {
+		if err := names.add("cyclic", c.Name); err != nil {
+			return err
+		}
+	}
+	for _, a := range ts.Alarms {
+		if err := names.add("alarm", a.Name); err != nil {
+			return err
+		}
+	}
+	seenInt := map[int]bool{}
+	for _, irq := range ts.Interrupts {
+		if err := names.add("interrupt", irq.Name); err != nil {
+			return err
+		}
+		if irq.IntNo < 0 {
+			return fmt.Errorf("workload: interrupt %q: negative intno %d", irq.Name, irq.IntNo)
+		}
+		if seenInt[irq.IntNo] {
+			return fmt.Errorf("workload: interrupt %q: duplicate intno %d", irq.Name, irq.IntNo)
+		}
+		seenInt[irq.IntNo] = true
+		if err := irq.Arrival.validate(irq.Name); err != nil {
+			return err
+		}
+	}
+
+	for _, t := range ts.Tasks {
+		if t.Priority < 1 || t.Priority > maxPriority {
+			return fmt.Errorf("workload: task %q: priority %d out of range 1..%d", t.Name, t.Priority, maxPriority)
+		}
+		if t.Period < 0 || t.Offset < 0 {
+			return fmt.Errorf("workload: task %q: negative period or offset", t.Name)
+		}
+		if err := ts.validateOps("task", t.Name, t.Ops, false); err != nil {
+			return err
+		}
+		if err := validateLockDiscipline(ts, t); err != nil {
+			return err
+		}
+		if t.Period == 0 && !advancesTime(t.Ops) {
+			return fmt.Errorf("workload: task %q: an aperiodic task needs at least one time-advancing op (consume, dly_tsk, slp_tsk or a blocking wait)", t.Name)
+		}
+		if t.CET != 0 {
+			var sum Duration
+			for _, op := range t.Ops {
+				if op.Op == OpConsume {
+					sum += op.Dur
+				}
+			}
+			if sum != t.CET {
+				return fmt.Errorf("workload: task %q: cet %v does not match the consume-op total %v", t.Name, t.CET.Std(), sum.Std())
+			}
+		}
+	}
+	for _, c := range ts.Cyclics {
+		if c.Interval <= 0 {
+			return fmt.Errorf("workload: cyclic %q: interval must be positive, got %v", c.Name, c.Interval.Std())
+		}
+		if c.Phase < 0 {
+			return fmt.Errorf("workload: cyclic %q: negative phase", c.Name)
+		}
+		if err := ts.validateOps("cyclic", c.Name, c.Ops, true); err != nil {
+			return err
+		}
+	}
+	for _, a := range ts.Alarms {
+		if a.Start < 0 || a.Rearm < 0 {
+			return fmt.Errorf("workload: alarm %q: negative start or rearm", a.Name)
+		}
+		if err := ts.validateOps("alarm", a.Name, a.Ops, true); err != nil {
+			return err
+		}
+	}
+	for _, irq := range ts.Interrupts {
+		if err := ts.validateOps("interrupt", irq.Name, irq.Ops, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks one arrival process.
+func (a Arrival) validate(owner string) error {
+	switch a.Kind {
+	case ArrivalPeriodic, ArrivalPoisson:
+		if a.Shape != 0 {
+			return fmt.Errorf("workload: interrupt %q: shape is gamma-only", owner)
+		}
+	case ArrivalGamma:
+		if !(a.Shape > 0) {
+			return fmt.Errorf("workload: interrupt %q: gamma arrivals need shape > 0", owner)
+		}
+	default:
+		return fmt.Errorf("workload: interrupt %q: unknown arrival kind %q", owner, a.Kind)
+	}
+	if a.Period <= 0 {
+		return fmt.Errorf("workload: interrupt %q: arrival period must be positive, got %v", owner, a.Period.Std())
+	}
+	return nil
+}
+
+// validateOps checks one op list. Handler bodies (handler=true) may only
+// use the non-blocking kinds.
+func (ts *TaskSet) validateOps(class, owner string, ops []Op, handler bool) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("workload: %s %q: empty op list", class, owner)
+	}
+	if len(ops) > maxOps {
+		return fmt.Errorf("workload: %s %q: %d ops exceeds the cap of %d", class, owner, len(ops), maxOps)
+	}
+	where := fmt.Sprintf("%s %q", class, owner)
+	for i, op := range ops {
+		if op.Timeout < 0 || op.Dur < 0 {
+			return fmt.Errorf("workload: %s op %d (%s): negative duration or timeout", where, i, op.Op)
+		}
+		if handler {
+			switch op.Op {
+			case OpConsume, OpSigSem, OpSetFlg, OpWupTsk:
+			default:
+				return fmt.Errorf("workload: %s op %d: %q is not allowed in handler context", where, i, op.Op)
+			}
+		}
+		switch op.Op {
+		case OpConsume:
+			if op.Dur <= 0 {
+				return fmt.Errorf("workload: %s op %d: consume needs a positive dur", where, i)
+			}
+			if op.Energy < 0 {
+				return fmt.Errorf("workload: %s op %d: negative energy", where, i)
+			}
+		case OpDlyTsk:
+			if op.Dur <= 0 {
+				return fmt.Errorf("workload: %s op %d: dly_tsk needs a positive dur", where, i)
+			}
+		case OpSlpTsk:
+			// Timeout 0 sleeps forever; any non-negative timeout is fine.
+		case OpWupTsk:
+			if !ts.hasTask(op.Obj) {
+				return fmt.Errorf("workload: %s op %d: wup_tsk references unknown task %q", where, i, op.Obj)
+			}
+		case OpLock, OpUnlock:
+			if ts.mutexIndex(op.Obj) < 0 {
+				return fmt.Errorf("workload: %s op %d: %s references unknown mutex %q", where, i, op.Op, op.Obj)
+			}
+		case OpSigSem, OpWaiSem:
+			if !ts.hasSem(op.Obj) {
+				return fmt.Errorf("workload: %s op %d: %s references unknown sem %q", where, i, op.Op, op.Obj)
+			}
+			if op.Count < 0 {
+				return fmt.Errorf("workload: %s op %d: negative sem count", where, i)
+			}
+		case OpSndMbf, OpRcvMbf:
+			b := ts.mbf(op.Obj)
+			if b == nil {
+				return fmt.Errorf("workload: %s op %d: %s references unknown mbf %q", where, i, op.Op, op.Obj)
+			}
+			if op.Op == OpSndMbf {
+				max := b.MaxMsg
+				if max == 0 {
+					max = defaultMbfMaxMsg
+				}
+				if op.Size < 1 || op.Size > max {
+					return fmt.Errorf("workload: %s op %d: snd_mbf size %d out of range 1..%d for mbf %q", where, i, op.Size, max, op.Obj)
+				}
+			}
+		case OpSetFlg, OpWaiFlg:
+			if !ts.hasFlag(op.Obj) {
+				return fmt.Errorf("workload: %s op %d: %s references unknown flag %q", where, i, op.Op, op.Obj)
+			}
+			if op.Pattern == 0 {
+				return fmt.Errorf("workload: %s op %d: %s needs a non-zero pattern", where, i, op.Op)
+			}
+			if op.Op == OpWaiFlg {
+				switch op.Mode {
+				case "", ModeOr, ModeAnd:
+				default:
+					return fmt.Errorf("workload: %s op %d: unknown flag mode %q", where, i, op.Mode)
+				}
+			}
+		default:
+			return fmt.Errorf("workload: %s op %d: unknown op %q", where, i, op.Op)
+		}
+	}
+	return nil
+}
+
+// validateLockDiscipline enforces the deadlock-freedom-by-construction
+// rules on one task body: locks nest (every unlock names the innermost
+// held mutex), every lock is released by the body's end, and nested locks
+// follow the global declaration order (an inner lock must name a mutex
+// declared strictly after every held one). Ceiling mutexes additionally
+// require the locker's priority not to outrank the ceiling.
+func validateLockDiscipline(ts *TaskSet, t Task) error {
+	var stack []int
+	for i, op := range t.Ops {
+		switch op.Op {
+		case OpLock:
+			mi := ts.mutexIndex(op.Obj)
+			for _, held := range stack {
+				if mi <= held {
+					return fmt.Errorf("workload: task %q op %d: lock %q violates the declaration-order locking protocol (already holding %q)",
+						t.Name, i, op.Obj, ts.Mutexes[held].Name)
+				}
+			}
+			m := ts.Mutexes[mi]
+			if m.Policy == PolicyCeiling && t.Priority < m.Ceiling {
+				return fmt.Errorf("workload: task %q op %d: priority %d outranks ceiling %d of mutex %q",
+					t.Name, i, t.Priority, m.Ceiling, op.Obj)
+			}
+			stack = append(stack, mi)
+		case OpUnlock:
+			mi := ts.mutexIndex(op.Obj)
+			if len(stack) == 0 || stack[len(stack)-1] != mi {
+				return fmt.Errorf("workload: task %q op %d: unlock %q does not match the innermost held lock", t.Name, i, op.Obj)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) > 0 {
+		return fmt.Errorf("workload: task %q: mutex %q is still held at the end of the body", t.Name, ts.Mutexes[stack[len(stack)-1]].Name)
+	}
+	return nil
+}
+
+// advancesTime reports whether ops contains at least one op that consumes
+// or can block simulated time, so a free-running loop of them cannot spin
+// within a single instant.
+func advancesTime(ops []Op) bool {
+	for _, op := range ops {
+		switch op.Op {
+		case OpConsume, OpDlyTsk, OpSlpTsk, OpWaiSem, OpWaiFlg, OpRcvMbf, OpSndMbf:
+			return true
+		}
+	}
+	return false
+}
+
+// --- name lookups ----------------------------------------------------------
+
+type nameIndex struct{ seen map[string]string }
+
+func newNameIndex() *nameIndex { return &nameIndex{seen: map[string]string{}} }
+
+// add registers a declared object name; names are unique across every class
+// so an op reference is never ambiguous.
+func (n *nameIndex) add(class, name string) error {
+	if name == "" {
+		return fmt.Errorf("workload: %s with empty name", class)
+	}
+	if prev, ok := n.seen[name]; ok {
+		return fmt.Errorf("workload: duplicate name %q (%s and %s)", name, prev, class)
+	}
+	n.seen[name] = class
+	return nil
+}
+
+func (ts *TaskSet) hasTask(name string) bool {
+	for _, t := range ts.Tasks {
+		if t.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (ts *TaskSet) hasSem(name string) bool {
+	for _, s := range ts.Sems {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (ts *TaskSet) hasFlag(name string) bool {
+	for _, f := range ts.Flags {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (ts *TaskSet) mbf(name string) *Mbf {
+	for i := range ts.Mbfs {
+		if ts.Mbfs[i].Name == name {
+			return &ts.Mbfs[i]
+		}
+	}
+	return nil
+}
+
+// mutexIndex returns the declaration index of the named mutex, or -1. The
+// index doubles as the global lock order.
+func (ts *TaskSet) mutexIndex(name string) int {
+	for i := range ts.Mutexes {
+		if ts.Mutexes[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}

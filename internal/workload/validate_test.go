@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int64) Duration { return Duration(time.Duration(n) * time.Millisecond) }
+
+// validSet is a minimal scenario that passes validation; tests mutate
+// copies of it to hit one rule at a time.
+func validSet() *TaskSet {
+	return &TaskSet{
+		Sems:    []Sem{{Name: "s"}},
+		Mutexes: []Mutex{{Name: "m0"}, {Name: "m1"}},
+		Flags:   []Flag{{Name: "f"}},
+		Mbfs:    []Mbf{{Name: "b"}},
+		Tasks: []Task{
+			{Name: "t0", Priority: 5, Period: ms(10), Ops: []Op{
+				{Op: OpConsume, Dur: ms(1)},
+				{Op: OpLock, Obj: "m0", Timeout: ms(5)},
+				{Op: OpLock, Obj: "m1", Timeout: ms(5)},
+				{Op: OpConsume, Dur: ms(1)},
+				{Op: OpUnlock, Obj: "m1"},
+				{Op: OpUnlock, Obj: "m0"},
+				{Op: OpSigSem, Obj: "s"},
+			}},
+			{Name: "t1", Priority: 6, Ops: []Op{
+				{Op: OpWaiSem, Obj: "s", Timeout: ms(20)},
+				{Op: OpWaiFlg, Obj: "f", Pattern: 1, Timeout: ms(20)},
+				{Op: OpRcvMbf, Obj: "b", Timeout: ms(20)},
+				{Op: OpDlyTsk, Dur: ms(2)},
+			}},
+		},
+		Cyclics: []Cyclic{{Name: "c", Interval: ms(7), Ops: []Op{
+			{Op: OpSetFlg, Obj: "f", Pattern: 1},
+		}}},
+		Interrupts: []Interrupt{{Name: "irq", IntNo: 1,
+			Arrival: Arrival{Kind: ArrivalPoisson, Period: ms(5)},
+			Ops:     []Op{{Op: OpConsume, Dur: Duration(50 * time.Microsecond)}}}},
+	}
+}
+
+// TestValidateAcceptsValidSet is the baseline.
+func TestValidateAcceptsValidSet(t *testing.T) {
+	if err := validSet().Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+}
+
+// TestValidateRejections drives every rejection rule and asserts each error
+// is descriptive (mentions the offending object).
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		label   string
+		mutate  func(*TaskSet)
+		errPart string
+	}{
+		{"no-tasks", func(ts *TaskSet) { ts.Tasks = nil }, "at least one task"},
+		{"dup-task-name", func(ts *TaskSet) { ts.Tasks[1].Name = "t0" }, "duplicate name"},
+		{"dup-cross-class", func(ts *TaskSet) { ts.Sems[0].Name = "t0" }, "duplicate name"},
+		{"empty-name", func(ts *TaskSet) { ts.Flags[0].Name = "" }, "empty name"},
+		{"bad-priority", func(ts *TaskSet) { ts.Tasks[0].Priority = 0 }, "priority"},
+		{"neg-period", func(ts *TaskSet) { ts.Tasks[0].Period = -1 }, "negative period"},
+		{"zero-cyclic-interval", func(ts *TaskSet) { ts.Cyclics[0].Interval = 0 }, "interval must be positive"},
+		{"zero-arrival-period", func(ts *TaskSet) { ts.Interrupts[0].Arrival.Period = 0 }, "arrival period"},
+		{"bad-arrival-kind", func(ts *TaskSet) { ts.Interrupts[0].Arrival.Kind = "weibull" }, "unknown arrival kind"},
+		{"gamma-no-shape", func(ts *TaskSet) { ts.Interrupts[0].Arrival.Kind = ArrivalGamma }, "shape"},
+		{"shape-on-poisson", func(ts *TaskSet) { ts.Interrupts[0].Arrival.Shape = 2 }, "gamma-only"},
+		{"neg-intno", func(ts *TaskSet) { ts.Interrupts[0].IntNo = -1 }, "negative intno"},
+		{"dangling-sem", func(ts *TaskSet) { ts.Tasks[1].Ops[0].Obj = "nope" }, "unknown sem"},
+		{"dangling-mutex", func(ts *TaskSet) { ts.Tasks[0].Ops[1].Obj = "nope" }, "unknown mutex"},
+		{"dangling-flag", func(ts *TaskSet) { ts.Tasks[1].Ops[1].Obj = "nope" }, "unknown flag"},
+		{"dangling-mbf", func(ts *TaskSet) { ts.Tasks[1].Ops[2].Obj = "nope" }, "unknown mbf"},
+		{"unknown-op", func(ts *TaskSet) { ts.Tasks[0].Ops[0].Op = "frobnicate" }, "unknown op"},
+		{"zero-consume", func(ts *TaskSet) { ts.Tasks[0].Ops[0].Dur = 0 }, "positive dur"},
+		{"flag-zero-pattern", func(ts *TaskSet) { ts.Tasks[1].Ops[1].Pattern = 0 }, "non-zero pattern"},
+		{"bad-flag-mode", func(ts *TaskSet) { ts.Tasks[1].Ops[1].Mode = "xor" }, "unknown flag mode"},
+		{"lock-order", func(ts *TaskSet) {
+			ops := ts.Tasks[0].Ops
+			ops[1].Obj, ops[2].Obj = "m1", "m0"
+			ops[4].Obj, ops[5].Obj = "m0", "m1"
+		}, "declaration-order"},
+		{"unmatched-unlock", func(ts *TaskSet) { ts.Tasks[0].Ops[4].Obj = "m0" }, "innermost held lock"},
+		{"held-at-end", func(ts *TaskSet) { ts.Tasks[0].Ops = ts.Tasks[0].Ops[:5] }, "still held"},
+		{"ceiling-above-locker", func(ts *TaskSet) {
+			ts.Mutexes[0].Policy = PolicyCeiling
+			ts.Mutexes[0].Ceiling = 20 // t0 has priority 5 < 20
+		}, "outranks ceiling"},
+		{"ceiling-out-of-range", func(ts *TaskSet) {
+			ts.Mutexes[0].Policy = PolicyCeiling
+			ts.Mutexes[0].Ceiling = 500
+		}, "out of range"},
+		{"ceiling-without-policy", func(ts *TaskSet) { ts.Mutexes[1].Ceiling = 5 }, "without the ceiling policy"},
+		{"bad-policy", func(ts *TaskSet) { ts.Mutexes[0].Policy = "rollback" }, "unknown policy"},
+		{"blocking-in-handler", func(ts *TaskSet) {
+			ts.Cyclics[0].Ops = []Op{{Op: OpWaiSem, Obj: "s"}}
+		}, "not allowed in handler"},
+		{"spinning-aperiodic", func(ts *TaskSet) {
+			ts.Tasks[1].Ops = []Op{{Op: OpSigSem, Obj: "s"}}
+		}, "time-advancing"},
+		{"cet-mismatch", func(ts *TaskSet) { ts.Tasks[0].CET = ms(5) }, "does not match"},
+		{"snd-size-zero", func(ts *TaskSet) {
+			ts.Tasks[1].Ops[2] = Op{Op: OpSndMbf, Obj: "b", Size: 0}
+		}, "size"},
+		{"snd-size-over", func(ts *TaskSet) {
+			ts.Tasks[1].Ops[2] = Op{Op: OpSndMbf, Obj: "b", Size: 4096}
+		}, "size"},
+		{"sem-init-over-max", func(ts *TaskSet) { ts.Sems[0].Init = 5; ts.Sems[0].Max = 2 }, "exceeds max"},
+		{"dup-intno", func(ts *TaskSet) {
+			ts.Interrupts = append(ts.Interrupts, Interrupt{Name: "irq2", IntNo: 1,
+				Arrival: Arrival{Kind: ArrivalPeriodic, Period: ms(5)},
+				Ops:     []Op{{Op: OpConsume, Dur: ms(1)}}})
+		}, "duplicate intno"},
+		{"wup-unknown-task", func(ts *TaskSet) {
+			ts.Cyclics[0].Ops = []Op{{Op: OpWupTsk, Obj: "ghost"}}
+		}, "unknown task"},
+	}
+	for _, tc := range cases {
+		ts := validSet()
+		tc.mutate(ts)
+		err := ts.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", tc.label, err, tc.errPart)
+		}
+	}
+}
+
+// TestParseRejectsUnknownFields guards the DisallowUnknownFields contract.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"tasks": [], "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
