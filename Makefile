@@ -8,7 +8,7 @@
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race race-engine check serve serve-e2e chaos chaos-traced engine-diff bench bench-guard bench-all perf-smoke scenarios synthetic-campaign clean
+.PHONY: all build test vet race race-engine check serve serve-fleet serve-e2e serve-load serve-load-guard chaos chaos-traced engine-diff bench bench-guard bench-all perf-smoke scenarios synthetic-campaign clean
 
 all: check
 
@@ -39,12 +39,36 @@ check: vet build test race
 serve:
 	$(GO) run ./cmd/rtkserve -addr :8080 -workers 4 -queue 28
 
+# In-process fleet: 4 shards behind a consistent-hash router, submissions
+# routed by Spec content hash so each shard's result cache works
+# fleet-wide. See README "Serving at scale".
+serve-fleet:
+	$(GO) run ./cmd/rtkserve -addr :8080 -shards 4 -workers 2
+
 # Server end-to-end gate: 32 concurrent jobs on a 4-worker pool with 429
-# backpressure past capacity, graceful-shutdown drain, job deadlines, and
-# byte-identical CLI-vs-HTTP artifacts for a fixed-seed Spec.
+# backpressure past capacity, graceful-shutdown drain, job deadlines,
+# byte-identical CLI-vs-HTTP artifacts for a fixed-seed Spec, plus the
+# fleet-scale contracts — cache hits byte-identical to cold runs, 32
+# concurrent duplicates collapsing to one simulation, and deterministic
+# shard routing.
 serve-e2e:
 	$(GO) test ./internal/server -run \
-		'TestBackpressure|TestGracefulShutdown|TestDeadlineExceeded|TestDeterminismHTTPvsCLI' -v
+		'TestBackpressure|TestGracefulShutdown|TestDeadlineExceeded|TestDeterminismHTTPvsCLI|TestCacheHitByteIdentical|TestSingleflightDedupe' -v
+	$(GO) test ./internal/router -run 'TestRing|TestRouter' -v
+
+# Fleet load harness: a duplicate-heavy workload against an in-process
+# 2-shard fleet, recording jobs/s, admission latency percentiles, and the
+# cache hit ratio to BENCH_serve.json. Fails hard if duplicates are not
+# byte-identical or the fleet simulates a distinct Spec more than once.
+serve-load:
+	$(GO) run ./cmd/serveload -shards 2 -workers 2 -jobs 24 -dup 4 -out BENCH_serve.json
+
+# Re-run the load harness and fail if jobs/s falls more than 40% below the
+# committed BENCH_serve.json (writes fresh numbers to a scratch file; the
+# wide band absorbs shared-runner noise, the correctness gates are exact).
+serve-load-guard:
+	$(GO) run ./cmd/serveload -shards 2 -workers 2 -jobs 24 -dup 4 \
+		-out /tmp/BENCH_serve.new.json -baseline BENCH_serve.json -tolerance 40
 
 # Deterministic fault-injection campaign with kernel invariant oracles.
 # Behavior-level faults must all PASS on a correct kernel; add CHAOS_FLAGS

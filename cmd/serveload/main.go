@@ -1,0 +1,361 @@
+// Command serveload load-tests the rtkserve fleet in-process and records
+// the serving metrics that matter for capacity planning: sustained jobs/s,
+// admission latency percentiles, and the result-cache hit ratio under a
+// duplicate-heavy workload. It is also a correctness harness: every
+// duplicate submission's artifacts must be byte-identical to the first
+// copy's, and the fleet must simulate each distinct Spec exactly once —
+// the content-addressed cache and singleflight dedupe doing their job.
+//
+//	go run ./cmd/serveload -shards 2 -workers 2 -jobs 24 -dup 4 \
+//	    -out BENCH_serve.json
+//
+// With -baseline, the run additionally guards jobs/s against a previous
+// report within a tolerance band (CI's throughput floor).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+// Report is the schema of BENCH_serve.json.
+type Report struct {
+	Shards    int `json:"shards"`
+	Workers   int `json:"workers"`
+	Distinct  int `json:"distinct_specs"`
+	Duplicate int `json:"duplicates_per_spec"`
+	Submitted int `json:"submissions"`
+
+	// JobsPerSec is sustained throughput: submissions completed per
+	// second of wall clock, duplicates included (they complete from
+	// cache or by coalescing, which is the point of the design).
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Admission latency: time from first POST attempt to 202, including
+	// any 429 backoff.
+	AdmissionP50MS float64 `json:"admission_p50_ms"`
+	AdmissionP99MS float64 `json:"admission_p99_ms"`
+	// CacheHitRatio is the fraction of submissions served without a
+	// fresh simulation (cache hits + coalesced followers).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Simulations actually executed; correctness requires exactly one
+	// per distinct Spec.
+	Simulations uint64 `json:"simulations"`
+}
+
+func main() {
+	shards := flag.Int("shards", 2, "in-process fleet size (1 = single replica, no router)")
+	workers := flag.Int("workers", 2, "simulation workers per shard")
+	queue := flag.Int("queue", 64, "submission queue depth per shard")
+	jobs := flag.Int("jobs", 24, "distinct Specs in the workload")
+	dup := flag.Int("dup", 4, "submissions per distinct Spec")
+	conc := flag.Int("conc", 16, "concurrent submitting clients")
+	out := flag.String("out", "BENCH_serve.json", "output JSON report")
+	baseline := flag.String("baseline", "", "baseline report to guard jobs/s against")
+	tolerance := flag.Float64("tolerance", 30, "allowed jobs/s regression below baseline, in percent")
+	flag.Parse()
+
+	rep, err := run(*shards, *workers, *queue, *jobs, *dup, *conc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serveload: %.1f jobs/s, admission p50 %.2fms p99 %.2fms, cache hit ratio %.2f (%d sims for %d submissions)\n",
+		rep.JobsPerSec, rep.AdmissionP50MS, rep.AdmissionP99MS, rep.CacheHitRatio, rep.Simulations, rep.Submitted)
+	fmt.Fprintf(os.Stderr, "serveload: wrote %s\n", *out)
+
+	if *baseline != "" {
+		if err := guard(rep, *baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(shards, workers, queue, jobs, dup, conc int) (Report, error) {
+	// Build the fleet: real servers, real executor, in-process listener.
+	var handler http.Handler
+	var replicas []*server.Server
+	mkShard := func(name string) *server.Server {
+		s := server.New(server.Config{Name: name, Workers: workers, Queue: queue})
+		replicas = append(replicas, s)
+		return s
+	}
+	if shards > 1 {
+		var rs []router.Shard
+		for i := 0; i < shards; i++ {
+			name := fmt.Sprintf("s%d", i)
+			rs = append(rs, router.Shard{Name: name, Handler: mkShard(name)})
+		}
+		handler = router.New(rs, 0)
+	} else {
+		handler = mkShard("")
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// Workload: light chaos campaigns — deterministic, cacheable, a few
+	// milliseconds of simulation each — every distinct seed repeated dup
+	// times, shuffled so duplicates interleave and exercise both the
+	// cache (late duplicates) and singleflight (concurrent ones).
+	type submission struct {
+		spec string
+		seed int
+	}
+	var work []submission
+	for seed := 0; seed < jobs; seed++ {
+		spec := fmt.Sprintf(`{"scenario":"chaos","dur":"40ms","seed":%d,`+
+			`"chaos":{"seeds":2,"tasks":4,"faults":3},"artifacts":["summary.txt"]}`, seed)
+		for d := 0; d < dup; d++ {
+			work = append(work, submission{spec, seed})
+		}
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
+
+	var (
+		mu         sync.Mutex
+		admissions []time.Duration
+		idsBySeed  = make(map[int][]string)
+		firstErr   error
+	)
+	client := ts.Client()
+	start := time.Now()
+	ch := make(chan submission)
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				t0 := time.Now()
+				id, err := submitWithRetry(client, ts.URL, s.spec)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				admissions = append(admissions, lat)
+				idsBySeed[s.seed] = append(idsBySeed[s.seed], id)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, s := range work {
+		ch <- s
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return Report{}, firstErr
+	}
+
+	// Wait for every job to finish, then stop the clock: throughput is
+	// submissions completed per wall second.
+	for _, ids := range idsBySeed {
+		for _, id := range ids {
+			if err := waitDone(client, ts.URL, id); err != nil {
+				return Report{}, err
+			}
+		}
+	}
+	wall := time.Since(start)
+
+	// Correctness gate 1: duplicates are byte-identical to their first copy.
+	for seed, ids := range idsBySeed {
+		var first []byte
+		for i, id := range ids {
+			b, err := fetchArtifact(client, ts.URL, id, "summary.txt")
+			if err != nil {
+				return Report{}, err
+			}
+			if i == 0 {
+				first = b
+			} else if !bytes.Equal(first, b) {
+				return Report{}, fmt.Errorf("seed %d: duplicate %s differs from first copy (%d vs %d bytes)",
+					seed, id, len(first), len(b))
+			}
+		}
+	}
+
+	// Aggregate counters: single replica exposes server varz; the fleet
+	// exposes the router's totals.
+	submitted, deduped, sims, err := counters(client, ts.URL, shards > 1)
+	if err != nil {
+		return Report{}, err
+	}
+	total := jobs * dup
+	if submitted != uint64(total) {
+		return Report{}, fmt.Errorf("fleet accepted %d of %d submissions", submitted, total)
+	}
+	// Correctness gate 2: exactly one simulation per distinct Spec.
+	if sims != uint64(jobs) {
+		return Report{}, fmt.Errorf("fleet ran %d simulations for %d distinct specs — cache/dedupe broken", sims, jobs)
+	}
+
+	sort.Slice(admissions, func(i, j int) bool { return admissions[i] < admissions[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(admissions)-1))
+		return float64(admissions[i].Microseconds()) / 1000
+	}
+	rep := Report{
+		Shards:         shards,
+		Workers:        workers,
+		Distinct:       jobs,
+		Duplicate:      dup,
+		Submitted:      total,
+		JobsPerSec:     float64(total) / wall.Seconds(),
+		AdmissionP50MS: pct(0.50),
+		AdmissionP99MS: pct(0.99),
+		CacheHitRatio:  float64(deduped) / float64(total),
+		Simulations:    sims,
+	}
+	return rep, nil
+}
+
+// submitWithRetry POSTs the spec, backing off on 429/503 until accepted.
+func submitWithRetry(client *http.Client, base, spec string) (string, error) {
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			return "", err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var v server.JobView
+			if err := json.Unmarshal(body, &v); err != nil {
+				return "", err
+			}
+			return v.ID, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if attempt > 2000 {
+				return "", fmt.Errorf("submission never admitted: %s", body)
+			}
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return "", fmt.Errorf("submit: %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+func waitDone(client *http.Client, base, id string) error {
+	for i := 0; i < 6000; i++ {
+		resp, err := client.Get(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("job %s: %d: %s", id, resp.StatusCode, body)
+		}
+		var v server.JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			return err
+		}
+		switch v.State {
+		case server.StateDone:
+			return nil
+		case server.StateFailed, server.StateCancelled:
+			return fmt.Errorf("job %s: %s (%v)", id, v.State, v.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("job %s never finished", id)
+}
+
+func fetchArtifact(client *http.Client, base, id, name string) ([]byte, error) {
+	resp, err := client.Get(base + "/api/v1/jobs/" + id + "/artifacts/" + name)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("artifact %s/%s: %d: %s", id, name, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// counters pulls (accepted submissions, deduped submissions, simulations
+// run) from the fleet's varz.
+func counters(client *http.Client, base string, fleet bool) (submitted, deduped, sims uint64, err error) {
+	resp, err := client.Get(base + "/varz")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, fmt.Errorf("varz: %d: %s", resp.StatusCode, body)
+	}
+	if fleet {
+		var v router.Varz
+		if err := json.Unmarshal(body, &v); err != nil {
+			return 0, 0, 0, err
+		}
+		t := v.Totals
+		return t.JobsSubmitted, t.JobsFromCache + t.JobsCoalesced,
+			t.JobsSubmitted - t.JobsFromCache - t.JobsCoalesced, nil
+	}
+	var v server.Varz
+	if err := json.Unmarshal(body, &v); err != nil {
+		return 0, 0, 0, err
+	}
+	return v.JobsSubmitted, v.JobsFromCache + v.JobsCoalesced,
+		v.JobsSubmitted - v.JobsFromCache - v.JobsCoalesced, nil
+}
+
+// guard enforces the tolerance-banded throughput floor against a previous
+// report. Correctness gates (identical duplicates, one sim per Spec) are
+// unconditional in run(); this only bands the wall-clock metric.
+func guard(rep Report, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	floor := base.JobsPerSec * (1 - tolerance/100)
+	if rep.JobsPerSec < floor {
+		return fmt.Errorf("regression: %.1f jobs/s, baseline %.1f (floor %.1f at -tolerance %g%%)",
+			rep.JobsPerSec, base.JobsPerSec, floor, tolerance)
+	}
+	fmt.Fprintf(os.Stderr, "serveload: %.1f jobs/s vs baseline %.1f ok (floor %.1f)\n",
+		rep.JobsPerSec, base.JobsPerSec, floor)
+	return nil
+}

@@ -1,0 +1,220 @@
+// Package cache is the fleet's content-addressed result store: a bounded
+// LRU of completed run results keyed by canonical Spec hash (run.Hash),
+// with in-flight singleflight deduplication. The determinism contract
+// (artifacts are pure functions of the Spec) is what makes it sound — a
+// cached entry is byte-for-byte the result a fresh simulation would
+// produce — and the canonical encoding is what makes it effective: specs
+// that spell defaults differently still land on one key.
+//
+// Two capacity bounds apply independently: MaxEntries caps the record
+// count and MaxBytes caps the summed artifact payload; crossing either
+// evicts least-recently-used entries. Singleflight is exposed as an
+// explicit flight object rather than a blocking Do(fn) call because the
+// job server is asynchronous: the leader runs the simulation on a pool
+// worker and completes the flight, while followers park on Done() without
+// holding a worker.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/run"
+)
+
+// Config bounds the cache.
+type Config struct {
+	// MaxEntries caps the number of cached results (<= 0: 512).
+	MaxEntries int
+	// MaxBytes caps the summed artifact bytes across entries (<= 0: 256 MiB).
+	MaxBytes int64
+}
+
+// DefaultMaxEntries and DefaultMaxBytes are the bounds a zero Config gets.
+const (
+	DefaultMaxEntries = 512
+	DefaultMaxBytes   = 256 << 20
+)
+
+// Cache is the bounded content-addressed result store. Safe for
+// concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	entries    map[string]*list.Element
+	flights    map[string]*Flight
+
+	hits, misses, deduped, evictions uint64
+}
+
+type entry struct {
+	key  string
+	res  run.Result
+	size int64
+}
+
+// New builds a cache with the given bounds.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxEntries: cfg.MaxEntries,
+		maxBytes:   cfg.MaxBytes,
+		ll:         list.New(),
+		entries:    make(map[string]*list.Element),
+		flights:    make(map[string]*Flight),
+	}
+}
+
+// Flight is one in-flight computation of a key. The leader calls Complete
+// exactly once; followers select on Done and then read Result. The result
+// run.Result shares artifact byte slices with the cache — callers must
+// treat them as immutable (the serving contract already does: artifacts
+// are written once and only ever streamed out).
+type Flight struct {
+	c    *Cache
+	key  string
+	done chan struct{}
+	res  run.Result
+	err  error
+}
+
+// Done is closed when the leader completes the flight.
+func (f *Flight) Done() <-chan struct{} { return f.done }
+
+// Result returns the flight's outcome. Only valid after Done is closed.
+func (f *Flight) Result() (run.Result, error) { return f.res, f.err }
+
+// Key returns the content hash the flight computes.
+func (f *Flight) Key() string { return f.key }
+
+// Complete resolves the flight: a nil error stores res in the cache, any
+// error just wakes the followers with it (failures are never cached — a
+// failed run is not a pure function of the Spec, it is a function of
+// deadlines and cancellation). Complete must be called exactly once, by
+// the leader.
+func (f *Flight) Complete(res run.Result, err error) {
+	c := f.c
+	c.mu.Lock()
+	delete(c.flights, f.key)
+	if err == nil {
+		c.insertLocked(f.key, res)
+	}
+	c.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// Begin is the cache's single entry point: it returns a hit, or joins the
+// key's in-flight computation, or opens a new flight with the caller as
+// leader.
+//
+//	res, flight, leader := c.Begin(key)
+//	switch {
+//	case flight == nil:   // hit: res is the cached result
+//	case leader:          // run the simulation, then flight.Complete(...)
+//	default:              // follower: <-flight.Done(); flight.Result()
+//	}
+func (c *Cache) Begin(key string) (res run.Result, f *Flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).res, nil, false
+	}
+	if f, ok := c.flights[key]; ok {
+		c.deduped++
+		return run.Result{}, f, false
+	}
+	c.misses++
+	f = &Flight{c: c, key: key, done: make(chan struct{})}
+	c.flights[key] = f
+	return run.Result{}, f, true
+}
+
+// Get returns the cached result for key without opening a flight.
+func (c *Cache) Get(key string) (run.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return run.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+// insertLocked stores res under key and evicts LRU entries past either
+// bound. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, res run.Result) {
+	if el, ok := c.entries[key]; ok {
+		// Another leader raced us here (possible only if a flight was
+		// completed while a second one ran uncached); keep the existing
+		// entry — determinism makes them identical anyway.
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &entry{key: key, res: res, size: resultSize(res)}
+	c.entries[key] = c.ll.PushFront(e)
+	c.bytes += e.size
+	for (len(c.entries) > c.maxEntries || c.bytes > c.maxBytes) && c.ll.Len() > 1 {
+		c.evictOldestLocked()
+	}
+}
+
+func (c *Cache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	c.evictions++
+}
+
+// resultSize is the accounting weight of one result: artifact payload
+// plus a small fixed overhead per entry.
+func resultSize(res run.Result) int64 {
+	const overhead = 512
+	n := int64(overhead)
+	for name, b := range res.Artifacts {
+		n += int64(len(name)) + int64(len(b))
+	}
+	return n
+}
+
+// Stats is a snapshot of the cache's counters and occupancy.
+type Stats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Deduped   uint64 `json:"deduped"`
+	Evictions uint64 `json:"evictions"`
+	InFlight  int    `json:"in_flight"`
+}
+
+// Stats returns a consistent snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Deduped:   c.deduped,
+		Evictions: c.evictions,
+		InFlight:  len(c.flights),
+	}
+}

@@ -1,0 +1,274 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestRingDeterministic is the acceptance criterion: placement is a pure
+// function of the member names, so a rebuilt ring (a router restart)
+// routes every key to the same shard.
+func TestRingDeterministic(t *testing.T) {
+	names := []string{"s0", "s1", "s2", "s3", "s4"}
+	a := NewRing(names, 0)
+	// Same members in a different declaration order: a restart does not
+	// preserve slice order, and must not need to.
+	b := NewRing([]string{"s3", "s1", "s4", "s0", "s2"}, 0)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("spec-hash-%d", i)
+		if a.Pick(key) != b.Pick(key) {
+			t.Fatalf("key %q: %s vs %s after restart", key, a.Pick(key), b.Pick(key))
+		}
+	}
+}
+
+// TestRingBalance: vnodes keep the load split roughly even.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	counts := map[string]int{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(fmt.Sprintf("key-%d", i))]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("shard %s owns %.0f%% of keys: %v", s, frac*100, counts)
+		}
+	}
+}
+
+// TestRingStableUnderGrowth: adding a member only steals keys — no key
+// moves between two surviving members.
+func TestRingStableUnderGrowth(t *testing.T) {
+	small := NewRing([]string{"s0", "s1", "s2"}, 0)
+	big := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	moved, stolen := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := small.Pick(key), big.Pick(key)
+		if was == is {
+			continue
+		}
+		if is == "s3" {
+			stolen++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving shards", moved)
+	}
+	if stolen == 0 || stolen > n/2 {
+		t.Fatalf("new shard stole %d of %d keys", stolen, n)
+	}
+}
+
+// fleet builds an in-process router over n real shards.
+func fleet(t *testing.T, n int) (*Router, []*server.Server, *httptest.Server) {
+	t.Helper()
+	shards := make([]Shard, n)
+	servers := make([]*server.Server, n)
+	for i := 0; i < n; i++ {
+		s := server.New(server.Config{Name: fmt.Sprintf("s%d", i), Workers: 2, Queue: 64})
+		servers[i] = s
+		shards[i] = Shard{Name: fmt.Sprintf("s%d", i), Handler: s}
+	}
+	rt := New(shards, 0)
+	ts := httptest.NewServer(rt)
+	t.Cleanup(func() {
+		ts.Close()
+		for _, s := range servers {
+			_ = s.Shutdown(context.Background())
+		}
+	})
+	return rt, servers, ts
+}
+
+func getJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(b, v); err != nil {
+			t.Fatalf("decode %s: %v: %s", url, err, b)
+		}
+	}
+	return resp.StatusCode, b
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec string) server.JobView {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, b)
+	}
+	var v server.JobView
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) server.JobView {
+	t.Helper()
+	for i := 0; i < 3000; i++ {
+		var v server.JobView
+		code, b := getJSON(t, ts.URL+"/api/v1/jobs/"+id, &v)
+		if code != http.StatusOK {
+			t.Fatalf("status %s: %d: %s", id, code, b)
+		}
+		switch v.State {
+		case server.StateDone:
+			return v
+		case server.StateFailed, server.StateCancelled:
+			t.Fatalf("job %s: %s (%v)", id, v.State, v.Error)
+		}
+	}
+	t.Fatalf("job %s never finished", id)
+	return server.JobView{}
+}
+
+// TestRouterRoutesByHash: identical Specs land on one shard (and so hit
+// that shard's cache); distinct Specs spread across the fleet; job IDs
+// route back to the owning shard for status and artifacts.
+func TestRouterRoutesByHash(t *testing.T) {
+	rt, _, ts := fleet(t, 3)
+
+	spec := `{"scenario":"chaos","seed":9,"artifacts":["summary.txt"]}`
+	first := postJob(t, ts, spec)
+	fv := waitDone(t, ts, first.ID)
+	if first.SpecHash == "" {
+		t.Fatal("no spec hash on submit")
+	}
+	wantShard := rt.RouteSpec(first.SpecHash)
+	if !strings.HasPrefix(first.ID, wantShard+"-") {
+		t.Fatalf("job %s not on ring-owner %s", first.ID, wantShard)
+	}
+
+	// Resubmit through the router: must land on the same shard and be
+	// served from its cache.
+	second := postJob(t, ts, spec)
+	sv := waitDone(t, ts, second.ID)
+	if !strings.HasPrefix(second.ID, wantShard+"-") {
+		t.Fatalf("resubmission %s left shard %s", second.ID, wantShard)
+	}
+	if !sv.Cached && !sv.Coalesced {
+		t.Fatalf("resubmission not deduped: %+v", sv)
+	}
+	if sv.SpecHash != fv.SpecHash {
+		t.Fatalf("hash changed across submissions: %s vs %s", sv.SpecHash, fv.SpecHash)
+	}
+
+	// Artifact fetch routes by ID prefix.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + second.ID + "/artifacts/summary.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("artifact via router: %d (%d bytes)", resp.StatusCode, len(body))
+	}
+
+	// Distinct seeds should not all pile on one shard.
+	shardsHit := map[string]bool{}
+	for i := 0; i < 24; i++ {
+		v := postJob(t, ts, fmt.Sprintf(`{"scenario":"chaos","seed":%d,"artifacts":["summary.txt"]}`, 100+i))
+		shardsHit[v.ID[:strings.LastIndex(v.ID, "-")]] = true
+	}
+	if len(shardsHit) < 2 {
+		t.Fatalf("24 distinct specs all routed to %v", shardsHit)
+	}
+}
+
+// TestRouterUnknownID: IDs without a routable prefix get the not_found
+// envelope.
+func TestRouterUnknownID(t *testing.T) {
+	_, _, ts := fleet(t, 2)
+	for _, id := range []string{"j1", "s9-j1"} {
+		code, b := getJSON(t, ts.URL+"/api/v1/jobs/"+id, nil)
+		if code != http.StatusNotFound {
+			t.Fatalf("id %q: %d", id, code)
+		}
+		var env server.ErrorEnvelope
+		if err := json.Unmarshal(b, &env); err != nil || env.Error.Code != server.CodeNotFound {
+			t.Fatalf("id %q: %s", id, b)
+		}
+	}
+}
+
+// TestRouterListAndVarz: list fans out and merges; varz aggregates; the
+// router refuses global cursors.
+func TestRouterListAndVarz(t *testing.T) {
+	_, _, ts := fleet(t, 2)
+
+	ids := make(map[string]bool)
+	for i := 0; i < 6; i++ {
+		v := postJob(t, ts, fmt.Sprintf(`{"scenario":"chaos","seed":%d,"artifacts":["summary.txt"]}`, i))
+		ids[v.ID] = true
+	}
+	for id := range ids {
+		waitDone(t, ts, id)
+	}
+
+	var l server.JobList
+	if code, b := getJSON(t, ts.URL+"/api/v1/jobs?state=done", &l); code != http.StatusOK {
+		t.Fatalf("list: %d: %s", code, b)
+	}
+	if len(l.Jobs) != len(ids) {
+		t.Fatalf("merged list has %d jobs, want %d", len(l.Jobs), len(ids))
+	}
+	for _, j := range l.Jobs {
+		if !ids[j.ID] {
+			t.Fatalf("unexpected job %s in merged list", j.ID)
+		}
+	}
+
+	// limit caps the merged result.
+	if code, _ := getJSON(t, ts.URL+"/api/v1/jobs?limit=4", &l); code != http.StatusOK || len(l.Jobs) != 4 {
+		t.Fatalf("limit=4: %d jobs", len(l.Jobs))
+	}
+
+	// Global cursors are refused with a typed envelope.
+	code, b := getJSON(t, ts.URL+"/api/v1/jobs?cursor=3", nil)
+	var env server.ErrorEnvelope
+	_ = json.Unmarshal(b, &env)
+	if code != http.StatusBadRequest || env.Error.Code != server.CodeInvalidArgument {
+		t.Fatalf("cursor at router: %d %s", code, b)
+	}
+
+	var v Varz
+	if code, b := getJSON(t, ts.URL+"/varz", &v); code != http.StatusOK {
+		t.Fatalf("varz: %d: %s", code, b)
+	}
+	if v.Role != "router" || v.Totals.Shards != 2 || len(v.Shards) != 2 {
+		t.Fatalf("varz shape: %+v", v)
+	}
+	if v.Totals.JobsSubmitted != 6 || v.Totals.JobsCompleted != 6 {
+		t.Fatalf("varz totals: %+v", v.Totals)
+	}
+
+	// healthz aggregates.
+	if code, b := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK || !strings.Contains(string(b), "ok") {
+		t.Fatalf("healthz: %d %s", code, b)
+	}
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/run"
+)
+
+// This file is the jobs API's wire surface: the structured error envelope
+// every handler speaks, the job document, and the small HTTP conventions
+// (ETags, Retry-After, pagination parameters) the fleet relies on. The
+// router package reuses these types so a shard and the router in front of
+// it are indistinguishable on the wire.
+
+// Error codes. Every non-2xx response carries exactly one of these in the
+// envelope; clients switch on the code, never on the message text.
+const (
+	// CodeInvalidSpec rejects a submission whose body is not a valid
+	// run.Spec (malformed JSON, unknown fields, or a run.Validate failure).
+	CodeInvalidSpec = "invalid_spec"
+	// CodeInvalidArgument rejects bad query parameters (state/limit/cursor).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound names a missing job or artifact.
+	CodeNotFound = "not_found"
+	// CodeConflict rejects an artifact fetch before the job is terminal.
+	CodeConflict = "conflict"
+	// CodeSaturated is the backpressure signal: the bounded queue is full.
+	// 429; retry_after_ms says when to come back.
+	CodeSaturated = "saturated"
+	// CodeDraining rejects submissions while the server shuts down. 503;
+	// retry_after_ms hints at finding another replica.
+	CodeDraining = "draining"
+	// CodeDeadlineExceeded marks a job whose wall-clock budget expired
+	// before the simulation finished.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeCancelled marks a job cancelled by the client (DELETE).
+	CodeCancelled = "cancelled"
+	// CodeExecutionFailed marks a job whose run failed for any other
+	// reason; the message carries the run error.
+	CodeExecutionFailed = "execution_failed"
+	// CodeInternal is the catch-all for server-side faults.
+	CodeInternal = "internal"
+)
+
+// APIError is the structured error body: a stable code, a human-readable
+// message, and — on retryable rejections — a retry hint.
+type APIError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorEnvelope is the body of every non-2xx response: {"error":{...}}.
+type ErrorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// WriteError emits the structured envelope with the given status. A
+// non-zero retryAfter additionally sets the Retry-After header (whole
+// seconds, rounded up) and the envelope's retry_after_ms.
+func WriteError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	e := APIError{Code: code, Message: msg}
+	if retryAfter > 0 {
+		e.RetryAfterMS = retryAfter.Milliseconds()
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	WriteJSON(w, status, ErrorEnvelope{Error: e})
+}
+
+// WriteJSON emits v as indented JSON with the given status.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// JobView is the wire form of a job: the v2 job document. SpecHash is the
+// canonical content hash of the spec — the identity the cache and the
+// shard router key on; Cached and Coalesced record how the job was
+// served.
+type JobView struct {
+	ID       string `json:"id"`
+	SpecHash string `json:"spec_hash,omitempty"`
+	State    State  `json:"state"`
+	// Cached marks a job answered from the content-addressed result cache
+	// without simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a job deduplicated onto an identical in-flight run
+	// (singleflight): it consumed no worker and shares the leader's result.
+	Coalesced bool       `json:"coalesced,omitempty"`
+	Spec      run.Spec   `json:"spec"`
+	Error     *APIError  `json:"error,omitempty"`
+	Stats     *run.Stats `json:"stats,omitempty"`
+	Artifacts []string   `json:"artifacts,omitempty"`
+}
+
+// JobList is the paginated list document. NextCursor, when non-empty, is
+// the opaque cursor of the next page; pass it back as ?cursor=.
+type JobList struct {
+	Jobs       []JobView `json:"jobs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+}
+
+// listQuery is the parsed pagination surface of GET /api/v1/jobs.
+type listQuery struct {
+	state State  // "" = all states
+	limit int    // bounded page size
+	after uint64 // only jobs with seq > after (cursor)
+}
+
+// Pagination bounds.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// parseListQuery validates ?state=, ?limit= and ?cursor=.
+func parseListQuery(r *http.Request) (listQuery, *APIError) {
+	q := listQuery{limit: defaultListLimit}
+	if s := r.URL.Query().Get("state"); s != "" {
+		switch st := State(s); st {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+			q.state = st
+		default:
+			return q, &APIError{Code: CodeInvalidArgument, Message: "unknown state " + strconv.Quote(s)}
+		}
+	}
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			return q, &APIError{Code: CodeInvalidArgument, Message: "limit must be a positive integer"}
+		}
+		if n > maxListLimit {
+			n = maxListLimit
+		}
+		q.limit = n
+	}
+	if c := r.URL.Query().Get("cursor"); c != "" {
+		n, err := strconv.ParseUint(c, 10, 64)
+		if err != nil {
+			return q, &APIError{Code: CodeInvalidArgument, Message: "malformed cursor"}
+		}
+		q.after = n
+	}
+	return q, nil
+}
+
+// etagOf computes the strong entity tag of an artifact body: the quoted
+// hex SHA-256 of its content. Identical bytes — e.g. the same artifact of
+// a cached and a cold run — get identical tags, so If-None-Match
+// revalidation works across jobs.
+func etagOf(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:]) + `"`
+}
+
+// etagMatches implements the If-None-Match comparison for strong tags.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// errorCodeOf maps a terminal run error message back to a typed code.
+// Job errors cross the mutex as strings (the run layer returns wrapped
+// context causes), so the mapping is by the stable context sentinels'
+// message text.
+func errorCodeOf(msg string) string {
+	switch {
+	case strings.Contains(msg, "deadline exceeded"):
+		return CodeDeadlineExceeded
+	case strings.Contains(msg, "canceled") || strings.Contains(msg, "cancelled"):
+		return CodeCancelled
+	default:
+		return CodeExecutionFailed
+	}
+}
+
+func contentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}

@@ -5,11 +5,19 @@
 // over HTTP is built by exactly the code path the CLIs use and yields
 // byte-identical artifacts.
 //
+// Determinism is exploited for scale: every spec is canonicalized to a
+// content hash (run.Hash), completed results live in a bounded
+// content-addressed cache, and identical in-flight submissions coalesce
+// onto one simulation (singleflight) — N duplicate submissions cost one
+// worker. A fleet of these servers behind internal/router behaves as one
+// service, with the hash doubling as the shard-routing key.
+//
 // Capacity is explicit: a fixed worker count, a bounded submission queue,
 // and a 429 + Retry-After rejection once the queue is full — the service
 // never buffers unbounded work. Jobs are cancellable (DELETE) and
 // deadline-bounded (Spec.Deadline, capped by Config.MaxJobTime), and
-// Shutdown drains in-flight jobs before returning.
+// Shutdown drains in-flight jobs before returning. All errors cross the
+// wire as the structured envelope defined in api.go.
 package server
 
 import (
@@ -20,10 +28,10 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/run"
 	"repro/internal/sweep"
 )
@@ -41,8 +49,19 @@ const (
 	StateCancelled State = "cancelled"
 )
 
+// Retry hints: how long a rejected client should back off before
+// resubmitting.
+const (
+	saturatedRetryAfter = 1 * time.Second
+	drainingRetryAfter  = 5 * time.Second
+)
+
 // Config parameterizes the service.
 type Config struct {
+	// Name identifies this replica in a sharded fleet; when non-empty it
+	// prefixes every job ID ("s0" -> "s0-j1") so the router can map an ID
+	// back to its shard, and it is reported in /varz.
+	Name string
 	// Workers is the simulation pool size (default 1). Each worker runs one
 	// job at a time.
 	Workers int
@@ -55,6 +74,12 @@ type Config struct {
 	// MaxJobs bounds the number of retained job records; once exceeded the
 	// oldest terminal jobs are evicted (default 1024).
 	MaxJobs int
+	// Cache bounds the content-addressed result cache (zero value: package
+	// cache defaults).
+	Cache cache.Config
+	// DisableCache turns the result cache and singleflight dedupe off:
+	// every submission simulates.
+	DisableCache bool
 	// Execute overrides the run executor. Tests use it to substitute
 	// controllable fakes; nil means run.Execute.
 	Execute func(context.Context, run.Spec) (run.Result, error)
@@ -64,8 +89,12 @@ type Config struct {
 type Job struct {
 	ID        string
 	Spec      run.Spec
+	Hash      string // canonical content hash of Spec ("" if unhashable)
 	State     State
-	Err       string // terminal error (failed/cancelled)
+	Cached    bool   // served from the result cache
+	Coalesced bool   // deduplicated onto an identical in-flight run
+	ErrCode   string // terminal error code (failed/cancelled)
+	Err       string // terminal error message
 	Stats     run.Stats
 	Artifacts map[string][]byte
 
@@ -73,30 +102,22 @@ type Job struct {
 	seq    uint64
 }
 
-// JobView is the wire form of a job's status.
-type JobView struct {
-	ID        string     `json:"id"`
-	State     State      `json:"state"`
-	Spec      run.Spec   `json:"spec"`
-	Error     string     `json:"error,omitempty"`
-	Stats     *run.Stats `json:"stats,omitempty"`
-	Artifacts []string   `json:"artifacts,omitempty"`
-}
-
 // Server is the job service. Create with New, mount as an http.Handler,
 // stop with Shutdown.
 type Server struct {
-	cfg  Config
-	pool *sweep.Pool
-	mux  *http.ServeMux
+	cfg   Config
+	pool  *sweep.Pool
+	cache *cache.Cache // nil when disabled
+	mux   *http.ServeMux
 
 	ctx  context.Context // base context of every job; cancelled by Shutdown(force)
 	stop context.CancelCauseFunc
 	exec func(context.Context, run.Spec) (run.Result, error)
 
-	mu   sync.Mutex
-	jobs map[string]*Job
-	seq  uint64
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	seq      uint64
+	draining bool
 
 	// varz counters.
 	submitted uint64
@@ -104,6 +125,8 @@ type Server struct {
 	completed uint64
 	failed    uint64
 	cancelled uint64
+	fromCache uint64
+	coalesced uint64
 }
 
 // New builds and starts the service: the worker pool is live and the
@@ -120,6 +143,9 @@ func New(cfg Config) *Server {
 		pool: sweep.NewPool(cfg.Workers, cfg.Queue),
 		jobs: make(map[string]*Job),
 		exec: cfg.Execute,
+	}
+	if !cfg.DisableCache {
+		s.cache = cache.New(cfg.Cache)
 	}
 	if s.exec == nil {
 		s.exec = run.Execute
@@ -142,11 +168,14 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Shutdown gracefully stops the service: admission closes immediately
-// (submissions get 503), queued and in-flight jobs run to completion, and
-// Shutdown returns once the pool is idle. If ctx expires first, remaining
-// jobs are cancelled at their next quiescent point and their completion is
-// awaited before returning ctx's cause.
+// (submissions get 503 + Retry-After), queued and in-flight jobs run to
+// completion, and Shutdown returns once the pool is idle. If ctx expires
+// first, remaining jobs are cancelled at their next quiescent point and
+// their completion is awaited before returning ctx's cause.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 	err := s.pool.Drain(ctx)
 	if err != nil {
 		// Deadline hit: force-cancel whatever is still running, then wait
@@ -165,19 +194,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+		WriteError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Sprintf("bad spec: %v", err), 0)
 		return
 	}
 	if err := run.Validate(spec); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error(), 0)
 		return
+	}
+	hash, err := run.Hash(spec)
+	if err != nil {
+		// Validate passed, so this is a marshalling fault on our side; run
+		// the job uncached rather than reject it.
+		hash = ""
 	}
 
 	s.mu.Lock()
+	if s.draining {
+		// Admission is closed outright during a drain — even for specs the
+		// cache could answer — so a fleet router sees one consistent signal.
+		s.rejected++
+		s.mu.Unlock()
+		WriteError(w, http.StatusServiceUnavailable, CodeDraining, "server shutting down", drainingRetryAfter)
+		return
+	}
 	s.seq++
 	job := &Job{
-		ID:    "j" + strconv.FormatUint(s.seq, 10),
+		ID:    s.jobID(s.seq),
 		Spec:  spec,
+		Hash:  hash,
 		State: StateQueued,
 		seq:   s.seq,
 	}
@@ -187,21 +231,51 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictLocked()
 	s.mu.Unlock()
 
-	err := s.pool.TrySubmit(func(int) { s.runJob(job, jctx) })
+	// Content-addressed serving: a completed identical spec answers from
+	// cache, an in-flight identical spec absorbs this job as a follower
+	// (singleflight), and only a genuinely new spec claims a worker.
+	var flight *cache.Flight
+	if s.cache != nil && hash != "" && run.Cacheable(spec) {
+		res, f, leader := s.cache.Begin(hash)
+		switch {
+		case f == nil: // hit
+			s.finishFromCache(job, res)
+			s.respondAccepted(w, job)
+			return
+		case !leader: // follower: wait out the leader's run, off-pool
+			s.mu.Lock()
+			job.Coalesced = true
+			s.submitted++
+			s.coalesced++
+			view := viewOf(job)
+			s.mu.Unlock()
+			go s.waitCoalesced(job, jctx, f)
+			s.respondAcceptedView(w, view)
+			return
+		default: // leader: simulate, then publish through the flight
+			flight = f
+		}
+	}
+
+	err = s.pool.TrySubmit(func(int) { s.runJob(job, jctx, flight) })
 	if err != nil {
 		s.mu.Lock()
 		delete(s.jobs, job.ID)
 		s.rejected++
 		s.mu.Unlock()
 		cancel(nil)
+		if flight != nil {
+			// Followers that joined between Begin and this failure must not
+			// hang on a flight whose leader never ran.
+			flight.Complete(run.Result{}, fmt.Errorf("leader admission failed: %w", err))
+		}
 		switch {
 		case errors.Is(err, sweep.ErrSaturated):
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, "queue full, retry later")
+			WriteError(w, http.StatusTooManyRequests, CodeSaturated, "queue full, retry later", saturatedRetryAfter)
 		case errors.Is(err, sweep.ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			WriteError(w, http.StatusServiceUnavailable, CodeDraining, "server shutting down", drainingRetryAfter)
 		default:
-			httpError(w, http.StatusInternalServerError, err.Error())
+			WriteError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
 		}
 		return
 	}
@@ -209,17 +283,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.submitted++
 	view := viewOf(job)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusAccepted, view)
+	s.respondAcceptedView(w, view)
 }
 
-// runJob executes one job on a pool worker.
-func (s *Server) runJob(job *Job, jctx context.Context) {
+// jobID renders a sequence number as a wire ID, prefixed with the shard
+// name when this replica is part of a fleet.
+func (s *Server) jobID(seq uint64) string {
+	id := "j" + strconv.FormatUint(seq, 10)
+	if s.cfg.Name != "" {
+		id = s.cfg.Name + "-" + id
+	}
+	return id
+}
+
+// finishFromCache completes a job synchronously from a cached result.
+func (s *Server) finishFromCache(job *Job, res run.Result) {
+	job.cancel(nil)
+	s.mu.Lock()
+	job.State = StateDone
+	job.Cached = true
+	job.Stats = res.Stats
+	job.Artifacts = res.Artifacts
+	s.submitted++
+	s.completed++
+	s.fromCache++
+	s.mu.Unlock()
+}
+
+// respondAccepted snapshots the job under the mutex and answers 202.
+func (s *Server) respondAccepted(w http.ResponseWriter, job *Job) {
+	s.mu.Lock()
+	view := viewOf(job)
+	s.mu.Unlock()
+	s.respondAcceptedView(w, view)
+}
+
+func (s *Server) respondAcceptedView(w http.ResponseWriter, view JobView) {
+	w.Header().Set("Location", "/api/v1/jobs/"+view.ID)
+	WriteJSON(w, http.StatusAccepted, view)
+}
+
+// runJob executes one job on a pool worker. A non-nil flight makes this
+// job the singleflight leader for its hash: the outcome is published to
+// every coalesced follower, and a successful result enters the cache.
+func (s *Server) runJob(job *Job, jctx context.Context, flight *cache.Flight) {
 	defer job.cancel(nil)
 
 	s.mu.Lock()
 	if job.State == StateCancelled {
 		// Cancelled while queued: never run.
 		s.mu.Unlock()
+		if flight != nil {
+			flight.Complete(run.Result{}, errors.New("leader cancelled before start"))
+		}
 		return
 	}
 	job.State = StateRunning
@@ -234,7 +350,6 @@ func (s *Server) runJob(job *Job, jctx context.Context) {
 	res, err := s.exec(ctx, job.Spec)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	job.Stats = res.Stats
 	job.Artifacts = res.Artifacts
 	switch {
@@ -244,11 +359,76 @@ func (s *Server) runJob(job *Job, jctx context.Context) {
 	case jctx.Err() != nil && s.ctx.Err() == nil && !errors.Is(context.Cause(jctx), context.DeadlineExceeded):
 		// Client-initiated cancel (DELETE).
 		job.State = StateCancelled
+		job.ErrCode = CodeCancelled
 		job.Err = err.Error()
 		s.cancelled++
 	default:
 		job.State = StateFailed
+		job.ErrCode = errorCodeOf(err.Error())
 		job.Err = err.Error()
+		s.failed++
+	}
+	s.mu.Unlock()
+	if flight != nil {
+		flight.Complete(res, err)
+	}
+}
+
+// waitCoalesced parks a follower job on its leader's flight — no pool
+// worker is consumed. The follower still honors its own deadline and
+// cancellation while waiting; on success it shares the leader's result
+// byte-for-byte (the determinism contract makes that indistinguishable
+// from a fresh run).
+func (s *Server) waitCoalesced(job *Job, jctx context.Context, flight *cache.Flight) {
+	defer job.cancel(nil)
+	ctx := jctx
+	if s.cfg.MaxJobTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxJobTime)
+		defer cancel()
+	}
+	if d := job.Spec.Deadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.Std())
+		defer cancel()
+	}
+
+	select {
+	case <-flight.Done():
+		res, err := flight.Result()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if job.State != StateQueued {
+			return
+		}
+		job.Stats = res.Stats
+		job.Artifacts = res.Artifacts
+		if err == nil {
+			job.State = StateDone
+			s.completed++
+			return
+		}
+		job.State = StateFailed
+		job.ErrCode = errorCodeOf(err.Error())
+		job.Err = "coalesced run: " + err.Error()
+		s.failed++
+	case <-ctx.Done():
+		cause := context.Cause(ctx)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if job.State != StateQueued {
+			return
+		}
+		if jctx.Err() != nil && s.ctx.Err() == nil && !errors.Is(context.Cause(jctx), context.DeadlineExceeded) {
+			job.State = StateCancelled
+			job.ErrCode = CodeCancelled
+			job.Err = cause.Error()
+			s.cancelled++
+			return
+		}
+		job.State = StateFailed
+		job.ErrCode = errorCodeOf(cause.Error())
+		job.Err = cause.Error()
 		s.failed++
 	}
 }
@@ -262,36 +442,57 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job")
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no such job", 0)
 		return
 	}
-	writeJSON(w, http.StatusOK, view)
+	WriteJSON(w, http.StatusOK, view)
 }
 
+// handleList serves the paginated job listing: ?state= filters, ?limit=
+// bounds the page (default 100, max 1000), and ?cursor= resumes after the
+// page whose next_cursor it came from. Jobs are ordered by submission.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q, apiErr := parseListQuery(r)
+	if apiErr != nil {
+		WriteError(w, http.StatusBadRequest, apiErr.Code, apiErr.Message, 0)
+		return
+	}
+
 	s.mu.Lock()
-	views := make([]JobView, 0, len(s.jobs))
-	order := make(map[string]uint64, len(s.jobs))
+	matching := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		views = append(views, viewOf(j))
-		order[j.ID] = j.seq
+		if j.seq > q.after && (q.state == "" || j.State == q.state) {
+			matching = append(matching, j)
+		}
+	}
+	sort.Slice(matching, func(i, k int) bool { return matching[i].seq < matching[k].seq })
+	list := JobList{Jobs: make([]JobView, 0, min(len(matching), q.limit))}
+	for i, j := range matching {
+		if i == q.limit {
+			list.NextCursor = strconv.FormatUint(matching[i-1].seq, 10)
+			break
+		}
+		list.Jobs = append(list.Jobs, viewOf(j))
 	}
 	s.mu.Unlock()
-	sort.Slice(views, func(i, k int) bool { return order[views[i].ID] < order[views[k].ID] })
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	WriteJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	job, ok := s.jobs[r.PathValue("id")]
 	if ok {
-		switch job.State {
-		case StateQueued:
+		switch {
+		case job.Coalesced && job.State == StateQueued:
+			// The waiter goroutine owns the terminal transition.
+			job.cancel(context.Canceled)
+		case job.State == StateQueued:
 			// The queued closure will observe the state and skip execution.
 			job.State = StateCancelled
+			job.ErrCode = CodeCancelled
 			job.Err = "cancelled before start"
 			s.cancelled++
-		case StateRunning:
+		case job.State == StateRunning:
 			job.cancel(context.Canceled)
 		}
 	}
@@ -301,12 +502,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job")
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no such job", 0)
 		return
 	}
-	writeJSON(w, http.StatusOK, view)
+	WriteJSON(w, http.StatusOK, view)
 }
 
+// handleArtifact serves one artifact with a strong ETag (the SHA-256 of
+// the content) and honors If-None-Match with 304 — a polling client
+// re-downloading a cached fleet's artifacts pays headers, not bodies.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	id, name := r.PathValue("id"), r.PathValue("name")
 	s.mu.Lock()
@@ -321,12 +525,18 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	switch {
 	case !ok:
-		httpError(w, http.StatusNotFound, "no such job")
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no such job", 0)
 	case state == StateQueued || state == StateRunning:
-		httpError(w, http.StatusConflict, "job not finished")
+		WriteError(w, http.StatusConflict, CodeConflict, "job not finished", 0)
 	case !have:
-		httpError(w, http.StatusNotFound, "no such artifact")
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no such artifact", 0)
 	default:
+		etag := etagOf(body)
+		w.Header().Set("ETag", etag)
+		if etagMatches(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 		w.Header().Set("Content-Type", contentType(name))
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(body)
@@ -356,47 +566,75 @@ func (s *Server) evictLocked() {
 // --- introspection ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // Varz is the self-metrics document served at /varz.
 type Varz struct {
-	Workers  int `json:"workers"`
-	QueueCap int `json:"queue_cap"`
-	Queued   int `json:"queued"`
-	InFlight int `json:"in_flight"`
+	Name     string `json:"name,omitempty"`
+	Workers  int    `json:"workers"`
+	QueueCap int    `json:"queue_cap"`
+	// QueueDepth is the number of accepted-but-not-started jobs — the
+	// admission headroom signal that accompanies Retry-After.
+	QueueDepth int  `json:"queue_depth"`
+	InFlight   int  `json:"in_flight"`
+	Draining   bool `json:"draining,omitempty"`
 
 	JobsSubmitted uint64 `json:"jobs_submitted"`
 	JobsRejected  uint64 `json:"jobs_rejected"`
 	JobsCompleted uint64 `json:"jobs_completed"`
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsCancelled uint64 `json:"jobs_cancelled"`
+	JobsFromCache uint64 `json:"jobs_from_cache"`
+	JobsCoalesced uint64 `json:"jobs_coalesced"`
 	JobsRetained  int    `json:"jobs_retained"`
+
+	Pool  sweep.PoolStats `json:"pool"`
+	Cache *cache.Stats    `json:"cache,omitempty"`
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	v := Varz{
+		Name:          s.cfg.Name,
 		Workers:       s.cfg.Workers,
 		QueueCap:      s.pool.Cap(),
-		Queued:        s.pool.Queued(),
+		QueueDepth:    s.pool.Queued(),
 		InFlight:      s.pool.InFlight(),
+		Draining:      s.draining,
 		JobsSubmitted: s.submitted,
 		JobsRejected:  s.rejected,
 		JobsCompleted: s.completed,
 		JobsFailed:    s.failed,
 		JobsCancelled: s.cancelled,
+		JobsFromCache: s.fromCache,
+		JobsCoalesced: s.coalesced,
 		JobsRetained:  len(s.jobs),
+		Pool:          s.pool.Stats(),
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, v)
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		v.Cache = &cs
+	}
+	WriteJSON(w, http.StatusOK, v)
 }
 
 // --- helpers ---
 
 // viewOf snapshots a job for the wire. Caller holds s.mu.
 func viewOf(j *Job) JobView {
-	v := JobView{ID: j.ID, State: j.State, Spec: j.Spec, Error: j.Err}
+	v := JobView{
+		ID:        j.ID,
+		SpecHash:  j.Hash,
+		State:     j.State,
+		Cached:    j.Cached,
+		Coalesced: j.Coalesced,
+		Spec:      j.Spec,
+	}
+	if j.Err != "" || j.ErrCode != "" {
+		v.Error = &APIError{Code: j.ErrCode, Message: j.Err}
+	}
 	if j.State == StateDone || j.State == StateFailed {
 		stats := j.Stats
 		v.Stats = &stats
@@ -408,25 +646,4 @@ func viewOf(j *Job) JobView {
 		v.Artifacts = names
 	}
 	return v
-}
-
-func contentType(name string) string {
-	switch {
-	case strings.HasSuffix(name, ".json"):
-		return "application/json"
-	default:
-		return "text/plain; charset=utf-8"
-	}
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]any{"error": msg, "code": code})
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -27,10 +28,11 @@ func postSpec(t *testing.T, ts *httptest.Server, body string) (int, []byte, http
 	return resp.StatusCode, b, resp.Header
 }
 
-// submit submits a spec expecting 202 and returns the job ID.
+// submit submits a spec expecting 202 and returns the job ID. A cache hit
+// is born terminal, so both queued and done are acceptable on admission.
 func submit(t *testing.T, ts *httptest.Server, body string) string {
 	t.Helper()
-	code, b, _ := postSpec(t, ts, body)
+	code, b, hdr := postSpec(t, ts, body)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: status %d: %s", code, b)
 	}
@@ -38,10 +40,29 @@ func submit(t *testing.T, ts *httptest.Server, body string) string {
 	if err := json.Unmarshal(b, &v); err != nil {
 		t.Fatal(err)
 	}
-	if v.ID == "" || v.State != StateQueued {
+	if v.ID == "" || (v.State != StateQueued && v.State != StateDone) {
 		t.Fatalf("submit view: %+v", v)
 	}
+	if loc := hdr.Get("Location"); loc != "/api/v1/jobs/"+v.ID {
+		t.Fatalf("Location header %q for job %s", loc, v.ID)
+	}
+	if v.SpecHash == "" {
+		t.Fatalf("submit view missing spec_hash: %+v", v)
+	}
 	return v.ID
+}
+
+// errorCode decodes the structured error envelope of a non-2xx body.
+func errorCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("not an error envelope: %s", body)
+	}
+	if env.Error.Code == "" {
+		t.Fatalf("envelope without code: %s", body)
+	}
+	return env.Error.Code
 }
 
 // getJob fetches a job's status view.
@@ -104,7 +125,7 @@ func TestSubmitPollFetch(t *testing.T) {
 	id := submit(t, ts, `{"dur":"60ms","seed":7,"artifacts":["metrics.json","console.txt"]}`)
 	v := waitTerminal(t, ts, id)
 	if v.State != StateDone {
-		t.Fatalf("state %s, err %q", v.State, v.Error)
+		t.Fatalf("state %s, err %v", v.State, v.Error)
 	}
 	if v.Stats == nil || v.Stats.Ticks == 0 {
 		t.Fatalf("missing stats: %+v", v)
@@ -144,8 +165,13 @@ func TestSubmitValidation(t *testing.T) {
 		`{"artifacts":["nope.bin"]}`,
 		`{"scenario":"chaos","artifacts":["trace.json"]}`, // trace needs chaos.job
 	} {
-		if code, b, _ := postSpec(t, ts, body); code != http.StatusBadRequest {
+		code, b, _ := postSpec(t, ts, body)
+		if code != http.StatusBadRequest {
 			t.Errorf("spec %s: status %d: %s", body, code, b)
+			continue
+		}
+		if c := errorCode(t, b); c != CodeInvalidSpec {
+			t.Errorf("spec %s: error code %q", body, c)
 		}
 	}
 }
@@ -185,28 +211,36 @@ func TestBackpressure(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	spec := `{"scenario":"chaos","artifacts":["summary.txt"]}`
+	// Distinct seeds keep every submission a distinct content hash — the
+	// singleflight path is exercised by TestSingleflightDedupe, here we
+	// want 32 genuinely independent jobs.
+	spec := func(i int) string {
+		return fmt.Sprintf(`{"scenario":"chaos","seed":%d,"artifacts":["summary.txt"]}`, i)
+	}
 
 	// Fill the workers first so the queue arithmetic below is exact.
 	ids := make([]string, 0, 32)
 	for i := 0; i < 4; i++ {
-		ids = append(ids, submit(t, ts, spec))
+		ids = append(ids, submit(t, ts, spec(i)))
 	}
 	for i := 0; i < 4; i++ {
 		<-started // all four workers are now busy
 	}
 	// Fill the bounded queue.
 	for i := 0; i < 28; i++ {
-		ids = append(ids, submit(t, ts, spec))
+		ids = append(ids, submit(t, ts, spec(4+i)))
 	}
 
-	// Past capacity: 429 with a Retry-After hint.
-	code, b, hdr := postSpec(t, ts, spec)
+	// Past capacity: 429 with a Retry-After hint and a typed envelope.
+	code, b, hdr := postSpec(t, ts, spec(99))
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("33rd submission: status %d: %s", code, b)
 	}
 	if hdr.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
+	}
+	if c := errorCode(t, b); c != CodeSaturated {
+		t.Fatalf("429 error code %q", c)
 	}
 
 	// The rejection is visible in /varz.
@@ -219,7 +253,7 @@ func TestBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if v.JobsSubmitted != 32 || v.JobsRejected != 1 || v.InFlight != 4 || v.Queued != 28 {
+	if v.JobsSubmitted != 32 || v.JobsRejected != 1 || v.InFlight != 4 || v.QueueDepth != 28 {
 		t.Fatalf("varz: %+v", v)
 	}
 
@@ -227,7 +261,7 @@ func TestBackpressure(t *testing.T) {
 	close(release)
 	for _, id := range ids {
 		if v := waitTerminal(t, ts, id); v.State != StateDone {
-			t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+			t.Fatalf("job %s: %s (%v)", id, v.State, v.Error)
 		}
 	}
 }
@@ -246,8 +280,8 @@ func TestDeadlineExceeded(t *testing.T) {
 	if v.State != StateFailed {
 		t.Fatalf("state %s", v.State)
 	}
-	if !strings.Contains(v.Error, "deadline") {
-		t.Fatalf("error %q", v.Error)
+	if v.Error == nil || v.Error.Code != CodeDeadlineExceeded {
+		t.Fatalf("error %+v", v.Error)
 	}
 	if v.Stats == nil || v.Stats.SimTime.Std() >= time.Hour {
 		t.Fatal("partial stats missing or not cut short")
@@ -273,7 +307,7 @@ func TestCancelRunning(t *testing.T) {
 	}
 	resp.Body.Close()
 	if v := waitTerminal(t, ts, id); v.State != StateCancelled {
-		t.Fatalf("state %s (%s)", v.State, v.Error)
+		t.Fatalf("state %s (%v)", v.State, v.Error)
 	}
 }
 
@@ -287,20 +321,31 @@ func TestGracefulShutdown(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	spec := `{"scenario":"chaos","artifacts":["summary.txt"]}`
-	ids := []string{submit(t, ts, spec), submit(t, ts, spec)}
+	spec := func(i int) string {
+		return fmt.Sprintf(`{"scenario":"chaos","seed":%d,"artifacts":["summary.txt"]}`, i)
+	}
+	ids := []string{submit(t, ts, spec(0)), submit(t, ts, spec(1))}
 	<-started
 	<-started
-	ids = append(ids, submit(t, ts, spec), submit(t, ts, spec)) // queued
+	ids = append(ids, submit(t, ts, spec(2)), submit(t, ts, spec(3))) // queued
 
 	done := make(chan error, 1)
 	go func() { done <- s.Shutdown(context.Background()) }()
 
-	// Admission is closed while the drain is in progress.
+	// Admission is closed while the drain is in progress, and the 503
+	// carries a Retry-After hint plus the typed draining envelope — the
+	// satellite fix: saturation is not the only backpressure that says
+	// when to come back.
 	waitClosed := time.Now().Add(5 * time.Second)
-	for {
-		code, _, _ := postSpec(t, ts, spec)
+	for i := 100; ; i++ {
+		code, b, hdr := postSpec(t, ts, spec(i))
 		if code == http.StatusServiceUnavailable {
+			if hdr.Get("Retry-After") == "" {
+				t.Fatal("drain 503 without Retry-After")
+			}
+			if c := errorCode(t, b); c != CodeDraining {
+				t.Fatalf("drain 503 error code %q", c)
+			}
 			break
 		}
 		if time.Now().After(waitClosed) {
@@ -321,7 +366,7 @@ func TestGracefulShutdown(t *testing.T) {
 	// Every accepted job completed; records are still queryable.
 	for _, id := range ids {
 		if v := getJob(t, ts, id); v.State != StateDone {
-			t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+			t.Fatalf("job %s: %s (%v)", id, v.State, v.Error)
 		}
 	}
 }
@@ -370,7 +415,7 @@ func TestDeterminismHTTPvsCLI(t *testing.T) {
 	id := submit(t, ts, string(body))
 	v := waitTerminal(t, ts, id)
 	if v.State != StateDone {
-		t.Fatalf("state %s (%s)", v.State, v.Error)
+		t.Fatalf("state %s (%v)", v.State, v.Error)
 	}
 	for _, name := range spec.Artifacts {
 		got := fetchArtifact(t, ts, id, name)

@@ -38,7 +38,7 @@ func TestSyntheticHTTPvsCLI(t *testing.T) {
 	id := submit(t, ts, string(body))
 	v := waitTerminal(t, ts, id)
 	if v.State != StateDone {
-		t.Fatalf("state %s (%s)", v.State, v.Error)
+		t.Fatalf("state %s (%v)", v.State, v.Error)
 	}
 	for _, name := range spec.Artifacts {
 		got := fetchArtifact(t, ts, id, name)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool errors.
@@ -27,6 +28,14 @@ type Pool struct {
 
 	queued   atomic.Int64
 	inFlight atomic.Int64
+
+	// Instrumentation: lifetime counters and queue-wait tracking (the time
+	// an accepted task sits in the queue before a worker picks it up).
+	// Diagnostics only — nothing here feeds results.
+	submitted   atomic.Uint64
+	completed   atomic.Uint64
+	waitTotalNs atomic.Int64
+	waitMaxNs   atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -70,13 +79,53 @@ func (p *Pool) TrySubmit(fn func(worker int)) error {
 	if p.closed {
 		return ErrClosed
 	}
+	enqueued := time.Now()
+	wrapped := func(worker int) {
+		wait := time.Since(enqueued).Nanoseconds()
+		p.waitTotalNs.Add(wait)
+		for {
+			cur := p.waitMaxNs.Load()
+			if wait <= cur || p.waitMaxNs.CompareAndSwap(cur, wait) {
+				break
+			}
+		}
+		fn(worker)
+		p.completed.Add(1)
+	}
 	select {
-	case p.queue <- fn:
+	case p.queue <- wrapped:
 		p.queued.Add(1)
+		p.submitted.Add(1)
 		return nil
 	default:
 		return ErrSaturated
 	}
+}
+
+// PoolStats is a snapshot of the pool's lifetime instrumentation.
+type PoolStats struct {
+	// Submitted counts tasks accepted by TrySubmit.
+	Submitted uint64 `json:"submitted"`
+	// Completed counts tasks that finished executing.
+	Completed uint64 `json:"completed"`
+	// QueueWaitAvgMS is the mean queue wait of completed-or-started tasks.
+	QueueWaitAvgMS float64 `json:"queue_wait_avg_ms"`
+	// QueueWaitMaxMS is the worst queue wait observed.
+	QueueWaitMaxMS float64 `json:"queue_wait_max_ms"`
+}
+
+// Stats returns the pool's instrumentation snapshot. Counters are read
+// individually, so a snapshot taken under load is approximate.
+func (p *Pool) Stats() PoolStats {
+	s := PoolStats{
+		Submitted:      p.submitted.Load(),
+		Completed:      p.completed.Load(),
+		QueueWaitMaxMS: float64(p.waitMaxNs.Load()) / 1e6,
+	}
+	if started := s.Submitted - uint64(p.queued.Load()); started > 0 {
+		s.QueueWaitAvgMS = float64(p.waitTotalNs.Load()) / 1e6 / float64(started)
+	}
+	return s
 }
 
 // Queued returns the number of accepted tasks not yet picked up by a

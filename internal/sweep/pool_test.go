@@ -1,0 +1,70 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestPoolStats: the instrumentation counts every accepted task exactly
+// once and records sane queue waits.
+func TestPoolStats(t *testing.T) {
+	p := NewPool(2, 8)
+	var mu sync.Mutex
+	ran := 0
+	const n = 8
+	for i := 0; i < n; i++ {
+		err := p.TrySubmit(func(int) {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran != n {
+		t.Fatalf("ran %d of %d", ran, n)
+	}
+	s := p.Stats()
+	if s.Submitted != n || s.Completed != n {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.QueueWaitAvgMS < 0 || s.QueueWaitMaxMS < s.QueueWaitAvgMS {
+		t.Fatalf("wait stats inconsistent: %+v", s)
+	}
+}
+
+// TestPoolStatsSaturated: rejected submissions are not counted as
+// submitted.
+func TestPoolStatsSaturated(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	_ = p.TrySubmit(func(int) { <-block }) // occupies the worker
+	_ = p.TrySubmit(func(int) { <-block }) // occupies the queue slot
+	// Now the queue is full (racing the worker pickup is fine: at most one
+	// extra accept).
+	var rejected int
+	for i := 0; i < 4; i++ {
+		if err := p.TrySubmit(func(int) {}); err == ErrSaturated {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no rejection from a full queue")
+	}
+	close(block)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Submitted != s.Completed {
+		t.Fatalf("submitted %d != completed %d", s.Submitted, s.Completed)
+	}
+	if s.Submitted > 6-uint64(rejected) {
+		t.Fatalf("rejected tasks counted: %+v (rejected=%d)", s, rejected)
+	}
+}
