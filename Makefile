@@ -8,7 +8,7 @@
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race race-engine check serve serve-fleet serve-e2e serve-load serve-load-guard chaos chaos-traced engine-diff bench bench-guard bench-all perf-smoke scenarios synthetic-campaign clean
+.PHONY: all build test vet race race-engine check serve serve-fleet serve-e2e serve-load serve-load-guard chaos chaos-traced engine-diff snapshot-diff bench bench-guard bench-all perf-smoke scenarios synthetic-campaign clean
 
 all: check
 
@@ -88,20 +88,37 @@ chaos-traced:
 engine-diff:
 	$(GO) test ./internal/run -run 'TestEngineDiff' -v
 
+# Snapshot/restore byte-equality gate: pausing at a quiescent point, warm
+# sweep forking, snapshot-resume over the run facade and over HTTP, and
+# warm chaos-ddmin trials must all be byte- (or digest-) identical to their
+# cold counterparts.
+snapshot-diff:
+	$(GO) test ./internal/run -run 'TestSyntheticCheckpointByteEquality|TestVideogameCheckpointByteEquality|TestSnapshotResumeByteEquality|TestWarmSweep' -v
+	$(GO) test ./internal/chaos -run 'TestWarmTrialMatchesCold' -v
+	$(GO) test ./internal/server -run 'TestResumeFromOverHTTP' -v
+
 # Table 2 co-simulation speed (the paper's S/R headline metric) per
-# configuration, captured to BENCH_sysc.json so the perf trajectory is
-# tracked across PRs.
+# configuration, plus the bare-kernel synthetic workload and the
+# warm-start sweep benchmark, captured to BENCH_sysc.json so the perf
+# trajectory is tracked across PRs.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkTable2CoSimSpeed -benchtime $(BENCHTIME) . \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkTable2CoSimSpeed|BenchmarkSyntheticCoSimSpeed|BenchmarkSweepWarmStart' \
+		-benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -metric simsec/s -out BENCH_sysc.json
 
-# Re-run the speed benchmark and fail if any configuration regresses more
-# than 5% below the committed BENCH_sysc.json baseline (writes the fresh
-# numbers to a scratch file, never the baseline).
+# Re-run the speed benchmarks and fail on regression below the committed
+# BENCH_sysc.json baseline (writes the fresh numbers to scratch files,
+# never the baseline). Two tolerances: 5% for the single-run kernel
+# benchmarks, 20% for the warm-start sweep, whose cold/warm ratio (the
+# ~4x forking speedup) matters more than its absolute noise floor.
 bench-guard:
 	$(GO) test -run '^$$' -bench BenchmarkTable2CoSimSpeed -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -metric simsec/s -out /tmp/BENCH_sysc.new.json \
 			-baseline BENCH_sysc.json -tolerance 5
+	$(GO) test -run '^$$' -bench BenchmarkSweepWarmStart -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -metric simsec/s -out /tmp/BENCH_sweep.new.json \
+			-baseline BENCH_sysc.json -tolerance 20
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...

@@ -1,16 +1,19 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/petri"
 	"repro/internal/rtk"
+	"repro/internal/run"
 	"repro/internal/run/opts"
 	"repro/internal/sweep"
 	"repro/internal/sysc"
@@ -91,6 +94,52 @@ func BenchmarkTable2CoSimSpeed(b *testing.B) {
 				b.ReportMetric(simsec/b.Elapsed().Seconds(), "simsec/s")
 			})
 		}
+	}
+}
+
+// BenchmarkSweepWarmStart measures warm-start sweep forking against the
+// cold baseline: 16 variant seeds of a 12-simsec synthetic run that share
+// a 10-simsec prefix. Cold simulates every variant from t=0; warm
+// simulates the prefix once, snapshots at the quiescent point, and forks
+// each variant from the snapshot — identical artifacts (the byte-equality
+// property tests pin that), so the simsec/s ratio between the two modes
+// is pure wall-clock speedup. One worker keeps the comparison purely
+// algorithmic: exactly one shared prefix, no scheduling noise.
+func BenchmarkSweepWarmStart(b *testing.B) {
+	seeds := make([]uint64, 16)
+	for i := range seeds {
+		seeds[i] = uint64(1000 + i)
+	}
+	base := run.SweepSpec{
+		Base: run.Spec{
+			Scenario:  run.ScenarioSynthetic,
+			Seed:      42,
+			Dur:       run.Duration(12 * time.Second),
+			Engine:    opts.EngineContinuation,
+			Synthetic: &run.SyntheticSpec{Gen: &workload.GenSpec{}},
+		},
+		Prefix:  run.Duration(10 * time.Second),
+		Seeds:   seeds,
+		Workers: 1,
+	}
+	for _, mode := range []string{"cold", "warm"} {
+		sw := base
+		sw.Warm = mode == "warm"
+		b.Run("mode="+mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := run.ExecuteSweep(context.Background(), sw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(seeds) {
+					b.Fatalf("%d results, want %d", len(res), len(seeds))
+				}
+			}
+			// Simulated coverage delivered per mode is the same (seeds x
+			// full duration), so warm's higher simsec/s IS the speedup.
+			simsec := sw.Base.Dur.Std().Seconds() * float64(len(seeds)) * float64(b.N)
+			b.ReportMetric(simsec/b.Elapsed().Seconds(), "simsec/s")
+		})
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -60,6 +61,7 @@ func main() {
 	backends := flag.String("backends", "", "comma-separated shard base URLs for -router; shard names are s0,s1,... in order")
 	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry bound per shard (0 = default, negative = disable)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte bound per shard (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "spill directory for LRU-evicted cache entries; a restarted server warms itself from it (per-shard subdirectories in fleet mode)")
 	prof := profiling.AddFlags()
 	flag.Parse()
 
@@ -70,13 +72,19 @@ func main() {
 	}
 
 	shardCfg := func(name string) server.Config {
+		dir := *cacheDir
+		if dir != "" && name != "" {
+			// Shards own disjoint key ranges, but separate subdirectories keep
+			// each replica's spill self-contained and restart-safe.
+			dir = filepath.Join(dir, name)
+		}
 		return server.Config{
 			Name:         name,
 			Workers:      *workers,
 			Queue:        *queue,
 			MaxJobTime:   *maxJobTime,
 			MaxJobs:      *maxJobs,
-			Cache:        cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes},
+			Cache:        cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, Dir: dir},
 			DisableCache: *cacheEntries < 0,
 		}
 	}

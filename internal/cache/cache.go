@@ -28,6 +28,12 @@ type Config struct {
 	MaxEntries int
 	// MaxBytes caps the summed artifact bytes across entries (<= 0: 256 MiB).
 	MaxBytes int64
+	// Dir, when non-empty, is the spill directory: entries evicted from the
+	// in-memory LRU persist there (one fsync'd JSON file per entry, named by
+	// content hash), and misses fall back to it — so a restarted server
+	// warms itself from its predecessor's spill, and the effective capacity
+	// is the disk, not MaxBytes. Empty disables spill.
+	Dir string
 }
 
 // DefaultMaxEntries and DefaultMaxBytes are the bounds a zero Config gets.
@@ -42,12 +48,14 @@ type Cache struct {
 	mu         sync.Mutex
 	maxEntries int
 	maxBytes   int64
+	dir        string
 	bytes      int64
 	ll         *list.List // front = most recently used
 	entries    map[string]*list.Element
 	flights    map[string]*Flight
 
 	hits, misses, deduped, evictions uint64
+	spills, diskHits, diskErrors     uint64
 }
 
 type entry struct {
@@ -67,6 +75,7 @@ func New(cfg Config) *Cache {
 	return &Cache{
 		maxEntries: cfg.MaxEntries,
 		maxBytes:   cfg.MaxBytes,
+		dir:        cfg.Dir,
 		ll:         list.New(),
 		entries:    make(map[string]*list.Element),
 		flights:    make(map[string]*Flight),
@@ -134,6 +143,9 @@ func (c *Cache) Begin(key string) (res run.Result, f *Flight, leader bool) {
 		c.deduped++
 		return run.Result{}, f, false
 	}
+	if res, ok := c.reloadLocked(key); ok {
+		return res, nil, false
+	}
 	c.misses++
 	f = &Flight{c: c, key: key, done: make(chan struct{})}
 	c.flights[key] = f
@@ -146,7 +158,7 @@ func (c *Cache) Get(key string) (run.Result, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		return run.Result{}, false
+		return c.reloadLocked(key)
 	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*entry).res, true
@@ -180,6 +192,7 @@ func (c *Cache) evictOldestLocked() {
 	delete(c.entries, e.key)
 	c.bytes -= e.size
 	c.evictions++
+	c.spillLocked(e)
 }
 
 // resultSize is the accounting weight of one result: artifact payload
@@ -202,6 +215,10 @@ type Stats struct {
 	Deduped   uint64 `json:"deduped"`
 	Evictions uint64 `json:"evictions"`
 	InFlight  int    `json:"in_flight"`
+	// Spill-tier counters (zero when Config.Dir is unset).
+	Spills     uint64 `json:"spills,omitempty"`
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	DiskErrors uint64 `json:"disk_errors,omitempty"`
 }
 
 // Stats returns a consistent snapshot.
@@ -209,12 +226,15 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Entries:   len(c.entries),
-		Bytes:     c.bytes,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Deduped:   c.deduped,
-		Evictions: c.evictions,
-		InFlight:  len(c.flights),
+		Entries:    len(c.entries),
+		Bytes:      c.bytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Deduped:    c.deduped,
+		Evictions:  c.evictions,
+		InFlight:   len(c.flights),
+		Spills:     c.spills,
+		DiskHits:   c.diskHits,
+		DiskErrors: c.diskErrors,
 	}
 }

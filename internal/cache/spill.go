@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"repro/internal/run"
+)
+
+// Spill tier: the disk half of the two-level result cache. Entries evicted
+// from the in-memory LRU are written to Config.Dir as one JSON file per
+// entry, named "<content-hash>.json". Because the key IS the content hash
+// of the canonical spec, the files are self-describing and survive
+// restarts: a new server pointed at the same directory serves its
+// predecessor's results on first miss. Writes are atomic (temp file +
+// fsync + rename) so a crash mid-spill never leaves a torn file under a
+// valid name; a file that nevertheless fails to decode is deleted and
+// counted, never served.
+
+// spillFile is the on-disk entry format.
+type spillFile struct {
+	Key       string            `json:"key"`
+	Stats     run.Stats         `json:"stats"`
+	Artifacts map[string][]byte `json:"artifacts,omitempty"`
+}
+
+// keyPat guards the filename against keys that are not plain content
+// hashes (defense in depth: the server only ever passes run.Hash output).
+var keyPat = regexp.MustCompile(`^[0-9a-f]{16,128}$`)
+
+// spillLocked persists one evicted entry to the spill directory. Caller
+// holds c.mu. Errors are counted, not returned: spill is an optimization
+// and the entry was already evicted either way.
+func (c *Cache) spillLocked(e *entry) {
+	if c.dir == "" || !keyPat.MatchString(e.key) {
+		return
+	}
+	body, err := json.Marshal(spillFile{Key: e.key, Stats: e.res.Stats, Artifacts: e.res.Artifacts})
+	if err != nil {
+		c.diskErrors++
+		return
+	}
+	if err := atomicWrite(filepath.Join(c.dir, e.key+".json"), body); err != nil {
+		c.diskErrors++
+		return
+	}
+	c.spills++
+}
+
+// reloadLocked tries the spill directory for key and, on success, promotes
+// the entry back into the in-memory LRU. Caller holds c.mu.
+func (c *Cache) reloadLocked(key string) (run.Result, bool) {
+	if c.dir == "" || !keyPat.MatchString(key) {
+		return run.Result{}, false
+	}
+	path := filepath.Join(c.dir, key+".json")
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return run.Result{}, false
+	}
+	var sf spillFile
+	if err := json.Unmarshal(body, &sf); err != nil || sf.Key != key {
+		c.diskErrors++
+		os.Remove(path)
+		return run.Result{}, false
+	}
+	res := run.Result{Stats: sf.Stats, Artifacts: sf.Artifacts}
+	c.diskHits++
+	c.insertLocked(key, res)
+	return res, true
+}
+
+// atomicWrite lands body at path via a same-directory temp file, fsync and
+// rename, so readers only ever see complete files.
+func atomicWrite(path string, body []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".spill-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(body); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}

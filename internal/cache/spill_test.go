@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// hashKey fabricates a content-hash-shaped key (keyPat requires lowercase
+// hex, >= 16 chars — like run.Hash output).
+func hashKey(i int) string {
+	return fmt.Sprintf("%064x", 0xabc0+i)
+}
+
+// TestSpillReloadSameCache: an LRU-evicted entry lands on disk and a later
+// miss for it is served from the spill file, re-promoted into memory.
+func TestSpillReloadSameCache(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{MaxEntries: 2, Dir: dir})
+	for i := 0; i < 3; i++ {
+		lead(t, c, hashKey(i), fmt.Sprintf("payload%d", i))
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Spills != 1 {
+		t.Fatalf("want 1 eviction + 1 spill, got %+v", st)
+	}
+	spilled := filepath.Join(dir, hashKey(0)+".json")
+	if _, err := os.Stat(spilled); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+
+	// Miss on the evicted key is served from disk, no flight opened.
+	res, f, _ := c.Begin(hashKey(0))
+	if f != nil {
+		t.Fatalf("expected disk hit, got a flight")
+	}
+	if string(res.Artifacts["a.txt"]) != "payload0" {
+		t.Fatalf("wrong payload from disk: %q", res.Artifacts["a.txt"])
+	}
+	st = c.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("want 1 disk hit, got %+v", st)
+	}
+	// Reload promoted the entry back into memory (evicting another).
+	if res2, ok := c.Get(hashKey(0)); !ok || string(res2.Artifacts["a.txt"]) != "payload0" {
+		t.Fatalf("promoted entry not in memory")
+	}
+}
+
+// TestSpillWarmsRestart: a fresh Cache pointed at the predecessor's spill
+// directory serves its entries — the restart warm-up path.
+func TestSpillWarmsRestart(t *testing.T) {
+	dir := t.TempDir()
+	old := New(Config{MaxEntries: 1, Dir: dir})
+	lead(t, old, hashKey(1), "survivor")
+	lead(t, old, hashKey(2), "evictor") // evicts + spills hashKey(1)
+
+	fresh := New(Config{Dir: dir})
+	res, ok := fresh.Get(hashKey(1))
+	if !ok || string(res.Artifacts["a.txt"]) != "survivor" {
+		t.Fatalf("restart miss: ok=%v res=%+v", ok, res)
+	}
+	if st := fresh.Stats(); st.DiskHits != 1 || st.Entries != 1 {
+		t.Fatalf("fresh stats: %+v", st)
+	}
+}
+
+// TestSpillCorruptFileDeleted: a torn or tampered spill file is deleted and
+// counted, never served.
+func TestSpillCorruptFileDeleted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, hashKey(3)+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Dir: dir})
+	if _, ok := c.Get(hashKey(3)); ok {
+		t.Fatalf("corrupt spill file served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt spill file not deleted: %v", err)
+	}
+	if st := c.Stats(); st.DiskErrors != 1 {
+		t.Fatalf("want 1 disk error, got %+v", st)
+	}
+}
+
+// TestSpillDisabled: without Dir nothing is written and nothing reloads.
+func TestSpillDisabled(t *testing.T) {
+	c := New(Config{MaxEntries: 1})
+	lead(t, c, hashKey(4), "a")
+	lead(t, c, hashKey(5), "b")
+	if _, ok := c.Get(hashKey(4)); ok {
+		t.Fatalf("evicted entry resurrected without a spill dir")
+	}
+	if st := c.Stats(); st.Spills != 0 || st.DiskHits != 0 {
+		t.Fatalf("spill counters moved without a dir: %+v", st)
+	}
+}
+
+// TestSpillRejectsUnsafeKey: keys that are not content hashes never become
+// filenames.
+func TestSpillRejectsUnsafeKey(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{MaxEntries: 1, Dir: dir})
+	lead(t, c, "../../etc/passwd", "x")
+	lead(t, c, hashKey(6), "y") // evicts the unsafe key
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("unsafe key produced a file: %v", ents[0].Name())
+	}
+}

@@ -254,10 +254,24 @@ func runSeed(ctx context.Context, cfg Config, index int, seed uint64) (Verdict, 
 	}
 
 	if !v.Pass && cfg.Minimize && len(sched) > 1 {
+		// Warm path: bisect from an in-memory checkpoint of the fault-free
+		// prefix when the configuration supports it; any warm failure drops
+		// the trial — and all later ones — back to a cold rebuild.
+		wm := newWarmMinimizer(ctx, cfg, seed, sched)
 		min, runs := ddmin(sched, func(sub Schedule) bool {
+			if wm != nil {
+				if pass, err := wm.trial(ctx, sub); err == nil {
+					return !pass
+				}
+				wm.close()
+				wm = nil
+			}
 			sv, _ := execute(ctx, cfg, seed, sub, nil)
 			return !sv.Pass
 		})
+		if wm != nil {
+			wm.close()
+		}
 		v.MinimizeRuns = runs
 		if len(min) < len(sched) {
 			v.Minimized = min

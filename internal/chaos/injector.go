@@ -97,6 +97,52 @@ func (inj *Injector) Bind(k *tkernel.Kernel) {
 	}
 }
 
+// BindHooks attaches the kernel like Bind but spawns no event-fault
+// threads — the warm-minimizer path, which simulates a fault-free prefix
+// first and spawns each ddmin trial's threads after restoring the
+// checkpoint (SpawnEvents). Pair with SetActive(nil) so the window hooks
+// stay inert during the prefix.
+func (inj *Injector) BindHooks(k *tkernel.Kernel) { inj.k = k }
+
+// SetActive replaces the live window-fault partitions with those of sub.
+// Hooks were frozen at Configure time from the full schedule, so sub must
+// be a subset of it; kinds absent from sub leave their hook installed but
+// inert (an inert hook is an identity function, indistinguishable from an
+// absent one). Only meaningful on BindHooks-bound injectors.
+func (inj *Injector) SetActive(sub Schedule) {
+	inj.etm, inj.drops, inj.ticks = nil, nil, nil
+	for _, f := range sub {
+		switch f.Kind {
+		case ETMInflate:
+			inj.etm = append(inj.etm, f)
+		case DropIRQ:
+			inj.drops = append(inj.drops, f)
+		case TickDelay:
+			inj.ticks = append(inj.ticks, f)
+		}
+	}
+}
+
+// SpawnEvents spawns the event-fault threads of sub. Fault times are
+// absolute and each thread sleeps until its own At, so spawning mid-run —
+// right after a checkpoint restore — fires them exactly as threads spawned
+// at time zero would.
+func (inj *Injector) SpawnEvents(sub Schedule) {
+	for i, f := range sub {
+		switch f.Kind {
+		case ETMInflate, DropIRQ, TickDelay:
+		default:
+			inj.spawnEvent(i, f)
+		}
+	}
+}
+
+// Reset clears the injection log for the next warm trial.
+func (inj *Injector) Reset() {
+	inj.fired = nil
+	clear(inj.logged)
+}
+
 // Fired returns the fault log in injection order.
 func (inj *Injector) Fired() []Fired { return inj.fired }
 

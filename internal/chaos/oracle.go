@@ -318,6 +318,53 @@ func (o *Oracles) checkMutexes(now sysc.Time, tasks []tkernel.TaskInfo) {
 	}
 }
 
+// OracleState is the captured accumulator state of an Oracles set, taken
+// at a checkpoint of a passing run so warm ddmin trials can rewind the
+// oracles alongside the kernel.
+type OracleState struct {
+	last     sysc.Time
+	primed   bool
+	segIdx   int
+	maxEnd   sysc.Time
+	lastBusy sysc.Time
+	lastCET  map[*core.TThread]sysc.Time
+	checks   int
+}
+
+// SaveState captures the oracle accumulators. It refuses a state with
+// recorded violations: a checkpoint is only a valid trial base when the
+// prefix was clean.
+func (o *Oracles) SaveState() (OracleState, error) {
+	if len(o.Violations) > 0 {
+		return OracleState{}, fmt.Errorf("chaos: cannot checkpoint oracles with %d violation(s)", len(o.Violations))
+	}
+	st := OracleState{
+		last: o.last, primed: o.primed,
+		segIdx: o.segIdx, maxEnd: o.maxEnd,
+		lastBusy: o.lastBusy, checks: o.checks,
+		lastCET: make(map[*core.TThread]sysc.Time, len(o.lastCET)),
+	}
+	for tt, c := range o.lastCET {
+		st.lastCET[tt] = c
+	}
+	return st, nil
+}
+
+// LoadState rewinds the oracles to a captured state, clearing violations.
+func (o *Oracles) LoadState(st OracleState) {
+	o.last = st.last
+	o.primed = st.primed
+	o.segIdx = st.segIdx
+	o.maxEnd = st.maxEnd
+	o.lastBusy = st.lastBusy
+	o.checks = st.checks
+	clear(o.lastCET)
+	for tt, c := range st.lastCET {
+		o.lastCET[tt] = c
+	}
+	o.Violations = nil
+}
+
 // objLabel mirrors the kernel's wait-object label ("class#id(name)").
 func objLabel(class string, id tkernel.ID, name string) string {
 	if name != "" {

@@ -27,6 +27,11 @@ type SystemConfig struct {
 	// Engine selects the T-THREAD execution engine (opts.EngineGoroutine /
 	// opts.EngineContinuation; empty = goroutine).
 	Engine string
+	// DeferFaults binds the injector's hooks but spawns no event-fault
+	// threads and starts with an empty active schedule — the warm-minimizer
+	// construction, which simulates a fault-free prefix, checkpoints it, and
+	// activates each ddmin trial's subset after restoring.
+	DeferFaults bool
 }
 
 // System is one built job: a kernel hosting a seeded random application that
@@ -67,7 +72,12 @@ func BuildSyntheticSystem(sim *sysc.Simulator, seed uint64, cfg SystemConfig, ts
 	kcfg.Gantt = g
 	inj.Configure(&kcfg)
 	k := tkernel.New(sim, kcfg)
-	inj.Bind(k)
+	if cfg.DeferFaults {
+		inj.BindHooks(k)
+		inj.SetActive(nil)
+	} else {
+		inj.Bind(k)
+	}
 
 	inst := workload.Build(sim, k, ts, seed)
 	targets := Targets{IntNos: inst.IntNos}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+	"repro/internal/sysc"
+	"repro/internal/trace"
+)
+
+// This file is the SIM_API layer of the kernel snapshot stack
+// (internal/snapshot): quiescent-point capture and in-place restore of
+// every T-THREAD's dynamic state and of the library's own dispatching
+// state. It sits directly above sysc.SaveState/LoadState — the sysc layer
+// owns process wait sets and the timed heap; this layer owns the Petri
+// markings, the firing sequences, the saved continuation frames, the
+// ready-queue order and the interrupt stack.
+
+// ConsumeState is the exported mirror of the consumeState frame: where
+// inside an in-flight Consume episode a continuation-engine thread is
+// parked, and the episode's remaining budget.
+type ConsumeState struct {
+	Phase     uint8
+	Cost      Cost
+	Ctx       trace.Context
+	Note      string
+	Total     sysc.Time
+	Remaining sysc.Time
+	Start     sysc.Time
+}
+
+// TThreadState is the captured dynamic state of one T-THREAD.
+type TThreadState struct {
+	ID           int // registry identifier, for cross-checks only
+	Priority     int
+	BasePriority int
+	State        State
+	SuspCount    int
+	Terminated   bool
+	WaitObj      string
+	RelCode      error // T-Kernel ER singletons or nil
+	ActCount     int
+	PendingRel    error
+	HasPendingRel bool
+
+	// Continuation-engine resumption state (zero for goroutine threads).
+	CrInBody bool
+	Consume  ConsumeState
+	Block    uint8 // blockPhase
+
+	// Petri-net execution model.
+	Marking []int
+	Seq     petri.SequenceState
+	Acc     petri.Accumulator
+	LastCV  []int
+}
+
+// APIState is the captured dynamic state of the SIM_API library.
+type APIState struct {
+	Threads []TThreadState // registry (creation) order
+	Ready   []int          // thread IDs in scheduler dequeue order
+	Current int            // RUNNING task's ID, -1 when the CPU idles
+	IStack  []int          // nested handler thread IDs, bottom first
+
+	DispatchLocked  int
+	PendingDispatch bool
+	Busy            sysc.Time
+
+	CtxSwitches uint64
+	Preemptions uint64
+	Interrupts  uint64
+	MaxIStack   int
+}
+
+// CompiledBody returns the compiled state machine driving the thread on
+// the continuation engine, or nil for goroutine-backed threads. The kernel
+// snapshot layer uses it to reach the machine's own resumption state
+// (program counter, service phase).
+func (t *TThread) CompiledBody() CompiledBody { return t.compiled }
+
+// readyWalker is the optional scheduler capability snapshotting needs:
+// visiting the ready population in dequeue order without mutating it.
+// Both internal/sched implementations provide it.
+type readyWalker interface{ Walk(fn func(*TThread)) }
+
+// SaveState captures the library's dynamic state at a sysc quiescent
+// point. It fails when the installed scheduler cannot enumerate its queue.
+func (a *SimAPI) SaveState() (*APIState, error) {
+	w, ok := a.sched.(readyWalker)
+	if !ok {
+		return nil, fmt.Errorf("core: scheduler %T does not support state capture (no Walk)", a.sched)
+	}
+	st := &APIState{
+		Threads:         make([]TThreadState, len(a.order)),
+		Current:         -1,
+		DispatchLocked:  a.dispatchLocked,
+		PendingDispatch: a.pendingDispatch,
+		Busy:            a.busy,
+		CtxSwitches:     a.ctxSwitches,
+		Preemptions:     a.preemptions,
+		Interrupts:      a.interrupts,
+		MaxIStack:       a.maxIStack,
+	}
+	for i, t := range a.order {
+		st.Threads[i] = TThreadState{
+			ID:            t.id,
+			Priority:      t.priority,
+			BasePriority:  t.basePriority,
+			State:         t.state,
+			SuspCount:     t.suspCount,
+			Terminated:    t.terminated,
+			WaitObj:       t.waitObj,
+			RelCode:       t.relCode,
+			ActCount:      t.actCount,
+			PendingRel:    t.pendingRel,
+			HasPendingRel: t.hasPendingRel,
+			CrInBody:      t.crInBody,
+			Consume: ConsumeState{
+				Phase:     uint8(t.cs.phase),
+				Cost:      t.cs.cost,
+				Ctx:       t.cs.ctx,
+				Note:      t.cs.note,
+				Total:     t.cs.total,
+				Remaining: t.cs.remaining,
+				Start:     t.cs.start,
+			},
+			Block:   uint8(t.bs),
+			Marking: t.net.Marking(),
+			Seq:     t.seq.SaveState(),
+			Acc:     t.acc,
+			LastCV:  append([]int(nil), t.lastCV...),
+		}
+	}
+	w.Walk(func(t *TThread) { st.Ready = append(st.Ready, t.id) })
+	if a.current != nil {
+		st.Current = a.current.id
+	}
+	for _, h := range a.istack {
+		st.IStack = append(st.IStack, h.id)
+	}
+	return st, nil
+}
+
+// LoadState restores a state captured from this same construction: same
+// thread registry, same scheduler. The ready queue is drained and rebuilt
+// in captured dequeue order after every thread's priority is restored, so
+// the scheduler's internal structure (bitmap, class lists) comes back
+// identical.
+func (a *SimAPI) LoadState(st *APIState) error {
+	if len(a.order) != len(st.Threads) {
+		return fmt.Errorf("core: state mismatch: captured %d threads, registry has %d",
+			len(st.Threads), len(a.order))
+	}
+	for i, t := range a.order {
+		if t.id != st.Threads[i].ID {
+			return fmt.Errorf("core: state mismatch: registry slot %d holds thread %d, capture has %d",
+				i, t.id, st.Threads[i].ID)
+		}
+	}
+	// Drain whatever the scheduler currently holds; the intrusive links know
+	// their own list, so stale priorities cannot corrupt the dequeue.
+	for {
+		t := a.sched.Peek()
+		if t == nil {
+			break
+		}
+		a.sched.Dequeue(t)
+	}
+	for i, t := range a.order {
+		ts := &st.Threads[i]
+		t.priority = ts.Priority
+		t.basePriority = ts.BasePriority
+		t.state = ts.State
+		t.suspCount = ts.SuspCount
+		t.terminated = ts.Terminated
+		t.waitObj = ts.WaitObj
+		t.relCode = ts.RelCode
+		t.actCount = ts.ActCount
+		t.pendingRel = ts.PendingRel
+		t.hasPendingRel = ts.HasPendingRel
+		t.crInBody = ts.CrInBody
+		t.cs = consumeState{
+			phase:     consumePhase(ts.Consume.Phase),
+			cost:      ts.Consume.Cost,
+			ctx:       ts.Consume.Ctx,
+			note:      ts.Consume.Note,
+			total:     ts.Consume.Total,
+			remaining: ts.Consume.Remaining,
+			start:     ts.Consume.Start,
+		}
+		t.bs = blockPhase(ts.Block)
+		if err := t.net.SetMarking(ts.Marking); err != nil {
+			return fmt.Errorf("core: thread %q: %w", t.name, err)
+		}
+		if err := t.seq.LoadState(ts.Seq); err != nil {
+			return fmt.Errorf("core: thread %q: %w", t.name, err)
+		}
+		t.acc = ts.Acc
+		t.lastCV = append(t.lastCV[:0], ts.LastCV...)
+	}
+	for _, id := range st.Ready {
+		t := a.table[id]
+		if t == nil {
+			return fmt.Errorf("core: ready queue references unknown thread %d", id)
+		}
+		a.sched.Enqueue(t)
+	}
+	a.current = nil
+	if st.Current >= 0 {
+		t := a.table[st.Current]
+		if t == nil {
+			return fmt.Errorf("core: current references unknown thread %d", st.Current)
+		}
+		a.current = t
+	}
+	a.istack = a.istack[:0]
+	for _, id := range st.IStack {
+		t := a.table[id]
+		if t == nil {
+			return fmt.Errorf("core: interrupt stack references unknown thread %d", id)
+		}
+		a.istack = append(a.istack, t)
+	}
+	a.dispatchLocked = st.DispatchLocked
+	a.pendingDispatch = st.PendingDispatch
+	a.busy = st.Busy
+	a.ctxSwitches = st.CtxSwitches
+	a.preemptions = st.Preemptions
+	a.interrupts = st.Interrupts
+	a.maxIStack = st.MaxIStack
+	return nil
+}

@@ -1,0 +1,159 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyShard wraps a real shard handler and, while down, answers every
+// request with 502 — the same thing a reverse proxy produces when its
+// backend refuses connections.
+type flakyShard struct {
+	http.Handler
+	down atomic.Bool
+}
+
+func (f *flakyShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.down.Load() {
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintln(w, "connection refused")
+		return
+	}
+	f.Handler.ServeHTTP(w, r)
+}
+
+// TestRouterFailover: a submission whose owning shard answers 5xx is
+// retried on the next ring replica; the failed shard is marked unhealthy
+// in /varz until it serves again, and failovers are counted.
+func TestRouterFailover(t *testing.T) {
+	const n = 3
+	base, servers, _ := fleet(t, n)
+	_ = base
+
+	// Rebuild the fleet with every shard wrapped in a kill switch.
+	flaky := make([]*flakyShard, n)
+	shards := make([]Shard, n)
+	for i := 0; i < n; i++ {
+		flaky[i] = &flakyShard{Handler: servers[i]}
+		shards[i] = Shard{Name: fmt.Sprintf("s%d", i), Handler: flaky[i]}
+	}
+	rt := New(shards, 0)
+	ts := httptest.NewServer(rt)
+	t.Cleanup(ts.Close)
+
+	spec := `{"scenario":"chaos","seed":77,"artifacts":["summary.txt"]}`
+	probe := postJob(t, ts, spec)
+	waitDone(t, ts, probe.ID)
+	owner := probe.ID[:strings.LastIndex(probe.ID, "-")]
+	ownerIdx := int(owner[1] - '0')
+
+	// Kill the owner: an identical resubmission must land on a different
+	// replica instead of failing.
+	flaky[ownerIdx].down.Store(true)
+	moved := postJob(t, ts, spec)
+	movedShard := moved.ID[:strings.LastIndex(moved.ID, "-")]
+	if movedShard == owner {
+		t.Fatalf("submission stayed on dead shard %s", owner)
+	}
+	waitDone(t, ts, moved.ID)
+
+	// The dead shard is visible in /varz, and the failover was counted.
+	var v Varz
+	if code, b := getJSON(t, ts.URL+"/varz", &v); code != http.StatusOK {
+		t.Fatalf("varz: %d %s", code, b)
+	}
+	found := false
+	for _, name := range v.Unhealthy {
+		if name == owner {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead shard %s not in unhealthy list %v", owner, v.Unhealthy)
+	}
+	if v.Totals.Failovers == 0 {
+		t.Fatal("failover not counted")
+	}
+	if v.Totals.Shards != n-1 {
+		t.Fatalf("varz aggregated %d shards, want %d live", v.Totals.Shards, n-1)
+	}
+
+	// Recovery: once the shard serves again it leaves the unhealthy list.
+	flaky[ownerIdx].down.Store(false)
+	back := postJob(t, ts, spec)
+	waitDone(t, ts, back.ID)
+	if got := back.ID[:strings.LastIndex(back.ID, "-")]; got != owner {
+		t.Fatalf("recovered submission on %s, want ring owner %s", got, owner)
+	}
+	v = Varz{}
+	if code, b := getJSON(t, ts.URL+"/varz", &v); code != http.StatusOK {
+		t.Fatalf("varz: %d %s", code, b)
+	}
+	for _, name := range v.Unhealthy {
+		if name == owner {
+			t.Fatalf("recovered shard %s still unhealthy: %v", owner, v.Unhealthy)
+		}
+	}
+
+	// All shards down: the last 5xx is relayed, not swallowed.
+	for _, f := range flaky {
+		f.down.Store(true)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all-down submit: %d, want 502", resp.StatusCode)
+	}
+
+	// 4xx never fails over: an invalid spec is rejected by the owner, and
+	// no shard gets marked unhealthy for it.
+	for _, f := range flaky {
+		f.down.Store(false)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(`{"scenario":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRingSuccessors: the failover order starts at the owner, visits every
+// distinct shard exactly once, and is deterministic.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	for _, key := range []string{"a", "b", "kernel", "0123456789abcdef"} {
+		succ := r.Successors(key, 4)
+		if len(succ) != 4 {
+			t.Fatalf("key %q: %d successors, want 4", key, len(succ))
+		}
+		if succ[0] != r.Pick(key) {
+			t.Fatalf("key %q: first successor %s != owner %s", key, succ[0], r.Pick(key))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: duplicate successor %s", key, s)
+			}
+			seen[s] = true
+		}
+		again := r.Successors(key, 4)
+		for i := range succ {
+			if succ[i] != again[i] {
+				t.Fatalf("key %q: successor order not deterministic", key)
+			}
+		}
+	}
+	if got := r.Successors("x", 2); len(got) != 2 {
+		t.Fatalf("capped successors: %d, want 2", len(got))
+	}
+}

@@ -71,6 +71,28 @@ func (r *Ring) Pick(key string) string {
 	return r.points[i].shard
 }
 
+// Successors returns up to n distinct shards in clockwise ring order
+// starting from the key's owner. The first element is Pick(key); the rest
+// are the failover order — the same deterministic sequence every router
+// replica computes, so retries also route consistently.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, n)
+	var out []string
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
 // Members returns the distinct shard names on the ring, sorted.
 func (r *Ring) Members() []string {
 	seen := make(map[string]bool)

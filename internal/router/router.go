@@ -17,11 +17,18 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/run"
 	"repro/internal/server"
 )
+
+// maxSubmitBody bounds a submission body. Sized for specs carrying a
+// checkpoint resume_from payload (a base64 snapshot of a full task set's
+// kernel state), not just hand-written JSON.
+const maxSubmitBody = 4 << 20
 
 // Shard is one rtkserve replica: a routable name and its handler. The
 // handler is either an in-process *server.Server or a reverse proxy to a
@@ -39,14 +46,19 @@ type Router struct {
 	byName map[string]http.Handler
 	ring   *Ring
 	mux    *http.ServeMux
+
+	mu        sync.Mutex
+	unhealthy map[string]bool // shards whose last submission attempt failed with 5xx
+	failovers uint64          // submissions served by a non-primary replica
 }
 
 // New builds a router over the given shards. Vnodes <= 0 uses the ring
 // default.
 func New(shards []Shard, vnodes int) *Router {
 	rt := &Router{
-		shards: shards,
-		byName: make(map[string]http.Handler, len(shards)),
+		shards:    shards,
+		byName:    make(map[string]http.Handler, len(shards)),
+		unhealthy: make(map[string]bool),
 	}
 	names := make([]string, 0, len(shards))
 	for _, s := range shards {
@@ -77,8 +89,17 @@ func (rt *Router) RouteSpec(hash string) string { return rt.ring.Pick(hash) }
 // A body that fails to canonicalize still routes (by its raw bytes) so
 // the owning shard renders the invalid_spec envelope — the router never
 // duplicates the shard's validation logic.
+//
+// Availability over affinity: if the owning shard answers 5xx (crashed
+// replica behind a reverse proxy surfaces as a 502 connection error,
+// a draining one as 503), the submission retries on the next distinct
+// replica clockwise on the ring. The job then runs without that shard's
+// cache — a duplicate simulation at worst, never a lost submission. The
+// failed shard is marked unhealthy (visible in /varz) until a later
+// attempt on it succeeds. Client errors (4xx) never fail over: the next
+// shard would reject the same spec the same way.
 func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubmitBody))
 	if err != nil {
 		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidSpec,
 			"reading body: "+err.Error(), 0)
@@ -94,16 +115,60 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if key == "" {
 		key = string(body)
 	}
-	name := rt.ring.Pick(key)
-	h, ok := rt.byName[name]
-	if !ok {
+	order := rt.ring.Successors(key, len(rt.shards))
+	if len(order) == 0 {
 		server.WriteError(w, http.StatusServiceUnavailable, server.CodeInternal,
 			"no shards configured", 0)
 		return
 	}
-	r.Body = io.NopCloser(bytes.NewReader(body))
-	r.ContentLength = int64(len(body))
-	h.ServeHTTP(w, r)
+	var last *bufferedResponse
+	for i, name := range order {
+		h, ok := rt.byName[name]
+		if !ok {
+			continue
+		}
+		req := r.Clone(r.Context())
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+		resp := newBufferedResponse()
+		h.ServeHTTP(resp, req)
+		if resp.Code < http.StatusInternalServerError {
+			rt.setHealth(name, true)
+			if i > 0 {
+				rt.mu.Lock()
+				rt.failovers++
+				rt.mu.Unlock()
+			}
+			copyResponse(w, resp, resp.body.Bytes())
+			return
+		}
+		rt.setHealth(name, false)
+		last = resp
+	}
+	// Every replica failed; relay the last 5xx verbatim.
+	copyResponse(w, last, last.body.Bytes())
+}
+
+func (rt *Router) setHealth(name string, healthy bool) {
+	rt.mu.Lock()
+	if healthy {
+		delete(rt.unhealthy, name)
+	} else {
+		rt.unhealthy[name] = true
+	}
+	rt.mu.Unlock()
+}
+
+// unhealthyNames returns the currently-marked shards, sorted.
+func (rt *Router) unhealthyNames() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(rt.unhealthy))
+	for name := range rt.unhealthy {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // forwardByID routes status/cancel/artifact requests by the job ID's
@@ -188,7 +253,10 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type Varz struct {
 	Role   string        `json:"role"`
 	Shards []server.Varz `json:"shards"`
-	Totals Totals        `json:"totals"`
+	// Unhealthy lists shards whose last submission attempt failed with a
+	// 5xx (failover marked them) or that did not answer this varz fan-out.
+	Unhealthy []string `json:"unhealthy,omitempty"`
+	Totals    Totals   `json:"totals"`
 }
 
 // Totals sums the fleet-meaningful counters across shards.
@@ -203,22 +271,25 @@ type Totals struct {
 	JobsCoalesced uint64 `json:"jobs_coalesced"`
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
+	// Failovers counts submissions served by a non-primary replica after
+	// their owning shard answered 5xx.
+	Failovers uint64 `json:"failovers"`
 }
 
 func (rt *Router) handleVarz(w http.ResponseWriter, r *http.Request) {
 	v := Varz{Role: "router", Shards: []server.Varz{}}
+	down := map[string]bool{}
+	for _, name := range rt.unhealthyNames() {
+		down[name] = true
+	}
 	for _, s := range rt.shards {
 		resp, body := rt.call(s.Handler, http.MethodGet, "/varz")
-		if resp.Code != http.StatusOK {
-			server.WriteError(w, http.StatusBadGateway, server.CodeInternal,
-				"shard "+s.Name+" varz: status "+http.StatusText(resp.Code), 0)
-			return
-		}
 		var sv server.Varz
-		if err := json.Unmarshal(body, &sv); err != nil {
-			server.WriteError(w, http.StatusBadGateway, server.CodeInternal,
-				"shard "+s.Name+": "+err.Error(), 0)
-			return
+		if resp.Code != http.StatusOK || json.Unmarshal(body, &sv) != nil {
+			// A shard that cannot render varz is down; report it rather
+			// than fail the whole fleet page.
+			down[s.Name] = true
+			continue
 		}
 		v.Shards = append(v.Shards, sv)
 		v.Totals.Shards++
@@ -234,6 +305,13 @@ func (rt *Router) handleVarz(w http.ResponseWriter, r *http.Request) {
 			v.Totals.CacheMisses += sv.Cache.Misses
 		}
 	}
+	for name := range down {
+		v.Unhealthy = append(v.Unhealthy, name)
+	}
+	sort.Strings(v.Unhealthy)
+	rt.mu.Lock()
+	v.Totals.Failovers = rt.failovers
+	rt.mu.Unlock()
 	server.WriteJSON(w, http.StatusOK, v)
 }
 

@@ -103,15 +103,28 @@ func Canonicalize(spec Spec) (Spec, error) {
 		c.Engine = engineOr(spec.Engine)
 		c.Tick = durOr(spec.Tick, defaultTick)
 		c.Tickless = boolPtr(boolOr(spec.Tickless, true))
-		syn := SyntheticSpec{}
-		if spec.Synthetic.TaskSet != nil {
-			ts := *spec.Synthetic.TaskSet
-			syn.TaskSet = &ts
-		} else {
-			g := spec.Synthetic.Gen.Normalized()
-			syn.Gen = &g
+		if spec.Synthetic != nil { // absent only for resume_from runs
+			syn := SyntheticSpec{}
+			if spec.Synthetic.TaskSet != nil {
+				ts := *spec.Synthetic.TaskSet
+				syn.TaskSet = &ts
+			} else {
+				g := spec.Synthetic.Gen.Normalized()
+				syn.Gen = &g
+			}
+			c.Synthetic = &syn
 		}
-		c.Synthetic = &syn
+	}
+	if spec.Checkpoint != nil {
+		ck := *spec.Checkpoint
+		if ck.ForkSeed != nil {
+			s := *ck.ForkSeed
+			ck.ForkSeed = &s
+		}
+		if ck.ResumeFrom != nil {
+			ck.ResumeFrom = append([]byte(nil), ck.ResumeFrom...)
+		}
+		c.Checkpoint = &ck
 	}
 	if len(spec.Artifacts) > 0 {
 		arts := append([]string(nil), spec.Artifacts...)
@@ -151,8 +164,11 @@ func Hash(spec Spec) (string, error) {
 // runs and may therefore be served from a content-addressed cache. The
 // experiments scenario is the one exception: its report embeds measured
 // wall-clock speed columns, so its bytes are only stable within a run.
+// Checkpoint runs are excluded too: resume_from payloads are large and
+// already one-shot, and keying megabyte snapshots into the hash would
+// bloat the cache for jobs nobody resubmits.
 func Cacheable(spec Spec) bool {
-	return spec.Scenario != ScenarioExperiments
+	return spec.Scenario != ScenarioExperiments && spec.Checkpoint == nil
 }
 
 // --- helpers ---

@@ -80,6 +80,11 @@ const (
 	// ArtifactTaskSet is the fully resolved workload.TaskSet that ran —
 	// for generated sets, the concrete draw — as indented JSON (synthetic).
 	ArtifactTaskSet = "taskset.json"
+	// ArtifactSnapshot is the versioned binary kernel snapshot captured at
+	// Checkpoint.At (synthetic, continuation engine only). Feed it back via
+	// Checkpoint.ResumeFrom to continue the run without re-simulating the
+	// prefix.
+	ArtifactSnapshot = "snapshot.bin"
 )
 
 // Spec is a complete, pure-data description of one run: scenario, seed,
@@ -135,9 +140,37 @@ type Spec struct {
 	// scenario only).
 	Experiments *ExperimentsSpec `json:"experiments,omitempty"`
 
+	// Checkpoint requests snapshot/restore behavior: capture the run's
+	// state at a quiescent point, fork a variant there, or resume from a
+	// previously captured snapshot (videogame and synthetic scenarios; see
+	// CheckpointSpec for which fields each supports).
+	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
+
 	// Artifacts lists the outputs to produce (Artifact* names). Empty
 	// means stats only.
 	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// CheckpointSpec parameterizes snapshot/restore. The byte-equality
+// contract: a run with At set produces exactly the artifacts of the same
+// run without it (the simulation pauses at a quiescent point and
+// continues — nothing observable changes), and a run resumed from the
+// captured snapshot produces exactly the suffix the donor run would have.
+type CheckpointSpec struct {
+	// At pauses the simulation at this simulated time (a quiescent point)
+	// and, for the synthetic scenario with ArtifactSnapshot requested,
+	// captures the binary snapshot there. Must be less than Dur.
+	At Duration `json:"at,omitempty"`
+	// ForkSeed, when non-nil, reseeds the workload's arrival streams at
+	// the checkpoint — the explicit variant-fork knob of a warm-start
+	// sweep. Synthetic scenario only.
+	ForkSeed *uint64 `json:"fork_seed,omitempty"`
+	// ResumeFrom is a snapshot previously captured via At +
+	// ArtifactSnapshot. The run rebuilds the donor's system from the
+	// spec embedded in the snapshot, restores, verifies, and continues to
+	// Dur. Exclusive with At. Synthetic scenario only. (JSON: base64, per
+	// encoding/json []byte convention.)
+	ResumeFrom []byte `json:"resume_from,omitempty"`
 }
 
 // SyntheticSpec selects the synthetic scenario's workload: exactly one of
@@ -277,7 +310,7 @@ var scenarioArtifacts = map[Scenario]map[string]bool{
 	},
 	ScenarioSynthetic: {
 		ArtifactTrace: true, ArtifactMetrics: true, ArtifactGantt: true,
-		ArtifactTaskSet: true,
+		ArtifactTaskSet: true, ArtifactSnapshot: true,
 	},
 }
 
@@ -320,6 +353,9 @@ func Validate(spec Spec) error {
 	if spec.Scenario == ScenarioSynthetic {
 		syn := spec.Synthetic
 		switch {
+		case syn == nil && spec.Checkpoint != nil && spec.Checkpoint.ResumeFrom != nil:
+			// A resumed run takes its workload from the spec embedded in the
+			// snapshot; an inline synthetic field is unnecessary.
 		case syn == nil:
 			return fmt.Errorf("run: scenario %q requires the synthetic field (taskset or gen)", ScenarioSynthetic)
 		case syn.TaskSet != nil && syn.Gen != nil:
@@ -340,6 +376,47 @@ func Validate(spec Spec) error {
 		if err := spec.Chaos.Synthetic.Validate(); err != nil {
 			return err
 		}
+	}
+	if ck := spec.Checkpoint; ck != nil {
+		if err := validateCheckpoint(spec, ck); err != nil {
+			return err
+		}
+	} else if wants(spec, ArtifactSnapshot) {
+		return fmt.Errorf("run: artifact %q requires checkpoint.at", ArtifactSnapshot)
+	}
+	return nil
+}
+
+// validateCheckpoint checks the checkpoint plan against the scenario.
+func validateCheckpoint(spec Spec, ck *CheckpointSpec) error {
+	switch spec.Scenario {
+	case ScenarioSynthetic:
+	case ScenarioVideogame:
+		// The videogame app roots state in goroutine closures, so only the
+		// pause-and-continue form (At) is supported — no capture, fork or
+		// resume.
+		if ck.ForkSeed != nil || ck.ResumeFrom != nil {
+			return fmt.Errorf("run: scenario %q supports only checkpoint.at (fork/resume need scenario %q)",
+				spec.Scenario, ScenarioSynthetic)
+		}
+	default:
+		return fmt.Errorf("run: scenario %q does not support checkpoints", spec.Scenario)
+	}
+	if ck.ResumeFrom != nil {
+		if ck.At != 0 {
+			return fmt.Errorf("run: checkpoint.at and checkpoint.resume_from are exclusive")
+		}
+	} else if ck.At <= 0 {
+		return fmt.Errorf("run: checkpoint requires at > 0 or resume_from")
+	}
+	if ck.At != 0 && spec.Dur != 0 && ck.At >= spec.Dur {
+		return fmt.Errorf("run: checkpoint.at (%v) must be before dur (%v)", ck.At, spec.Dur)
+	}
+	if spec.Step {
+		return fmt.Errorf("run: checkpoint and step mode are exclusive")
+	}
+	if wants(spec, ArtifactSnapshot) && ck.ResumeFrom != nil {
+		return fmt.Errorf("run: a resumed run cannot produce %q (request it on the capturing run)", ArtifactSnapshot)
 	}
 	return nil
 }

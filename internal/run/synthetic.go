@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/metrics"
+	"repro/internal/snapshot"
 	"repro/internal/sweep"
 	"repro/internal/sysc"
 	"repro/internal/tkernel"
@@ -30,91 +31,253 @@ func resolveTaskSet(spec Spec) *workload.TaskSet {
 	return workload.Generate(sweep.NewRNG(sweep.Seed(spec.Seed, genStream)), *spec.Synthetic.Gen)
 }
 
-// executeSynthetic runs a declarative workload on a bare kernel and
-// harvests the requested artifacts. Like every scenario, the artifacts are
-// a pure function of the Spec: the task set resolves deterministically and
-// everything stochastic inside the run draws from seeded streams.
-func executeSynthetic(ctx context.Context, spec Spec) (Result, error) {
-	dur := spec.Dur.Sim()
-	if dur <= 0 {
-		dur = 1 * sysc.Sec
-	}
-	ts := resolveTaskSet(spec)
+// synSystem is one constructed synthetic run: simulator, kernel, lowered
+// workload and the observers the spec's artifact list asked for. Splitting
+// construction (buildSynSystem) from driving and harvesting lets the
+// checkpoint paths — two-leg runs, snapshot capture, resume-and-verify,
+// warm sweep forking — share exactly the cold path's build.
+type synSystem struct {
+	spec Spec
+	dur  sysc.Time
+	ts   *workload.TaskSet
 
-	bus := event.NewBus()
-	var traceBuf bytes.Buffer
-	var pf *trace.Perfetto
+	bus      *event.Bus
+	traceBuf bytes.Buffer
+	pf       *trace.Perfetto
+	coll     *metrics.Collector
+	g        *trace.Gantt
+
+	sim  *sysc.Simulator
+	k    *tkernel.Kernel
+	inst *workload.Instance
+}
+
+// buildSynSystem constructs the synthetic system described by spec without
+// running it. The caller owns shutdown (defer sys.sim.Shutdown()).
+func buildSynSystem(spec Spec) *synSystem {
+	s := &synSystem{spec: spec, dur: spec.Dur.Sim()}
+	if s.dur <= 0 {
+		s.dur = 1 * sysc.Sec
+	}
+	s.ts = resolveTaskSet(spec)
+
+	s.bus = event.NewBus()
 	if wants(spec, ArtifactTrace) {
-		pf = trace.AttachPerfetto(bus, &traceBuf)
+		s.pf = trace.AttachPerfetto(s.bus, &s.traceBuf)
 	}
-	var coll *metrics.Collector
 	if wants(spec, ArtifactMetrics) {
-		coll = metrics.Attach(bus)
+		s.coll = metrics.Attach(s.bus)
 	}
-	var g *trace.Gantt
 	if wants(spec, ArtifactGantt) {
-		g = trace.NewGantt()
-		g.SetLimit(ganttLimit)
+		s.g = trace.NewGantt()
+		s.g.SetLimit(ganttLimit)
 	}
 
-	sim := sysc.NewSimulator()
-	defer sim.Shutdown()
+	s.sim = sysc.NewSimulator()
 	kcfg := tkernel.Config{Costs: tkernel.DefaultCosts()}
 	kcfg.Engine = spec.Engine
 	kcfg.Tick = spec.Tick.Sim()
 	kcfg.DisableTickless = !boolOr(spec.Tickless, true)
-	kcfg.Bus = bus
-	kcfg.Gantt = g
-	k := tkernel.New(sim, kcfg)
-	inst := workload.Build(sim, k, ts, spec.Seed)
+	kcfg.Bus = s.bus
+	kcfg.Gantt = s.g
+	s.k = tkernel.New(s.sim, kcfg)
+	s.inst = workload.Build(s.sim, s.k, s.ts, spec.Seed)
+	return s
+}
 
-	wall0 := time.Now()
-	runErr := sim.StartContext(ctx, dur)
-	wall := time.Since(wall0)
+// snapSystem bundles the live pieces for the snapshot layer.
+func (s *synSystem) snapSystem() snapshot.System {
+	return snapshot.System{
+		Sim: s.sim, Kernel: s.k, Inst: s.inst,
+		Gantt: s.g, Perfetto: s.pf, TraceBuf: &s.traceBuf, Metrics: s.coll,
+	}
+}
 
-	simNs := time.Duration(sim.Now() / sysc.Ns)
+// result assembles the deterministic stats digest after the run.
+func (s *synSystem) result(wall time.Duration) Result {
+	simNs := time.Duration(s.sim.Now() / sysc.Ns)
 	res := Result{
 		Stats: Stats{
 			Scenario:    ScenarioSynthetic,
 			SimTime:     Duration(simNs),
 			Wall:        Duration(wall),
-			Ticks:       k.Ticks(),
-			CtxSwitches: k.API().ContextSwitches(),
-			Preemptions: k.API().Preemptions(),
-			Interrupts:  k.API().Interrupts(),
-			Activations: inst.Activations(),
+			Ticks:       s.k.Ticks(),
+			CtxSwitches: s.k.API().ContextSwitches(),
+			Preemptions: s.k.API().Preemptions(),
+			Interrupts:  s.k.API().Interrupts(),
+			Activations: s.inst.Activations(),
 		},
 		Artifacts: map[string][]byte{},
 	}
 	if wall > 0 {
 		res.Stats.SimPerWall = simNs.Seconds() / wall.Seconds()
 	}
+	return res
+}
 
-	if pf != nil {
-		if err := pf.Close(); err != nil && runErr == nil {
-			runErr = fmt.Errorf("run: trace: %w", err)
+// harvest collects the requested artifacts into res. closeTrace selects how
+// the Perfetto array is terminated: true detaches and closes the exporter
+// (the normal end-of-run path); false leaves it attached — it flushes and
+// copies the buffer, appending the same "\n]\n" terminator Close would
+// write, so a warm-sweep worker can harvest one forked variant and keep the
+// exporter alive for the next. Both paths produce identical bytes.
+func (s *synSystem) harvest(res *Result, runErr *error, closeTrace bool) {
+	if s.pf != nil {
+		if closeTrace {
+			if err := s.pf.Close(); err != nil && *runErr == nil {
+				*runErr = fmt.Errorf("run: trace: %w", err)
+			}
+			res.Artifacts[ArtifactTrace] = s.traceBuf.Bytes()
+		} else {
+			if err := s.pf.Flush(); err != nil && *runErr == nil {
+				*runErr = fmt.Errorf("run: trace: %w", err)
+			}
+			out := append([]byte(nil), s.traceBuf.Bytes()...)
+			res.Artifacts[ArtifactTrace] = append(out, "\n]\n"...)
 		}
-		res.Stats.TraceEvents = pf.Events()
-		res.Artifacts[ArtifactTrace] = traceBuf.Bytes()
+		res.Stats.TraceEvents = s.pf.Events()
 	}
-	if coll != nil {
+	if s.coll != nil {
 		var buf bytes.Buffer
-		if err := coll.WriteJSON(&buf); err != nil && runErr == nil {
-			runErr = fmt.Errorf("run: metrics: %w", err)
+		if err := s.coll.WriteJSON(&buf); err != nil && *runErr == nil {
+			*runErr = fmt.Errorf("run: metrics: %w", err)
 		}
 		res.Artifacts[ArtifactMetrics] = buf.Bytes()
 	}
-	if g != nil {
+	if s.g != nil {
 		var buf bytes.Buffer
-		g.Render(&buf, 0, ganttWindow, 100)
+		s.g.Render(&buf, 0, ganttWindow, 100)
 		res.Artifacts[ArtifactGantt] = buf.Bytes()
 	}
-	if wants(spec, ArtifactTaskSet) {
-		b, err := json.MarshalIndent(ts, "", "  ")
-		if err != nil && runErr == nil {
-			runErr = fmt.Errorf("run: taskset: %w", err)
+	if wants(s.spec, ArtifactTaskSet) {
+		b, err := json.MarshalIndent(s.ts, "", "  ")
+		if err != nil && *runErr == nil {
+			*runErr = fmt.Errorf("run: taskset: %w", err)
 		}
 		res.Artifacts[ArtifactTaskSet] = append(b, '\n')
 	}
+}
+
+// encodeSnapshot captures the system at the current quiescent point and
+// encodes the versioned binary snapshot, embedding the producing spec in
+// canonical form with the checkpoint and artifact requests erased — the
+// embedded spec describes the plain run whose replay reproduces this state.
+func (s *synSystem) encodeSnapshot() ([]byte, error) {
+	st, err := snapshot.Capture(s.snapSystem())
+	if err != nil {
+		return nil, err
+	}
+	emb := s.spec
+	emb.Checkpoint = nil
+	emb.Artifacts = nil
+	emb.Deadline = 0
+	specJSON, err := CanonicalJSON(emb)
+	if err != nil {
+		return nil, err
+	}
+	return snapshot.Encode(s.snapSystem(), st, snapshot.Meta{
+		Engine: s.k.Engine(),
+		At:     int64(s.sim.Now()),
+		Spec:   specJSON,
+	})
+}
+
+// executeSynthetic runs a declarative workload on a bare kernel and
+// harvests the requested artifacts. Like every scenario, the artifacts are
+// a pure function of the Spec: the task set resolves deterministically and
+// everything stochastic inside the run draws from seeded streams. A
+// Checkpoint splits the run in two legs at a quiescent point — capturing a
+// snapshot and/or reseeding the arrival streams there — or resumes a
+// previously captured snapshot.
+func executeSynthetic(ctx context.Context, spec Spec) (Result, error) {
+	if ck := spec.Checkpoint; ck != nil && ck.ResumeFrom != nil {
+		return executeResume(ctx, spec)
+	}
+	sys := buildSynSystem(spec)
+	defer sys.sim.Shutdown()
+
+	wall0 := time.Now()
+	var runErr error
+	var snap []byte
+	if ck := spec.Checkpoint; ck != nil && ck.At > 0 {
+		at := ck.At.Sim()
+		if at >= sys.dur {
+			return Result{}, fmt.Errorf("run: checkpoint.at (%v) must be before dur (%v)", ck.At, Duration(sys.dur/sysc.Ns))
+		}
+		runErr = sys.sim.StartContext(ctx, at)
+		if runErr == nil && wants(spec, ArtifactSnapshot) {
+			snap, runErr = sys.encodeSnapshot()
+		}
+		if runErr == nil {
+			if ck.ForkSeed != nil {
+				sys.inst.Reseed(*ck.ForkSeed)
+			}
+			runErr = sys.sim.StartContext(ctx, sys.dur)
+		}
+	} else {
+		runErr = sys.sim.StartContext(ctx, sys.dur)
+	}
+	wall := time.Since(wall0)
+
+	res := sys.result(wall)
+	sys.harvest(&res, &runErr, true)
+	if snap != nil {
+		res.Artifacts[ArtifactSnapshot] = snap
+	}
+	return res, runErr
+}
+
+// executeResume rebuilds the donor system from the spec embedded in the
+// snapshot, replays it to the capture point, verifies the replayed state
+// byte-matches the snapshot (a self-checking restore), then continues to
+// the outer spec's duration with the outer spec's artifact requests. An
+// optional ForkSeed reseeds the arrival streams at the capture point, so a
+// resume can both continue a run exactly and fork variants from it.
+func executeResume(ctx context.Context, spec Spec) (Result, error) {
+	ck := spec.Checkpoint
+	meta, err := snapshot.DecodeMeta(ck.ResumeFrom)
+	if err != nil {
+		return Result{}, err
+	}
+	var inner Spec
+	if err := json.Unmarshal(meta.Spec, &inner); err != nil {
+		return Result{}, fmt.Errorf("%w: embedded spec: %v", snapshot.ErrCorrupt, err)
+	}
+	if inner.Scenario != ScenarioSynthetic {
+		return Result{}, fmt.Errorf("%w: snapshot from scenario %q", snapshot.ErrIncompatible, inner.Scenario)
+	}
+	dur := spec.Dur.Sim()
+	if dur <= 0 {
+		dur = 1 * sysc.Sec
+	}
+	at := sysc.Time(meta.At)
+	if at >= dur {
+		return Result{}, fmt.Errorf("run: resume snapshot taken at %v, dur (%v) must be later",
+			Duration(at/sysc.Ns), Duration(dur/sysc.Ns))
+	}
+
+	// The donor spec drives construction (task set, seed, engine, tick);
+	// the outer spec decides which observers to attach and how far to run.
+	build := inner
+	build.Dur = spec.Dur
+	build.Artifacts = spec.Artifacts
+	sys := buildSynSystem(build)
+	defer sys.sim.Shutdown()
+
+	wall0 := time.Now()
+	runErr := sys.sim.StartContext(ctx, at)
+	if runErr == nil {
+		if err := snapshot.Verify(sys.snapSystem(), ck.ResumeFrom); err != nil {
+			return Result{}, err
+		}
+		if ck.ForkSeed != nil {
+			sys.inst.Reseed(*ck.ForkSeed)
+		}
+		runErr = sys.sim.StartContext(ctx, dur)
+	}
+	wall := time.Since(wall0)
+
+	res := sys.result(wall)
+	sys.harvest(&res, &runErr, true)
 	return res, runErr
 }

@@ -78,6 +78,13 @@ func executeVideogame(ctx context.Context, spec Spec) (Result, error) {
 				break
 			}
 		}
+	} else if ck := spec.Checkpoint; ck != nil && ck.At > 0 && ck.At.Sim() < dur {
+		// Two-leg checkpoint run: pause at a quiescent point and continue.
+		// The byte-equality contract demands this is unobservable — the
+		// property tests compare its artifacts against the one-leg run.
+		if runErr = a.RunContext(ctx, ck.At.Sim()); runErr == nil {
+			runErr = a.RunContext(ctx, dur)
+		}
 	} else {
 		runErr = a.RunContext(ctx, dur)
 	}

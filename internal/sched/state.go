@@ -1,0 +1,24 @@
+package sched
+
+import "repro/internal/core"
+
+// Walk visits every ready thread in dequeue order — precedence class by
+// precedence class, FIFO within each class — without mutating the queue.
+// The kernel snapshot layer captures ready-queue order through it:
+// re-enqueueing the visited threads in walk order onto an empty scheduler
+// rebuilds an identical queue (same bitmap, same intrusive links).
+func (s *Priority) Walk(fn func(*core.TThread)) {
+	for i := range s.classes {
+		for t := s.classes[i].head; t != nil; t = t.ReadyLink().Next {
+			fn(t)
+		}
+	}
+}
+
+// Walk visits every ready thread in FIFO order without mutating the
+// queue; see Priority.Walk.
+func (s *RoundRobin) Walk(fn func(*core.TThread)) {
+	for t := s.q.head; t != nil; t = t.ReadyLink().Next {
+		fn(t)
+	}
+}

@@ -189,9 +189,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- job lifecycle ---
 
+// maxSubmitBody bounds a submission body. Sized for specs carrying a
+// checkpoint resume_from payload (a base64 snapshot of a full task set's
+// kernel state), not just hand-written JSON.
+const maxSubmitBody = 4 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec run.Spec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		WriteError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Sprintf("bad spec: %v", err), 0)

@@ -14,6 +14,14 @@ type RNG struct {
 // NewRNG returns a stream seeded with s. Equal seeds yield equal sequences.
 func NewRNG(s uint64) *RNG { return &RNG{state: s} }
 
+// State returns the stream cursor. A stream rewound to a captured cursor
+// with SetState replays the exact draw sequence from that point — the
+// snapshot layer uses the pair to make restored runs draw identically.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds (or advances) the stream to a cursor captured via State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 random bits (splitmix64 step).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

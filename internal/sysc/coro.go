@@ -18,6 +18,7 @@ import "fmt"
 type Coro struct {
 	sim  *Simulator
 	id   int
+	idx  int32 // position in the simulator's creation-order registry
 	name string
 	step func(*Coro)
 
@@ -37,7 +38,8 @@ type Coro struct {
 // phase. Unlike a Thread it owns no goroutine.
 func (s *Simulator) SpawnCoro(name string, step func(*Coro)) *Coro {
 	s.nextID++
-	c := &Coro{sim: s, id: s.nextID, name: name, step: step}
+	c := &Coro{sim: s, id: s.nextID, name: name, step: step, idx: int32(len(s.coros))}
+	s.coros = append(s.coros, c)
 	c.timer = s.NewEvent(name + ".timer")
 	s.makeRunnable(procRef{c: c})
 	return c

@@ -13,6 +13,7 @@ package sysc
 type Event struct {
 	sim  *Simulator
 	name string
+	idx  int32 // position in the simulator's creation-order registry
 
 	// waiters are threads dynamically waiting on this event.
 	waiters []*Thread
@@ -37,7 +38,9 @@ const (
 
 // NewEvent creates a named event bound to the simulator.
 func (s *Simulator) NewEvent(name string) *Event {
-	return &Event{sim: s, name: name}
+	e := &Event{sim: s, name: name, idx: int32(len(s.events))}
+	s.events = append(s.events, e)
+	return e
 }
 
 // Name returns the event's diagnostic name.

@@ -42,6 +42,38 @@ func (q *timedQueue) push(when Time, ev *Event) *timedItem {
 	return it
 }
 
+// pushExact inserts an item with an explicit sequence number instead of
+// drawing a fresh one — the state-restore path (state.go) re-creates
+// captured entries with their original seqs so same-instant firing order
+// is preserved bit-for-bit. The caller restores q.seq separately.
+func (q *timedQueue) pushExact(when Time, seq uint64, ev *Event) *timedItem {
+	var it *timedItem
+	if n := len(q.free); n > 0 {
+		it = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		it.when, it.seq, it.ev, it.cancelled = when, seq, ev, false
+	} else {
+		it = &timedItem{when: when, seq: seq, ev: ev}
+	}
+	q.items = append(q.items, it)
+	q.up(len(q.items) - 1)
+	return it
+}
+
+// reset empties the heap (recycling every item) and force-sets the seq
+// counter — the state-restore path rebuilds the heap from a capture.
+func (q *timedQueue) reset(seq uint64) {
+	for i, it := range q.items {
+		it.cancelled = false
+		q.release(it)
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.ncancel = 0
+	q.seq = seq
+}
+
 // cancel marks a scheduled item dead. The heap slot is reclaimed lazily on
 // pop, or eagerly via compact once dead items exceed the live fraction.
 func (q *timedQueue) cancel(it *timedItem) {

@@ -9,6 +9,7 @@ import "fmt"
 type Thread struct {
 	sim  *Simulator
 	id   int
+	idx  int32 // position in the simulator's creation-order registry
 	name string
 	fn   func(*Thread)
 
@@ -40,6 +41,7 @@ func (s *Simulator) Spawn(name string, fn func(*Thread)) *Thread {
 	t := &Thread{
 		sim:    s,
 		id:     s.nextID,
+		idx:    int32(len(s.threads)),
 		name:   name,
 		fn:     fn,
 		resume: make(chan struct{}, 1),

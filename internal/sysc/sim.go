@@ -22,8 +22,10 @@ type Simulator struct {
 	updates  []updater
 
 	threads []*Thread
-	running *Thread // thread currently executing (nil outside evaluate)
-	curCoro *Coro   // coroutine currently stepping (nil outside a step)
+	events  []*Event // every event ever created, in creation order (state.go)
+	coros   []*Coro  // every coroutine ever spawned, in creation order
+	running *Thread  // thread currently executing (nil outside evaluate)
+	curCoro *Coro    // coroutine currently stepping (nil outside a step)
 	nextID  int
 
 	// observer, when set, watches scheduler milestones: quiescent points

@@ -1,0 +1,307 @@
+package sysc
+
+import "fmt"
+
+// This file implements quiescent-point state capture and in-place restore
+// for the discrete-event core — the bottom layer of the kernel snapshot
+// stack (internal/snapshot).
+//
+// The contract: capture is legal only *between* Start calls, when the
+// model is stable — nothing runnable, no pending update or delta. At that
+// instant the whole dynamic state of the simulator is plain data: the
+// clock, the delta counter, the timed heap's live (when, seq, event)
+// triples, each event's wait lists, and each coroutine's armed wait set.
+//
+// Goroutine-backed threads are the one process kind whose resumption
+// state (a parked stack) cannot be serialized. They are handled by
+// *pinning*: a live thread's armed wait set is captured, and LoadState
+// verifies the thread is still parked on exactly that wait set — meaning
+// its goroutine has not moved since the capture, so its stack needs no
+// rewinding at all. A thread that advanced between capture and restore
+// (anything the goroutine engine dispatches) fails the check and the load
+// is refused; callers fall back to a cold run. The continuation engine
+// exists precisely so that hot-path configurations have no moving
+// goroutine threads — only pinned ones (the INIT boot task parked forever
+// at the top of its cycle).
+//
+// LoadState writes a captured state back into the *same* construction.
+// Pointer identities (events, coroutines, closures) are stable across one
+// construction, so wait lists rebuild from registry indices onto the
+// original objects and the step closures resume exactly where the capture
+// left them. Processes created *after* the capture (a warm fork may spawn
+// per-variant fault threads) are neutralized: notifications cancelled,
+// wait-list membership dropped, so they can never fire into the restored
+// timeline.
+
+// ErrThreadMoved reports a restore attempt after a goroutine-backed
+// thread advanced past its captured park point. Callers treat it as
+// "this configuration is not warm-restorable", not as a fault.
+type ErrThreadMoved struct{ Name string }
+
+func (e *ErrThreadMoved) Error() string {
+	return fmt.Sprintf("sysc: thread %q moved since the capture; goroutine stacks cannot be rewound", e.Name)
+}
+
+// TimedItemState is one live entry of the timed notification heap. Seq is
+// the original push sequence number: restoring with the exact sequence
+// preserves same-instant firing order bit-for-bit.
+type TimedItemState struct {
+	When Time
+	Seq  uint64
+	Ev   int32 // event registry index
+}
+
+// EventState is the per-event dynamic state. Pending notifications are
+// not stored here — the heap list is their single source of truth — so an
+// event's own state is its wait lists, in wake (append) order.
+type EventState struct {
+	Waiters  []int32 // thread registry indices (pinned live threads)
+	CWaiters []int32 // coro registry indices
+}
+
+// ThreadState is the captured state of a goroutine-backed thread: either
+// done, or parked on an armed wait set it must still hold at restore.
+type ThreadState struct {
+	Done    bool
+	Waiting []int32 // armed wait set, event registry indices in arm order
+}
+
+// CoroState is the resumption state of one coroutine between steps.
+type CoroState struct {
+	Waiting []int32 // armed wait set, event registry indices in arm order
+	TrigEv  int32   // event that resumed the last step, -1 if none
+	Armed   bool
+	Done    bool
+}
+
+// SimState is the complete captured dynamic state of a Simulator at a
+// quiescent point. All fields are plain data; the snapshot package owns
+// the binary encoding.
+type SimState struct {
+	Now        Time
+	DeltaCount uint64
+	HeapSeq    uint64           // timed queue's next-seq counter
+	Heap       []TimedItemState // live entries sorted by (When, Seq)
+	Events     []EventState     // registry order
+	Threads    []ThreadState    // registry order
+	Coros      []CoroState      // registry order
+}
+
+// SaveState captures the simulator's dynamic state. It must be called
+// between Start calls; it fails when the model is not quiescent (which
+// cannot happen between Start calls of a healthy run).
+func (s *Simulator) SaveState() (*SimState, error) {
+	if s.shutdown {
+		return nil, fmt.Errorf("sysc: cannot capture state after shutdown")
+	}
+	if s.err != nil {
+		return nil, fmt.Errorf("sysc: cannot capture state of a failed simulation: %w", s.err)
+	}
+	if s.runHead < len(s.runnable) || len(s.updates) > 0 || len(s.deltaQ) > 0 {
+		return nil, fmt.Errorf("sysc: capture requires a quiescent model (runnable=%d updates=%d delta=%d)",
+			len(s.runnable)-s.runHead, len(s.updates), len(s.deltaQ))
+	}
+	st := &SimState{
+		Now:        s.now,
+		DeltaCount: s.deltaCount,
+		HeapSeq:    s.timed.seq,
+		Events:     make([]EventState, len(s.events)),
+		Threads:    make([]ThreadState, len(s.threads)),
+		Coros:      make([]CoroState, len(s.coros)),
+	}
+	for _, it := range s.timed.items {
+		ev := it.ev
+		if it.cancelled || ev == nil || ev.pendingKind != notifyTimed || ev.pendingEntry != it {
+			continue
+		}
+		st.Heap = append(st.Heap, TimedItemState{When: it.when, Seq: it.seq, Ev: ev.idx})
+	}
+	sortHeapState(st.Heap)
+	for i, e := range s.events {
+		if e.pendingKind == notifyDelta {
+			return nil, fmt.Errorf("sysc: event %q has a pending delta at a quiescent point", e.name)
+		}
+		if n := len(e.waiters); n > 0 {
+			ws := make([]int32, n)
+			for j, t := range e.waiters {
+				ws[j] = t.idx
+			}
+			st.Events[i].Waiters = ws
+		}
+		if n := len(e.cwaiters); n > 0 {
+			ws := make([]int32, n)
+			for j, c := range e.cwaiters {
+				ws[j] = c.idx
+			}
+			st.Events[i].CWaiters = ws
+		}
+	}
+	for i, t := range s.threads {
+		ts := ThreadState{Done: t.done}
+		if !t.done {
+			if len(t.waiting) == 0 {
+				// Unreachable at a quiescent point: a live thread not parked
+				// on anything would be runnable.
+				return nil, fmt.Errorf("sysc: live thread %q is not parked at a quiescent point", t.name)
+			}
+			ws := make([]int32, len(t.waiting))
+			for j, e := range t.waiting {
+				ws[j] = e.idx
+			}
+			ts.Waiting = ws
+		}
+		st.Threads[i] = ts
+	}
+	for i, c := range s.coros {
+		cs := CoroState{TrigEv: -1, Armed: c.armed, Done: c.done}
+		if c.trigEv != nil {
+			cs.TrigEv = c.trigEv.idx
+		}
+		if n := len(c.waiting); n > 0 {
+			ws := make([]int32, n)
+			for j, e := range c.waiting {
+				ws[j] = e.idx
+			}
+			cs.Waiting = ws
+		}
+		st.Coros[i] = cs
+	}
+	return st, nil
+}
+
+// LoadState restores a state captured from this same construction. The
+// registries may have grown since the capture (processes spawned after a
+// fork); the extras are neutralized. Shrunken registries mean the state
+// belongs to a different construction and the load is refused, as is any
+// goroutine thread that moved past its captured park point.
+func (s *Simulator) LoadState(st *SimState) error {
+	if s.shutdown {
+		return fmt.Errorf("sysc: cannot restore state after shutdown")
+	}
+	if s.err != nil {
+		return fmt.Errorf("sysc: cannot restore state into a failed simulation: %w", s.err)
+	}
+	if len(s.events) < len(st.Events) || len(s.coros) < len(st.Coros) || len(s.threads) < len(st.Threads) {
+		return fmt.Errorf("sysc: state mismatch: captured %d events/%d coros/%d threads, simulator has %d/%d/%d",
+			len(st.Events), len(st.Coros), len(st.Threads), len(s.events), len(s.coros), len(s.threads))
+	}
+	// Verify every captured goroutine thread is exactly where the capture
+	// left it before mutating anything: done threads must still be done,
+	// live ones must still hold the identical armed wait set.
+	for i, t := range s.threads {
+		if i >= len(st.Threads) {
+			continue // spawned after the capture: neutralized below
+		}
+		ts := &st.Threads[i]
+		if t.done != ts.Done {
+			return &ErrThreadMoved{Name: t.name}
+		}
+		if t.done {
+			continue
+		}
+		if len(t.waiting) != len(ts.Waiting) {
+			return &ErrThreadMoved{Name: t.name}
+		}
+		for j, e := range t.waiting {
+			if e.idx != ts.Waiting[j] {
+				return &ErrThreadMoved{Name: t.name}
+			}
+		}
+	}
+	s.now = st.Now
+	s.deltaCount = st.DeltaCount
+	s.stopRequested = false
+	s.cancelled = false
+	s.runnable = s.runnable[:0]
+	s.runHead = 0
+	s.updates = s.updates[:0]
+	s.deltaQ = s.deltaQ[:0]
+
+	// Clear every event's dynamic state, then rebuild from the capture.
+	for _, e := range s.events {
+		e.pendingKind = notifyNone
+		e.pendingEntry = nil
+		clearWaiters(e)
+	}
+	s.timed.reset(st.HeapSeq)
+	for i := range st.Heap {
+		h := &st.Heap[i]
+		if int(h.Ev) >= len(s.events) {
+			return fmt.Errorf("sysc: heap entry references unknown event %d", h.Ev)
+		}
+		ev := s.events[h.Ev]
+		ev.pendingKind = notifyTimed
+		ev.pendingWhen = h.When
+		ev.pendingEntry = s.timed.pushExact(h.When, h.Seq, ev)
+	}
+	for i := range st.Events {
+		e := s.events[i]
+		for _, ti := range st.Events[i].Waiters {
+			if int(ti) >= len(s.threads) {
+				return fmt.Errorf("sysc: event %q wait list references unknown thread %d", e.name, ti)
+			}
+			e.waiters = append(e.waiters, s.threads[ti])
+		}
+		for _, ci := range st.Events[i].CWaiters {
+			if int(ci) >= len(s.coros) {
+				return fmt.Errorf("sysc: event %q wait list references unknown coro %d", e.name, ci)
+			}
+			e.cwaiters = append(e.cwaiters, s.coros[ci])
+		}
+	}
+	// Threads past len(st.Threads) were never re-added to a waiters list
+	// above, so they stay parked until Shutdown kills them.
+	for _, t := range s.threads {
+		t.queued = false
+	}
+	for i, c := range s.coros {
+		c.queued = false
+		if i >= len(st.Coros) {
+			// Spawned after the capture: park it forever.
+			c.waiting = c.waiting[:0]
+			c.trigEv = nil
+			c.armed = false
+			c.done = true
+			continue
+		}
+		cs := &st.Coros[i]
+		c.armed = cs.Armed
+		c.done = cs.Done
+		c.trigEv = nil
+		if cs.TrigEv >= 0 {
+			c.trigEv = s.events[cs.TrigEv]
+		}
+		c.waiting = c.waiting[:0]
+		for _, ei := range cs.Waiting {
+			c.waiting = append(c.waiting, s.events[ei])
+		}
+	}
+	return nil
+}
+
+// clearWaiters empties an event's dynamic wait lists without freeing the
+// backing arrays.
+func clearWaiters(e *Event) {
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	for i := range e.cwaiters {
+		e.cwaiters[i] = nil
+	}
+	e.cwaiters = e.cwaiters[:0]
+}
+
+// sortHeapState orders heap entries by (When, Seq) — insertion sort; live
+// heaps at quiescent points are small and nearly ordered.
+func sortHeapState(h []TimedItemState) {
+	for i := 1; i < len(h); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &h[j-1], &h[j]
+			if a.When < b.When || (a.When == b.When && a.Seq < b.Seq) {
+				break
+			}
+			h[j-1], h[j] = h[j], h[j-1]
+		}
+	}
+}

@@ -41,6 +41,13 @@ type Instance struct {
 	RelIDs      []tkernel.ID // implicit release cyclics of periodic tasks
 	IntNos      []int
 	activations uint64
+
+	// Snapshot retention: the mutable cells task programs and device models
+	// write through, kept addressable so internal/snapshot can capture and
+	// restore them (see state.go).
+	scratches  []*opScratch // per task, declaration order
+	samplers   []*sampler   // per interrupt source, declaration order
+	devStarted []*bool      // device-coro frame flags; nil on the goroutine engine
 }
 
 // Activations returns the total completed task-body activations, the
@@ -178,17 +185,20 @@ func Build(sim *sysc.Simulator, k *tkernel.Kernel, ts *TaskSet, seed uint64) *In
 	for ii := range ts.Interrupts {
 		irq := ts.Interrupts[ii]
 		s := newSampler(irq.Arrival, sweep.NewRNG(sweep.Seed(seed, arrivalStreamBase+ii)))
+		in.samplers = append(in.samplers, s)
 		name := "wl.device." + irq.Name
 		if k.Engine() == opts.EngineContinuation {
-			started := false
+			started := new(bool)
+			in.devStarted = append(in.devStarted, started)
 			sim.SpawnCoro(name, func(c *sysc.Coro) {
-				if started {
+				if *started {
 					_ = k.RaiseInterrupt(irq.IntNo)
 				}
-				started = true
+				*started = true
 				c.Wait(s.next())
 			})
 		} else {
+			in.devStarted = append(in.devStarted, nil)
 			sim.Spawn(name, func(th *sysc.Thread) {
 				for {
 					th.Wait(s.next())
@@ -207,6 +217,7 @@ func Build(sim *sysc.Simulator, k *tkernel.Kernel, ts *TaskSet, seed uint64) *In
 func (in *Instance) buildTaskProgram(k *tkernel.Kernel, t *Task) *tkernel.Program {
 	p := k.NewProgram("wl." + t.Name)
 	scratch := &opScratch{}
+	in.scratches = append(in.scratches, scratch)
 	p.Label("loop")
 	if t.Period > 0 {
 		p.SlpTsk(tkernel.TmoFevr, nil)
