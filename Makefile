@@ -8,7 +8,7 @@
 GO ?= go
 BENCHTIME ?= 2s
 
-.PHONY: all build test vet race race-engine check serve serve-fleet serve-e2e serve-load serve-load-guard chaos chaos-traced engine-diff snapshot-diff bench bench-guard bench-all perf-smoke scenarios synthetic-campaign clean
+.PHONY: all build test vet race race-engine check serve serve-fleet serve-e2e serve-load serve-load-guard serve-stream chaos chaos-traced engine-diff snapshot-diff bench bench-guard bench-all perf-smoke scenarios synthetic-campaign clean
 
 all: check
 
@@ -58,10 +58,12 @@ serve-e2e:
 
 # Fleet load harness: a duplicate-heavy workload against an in-process
 # 2-shard fleet, recording jobs/s, admission latency percentiles, and the
-# cache hit ratio to BENCH_serve.json. Fails hard if duplicates are not
-# byte-identical or the fleet simulates a distinct Spec more than once.
+# cache hit ratio to BENCH_serve.json, plus the -stream section (first-byte
+# latency and streamed-vs-buffered live heap of a long-trace job). Fails
+# hard if duplicates are not byte-identical or the fleet simulates a
+# distinct Spec more than once.
 serve-load:
-	$(GO) run ./cmd/serveload -shards 2 -workers 2 -jobs 24 -dup 4 -out BENCH_serve.json
+	$(GO) run ./cmd/serveload -shards 2 -workers 2 -jobs 24 -dup 4 -stream -out BENCH_serve.json
 
 # Re-run the load harness and fail if jobs/s falls more than 40% below the
 # committed BENCH_serve.json (writes fresh numbers to a scratch file; the
@@ -69,6 +71,16 @@ serve-load:
 serve-load-guard:
 	$(GO) run ./cmd/serveload -shards 2 -workers 2 -jobs 24 -dup 4 \
 		-out /tmp/BENCH_serve.new.json -baseline BENCH_serve.json -tolerance 40
+
+# Streaming gate: one ~10 MiB-trace job run buffered and then streamed
+# (?stream=1 chunked download + SSE event feed) against a tiny 64 KiB
+# spill window. Fails unless streamed bytes are identical to buffered,
+# the first byte arrives while the job is still running, and the streamed
+# server's peak live heap sits at least half a trace below the buffered
+# one's — the O(window)-vs-O(trace) memory contract.
+serve-stream:
+	$(GO) run ./cmd/serveload -shards 1 -workers 2 -jobs 4 -dup 2 -stream \
+		-out /tmp/BENCH_stream.json
 
 # Deterministic fault-injection campaign with kernel invariant oracles.
 # Behavior-level faults must all PASS on a correct kernel; add CHAOS_FLAGS

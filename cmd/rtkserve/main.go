@@ -62,6 +62,9 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry bound per shard (0 = default, negative = disable)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte bound per shard (0 = default)")
 	cacheDir := flag.String("cache-dir", "", "spill directory for LRU-evicted cache entries; a restarted server warms itself from it (per-shard subdirectories in fleet mode)")
+	streamWindow := flag.Int("stream-window", 0, "in-memory bytes each streamed artifact keeps before spilling to disk (0 = 256 KiB)")
+	spoolDir := flag.String("spool-dir", "", "spill directory for streamed artifacts (default: OS temp dir)")
+	maxInline := flag.Int64("max-inline-artifact", 0, "largest streamed artifact materialized into the result cache (0 = 8 MiB, negative = never)")
 	prof := profiling.AddFlags()
 	flag.Parse()
 
@@ -84,8 +87,11 @@ func main() {
 			Queue:        *queue,
 			MaxJobTime:   *maxJobTime,
 			MaxJobs:      *maxJobs,
-			Cache:        cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, Dir: dir},
-			DisableCache: *cacheEntries < 0,
+			Cache:             cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, Dir: dir},
+			DisableCache:      *cacheEntries < 0,
+			StreamWindow:      *streamWindow,
+			SpoolDir:          *spoolDir,
+			MaxInlineArtifact: *maxInline,
 		}
 	}
 
@@ -107,9 +113,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "rtkserve: backend %q: %v\n", b, err)
 				os.Exit(1)
 			}
+			p := httputil.NewSingleHostReverseProxy(u)
+			// Negative FlushInterval flushes immediately after each write:
+			// chunked artifact streams and SSE event feeds must flow through
+			// the proxy as the shard produces them, not when its buffer fills.
+			p.FlushInterval = -1
 			rs = append(rs, router.Shard{
 				Name:    fmt.Sprintf("s%d", i),
-				Handler: httputil.NewSingleHostReverseProxy(u),
+				Handler: p,
 			})
 		}
 		if len(rs) == 0 {

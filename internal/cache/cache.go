@@ -152,6 +152,16 @@ func (c *Cache) Begin(key string) (res run.Result, f *Flight, leader bool) {
 	return run.Result{}, f, true
 }
 
+// Put stores a completed result under key without a flight. The streaming
+// serving path uses it: a streamed job bypasses singleflight (every live
+// feed needs its own run) but still publishes its materialized result on
+// completion, so later buffered submissions of the same spec hit.
+func (c *Cache) Put(key string, res run.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, res)
+}
+
 // Get returns the cached result for key without opening a flight.
 func (c *Cache) Get(key string) (run.Result, bool) {
 	c.mu.Lock()

@@ -1,0 +1,269 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/run"
+	"repro/internal/server"
+)
+
+func testSpec(seed uint64, stream bool) run.Spec {
+	return run.Spec{
+		Scenario:  "videogame",
+		Dur:       run.Duration(60 * time.Millisecond),
+		Seed:      seed,
+		Artifacts: []string{run.ArtifactTrace, run.ArtifactMetrics},
+		Stream:    stream,
+	}
+}
+
+// TestClientRoundTrip covers the buffered lifecycle: submit, wait,
+// artifact download, and the cache hit on a duplicate submission.
+func TestClientRoundTrip(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	v, err := c.Submit(ctx, testSpec(7, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = c.Wait(ctx, v.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != server.StateDone {
+		t.Fatalf("state = %s, error = %+v", v.State, v.Error)
+	}
+	trace, err := c.Artifact(ctx, v.ID, run.ArtifactTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace artifact")
+	}
+
+	dup, err := c.Submit(ctx, testSpec(7, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Cached || dup.State != server.StateDone {
+		t.Fatalf("duplicate not cache-served: %+v", dup)
+	}
+
+	if _, err := c.Artifact(ctx, v.ID, "nope.json"); !IsCode(err, server.CodeNotFound) {
+		t.Fatalf("missing artifact error = %v", err)
+	}
+	if _, err := c.Job(ctx, "zzz"); !IsCode(err, server.CodeNotFound) {
+		t.Fatalf("unknown job error = %v", err)
+	}
+}
+
+// TestClientStreaming covers the v3 surface end to end: a streamed
+// submission, its SSE event feed decoded to the terminal event with a
+// mid-feed reconnect via LastID, and a live artifact download matching
+// the buffered bytes.
+func TestClientStreaming(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, DisableCache: true})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	v, err := c.Submit(ctx, testSpec(11, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Stream {
+		t.Fatalf("view lost stream flag: %+v", v)
+	}
+
+	// Read two events, drop the feed, resume from LastID: the union must
+	// be gapless and duplicate-free up to the terminal event.
+	es, err := c.Events(ctx, v.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []server.Event
+	for len(got) < 2 {
+		e, err := es.Next()
+		if err != nil {
+			t.Fatalf("first feed ended early: %v", err)
+		}
+		got = append(got, e)
+	}
+	es.Close()
+
+	es, err = c.Events(ctx, v.ID, es.LastID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	for {
+		e, err := es.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	for i, e := range got {
+		if e.ID != uint64(i+1) {
+			t.Fatalf("event %d has ID %d: resume gapped or duplicated", i, e.ID)
+		}
+	}
+	last := got[len(got)-1]
+	if !last.Terminal || last.State != server.StateDone {
+		t.Fatalf("feed did not end terminal done: %+v", last)
+	}
+
+	streamed, err := c.StreamArtifact(ctx, v.ID, run.ArtifactTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := io.ReadAll(streamed)
+	streamed.Close()
+	if err != nil {
+		t.Fatalf("clean stream surfaced error: %v", err)
+	}
+
+	bv, err := c.Submit(ctx, testSpec(11, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv, err = c.Wait(ctx, bv.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	bb, err := c.Artifact(ctx, bv.ID, run.ArtifactTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb) == 0 || !bytes.Equal(sb, bb) {
+		t.Fatalf("streamed %d bytes != buffered %d bytes", len(sb), len(bb))
+	}
+}
+
+// TestSubmitRetriesSaturation exercises the Retry-After loop against a
+// handler that rejects twice before accepting, and the exhaustion path.
+func TestSubmitRetriesSaturation(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			server.WriteError(w, http.StatusTooManyRequests,
+				server.CodeSaturated, "queue full", 5*time.Millisecond)
+			return
+		}
+		server.WriteJSON(w, http.StatusAccepted, server.JobView{ID: "j1", State: server.StateQueued})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	start := time.Now()
+	v, err := c.Submit(context.Background(), testSpec(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "j1" || calls.Load() != 3 {
+		t.Fatalf("view %+v after %d calls", v, calls.Load())
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatalf("two 5ms Retry-After hints not honored (%v elapsed)", time.Since(start))
+	}
+
+	calls.Store(-1 << 40) // never accepts within the attempt budget
+	c.SubmitAttempts = 3
+	_, err = c.Submit(context.Background(), testSpec(1, false))
+	if !IsCode(err, server.CodeSaturated) {
+		t.Fatalf("exhaustion error = %v", err)
+	}
+}
+
+// TestSubmitDoesNotRetryRejection: a 400 envelope comes straight back.
+func TestSubmitDoesNotRetryRejection(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, err := New(ts.URL).SubmitJSON(context.Background(), []byte(`{"dur":"1ms","artifacts":["x"]}`))
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("invalid spec error = %v", err)
+	}
+}
+
+// TestStreamArtifactTrailerError: a mid-stream failure after headers is
+// surfaced by the terminal read, not swallowed as a short io.EOF.
+func TestStreamArtifactTrailerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Trailer", server.TrailerStreamError)
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "partial-")
+		w.Header().Set(server.TrailerStreamError, server.CodeCancelled+": job cancelled")
+	}))
+	defer ts.Close()
+
+	rc, err := New(ts.URL).StreamArtifact(context.Background(), "j1", "trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	body, err := io.ReadAll(rc)
+	if string(body) != "partial-" {
+		t.Fatalf("body = %q", body)
+	}
+	if !IsCode(err, server.CodeCancelled) {
+		t.Fatalf("trailer error = %v", err)
+	}
+}
+
+// TestClientCancel cancels a queued job through the client.
+func TestClientCancel(t *testing.T) {
+	release := make(chan struct{})
+	srv := server.New(server.Config{
+		Workers: 1,
+		Execute: func(ctx context.Context, spec run.Spec) (run.Result, error) {
+			select {
+			case <-release:
+				return run.Result{}, nil
+			case <-ctx.Done():
+				return run.Result{}, context.Cause(ctx)
+			}
+		},
+	})
+	defer srv.Shutdown(context.Background())
+	defer close(release)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	v, err := c.Submit(ctx, testSpec(2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, v.ID); err != nil {
+		t.Fatal(err)
+	}
+	v, err = c.Wait(ctx, v.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != server.StateCancelled {
+		t.Fatalf("state after cancel = %s", v.State)
+	}
+}

@@ -73,6 +73,7 @@ func New(shards []Shard, vnodes int) *Router {
 	m.HandleFunc("GET /api/v1/jobs/{id}", rt.forwardByID)
 	m.HandleFunc("DELETE /api/v1/jobs/{id}", rt.forwardByID)
 	m.HandleFunc("GET /api/v1/jobs/{id}/artifacts/{name}", rt.forwardByID)
+	m.HandleFunc("GET /api/v1/jobs/{id}/events", rt.forwardByID)
 	m.HandleFunc("GET /healthz", rt.handleHealthz)
 	m.HandleFunc("GET /varz", rt.handleVarz)
 	rt.mux = m
@@ -171,8 +172,12 @@ func (rt *Router) unhealthyNames() []string {
 	return out
 }
 
-// forwardByID routes status/cancel/artifact requests by the job ID's
-// shard prefix ("s0-j17" -> shard "s0").
+// forwardByID routes status/cancel/artifact/events requests by the job
+// ID's shard prefix ("s0-j17" -> shard "s0"). The response writer is
+// handed to the shard handler directly — never buffered — so chunked
+// artifact streams and SSE event feeds flow through the router with the
+// shard's own flushing; a proxy shard (cmd/rtkserve) sets FlushInterval
+// on its ReverseProxy for the same reason.
 func (rt *Router) forwardByID(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	i := strings.LastIndex(id, "-")
@@ -271,6 +276,11 @@ type Totals struct {
 	JobsCoalesced uint64 `json:"jobs_coalesced"`
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
+	// Streaming pipeline totals (v3).
+	StreamJobs            uint64 `json:"stream_jobs"`
+	ArtifactStreamsServed uint64 `json:"artifact_streams_served"`
+	EventStreamsServed    uint64 `json:"event_streams_served"`
+	StreamResultsCached   uint64 `json:"stream_results_cached"`
 	// Failovers counts submissions served by a non-primary replica after
 	// their owning shard answered 5xx.
 	Failovers uint64 `json:"failovers"`
@@ -300,6 +310,10 @@ func (rt *Router) handleVarz(w http.ResponseWriter, r *http.Request) {
 		v.Totals.JobsCompleted += sv.JobsCompleted
 		v.Totals.JobsFromCache += sv.JobsFromCache
 		v.Totals.JobsCoalesced += sv.JobsCoalesced
+		v.Totals.StreamJobs += sv.StreamJobs
+		v.Totals.ArtifactStreamsServed += sv.ArtifactStreamsServed
+		v.Totals.EventStreamsServed += sv.EventStreamsServed
+		v.Totals.StreamResultsCached += sv.StreamResultsCached
 		if sv.Cache != nil {
 			v.Totals.CacheHits += sv.Cache.Hits
 			v.Totals.CacheMisses += sv.Cache.Misses

@@ -146,6 +146,15 @@ type Spec struct {
 	// CheckpointSpec for which fields each supports).
 	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
 
+	// Stream asks the job server to emit this run's streamable artifacts
+	// (trace, metrics) incrementally — chunked artifact downloads while
+	// the job runs — instead of buffering them whole. It never changes
+	// artifact bytes (Canonicalize erases it, so a streamed and a buffered
+	// submission share one content hash and one cache entry), and the run
+	// façade itself ignores it: transport is the caller's choice, made by
+	// passing sinks to ExecuteStream. Exclusive with Checkpoint.
+	Stream bool `json:"stream,omitempty"`
+
 	// Artifacts lists the outputs to produce (Artifact* names). Empty
 	// means stats only.
 	Artifacts []string `json:"artifacts,omitempty"`
@@ -268,31 +277,10 @@ type Result struct {
 // Execute builds and runs the simulation described by spec, observing ctx
 // (and spec.Deadline) at every quiescent point. On cancellation it returns
 // the partial result alongside the context's cause; on success the result
-// carries every requested artifact.
+// carries every requested artifact. Execute buffers everything;
+// ExecuteStream is the incremental-sink variant.
 func Execute(ctx context.Context, spec Spec) (Result, error) {
-	if spec.Scenario == "" {
-		spec.Scenario = ScenarioVideogame
-	}
-	if err := Validate(spec); err != nil {
-		return Result{}, err
-	}
-	if spec.Deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, spec.Deadline.Std())
-		defer cancel()
-	}
-	switch spec.Scenario {
-	case ScenarioVideogame:
-		return executeVideogame(ctx, spec)
-	case ScenarioChaos:
-		return executeChaos(ctx, spec)
-	case ScenarioExperiments:
-		return executeExperiments(ctx, spec)
-	case ScenarioSynthetic:
-		return executeSynthetic(ctx, spec)
-	default:
-		return Result{}, fmt.Errorf("run: unknown scenario %q", spec.Scenario)
-	}
+	return ExecuteStream(ctx, spec, StreamOptions{})
 }
 
 // scenarioArtifacts maps each scenario to the artifact names it can
@@ -383,6 +371,11 @@ func Validate(spec Spec) error {
 		}
 	} else if wants(spec, ArtifactSnapshot) {
 		return fmt.Errorf("run: artifact %q requires checkpoint.at", ArtifactSnapshot)
+	}
+	if spec.Stream && spec.Checkpoint != nil {
+		// Snapshot capture folds the trace buffer into the kernel state; a
+		// trace that left through a sink cannot be captured or verified.
+		return fmt.Errorf("run: stream and checkpoint are exclusive")
 	}
 	return nil
 }

@@ -1,0 +1,152 @@
+package run
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/sysc"
+)
+
+// This file is the façade's streaming surface. Execute buffers every
+// artifact into the returned bytes map; ExecuteStream lets the caller
+// attach incremental sinks instead — the trace exporter and the metrics
+// encoder write straight into them from their bus subscribers, so an
+// arbitrarily long run never accumulates those artifacts in memory. The
+// byte contract is unchanged: a sink receives exactly the bytes the
+// buffered artifact would have held, because both paths drive the same
+// exporter against a different io.Writer.
+
+// Sinks maps artifact names (Artifact* constants) to incremental sinks.
+// An artifact with a sink is written as the run produces it and omitted
+// from Result.Artifacts; everything else stays buffered.
+type Sinks map[string]io.Writer
+
+// StreamOptions parameterizes ExecuteStream beyond the pure-data Spec:
+// where streamed artifacts go and how run progress is observed. The
+// options never influence artifact bytes — they only choose transport
+// (sinks) and add observation (progress pauses at quiescent points,
+// which are unobservable by the checkpoint byte-equality contract).
+type StreamOptions struct {
+	// Sinks receive streamable artifacts incrementally. Every key must
+	// name a requested artifact the scenario can stream (Streamable).
+	Sinks Sinks
+	// Progress, when non-nil, is called with a Stats snapshot at
+	// ProgressEvery boundaries of simulated time. The simulation pauses at
+	// a quiescent point to take the snapshot, exactly as a checkpoint run
+	// does; the pause is unobservable in every artifact. Supported by the
+	// videogame and synthetic scenarios.
+	Progress func(Stats)
+	// ProgressEvery is the simulated time between progress snapshots
+	// (default: an eighth of the run duration).
+	ProgressEvery Duration
+}
+
+// streamableArtifacts maps each scenario to the artifacts it can emit
+// incrementally. Trace is a true streaming producer (one JSON record per
+// bus event); metrics keeps O(tasks) state and encodes its report into
+// the sink at the end of the run — either way the server never holds the
+// artifact bytes.
+var streamableArtifacts = map[Scenario]map[string]bool{
+	ScenarioVideogame: {ArtifactTrace: true, ArtifactMetrics: true},
+	ScenarioSynthetic: {ArtifactTrace: true, ArtifactMetrics: true},
+}
+
+// Streamable reports whether the scenario can emit the named artifact
+// incrementally through a sink.
+func Streamable(sc Scenario, name string) bool {
+	if sc == "" {
+		sc = ScenarioVideogame
+	}
+	return streamableArtifacts[sc][name]
+}
+
+// StreamableArtifacts returns the spec's requested artifacts that its
+// scenario can stream, in request order.
+func StreamableArtifacts(spec Spec) []string {
+	var out []string
+	for _, a := range spec.Artifacts {
+		if Streamable(spec.Scenario, a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ExecuteStream is Execute with streaming attachments: artifacts with a
+// sink are emitted incrementally and omitted from the result map, and a
+// progress callback observes Stats snapshots mid-run. A zero opts is
+// exactly Execute.
+func ExecuteStream(ctx context.Context, spec Spec, o StreamOptions) (Result, error) {
+	if spec.Scenario == "" {
+		spec.Scenario = ScenarioVideogame
+	}
+	if err := Validate(spec); err != nil {
+		return Result{}, err
+	}
+	for name := range o.Sinks {
+		if !wants(spec, name) {
+			return Result{}, fmt.Errorf("run: sink for artifact %q the spec does not request", name)
+		}
+		if !Streamable(spec.Scenario, name) {
+			return Result{}, fmt.Errorf("run: scenario %q cannot stream artifact %q", spec.Scenario, name)
+		}
+	}
+	if len(o.Sinks) > 0 && spec.Checkpoint != nil {
+		return Result{}, fmt.Errorf("run: streaming sinks and checkpoints are exclusive")
+	}
+	if spec.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Deadline.Std())
+		defer cancel()
+	}
+	switch spec.Scenario {
+	case ScenarioVideogame:
+		return executeVideogame(ctx, spec, o)
+	case ScenarioChaos:
+		return executeChaos(ctx, spec)
+	case ScenarioExperiments:
+		return executeExperiments(ctx, spec)
+	case ScenarioSynthetic:
+		return executeSynthetic(ctx, spec, o)
+	default:
+		return Result{}, fmt.Errorf("run: unknown scenario %q", spec.Scenario)
+	}
+}
+
+// sink returns the configured sink for an artifact, nil when buffered.
+func (o *StreamOptions) sink(name string) io.Writer {
+	return o.Sinks[name]
+}
+
+// progressGrid resolves the snapshot period against the run duration.
+func (o *StreamOptions) progressGrid(dur sysc.Time) sysc.Time {
+	every := o.ProgressEvery.Sim()
+	if every <= 0 {
+		every = dur / 8
+	}
+	if every <= 0 {
+		every = dur
+	}
+	return every
+}
+
+// driveProgress advances the simulation from `from` to `to` through
+// runTo (an absolute-target drive function), pausing on the progress
+// grid to publish a snapshot. Without a progress sink it is a single
+// drive call — the buffered fast path. The pauses land at quiescent
+// points, the same mechanism as a checkpoint's two-leg run, so they are
+// unobservable in every artifact (enforced by TestStreamByteIdentical).
+func driveProgress(ctx context.Context, from, to, every sysc.Time,
+	runTo func(context.Context, sysc.Time) error, progress func()) error {
+	if progress == nil {
+		return runTo(ctx, to)
+	}
+	for t := from + every; t < to; t += every {
+		if err := runTo(ctx, t); err != nil {
+			return err
+		}
+		progress()
+	}
+	return runTo(ctx, to)
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/event"
@@ -41,11 +42,13 @@ type synSystem struct {
 	dur  sysc.Time
 	ts   *workload.TaskSet
 
-	bus      *event.Bus
-	traceBuf bytes.Buffer
-	pf       *trace.Perfetto
-	coll     *metrics.Collector
-	g        *trace.Gantt
+	bus         *event.Bus
+	traceBuf    bytes.Buffer
+	traceSink   io.Writer
+	metricsSink io.Writer
+	pf          *trace.Perfetto
+	coll        *metrics.Collector
+	g           *trace.Gantt
 
 	sim  *sysc.Simulator
 	k    *tkernel.Kernel
@@ -53,8 +56,9 @@ type synSystem struct {
 }
 
 // buildSynSystem constructs the synthetic system described by spec without
-// running it. The caller owns shutdown (defer sys.sim.Shutdown()).
-func buildSynSystem(spec Spec) *synSystem {
+// running it. The caller owns shutdown (defer sys.sim.Shutdown()). Artifacts
+// with a sink in o stream out incrementally instead of buffering.
+func buildSynSystem(spec Spec, o StreamOptions) *synSystem {
 	s := &synSystem{spec: spec, dur: spec.Dur.Sim()}
 	if s.dur <= 0 {
 		s.dur = 1 * sysc.Sec
@@ -63,8 +67,13 @@ func buildSynSystem(spec Spec) *synSystem {
 
 	s.bus = event.NewBus()
 	if wants(spec, ArtifactTrace) {
-		s.pf = trace.AttachPerfetto(s.bus, &s.traceBuf)
+		w := io.Writer(&s.traceBuf)
+		if s.traceSink = o.sink(ArtifactTrace); s.traceSink != nil {
+			w = s.traceSink
+		}
+		s.pf = trace.AttachPerfetto(s.bus, w)
 	}
+	s.metricsSink = o.sink(ArtifactMetrics)
 	if wants(spec, ArtifactMetrics) {
 		s.coll = metrics.Attach(s.bus)
 	}
@@ -93,26 +102,28 @@ func (s *synSystem) snapSystem() snapshot.System {
 	}
 }
 
-// result assembles the deterministic stats digest after the run.
-func (s *synSystem) result(wall time.Duration) Result {
+// stats assembles the deterministic stats digest at the current sim time.
+func (s *synSystem) stats(wall time.Duration) Stats {
 	simNs := time.Duration(s.sim.Now() / sysc.Ns)
-	res := Result{
-		Stats: Stats{
-			Scenario:    ScenarioSynthetic,
-			SimTime:     Duration(simNs),
-			Wall:        Duration(wall),
-			Ticks:       s.k.Ticks(),
-			CtxSwitches: s.k.API().ContextSwitches(),
-			Preemptions: s.k.API().Preemptions(),
-			Interrupts:  s.k.API().Interrupts(),
-			Activations: s.inst.Activations(),
-		},
-		Artifacts: map[string][]byte{},
+	st := Stats{
+		Scenario:    ScenarioSynthetic,
+		SimTime:     Duration(simNs),
+		Wall:        Duration(wall),
+		Ticks:       s.k.Ticks(),
+		CtxSwitches: s.k.API().ContextSwitches(),
+		Preemptions: s.k.API().Preemptions(),
+		Interrupts:  s.k.API().Interrupts(),
+		Activations: s.inst.Activations(),
 	}
 	if wall > 0 {
-		res.Stats.SimPerWall = simNs.Seconds() / wall.Seconds()
+		st.SimPerWall = simNs.Seconds() / wall.Seconds()
 	}
-	return res
+	return st
+}
+
+// result wraps the stats digest for artifact harvesting.
+func (s *synSystem) result(wall time.Duration) Result {
+	return Result{Stats: s.stats(wall), Artifacts: map[string][]byte{}}
 }
 
 // harvest collects the requested artifacts into res. closeTrace selects how
@@ -127,7 +138,9 @@ func (s *synSystem) harvest(res *Result, runErr *error, closeTrace bool) {
 			if err := s.pf.Close(); err != nil && *runErr == nil {
 				*runErr = fmt.Errorf("run: trace: %w", err)
 			}
-			res.Artifacts[ArtifactTrace] = s.traceBuf.Bytes()
+			if s.traceSink == nil {
+				res.Artifacts[ArtifactTrace] = s.traceBuf.Bytes()
+			}
 		} else {
 			if err := s.pf.Flush(); err != nil && *runErr == nil {
 				*runErr = fmt.Errorf("run: trace: %w", err)
@@ -138,11 +151,17 @@ func (s *synSystem) harvest(res *Result, runErr *error, closeTrace bool) {
 		res.Stats.TraceEvents = s.pf.Events()
 	}
 	if s.coll != nil {
-		var buf bytes.Buffer
-		if err := s.coll.WriteJSON(&buf); err != nil && *runErr == nil {
-			*runErr = fmt.Errorf("run: metrics: %w", err)
+		if s.metricsSink != nil {
+			if err := s.coll.WriteJSON(s.metricsSink); err != nil && *runErr == nil {
+				*runErr = fmt.Errorf("run: metrics: %w", err)
+			}
+		} else {
+			var buf bytes.Buffer
+			if err := s.coll.WriteJSON(&buf); err != nil && *runErr == nil {
+				*runErr = fmt.Errorf("run: metrics: %w", err)
+			}
+			res.Artifacts[ArtifactMetrics] = buf.Bytes()
 		}
-		res.Artifacts[ArtifactMetrics] = buf.Bytes()
 	}
 	if s.g != nil {
 		var buf bytes.Buffer
@@ -189,14 +208,20 @@ func (s *synSystem) encodeSnapshot() ([]byte, error) {
 // Checkpoint splits the run in two legs at a quiescent point — capturing a
 // snapshot and/or reseeding the arrival streams there — or resumes a
 // previously captured snapshot.
-func executeSynthetic(ctx context.Context, spec Spec) (Result, error) {
+func executeSynthetic(ctx context.Context, spec Spec, o StreamOptions) (Result, error) {
 	if ck := spec.Checkpoint; ck != nil && ck.ResumeFrom != nil {
-		return executeResume(ctx, spec)
+		return executeResume(ctx, spec, o)
 	}
-	sys := buildSynSystem(spec)
+	sys := buildSynSystem(spec, o)
 	defer sys.sim.Shutdown()
 
 	wall0 := time.Now()
+	progress := func() { o.Progress(sys.stats(time.Since(wall0))) }
+	if o.Progress == nil {
+		progress = nil
+	}
+	every := o.progressGrid(sys.dur)
+
 	var runErr error
 	var snap []byte
 	if ck := spec.Checkpoint; ck != nil && ck.At > 0 {
@@ -212,10 +237,10 @@ func executeSynthetic(ctx context.Context, spec Spec) (Result, error) {
 			if ck.ForkSeed != nil {
 				sys.inst.Reseed(*ck.ForkSeed)
 			}
-			runErr = sys.sim.StartContext(ctx, sys.dur)
+			runErr = driveProgress(ctx, at, sys.dur, every, sys.sim.StartContext, progress)
 		}
 	} else {
-		runErr = sys.sim.StartContext(ctx, sys.dur)
+		runErr = driveProgress(ctx, 0, sys.dur, every, sys.sim.StartContext, progress)
 	}
 	wall := time.Since(wall0)
 
@@ -233,7 +258,7 @@ func executeSynthetic(ctx context.Context, spec Spec) (Result, error) {
 // the outer spec's duration with the outer spec's artifact requests. An
 // optional ForkSeed reseeds the arrival streams at the capture point, so a
 // resume can both continue a run exactly and fork variants from it.
-func executeResume(ctx context.Context, spec Spec) (Result, error) {
+func executeResume(ctx context.Context, spec Spec, o StreamOptions) (Result, error) {
 	ck := spec.Checkpoint
 	meta, err := snapshot.DecodeMeta(ck.ResumeFrom)
 	if err != nil {
@@ -261,10 +286,15 @@ func executeResume(ctx context.Context, spec Spec) (Result, error) {
 	build := inner
 	build.Dur = spec.Dur
 	build.Artifacts = spec.Artifacts
-	sys := buildSynSystem(build)
+	sys := buildSynSystem(build, StreamOptions{})
 	defer sys.sim.Shutdown()
 
 	wall0 := time.Now()
+	progress := func() { o.Progress(sys.stats(time.Since(wall0))) }
+	if o.Progress == nil {
+		progress = nil
+	}
+
 	runErr := sys.sim.StartContext(ctx, at)
 	if runErr == nil {
 		if err := snapshot.Verify(sys.snapSystem(), ck.ResumeFrom); err != nil {
@@ -273,7 +303,7 @@ func executeResume(ctx context.Context, spec Spec) (Result, error) {
 		if ck.ForkSeed != nil {
 			sys.inst.Reseed(*ck.ForkSeed)
 		}
-		runErr = sys.sim.StartContext(ctx, dur)
+		runErr = driveProgress(ctx, at, dur, o.progressGrid(dur), sys.sim.StartContext, progress)
 	}
 	wall := time.Since(wall0)
 

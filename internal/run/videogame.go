@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/app"
@@ -24,8 +25,10 @@ const ganttWindow = 100 * sysc.Ms
 
 // executeVideogame runs the paper's case study (Section 5.2) and harvests
 // the requested artifacts. Everything written into an artifact derives
-// from simulated state only.
-func executeVideogame(ctx context.Context, spec Spec) (Result, error) {
+// from simulated state only. Artifacts with a sink in o stream out
+// incrementally and are omitted from the returned map; the bytes either
+// way are identical because the same exporter drives both paths.
+func executeVideogame(ctx context.Context, spec Spec, o StreamOptions) (Result, error) {
 	dur := spec.Dur.Sim()
 	if dur <= 0 {
 		dur = 1 * sysc.Sec
@@ -33,9 +36,14 @@ func executeVideogame(ctx context.Context, spec Spec) (Result, error) {
 
 	bus := event.NewBus()
 	var traceBuf bytes.Buffer
+	traceSink := o.sink(ArtifactTrace)
 	var pf *trace.Perfetto
 	if wants(spec, ArtifactTrace) {
-		pf = trace.AttachPerfetto(bus, &traceBuf)
+		w := io.Writer(&traceBuf)
+		if traceSink != nil {
+			w = traceSink
+		}
+		pf = trace.AttachPerfetto(bus, w)
 	}
 	var coll *metrics.Collector
 	if wants(spec, ArtifactMetrics) {
@@ -68,31 +76,10 @@ func executeVideogame(ctx context.Context, spec Spec) (Result, error) {
 	defer a.Shutdown()
 
 	wall0 := time.Now()
-	var runErr error
-	if spec.Step {
-		// Step mode: advance in steps of the system tick rather than
-		// animate mode, as the paper prescribes for trace viewing.
-		tick := a.K.Tick()
-		for t := tick; t <= dur; t += tick {
-			if runErr = a.RunContext(ctx, t); runErr != nil {
-				break
-			}
-		}
-	} else if ck := spec.Checkpoint; ck != nil && ck.At > 0 && ck.At.Sim() < dur {
-		// Two-leg checkpoint run: pause at a quiescent point and continue.
-		// The byte-equality contract demands this is unobservable — the
-		// property tests compare its artifacts against the one-leg run.
-		if runErr = a.RunContext(ctx, ck.At.Sim()); runErr == nil {
-			runErr = a.RunContext(ctx, dur)
-		}
-	} else {
-		runErr = a.RunContext(ctx, dur)
-	}
-	wall := time.Since(wall0)
-
-	simNs := time.Duration(a.Sim.Now() / sysc.Ns)
-	res := Result{
-		Stats: Stats{
+	statsNow := func() Stats {
+		simNs := time.Duration(a.Sim.Now() / sysc.Ns)
+		wall := time.Since(wall0)
+		st := Stats{
 			Scenario:    ScenarioVideogame,
 			SimTime:     Duration(simNs),
 			Wall:        Duration(wall),
@@ -103,26 +90,67 @@ func executeVideogame(ctx context.Context, spec Spec) (Result, error) {
 			Frames:      a.Frames(),
 			Score:       a.Score(),
 			Bonus:       a.Bonus(),
-		},
-		Artifacts: map[string][]byte{},
+		}
+		if wall > 0 {
+			st.SimPerWall = simNs.Seconds() / wall.Seconds()
+		}
+		return st
 	}
-	if wall > 0 {
-		res.Stats.SimPerWall = simNs.Seconds() / wall.Seconds()
+	progress := func() { o.Progress(statsNow()) }
+	if o.Progress == nil {
+		progress = nil
 	}
+	every := o.progressGrid(dur)
+
+	var runErr error
+	if spec.Step {
+		// Step mode: advance in steps of the system tick rather than
+		// animate mode, as the paper prescribes for trace viewing.
+		tick := a.K.Tick()
+		next := every
+		for t := tick; t <= dur; t += tick {
+			if runErr = a.RunContext(ctx, t); runErr != nil {
+				break
+			}
+			if progress != nil && t >= next && t < dur {
+				progress()
+				next += every
+			}
+		}
+	} else if ck := spec.Checkpoint; ck != nil && ck.At > 0 && ck.At.Sim() < dur {
+		// Two-leg checkpoint run: pause at a quiescent point and continue.
+		// The byte-equality contract demands this is unobservable — the
+		// property tests compare its artifacts against the one-leg run.
+		if runErr = a.RunContext(ctx, ck.At.Sim()); runErr == nil {
+			runErr = driveProgress(ctx, ck.At.Sim(), dur, every, a.RunContext, progress)
+		}
+	} else {
+		runErr = driveProgress(ctx, 0, dur, every, a.RunContext, progress)
+	}
+
+	res := Result{Stats: statsNow(), Artifacts: map[string][]byte{}}
 
 	if pf != nil {
 		if err := pf.Close(); err != nil && runErr == nil {
 			runErr = fmt.Errorf("run: trace: %w", err)
 		}
 		res.Stats.TraceEvents = pf.Events()
-		res.Artifacts[ArtifactTrace] = traceBuf.Bytes()
+		if traceSink == nil {
+			res.Artifacts[ArtifactTrace] = traceBuf.Bytes()
+		}
 	}
 	if coll != nil {
-		var buf bytes.Buffer
-		if err := coll.WriteJSON(&buf); err != nil && runErr == nil {
-			runErr = fmt.Errorf("run: metrics: %w", err)
+		if w := o.sink(ArtifactMetrics); w != nil {
+			if err := coll.WriteJSON(w); err != nil && runErr == nil {
+				runErr = fmt.Errorf("run: metrics: %w", err)
+			}
+		} else {
+			var buf bytes.Buffer
+			if err := coll.WriteJSON(&buf); err != nil && runErr == nil {
+				runErr = fmt.Errorf("run: metrics: %w", err)
+			}
+			res.Artifacts[ArtifactMetrics] = buf.Bytes()
 		}
-		res.Artifacts[ArtifactMetrics] = buf.Bytes()
 	}
 	if g != nil {
 		var buf bytes.Buffer

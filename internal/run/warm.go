@@ -133,7 +133,7 @@ func warmSweep(ctx context.Context, sw SweepSpec, base Spec) ([]Result, error) {
 
 // warmChunk runs one worker's seeds against one shared-prefix checkpoint.
 func warmChunk(ctx context.Context, sw SweepSpec, base Spec, seeds []uint64, out []Result) error {
-	sys := buildSynSystem(base)
+	sys := buildSynSystem(base, StreamOptions{})
 	defer sys.sim.Shutdown()
 	if err := sys.sim.StartContext(ctx, sw.Prefix.Sim()); err != nil {
 		return err

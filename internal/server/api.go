@@ -96,7 +96,11 @@ type JobView struct {
 	Cached bool `json:"cached,omitempty"`
 	// Coalesced marks a job deduplicated onto an identical in-flight run
 	// (singleflight): it consumed no worker and shares the leader's result.
-	Coalesced bool       `json:"coalesced,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Stream marks a streaming submission (v3): its streamable artifacts
+	// are downloadable live via ?stream=1 and its /events feed carries
+	// mid-run progress.
+	Stream    bool       `json:"stream,omitempty"`
 	Spec      run.Spec   `json:"spec"`
 	Error     *APIError  `json:"error,omitempty"`
 	Stats     *run.Stats `json:"stats,omitempty"`

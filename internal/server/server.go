@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/run"
+	"repro/internal/stream"
 	"repro/internal/sweep"
 )
 
@@ -80,9 +81,23 @@ type Config struct {
 	// DisableCache turns the result cache and singleflight dedupe off:
 	// every submission simulates.
 	DisableCache bool
+	// StreamWindow bounds the in-memory bytes each streamed artifact keeps
+	// (default stream.DefaultWindow); older bytes spill to disk.
+	StreamWindow int
+	// SpoolDir is where streamed artifacts spill past the window (default:
+	// the OS temp dir). Spill files are unlinked on creation.
+	SpoolDir string
+	// MaxInlineArtifact caps the size at which a finished streamed artifact
+	// is materialized into the result cache (default 8 MiB; negative
+	// disables cache landing for streamed jobs entirely). Oversize
+	// artifacts stay ring-backed — served from disk + window — and their
+	// job's result is not cached.
+	MaxInlineArtifact int64
 	// Execute overrides the run executor. Tests use it to substitute
 	// controllable fakes; nil means run.Execute.
 	Execute func(context.Context, run.Spec) (run.Result, error)
+	// ExecuteStream overrides the streaming executor (nil: run.ExecuteStream).
+	ExecuteStream func(context.Context, run.Spec, run.StreamOptions) (run.Result, error)
 }
 
 // Job is one submitted run and its outcome.
@@ -93,10 +108,17 @@ type Job struct {
 	State     State
 	Cached    bool   // served from the result cache
 	Coalesced bool   // deduplicated onto an identical in-flight run
+	Stream    bool   // streaming submission (Spec.Stream)
 	ErrCode   string // terminal error code (failed/cancelled)
 	Err       string // terminal error message
 	Stats     run.Stats
 	Artifacts map[string][]byte
+
+	// streams holds the live (and, after completion, disk-backed) rings of
+	// a streaming job's streamable artifacts; these names never appear in
+	// Artifacts. events is the job's SSE feed.
+	streams map[string]*stream.Ring
+	events  *eventLog
 
 	cancel context.CancelCauseFunc
 	seq    uint64
@@ -110,9 +132,10 @@ type Server struct {
 	cache *cache.Cache // nil when disabled
 	mux   *http.ServeMux
 
-	ctx  context.Context // base context of every job; cancelled by Shutdown(force)
-	stop context.CancelCauseFunc
-	exec func(context.Context, run.Spec) (run.Result, error)
+	ctx        context.Context // base context of every job; cancelled by Shutdown(force)
+	stop       context.CancelCauseFunc
+	exec       func(context.Context, run.Spec) (run.Result, error)
+	execStream func(context.Context, run.Spec, run.StreamOptions) (run.Result, error)
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -120,13 +143,18 @@ type Server struct {
 	draining bool
 
 	// varz counters.
-	submitted uint64
-	rejected  uint64
-	completed uint64
-	failed    uint64
-	cancelled uint64
-	fromCache uint64
-	coalesced uint64
+	submitted      uint64
+	rejected       uint64
+	completed      uint64
+	failed         uint64
+	cancelled      uint64
+	fromCache      uint64
+	coalesced      uint64
+	streamJobs     uint64
+	streamsServed  uint64
+	eventStreams   uint64
+	streamCached   uint64
+	streamOversize uint64
 }
 
 // New builds and starts the service: the worker pool is live and the
@@ -138,17 +166,24 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
 	}
+	if cfg.MaxInlineArtifact == 0 {
+		cfg.MaxInlineArtifact = DefaultMaxInlineArtifact
+	}
 	s := &Server{
-		cfg:  cfg,
-		pool: sweep.NewPool(cfg.Workers, cfg.Queue),
-		jobs: make(map[string]*Job),
-		exec: cfg.Execute,
+		cfg:        cfg,
+		pool:       sweep.NewPool(cfg.Workers, cfg.Queue),
+		jobs:       make(map[string]*Job),
+		exec:       cfg.Execute,
+		execStream: cfg.ExecuteStream,
 	}
 	if !cfg.DisableCache {
 		s.cache = cache.New(cfg.Cache)
 	}
 	if s.exec == nil {
 		s.exec = run.Execute
+	}
+	if s.execStream == nil {
+		s.execStream = run.ExecuteStream
 	}
 	s.ctx, s.stop = context.WithCancelCause(context.Background())
 
@@ -158,6 +193,7 @@ func New(cfg Config) *Server {
 	m.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	m.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	m.HandleFunc("GET /api/v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	m.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.HandleFunc("GET /varz", s.handleVarz)
 	s.mux = m
@@ -213,6 +249,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		hash = ""
 	}
 
+	// A streaming submission needs something to stream; build its rings
+	// before admission so the job record is complete when it becomes
+	// visible.
+	var rings map[string]*stream.Ring
+	if spec.Stream {
+		streamable := run.StreamableArtifacts(spec)
+		if len(streamable) == 0 {
+			WriteError(w, http.StatusBadRequest, CodeInvalidSpec,
+				"stream: spec requests no streamable artifact (trace, metrics)", 0)
+			return
+		}
+		rings = make(map[string]*stream.Ring, len(streamable))
+		for _, name := range streamable {
+			rings[name] = stream.NewRing(s.cfg.SpoolDir, s.cfg.StreamWindow)
+		}
+	}
+
 	s.mu.Lock()
 	if s.draining {
 		// Admission is closed outright during a drain — even for specs the
@@ -224,17 +277,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	job := &Job{
-		ID:    s.jobID(s.seq),
-		Spec:  spec,
-		Hash:  hash,
-		State: StateQueued,
-		seq:   s.seq,
+		ID:      s.jobID(s.seq),
+		Spec:    spec,
+		Hash:    hash,
+		State:   StateQueued,
+		Stream:  spec.Stream,
+		streams: rings,
+		events:  newEventLog(),
+		seq:     s.seq,
 	}
 	jctx, cancel := context.WithCancelCause(s.ctx)
 	job.cancel = cancel
 	s.jobs[job.ID] = job
 	s.evictLocked()
 	s.mu.Unlock()
+
+	if spec.Stream {
+		s.submitStream(w, job, jctx)
+		return
+	}
 
 	// Content-addressed serving: a completed identical spec answers from
 	// cache, an in-flight identical spec absorbs this job as a follower
@@ -254,6 +315,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.coalesced++
 			view := viewOf(job)
 			s.mu.Unlock()
+			s.event(job, Event{Type: EventState, State: StateQueued})
 			go s.waitCoalesced(job, jctx, f)
 			s.respondAcceptedView(w, view)
 			return
@@ -288,6 +350,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.submitted++
 	view := viewOf(job)
 	s.mu.Unlock()
+	s.event(job, Event{Type: EventState, State: StateQueued})
+	s.respondAcceptedView(w, view)
+}
+
+// submitStream admits a streaming job. It bypasses singleflight — every
+// live feed needs its own run — but not the cache: a completed identical
+// spec answers immediately (its rings are dropped; the finished bytes
+// serve buffered), and a successful streamed run lands back in the cache
+// when its artifacts fit the inline bound, so streamed and buffered
+// submissions of one spec stay one cache entry (Spec.Stream is erased by
+// canonicalization).
+func (s *Server) submitStream(w http.ResponseWriter, job *Job, jctx context.Context) {
+	if s.cache != nil && job.Hash != "" && run.Cacheable(job.Spec) {
+		if res, ok := s.cache.Get(job.Hash); ok {
+			s.mu.Lock()
+			job.streams = nil
+			s.mu.Unlock()
+			s.finishFromCache(job, res)
+			s.respondAccepted(w, job)
+			return
+		}
+	}
+	if err := s.pool.TrySubmit(func(int) { s.runJob(job, jctx, nil) }); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.rejected++
+		s.mu.Unlock()
+		job.cancel(nil)
+		for _, ring := range job.streams {
+			ring.Release()
+		}
+		switch {
+		case errors.Is(err, sweep.ErrSaturated):
+			WriteError(w, http.StatusTooManyRequests, CodeSaturated, "queue full, retry later", saturatedRetryAfter)
+		case errors.Is(err, sweep.ErrClosed):
+			WriteError(w, http.StatusServiceUnavailable, CodeDraining, "server shutting down", drainingRetryAfter)
+		default:
+			WriteError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+		}
+		return
+	}
+	s.mu.Lock()
+	s.submitted++
+	s.streamJobs++
+	view := viewOf(job)
+	s.mu.Unlock()
+	s.event(job, Event{Type: EventState, State: StateQueued})
 	s.respondAcceptedView(w, view)
 }
 
@@ -313,6 +422,8 @@ func (s *Server) finishFromCache(job *Job, res run.Result) {
 	s.completed++
 	s.fromCache++
 	s.mu.Unlock()
+	s.event(job, Event{Type: EventState, State: StateQueued})
+	s.finishEvents(job)
 }
 
 // respondAccepted snapshots the job under the mutex and answers 202.
@@ -345,6 +456,7 @@ func (s *Server) runJob(job *Job, jctx context.Context, flight *cache.Flight) {
 	}
 	job.State = StateRunning
 	s.mu.Unlock()
+	s.event(job, Event{Type: EventState, State: StateRunning})
 
 	ctx := jctx
 	if s.cfg.MaxJobTime > 0 {
@@ -352,7 +464,13 @@ func (s *Server) runJob(job *Job, jctx context.Context, flight *cache.Flight) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxJobTime)
 		defer cancel()
 	}
-	res, err := s.exec(ctx, job.Spec)
+	var res run.Result
+	var err error
+	if job.Stream && len(job.streams) > 0 {
+		res, err = s.runStreamed(ctx, job)
+	} else {
+		res, err = s.exec(ctx, job.Spec)
+	}
 
 	s.mu.Lock()
 	job.Stats = res.Stats
@@ -377,6 +495,7 @@ func (s *Server) runJob(job *Job, jctx context.Context, flight *cache.Flight) {
 	if flight != nil {
 		flight.Complete(res, err)
 	}
+	s.finishEvents(job)
 }
 
 // waitCoalesced parks a follower job on its leader's flight — no pool
@@ -398,43 +517,47 @@ func (s *Server) waitCoalesced(job *Job, jctx context.Context, flight *cache.Fli
 		defer cancel()
 	}
 
+	terminal := false
 	select {
 	case <-flight.Done():
 		res, err := flight.Result()
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		if job.State != StateQueued {
-			return
+		if job.State == StateQueued {
+			terminal = true
+			job.Stats = res.Stats
+			job.Artifacts = res.Artifacts
+			if err == nil {
+				job.State = StateDone
+				s.completed++
+			} else {
+				job.State = StateFailed
+				job.ErrCode = errorCodeOf(err.Error())
+				job.Err = "coalesced run: " + err.Error()
+				s.failed++
+			}
 		}
-		job.Stats = res.Stats
-		job.Artifacts = res.Artifacts
-		if err == nil {
-			job.State = StateDone
-			s.completed++
-			return
-		}
-		job.State = StateFailed
-		job.ErrCode = errorCodeOf(err.Error())
-		job.Err = "coalesced run: " + err.Error()
-		s.failed++
+		s.mu.Unlock()
 	case <-ctx.Done():
 		cause := context.Cause(ctx)
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		if job.State != StateQueued {
-			return
+		if job.State == StateQueued {
+			terminal = true
+			if jctx.Err() != nil && s.ctx.Err() == nil && !errors.Is(context.Cause(jctx), context.DeadlineExceeded) {
+				job.State = StateCancelled
+				job.ErrCode = CodeCancelled
+				job.Err = cause.Error()
+				s.cancelled++
+			} else {
+				job.State = StateFailed
+				job.ErrCode = errorCodeOf(cause.Error())
+				job.Err = cause.Error()
+				s.failed++
+			}
 		}
-		if jctx.Err() != nil && s.ctx.Err() == nil && !errors.Is(context.Cause(jctx), context.DeadlineExceeded) {
-			job.State = StateCancelled
-			job.ErrCode = CodeCancelled
-			job.Err = cause.Error()
-			s.cancelled++
-			return
-		}
-		job.State = StateFailed
-		job.ErrCode = errorCodeOf(cause.Error())
-		job.Err = cause.Error()
-		s.failed++
+		s.mu.Unlock()
+	}
+	if terminal {
+		s.finishEvents(job)
 	}
 }
 
@@ -484,6 +607,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	finished := false
 	s.mu.Lock()
 	job, ok := s.jobs[r.PathValue("id")]
 	if ok {
@@ -497,6 +621,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			job.ErrCode = CodeCancelled
 			job.Err = "cancelled before start"
 			s.cancelled++
+			finished = true
 		case job.State == StateRunning:
 			job.cancel(context.Canceled)
 		}
@@ -506,6 +631,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		view = viewOf(job)
 	}
 	s.mu.Unlock()
+	if finished {
+		// Never-started rings would park live readers forever; end them.
+		for _, ring := range job.streams {
+			ring.Close(context.Canceled)
+		}
+		s.finishEvents(job)
+	}
 	if !ok {
 		WriteError(w, http.StatusNotFound, CodeNotFound, "no such job", 0)
 		return
@@ -516,21 +648,29 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleArtifact serves one artifact with a strong ETag (the SHA-256 of
 // the content) and honors If-None-Match with 304 — a polling client
 // re-downloading a cached fleet's artifacts pays headers, not bodies.
+// Ring-backed artifacts (streaming jobs) serve from their ring instead:
+// finished ones identically to buffered bytes but with O(window) memory,
+// live ones as a chunked stream when ?stream=1 is passed.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	id, name := r.PathValue("id"), r.PathValue("name")
+	live := r.URL.Query().Get("stream") != ""
 	s.mu.Lock()
 	job, ok := s.jobs[id]
 	var state State
 	var body []byte
 	var have bool
+	var ring *stream.Ring
 	if ok {
 		state = job.State
 		body, have = job.Artifacts[name]
+		ring = job.streams[name]
 	}
 	s.mu.Unlock()
 	switch {
 	case !ok:
 		WriteError(w, http.StatusNotFound, CodeNotFound, "no such job", 0)
+	case ring != nil:
+		s.serveRing(w, r, name, ring, live)
 	case state == StateQueued || state == StateRunning:
 		WriteError(w, http.StatusConflict, CodeConflict, "job not finished", 0)
 	case !have:
@@ -565,6 +705,9 @@ func (s *Server) evictLocked() {
 	sort.Slice(terminal, func(i, k int) bool { return terminal[i].seq < terminal[k].seq })
 	for i := 0; i < len(terminal) && i < over; i++ {
 		delete(s.jobs, terminal[i].ID)
+		for _, ring := range terminal[i].streams {
+			ring.Release()
+		}
 	}
 }
 
@@ -594,6 +737,19 @@ type Varz struct {
 	JobsCoalesced uint64 `json:"jobs_coalesced"`
 	JobsRetained  int    `json:"jobs_retained"`
 
+	// Streaming pipeline counters (v3).
+	StreamJobs uint64 `json:"stream_jobs,omitempty"`
+	// ArtifactStreamsServed counts live chunked artifact downloads
+	// (?stream=1 feeds opened while the producing run was in flight).
+	ArtifactStreamsServed uint64 `json:"artifact_streams_served,omitempty"`
+	// EventStreamsServed counts SSE feeds opened on /events.
+	EventStreamsServed uint64 `json:"event_streams_served,omitempty"`
+	// StreamResultsCached counts streamed runs whose artifacts fit the
+	// inline bound and landed in the result cache; StreamResultsOversize
+	// counts those that stayed ring-backed and uncached.
+	StreamResultsCached   uint64 `json:"stream_results_cached,omitempty"`
+	StreamResultsOversize uint64 `json:"stream_results_oversize,omitempty"`
+
 	Pool  sweep.PoolStats `json:"pool"`
 	Cache *cache.Stats    `json:"cache,omitempty"`
 }
@@ -615,7 +771,14 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		JobsFromCache: s.fromCache,
 		JobsCoalesced: s.coalesced,
 		JobsRetained:  len(s.jobs),
-		Pool:          s.pool.Stats(),
+
+		StreamJobs:            s.streamJobs,
+		ArtifactStreamsServed: s.streamsServed,
+		EventStreamsServed:    s.eventStreams,
+		StreamResultsCached:   s.streamCached,
+		StreamResultsOversize: s.streamOversize,
+
+		Pool: s.pool.Stats(),
 	}
 	s.mu.Unlock()
 	if s.cache != nil {
@@ -635,6 +798,7 @@ func viewOf(j *Job) JobView {
 		State:     j.State,
 		Cached:    j.Cached,
 		Coalesced: j.Coalesced,
+		Stream:    j.Stream,
 		Spec:      j.Spec,
 	}
 	if j.Err != "" || j.ErrCode != "" {
@@ -643,12 +807,23 @@ func viewOf(j *Job) JobView {
 	if j.State == StateDone || j.State == StateFailed {
 		stats := j.Stats
 		v.Stats = &stats
-		names := make([]string, 0, len(j.Artifacts))
-		for name := range j.Artifacts {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		v.Artifacts = names
+		v.Artifacts = artifactNames(j)
 	}
 	return v
+}
+
+// artifactNames lists a job's available artifacts — the buffered map plus
+// the ring-backed streams. Caller holds s.mu.
+func artifactNames(j *Job) []string {
+	names := make([]string, 0, len(j.Artifacts)+len(j.streams))
+	for name := range j.Artifacts {
+		names = append(names, name)
+	}
+	for name := range j.streams {
+		if _, dup := j.Artifacts[name]; !dup {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
